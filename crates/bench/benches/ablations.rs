@@ -1,0 +1,210 @@
+//! Ablation benches for design choices: block size, directory
+//! organisation, eviction policy, and sharing attribution. Each group
+//! prints the ablation table once, then times a representative
+//! configuration.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use dirsim::prelude::*;
+use dirsim::report::TextTable;
+use dirsim_mem::BlockMap;
+use dirsim_protocol::directory::EvictionPolicy;
+use dirsim_trace::synth::PaperTrace;
+
+const REFS: usize = 60_000;
+
+fn refs_for(trace: PaperTrace) -> Vec<MemRef> {
+    trace.workload().take(REFS).collect()
+}
+
+/// Block size: larger blocks amortise fetch latency but magnify
+/// invalidation cost and false sharing.
+fn bench_block_size(c: &mut Criterion) {
+    let refs = refs_for(PaperTrace::Pops);
+    // A second workload where the only sharing is *false* sharing.
+    let fs_cfg = WorkloadConfig {
+        shared_frac: 0.05,
+        sharing_mix: dirsim_trace::synth::SharingMix {
+            read_mostly: 0.0,
+            migratory: 0.0,
+            producer_consumer: 0.0,
+            false_sharing: 1.0,
+        },
+        seed: 0xab1a7e,
+        ..PaperTrace::Pops.config()
+    };
+    let fs_refs: Vec<MemRef> = Workload::new(fs_cfg).take(REFS).collect();
+
+    let mut table =
+        TextTable::new("Ablation: block size (Dir0B, pipelined; fs = false-sharing workload)");
+    table.headers(["block bytes", "cycles/ref", "miss rate", "fs cycles/ref", "fs miss rate"]);
+    for bytes in [4u32, 16, 64, 256] {
+        let config = SimConfig {
+            block_map: BlockMap::new(bytes).unwrap(),
+            ..SimConfig::default()
+        };
+        let model = CostModel::pipelined().with_words_per_block((bytes / 4).max(1));
+        let run = |stream: &[MemRef]| {
+            let mut p = Scheme::Directory(DirSpec::dir0_b()).build(4);
+            Simulator::new(config).run(p.as_mut(), stream.iter().copied()).unwrap()
+        };
+        let result = run(&refs);
+        let fs_result = run(&fs_refs);
+        table.row([
+            bytes.to_string(),
+            format!("{:.4}", result.cycles_per_ref(model)),
+            format!("{:.3}%", result.events.data_miss_rate() * 100.0),
+            format!("{:.4}", fs_result.cycles_per_ref(model)),
+            format!("{:.3}%", fs_result.events.data_miss_rate() * 100.0),
+        ]);
+    }
+    println!("{}", table.render());
+
+    c.bench_function("ablation/block_size_64B", |b| {
+        let config = SimConfig {
+            block_map: BlockMap::new(64).unwrap(),
+            ..SimConfig::default()
+        };
+        b.iter_batched(
+            || Scheme::Directory(DirSpec::dir0_b()).build(4),
+            |mut p| Simulator::new(config).run(p.as_mut(), refs.iter().copied()).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+/// Directory organisation at the same full-map protocol: Censier–Feautrier
+/// indexed map vs Tang duplicate tags vs Yen & Fu single bits.
+fn bench_directory_organisation(c: &mut Criterion) {
+    let refs = refs_for(PaperTrace::Pops);
+    let mut table = TextTable::new(
+        "Ablation: full-map directory organisation (POPS-like, pipelined)",
+    );
+    table.headers(["organisation", "cycles/ref", "dir ops/kiloref"]);
+    for scheme in [
+        Scheme::Directory(DirSpec::dir_n_nb()),
+        Scheme::Tang,
+        Scheme::YenFu,
+    ] {
+        let mut p = scheme.build(4);
+        let result = Simulator::paper().run(p.as_mut(), refs.iter().copied()).unwrap();
+        let dir_ops = result.ops[BusOp::DirLookup] + result.ops[BusOp::DirUpdate];
+        table.row([
+            scheme.name(),
+            format!("{:.4}", result.cycles_per_ref(CostModel::pipelined())),
+            format!("{:.2}", dir_ops as f64 * 1000.0 / result.refs as f64),
+        ]);
+    }
+    println!("{}", table.render());
+
+    c.bench_function("ablation/tang_organisation", |b| {
+        b.iter_batched(
+            || Scheme::Tang.build(4),
+            |mut p| Simulator::paper().run(p.as_mut(), refs.iter().copied()).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+/// Eviction policy for pointer-limited NB schemes.
+fn bench_eviction_policy(c: &mut Criterion) {
+    let refs = refs_for(PaperTrace::Thor);
+    let mut table = TextTable::new("Ablation: Dir2NB eviction policy (THOR-like, pipelined)");
+    table.headers(["policy", "cycles/ref", "coh. miss rate"]);
+    for (name, policy) in [
+        ("oldest-sharer", EvictionPolicy::OldestSharer),
+        ("newest-sharer", EvictionPolicy::NewestSharer),
+    ] {
+        let spec = DirSpec::dir_i_nb(2).unwrap().with_eviction(policy);
+        let mut p = Scheme::Directory(spec).build(4);
+        let result = Simulator::paper().run(p.as_mut(), refs.iter().copied()).unwrap();
+        table.row([
+            name.to_string(),
+            format!("{:.4}", result.cycles_per_ref(CostModel::pipelined())),
+            format!("{:.3}%", result.events.coherence_miss_rate() * 100.0),
+        ]);
+    }
+    println!("{}", table.render());
+
+    c.bench_function("ablation/eviction_oldest", |b| {
+        b.iter_batched(
+            || Scheme::Directory(DirSpec::dir_i_nb(2).unwrap()).build(4),
+            |mut p| Simulator::paper().run(p.as_mut(), refs.iter().copied()).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+/// Sharing attribution (§4.4): per-process vs per-processor with migration.
+fn bench_sharing_attribution(c: &mut Criterion) {
+    let cfg = WorkloadConfig {
+        migration_prob: 0.001,
+        ..PaperTrace::Pops.config()
+    };
+    let refs: Vec<MemRef> = Workload::new(cfg).take(REFS).collect();
+    let mut table = TextTable::new(
+        "Ablation: sharing attribution with process migration (pipelined)",
+    );
+    table.headers(["attribution", "cycles/ref", "coh. miss rate"]);
+    for sharing in [SharingModel::PerProcess, SharingModel::PerProcessor] {
+        let config = SimConfig {
+            sharing,
+            ..SimConfig::default()
+        };
+        let mut p = Scheme::Directory(DirSpec::dir0_b()).build(4);
+        let result = Simulator::new(config).run(p.as_mut(), refs.iter().copied()).unwrap();
+        table.row([
+            sharing.to_string(),
+            format!("{:.4}", result.cycles_per_ref(CostModel::pipelined())),
+            format!("{:.3}%", result.events.coherence_miss_rate() * 100.0),
+        ]);
+    }
+    println!("{}", table.render());
+
+    c.bench_function("ablation/per_processor_sharing", |b| {
+        let config = SimConfig {
+            sharing: SharingModel::PerProcessor,
+            ..SimConfig::default()
+        };
+        b.iter_batched(
+            || Scheme::Directory(DirSpec::dir0_b()).build(4),
+            |mut p| Simulator::new(config).run(p.as_mut(), refs.iter().copied()).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+/// Finite caches (§4 extension): capacity sweep for Dir0B.
+fn bench_finite_caches(c: &mut Criterion) {
+    let rows = dirsim::paper::finite_cache_study(
+        Scheme::Directory(DirSpec::dir0_b()),
+        30_000,
+        &[256, 1024, 4096],
+    )
+    .unwrap();
+    println!("{}", dirsim::report::render_finite_cache("Dir0B", &rows));
+
+    let mut group = c.benchmark_group("ablation/finite_cache");
+    group.sample_size(10);
+    group.bench_function("1024_blocks", |b| {
+        b.iter(|| {
+            dirsim::paper::finite_cache_study(
+                Scheme::Directory(DirSpec::dir0_b()),
+                10_000,
+                &[1024],
+            )
+            .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_block_size,
+    bench_directory_organisation,
+    bench_eviction_policy,
+    bench_sharing_attribution,
+    bench_finite_caches
+);
+criterion_main!(benches);

@@ -1,0 +1,129 @@
+//! Criterion benches for the paper's figures and sensitivity analyses:
+//! each bench times the computation behind one figure and prints the
+//! reproduced artifact once.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use dirsim::paper;
+use dirsim::prelude::*;
+use dirsim::report;
+use dirsim_trace::synth::PaperTrace;
+
+const REFS: usize = 50_000;
+
+/// Figure 1: the invalidation fan-out histogram (Dir0B state model).
+fn bench_figure1(c: &mut Criterion) {
+    let results = paper::headline_experiment(REFS).run().unwrap();
+    println!("{}", report::render_figure1(&results, "Dir0B"));
+    let refs: Vec<MemRef> = PaperTrace::Pops.workload().take(REFS).collect();
+    c.bench_function("fig1/fanout_histogram", |b| {
+        b.iter_batched(
+            || Scheme::Directory(DirSpec::dir0_b()).build(4),
+            |mut protocol| {
+                let r = Simulator::paper()
+                    .run(protocol.as_mut(), refs.iter().copied())
+                    .unwrap();
+                std::hint::black_box(r.fanout.fraction_at_most(1))
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+/// Figures 2–5 share the headline simulation; bench the derived metrics.
+fn bench_figures_2_to_5(c: &mut Criterion) {
+    let results = paper::headline_experiment(REFS).run().unwrap();
+    println!("{}", report::render_figure2(&results));
+    println!("{}", report::render_figure3(&results));
+    println!("{}", report::render_figure4(&results, CostModel::pipelined()));
+    println!("{}", report::render_figure5(&results, CostModel::pipelined()));
+    c.bench_function("fig2-5/render_all", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            total += report::render_figure2(&results).len();
+            total += report::render_figure3(&results).len();
+            total += report::render_figure4(&results, CostModel::pipelined()).len();
+            total += report::render_figure5(&results, CostModel::pipelined()).len();
+            std::hint::black_box(total)
+        })
+    });
+}
+
+/// §5.1 and §6b: cost-model sweeps are pure repricing — the paper's
+/// "one simulation run per protocol" payoff.
+fn bench_sweeps(c: &mut Criterion) {
+    let results = paper::extended_experiment(REFS).run().unwrap();
+    let qs = [0.0, 0.5, 1.0, 2.0, 4.0];
+    let lines: Vec<(String, Vec<(f64, f64)>)> = results
+        .per_scheme
+        .iter()
+        .map(|s| {
+            (
+                s.scheme.name(),
+                paper::q_sensitivity(&s.combined, CostModel::pipelined(), &qs),
+            )
+        })
+        .collect();
+    println!("{}", report::render_q_sweep(&lines));
+    let dir1b = results.scheme("Dir1B").unwrap().combined.clone();
+    let points = paper::broadcast_sensitivity(&dir1b, &[1, 2, 4, 8, 16, 32]);
+    println!("{}", report::render_broadcast_sweep("Dir1B", &points));
+
+    c.bench_function("sec5.1/q_sweep_reprice", |b| {
+        b.iter(|| {
+            let pts = paper::q_sensitivity(&dir1b, CostModel::pipelined(), &qs);
+            std::hint::black_box(pts.len())
+        })
+    });
+    c.bench_function("sec6b/broadcast_reprice", |b| {
+        b.iter(|| {
+            let pts = paper::broadcast_sensitivity(&dir1b, &[1, 2, 4, 8, 16, 32]);
+            std::hint::black_box(pts.len())
+        })
+    });
+}
+
+/// §5.2: the lock ablation needs a full resimulation with filtering.
+fn bench_lock_impact(c: &mut Criterion) {
+    let impacts = paper::lock_impact(
+        REFS,
+        vec![
+            Scheme::Directory(DirSpec::dir1_nb()),
+            Scheme::Directory(DirSpec::dir0_b()),
+        ],
+    )
+    .unwrap();
+    println!("{}", report::render_lock_impact(&impacts));
+    let mut group = c.benchmark_group("sec5.2/lock_impact");
+    group.sample_size(10);
+    group.bench_function("dir1nb_20k", |b| {
+        b.iter(|| {
+            paper::lock_impact(20_000, vec![Scheme::Directory(DirSpec::dir1_nb())]).unwrap()
+        })
+    });
+    group.finish();
+}
+
+/// §6c: the pointer sweep / scaling study.
+fn bench_pointer_sweep(c: &mut Criterion) {
+    for n in [4u16, 16] {
+        let rows = paper::pointer_sweep(n, REFS, &[1, 2, 4]).unwrap();
+        println!("{}", report::render_pointer_sweep(n, &rows));
+    }
+    let mut group = c.benchmark_group("sec6c/pointer_sweep");
+    group.sample_size(10);
+    group.bench_function("16p_20k", |b| {
+        b.iter(|| paper::pointer_sweep(16, 20_000, &[1, 2]).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_figure1,
+    bench_figures_2_to_5,
+    bench_sweeps,
+    bench_lock_impact,
+    bench_pointer_sweep
+);
+criterion_main!(benches);

@@ -1,0 +1,110 @@
+//! Criterion benches for the paper's tables: each bench times the
+//! simulation that regenerates one table, and prints the reproduced table
+//! once so `cargo bench` output doubles as a reproduction artifact.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use dirsim::prelude::*;
+use dirsim::report;
+use dirsim::{Experiment, NamedWorkload};
+use dirsim_trace::synth::PaperTrace;
+
+const REFS: usize = 50_000;
+
+fn materialise(trace: PaperTrace, refs: usize) -> Vec<MemRef> {
+    trace.workload().take(refs).collect()
+}
+
+/// Table 3 is pure trace generation + statistics.
+fn bench_table3(c: &mut Criterion) {
+    let results = dirsim::paper::headline_experiment(REFS).run().unwrap();
+    println!("{}", report::render_table3(&results));
+    c.bench_function("table3/trace_stats", |b| {
+        b.iter_batched(
+            || PaperTrace::Pops.workload().take(REFS),
+            TraceStats::from_refs,
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+/// Table 4: one event-frequency simulation per scheme.
+fn bench_table4(c: &mut Criterion) {
+    let results = dirsim::paper::headline_experiment(REFS).run().unwrap();
+    println!("{}", report::render_table4(&results));
+    let refs = materialise(PaperTrace::Pops, REFS);
+    let mut group = c.benchmark_group("table4/event_frequencies");
+    for scheme in Scheme::paper_lineup() {
+        group.bench_function(scheme.name(), |b| {
+            b.iter_batched(
+                || scheme.build(4),
+                |mut protocol| {
+                    Simulator::paper()
+                        .run(protocol.as_mut(), refs.iter().copied())
+                        .unwrap()
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+/// Table 5: simulation plus cost aggregation under both bus models.
+fn bench_table5(c: &mut Criterion) {
+    let results = dirsim::paper::headline_experiment(REFS).run().unwrap();
+    println!("{}", report::render_table5(&results, CostModel::pipelined()));
+    println!(
+        "{}",
+        report::render_table5(&results, CostModel::non_pipelined())
+    );
+    // Cost application is the cheap part (the paper's point): bench it.
+    let dir0b = results.scheme("Dir0B").unwrap().combined.clone();
+    c.bench_function("table5/price_ops", |b| {
+        b.iter(|| {
+            let bd = dir0b.breakdown(CostModel::pipelined());
+            std::hint::black_box(bd.cycles_per_ref())
+        })
+    });
+}
+
+/// End-to-end: the whole headline experiment matrix.
+fn bench_full_matrix(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tables/full_headline_matrix");
+    group.sample_size(10);
+    group.bench_function("3traces_x_4schemes", |b| {
+        b.iter(|| {
+            Experiment::new()
+                .workloads(dirsim::paper::paper_workloads())
+                .schemes(Scheme::paper_lineup())
+                .refs_per_trace(20_000)
+                .run()
+                .unwrap()
+        })
+    });
+    group.finish();
+    // Exercise a custom workload too, so the harness covers the builder.
+    let cfg = WorkloadConfig::builder().seed(3).build().unwrap();
+    let mut group = c.benchmark_group("tables/custom_workload");
+    group.sample_size(10);
+    group.bench_function("dir0b_20k", |b| {
+        b.iter(|| {
+            Experiment::new()
+                .workload(NamedWorkload::new("custom", cfg.clone()))
+                .scheme(Scheme::Directory(DirSpec::dir0_b()))
+                .refs_per_trace(20_000)
+                .run()
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_table3,
+    bench_table4,
+    bench_table5,
+    bench_full_matrix
+);
+criterion_main!(benches);

@@ -1,0 +1,103 @@
+//! Raw component throughput: workload generation, trace IO, protocol state
+//! machines, and the end-to-end engine (references per second).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+
+use dirsim::prelude::*;
+use dirsim_trace::io::{read_binary, write_binary};
+use dirsim_trace::synth::PaperTrace;
+
+const REFS: usize = 100_000;
+
+fn bench_generator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("throughput/generator");
+    group.throughput(Throughput::Elements(REFS as u64));
+    for trace in PaperTrace::ALL {
+        group.bench_function(trace.name(), |b| {
+            b.iter(|| {
+                let n = trace.workload().take(REFS).count();
+                std::hint::black_box(n)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_trace_io(c: &mut Criterion) {
+    let refs: Vec<MemRef> = PaperTrace::Pops.workload().take(REFS).collect();
+    let mut encoded = Vec::new();
+    write_binary(&mut encoded, refs.iter().copied()).unwrap();
+
+    let mut group = c.benchmark_group("throughput/trace_io");
+    group.throughput(Throughput::Elements(REFS as u64));
+    group.bench_function("write_binary", |b| {
+        b.iter(|| {
+            let mut buf = Vec::with_capacity(encoded.len());
+            write_binary(&mut buf, refs.iter().copied()).unwrap();
+            std::hint::black_box(buf.len())
+        })
+    });
+    group.bench_function("read_binary", |b| {
+        b.iter(|| {
+            let n = read_binary(&encoded[..]).count();
+            std::hint::black_box(n)
+        })
+    });
+    group.finish();
+}
+
+fn bench_protocols(c: &mut Criterion) {
+    let refs: Vec<MemRef> = PaperTrace::Pops.workload().take(REFS).collect();
+    let mut group = c.benchmark_group("throughput/engine");
+    group.throughput(Throughput::Elements(REFS as u64));
+    let mut schemes = Scheme::paper_lineup();
+    schemes.push(Scheme::Directory(DirSpec::dir_n_nb()));
+    schemes.push(Scheme::Berkeley);
+    schemes.push(Scheme::CoarseVector);
+    for scheme in schemes {
+        group.bench_function(scheme.name(), |b| {
+            b.iter_batched(
+                || scheme.build(4),
+                |mut protocol| {
+                    Simulator::paper()
+                        .run(protocol.as_mut(), refs.iter().copied())
+                        .unwrap()
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_oracle_overhead(c: &mut Criterion) {
+    let refs: Vec<MemRef> = PaperTrace::Pops.workload().take(REFS).collect();
+    let mut group = c.benchmark_group("throughput/oracle");
+    group.throughput(Throughput::Elements(REFS as u64));
+    for check in [false, true] {
+        let label = if check { "with_oracle" } else { "without_oracle" };
+        group.bench_function(label, |b| {
+            b.iter_batched(
+                || Scheme::Directory(DirSpec::dir0_b()).build(4),
+                |mut protocol| {
+                    let sim = Simulator::new(SimConfig {
+                        check_oracle: check,
+                        ..SimConfig::default()
+                    });
+                    sim.run(protocol.as_mut(), refs.iter().copied()).unwrap()
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_generator,
+    bench_trace_io,
+    bench_protocols,
+    bench_oracle_overhead
+);
+criterion_main!(benches);

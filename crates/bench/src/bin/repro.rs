@@ -1,0 +1,110 @@
+//! Regenerates every table and figure of the paper's evaluation section.
+//!
+//! Usage:
+//!
+//! ```text
+//! repro [--quick] [--only <artifact>] [--csv <dir>] [--list]
+//! ```
+//!
+//! * `--quick` — 100k references per trace instead of 1M.
+//! * `--only <artifact>` — print one artifact (see `--list`).
+//! * `--csv <dir>` — additionally write figure data series as CSV files.
+//! * `--list` — list artifact names.
+
+use std::process::ExitCode;
+
+use dirsim::paper;
+use dirsim_bench::{csv_artifacts, render_artifact, ARTIFACTS, QUICK_REFS, REPORT_REFS};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    let mut only: Option<String> = None;
+    let mut csv_dir: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => quick = true,
+            "--list" => {
+                for a in ARTIFACTS {
+                    println!("{a}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--only" => {
+                i += 1;
+                let Some(name) = args.get(i) else {
+                    eprintln!("--only requires an artifact name (try --list)");
+                    return ExitCode::FAILURE;
+                };
+                only = Some(name.clone());
+            }
+            "--csv" => {
+                i += 1;
+                let Some(dir) = args.get(i) else {
+                    eprintln!("--csv requires a directory");
+                    return ExitCode::FAILURE;
+                };
+                csv_dir = Some(dir.clone());
+            }
+            other => {
+                eprintln!(
+                    "unknown argument {other}; usage: repro [--quick] [--only <artifact>] [--csv <dir>] [--list]"
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+        i += 1;
+    }
+
+    let refs = if quick { QUICK_REFS } else { REPORT_REFS };
+    if let Some(ref name) = only {
+        if !ARTIFACTS.contains(&name.as_str()) {
+            eprintln!("unknown artifact {name}; try --list");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    eprintln!("simulating headline experiment ({refs} refs/trace)...");
+    let headline = match paper::headline_experiment(refs).run_parallel() {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("simulation failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!("simulating extended experiment...");
+    let extended = match paper::extended_experiment(refs).run_parallel() {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("simulation failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!("dirsim reproduction report — Agarwal, Simoni, Hennessy, Horowitz (ISCA 1988)");
+    println!("references per trace: {refs}\n");
+    match only {
+        Some(name) => println!("{}", render_artifact(&name, &headline, &extended, refs)),
+        None => {
+            for a in ARTIFACTS {
+                println!("{}", render_artifact(a, &headline, &extended, refs));
+            }
+        }
+    }
+    if let Some(dir) = csv_dir {
+        if let Err(e) = std::fs::create_dir_all(&dir) {
+            eprintln!("cannot create {dir}: {e}");
+            return ExitCode::FAILURE;
+        }
+        for (name, content) in csv_artifacts(&headline, &extended) {
+            let path = std::path::Path::new(&dir).join(&name);
+            if let Err(e) = std::fs::write(&path, content) {
+                eprintln!("cannot write {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+            eprintln!("wrote {}", path.display());
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,223 @@
+//! Run one or more coherence schemes over a trace file and report the
+//! results.
+//!
+//! ```text
+//! simulate <scheme[,scheme...]> <trace file> [--caches N] [--oracle]
+//!          [--block BYTES] [--per-processor] [--finite SETSxWAYS]
+//! ```
+//!
+//! `<scheme>` uses the paper's notation (`Dir0B`, `Dir2NB`, `DirnNB`,
+//! `CoarseVector`, `Tang`, `YenFu`, `WTI`, `Dragon`, `Berkeley`). Trace
+//! files ending in `.txt` are parsed as text, anything else as `DTR1`
+//! binary (see `trace_tool`).
+
+use std::fs::File;
+use std::io::BufReader;
+use std::process::ExitCode;
+
+use dirsim::prelude::*;
+use dirsim_cost::CostCategory;
+use dirsim_mem::CacheGeometry;
+use dirsim_trace::compress::read_compressed;
+use dirsim_trace::io::{read_binary, read_text};
+
+struct Options {
+    schemes: Vec<Scheme>,
+    path: String,
+    caches: Option<u32>,
+    oracle: bool,
+    block_bytes: u32,
+    per_processor: bool,
+    finite: Option<CacheGeometry>,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let usage = "usage: simulate <scheme> <trace> [--caches N] [--oracle] \
+                 [--block BYTES] [--per-processor] [--finite SETSxWAYS]";
+    let mut positional = Vec::new();
+    let mut opts = Options {
+        schemes: vec![Scheme::Dragon],
+        path: String::new(),
+        caches: None,
+        oracle: false,
+        block_bytes: 16,
+        per_processor: false,
+        finite: None,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--oracle" => opts.oracle = true,
+            "--per-processor" => opts.per_processor = true,
+            "--caches" => {
+                i += 1;
+                opts.caches = Some(
+                    args.get(i)
+                        .ok_or(usage)?
+                        .parse()
+                        .map_err(|_| "--caches expects a number")?,
+                );
+            }
+            "--block" => {
+                i += 1;
+                opts.block_bytes = args
+                    .get(i)
+                    .ok_or(usage)?
+                    .parse()
+                    .map_err(|_| "--block expects a number of bytes")?;
+            }
+            "--finite" => {
+                i += 1;
+                let spec = args.get(i).ok_or(usage)?;
+                let (sets, ways) = spec
+                    .split_once('x')
+                    .ok_or("--finite expects SETSxWAYS, e.g. 64x4")?;
+                opts.finite = Some(CacheGeometry {
+                    sets: sets.parse().map_err(|_| "bad set count")?,
+                    ways: ways.parse().map_err(|_| "bad way count")?,
+                });
+            }
+            other => positional.push(other.to_string()),
+        }
+        i += 1;
+    }
+    let [scheme, path] = &positional[..] else {
+        return Err(usage.to_string());
+    };
+    opts.schemes = scheme
+        .split(',')
+        .map(|tok| tok.parse().map_err(|e| format!("{e}")))
+        .collect::<Result<Vec<Scheme>, String>>()?;
+    opts.path = path.clone();
+    Ok(opts)
+}
+
+fn run() -> Result<(), String> {
+    let opts = parse_args()?;
+    let file = File::open(&opts.path).map_err(|e| format!("{}: {e}", opts.path))?;
+    let refs: Vec<MemRef> = if opts.path.ends_with(".txt") {
+        read_text(BufReader::new(file)).collect::<Result<_, _>>()
+    } else if opts.path.ends_with(".dtr2") {
+        read_compressed(BufReader::new(file)).collect::<Result<_, _>>()
+    } else {
+        read_binary(BufReader::new(file)).collect::<Result<_, _>>()
+    }
+    .map_err(|e| e.to_string())?;
+    if refs.is_empty() {
+        return Err("trace is empty".to_string());
+    }
+
+    let stats = TraceStats::from_refs(refs.iter().copied());
+    let caches = opts.caches.unwrap_or_else(|| {
+        if opts.per_processor {
+            stats.cpu_count() as u32
+        } else {
+            stats.process_count() as u32
+        }
+    });
+    let config = SimConfig {
+        block_map: BlockMap::new(opts.block_bytes)
+            .map_err(|e| e.to_string())?,
+        sharing: if opts.per_processor {
+            SharingModel::PerProcessor
+        } else {
+            SharingModel::PerProcess
+        },
+        check_oracle: opts.oracle,
+        geometry: opts.finite,
+    };
+    if opts.schemes.len() > 1 {
+        // Comparison mode: one summary row per scheme.
+        println!("trace:    {} ({stats})", opts.path);
+        println!(
+            "{:>14} {:>12} {:>12} {:>10} {:>10}",
+            "scheme", "pipelined", "non-pipelined", "txns/ref", "miss rate"
+        );
+        for &scheme in &opts.schemes {
+            let mut protocol = scheme.build(caches);
+            let result = Simulator::new(config)
+                .run(protocol.as_mut(), refs.iter().copied())
+                .map_err(|e| e.to_string())?;
+            let bd = result.breakdown(CostModel::pipelined());
+            println!(
+                "{:>14} {:>12.4} {:>12.4} {:>10.4} {:>9.3}%",
+                result.scheme,
+                bd.cycles_per_ref(),
+                result.cycles_per_ref(CostModel::non_pipelined()),
+                bd.transactions_per_ref(),
+                result.events.data_miss_rate() * 100.0,
+            );
+        }
+        return Ok(());
+    }
+
+    let mut protocol = opts.schemes[0].build(caches);
+    let result = Simulator::new(config)
+        .run(protocol.as_mut(), refs)
+        .map_err(|e| e.to_string())?;
+
+    println!("trace:    {} ({stats})", opts.path);
+    println!(
+        "scheme:   {} over {caches} caches ({} sharing, {}-byte blocks{})",
+        result.scheme,
+        config.sharing,
+        opts.block_bytes,
+        match opts.finite {
+            Some(g) => format!(", finite {}x{}", g.sets, g.ways),
+            None => ", infinite caches".to_string(),
+        }
+    );
+    if opts.oracle {
+        println!("oracle:   every data movement audited — coherent ✓");
+    }
+    println!("\nevent frequencies (% of refs):");
+    for (kind, count) in result.events.iter() {
+        if count > 0 {
+            println!(
+                "  {:<14} {:>8.3}  ({count})",
+                kind.name(),
+                result.events.frequency(kind) * 100.0
+            );
+        }
+    }
+    println!("\ncost:");
+    for model in [CostModel::pipelined(), CostModel::non_pipelined()] {
+        let bd = result.breakdown(model);
+        println!(
+            "  {:>14}: {:.4} cycles/ref  ({:.2} cycles/txn, {:.4} txns/ref)",
+            model.kind().to_string(),
+            bd.cycles_per_ref(),
+            bd.cycles_per_transaction(),
+            bd.transactions_per_ref()
+        );
+    }
+    let bd = result.breakdown(CostModel::pipelined());
+    println!("  pipelined breakdown:");
+    for cat in CostCategory::ALL {
+        if bd[cat] > 0.0 {
+            println!("    {:<11} {:.4}", cat.name(), bd[cat]);
+        }
+    }
+    if result.fanout.total() > 0 {
+        println!(
+            "\nclean-write invalidations ≤1 cache: {:.1}% (of {})",
+            result.fanout.fraction_at_most(1) * 100.0,
+            result.fanout.total()
+        );
+    }
+    if result.capacity_evictions > 0 {
+        println!("capacity evictions: {}", result.capacity_evictions);
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! Command-line trace tooling: generate, convert, inspect and filter
+//! multiprocessor address traces in the `DTR1` binary and text formats.
+//!
+//! ```text
+//! trace_tool gen <pops|thor|pero> <refs> <out.dtr>      generate a preset trace
+//! trace_tool convert <in> <out>                          binary <-> text (by extension)
+//! trace_tool stats <in>                                  Table 3-style statistics
+//! trace_tool strip-locks <in> <out>                      drop spin-lock test reads
+//! trace_tool head <n> <in>                               print first n records as text
+//! ```
+//!
+//! Files ending in `.txt` are treated as text, `.dtr2` as compressed
+//! binary, anything else as fixed-record binary.
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Write as _};
+use std::process::ExitCode;
+
+use dirsim_trace::compress::{read_compressed, write_compressed};
+use dirsim_trace::filter::without_lock_tests;
+use dirsim_trace::io::{read_binary, read_text, write_binary, write_text, TraceIoError};
+use dirsim_trace::synth::PaperTrace;
+use dirsim_trace::{MemRef, TraceStats};
+
+fn is_text(path: &str) -> bool {
+    path.ends_with(".txt")
+}
+
+fn is_compressed(path: &str) -> bool {
+    path.ends_with(".dtr2")
+}
+
+fn read_refs(path: &str) -> Result<Vec<MemRef>, TraceIoError> {
+    let file = File::open(path)?;
+    if is_text(path) {
+        read_text(BufReader::new(file)).collect()
+    } else if is_compressed(path) {
+        read_compressed(BufReader::new(file)).collect()
+    } else {
+        read_binary(BufReader::new(file)).collect()
+    }
+}
+
+fn write_refs(path: &str, refs: &[MemRef]) -> Result<u64, TraceIoError> {
+    let mut out = BufWriter::new(File::create(path)?);
+    let n = if is_text(path) {
+        write_text(&mut out, refs.iter().copied())?
+    } else if is_compressed(path) {
+        write_compressed(&mut out, refs.iter().copied())?
+    } else {
+        write_binary(&mut out, refs.iter().copied())?
+    };
+    out.flush()?;
+    Ok(n)
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let usage = "usage: trace_tool <gen|convert|stats|strip-locks|head> ... (see --help)";
+    match args.first().map(String::as_str) {
+        Some("gen") => {
+            let [_, preset, refs, out] = &args[..] else {
+                return Err("usage: trace_tool gen <pops|thor|pero> <refs> <out>".into());
+            };
+            let trace = match preset.as_str() {
+                "pops" => PaperTrace::Pops,
+                "thor" => PaperTrace::Thor,
+                "pero" => PaperTrace::Pero,
+                other => return Err(format!("unknown preset {other}")),
+            };
+            let n: usize = refs.parse().map_err(|_| "refs must be a number")?;
+            let refs: Vec<MemRef> = trace.workload().take(n).collect();
+            let written = write_refs(out, &refs).map_err(|e| e.to_string())?;
+            eprintln!("wrote {written} references to {out}");
+            Ok(())
+        }
+        Some("convert") => {
+            let [_, input, output] = &args[..] else {
+                return Err("usage: trace_tool convert <in> <out>".into());
+            };
+            let refs = read_refs(input).map_err(|e| e.to_string())?;
+            let written = write_refs(output, &refs).map_err(|e| e.to_string())?;
+            eprintln!("converted {written} references {input} -> {output}");
+            Ok(())
+        }
+        Some("stats") => {
+            let [_, input] = &args[..] else {
+                return Err("usage: trace_tool stats <in>".into());
+            };
+            let refs = read_refs(input).map_err(|e| e.to_string())?;
+            let stats = TraceStats::from_refs(refs);
+            println!("{stats}");
+            println!(
+                "lock-read fraction: {:.3}; read/write ratio: {:.2}",
+                stats.lock_read_fraction(),
+                stats.read_write_ratio()
+            );
+            Ok(())
+        }
+        Some("strip-locks") => {
+            let [_, input, output] = &args[..] else {
+                return Err("usage: trace_tool strip-locks <in> <out>".into());
+            };
+            let refs = read_refs(input).map_err(|e| e.to_string())?;
+            let before = refs.len();
+            let filtered: Vec<MemRef> = without_lock_tests(refs).collect();
+            write_refs(output, &filtered).map_err(|e| e.to_string())?;
+            eprintln!(
+                "dropped {} lock-test reads ({} -> {})",
+                before - filtered.len(),
+                before,
+                filtered.len()
+            );
+            Ok(())
+        }
+        Some("head") => {
+            let [_, n, input] = &args[..] else {
+                return Err("usage: trace_tool head <n> <in>".into());
+            };
+            let n: usize = n.parse().map_err(|_| "n must be a number")?;
+            let refs = read_refs(input).map_err(|e| e.to_string())?;
+            let mut stdout = std::io::stdout().lock();
+            write_text(&mut stdout, refs.into_iter().take(n)).map_err(|e| e.to_string())?;
+            Ok(())
+        }
+        _ => Err(usage.into()),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

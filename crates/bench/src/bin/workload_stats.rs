@@ -1,0 +1,56 @@
+//! Workload calibration tool: prints the Table 3/Table 4 shape of a preset
+//! so generator parameters can be tuned against the paper's numbers.
+//!
+//! Usage: `workload_stats [pops|thor|pero] [refs]`
+
+use std::process::ExitCode;
+
+use dirsim::prelude::*;
+use dirsim::report;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let which = args.first().map(String::as_str).unwrap_or("pops");
+    let refs: usize = args
+        .get(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(300_000);
+    let trace = match which {
+        "pops" => PaperTrace::Pops,
+        "thor" => PaperTrace::Thor,
+        "pero" => PaperTrace::Pero,
+        other => {
+            eprintln!("unknown trace {other}; expected pops|thor|pero");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let stats = TraceStats::from_refs(trace.workload().take(refs));
+    println!("{} over {refs} refs:", trace.name());
+    println!("  instr frac     {:.3}", stats.instructions() as f64 / stats.total() as f64);
+    println!("  read frac      {:.3}", stats.data_reads() as f64 / stats.total() as f64);
+    println!("  write frac     {:.3}", stats.data_writes() as f64 / stats.total() as f64);
+    println!("  lock/reads     {:.3}  (paper POPS/THOR ≈ 0.33)", stats.lock_read_fraction());
+    println!("  os frac        {:.3}", stats.system() as f64 / stats.total() as f64);
+
+    let results = dirsim::Experiment::new()
+        .workload(dirsim::NamedWorkload::new(trace.name(), trace.config()))
+        .schemes(Scheme::paper_lineup())
+        .refs_per_trace(refs)
+        .run()
+        .expect("simulation");
+    println!();
+    print!("{}", report::render_table4(&results));
+    println!();
+    print!("{}", report::render_figure1(&results, "Dir0B"));
+    println!();
+    let model = CostModel::pipelined();
+    for s in &results.per_scheme {
+        println!(
+            "  {:>8}: {:.4} cycles/ref (pipelined)",
+            s.scheme.name(),
+            s.combined.cycles_per_ref(model)
+        );
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,212 @@
+//! System-level performance analysis (end of §5).
+//!
+//! The bus-cycles-per-reference metric bounds whole-system scalability: the
+//! paper works the example of a 10-MIPS processor issuing two references
+//! per instruction against a 100 ns bus — the best scheme (≈ 0.033 cycles
+//! per reference) then supports "a maximum performance of 15 effective
+//! processors", an optimistic upper bound that ignores instruction misses,
+//! finite caches, and contention. [`SystemModel`] reproduces that
+//! arithmetic for any measured scheme.
+
+use dirsim_cost::CostModel;
+
+use crate::experiment::ExperimentResults;
+
+/// Processor/bus parameters for the §5 effective-processor bound.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SystemModel {
+    /// Processor speed in millions of instructions per second.
+    pub processor_mips: f64,
+    /// Bus cycle time in nanoseconds.
+    pub bus_cycle_ns: f64,
+    /// Memory references per instruction (the paper's traces average one
+    /// data reference per instruction, i.e. two references counting the
+    /// fetch).
+    pub refs_per_instruction: f64,
+}
+
+impl SystemModel {
+    /// The paper's worked example: 10 MIPS, 100 ns bus, 2 refs/instruction.
+    pub const PAPER: SystemModel = SystemModel {
+        processor_mips: 10.0,
+        bus_cycle_ns: 100.0,
+        refs_per_instruction: 2.0,
+    };
+
+    /// Bus cycles demanded per second by one processor running a scheme
+    /// that costs `cycles_per_ref` bus cycles per reference.
+    pub fn demand_cycles_per_second(&self, cycles_per_ref: f64) -> f64 {
+        self.processor_mips * 1e6 * self.refs_per_instruction * cycles_per_ref
+    }
+
+    /// Bus cycles available per second.
+    pub fn bus_capacity_cycles_per_second(&self) -> f64 {
+        1e9 / self.bus_cycle_ns
+    }
+
+    /// The maximum number of processors the bus can feed before saturating
+    /// — the paper's "effective processors" upper bound.
+    ///
+    /// Returns infinity when the scheme needs no bus cycles.
+    pub fn effective_processors(&self, cycles_per_ref: f64) -> f64 {
+        let demand = self.demand_cycles_per_second(cycles_per_ref);
+        if demand == 0.0 {
+            f64::INFINITY
+        } else {
+            self.bus_capacity_cycles_per_second() / demand
+        }
+    }
+
+    /// Bus utilisation (0–1+) with `processors` processors; values above 1
+    /// mean the bus is saturated.
+    pub fn bus_utilization(&self, cycles_per_ref: f64, processors: u32) -> f64 {
+        f64::from(processors) * self.demand_cycles_per_second(cycles_per_ref)
+            / self.bus_capacity_cycles_per_second()
+    }
+
+    /// Mean queueing delay per bus transaction, in multiples of the
+    /// transaction's own service time, under an M/D/1 approximation:
+    /// `U / (2·(1 − U))` for utilisation `U`. Returns `None` at or beyond
+    /// saturation.
+    ///
+    /// The paper stops at the bandwidth bound ("this limit is an
+    /// optimistic upper bound because we have not included ... the effects
+    /// of bus contention"); this supplies the first-order contention
+    /// estimate.
+    pub fn queueing_delay_factor(&self, cycles_per_ref: f64, processors: u32) -> Option<f64> {
+        let u = self.bus_utilization(cycles_per_ref, processors);
+        if u >= 1.0 {
+            None
+        } else {
+            Some(u / (2.0 * (1.0 - u)))
+        }
+    }
+
+    /// Effective per-processor throughput (fraction of its uncontended
+    /// speed) with `processors` processors sharing the bus: each bus
+    /// transaction of `cycles_per_txn` cycles is stretched by queueing.
+    /// `txns_per_ref` transactions occur per reference. Returns 0 at or
+    /// beyond saturation (the bus, not the processor, sets throughput).
+    pub fn contended_throughput(
+        &self,
+        cycles_per_ref: f64,
+        cycles_per_txn: f64,
+        txns_per_ref: f64,
+        processors: u32,
+    ) -> f64 {
+        let Some(delay) = self.queueing_delay_factor(cycles_per_ref, processors) else {
+            return 0.0;
+        };
+        // Extra stall cycles per reference from waiting behind others.
+        let wait_cycles_per_ref = txns_per_ref * cycles_per_txn * delay;
+        // A reference occupies 1/refs-per-cycle processor time uncontended.
+        let cpu_cycles_per_ref = 1e9
+            / (self.bus_cycle_ns * self.processor_mips * 1e6 * self.refs_per_instruction);
+        cpu_cycles_per_ref / (cpu_cycles_per_ref + wait_cycles_per_ref)
+    }
+}
+
+impl Default for SystemModel {
+    fn default() -> Self {
+        SystemModel::PAPER
+    }
+}
+
+/// Effective-processor bounds for every scheme in an experiment.
+pub fn effective_processor_bounds(
+    results: &ExperimentResults,
+    cost_model: CostModel,
+    system: SystemModel,
+) -> Vec<(String, f64)> {
+    results
+        .per_scheme
+        .iter()
+        .map(|s| {
+            let cycles = s.combined.cycles_per_ref(cost_model);
+            (s.scheme.name(), system.effective_processors(cycles))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_worked_example() {
+        // 0.0333 cycles/ref → a bus cycle every 30 refs → 15 processors.
+        let sys = SystemModel::PAPER;
+        let eff = sys.effective_processors(1.0 / 30.0);
+        assert!((eff - 15.0).abs() < 0.01, "effective = {eff}");
+    }
+
+    #[test]
+    fn zero_cost_is_unbounded() {
+        assert!(SystemModel::PAPER.effective_processors(0.0).is_infinite());
+    }
+
+    #[test]
+    fn utilization_scales_linearly_with_processors() {
+        let sys = SystemModel::PAPER;
+        let one = sys.bus_utilization(0.05, 1);
+        let four = sys.bus_utilization(0.05, 4);
+        assert!((four - 4.0 * one).abs() < 1e-12);
+    }
+
+    #[test]
+    fn utilization_of_one_at_the_bound() {
+        let sys = SystemModel::PAPER;
+        let cycles = 0.04;
+        let bound = sys.effective_processors(cycles);
+        let u = sys.bus_utilization(cycles, bound.round() as u32);
+        assert!((u - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn faster_bus_supports_more_processors() {
+        let slow = SystemModel {
+            bus_cycle_ns: 100.0,
+            ..SystemModel::PAPER
+        };
+        let fast = SystemModel {
+            bus_cycle_ns: 50.0,
+            ..SystemModel::PAPER
+        };
+        assert!(fast.effective_processors(0.05) > slow.effective_processors(0.05));
+    }
+
+    #[test]
+    fn default_is_paper() {
+        assert_eq!(SystemModel::default(), SystemModel::PAPER);
+    }
+
+    #[test]
+    fn queueing_delay_grows_then_saturates() {
+        let sys = SystemModel::PAPER;
+        let cycles = 0.04;
+        let d4 = sys.queueing_delay_factor(cycles, 4).unwrap();
+        let d8 = sys.queueing_delay_factor(cycles, 8).unwrap();
+        assert!(d8 > d4, "more processors, more waiting");
+        // At ~12.5 processors the bus saturates (utilisation 1).
+        assert!(sys.queueing_delay_factor(cycles, 13).is_none());
+    }
+
+    #[test]
+    fn queueing_delay_is_zero_when_idle() {
+        let sys = SystemModel::PAPER;
+        let d = sys.queueing_delay_factor(0.0, 64).unwrap();
+        assert_eq!(d, 0.0);
+    }
+
+    #[test]
+    fn contended_throughput_degrades_monotonically() {
+        let sys = SystemModel::PAPER;
+        let (cpr, cpt, tpr) = (0.04, 4.0, 0.01);
+        let t1 = sys.contended_throughput(cpr, cpt, tpr, 1);
+        let t8 = sys.contended_throughput(cpr, cpt, tpr, 8);
+        let t12 = sys.contended_throughput(cpr, cpt, tpr, 12);
+        assert!(t1 > t8 && t8 > t12, "{t1} {t8} {t12}");
+        assert!(t1 <= 1.0 && t1 > 0.9, "lone processor barely waits: {t1}");
+        assert_eq!(sys.contended_throughput(cpr, cpt, tpr, 100), 0.0, "saturated");
+    }
+}

@@ -1,0 +1,492 @@
+//! The trace-driven simulation engine (§4 of the paper).
+//!
+//! [`Simulator::run`] drives an interleaved reference stream through one
+//! protocol over a system of infinite caches: instruction fetches are
+//! counted but cause no coherence traffic, data references are mapped to
+//! 16-byte blocks and attributed to a cache (per-process by default, §4.4),
+//! and the protocol's [`RefOutcome`](dirsim_protocol::RefOutcome)s are accumulated into event
+//! frequencies, bus-operation counts, and the Figure 1 invalidation
+//! histogram.
+//!
+//! With [`SimConfig::check_oracle`] enabled, every data movement the
+//! protocol claims is replayed against the protocol-independent
+//! [`ShadowMemory`] oracle, and every load/store is checked to observe the
+//! globally latest value — a full coherence-correctness audit of the
+//! protocol state machine.
+
+use std::fmt;
+
+use dirsim_cost::{CostBreakdown, CostModel};
+use dirsim_mem::{
+    BlockAddr, BlockMap, CacheGeometry, CacheStorage, FiniteCache, OracleViolation,
+    ShadowMemory, SharingModel,
+};
+use dirsim_protocol::{CoherenceProtocol, DataMovement, EventCounts, EventKind, OpCounts};
+use dirsim_trace::{AccessKind, MemRef};
+
+use crate::histogram::FanoutHistogram;
+
+/// Engine configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct SimConfig {
+    /// Byte-address to block mapping (16-byte blocks by default).
+    pub block_map: BlockMap,
+    /// Cache attribution: per-process (paper default) or per-processor.
+    pub sharing: SharingModel,
+    /// Replay data movements against the coherence oracle and fail on any
+    /// violation. Costs extra time and memory; used pervasively in tests.
+    pub check_oracle: bool,
+    /// Finite per-cache geometry. `None` (the paper's model) simulates
+    /// infinite caches; `Some` adds LRU capacity replacement, whose
+    /// re-fetches and write-backs are the paper's §4 "costs due to the
+    /// finite cache size".
+    pub geometry: Option<CacheGeometry>,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            block_map: BlockMap::paper(),
+            sharing: SharingModel::PerProcess,
+            check_oracle: false,
+            geometry: None,
+        }
+    }
+}
+
+/// Error produced when the oracle catches a protocol misbehaving.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimError {
+    /// Protocol that misbehaved.
+    pub scheme: String,
+    /// Zero-based index of the reference that exposed the violation.
+    pub ref_index: u64,
+    /// The violation.
+    pub violation: OracleViolation,
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "coherence violation in {} at reference {}: {}",
+            self.scheme, self.ref_index, self.violation
+        )
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.violation)
+    }
+}
+
+/// Accumulated results of one protocol over one reference stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimResult {
+    /// Protocol name (`Dir0B`, `Dragon`, …).
+    pub scheme: String,
+    /// Table 4 event counts.
+    pub events: EventCounts,
+    /// Bus-operation counts for cost models.
+    pub ops: OpCounts,
+    /// References that caused at least one bus operation.
+    pub transactions: u64,
+    /// Total references processed (instructions included).
+    pub refs: u64,
+    /// Figure 1 invalidation fan-out histogram.
+    pub fanout: FanoutHistogram,
+    /// Distinct blocks touched (= cold misses).
+    pub distinct_blocks: u64,
+    /// Capacity replacements performed (finite-cache mode only).
+    pub capacity_evictions: u64,
+}
+
+impl SimResult {
+    fn new(scheme: String) -> Self {
+        SimResult {
+            scheme,
+            events: EventCounts::new(),
+            ops: OpCounts::new(),
+            transactions: 0,
+            refs: 0,
+            fanout: FanoutHistogram::new(),
+            distinct_blocks: 0,
+            capacity_evictions: 0,
+        }
+    }
+
+    /// Prices this run under a cost model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run processed zero references.
+    pub fn breakdown(&self, model: CostModel) -> CostBreakdown {
+        CostBreakdown::price(&self.ops, self.refs, self.transactions, model)
+    }
+
+    /// Bus cycles per memory reference under a cost model — the paper's
+    /// headline metric.
+    pub fn cycles_per_ref(&self, model: CostModel) -> f64 {
+        self.breakdown(model).cycles_per_ref()
+    }
+
+    /// Merges another run (e.g. a different trace) into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the schemes differ.
+    pub fn merge(&mut self, other: &SimResult) {
+        assert_eq!(self.scheme, other.scheme, "cannot merge different schemes");
+        self.events.merge(&other.events);
+        self.ops.merge(&other.ops);
+        self.transactions += other.transactions;
+        self.refs += other.refs;
+        self.fanout.merge(&other.fanout);
+        self.distinct_blocks += other.distinct_blocks;
+        self.capacity_evictions += other.capacity_evictions;
+    }
+}
+
+/// The trace-driven simulator (see module docs).
+#[derive(Debug, Clone, Default)]
+pub struct Simulator {
+    config: SimConfig,
+}
+
+impl Simulator {
+    /// Creates a simulator with the given configuration.
+    pub fn new(config: SimConfig) -> Self {
+        Simulator { config }
+    }
+
+    /// Creates a simulator with the paper's defaults (16-byte blocks,
+    /// per-process sharing, oracle off).
+    pub fn paper() -> Self {
+        Simulator::default()
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// Runs `protocol` over every reference of `refs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SimError`] if oracle checking is enabled and the
+    /// protocol commits a coherence violation.
+    pub fn run<I>(
+        &self,
+        protocol: &mut dyn CoherenceProtocol,
+        refs: I,
+    ) -> Result<SimResult, SimError>
+    where
+        I: IntoIterator<Item = MemRef>,
+    {
+        let mut result = SimResult::new(protocol.name());
+        let mut oracle = self.config.check_oracle.then(ShadowMemory::new);
+        let mut finite: Vec<FiniteCache<()>> = Vec::new();
+
+        for r in refs {
+            let index = result.refs;
+            result.refs += 1;
+            if r.kind == AccessKind::InstrFetch {
+                result.events.record(EventKind::Instr);
+                continue;
+            }
+            let block = self.config.block_map.block_of(r.addr);
+            let cache = self.config.sharing.cache_of(&r);
+            let write = r.kind == AccessKind::Write;
+
+            // Finite-cache mode: update residency first so that a capacity
+            // victim is evicted from the protocol state *before* the access
+            // is classified.
+            let mut eviction_used_bus = false;
+            if let Some(geometry) = self.config.geometry {
+                while finite.len() <= cache.index() {
+                    finite.push(
+                        FiniteCache::new(geometry)
+                            .expect("geometry validated at configuration time"),
+                    );
+                }
+                let fc = &mut finite[cache.index()];
+                if fc.touch(block).is_none() {
+                    if let Some((victim, ())) = fc.insert(block, ()) {
+                        result.capacity_evictions += 1;
+                        let ev = protocol.evict(cache, victim);
+                        for &op in &ev.ops {
+                            result.ops.record(op, 1);
+                        }
+                        eviction_used_bus = !ev.ops.is_empty();
+                        Self::replay_movements(
+                            protocol,
+                            oracle.as_mut(),
+                            &ev.movements,
+                            victim,
+                            index,
+                        )?;
+                    }
+                }
+            }
+
+            let outcome = protocol.on_data_ref(cache, block, write);
+            let kind = outcome.kind();
+            result.events.record(kind);
+            for &op in &outcome.ops {
+                result.ops.record(op, 1);
+            }
+            if outcome.is_bus_transaction() || eviction_used_bus {
+                result.transactions += 1;
+            }
+            if let Some(fanout) = outcome.clean_write_fanout {
+                result.fanout.record(fanout);
+            }
+            Self::replay_movements(protocol, oracle.as_mut(), &outcome.movements, block, index)?;
+            if let Some(oracle) = oracle.as_mut() {
+                // The fundamental check: the referencing cache must now
+                // hold the globally latest version of the block.
+                oracle.check_read(cache, block).map_err(|violation| SimError {
+                    scheme: protocol.name(),
+                    ref_index: index,
+                    violation,
+                })?;
+            }
+        }
+        result.distinct_blocks = protocol.tracked_blocks() as u64;
+        Ok(result)
+    }
+
+    /// Replays a protocol's claimed data movements against the oracle.
+    fn replay_movements(
+        protocol: &dyn CoherenceProtocol,
+        oracle: Option<&mut ShadowMemory>,
+        movements: &[DataMovement],
+        block: BlockAddr,
+        ref_index: u64,
+    ) -> Result<(), SimError> {
+        let Some(oracle) = oracle else {
+            return Ok(());
+        };
+        for movement in movements {
+            let step = match *movement {
+                DataMovement::FillFromMemory { cache } => oracle.fill_from_memory(cache, block),
+                DataMovement::FillFromCache { cache, supplier } => {
+                    oracle.fill_from_cache(cache, supplier, block)
+                }
+                DataMovement::CacheWrite { cache } => oracle.write(cache, block),
+                DataMovement::WriteThrough { cache } => oracle.write_through(cache, block),
+                DataMovement::WriteUpdate { cache } => oracle.write_update(cache, block),
+                DataMovement::WriteBack { cache } => oracle.write_back(cache, block),
+                DataMovement::Invalidate { cache } => oracle.invalidate(cache, block),
+            };
+            step.map_err(|violation| SimError {
+                scheme: protocol.name(),
+                ref_index,
+                violation,
+            })?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dirsim_protocol::{DirSpec, Scheme};
+    use dirsim_trace::{Addr, CpuId, ProcessId};
+
+    fn refs_two_cpus() -> Vec<MemRef> {
+        let c0 = CpuId::new(0);
+        let c1 = CpuId::new(1);
+        let p0 = ProcessId::new(0);
+        let p1 = ProcessId::new(1);
+        vec![
+            MemRef::instr(c0, p0, Addr::new(0x9000)),
+            MemRef::read(c0, p0, Addr::new(0x100)),
+            MemRef::read(c1, p1, Addr::new(0x100)),
+            MemRef::write(c0, p0, Addr::new(0x100)),
+            MemRef::read(c1, p1, Addr::new(0x100)),
+        ]
+    }
+
+    #[test]
+    fn counts_instructions_without_protocol_traffic() {
+        let mut p = Scheme::Directory(DirSpec::dir0_b()).build(2);
+        let result = Simulator::paper().run(p.as_mut(), refs_two_cpus()).unwrap();
+        assert_eq!(result.refs, 5);
+        assert_eq!(result.events[EventKind::Instr], 1);
+    }
+
+    #[test]
+    fn classifies_the_standard_sequence() {
+        let mut p = Scheme::Directory(DirSpec::dir0_b()).build(2);
+        let result = Simulator::paper().run(p.as_mut(), refs_two_cpus()).unwrap();
+        assert_eq!(result.events[EventKind::RmFirstRef], 1);
+        assert_eq!(result.events[EventKind::RmBlkCln], 1);
+        assert_eq!(result.events[EventKind::WhBlkCln], 1);
+        assert_eq!(result.events[EventKind::RmBlkDrty], 1);
+    }
+
+    #[test]
+    fn oracle_passes_for_correct_protocols() {
+        let config = SimConfig {
+            check_oracle: true,
+            ..SimConfig::default()
+        };
+        for scheme in Scheme::paper_lineup() {
+            let mut p = scheme.build(2);
+            Simulator::new(config)
+                .run(p.as_mut(), refs_two_cpus())
+                .unwrap_or_else(|e| panic!("{e}"));
+        }
+    }
+
+    #[test]
+    fn transactions_count_bus_using_refs() {
+        let mut p = Scheme::Directory(DirSpec::dir0_b()).build(2);
+        let result = Simulator::paper().run(p.as_mut(), refs_two_cpus()).unwrap();
+        // rm-blk-cln, wh-blk-cln, rm-blk-drty use the bus; instr, cold miss
+        // and nothing else do.
+        assert_eq!(result.transactions, 3);
+    }
+
+    #[test]
+    fn fanout_recorded_on_clean_writes() {
+        let mut p = Scheme::Directory(DirSpec::dir0_b()).build(2);
+        let result = Simulator::paper().run(p.as_mut(), refs_two_cpus()).unwrap();
+        assert_eq!(result.fanout.total(), 1);
+        assert_eq!(result.fanout.count(1), 1);
+    }
+
+    #[test]
+    fn per_processor_sharing_uses_cpu_ids() {
+        // One process bouncing between two CPUs: per-process sees one
+        // cache (all hits), per-processor sees two (coherence traffic).
+        let p0 = ProcessId::new(0);
+        let refs = vec![
+            MemRef::read(CpuId::new(0), p0, Addr::new(0x40)),
+            MemRef::read(CpuId::new(1), p0, Addr::new(0x40)),
+        ];
+        let mut per_process = Scheme::Directory(DirSpec::dir0_b()).build(2);
+        let result = Simulator::paper()
+            .run(per_process.as_mut(), refs.clone())
+            .unwrap();
+        assert_eq!(result.events[EventKind::RdHit], 1);
+
+        let mut per_cpu = Scheme::Directory(DirSpec::dir0_b()).build(2);
+        let config = SimConfig {
+            sharing: SharingModel::PerProcessor,
+            ..SimConfig::default()
+        };
+        let result = Simulator::new(config).run(per_cpu.as_mut(), refs).unwrap();
+        assert_eq!(result.events[EventKind::RdHit], 0);
+        assert_eq!(result.events[EventKind::RmBlkCln], 1);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut p = Scheme::Wti.build(2);
+        let sim = Simulator::paper();
+        let mut a = sim.run(p.as_mut(), refs_two_cpus()).unwrap();
+        let mut q = Scheme::Wti.build(2);
+        let b = sim.run(q.as_mut(), refs_two_cpus()).unwrap();
+        let refs_before = a.refs;
+        a.merge(&b);
+        assert_eq!(a.refs, refs_before * 2);
+        assert_eq!(a.events.total(), a.refs);
+    }
+
+    #[test]
+    #[should_panic(expected = "different schemes")]
+    fn merge_rejects_mixed_schemes() {
+        let sim = Simulator::paper();
+        let mut p = Scheme::Wti.build(2);
+        let mut a = sim.run(p.as_mut(), refs_two_cpus()).unwrap();
+        let mut q = Scheme::Dragon.build(2);
+        let b = sim.run(q.as_mut(), refs_two_cpus()).unwrap();
+        a.merge(&b);
+    }
+
+    #[test]
+    fn event_counts_partition_references() {
+        let mut p = Scheme::Dragon.build(2);
+        let result = Simulator::paper().run(p.as_mut(), refs_two_cpus()).unwrap();
+        assert_eq!(result.events.total(), result.refs);
+    }
+
+    #[test]
+    fn finite_cache_mode_adds_capacity_misses() {
+        use dirsim_mem::CacheGeometry;
+        // One process streaming over many blocks with a tiny cache.
+        let p0 = ProcessId::new(0);
+        let c0 = CpuId::new(0);
+        let refs: Vec<MemRef> = (0..64u64)
+            .cycle()
+            .take(256)
+            .map(|i| MemRef::read(c0, p0, Addr::new(i * 16)))
+            .collect();
+
+        let infinite = {
+            let mut p = Scheme::Directory(DirSpec::dir0_b()).build(1);
+            Simulator::paper().run(p.as_mut(), refs.iter().copied()).unwrap()
+        };
+        assert_eq!(infinite.events.read_misses(), 0, "64 cold misses, then hits");
+        assert_eq!(infinite.capacity_evictions, 0);
+
+        let finite = {
+            let mut p = Scheme::Directory(DirSpec::dir0_b()).build(1);
+            let config = SimConfig {
+                geometry: Some(CacheGeometry { sets: 4, ways: 2 }),
+                check_oracle: true,
+                ..SimConfig::default()
+            };
+            Simulator::new(config).run(p.as_mut(), refs.iter().copied()).unwrap()
+        };
+        assert!(finite.capacity_evictions > 0);
+        assert!(
+            finite.events.read_misses() > 0,
+            "re-fetches after capacity eviction are coherence-visible misses"
+        );
+    }
+
+    #[test]
+    fn finite_cache_mode_writes_back_dirty_victims() {
+        use dirsim_mem::CacheGeometry;
+        let p0 = ProcessId::new(0);
+        let c0 = CpuId::new(0);
+        // Write each block once: dirty lines must be flushed on eviction.
+        let refs: Vec<MemRef> = (0..32u64)
+            .map(|i| MemRef::write(c0, p0, Addr::new(i * 16)))
+            .collect();
+        let mut p = Scheme::Directory(DirSpec::dir0_b()).build(1);
+        let config = SimConfig {
+            geometry: Some(CacheGeometry { sets: 2, ways: 2 }),
+            check_oracle: true,
+            ..SimConfig::default()
+        };
+        let result = Simulator::new(config).run(p.as_mut(), refs).unwrap();
+        assert!(result.ops[dirsim_protocol::BusOp::WriteBack] > 0);
+        assert_eq!(
+            result.ops[dirsim_protocol::BusOp::WriteBack],
+            result.capacity_evictions,
+            "every evicted line was dirty here"
+        );
+    }
+
+    #[test]
+    fn sim_error_display() {
+        let e = SimError {
+            scheme: "Dir0B".into(),
+            ref_index: 7,
+            violation: OracleViolation::WriterHasNoCopy {
+                cache: dirsim_mem::CacheId::new(1),
+                block: dirsim_mem::BlockAddr::new(2),
+            },
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("Dir0B"));
+        assert!(msg.contains("reference 7"));
+    }
+}

@@ -1,0 +1,362 @@
+//! The experiment harness: a (workloads × schemes) simulation matrix.
+//!
+//! [`Experiment`] regenerates each (deterministic) synthetic workload once
+//! per scheme — the paper's methodology of one simulation run per protocol,
+//! with costs applied afterwards — and collects per-trace and combined
+//! [`SimResult`]s. The paper-specific experiment presets live in
+//! [`crate::paper`].
+
+use dirsim_mem::SharingModel;
+use dirsim_trace::filter::without_lock_tests;
+use dirsim_trace::synth::{Workload, WorkloadConfig};
+use dirsim_trace::{MemRef, TraceStats};
+use dirsim_protocol::Scheme;
+
+use crate::engine::{SimConfig, SimError, SimResult, Simulator};
+
+/// One named workload in an experiment.
+#[derive(Debug, Clone)]
+pub struct NamedWorkload {
+    /// Display name (`POPS`, `THOR`, …).
+    pub name: String,
+    /// Generator configuration.
+    pub config: WorkloadConfig,
+}
+
+impl NamedWorkload {
+    /// Creates a named workload.
+    pub fn new(name: impl Into<String>, config: WorkloadConfig) -> Self {
+        NamedWorkload {
+            name: name.into(),
+            config,
+        }
+    }
+}
+
+/// A simulation matrix over workloads and schemes.
+///
+/// # Examples
+///
+/// ```
+/// use dirsim::{Experiment, NamedWorkload};
+/// use dirsim_protocol::Scheme;
+/// use dirsim_trace::synth::WorkloadConfig;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let cfg = WorkloadConfig::builder().seed(7).build()?;
+/// let results = Experiment::new()
+///     .workload(NamedWorkload::new("demo", cfg))
+///     .schemes(Scheme::paper_lineup())
+///     .refs_per_trace(20_000)
+///     .run()?;
+/// assert_eq!(results.per_scheme.len(), 4);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Experiment {
+    workloads: Vec<NamedWorkload>,
+    schemes: Vec<Scheme>,
+    refs_per_trace: usize,
+    sim: SimConfig,
+    exclude_lock_tests: bool,
+}
+
+impl Default for Experiment {
+    fn default() -> Self {
+        Experiment {
+            workloads: Vec::new(),
+            schemes: Vec::new(),
+            refs_per_trace: 100_000,
+            sim: SimConfig::default(),
+            exclude_lock_tests: false,
+        }
+    }
+}
+
+impl Experiment {
+    /// Starts an empty experiment.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one workload.
+    pub fn workload(mut self, workload: NamedWorkload) -> Self {
+        self.workloads.push(workload);
+        self
+    }
+
+    /// Adds several workloads.
+    pub fn workloads<I>(mut self, workloads: I) -> Self
+    where
+        I: IntoIterator<Item = NamedWorkload>,
+    {
+        self.workloads.extend(workloads);
+        self
+    }
+
+    /// Adds one scheme.
+    pub fn scheme(mut self, scheme: Scheme) -> Self {
+        self.schemes.push(scheme);
+        self
+    }
+
+    /// Adds several schemes.
+    pub fn schemes<I>(mut self, schemes: I) -> Self
+    where
+        I: IntoIterator<Item = Scheme>,
+    {
+        self.schemes.extend(schemes);
+        self
+    }
+
+    /// References simulated per workload (default 100 000).
+    pub fn refs_per_trace(mut self, refs: usize) -> Self {
+        self.refs_per_trace = refs;
+        self
+    }
+
+    /// Overrides the engine configuration.
+    pub fn sim_config(mut self, sim: SimConfig) -> Self {
+        self.sim = sim;
+        self
+    }
+
+    /// Enables oracle checking for every run.
+    pub fn check_oracle(mut self, check: bool) -> Self {
+        self.sim.check_oracle = check;
+        self
+    }
+
+    /// Removes spin-lock test reads from every workload before simulation
+    /// (the §5.2 ablation).
+    pub fn exclude_lock_tests(mut self, exclude: bool) -> Self {
+        self.exclude_lock_tests = exclude;
+        self
+    }
+
+    fn cache_count(&self, config: &WorkloadConfig) -> u32 {
+        match self.sim.sharing {
+            SharingModel::PerProcess => config.processes,
+            SharingModel::PerProcessor => u32::from(config.cpus),
+        }
+    }
+
+    fn generate(&self, config: &WorkloadConfig) -> Vec<MemRef> {
+        let stream = Workload::new(config.clone()).take(self.refs_per_trace);
+        if self.exclude_lock_tests {
+            without_lock_tests(stream).collect()
+        } else {
+            stream.collect()
+        }
+    }
+
+    /// Runs the full matrix sequentially.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`SimError`] if oracle checking is enabled and
+    /// a protocol misbehaves.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no workloads or no schemes were configured.
+    pub fn run(&self) -> Result<ExperimentResults, SimError> {
+        self.run_inner(false)
+    }
+
+    /// Runs the full matrix with one thread per scheme. Results are
+    /// bit-identical to [`Self::run`]: each scheme's simulation is an
+    /// independent pass over the same materialised traces.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`SimError`] (by scheme order) if oracle
+    /// checking is enabled and a protocol misbehaves.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no workloads or no schemes were configured.
+    pub fn run_parallel(&self) -> Result<ExperimentResults, SimError> {
+        self.run_inner(true)
+    }
+
+    fn run_inner(&self, parallel: bool) -> Result<ExperimentResults, SimError> {
+        assert!(!self.workloads.is_empty(), "experiment needs workloads");
+        assert!(!self.schemes.is_empty(), "experiment needs schemes");
+
+        let mut trace_stats = Vec::with_capacity(self.workloads.len());
+        let mut trace_refs: Vec<Vec<MemRef>> = Vec::with_capacity(self.workloads.len());
+        for w in &self.workloads {
+            let refs = self.generate(&w.config);
+            trace_stats.push((w.name.clone(), TraceStats::from_refs(refs.iter().copied())));
+            trace_refs.push(refs);
+        }
+
+        let run_scheme = |scheme: Scheme| -> Result<SchemeResult, SimError> {
+            let simulator = Simulator::new(self.sim);
+            let mut per_trace = Vec::with_capacity(self.workloads.len());
+            let mut combined: Option<SimResult> = None;
+            for (w, refs) in self.workloads.iter().zip(trace_refs.iter()) {
+                let mut protocol = scheme.build(self.cache_count(&w.config));
+                let result = simulator.run(protocol.as_mut(), refs.iter().copied())?;
+                match combined.as_mut() {
+                    Some(c) => c.merge(&result),
+                    None => combined = Some(result.clone()),
+                }
+                per_trace.push((w.name.clone(), result));
+            }
+            Ok(SchemeResult {
+                scheme,
+                per_trace,
+                combined: combined.expect("at least one workload"),
+            })
+        };
+
+        let per_scheme = if parallel {
+            let results: Vec<Result<SchemeResult, SimError>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = self
+                    .schemes
+                    .iter()
+                    .map(|&scheme| scope.spawn(move || run_scheme(scheme)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("scheme simulation thread panicked"))
+                    .collect()
+            });
+            results.into_iter().collect::<Result<Vec<_>, _>>()?
+        } else {
+            self.schemes
+                .iter()
+                .map(|&scheme| run_scheme(scheme))
+                .collect::<Result<Vec<_>, _>>()?
+        };
+
+        Ok(ExperimentResults {
+            trace_stats,
+            per_scheme,
+        })
+    }
+}
+
+/// Results for one scheme across all workloads.
+#[derive(Debug, Clone)]
+pub struct SchemeResult {
+    /// The scheme simulated.
+    pub scheme: Scheme,
+    /// Per-workload results, in workload order.
+    pub per_trace: Vec<(String, SimResult)>,
+    /// All workloads merged (reference-weighted average).
+    pub combined: SimResult,
+}
+
+/// Results of a full experiment run.
+#[derive(Debug, Clone)]
+pub struct ExperimentResults {
+    /// Table 3-style statistics per workload.
+    pub trace_stats: Vec<(String, TraceStats)>,
+    /// Per-scheme results, in scheme order.
+    pub per_scheme: Vec<SchemeResult>,
+}
+
+impl ExperimentResults {
+    /// Finds a scheme's results by display name.
+    pub fn scheme(&self, name: &str) -> Option<&SchemeResult> {
+        self.per_scheme.iter().find(|s| s.scheme.name() == name)
+    }
+
+    /// Names of the simulated workloads, in order.
+    pub fn trace_names(&self) -> Vec<&str> {
+        self.trace_stats.iter().map(|(n, _)| n.as_str()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dirsim_protocol::DirSpec;
+
+    fn small_config(seed: u64) -> WorkloadConfig {
+        WorkloadConfig::builder().seed(seed).build().unwrap()
+    }
+
+    fn tiny_experiment() -> Experiment {
+        Experiment::new()
+            .workload(NamedWorkload::new("a", small_config(1)))
+            .workload(NamedWorkload::new("b", small_config(2)))
+            .schemes([Scheme::Directory(DirSpec::dir0_b()), Scheme::Dragon])
+            .refs_per_trace(5_000)
+    }
+
+    #[test]
+    fn runs_full_matrix() {
+        let results = tiny_experiment().run().unwrap();
+        assert_eq!(results.trace_stats.len(), 2);
+        assert_eq!(results.per_scheme.len(), 2);
+        for s in &results.per_scheme {
+            assert_eq!(s.per_trace.len(), 2);
+            assert_eq!(s.combined.refs, 10_000);
+        }
+    }
+
+    #[test]
+    fn scheme_lookup_by_name() {
+        let results = tiny_experiment().run().unwrap();
+        assert!(results.scheme("Dir0B").is_some());
+        assert!(results.scheme("Dragon").is_some());
+        assert!(results.scheme("WTI").is_none());
+        assert_eq!(results.trace_names(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn oracle_checked_run_succeeds() {
+        tiny_experiment().check_oracle(true).run().unwrap();
+    }
+
+    #[test]
+    fn lock_exclusion_reduces_refs() {
+        let with_locks = tiny_experiment().run().unwrap();
+        let without = tiny_experiment().exclude_lock_tests(true).run().unwrap();
+        let a = with_locks.per_scheme[0].combined.refs;
+        let b = without.per_scheme[0].combined.refs;
+        assert!(b < a, "lock filtering removed references ({b} !< {a})");
+    }
+
+    #[test]
+    fn parallel_run_matches_sequential() {
+        let sequential = tiny_experiment().run().unwrap();
+        let parallel = tiny_experiment().run_parallel().unwrap();
+        assert_eq!(sequential.trace_stats, parallel.trace_stats);
+        for (a, b) in sequential.per_scheme.iter().zip(parallel.per_scheme.iter()) {
+            assert_eq!(a.scheme, b.scheme);
+            assert_eq!(a.combined, b.combined);
+            assert_eq!(a.per_trace, b.per_trace);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let a = tiny_experiment().run().unwrap();
+        let b = tiny_experiment().run().unwrap();
+        assert_eq!(
+            a.per_scheme[0].combined.events,
+            b.per_scheme[0].combined.events
+        );
+        assert_eq!(a.per_scheme[0].combined.ops, b.per_scheme[0].combined.ops);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs workloads")]
+    fn empty_workloads_panics() {
+        let _ = Experiment::new().scheme(Scheme::Wti).run();
+    }
+
+    #[test]
+    #[should_panic(expected = "needs schemes")]
+    fn empty_schemes_panics() {
+        let _ = Experiment::new()
+            .workload(NamedWorkload::new("a", small_config(1)))
+            .run();
+    }
+}

@@ -1,0 +1,209 @@
+//! Invalidation fan-out histogram (the paper's Figure 1).
+//!
+//! On every write to a previously-clean block, an invalidation protocol
+//! must invalidate the block in each other cache holding a copy.
+//! [`FanoutHistogram`] counts how many other caches held the block at those
+//! events; the paper's headline observation is that **over 85 % of such
+//! writes invalidate at most one cache**, which is what motivates
+//! limited-pointer directories.
+
+use std::fmt;
+
+/// Histogram over "number of other caches to invalidate" per clean-write.
+///
+/// # Examples
+///
+/// ```
+/// use dirsim::FanoutHistogram;
+///
+/// let mut h = FanoutHistogram::new();
+/// h.record(0);
+/// h.record(1);
+/// h.record(1);
+/// h.record(3);
+/// assert_eq!(h.total(), 4);
+/// assert!((h.fraction_at_most(1) - 0.75).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FanoutHistogram {
+    counts: Vec<u64>,
+}
+
+impl FanoutHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one clean-write with `fanout` other caches holding the block.
+    pub fn record(&mut self, fanout: u32) {
+        let idx = fanout as usize;
+        if self.counts.len() <= idx {
+            self.counts.resize(idx + 1, 0);
+        }
+        self.counts[idx] += 1;
+    }
+
+    /// Number of clean-writes with exactly `fanout` remote copies.
+    pub fn count(&self, fanout: u32) -> u64 {
+        self.counts.get(fanout as usize).copied().unwrap_or(0)
+    }
+
+    /// Total clean-writes recorded.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Largest fan-out observed, or `None` when empty.
+    pub fn max_fanout(&self) -> Option<u32> {
+        if self.counts.iter().all(|&c| c == 0) {
+            None
+        } else {
+            Some(self.counts.len() as u32 - 1)
+        }
+    }
+
+    /// Fraction of clean-writes with fan-out exactly `fanout`.
+    pub fn fraction(&self, fanout: u32) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            self.count(fanout) as f64 / total as f64
+        }
+    }
+
+    /// Fraction of clean-writes with fan-out `≤ fanout` — the paper's
+    /// ">85 % require no more than one invalidation" statistic.
+    pub fn fraction_at_most(&self, fanout: u32) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let sum: u64 = self
+            .counts
+            .iter()
+            .take(fanout as usize + 1)
+            .sum();
+        sum as f64 / total as f64
+    }
+
+    /// Mean fan-out.
+    pub fn mean(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let weighted: u64 = self
+            .counts
+            .iter()
+            .enumerate()
+            .map(|(k, &c)| k as u64 * c)
+            .sum();
+        weighted as f64 / total as f64
+    }
+
+    /// Iterates `(fanout, count)` pairs from 0 to the maximum observed.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(k, &c)| (k as u32, c))
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &FanoutHistogram) {
+        if self.counts.len() < other.counts.len() {
+            self.counts.resize(other.counts.len(), 0);
+        }
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+    }
+}
+
+impl fmt::Display for FanoutHistogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fanout histogram (total {}):", self.total())?;
+        for (k, c) in self.iter() {
+            write!(f, " {k}:{c}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_count() {
+        let mut h = FanoutHistogram::new();
+        h.record(2);
+        h.record(2);
+        h.record(0);
+        assert_eq!(h.count(2), 2);
+        assert_eq!(h.count(0), 1);
+        assert_eq!(h.count(7), 0);
+        assert_eq!(h.total(), 3);
+        assert_eq!(h.max_fanout(), Some(2));
+    }
+
+    #[test]
+    fn empty_histogram() {
+        let h = FanoutHistogram::new();
+        assert_eq!(h.total(), 0);
+        assert_eq!(h.max_fanout(), None);
+        assert_eq!(h.fraction(0), 0.0);
+        assert_eq!(h.fraction_at_most(5), 0.0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn fractions() {
+        let mut h = FanoutHistogram::new();
+        for _ in 0..9 {
+            h.record(1);
+        }
+        h.record(3);
+        assert!((h.fraction(1) - 0.9).abs() < 1e-12);
+        assert!((h.fraction_at_most(1) - 0.9).abs() < 1e-12);
+        assert!((h.fraction_at_most(3) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_is_weighted() {
+        let mut h = FanoutHistogram::new();
+        h.record(0);
+        h.record(2);
+        h.record(4);
+        assert!((h.mean() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_aligns_lengths() {
+        let mut a = FanoutHistogram::new();
+        a.record(0);
+        let mut b = FanoutHistogram::new();
+        b.record(5);
+        a.merge(&b);
+        assert_eq!(a.total(), 2);
+        assert_eq!(a.count(5), 1);
+        assert_eq!(a.max_fanout(), Some(5));
+    }
+
+    #[test]
+    fn iter_covers_gaps() {
+        let mut h = FanoutHistogram::new();
+        h.record(3);
+        let pairs: Vec<_> = h.iter().collect();
+        assert_eq!(pairs, vec![(0, 0), (1, 0), (2, 0), (3, 1)]);
+    }
+
+    #[test]
+    fn display_nonempty() {
+        let mut h = FanoutHistogram::new();
+        h.record(1);
+        assert!(h.to_string().contains("total 1"));
+    }
+}

@@ -1,0 +1,73 @@
+//! # dirsim
+//!
+//! A trace-driven evaluation framework for **directory cache-coherence
+//! schemes**, reproducing Agarwal, Simoni, Hennessy & Horowitz, *"An
+//! Evaluation of Directory Schemes for Cache Coherence"* (ISCA 1988).
+//!
+//! The paper classifies directory schemes as `Dir_i X` — `i` cache pointers
+//! per directory entry, `X ∈ {B, NB}` for broadcast / no-broadcast — and
+//! compares them against snoopy protocols (WTI, Dragon) by simulating
+//! infinite caches over interleaved multiprocessor address traces and
+//! pricing the resulting bus operations under pipelined and non-pipelined
+//! bus models. This crate ties together the substrates:
+//!
+//! * [`dirsim_trace`] — trace model, file formats, synthetic POPS / THOR /
+//!   PERO workload stand-ins;
+//! * [`dirsim_mem`] — blocks, infinite/finite caches, sharing attribution,
+//!   and a coherence-correctness oracle;
+//! * [`dirsim_protocol`] — the `Dir_i{B,NB}` family, coarse-vector
+//!   directories, and the snoopy baselines;
+//! * [`dirsim_cost`] — the Table 1/2 bus cost models;
+//!
+//! and adds the [`engine`] (event counting + oracle replay), the
+//! [`experiment`] matrix harness, the paper's experiment presets
+//! ([`paper`]), and text renderers for every table and figure
+//! ([`report`]).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use dirsim::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Simulate the paper's four schemes over a small POPS-like workload:
+//! let results = dirsim::paper::headline_experiment(20_000).run()?;
+//! let dir0b = results.scheme("Dir0B").expect("simulated");
+//! let dragon = results.scheme("Dragon").expect("simulated");
+//! let model = CostModel::pipelined();
+//! // The paper's headline: Dir0B approaches Dragon's performance.
+//! assert!(dir0b.combined.cycles_per_ref(model) < 3.0 * dragon.combined.cycles_per_ref(model));
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod analysis;
+pub mod engine;
+pub mod experiment;
+pub mod histogram;
+pub mod paper;
+pub mod reference;
+pub mod report;
+pub mod timing;
+
+pub use engine::{SimConfig, SimError, SimResult, Simulator};
+pub use experiment::{Experiment, ExperimentResults, NamedWorkload, SchemeResult};
+pub use histogram::FanoutHistogram;
+pub use timing::{TimingConfig, TimingResult, TimingSimulator};
+
+/// Convenient re-exports for examples and downstream users.
+pub mod prelude {
+    pub use crate::engine::{SimConfig, SimResult, Simulator};
+    pub use crate::experiment::{Experiment, ExperimentResults, NamedWorkload};
+    pub use crate::histogram::FanoutHistogram;
+    pub use dirsim_cost::{BusKind, CostBreakdown, CostCategory, CostModel};
+    pub use dirsim_mem::{BlockAddr, BlockMap, CacheId, SharingModel};
+    pub use dirsim_protocol::{
+        BusOp, CoherenceProtocol, DirSpec, EventCounts, EventKind, Scheme,
+    };
+    pub use dirsim_trace::synth::{PaperTrace, Workload, WorkloadConfig};
+    pub use dirsim_trace::{AccessKind, Addr, CpuId, MemRef, ProcessId, TraceStats};
+}

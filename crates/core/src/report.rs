@@ -1,0 +1,711 @@
+//! Report rendering: regenerates the paper's tables and figures as text.
+//!
+//! Every table/figure of the evaluation section has a `render_*` function
+//! here; the `dirsim-bench` crate's `repro` binary assembles them into the
+//! full reproduction report recorded in `EXPERIMENTS.md`.
+
+use std::fmt::Write as _;
+
+use dirsim_cost::{BusTiming, CostCategory, CostModel};
+use dirsim_protocol::{BusOp, EventKind};
+
+use crate::analysis::SystemModel;
+use crate::engine::SimResult;
+use crate::experiment::ExperimentResults;
+use crate::paper::{FiniteCacheRow, LockImpact, PointerSweepRow};
+
+/// A minimal fixed-width text table.
+///
+/// # Examples
+///
+/// ```
+/// use dirsim::report::TextTable;
+///
+/// let mut t = TextTable::new("Demo");
+/// t.headers(["name", "value"]);
+/// t.row(["x", "1"]);
+/// let s = t.render();
+/// assert!(s.contains("Demo"));
+/// assert!(s.contains("x"));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates an empty table with a title.
+    pub fn new(title: impl Into<String>) -> Self {
+        TextTable {
+            title: title.into(),
+            ..Self::default()
+        }
+    }
+
+    /// Sets the header row.
+    pub fn headers<I, S>(&mut self, headers: I) -> &mut Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.headers = headers.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Appends a data row.
+    pub fn row<I, S>(&mut self, row: I) -> &mut Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.rows.push(row.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let ncols = self
+            .rows
+            .iter()
+            .map(Vec::len)
+            .chain(std::iter::once(self.headers.len()))
+            .max()
+            .unwrap_or(0);
+        let mut widths = vec![0usize; ncols];
+        let all_rows = std::iter::once(&self.headers).chain(self.rows.iter());
+        for row in all_rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let render_row = |row: &[String]| -> String {
+            let mut line = String::new();
+            for (i, w) in widths.iter().enumerate() {
+                let cell = row.get(i).map(String::as_str).unwrap_or("");
+                if i == 0 {
+                    let _ = write!(line, "{cell:<w$}");
+                } else {
+                    let _ = write!(line, "  {cell:>w$}");
+                }
+            }
+            line.trim_end().to_string()
+        };
+        if !self.headers.is_empty() {
+            let _ = writeln!(out, "{}", render_row(&self.headers));
+            let underline: usize = widths.iter().sum::<usize>() + 2 * (ncols.saturating_sub(1));
+            let _ = writeln!(out, "{}", "-".repeat(underline));
+        }
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", render_row(row));
+        }
+        out
+    }
+}
+
+fn pct(value: f64) -> String {
+    format!("{:.2}", value * 100.0)
+}
+
+fn bar(value: f64, max: f64, width: usize) -> String {
+    if max <= 0.0 {
+        return String::new();
+    }
+    let n = ((value / max) * width as f64).round() as usize;
+    "#".repeat(n.min(width))
+}
+
+/// Table 1: primitive bus-operation timings.
+pub fn render_table1() -> String {
+    let t = BusTiming::PAPER;
+    let mut table = TextTable::new("Table 1: Timing for fundamental bus operations (cycles)");
+    table.headers(["operation", "cycles"]);
+    table.row(["transfer 1 data word", &t.transfer_word.to_string()]);
+    table.row(["invalidate", &t.invalidate.to_string()]);
+    table.row(["wait for directory", &t.wait_directory.to_string()]);
+    table.row(["wait for memory", &t.wait_memory.to_string()]);
+    table.row(["wait for cache", &t.wait_cache.to_string()]);
+    table.row(["send address", &t.send_address.to_string()]);
+    table.render()
+}
+
+/// Table 2: per-operation bus-cycle costs under both bus models.
+pub fn render_table2() -> String {
+    let pipe = CostModel::pipelined();
+    let nonpipe = CostModel::non_pipelined();
+    let mut table = TextTable::new("Table 2: Summary of bus cycle costs");
+    table.headers(["access type", "pipelined", "non-pipelined"]);
+    let rows: [(&str, BusOp); 7] = [
+        ("memory access", BusOp::MemRead),
+        ("cache access", BusOp::CacheSupply),
+        ("write-back", BusOp::WriteBack),
+        ("write-through", BusOp::WriteThrough),
+        ("write update", BusOp::WriteUpdate),
+        ("directory check", BusOp::DirLookup),
+        ("invalidate", BusOp::Invalidate),
+    ];
+    for (name, op) in rows {
+        table.row([
+            name.to_string(),
+            pipe.op_cost(op).to_string(),
+            nonpipe.op_cost(op).to_string(),
+        ]);
+    }
+    table.render()
+}
+
+/// Table 3: trace characteristics.
+pub fn render_table3(results: &ExperimentResults) -> String {
+    let mut table = TextTable::new("Table 3: Summary of trace characteristics (thousands)");
+    table.headers(["trace", "refs", "instr", "drd", "dwrt", "user", "sys", "lockrd"]);
+    for (name, stats) in &results.trace_stats {
+        let k = |v: u64| format!("{:.0}", v as f64 / 1000.0);
+        table.row([
+            name.clone(),
+            k(stats.total()),
+            k(stats.instructions()),
+            k(stats.data_reads()),
+            k(stats.data_writes()),
+            k(stats.user()),
+            k(stats.system()),
+            k(stats.lock_reads()),
+        ]);
+    }
+    table.render()
+}
+
+/// Table 4: event frequencies as a percentage of all references.
+pub fn render_table4(results: &ExperimentResults) -> String {
+    let mut table = TextTable::new("Table 4: Event frequencies (% of all references)");
+    let mut headers = vec!["event".to_string()];
+    headers.extend(results.per_scheme.iter().map(|s| s.scheme.name()));
+    table.headers(headers);
+    // Aggregate rows first, then the Table 4 sub-categories.
+    let mut push_derived = |label: &str, f: &dyn Fn(&SimResult) -> f64| {
+        let mut row = vec![label.to_string()];
+        for s in &results.per_scheme {
+            row.push(pct(f(&s.combined)));
+        }
+        table.row(row);
+    };
+    push_derived("read", &|r| {
+        r.events.reads() as f64 / r.refs as f64
+    });
+    push_derived("write", &|r| {
+        r.events.writes() as f64 / r.refs as f64
+    });
+    for kind in EventKind::ALL {
+        let mut row = vec![kind.name().to_string()];
+        for s in &results.per_scheme {
+            let count = s.combined.events[kind];
+            if count == 0 {
+                row.push("-".to_string());
+            } else {
+                row.push(pct(s.combined.events.frequency(kind)));
+            }
+        }
+        table.row(row);
+    }
+    table.render()
+}
+
+/// Table 5: bus-cycle breakdown per category (given bus model).
+pub fn render_table5(results: &ExperimentResults, model: CostModel) -> String {
+    let mut table = TextTable::new(format!(
+        "Table 5: Breakdown of bus cycles per reference ({} bus)",
+        model.kind()
+    ));
+    let mut headers = vec!["access type".to_string()];
+    headers.extend(results.per_scheme.iter().map(|s| s.scheme.name()));
+    table.headers(headers);
+    for cat in CostCategory::ALL {
+        let mut row = vec![cat.name().to_string()];
+        for s in &results.per_scheme {
+            let v = s.combined.breakdown(model)[cat];
+            row.push(if v == 0.0 {
+                "-".to_string()
+            } else {
+                format!("{v:.4}")
+            });
+        }
+        table.row(row);
+    }
+    let mut row = vec!["cumulative".to_string()];
+    for s in &results.per_scheme {
+        row.push(format!("{:.4}", s.combined.cycles_per_ref(model)));
+    }
+    table.row(row);
+    table.render()
+}
+
+/// Table 4, paper vs. measured side by side for the headline schemes.
+pub fn render_table4_comparison(results: &ExperimentResults) -> String {
+    let paper = crate::reference::paper_table4();
+    let mut table = TextTable::new(
+        "Table 4 comparison: paper / measured (% of all references)",
+    );
+    let mut headers = vec!["event".to_string()];
+    headers.extend(paper.iter().map(|c| c.scheme.to_string()));
+    table.headers(headers);
+    for (i, kind) in EventKind::ALL.iter().enumerate() {
+        let mut row = vec![kind.name().to_string()];
+        for col in &paper {
+            let paper_cell = col.rows[i]
+                .1
+                .map(|v| format!("{v:.2}"))
+                .unwrap_or_else(|| "-".to_string());
+            let measured_cell = results
+                .scheme(col.scheme)
+                .map(|s| {
+                    let count = s.combined.events[*kind];
+                    if count == 0 {
+                        "-".to_string()
+                    } else {
+                        pct(s.combined.events.frequency(*kind))
+                    }
+                })
+                .unwrap_or_else(|| "?".to_string());
+            row.push(format!("{paper_cell} / {measured_cell}"));
+        }
+        table.row(row);
+    }
+    table.render()
+}
+
+/// Table 5 cumulative cost, paper vs. measured (pipelined bus).
+pub fn render_table5_comparison(results: &ExperimentResults) -> String {
+    let model = CostModel::pipelined();
+    let mut table = TextTable::new(
+        "Table 5 comparison: cumulative bus cycles/ref, paper vs measured (pipelined)",
+    );
+    table.headers(["scheme", "paper", "measured", "measured/paper"]);
+    for s in &results.per_scheme {
+        let name = s.scheme.name();
+        let measured = s.combined.cycles_per_ref(model);
+        match crate::reference::paper_table5_cumulative(&name) {
+            Some(paper) => table.row([
+                name,
+                format!("{paper:.4}"),
+                format!("{measured:.4}"),
+                format!("{:.2}x", measured / paper),
+            ]),
+            None => table.row([name, "-".to_string(), format!("{measured:.4}"), "-".to_string()]),
+        };
+    }
+    table.render()
+}
+
+/// Figure 1: histogram of caches invalidated on writes to previously-clean
+/// blocks, for the scheme named `scheme` (the paper uses the `Dir0B` state
+/// model).
+pub fn render_figure1(results: &ExperimentResults, scheme: &str) -> String {
+    let Some(s) = results.scheme(scheme) else {
+        return format!("figure 1: scheme {scheme} not simulated\n");
+    };
+    let hist = &s.combined.fanout;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "== Figure 1: caches invalidated on a write to a previously-clean block ({scheme}) =="
+    );
+    let max_frac = hist
+        .iter()
+        .map(|(k, _)| hist.fraction(k))
+        .fold(0.0f64, f64::max);
+    for (k, count) in hist.iter() {
+        let frac = hist.fraction(k);
+        let _ = writeln!(
+            out,
+            "{k:>2} caches: {:>6.2}%  {:<40} ({count})",
+            frac * 100.0,
+            bar(frac, max_frac, 40)
+        );
+    }
+    let _ = writeln!(
+        out,
+        "cumulative ≤1: {:.1}%  (paper: over 85%)",
+        hist.fraction_at_most(1) * 100.0
+    );
+    out
+}
+
+/// Figure 2: range of bus cycles per reference (pipelined → non-pipelined),
+/// averaged over traces.
+pub fn render_figure2(results: &ExperimentResults) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "== Figure 2: bus cycles per reference (pipelined → non-pipelined, all traces) =="
+    );
+    let max = results
+        .per_scheme
+        .iter()
+        .map(|s| s.combined.cycles_per_ref(CostModel::non_pipelined()))
+        .fold(0.0f64, f64::max);
+    for s in &results.per_scheme {
+        let lo = s.combined.cycles_per_ref(CostModel::pipelined());
+        let hi = s.combined.cycles_per_ref(CostModel::non_pipelined());
+        let _ = writeln!(
+            out,
+            "{:>12}: {lo:.4} – {hi:.4}  {}",
+            s.scheme.name(),
+            bar(hi, max, 40)
+        );
+    }
+    out
+}
+
+/// Figure 3: the same per individual trace.
+pub fn render_figure3(results: &ExperimentResults) -> String {
+    let mut table = TextTable::new(
+        "Figure 3: bus cycles per reference per trace (pipelined / non-pipelined)",
+    );
+    let mut headers = vec!["trace".to_string()];
+    headers.extend(results.per_scheme.iter().map(|s| s.scheme.name()));
+    table.headers(headers);
+    for (i, (trace, _)) in results.trace_stats.iter().enumerate() {
+        let mut row = vec![trace.clone()];
+        for s in &results.per_scheme {
+            let (_, r) = &s.per_trace[i];
+            row.push(format!(
+                "{:.4}/{:.4}",
+                r.cycles_per_ref(CostModel::pipelined()),
+                r.cycles_per_ref(CostModel::non_pipelined())
+            ));
+        }
+        table.row(row);
+    }
+    table.render()
+}
+
+/// Figure 4: per-scheme cost breakdown as a fraction of its own total.
+pub fn render_figure4(results: &ExperimentResults, model: CostModel) -> String {
+    let mut table = TextTable::new(format!(
+        "Figure 4: bus-cycle breakdown as fraction of each scheme's total ({} bus)",
+        model.kind()
+    ));
+    let mut headers = vec!["category".to_string()];
+    headers.extend(results.per_scheme.iter().map(|s| s.scheme.name()));
+    table.headers(headers);
+    for cat in CostCategory::ALL {
+        let mut row = vec![cat.name().to_string()];
+        for s in &results.per_scheme {
+            let fracs = s.combined.breakdown(model).fractions();
+            let f = fracs
+                .iter()
+                .find(|(c, _)| *c == cat)
+                .map(|(_, f)| *f)
+                .unwrap_or(0.0);
+            row.push(if f == 0.0 {
+                "-".to_string()
+            } else {
+                format!("{:.1}%", f * 100.0)
+            });
+        }
+        table.row(row);
+    }
+    table.render()
+}
+
+/// Figure 5: average bus cycles per bus transaction.
+pub fn render_figure5(results: &ExperimentResults, model: CostModel) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "== Figure 5: average bus cycles per bus transaction ({} bus) ==",
+        model.kind()
+    );
+    let max = results
+        .per_scheme
+        .iter()
+        .map(|s| s.combined.breakdown(model).cycles_per_transaction())
+        .fold(0.0f64, f64::max);
+    for s in &results.per_scheme {
+        let v = s.combined.breakdown(model).cycles_per_transaction();
+        let _ = writeln!(out, "{:>12}: {v:.2}  {}", s.scheme.name(), bar(v, max, 40));
+    }
+    out
+}
+
+/// §5.1: the fixed-overhead sensitivity lines.
+pub fn render_q_sweep(lines: &[(String, Vec<(f64, f64)>)]) -> String {
+    let mut table = TextTable::new(
+        "Section 5.1: cycles/ref with q extra cycles per bus transaction (pipelined)",
+    );
+    let qs: Vec<String> = lines
+        .first()
+        .map(|(_, pts)| pts.iter().map(|(q, _)| format!("q={q}")).collect())
+        .unwrap_or_default();
+    let mut headers = vec!["scheme".to_string()];
+    headers.extend(qs);
+    table.headers(headers);
+    for (name, pts) in lines {
+        let mut row = vec![name.clone()];
+        row.extend(pts.iter().map(|(_, v)| format!("{v:.4}")));
+        table.row(row);
+    }
+    table.render()
+}
+
+/// §5.2: the spin-lock ablation.
+pub fn render_lock_impact(impacts: &[LockImpact]) -> String {
+    let mut table = TextTable::new(
+        "Section 5.2: impact of spin-lock test reads (pipelined bus cycles/ref)",
+    );
+    table.headers(["scheme", "with locks", "without locks", "improvement"]);
+    for i in impacts {
+        table.row([
+            i.scheme.clone(),
+            format!("{:.4}", i.with_locks),
+            format!("{:.4}", i.without_locks),
+            format!("{:.1}%", i.improvement() * 100.0),
+        ]);
+    }
+    table.render()
+}
+
+/// §6: the broadcast-cost sensitivity for a scheme.
+pub fn render_broadcast_sweep(scheme: &str, points: &[(u32, f64)]) -> String {
+    let mut table = TextTable::new(format!(
+        "Section 6: {scheme} cycles/ref vs broadcast cost b (pipelined)"
+    ));
+    table.headers(["b (cycles)", "cycles/ref"]);
+    for (b, v) in points {
+        table.row([b.to_string(), format!("{v:.4}")]);
+    }
+    table.render()
+}
+
+/// §4 extension: the finite-cache study for one scheme.
+pub fn render_finite_cache(scheme: &str, rows: &[FiniteCacheRow]) -> String {
+    let mut table = TextTable::new(format!(
+        "Section 4 extension: {scheme} under finite caches (pipelined)"
+    ));
+    table.headers(["capacity (blocks)", "cycles/ref", "miss rate", "evict/kiloref"]);
+    for r in rows {
+        table.row([
+            r.capacity_blocks
+                .map(|b| b.to_string())
+                .unwrap_or_else(|| "infinite".to_string()),
+            format!("{:.4}", r.cycles_per_ref),
+            format!("{:.3}%", r.miss_rate * 100.0),
+            format!("{:.2}", r.evictions_per_kiloref),
+        ]);
+    }
+    table.render()
+}
+
+/// §5 end: effective-processor upper bounds under a system model.
+pub fn render_effective_processors(
+    bounds: &[(String, f64)],
+    system: SystemModel,
+) -> String {
+    let mut table = TextTable::new(format!(
+        "Section 5: effective-processor bound ({} MIPS cpus, {} ns bus)",
+        system.processor_mips, system.bus_cycle_ns
+    ));
+    table.headers(["scheme", "max effective processors"]);
+    for (name, eff) in bounds {
+        table.row([name.clone(), format!("{eff:.1}")]);
+    }
+    table.render()
+}
+
+/// §7 extension: network-scaling study rows.
+pub fn render_network_scaling(rows: &[crate::paper::NetworkScalingRow]) -> String {
+    let nodes = rows.first().map(|r| r.nodes).unwrap_or(0);
+    let mut table = TextTable::new(format!(
+        "Section 7 extension: network traffic at {nodes} nodes (link-cycles/ref)"
+    ));
+    table.headers(["scheme", "topology", "traffic/ref", "saturation procs"]);
+    for r in rows {
+        table.row([
+            r.scheme.clone(),
+            r.topology.to_string(),
+            format!("{:.3}", r.traffic_per_ref),
+            if r.saturation_processors.is_finite() {
+                format!("{:.1}", r.saturation_processors)
+            } else {
+                "∞".to_string()
+            },
+        ]);
+    }
+    table.render()
+}
+
+/// Sharing-intensity sweep table.
+pub fn render_sharing_sweep(rows: &[crate::paper::SharingSweepRow]) -> String {
+    let mut table = TextTable::new(
+        "Workload sensitivity: cycles/ref vs shared-data fraction (pipelined)",
+    );
+    let mut headers = vec!["shared frac".to_string()];
+    if let Some(first) = rows.first() {
+        headers.extend(first.cycles_per_ref.iter().map(|(n, _)| n.clone()));
+    }
+    table.headers(headers);
+    for r in rows {
+        let mut row = vec![format!("{:.3}", r.shared_frac)];
+        row.extend(r.cycles_per_ref.iter().map(|(_, v)| format!("{v:.4}")));
+        table.row(row);
+    }
+    table.render()
+}
+
+/// Timing-level utilisation table.
+pub fn render_utilization(rows: &[crate::paper::UtilizationRow]) -> String {
+    let mut table = TextTable::new(
+        "Timing simulation: processor utilisation vs machine size (q=1, pipelined costs)",
+    );
+    table.headers(["scheme", "procs", "cpu util", "effective procs", "bus util"]);
+    for r in rows {
+        table.row([
+            r.scheme.clone(),
+            r.processors.to_string(),
+            format!("{:.0}%", r.utilization * 100.0),
+            format!("{:.2}", r.effective_processors),
+            format!("{:.0}%", r.bus_utilization * 100.0),
+        ]);
+    }
+    table.render()
+}
+
+/// Seed-sensitivity dispersion table.
+pub fn render_seed_sensitivity(rows: &[crate::paper::SeedSensitivityRow]) -> String {
+    let mut table = TextTable::new(
+        "Robustness: cycles/ref dispersion across generator seeds (pipelined)",
+    );
+    table.headers(["scheme", "mean", "stddev", "min", "max", "cv"]);
+    for r in rows {
+        table.row([
+            r.scheme.clone(),
+            format!("{:.4}", r.mean),
+            format!("{:.4}", r.stddev),
+            format!("{:.4}", r.min),
+            format!("{:.4}", r.max),
+            format!("{:.1}%", r.relative_spread() * 100.0),
+        ]);
+    }
+    table.render()
+}
+
+/// §6: the pointer sweep / scaling study.
+pub fn render_pointer_sweep(processors: u16, rows: &[PointerSweepRow]) -> String {
+    let mut table = TextTable::new(format!(
+        "Section 6: Dir_i design space at {processors} processors (pipelined)"
+    ));
+    table.headers(["scheme", "cycles/ref", "coh. miss rate", "bcast/kiloref"]);
+    for r in rows {
+        table.row([
+            r.scheme.clone(),
+            format!("{:.4}", r.cycles_per_ref),
+            format!("{:.3}%", r.miss_rate * 100.0),
+            format!("{:.2}", r.broadcasts_per_kiloref),
+        ]);
+    }
+    table.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::{Experiment, NamedWorkload};
+    use dirsim_protocol::Scheme;
+    use dirsim_trace::synth::WorkloadConfig;
+
+    fn small_results() -> ExperimentResults {
+        Experiment::new()
+            .workload(NamedWorkload::new(
+                "T",
+                WorkloadConfig::builder().seed(5).build().unwrap(),
+            ))
+            .schemes(Scheme::paper_lineup())
+            .refs_per_trace(20_000)
+            .run()
+            .unwrap()
+    }
+
+    #[test]
+    fn text_table_alignment() {
+        let mut t = TextTable::new("X");
+        t.headers(["a", "bbbb"]);
+        t.row(["lorem", "1"]);
+        let s = t.render();
+        assert!(s.starts_with("== X =="));
+        assert!(s.contains("lorem"));
+        assert!(s.lines().count() >= 4);
+    }
+
+    #[test]
+    fn static_tables_render() {
+        let t1 = render_table1();
+        assert!(t1.contains("invalidate"));
+        let t2 = render_table2();
+        assert!(t2.contains("memory access"));
+        assert!(t2.contains("7"), "non-pipelined memory access cost");
+    }
+
+    #[test]
+    fn dynamic_tables_render() {
+        let results = small_results();
+        let t3 = render_table3(&results);
+        assert!(t3.contains("T"));
+        let t4 = render_table4(&results);
+        assert!(t4.contains("rm-blk-cln"));
+        assert!(t4.contains("Dragon"));
+        let t5 = render_table5(&results, CostModel::pipelined());
+        assert!(t5.contains("cumulative"));
+    }
+
+    #[test]
+    fn comparison_tables_render() {
+        let results = small_results();
+        let t4 = render_table4_comparison(&results);
+        assert!(t4.contains("paper / measured"));
+        assert!(t4.contains("4.78"), "paper Dir1NB rm-blk-cln value shown");
+        let t5 = render_table5_comparison(&results);
+        assert!(t5.contains("0.0491"), "paper Dir0B cumulative shown");
+        assert!(t5.contains('x'));
+    }
+
+    #[test]
+    fn figures_render() {
+        let results = small_results();
+        assert!(render_figure1(&results, "Dir0B").contains("cumulative ≤1"));
+        assert!(render_figure1(&results, "Nope").contains("not simulated"));
+        assert!(render_figure2(&results).contains("Dir1NB"));
+        assert!(render_figure3(&results).contains("T"));
+        assert!(render_figure4(&results, CostModel::pipelined()).contains("mem access"));
+        assert!(render_figure5(&results, CostModel::pipelined()).contains("Dragon"));
+    }
+
+    #[test]
+    fn sweep_renders() {
+        let lines = vec![("Dir0B".to_string(), vec![(0.0, 0.05), (1.0, 0.06)])];
+        let s = render_q_sweep(&lines);
+        assert!(s.contains("q=0"));
+        assert!(s.contains("0.0600"));
+
+        let s = render_broadcast_sweep("Dir1B", &[(1, 0.05), (8, 0.051)]);
+        assert!(s.contains("Dir1B"));
+
+        let impacts = vec![LockImpact {
+            scheme: "Dir1NB".into(),
+            with_locks: 0.32,
+            without_locks: 0.12,
+        }];
+        let s = render_lock_impact(&impacts);
+        assert!(s.contains("62.5%"));
+
+        let rows = vec![PointerSweepRow {
+            scheme: "Dir1B".into(),
+            cycles_per_ref: 0.05,
+            miss_rate: 0.01,
+            broadcasts_per_kiloref: 0.5,
+        }];
+        let s = render_pointer_sweep(16, &rows);
+        assert!(s.contains("16 processors"));
+    }
+}

@@ -1,0 +1,289 @@
+//! Cost aggregation: from operation counts to the paper's metrics.
+//!
+//! The headline metric is **bus cycles per memory reference** (§4.1). Costs
+//! are broken down into the five categories of Table 5 / Figure 4
+//! ([`CostCategory`]), and the per-transaction view of Figure 5 and the
+//! §5.1 fixed-overhead model are derived from the same data.
+
+use std::fmt;
+use std::ops::Index;
+
+use dirsim_protocol::{BusOp, OpCounts};
+
+use crate::bus::CostModel;
+
+/// Table 5 / Figure 4 cost categories.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CostCategory {
+    /// Block fetches from memory or another cache (`memacc`).
+    MemAccess,
+    /// Dirty-block flushes (`wb`).
+    WriteBack,
+    /// Directed and broadcast invalidations (`inv`).
+    Invalidate,
+    /// Write-throughs and write-updates (`wt or wup`).
+    WtOrWup,
+    /// Unoverlapped directory accesses (`dir`).
+    DirAccess,
+}
+
+impl CostCategory {
+    /// All categories in Table 5 row order.
+    pub const ALL: [CostCategory; 5] = [
+        CostCategory::MemAccess,
+        CostCategory::WriteBack,
+        CostCategory::Invalidate,
+        CostCategory::WtOrWup,
+        CostCategory::DirAccess,
+    ];
+
+    /// The category an operation's cycles are reported under.
+    pub fn of(op: BusOp) -> CostCategory {
+        match op {
+            BusOp::MemRead | BusOp::CacheSupply => CostCategory::MemAccess,
+            BusOp::WriteBack => CostCategory::WriteBack,
+            BusOp::Invalidate | BusOp::BroadcastInvalidate => CostCategory::Invalidate,
+            BusOp::WriteThrough | BusOp::WriteUpdate => CostCategory::WtOrWup,
+            BusOp::DirLookup | BusOp::DirUpdate => CostCategory::DirAccess,
+        }
+    }
+
+    /// Short name used in tables (`mem access`, `write-back`, …).
+    pub fn name(self) -> &'static str {
+        match self {
+            CostCategory::MemAccess => "mem access",
+            CostCategory::WriteBack => "write-back",
+            CostCategory::Invalidate => "invalidate",
+            CostCategory::WtOrWup => "wt or wup",
+            CostCategory::DirAccess => "dir access",
+        }
+    }
+
+    fn ordinal(self) -> usize {
+        match self {
+            CostCategory::MemAccess => 0,
+            CostCategory::WriteBack => 1,
+            CostCategory::Invalidate => 2,
+            CostCategory::WtOrWup => 3,
+            CostCategory::DirAccess => 4,
+        }
+    }
+}
+
+impl fmt::Display for CostCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Bus cycles per memory reference, broken down by [`CostCategory`].
+///
+/// Built by pricing a simulation's [`OpCounts`] under a [`CostModel`] and
+/// normalising by the reference count.
+///
+/// # Examples
+///
+/// ```
+/// use dirsim_cost::{CostBreakdown, CostModel};
+/// use dirsim_protocol::{BusOp, OpCounts};
+///
+/// let mut ops = OpCounts::new();
+/// ops.record(BusOp::MemRead, 10); // ten misses
+/// // 1000 references, 10 of which were bus transactions:
+/// let bd = CostBreakdown::price(&ops, 1000, 10, CostModel::pipelined());
+/// assert!((bd.cycles_per_ref() - 0.05).abs() < 1e-12); // 10×5 / 1000
+/// assert!((bd.cycles_per_transaction() - 5.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostBreakdown {
+    /// Cycles per reference, per category.
+    per_ref: [f64; 5],
+    /// Total references the ops were accumulated over.
+    refs: u64,
+    /// References that caused at least one bus operation.
+    transactions: u64,
+}
+
+impl CostBreakdown {
+    /// Prices operation counts under a cost model.
+    ///
+    /// `refs` is the total number of references simulated (instructions
+    /// included, matching the paper's per-reference normalisation);
+    /// `transactions` is the number of references that used the bus.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `refs == 0`.
+    pub fn price(ops: &OpCounts, refs: u64, transactions: u64, model: CostModel) -> Self {
+        assert!(refs > 0, "cannot normalise over zero references");
+        let mut per_ref = [0.0f64; 5];
+        for (op, count) in ops.iter() {
+            let cycles = count as f64 * f64::from(model.op_cost(op));
+            per_ref[CostCategory::of(op).ordinal()] += cycles / refs as f64;
+        }
+        CostBreakdown {
+            per_ref,
+            refs,
+            transactions,
+        }
+    }
+
+    /// Total bus cycles per memory reference — the paper's headline metric.
+    pub fn cycles_per_ref(&self) -> f64 {
+        self.per_ref.iter().sum()
+    }
+
+    /// Bus transactions per reference (the §5.1 slope against fixed
+    /// overhead `q`).
+    pub fn transactions_per_ref(&self) -> f64 {
+        self.transactions as f64 / self.refs as f64
+    }
+
+    /// Average bus cycles per bus transaction (Figure 5).
+    ///
+    /// Returns 0 when no transaction occurred.
+    pub fn cycles_per_transaction(&self) -> f64 {
+        if self.transactions == 0 {
+            0.0
+        } else {
+            self.cycles_per_ref() * self.refs as f64 / self.transactions as f64
+        }
+    }
+
+    /// Cycles per reference if every bus transaction carried `q` extra
+    /// cycles of fixed overhead (arbitration, cache lookup, controller
+    /// propagation — §5.1).
+    pub fn cycles_per_ref_with_overhead(&self, q: f64) -> f64 {
+        self.cycles_per_ref() + q * self.transactions_per_ref()
+    }
+
+    /// Each category's share of the total (Figure 4). All zeros when the
+    /// total is zero.
+    pub fn fractions(&self) -> [(CostCategory, f64); 5] {
+        let total = self.cycles_per_ref();
+        let mut out = [(CostCategory::MemAccess, 0.0); 5];
+        for (i, cat) in CostCategory::ALL.iter().enumerate() {
+            let frac = if total == 0.0 {
+                0.0
+            } else {
+                self.per_ref[cat.ordinal()] / total
+            };
+            out[i] = (*cat, frac);
+        }
+        out
+    }
+
+    /// Number of references this breakdown covers.
+    pub fn refs(&self) -> u64 {
+        self.refs
+    }
+
+    /// Number of bus transactions this breakdown covers.
+    pub fn transactions(&self) -> u64 {
+        self.transactions
+    }
+}
+
+impl Index<CostCategory> for CostBreakdown {
+    type Output = f64;
+
+    fn index(&self, cat: CostCategory) -> &f64 {
+        &self.per_ref[cat.ordinal()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_ops() -> OpCounts {
+        let mut ops = OpCounts::new();
+        ops.record(BusOp::MemRead, 10); // 50 cycles pipelined
+        ops.record(BusOp::WriteBack, 5); // 20
+        ops.record(BusOp::Invalidate, 3); // 3
+        ops.record(BusOp::BroadcastInvalidate, 2); // 2
+        ops.record(BusOp::WriteThrough, 4); // 4
+        ops.record(BusOp::DirLookup, 6); // 6
+        ops
+    }
+
+    #[test]
+    fn category_of_every_op() {
+        assert_eq!(CostCategory::of(BusOp::MemRead), CostCategory::MemAccess);
+        assert_eq!(CostCategory::of(BusOp::CacheSupply), CostCategory::MemAccess);
+        assert_eq!(CostCategory::of(BusOp::WriteBack), CostCategory::WriteBack);
+        assert_eq!(CostCategory::of(BusOp::Invalidate), CostCategory::Invalidate);
+        assert_eq!(
+            CostCategory::of(BusOp::BroadcastInvalidate),
+            CostCategory::Invalidate
+        );
+        assert_eq!(CostCategory::of(BusOp::WriteThrough), CostCategory::WtOrWup);
+        assert_eq!(CostCategory::of(BusOp::WriteUpdate), CostCategory::WtOrWup);
+        assert_eq!(CostCategory::of(BusOp::DirLookup), CostCategory::DirAccess);
+    }
+
+    #[test]
+    fn pricing_sums_categories() {
+        let bd = CostBreakdown::price(&sample_ops(), 1000, 20, CostModel::pipelined());
+        // 50+20+5+4+6 = 85 cycles over 1000 refs.
+        assert!((bd.cycles_per_ref() - 0.085).abs() < 1e-12);
+        assert!((bd[CostCategory::MemAccess] - 0.050).abs() < 1e-12);
+        assert!((bd[CostCategory::WriteBack] - 0.020).abs() < 1e-12);
+        assert!((bd[CostCategory::Invalidate] - 0.005).abs() < 1e-12);
+        assert!((bd[CostCategory::WtOrWup] - 0.004).abs() < 1e-12);
+        assert!((bd[CostCategory::DirAccess] - 0.006).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_transaction_view() {
+        let bd = CostBreakdown::price(&sample_ops(), 1000, 20, CostModel::pipelined());
+        assert!((bd.transactions_per_ref() - 0.02).abs() < 1e-12);
+        assert!((bd.cycles_per_transaction() - 85.0 / 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overhead_model_is_linear() {
+        let bd = CostBreakdown::price(&sample_ops(), 1000, 20, CostModel::pipelined());
+        let base = bd.cycles_per_ref();
+        let slope = bd.transactions_per_ref();
+        for q in [0.0, 1.0, 2.5] {
+            assert!((bd.cycles_per_ref_with_overhead(q) - (base + slope * q)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let bd = CostBreakdown::price(&sample_ops(), 1000, 20, CostModel::pipelined());
+        let sum: f64 = bd.fractions().iter().map(|(_, f)| f).sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_ops_zero_cost() {
+        let bd = CostBreakdown::price(&OpCounts::new(), 100, 0, CostModel::pipelined());
+        assert_eq!(bd.cycles_per_ref(), 0.0);
+        assert_eq!(bd.cycles_per_transaction(), 0.0);
+        let sum: f64 = bd.fractions().iter().map(|(_, f)| f).sum();
+        assert_eq!(sum, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero references")]
+    fn zero_refs_panics() {
+        let _ = CostBreakdown::price(&OpCounts::new(), 0, 0, CostModel::pipelined());
+    }
+
+    #[test]
+    fn non_pipelined_costs_more() {
+        let ops = sample_ops();
+        let pipe = CostBreakdown::price(&ops, 1000, 20, CostModel::pipelined());
+        let nonpipe = CostBreakdown::price(&ops, 1000, 20, CostModel::non_pipelined());
+        assert!(nonpipe.cycles_per_ref() > pipe.cycles_per_ref());
+    }
+
+    #[test]
+    fn category_names() {
+        assert_eq!(CostCategory::MemAccess.to_string(), "mem access");
+        assert_eq!(CostCategory::ALL.len(), 5);
+    }
+}

@@ -1,0 +1,257 @@
+//! Bus timing and cost models (§4.3, Tables 1 and 2).
+//!
+//! The paper prices every bus operation from a small table of primitive
+//! timings (Table 1) under two bus organisations:
+//!
+//! * **Pipelined** — separate address and data paths; the bus is not held
+//!   during memory/directory waits.
+//! * **Non-pipelined** — multiplexed address/data; waits occupy the bus.
+//!
+//! [`CostModel::op_cost`] reproduces Table 2 exactly:
+//!
+//! | operation          | pipelined | non-pipelined |
+//! |--------------------|-----------|---------------|
+//! | memory access      | 5         | 7             |
+//! | cache access       | 5         | 6             |
+//! | write-back         | 4         | 4             |
+//! | write-through/upd  | 1         | 2             |
+//! | directory check    | 1         | 3             |
+//! | invalidate         | 1         | 1             |
+//!
+//! Broadcast invalidation defaults to the single-invalidate cost (the
+//! paper's simplifying assumption) and can be widened to `b` cycles for the
+//! §6 sensitivity analysis via [`CostModel::with_broadcast_cost`].
+
+use std::fmt;
+
+use dirsim_protocol::BusOp;
+
+/// Primitive bus-operation timings (the paper's Table 1), in bus cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BusTiming {
+    /// Transfer of one data word (32 bits).
+    pub transfer_word: u32,
+    /// A single invalidation message.
+    pub invalidate: u32,
+    /// Wait for a directory access (non-pipelined bus holds the bus).
+    pub wait_directory: u32,
+    /// Wait for a memory access.
+    pub wait_memory: u32,
+    /// Wait for a cache access.
+    pub wait_cache: u32,
+    /// Sending an address.
+    pub send_address: u32,
+}
+
+impl BusTiming {
+    /// The paper's Table 1 values.
+    pub const PAPER: BusTiming = BusTiming {
+        transfer_word: 1,
+        invalidate: 1,
+        wait_directory: 2,
+        wait_memory: 2,
+        wait_cache: 1,
+        send_address: 1,
+    };
+}
+
+impl Default for BusTiming {
+    fn default() -> Self {
+        BusTiming::PAPER
+    }
+}
+
+/// Bus organisation (§4.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BusKind {
+    /// Separate address/data paths; the bus is released during waits.
+    Pipelined,
+    /// Multiplexed address/data; waits hold the bus.
+    NonPipelined,
+}
+
+impl BusKind {
+    /// Both organisations, pipelined first (the paper's presentation
+    /// order: bars run from pipelined low-end to non-pipelined high-end).
+    pub const ALL: [BusKind; 2] = [BusKind::Pipelined, BusKind::NonPipelined];
+}
+
+impl fmt::Display for BusKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BusKind::Pipelined => f.write_str("pipelined"),
+            BusKind::NonPipelined => f.write_str("non-pipelined"),
+        }
+    }
+}
+
+/// A complete cost model: prices every [`BusOp`] in bus cycles.
+///
+/// # Examples
+///
+/// ```
+/// use dirsim_cost::{BusKind, CostModel};
+/// use dirsim_protocol::BusOp;
+///
+/// let pipelined = CostModel::pipelined();
+/// assert_eq!(pipelined.op_cost(BusOp::MemRead), 5);
+/// let nonpipe = CostModel::non_pipelined();
+/// assert_eq!(nonpipe.op_cost(BusOp::MemRead), 7);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CostModel {
+    kind: BusKind,
+    timing: BusTiming,
+    /// Data words per block (4 in the paper: 16-byte blocks, 32-bit words).
+    words_per_block: u32,
+    /// Cost of a broadcast invalidation (`b` in §6); defaults to the
+    /// single-invalidate cost.
+    broadcast_cost: u32,
+}
+
+impl CostModel {
+    /// The paper's pipelined-bus model.
+    pub fn pipelined() -> Self {
+        CostModel::new(BusKind::Pipelined, BusTiming::PAPER)
+    }
+
+    /// The paper's non-pipelined-bus model.
+    pub fn non_pipelined() -> Self {
+        CostModel::new(BusKind::NonPipelined, BusTiming::PAPER)
+    }
+
+    /// A model for the given organisation and primitive timings.
+    pub fn new(kind: BusKind, timing: BusTiming) -> Self {
+        CostModel {
+            kind,
+            timing,
+            words_per_block: 4,
+            broadcast_cost: timing.invalidate,
+        }
+    }
+
+    /// The model for a [`BusKind`] with paper timings.
+    pub fn for_kind(kind: BusKind) -> Self {
+        CostModel::new(kind, BusTiming::PAPER)
+    }
+
+    /// Overrides the broadcast-invalidation cost (`b`, §6).
+    pub fn with_broadcast_cost(mut self, b: u32) -> Self {
+        self.broadcast_cost = b;
+        self
+    }
+
+    /// Overrides the block size in words.
+    pub fn with_words_per_block(mut self, words: u32) -> Self {
+        self.words_per_block = words;
+        self
+    }
+
+    /// The bus organisation.
+    pub fn kind(self) -> BusKind {
+        self.kind
+    }
+
+    /// The broadcast cost `b`.
+    pub fn broadcast_cost(self) -> u32 {
+        self.broadcast_cost
+    }
+
+    /// Cost of one bus operation in bus cycles (Table 2).
+    pub fn op_cost(self, op: BusOp) -> u32 {
+        let t = self.timing;
+        let words = self.words_per_block;
+        match (self.kind, op) {
+            // A block fetch: address, then the data words; the
+            // non-pipelined bus also holds the bus during the wait.
+            (BusKind::Pipelined, BusOp::MemRead) => t.send_address + words * t.transfer_word,
+            (BusKind::NonPipelined, BusOp::MemRead) => {
+                t.send_address + t.wait_memory + words * t.transfer_word
+            }
+            (BusKind::Pipelined, BusOp::CacheSupply) => t.send_address + words * t.transfer_word,
+            (BusKind::NonPipelined, BusOp::CacheSupply) => {
+                t.send_address + t.wait_cache + words * t.transfer_word
+            }
+            // Write-back: address goes out with the first data word; the
+            // memory-side write proceeds off the bus (interleaved memory).
+            (_, BusOp::WriteBack) => words * t.transfer_word,
+            // Write-through / write-update move one word.
+            (BusKind::Pipelined, BusOp::WriteThrough | BusOp::WriteUpdate) => t.transfer_word,
+            (BusKind::NonPipelined, BusOp::WriteThrough | BusOp::WriteUpdate) => {
+                t.send_address + t.transfer_word
+            }
+            // A directory check that could not overlap a memory access.
+            (BusKind::Pipelined, BusOp::DirLookup) => t.send_address,
+            (BusKind::NonPipelined, BusOp::DirLookup) => t.send_address + t.wait_directory,
+            // A dataless state-update message occupies the bus like a
+            // single invalidation (Yen & Fu single-bit maintenance).
+            (_, BusOp::DirUpdate) => t.invalidate,
+            (_, BusOp::Invalidate) => t.invalidate,
+            (_, BusOp::BroadcastInvalidate) => self.broadcast_cost,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipelined_matches_table_2() {
+        let m = CostModel::pipelined();
+        assert_eq!(m.op_cost(BusOp::MemRead), 5);
+        assert_eq!(m.op_cost(BusOp::CacheSupply), 5);
+        assert_eq!(m.op_cost(BusOp::WriteBack), 4);
+        assert_eq!(m.op_cost(BusOp::WriteThrough), 1);
+        assert_eq!(m.op_cost(BusOp::WriteUpdate), 1);
+        assert_eq!(m.op_cost(BusOp::DirLookup), 1);
+        assert_eq!(m.op_cost(BusOp::Invalidate), 1);
+        assert_eq!(m.op_cost(BusOp::BroadcastInvalidate), 1);
+    }
+
+    #[test]
+    fn non_pipelined_matches_table_2() {
+        let m = CostModel::non_pipelined();
+        assert_eq!(m.op_cost(BusOp::MemRead), 7);
+        assert_eq!(m.op_cost(BusOp::CacheSupply), 6);
+        assert_eq!(m.op_cost(BusOp::WriteBack), 4);
+        assert_eq!(m.op_cost(BusOp::WriteThrough), 2);
+        assert_eq!(m.op_cost(BusOp::WriteUpdate), 2);
+        assert_eq!(m.op_cost(BusOp::DirLookup), 3);
+        assert_eq!(m.op_cost(BusOp::Invalidate), 1);
+    }
+
+    #[test]
+    fn broadcast_cost_is_parameterisable() {
+        let m = CostModel::pipelined().with_broadcast_cost(8);
+        assert_eq!(m.op_cost(BusOp::BroadcastInvalidate), 8);
+        assert_eq!(m.op_cost(BusOp::Invalidate), 1, "directed unchanged");
+    }
+
+    #[test]
+    fn block_size_scales_fetches() {
+        let m = CostModel::pipelined().with_words_per_block(8);
+        assert_eq!(m.op_cost(BusOp::MemRead), 9);
+        assert_eq!(m.op_cost(BusOp::WriteBack), 8);
+    }
+
+    #[test]
+    fn for_kind_matches_constructors() {
+        assert_eq!(CostModel::for_kind(BusKind::Pipelined), CostModel::pipelined());
+        assert_eq!(
+            CostModel::for_kind(BusKind::NonPipelined),
+            CostModel::non_pipelined()
+        );
+    }
+
+    #[test]
+    fn kind_display() {
+        assert_eq!(BusKind::Pipelined.to_string(), "pipelined");
+        assert_eq!(BusKind::NonPipelined.to_string(), "non-pipelined");
+    }
+
+    #[test]
+    fn paper_timing_is_default() {
+        assert_eq!(BusTiming::default(), BusTiming::PAPER);
+    }
+}

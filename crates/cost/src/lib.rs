@@ -1,0 +1,35 @@
+//! # dirsim-cost
+//!
+//! Bus cost models for the directory-scheme evaluation (§4.3 of the paper):
+//! primitive bus timings (Table 1), the pipelined and non-pipelined cost
+//! derivations (Table 2), and aggregation of priced bus operations into the
+//! paper's metrics — bus cycles per reference, the Table 5 category
+//! breakdown, the Figure 5 per-transaction view, and the §5.1 fixed-overhead
+//! extension.
+//!
+//! The split between *event frequencies* (measured once per protocol by the
+//! simulator) and *costs* (applied afterwards) is the paper's own
+//! methodology: "since the choice of the hardware model is independent of
+//! the event frequencies, we need just one simulation run per protocol".
+//!
+//! ```
+//! use dirsim_cost::{CostBreakdown, CostModel};
+//! use dirsim_protocol::{BusOp, OpCounts};
+//!
+//! let mut ops = OpCounts::new();
+//! ops.record(BusOp::MemRead, 62);        // e.g. 0.62% misses over 10k refs
+//! ops.record(BusOp::BroadcastInvalidate, 4);
+//! let breakdown = CostBreakdown::price(&ops, 10_000, 66, CostModel::pipelined());
+//! assert!(breakdown.cycles_per_ref() > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod aggregate;
+pub mod bus;
+pub mod network;
+
+pub use aggregate::{CostBreakdown, CostCategory};
+pub use bus::{BusKind, BusTiming, CostModel};
+pub use network::{NetworkModel, Placement, Topology};

@@ -1,0 +1,342 @@
+//! Interconnection-network traffic models — the paper's scaling argument,
+//! quantified.
+//!
+//! The paper's case for directories (§1–§2): snoopy schemes cannot scale
+//! because "the consistency protocol relies on low-latency broadcasts",
+//! while a directory's messages are *directed* and "can be easily sent
+//! over any arbitrary interconnection network". The bus-cycle metric of
+//! §4 cannot express that difference — on a bus every transaction is
+//! inherently a broadcast. This module prices the same recorded
+//! [`BusOp`]s on richer topologies in **link-cycles per reference**
+//! (flit-hops: one flit crossing one link for one cycle):
+//!
+//! * [`Topology::Bus`] — a single shared medium; everything costs its
+//!   flit count, broadcast is free, capacity is one flit per cycle.
+//! * [`Topology::Crossbar`] — point-to-point; directed messages cost one
+//!   hop, a broadcast must be repeated to every node, capacity grows
+//!   linearly with ports.
+//! * [`Topology::Mesh2D`] — a √n×√n mesh with dimension-order routing;
+//!   directed messages pay the average Manhattan distance, broadcasts
+//!   flood every node, capacity grows with the link count.
+//!
+//! Snoopy protocols additionally require every coherence transaction's
+//! *address* to be observed by all caches ([`Placement::Snoopy`]) — on a
+//! network that means flooding the address portion of every operation,
+//! which is precisely why the paper says replacing the bus with a faster
+//! network "will not be successful" for snoopy schemes.
+
+use std::fmt;
+
+use dirsim_protocol::{BusOp, OpCounts};
+
+/// Network topology for traffic pricing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Topology {
+    /// One shared bus (the paper's medium).
+    Bus,
+    /// Full crossbar between all nodes.
+    Crossbar,
+    /// Two-dimensional mesh, dimension-order routed.
+    Mesh2D,
+}
+
+impl Topology {
+    /// All topologies, in increasing scalability order.
+    pub const ALL: [Topology; 3] = [Topology::Bus, Topology::Crossbar, Topology::Mesh2D];
+}
+
+impl fmt::Display for Topology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Topology::Bus => f.write_str("bus"),
+            Topology::Crossbar => f.write_str("crossbar"),
+            Topology::Mesh2D => f.write_str("mesh"),
+        }
+    }
+}
+
+/// How a protocol's transactions interact with the medium.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Placement {
+    /// Directory protocol: every message is directed; only explicit
+    /// [`BusOp::BroadcastInvalidate`] operations flood.
+    Directory,
+    /// Snoopy protocol: the address of *every* transaction must reach
+    /// every cache (that is what "snooping" means), so each operation's
+    /// address flit floods; data still moves point-to-point.
+    Snoopy,
+}
+
+impl fmt::Display for Placement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Placement::Directory => f.write_str("directory"),
+            Placement::Snoopy => f.write_str("snoopy"),
+        }
+    }
+}
+
+/// Prices [`BusOp`]s in link-cycles on a given topology.
+///
+/// # Examples
+///
+/// ```
+/// use dirsim_cost::network::{NetworkModel, Placement, Topology};
+/// use dirsim_protocol::BusOp;
+///
+/// let mesh64 = NetworkModel::new(Topology::Mesh2D, 64);
+/// // A directed invalidation crosses the average distance once:
+/// let inv = mesh64.op_traffic(BusOp::Invalidate, Placement::Directory);
+/// // A broadcast must reach all 63 other nodes:
+/// let bcast = mesh64.op_traffic(BusOp::BroadcastInvalidate, Placement::Directory);
+/// assert!(bcast > 5.0 * inv);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetworkModel {
+    topology: Topology,
+    nodes: u32,
+    words_per_block: u32,
+}
+
+impl NetworkModel {
+    /// Creates a model of `nodes` processor/memory nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes == 0`.
+    pub fn new(topology: Topology, nodes: u32) -> Self {
+        assert!(nodes > 0, "a network needs at least one node");
+        NetworkModel {
+            topology,
+            nodes,
+            words_per_block: 4,
+        }
+    }
+
+    /// Overrides the block size in words.
+    pub fn with_words_per_block(mut self, words: u32) -> Self {
+        self.words_per_block = words;
+        self
+    }
+
+    /// The topology.
+    pub fn topology(self) -> Topology {
+        self.topology
+    }
+
+    /// Node count.
+    pub fn nodes(self) -> u32 {
+        self.nodes
+    }
+
+    /// Mesh side length (⌈√n⌉).
+    fn mesh_side(self) -> f64 {
+        (f64::from(self.nodes)).sqrt().ceil()
+    }
+
+    /// Average hops for a directed message between uniformly random nodes.
+    pub fn avg_hops(self) -> f64 {
+        match self.topology {
+            Topology::Bus | Topology::Crossbar => 1.0,
+            Topology::Mesh2D => {
+                // Average Manhattan distance on an s×s mesh is
+                // 2·(s − 1/s)/3 per traversal (both dimensions included).
+                let s = self.mesh_side();
+                (2.0 / 3.0) * (s - 1.0 / s) * 2.0
+            }
+        }
+    }
+
+    /// Link-cycles for one flit to reach *every* node (a flood).
+    pub fn flood_cost(self) -> f64 {
+        match self.topology {
+            // The bus is inherently a broadcast medium.
+            Topology::Bus => 1.0,
+            // A crossbar must repeat the message to each other port.
+            Topology::Crossbar => f64::from(self.nodes.saturating_sub(1)).max(1.0),
+            // A spanning-tree flood crosses each of n−1 tree links once.
+            Topology::Mesh2D => f64::from(self.nodes.saturating_sub(1)).max(1.0),
+        }
+    }
+
+    /// Total link capacity in flits per network cycle.
+    pub fn link_capacity(self) -> f64 {
+        match self.topology {
+            Topology::Bus => 1.0,
+            Topology::Crossbar => f64::from(self.nodes),
+            Topology::Mesh2D => {
+                // 2·s·(s−1) bidirectional links, two directions each.
+                let s = self.mesh_side();
+                (4.0 * s * (s - 1.0)).max(1.0)
+            }
+        }
+    }
+
+    /// Address and data flit counts for one operation.
+    fn flits(self, op: BusOp) -> (f64, f64) {
+        let block = f64::from(self.words_per_block);
+        match op {
+            BusOp::MemRead | BusOp::CacheSupply => (1.0, block),
+            BusOp::WriteBack => (1.0, block),
+            BusOp::WriteThrough | BusOp::WriteUpdate => (1.0, 1.0),
+            BusOp::DirLookup | BusOp::DirUpdate => (1.0, 0.0),
+            BusOp::Invalidate => (1.0, 0.0),
+            BusOp::BroadcastInvalidate => (1.0, 0.0),
+        }
+    }
+
+    /// Traffic of one operation in link-cycles.
+    ///
+    /// Directory placement sends directed messages over the average
+    /// distance; snoopy placement floods the address flit of every
+    /// operation (all caches must snoop it) and moves data point-to-point.
+    /// Explicit broadcasts and snoopy write-updates flood regardless.
+    pub fn op_traffic(self, op: BusOp, placement: Placement) -> f64 {
+        let (addr, data) = self.flits(op);
+        let hops = self.avg_hops();
+        match (placement, op) {
+            (_, BusOp::BroadcastInvalidate) => addr * self.flood_cost(),
+            // A snoopy update/write-through must deliver its word to every
+            // sharer it cannot name: address and data both flood.
+            (Placement::Snoopy, BusOp::WriteUpdate | BusOp::WriteThrough) => {
+                (addr + data) * self.flood_cost()
+            }
+            (Placement::Snoopy, _) => addr * self.flood_cost() + data * hops,
+            (Placement::Directory, _) => (addr + data) * hops,
+        }
+    }
+
+    /// Total traffic per reference for a recorded operation mix.
+    pub fn traffic_per_ref(self, ops: &OpCounts, refs: u64, placement: Placement) -> f64 {
+        assert!(refs > 0, "cannot normalise over zero references");
+        ops.iter()
+            .map(|(op, n)| n as f64 * self.op_traffic(op, placement))
+            .sum::<f64>()
+            / refs as f64
+    }
+
+    /// Upper bound on the number of processors the network sustains, given
+    /// each issues `refs_per_cycle` references per network cycle costing
+    /// `traffic_per_ref` link-cycles each.
+    ///
+    /// Returns infinity when the traffic is zero.
+    pub fn saturation_processors(self, traffic_per_ref: f64, refs_per_cycle: f64) -> f64 {
+        let demand = traffic_per_ref * refs_per_cycle;
+        if demand <= 0.0 {
+            f64::INFINITY
+        } else {
+            self.link_capacity() / demand
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bus_matches_intuition() {
+        let bus = NetworkModel::new(Topology::Bus, 16);
+        assert_eq!(bus.avg_hops(), 1.0);
+        assert_eq!(bus.flood_cost(), 1.0);
+        assert_eq!(bus.link_capacity(), 1.0);
+        // Bus directed and broadcast invalidations cost the same (§4.3's
+        // simplifying assumption).
+        assert_eq!(
+            bus.op_traffic(BusOp::Invalidate, Placement::Directory),
+            bus.op_traffic(BusOp::BroadcastInvalidate, Placement::Directory)
+        );
+    }
+
+    #[test]
+    fn crossbar_broadcast_scales_linearly() {
+        let small = NetworkModel::new(Topology::Crossbar, 4);
+        let large = NetworkModel::new(Topology::Crossbar, 64);
+        assert_eq!(
+            small.op_traffic(BusOp::BroadcastInvalidate, Placement::Directory),
+            3.0
+        );
+        assert_eq!(
+            large.op_traffic(BusOp::BroadcastInvalidate, Placement::Directory),
+            63.0
+        );
+        // Directed messages don't grow.
+        assert_eq!(
+            small.op_traffic(BusOp::Invalidate, Placement::Directory),
+            large.op_traffic(BusOp::Invalidate, Placement::Directory)
+        );
+    }
+
+    #[test]
+    fn mesh_directed_grows_as_sqrt_n() {
+        let m16 = NetworkModel::new(Topology::Mesh2D, 16);
+        let m256 = NetworkModel::new(Topology::Mesh2D, 256);
+        let t16 = m16.op_traffic(BusOp::Invalidate, Placement::Directory);
+        let t256 = m256.op_traffic(BusOp::Invalidate, Placement::Directory);
+        // 4x the side length → about 4x the hops, far below 16x.
+        assert!(t256 / t16 > 2.0 && t256 / t16 < 8.0, "ratio {}", t256 / t16);
+    }
+
+    #[test]
+    fn snoopy_floods_every_address() {
+        let mesh = NetworkModel::new(Topology::Mesh2D, 64);
+        let directory = mesh.op_traffic(BusOp::MemRead, Placement::Directory);
+        let snoopy = mesh.op_traffic(BusOp::MemRead, Placement::Snoopy);
+        assert!(
+            snoopy > 1.8 * directory,
+            "snoopy {snoopy} vs directory {directory}"
+        );
+    }
+
+    #[test]
+    fn snoopy_updates_flood_data_too() {
+        let mesh = NetworkModel::new(Topology::Mesh2D, 64);
+        let upd_snoopy = mesh.op_traffic(BusOp::WriteUpdate, Placement::Snoopy);
+        let upd_dir = mesh.op_traffic(BusOp::WriteUpdate, Placement::Directory);
+        assert!(upd_snoopy > 4.0 * upd_dir);
+    }
+
+    #[test]
+    fn traffic_per_ref_normalises() {
+        let mut ops = OpCounts::new();
+        ops.record(BusOp::Invalidate, 10);
+        let bus = NetworkModel::new(Topology::Bus, 4);
+        let t = bus.traffic_per_ref(&ops, 1000, Placement::Directory);
+        assert!((t - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn saturation_grows_with_capacity() {
+        let bus = NetworkModel::new(Topology::Bus, 64);
+        let mesh = NetworkModel::new(Topology::Mesh2D, 64);
+        let t = 0.1;
+        assert!(
+            mesh.saturation_processors(t, 0.5) > 10.0 * bus.saturation_processors(t, 0.5)
+        );
+        assert!(bus.saturation_processors(0.0, 0.5).is_infinite());
+    }
+
+    #[test]
+    fn mesh_capacity_counts_links() {
+        let m16 = NetworkModel::new(Topology::Mesh2D, 16); // 4x4
+        assert_eq!(m16.link_capacity(), 4.0 * 4.0 * 3.0); // 2·s·(s−1)·2
+    }
+
+    #[test]
+    fn block_size_scales_data_flits() {
+        let m = NetworkModel::new(Topology::Crossbar, 8).with_words_per_block(8);
+        assert_eq!(m.op_traffic(BusOp::MemRead, Placement::Directory), 9.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn zero_nodes_rejected() {
+        let _ = NetworkModel::new(Topology::Bus, 0);
+    }
+
+    #[test]
+    fn displays() {
+        assert_eq!(Topology::Mesh2D.to_string(), "mesh");
+        assert_eq!(Placement::Snoopy.to_string(), "snoopy");
+    }
+}

@@ -1,0 +1,185 @@
+//! Property tests for the cost models: derivation invariants and
+//! aggregation algebra.
+
+use proptest::prelude::*;
+
+use dirsim_cost::{BusKind, BusTiming, CostBreakdown, CostCategory, CostModel};
+use dirsim_protocol::{BusOp, OpCounts};
+
+fn arbitrary_ops() -> impl Strategy<Value = OpCounts> {
+    prop::collection::vec((0..9usize, 0u64..1000), 0..20).prop_map(|pairs| {
+        let mut ops = OpCounts::new();
+        for (i, n) in pairs {
+            ops.record(BusOp::ALL[i], n);
+        }
+        ops
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The non-pipelined bus never beats the pipelined bus on any op.
+    #[test]
+    fn non_pipelined_dominates(op_idx in 0..9usize) {
+        let op = BusOp::ALL[op_idx];
+        let pipe = CostModel::pipelined().op_cost(op);
+        let nonpipe = CostModel::non_pipelined().op_cost(op);
+        prop_assert!(nonpipe >= pipe, "{op}: {nonpipe} < {pipe}");
+        prop_assert!(pipe > 0, "every op occupies at least one cycle");
+    }
+
+    /// Costs derive monotonically from the primitive timings.
+    #[test]
+    fn costs_monotone_in_timings(extra in 0u32..5, op_idx in 0..9usize) {
+        let op = BusOp::ALL[op_idx];
+        let base = BusTiming::PAPER;
+        let slower = BusTiming {
+            transfer_word: base.transfer_word + extra,
+            invalidate: base.invalidate + extra,
+            wait_directory: base.wait_directory + extra,
+            wait_memory: base.wait_memory + extra,
+            wait_cache: base.wait_cache + extra,
+            send_address: base.send_address + extra,
+        };
+        for kind in BusKind::ALL {
+            let a = CostModel::new(kind, base).op_cost(op);
+            let b = CostModel::new(kind, slower).op_cost(op);
+            prop_assert!(b >= a);
+        }
+    }
+
+    /// Broadcast cost only affects broadcast invalidations.
+    #[test]
+    fn broadcast_cost_is_isolated(b in 1u32..100, op_idx in 0..9usize) {
+        let op = BusOp::ALL[op_idx];
+        let base = CostModel::pipelined();
+        let wide = base.with_broadcast_cost(b);
+        if op == BusOp::BroadcastInvalidate {
+            prop_assert_eq!(wide.op_cost(op), b);
+        } else {
+            prop_assert_eq!(wide.op_cost(op), base.op_cost(op));
+        }
+    }
+
+    /// Cycles/ref equals the op-weighted sum divided by refs, exactly.
+    #[test]
+    fn pricing_is_exact(ops in arbitrary_ops(), refs in 1u64..1_000_000) {
+        let model = CostModel::pipelined();
+        let bd = CostBreakdown::price(&ops, refs, 0, model);
+        let expected: f64 = ops
+            .iter()
+            .map(|(op, n)| n as f64 * f64::from(model.op_cost(op)))
+            .sum::<f64>()
+            / refs as f64;
+        prop_assert!((bd.cycles_per_ref() - expected).abs() < 1e-9);
+    }
+
+    /// Category cycles partition the total.
+    #[test]
+    fn categories_partition_total(ops in arbitrary_ops(), refs in 1u64..100_000) {
+        let bd = CostBreakdown::price(&ops, refs, 0, CostModel::non_pipelined());
+        let sum: f64 = CostCategory::ALL.iter().map(|&c| bd[c]).sum();
+        prop_assert!((sum - bd.cycles_per_ref()).abs() < 1e-9);
+    }
+
+    /// Fractions sum to 1 whenever any cost exists.
+    #[test]
+    fn fractions_normalise(ops in arbitrary_ops(), refs in 1u64..100_000) {
+        let bd = CostBreakdown::price(&ops, refs, 0, CostModel::pipelined());
+        let sum: f64 = bd.fractions().iter().map(|(_, f)| f).sum();
+        if bd.cycles_per_ref() > 0.0 {
+            prop_assert!((sum - 1.0).abs() < 1e-9);
+        } else {
+            prop_assert_eq!(sum, 0.0);
+        }
+    }
+
+    /// The overhead model is monotone and affine in q.
+    #[test]
+    fn overhead_monotone_affine(
+        ops in arbitrary_ops(),
+        refs in 1u64..100_000,
+        txns_frac in 0.0f64..1.0,
+        q1 in 0.0f64..10.0,
+        q2 in 0.0f64..10.0,
+    ) {
+        let txns = (refs as f64 * txns_frac) as u64;
+        let bd = CostBreakdown::price(&ops, refs, txns, CostModel::pipelined());
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        prop_assert!(
+            bd.cycles_per_ref_with_overhead(lo) <= bd.cycles_per_ref_with_overhead(hi) + 1e-12
+        );
+        // Affine: midpoint interpolates.
+        let mid = (lo + hi) / 2.0;
+        let interp = (bd.cycles_per_ref_with_overhead(lo)
+            + bd.cycles_per_ref_with_overhead(hi))
+            / 2.0;
+        prop_assert!((bd.cycles_per_ref_with_overhead(mid) - interp).abs() < 1e-9);
+    }
+
+    /// Block size scales fetch-class ops linearly and leaves word ops alone.
+    #[test]
+    fn block_size_scaling(words in 1u32..64) {
+        let base = CostModel::pipelined();
+        let scaled = base.with_words_per_block(words);
+        prop_assert_eq!(scaled.op_cost(BusOp::MemRead), 1 + words);
+        prop_assert_eq!(scaled.op_cost(BusOp::WriteBack), words);
+        prop_assert_eq!(scaled.op_cost(BusOp::WriteThrough), 1);
+        prop_assert_eq!(scaled.op_cost(BusOp::Invalidate), 1);
+    }
+
+    /// Network model: directed traffic never exceeds snoopy traffic for
+    /// the same op, on any topology and size.
+    #[test]
+    fn network_directory_never_worse_than_snoopy(
+        nodes in 1u32..512,
+        op_idx in 0..9usize,
+        topo_idx in 0..3usize,
+    ) {
+        use dirsim_cost::network::{NetworkModel, Placement, Topology};
+        let op = BusOp::ALL[op_idx];
+        let model = NetworkModel::new(Topology::ALL[topo_idx], nodes);
+        let dir = model.op_traffic(op, Placement::Directory);
+        let snoop = model.op_traffic(op, Placement::Snoopy);
+        prop_assert!(dir <= snoop + 1e-9, "{op} on n={nodes}: dir {dir} > snoopy {snoop}");
+        prop_assert!(dir >= 0.0 && snoop.is_finite());
+    }
+
+    /// Network model: flood cost is monotone in node count off the bus,
+    /// and bus flood cost is constant.
+    #[test]
+    fn network_flood_monotone(a in 1u32..256, b in 1u32..256) {
+        use dirsim_cost::network::{NetworkModel, Topology};
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        for topo in [Topology::Crossbar, Topology::Mesh2D] {
+            let fl = NetworkModel::new(topo, lo).flood_cost();
+            let fh = NetworkModel::new(topo, hi).flood_cost();
+            prop_assert!(fl <= fh);
+        }
+        prop_assert_eq!(NetworkModel::new(Topology::Bus, lo).flood_cost(), 1.0);
+        prop_assert_eq!(NetworkModel::new(Topology::Bus, hi).flood_cost(), 1.0);
+    }
+
+    /// Network traffic-per-ref is linear in operation counts.
+    #[test]
+    fn network_traffic_is_linear(ops in arbitrary_ops(), refs in 1u64..100_000) {
+        use dirsim_cost::network::{NetworkModel, Placement, Topology};
+        let model = NetworkModel::new(Topology::Mesh2D, 64);
+        let single = model.traffic_per_ref(&ops, refs, Placement::Directory);
+        let mut doubled = ops;
+        doubled.merge(&ops);
+        let double = model.traffic_per_ref(&doubled, refs, Placement::Directory);
+        prop_assert!((double - 2.0 * single).abs() < 1e-6);
+    }
+
+    /// Saturation bound scales inversely with traffic.
+    #[test]
+    fn network_saturation_inverse(traffic in 0.001f64..10.0) {
+        use dirsim_cost::network::{NetworkModel, Topology};
+        let model = NetworkModel::new(Topology::Crossbar, 16);
+        let p1 = model.saturation_processors(traffic, 1.0);
+        let p2 = model.saturation_processors(2.0 * traffic, 1.0);
+        prop_assert!((p1 / p2 - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,154 @@
+//! Block addressing.
+//!
+//! The paper simulates 16-byte (4-word) blocks throughout (§4). [`BlockMap`]
+//! converts byte addresses into [`BlockAddr`] block numbers for a given
+//! power-of-two block size.
+
+use std::fmt;
+
+use dirsim_trace::Addr;
+
+/// A cache-block number (byte address divided by block size).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct BlockAddr(u64);
+
+impl BlockAddr {
+    /// Creates a block number directly.
+    pub const fn new(index: u64) -> Self {
+        BlockAddr(index)
+    }
+
+    /// Returns the raw block number.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for BlockAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "blk{:#x}", self.0)
+    }
+}
+
+impl From<u64> for BlockAddr {
+    fn from(value: u64) -> Self {
+        BlockAddr(value)
+    }
+}
+
+/// Error returned when constructing a [`BlockMap`] with an invalid size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvalidBlockSize(pub u32);
+
+impl fmt::Display for InvalidBlockSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "block size {} is not a positive power of two", self.0)
+    }
+}
+
+impl std::error::Error for InvalidBlockSize {}
+
+/// Maps byte addresses to block numbers for a fixed block size.
+///
+/// # Examples
+///
+/// ```
+/// use dirsim_mem::block::BlockMap;
+/// use dirsim_trace::Addr;
+///
+/// let map = BlockMap::new(16).expect("16 is a power of two");
+/// assert_eq!(map.block_of(Addr::new(0x0)), map.block_of(Addr::new(0xF)));
+/// assert_ne!(map.block_of(Addr::new(0xF)), map.block_of(Addr::new(0x10)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockMap {
+    shift: u32,
+}
+
+impl BlockMap {
+    /// The paper's block size: 4 words of 4 bytes.
+    pub const PAPER_BLOCK_BYTES: u32 = 16;
+
+    /// Creates a map for the given block size in bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidBlockSize`] unless `bytes` is a positive power of
+    /// two.
+    pub fn new(bytes: u32) -> Result<Self, InvalidBlockSize> {
+        if bytes == 0 || !bytes.is_power_of_two() {
+            return Err(InvalidBlockSize(bytes));
+        }
+        Ok(BlockMap {
+            shift: bytes.trailing_zeros(),
+        })
+    }
+
+    /// The map for the paper's 16-byte blocks.
+    pub fn paper() -> Self {
+        BlockMap::new(Self::PAPER_BLOCK_BYTES).expect("16 is a power of two")
+    }
+
+    /// Block size in bytes.
+    pub fn block_bytes(self) -> u32 {
+        1 << self.shift
+    }
+
+    /// The block containing a byte address.
+    pub fn block_of(self, addr: Addr) -> BlockAddr {
+        BlockAddr(addr.raw() >> self.shift)
+    }
+
+    /// First byte address of a block (inverse of [`Self::block_of`] up to
+    /// the offset within the block).
+    pub fn base_of(self, block: BlockAddr) -> Addr {
+        Addr::new(block.raw() << self.shift)
+    }
+}
+
+impl Default for BlockMap {
+    fn default() -> Self {
+        BlockMap::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_block_is_16_bytes() {
+        assert_eq!(BlockMap::paper().block_bytes(), 16);
+        assert_eq!(BlockMap::default(), BlockMap::paper());
+    }
+
+    #[test]
+    fn rejects_bad_sizes() {
+        assert_eq!(BlockMap::new(0), Err(InvalidBlockSize(0)));
+        assert_eq!(BlockMap::new(24), Err(InvalidBlockSize(24)));
+        assert!(BlockMap::new(64).is_ok());
+    }
+
+    #[test]
+    fn block_boundaries() {
+        let m = BlockMap::paper();
+        assert_eq!(m.block_of(Addr::new(0)), BlockAddr::new(0));
+        assert_eq!(m.block_of(Addr::new(15)), BlockAddr::new(0));
+        assert_eq!(m.block_of(Addr::new(16)), BlockAddr::new(1));
+        assert_eq!(m.block_of(Addr::new(31)), BlockAddr::new(1));
+    }
+
+    #[test]
+    fn base_of_inverts() {
+        let m = BlockMap::new(64).unwrap();
+        let b = m.block_of(Addr::new(0x1234));
+        let base = m.base_of(b);
+        assert_eq!(base.raw() % 64, 0);
+        assert_eq!(m.block_of(base), b);
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(InvalidBlockSize(24).to_string().contains("24"));
+    }
+}

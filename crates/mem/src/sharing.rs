@@ -1,0 +1,144 @@
+//! Sharing identity and first-reference tracking.
+//!
+//! §4.4 of the paper: the ATUM traces exhibit some sharing induced purely by
+//! process migration. Since a large machine would minimise migration, the
+//! paper attributes cached data to *processes* rather than processors — a
+//! block is shared only if more than one process touches it. The authors
+//! also measured the processor-based attribution and found little
+//! difference. [`SharingModel`] selects between the two attributions.
+//!
+//! [`FirstRefTracker`] implements the paper's cold-miss exclusion (§4): the
+//! first reference to each block in the trace would miss in a uniprocessor
+//! infinite cache too, so it is classified separately (`rm-first-ref` /
+//! `wm-first-ref`) and excluded from coherence cost.
+
+use std::collections::HashSet;
+
+use dirsim_trace::MemRef;
+
+use crate::block::BlockAddr;
+use crate::cache::CacheId;
+
+/// How references are attributed to caches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SharingModel {
+    /// One cache per *process* — the paper's primary model, which excludes
+    /// migration-induced sharing.
+    #[default]
+    PerProcess,
+    /// One cache per *processor* — the physical attribution.
+    PerProcessor,
+}
+
+impl SharingModel {
+    /// The cache a reference is attributed to under this model.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dirsim_mem::sharing::SharingModel;
+    /// use dirsim_mem::cache::CacheId;
+    /// use dirsim_trace::{MemRef, CpuId, ProcessId, Addr};
+    ///
+    /// let r = MemRef::read(CpuId::new(2), ProcessId::new(5), Addr::new(0));
+    /// assert_eq!(SharingModel::PerProcess.cache_of(&r), CacheId::new(5));
+    /// assert_eq!(SharingModel::PerProcessor.cache_of(&r), CacheId::new(2));
+    /// ```
+    pub fn cache_of(self, r: &MemRef) -> CacheId {
+        match self {
+            SharingModel::PerProcess => CacheId::new(r.pid.index() as u32),
+            SharingModel::PerProcessor => CacheId::new(r.cpu.index() as u32),
+        }
+    }
+}
+
+impl std::fmt::Display for SharingModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SharingModel::PerProcess => f.write_str("per-process"),
+            SharingModel::PerProcessor => f.write_str("per-processor"),
+        }
+    }
+}
+
+/// Tracks which blocks have been referenced at least once in the trace.
+///
+/// The *first* reference to a block is a cold miss that a uniprocessor
+/// infinite cache would also take; the paper counts it separately and
+/// excludes it from coherence cost.
+#[derive(Debug, Clone, Default)]
+pub struct FirstRefTracker {
+    seen: HashSet<BlockAddr>,
+}
+
+impl FirstRefTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a reference to `block`, returning `true` iff this is the
+    /// first reference to that block in the trace.
+    pub fn observe(&mut self, block: BlockAddr) -> bool {
+        self.seen.insert(block)
+    }
+
+    /// Whether `block` has been referenced before.
+    pub fn is_known(&self, block: BlockAddr) -> bool {
+        self.seen.contains(&block)
+    }
+
+    /// Number of distinct blocks referenced so far.
+    pub fn distinct_blocks(&self) -> usize {
+        self.seen.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dirsim_trace::{Addr, CpuId, ProcessId};
+
+    #[test]
+    fn per_process_attribution() {
+        let r = MemRef::read(CpuId::new(1), ProcessId::new(9), Addr::new(0));
+        assert_eq!(SharingModel::PerProcess.cache_of(&r), CacheId::new(9));
+    }
+
+    #[test]
+    fn per_processor_attribution() {
+        let r = MemRef::read(CpuId::new(1), ProcessId::new(9), Addr::new(0));
+        assert_eq!(SharingModel::PerProcessor.cache_of(&r), CacheId::new(1));
+    }
+
+    #[test]
+    fn default_model_is_per_process() {
+        assert_eq!(SharingModel::default(), SharingModel::PerProcess);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(SharingModel::PerProcess.to_string(), "per-process");
+        assert_eq!(SharingModel::PerProcessor.to_string(), "per-processor");
+    }
+
+    #[test]
+    fn first_ref_tracker_reports_first_only_once() {
+        let mut t = FirstRefTracker::new();
+        let b = BlockAddr::new(7);
+        assert!(t.observe(b));
+        assert!(!t.observe(b));
+        assert!(t.is_known(b));
+        assert!(!t.is_known(BlockAddr::new(8)));
+        assert_eq!(t.distinct_blocks(), 1);
+    }
+
+    #[test]
+    fn tracker_counts_distinct_blocks() {
+        let mut t = FirstRefTracker::new();
+        for i in 0..10 {
+            t.observe(BlockAddr::new(i % 5));
+        }
+        assert_eq!(t.distinct_blocks(), 5);
+    }
+}

@@ -1,0 +1,218 @@
+//! Property tests for the memory substrate: model-based LRU checking for
+//! the finite cache, and adversarial probing of the coherence oracle.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+
+use dirsim_mem::{
+    BlockAddr, CacheGeometry, CacheId, CacheStorage, FiniteCache, InfiniteCache, OracleViolation,
+    ShadowMemory,
+};
+
+/// A reference model of an LRU set-associative cache.
+#[derive(Debug, Default)]
+struct ModelCache {
+    /// set index -> (block -> last-touch tick)
+    sets: HashMap<u64, HashMap<u64, u64>>,
+    tick: u64,
+}
+
+impl ModelCache {
+    fn set_of(&self, geometry: CacheGeometry, block: u64) -> u64 {
+        block & u64::from(geometry.sets - 1)
+    }
+
+    fn touch(&mut self, geometry: CacheGeometry, block: u64) -> bool {
+        self.tick += 1;
+        let set = self.set_of(geometry, block);
+        if let Some(slot) = self.sets.entry(set).or_default().get_mut(&block) {
+            *slot = self.tick;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn insert(&mut self, geometry: CacheGeometry, block: u64) -> Option<u64> {
+        self.tick += 1;
+        let tick = self.tick;
+        let set_idx = self.set_of(geometry, block);
+        let set = self.sets.entry(set_idx).or_default();
+        if let std::collections::hash_map::Entry::Occupied(mut e) = set.entry(block) {
+            e.insert(tick);
+            return None;
+        }
+        let mut victim = None;
+        if set.len() >= geometry.ways as usize {
+            let (&lru, _) = set
+                .iter()
+                .min_by_key(|(_, &stamp)| stamp)
+                .expect("full set is non-empty");
+            set.remove(&lru);
+            victim = Some(lru);
+        }
+        set.insert(block, tick);
+        victim
+    }
+
+    fn remove(&mut self, geometry: CacheGeometry, block: u64) -> bool {
+        let set = self.set_of(geometry, block);
+        self.sets
+            .get_mut(&set)
+            .is_some_and(|s| s.remove(&block).is_some())
+    }
+
+    fn len(&self) -> usize {
+        self.sets.values().map(HashMap::len).sum()
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum CacheOp {
+    Touch(u64),
+    Insert(u64),
+    Remove(u64),
+}
+
+fn cache_ops(blocks: u64, len: usize) -> impl Strategy<Value = Vec<CacheOp>> {
+    prop::collection::vec(
+        (0..3u8, 0..blocks).prop_map(|(kind, b)| match kind {
+            0 => CacheOp::Touch(b),
+            1 => CacheOp::Insert(b),
+            _ => CacheOp::Remove(b),
+        }),
+        1..len,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The finite cache agrees with a straightforward LRU model on every
+    /// operation outcome.
+    #[test]
+    fn finite_cache_matches_lru_model(
+        ops in cache_ops(64, 300),
+        sets_log in 0u32..4,
+        ways in 1u32..5,
+    ) {
+        let geometry = CacheGeometry { sets: 1 << sets_log, ways };
+        let mut real: FiniteCache<u64> = FiniteCache::new(geometry).unwrap();
+        let mut model = ModelCache::default();
+        for op in ops {
+            match op {
+                CacheOp::Touch(b) => {
+                    let got = real.touch(BlockAddr::new(b)).is_some();
+                    let want = model.touch(geometry, b);
+                    prop_assert_eq!(got, want, "touch({})", b);
+                }
+                CacheOp::Insert(b) => {
+                    let got = real.insert(BlockAddr::new(b), b).map(|(v, _)| v.raw());
+                    let want = model.insert(geometry, b);
+                    prop_assert_eq!(got, want, "insert({})", b);
+                }
+                CacheOp::Remove(b) => {
+                    let got = real.remove(BlockAddr::new(b)).is_some();
+                    let want = model.remove(geometry, b);
+                    prop_assert_eq!(got, want, "remove({})", b);
+                }
+            }
+            prop_assert_eq!(real.len(), model.len());
+            prop_assert!(real.len() <= real.capacity());
+        }
+    }
+
+    /// The infinite cache is a plain map: everything inserted stays.
+    #[test]
+    fn infinite_cache_retains_everything(blocks in prop::collection::vec(0u64..1000, 1..200)) {
+        let mut c = InfiniteCache::new();
+        for &b in &blocks {
+            prop_assert!(c.insert(BlockAddr::new(b), b).is_none());
+        }
+        for &b in &blocks {
+            prop_assert_eq!(c.peek(BlockAddr::new(b)), Some(&b));
+        }
+    }
+
+    /// Legal oracle walks never report violations: fills from fresh
+    /// sources, writes by holders, write-backs before invalidating dirty
+    /// copies.
+    #[test]
+    fn oracle_accepts_legal_histories(
+        script in prop::collection::vec((0u32..4, 0u8..4), 1..200)
+    ) {
+        let mut oracle = ShadowMemory::new();
+        let block = BlockAddr::new(0);
+        // Track a legal single-writer protocol by hand.
+        let mut holders: Vec<u32> = Vec::new();
+        let mut dirty: Option<u32> = None;
+        for (cache, action) in script {
+            let c = CacheId::new(cache);
+            match action {
+                // Acquire a clean copy.
+                0 => {
+                    if let Some(d) = dirty {
+                        oracle.write_back(CacheId::new(d), block).unwrap();
+                        dirty = None;
+                    }
+                    oracle.fill_from_memory(c, block).unwrap();
+                    if !holders.contains(&cache) {
+                        holders.push(cache);
+                    }
+                }
+                // Write: invalidate others first.
+                1 => {
+                    if !holders.contains(&cache) {
+                        if let Some(d) = dirty {
+                            oracle.write_back(CacheId::new(d), block).unwrap();
+                            dirty = None;
+                        }
+                        oracle.fill_from_memory(c, block).unwrap();
+                        holders.push(cache);
+                    }
+                    for &h in holders.iter().filter(|&&h| h != cache) {
+                        if dirty == Some(h) {
+                            oracle.write_back(CacheId::new(h), block).unwrap();
+                        }
+                        oracle.invalidate(CacheId::new(h), block).unwrap();
+                    }
+                    holders.retain(|&h| h == cache);
+                    oracle.write(c, block).unwrap();
+                    dirty = Some(cache);
+                }
+                // Read own copy if held.
+                2 => {
+                    if holders.contains(&cache)
+                        && (dirty.is_none() || dirty == Some(cache))
+                    {
+                        oracle.check_read(c, block).unwrap();
+                    }
+                }
+                // Write back if dirty holder.
+                _ => {
+                    if dirty == Some(cache) {
+                        oracle.write_back(c, block).unwrap();
+                        dirty = None;
+                    }
+                }
+            }
+        }
+    }
+
+    /// The oracle always catches a planted stale read.
+    #[test]
+    fn oracle_detects_planted_staleness(writers in 1u32..4) {
+        let mut oracle = ShadowMemory::new();
+        let block = BlockAddr::new(9);
+        oracle.fill_from_memory(CacheId::new(0), block).unwrap();
+        oracle.fill_from_memory(CacheId::new(writers), block).unwrap();
+        for _ in 0..writers {
+            oracle.write(CacheId::new(writers), block).unwrap();
+        }
+        // Cache 0 was never invalidated or updated: its read must fail.
+        let err = oracle.check_read(CacheId::new(0), block).unwrap_err();
+        let is_stale = matches!(err, OracleViolation::StaleRead { .. });
+        prop_assert!(is_stale);
+    }
+}

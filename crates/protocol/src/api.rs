@@ -1,0 +1,92 @@
+//! The protocol interface.
+//!
+//! A [`CoherenceProtocol`] is a state machine over (cache, block) pairs. The
+//! simulation engine feeds it every *data* reference (instruction fetches
+//! cause no coherence traffic in the paper's model) and receives a
+//! [`crate::ops::RefOutcome`]: the Table 4 event classification,
+//! the bus operations to price, and the data movements for the correctness
+//! oracle.
+//!
+//! Cold misses — the first reference to a block in the trace — are detected
+//! by the protocol itself (the block has no state yet) and contribute no bus
+//! operations, implementing the paper's first-reference exclusion (§4).
+
+use dirsim_mem::{BlockAddr, CacheId};
+
+use crate::ops::RefOutcome;
+
+/// Inspection snapshot of one block's protocol state (for tests and
+/// invariant checks).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct BlockProbe {
+    /// Caches currently holding a copy, in insertion order.
+    pub holders: Vec<CacheId>,
+    /// Whether the block is dirty (modified relative to memory) — or, for
+    /// write-through protocols, exclusively held since its last write.
+    pub dirty: bool,
+}
+
+impl BlockProbe {
+    /// The dirty holder, if the block is dirty.
+    ///
+    /// By the single-writer invariant a dirty block has exactly one holder.
+    pub fn dirty_holder(&self) -> Option<CacheId> {
+        if self.dirty {
+            self.holders.first().copied()
+        } else {
+            None
+        }
+    }
+}
+
+/// A cache-coherence protocol state machine.
+///
+/// Implementations: the `Dir_i{B,NB}` directory family
+/// ([`crate::directory::DirectoryProtocol`]), the coarse-vector directory
+/// ([`crate::directory::CoarseVectorProtocol`]), and the snoopy baselines
+/// ([`crate::snoopy`]).
+pub trait CoherenceProtocol {
+    /// Human-readable scheme name in the paper's notation (`Dir1NB`,
+    /// `Dir0B`, `WTI`, `Dragon`, …).
+    fn name(&self) -> String;
+
+    /// Number of caches in the system.
+    fn cache_count(&self) -> u32;
+
+    /// Processes one data reference by `cache` to `block`; `write` selects
+    /// store vs load. Returns the classification and its consequences.
+    fn on_data_ref(&mut self, cache: CacheId, block: BlockAddr, write: bool) -> RefOutcome;
+
+    /// Capacity replacement: `cache` drops its copy of `block` (finite-cache
+    /// simulation, the paper's §4 extension). Returns the bus operations the
+    /// replacement causes — a write-back if the dropped copy was dirty,
+    /// nothing for a clean drop — with no event classification (`event` is
+    /// `None`). A no-op if the cache holds no copy.
+    fn evict(&mut self, cache: CacheId, block: BlockAddr) -> RefOutcome;
+
+    /// Snapshot of a block's state, or `None` if the block has never been
+    /// referenced.
+    fn probe(&self, block: BlockAddr) -> Option<BlockProbe>;
+
+    /// Number of distinct blocks with protocol state.
+    fn tracked_blocks(&self) -> usize;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probe_dirty_holder() {
+        let p = BlockProbe {
+            holders: vec![CacheId::new(3)],
+            dirty: true,
+        };
+        assert_eq!(p.dirty_holder(), Some(CacheId::new(3)));
+        let q = BlockProbe {
+            holders: vec![CacheId::new(3), CacheId::new(4)],
+            dirty: false,
+        };
+        assert_eq!(q.dirty_holder(), None);
+    }
+}

@@ -1,0 +1,25 @@
+//! The directory-scheme family — the paper's primary subject.
+//!
+//! * [`DirSpec`] — the `Dir_i{B,NB}` classification (§2).
+//! * [`DirectoryProtocol`] — one machine covering `Dir1NB`, `Dir0B`,
+//!   `Dir1B`, `DiriB`, `DiriNB` and `DirnNB`.
+//! * [`CoarseVectorProtocol`] / [`CoarseCode`] — §6's `2·log n`-bit
+//!   superset code with limited-broadcast invalidation.
+//! * [`Tang`] — Tang's duplicate-tag directory organisation.
+//! * [`YenFu`] — the Yen & Fu per-cache single-bit refinement.
+//! * [`DirUpdate`] — a directory-driven *update* protocol (the fourth
+//!   quadrant of {snoopy, directory} × {invalidate, update}).
+
+mod coarse;
+mod machine;
+mod spec;
+mod tang;
+mod update;
+mod yenfu;
+
+pub use coarse::{CoarseCode, CoarseVectorProtocol};
+pub use machine::DirectoryProtocol;
+pub use spec::{DirSpec, EvictionPolicy, PointerCapacity, SpecError};
+pub use tang::Tang;
+pub use update::DirUpdate;
+pub use yenfu::YenFu;

@@ -1,0 +1,250 @@
+//! The `Dir_i X` classification of directory schemes (§2 of the paper).
+//!
+//! A directory scheme is characterised by **`i`**, the number of cache
+//! pointers each directory entry can store, and **`X ∈ {B, NB}`**, whether
+//! the scheme may fall back to **B**roadcast invalidation when the pointers
+//! overflow, or forbids broadcast (**NB**) by limiting the number of cached
+//! copies to `i`.
+//!
+//! In this terminology (paper §2):
+//! * Tang's and Censier–Feautrier's schemes are `Dir_n NB` (full map),
+//! * Archibald–Baer's two-bit scheme is `Dir_0 B`,
+//! * the single-copy scheme is `Dir_1 NB`,
+//! * §6's one-pointer-plus-broadcast-bit scheme is `Dir_1 B`.
+//!
+//! `Dir_0 NB` "does not make sense, since there is no way to obtain
+//! exclusive access" — [`DirSpec::new`] rejects it.
+
+use std::fmt;
+
+/// Number of cache pointers per directory entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PointerCapacity {
+    /// Exactly `i` pointers (`Dir_i …`).
+    Limited(u32),
+    /// One pointer per cache in the system — a full bit map
+    /// (`Dir_n …`, Censier & Feautrier).
+    Full,
+}
+
+impl PointerCapacity {
+    /// Concrete pointer count given the system's cache count.
+    pub fn resolve(self, caches: u32) -> u32 {
+        match self {
+            PointerCapacity::Limited(i) => i,
+            PointerCapacity::Full => caches,
+        }
+    }
+}
+
+/// Victim selection when a no-broadcast scheme must shed a sharer to stay
+/// within its pointer capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum EvictionPolicy {
+    /// Invalidate the longest-resident sharer (FIFO). Deterministic and the
+    /// default.
+    #[default]
+    OldestSharer,
+    /// Invalidate the most recently added sharer other than the requester.
+    NewestSharer,
+}
+
+/// Error for directory specifications that make no sense.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpecError {
+    /// `Dir_0 NB`: with zero pointers and no broadcast there is no way to
+    /// obtain exclusive access (paper §2).
+    Dir0NbMeaningless,
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::Dir0NbMeaningless => write!(
+                f,
+                "Dir0NB does not make sense: no way to obtain exclusive access"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// Specification of one point in the `Dir_i X` design space.
+///
+/// # Examples
+///
+/// ```
+/// use dirsim_protocol::directory::{DirSpec, PointerCapacity};
+///
+/// assert_eq!(DirSpec::dir0_b().to_string(), "Dir0B");
+/// assert_eq!(DirSpec::dir1_nb().to_string(), "Dir1NB");
+/// assert_eq!(DirSpec::dir_n_nb().to_string(), "DirnNB");
+/// let d4b = DirSpec::new(PointerCapacity::Limited(4), true).expect("valid");
+/// assert_eq!(d4b.to_string(), "Dir4B");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DirSpec {
+    pointers: PointerCapacity,
+    broadcast: bool,
+    eviction: EvictionPolicy,
+}
+
+impl DirSpec {
+    /// Creates a specification; rejects the meaningless `Dir0NB` point.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError::Dir0NbMeaningless`] for zero pointers without
+    /// broadcast.
+    pub fn new(pointers: PointerCapacity, broadcast: bool) -> Result<Self, SpecError> {
+        if pointers == PointerCapacity::Limited(0) && !broadcast {
+            return Err(SpecError::Dir0NbMeaningless);
+        }
+        Ok(DirSpec {
+            pointers,
+            broadcast,
+            eviction: EvictionPolicy::default(),
+        })
+    }
+
+    /// `Dir_0 B` — the Archibald–Baer two-bit scheme.
+    pub fn dir0_b() -> Self {
+        DirSpec::new(PointerCapacity::Limited(0), true).expect("Dir0B is valid")
+    }
+
+    /// `Dir_1 NB` — at most one cached copy of any block.
+    pub fn dir1_nb() -> Self {
+        DirSpec::new(PointerCapacity::Limited(1), false).expect("Dir1NB is valid")
+    }
+
+    /// `Dir_1 B` — one pointer plus a broadcast bit (§6).
+    pub fn dir1_b() -> Self {
+        DirSpec::new(PointerCapacity::Limited(1), true).expect("Dir1B is valid")
+    }
+
+    /// `Dir_n NB` — full-map directory with sequential invalidation
+    /// (Censier & Feautrier, evaluated in §6).
+    pub fn dir_n_nb() -> Self {
+        DirSpec::new(PointerCapacity::Full, false).expect("DirnNB is valid")
+    }
+
+    /// `Dir_i NB` with `i ≥ 1` pointers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError::Dir0NbMeaningless`] when `i == 0`.
+    pub fn dir_i_nb(i: u32) -> Result<Self, SpecError> {
+        DirSpec::new(PointerCapacity::Limited(i), false)
+    }
+
+    /// `Dir_i B` with `i` pointers and a broadcast bit.
+    pub fn dir_i_b(i: u32) -> Self {
+        DirSpec::new(PointerCapacity::Limited(i), true).expect("DiriB is valid")
+    }
+
+    /// Returns the same specification with a different eviction policy.
+    pub fn with_eviction(mut self, policy: EvictionPolicy) -> Self {
+        self.eviction = policy;
+        self
+    }
+
+    /// Pointer capacity.
+    pub fn pointers(self) -> PointerCapacity {
+        self.pointers
+    }
+
+    /// Whether broadcast fallback is allowed (`B` vs `NB`).
+    pub fn allows_broadcast(self) -> bool {
+        self.broadcast
+    }
+
+    /// Eviction policy for no-broadcast pointer overflow.
+    pub fn eviction(self) -> EvictionPolicy {
+        self.eviction
+    }
+
+    /// Whether copies are capacity-limited (an `NB` scheme with limited
+    /// pointers).
+    pub fn limits_copies(self) -> bool {
+        !self.broadcast && matches!(self.pointers, PointerCapacity::Limited(_))
+    }
+
+    /// Whether this is the single-copy `Dir1NB` scheme, whose clean write
+    /// hits are free (exclusivity is guaranteed, so no directory
+    /// notification is needed — the paper's Table 5 shows no unoverlapped
+    /// directory accesses for `Dir1NB`).
+    pub fn is_single_copy(self) -> bool {
+        !self.broadcast && self.pointers == PointerCapacity::Limited(1)
+    }
+}
+
+impl fmt::Display for DirSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let suffix = if self.broadcast { "B" } else { "NB" };
+        match self.pointers {
+            PointerCapacity::Limited(i) => write!(f, "Dir{i}{suffix}"),
+            PointerCapacity::Full => write!(f, "Dirn{suffix}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dir0_nb_is_rejected() {
+        assert_eq!(
+            DirSpec::new(PointerCapacity::Limited(0), false),
+            Err(SpecError::Dir0NbMeaningless)
+        );
+        assert_eq!(DirSpec::dir_i_nb(0), Err(SpecError::Dir0NbMeaningless));
+        assert!(SpecError::Dir0NbMeaningless
+            .to_string()
+            .contains("exclusive access"));
+    }
+
+    #[test]
+    fn names_match_paper_notation() {
+        assert_eq!(DirSpec::dir0_b().to_string(), "Dir0B");
+        assert_eq!(DirSpec::dir1_nb().to_string(), "Dir1NB");
+        assert_eq!(DirSpec::dir1_b().to_string(), "Dir1B");
+        assert_eq!(DirSpec::dir_n_nb().to_string(), "DirnNB");
+        assert_eq!(DirSpec::dir_i_b(3).to_string(), "Dir3B");
+        assert_eq!(DirSpec::dir_i_nb(2).unwrap().to_string(), "Dir2NB");
+        assert_eq!(
+            DirSpec::new(PointerCapacity::Full, true).unwrap().to_string(),
+            "DirnB"
+        );
+    }
+
+    #[test]
+    fn capacity_resolution() {
+        assert_eq!(PointerCapacity::Limited(3).resolve(16), 3);
+        assert_eq!(PointerCapacity::Full.resolve(16), 16);
+    }
+
+    #[test]
+    fn limits_copies_only_for_limited_nb() {
+        assert!(DirSpec::dir1_nb().limits_copies());
+        assert!(DirSpec::dir_i_nb(4).unwrap().limits_copies());
+        assert!(!DirSpec::dir_n_nb().limits_copies());
+        assert!(!DirSpec::dir0_b().limits_copies());
+        assert!(!DirSpec::dir1_b().limits_copies());
+    }
+
+    #[test]
+    fn single_copy_detection() {
+        assert!(DirSpec::dir1_nb().is_single_copy());
+        assert!(!DirSpec::dir_i_nb(2).unwrap().is_single_copy());
+        assert!(!DirSpec::dir1_b().is_single_copy());
+    }
+
+    #[test]
+    fn eviction_policy_is_configurable() {
+        let spec = DirSpec::dir1_nb().with_eviction(EvictionPolicy::NewestSharer);
+        assert_eq!(spec.eviction(), EvictionPolicy::NewestSharer);
+        assert_eq!(DirSpec::dir1_nb().eviction(), EvictionPolicy::OldestSharer);
+    }
+}

@@ -1,0 +1,353 @@
+//! The reference-event taxonomy of the paper's Table 4.
+//!
+//! Every memory reference is classified into exactly one [`EventKind`]
+//! according to the protocol's *state-change model*. Event frequencies
+//! depend only on that model, not on how the protocol implements it — the
+//! paper's key observation explaining why `Dir0B` and WTI have identical
+//! frequencies (§5). Costs are attached separately (see `dirsim-cost`).
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// Classification of one memory reference (the paper's Table 4 legend).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum EventKind {
+    /// Instruction fetch (assumed to cause no coherence traffic).
+    Instr,
+    /// Read hit.
+    RdHit,
+    /// Read miss; block clean in another cache (or only in memory).
+    RmBlkCln,
+    /// Read miss; block dirty in another cache.
+    RmBlkDrty,
+    /// Read miss; first reference to the block in the trace (cold miss,
+    /// excluded from coherence cost).
+    RmFirstRef,
+    /// Write hit; block clean in the writing cache.
+    WhBlkCln,
+    /// Write hit; block already dirty in the writing cache.
+    WhBlkDrty,
+    /// Write hit; block also present in another cache (update protocols).
+    WhDistrib,
+    /// Write hit; block in no other cache (update protocols).
+    WhLocal,
+    /// Write miss; block clean in another cache (or only in memory).
+    WmBlkCln,
+    /// Write miss; block dirty in another cache.
+    WmBlkDrty,
+    /// Write miss; first reference to the block in the trace (cold miss,
+    /// excluded from coherence cost).
+    WmFirstRef,
+}
+
+impl EventKind {
+    /// All event kinds, in the paper's Table 4 order.
+    pub const ALL: [EventKind; 12] = [
+        EventKind::Instr,
+        EventKind::RdHit,
+        EventKind::RmBlkCln,
+        EventKind::RmBlkDrty,
+        EventKind::RmFirstRef,
+        EventKind::WhBlkCln,
+        EventKind::WhBlkDrty,
+        EventKind::WhDistrib,
+        EventKind::WhLocal,
+        EventKind::WmBlkCln,
+        EventKind::WmBlkDrty,
+        EventKind::WmFirstRef,
+    ];
+
+    /// The paper's hyphenated name for this event.
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::Instr => "instr",
+            EventKind::RdHit => "rd-hit",
+            EventKind::RmBlkCln => "rm-blk-cln",
+            EventKind::RmBlkDrty => "rm-blk-drty",
+            EventKind::RmFirstRef => "rm-first-ref",
+            EventKind::WhBlkCln => "wh-blk-cln",
+            EventKind::WhBlkDrty => "wh-blk-drty",
+            EventKind::WhDistrib => "wh-distrib",
+            EventKind::WhLocal => "wh-local",
+            EventKind::WmBlkCln => "wm-blk-cln",
+            EventKind::WmBlkDrty => "wm-blk-drty",
+            EventKind::WmFirstRef => "wm-first-ref",
+        }
+    }
+
+    /// Whether this is a read-miss event (`rm`).
+    pub fn is_read_miss(self) -> bool {
+        matches!(self, EventKind::RmBlkCln | EventKind::RmBlkDrty)
+    }
+
+    /// Whether this is a write-miss event (`wm`).
+    pub fn is_write_miss(self) -> bool {
+        matches!(self, EventKind::WmBlkCln | EventKind::WmBlkDrty)
+    }
+
+    /// Whether this is a write-hit event (`wh`).
+    pub fn is_write_hit(self) -> bool {
+        matches!(
+            self,
+            EventKind::WhBlkCln | EventKind::WhBlkDrty | EventKind::WhDistrib | EventKind::WhLocal
+        )
+    }
+
+    /// Whether this is a cold (first-reference) miss, excluded from
+    /// coherence cost by the paper's methodology (§4).
+    pub fn is_first_ref(self) -> bool {
+        matches!(self, EventKind::RmFirstRef | EventKind::WmFirstRef)
+    }
+
+    fn ordinal(self) -> usize {
+        match self {
+            EventKind::Instr => 0,
+            EventKind::RdHit => 1,
+            EventKind::RmBlkCln => 2,
+            EventKind::RmBlkDrty => 3,
+            EventKind::RmFirstRef => 4,
+            EventKind::WhBlkCln => 5,
+            EventKind::WhBlkDrty => 6,
+            EventKind::WhDistrib => 7,
+            EventKind::WhLocal => 8,
+            EventKind::WmBlkCln => 9,
+            EventKind::WmBlkDrty => 10,
+            EventKind::WmFirstRef => 11,
+        }
+    }
+}
+
+impl fmt::Display for EventKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Event counts accumulated over a reference stream.
+///
+/// Indexable by [`EventKind`]; provides the derived aggregates the paper's
+/// Table 4 reports (reads, writes, miss rates, …).
+///
+/// # Examples
+///
+/// ```
+/// use dirsim_protocol::event::{EventCounts, EventKind};
+///
+/// let mut counts = EventCounts::new();
+/// counts.record(EventKind::RdHit);
+/// counts.record(EventKind::RmBlkCln);
+/// assert_eq!(counts.total(), 2);
+/// assert_eq!(counts[EventKind::RdHit], 1);
+/// assert!((counts.frequency(EventKind::RmBlkCln) - 0.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EventCounts {
+    counts: [u64; 12],
+}
+
+impl EventCounts {
+    /// Creates a zeroed table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one event.
+    pub fn record(&mut self, kind: EventKind) {
+        self.counts[kind.ordinal()] += 1;
+    }
+
+    /// Total references classified (sum over all kinds).
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Frequency of an event as a fraction of all references.
+    pub fn frequency(&self, kind: EventKind) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            self[kind] as f64 / total as f64
+        }
+    }
+
+    /// Total data reads (`rd-hit + rm + rm-first-ref`).
+    pub fn reads(&self) -> u64 {
+        self[EventKind::RdHit]
+            + self.read_misses()
+            + self[EventKind::RmFirstRef]
+    }
+
+    /// Total data writes (`wh + wm + wm-first-ref`).
+    pub fn writes(&self) -> u64 {
+        self.write_hits() + self.write_misses() + self[EventKind::WmFirstRef]
+    }
+
+    /// Read misses excluding cold misses (`rm` in the paper).
+    pub fn read_misses(&self) -> u64 {
+        self[EventKind::RmBlkCln] + self[EventKind::RmBlkDrty]
+    }
+
+    /// Write misses excluding cold misses (`wm` in the paper).
+    pub fn write_misses(&self) -> u64 {
+        self[EventKind::WmBlkCln] + self[EventKind::WmBlkDrty]
+    }
+
+    /// Write hits (`wh` in the paper).
+    pub fn write_hits(&self) -> u64 {
+        self[EventKind::WhBlkCln]
+            + self[EventKind::WhBlkDrty]
+            + self[EventKind::WhDistrib]
+            + self[EventKind::WhLocal]
+    }
+
+    /// Data miss rate including cold misses, as a fraction of all
+    /// references — the paper's "native + coherence" miss rate.
+    pub fn data_miss_rate(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let misses = self.read_misses()
+            + self.write_misses()
+            + self[EventKind::RmFirstRef]
+            + self[EventKind::WmFirstRef];
+        misses as f64 / total as f64
+    }
+
+    /// Coherence-induced miss rate (excludes cold misses).
+    pub fn coherence_miss_rate(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        (self.read_misses() + self.write_misses()) as f64 / total as f64
+    }
+
+    /// Merges another count table into this one.
+    pub fn merge(&mut self, other: &EventCounts) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+    }
+
+    /// Iterates `(kind, count)` pairs in Table 4 order.
+    pub fn iter(&self) -> impl Iterator<Item = (EventKind, u64)> + '_ {
+        EventKind::ALL.iter().map(move |&k| (k, self[k]))
+    }
+}
+
+impl Index<EventKind> for EventCounts {
+    type Output = u64;
+
+    fn index(&self, kind: EventKind) -> &u64 {
+        &self.counts[kind.ordinal()]
+    }
+}
+
+impl IndexMut<EventKind> for EventCounts {
+    fn index_mut(&mut self, kind: EventKind) -> &mut u64 {
+        &mut self.counts[kind.ordinal()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_covers_every_kind_once() {
+        let mut seen = std::collections::HashSet::new();
+        for k in EventKind::ALL {
+            assert!(seen.insert(k), "{k} repeated");
+        }
+        assert_eq!(seen.len(), 12);
+    }
+
+    #[test]
+    fn ordinals_are_dense_and_unique() {
+        let mut seen = [false; 12];
+        for k in EventKind::ALL {
+            assert!(!seen[k.ordinal()]);
+            seen[k.ordinal()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn names_match_paper() {
+        assert_eq!(EventKind::RmBlkCln.name(), "rm-blk-cln");
+        assert_eq!(EventKind::WhDistrib.name(), "wh-distrib");
+        assert_eq!(EventKind::WmFirstRef.to_string(), "wm-first-ref");
+    }
+
+    #[test]
+    fn predicates() {
+        assert!(EventKind::RmBlkCln.is_read_miss());
+        assert!(!EventKind::RmFirstRef.is_read_miss());
+        assert!(EventKind::WmBlkDrty.is_write_miss());
+        assert!(EventKind::WhLocal.is_write_hit());
+        assert!(EventKind::RmFirstRef.is_first_ref());
+        assert!(EventKind::WmFirstRef.is_first_ref());
+        assert!(!EventKind::RdHit.is_first_ref());
+    }
+
+    #[test]
+    fn record_and_totals() {
+        let mut c = EventCounts::new();
+        c.record(EventKind::Instr);
+        c.record(EventKind::RdHit);
+        c.record(EventKind::RdHit);
+        c.record(EventKind::WmBlkCln);
+        assert_eq!(c.total(), 4);
+        assert_eq!(c[EventKind::RdHit], 2);
+        assert_eq!(c.reads(), 2);
+        assert_eq!(c.writes(), 1);
+        assert_eq!(c.write_misses(), 1);
+    }
+
+    #[test]
+    fn miss_rates() {
+        let mut c = EventCounts::new();
+        for _ in 0..6 {
+            c.record(EventKind::RdHit);
+        }
+        c.record(EventKind::RmBlkCln);
+        c.record(EventKind::RmFirstRef);
+        c.record(EventKind::WmBlkDrty);
+        c.record(EventKind::WmFirstRef);
+        assert!((c.data_miss_rate() - 0.4).abs() < 1e-12);
+        assert!((c.coherence_miss_rate() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_rates_are_zero() {
+        let c = EventCounts::new();
+        assert_eq!(c.total(), 0);
+        assert_eq!(c.frequency(EventKind::RdHit), 0.0);
+        assert_eq!(c.data_miss_rate(), 0.0);
+        assert_eq!(c.coherence_miss_rate(), 0.0);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = EventCounts::new();
+        a.record(EventKind::RdHit);
+        let mut b = EventCounts::new();
+        b.record(EventKind::RdHit);
+        b.record(EventKind::Instr);
+        a.merge(&b);
+        assert_eq!(a[EventKind::RdHit], 2);
+        assert_eq!(a[EventKind::Instr], 1);
+    }
+
+    #[test]
+    fn iter_in_table_order() {
+        let mut c = EventCounts::new();
+        c.record(EventKind::WmFirstRef);
+        let pairs: Vec<_> = c.iter().collect();
+        assert_eq!(pairs.len(), 12);
+        assert_eq!(pairs[0].0, EventKind::Instr);
+        assert_eq!(pairs[11], (EventKind::WmFirstRef, 1));
+    }
+}

@@ -1,0 +1,227 @@
+//! Ordered set of caches holding a block.
+//!
+//! [`SharerSet`] preserves *insertion order* so that pointer-limited
+//! directory schemes can apply deterministic eviction policies (evict the
+//! oldest sharer), and so that broadcast-free invalidation can enumerate
+//! holders in a stable order.
+
+use dirsim_mem::CacheId;
+
+/// Insertion-ordered set of cache identities.
+///
+/// Sized for coherence simulations (tens to a few thousand caches); lookups
+/// are linear, which is faster than hashing at these cardinalities.
+///
+/// # Examples
+///
+/// ```
+/// use dirsim_protocol::sharer_set::SharerSet;
+/// use dirsim_mem::CacheId;
+///
+/// let mut s = SharerSet::new();
+/// s.insert(CacheId::new(2));
+/// s.insert(CacheId::new(0));
+/// s.insert(CacheId::new(2)); // duplicate, ignored
+/// assert_eq!(s.len(), 2);
+/// assert_eq!(s.oldest(), Some(CacheId::new(2)));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SharerSet {
+    members: Vec<CacheId>,
+}
+
+impl SharerSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a set holding a single cache.
+    pub fn singleton(cache: CacheId) -> Self {
+        SharerSet {
+            members: vec![cache],
+        }
+    }
+
+    /// Inserts a cache; returns `true` if it was not already present.
+    pub fn insert(&mut self, cache: CacheId) -> bool {
+        if self.contains(cache) {
+            false
+        } else {
+            self.members.push(cache);
+            true
+        }
+    }
+
+    /// Removes a cache; returns `true` if it was present.
+    pub fn remove(&mut self, cache: CacheId) -> bool {
+        match self.members.iter().position(|&c| c == cache) {
+            Some(i) => {
+                self.members.remove(i);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Whether the cache is a member.
+    pub fn contains(&self, cache: CacheId) -> bool {
+        self.members.contains(&cache)
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// The earliest-inserted member still present, if any.
+    pub fn oldest(&self) -> Option<CacheId> {
+        self.members.first().copied()
+    }
+
+    /// The earliest-inserted member other than `except`, if any.
+    pub fn oldest_other(&self, except: CacheId) -> Option<CacheId> {
+        self.members.iter().copied().find(|&c| c != except)
+    }
+
+    /// Iterates members in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = CacheId> + '_ {
+        self.members.iter().copied()
+    }
+
+    /// Members other than `except`, in insertion order.
+    pub fn others(&self, except: CacheId) -> impl Iterator<Item = CacheId> + '_ {
+        self.members.iter().copied().filter(move |&c| c != except)
+    }
+
+    /// Number of members other than `except`.
+    pub fn count_others(&self, except: CacheId) -> usize {
+        self.members.iter().filter(|&&c| c != except).count()
+    }
+
+    /// Removes all members.
+    pub fn clear(&mut self) {
+        self.members.clear();
+    }
+
+    /// Retains only `cache` (dropping everything else).
+    pub fn retain_only(&mut self, cache: CacheId) {
+        self.members.retain(|&c| c == cache);
+    }
+}
+
+impl FromIterator<CacheId> for SharerSet {
+    fn from_iter<I: IntoIterator<Item = CacheId>>(iter: I) -> Self {
+        let mut set = SharerSet::new();
+        for c in iter {
+            set.insert(c);
+        }
+        set
+    }
+}
+
+impl Extend<CacheId> for SharerSet {
+    fn extend<I: IntoIterator<Item = CacheId>>(&mut self, iter: I) {
+        for c in iter {
+            self.insert(c);
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a SharerSet {
+    type Item = CacheId;
+    type IntoIter = std::iter::Copied<std::slice::Iter<'a, CacheId>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.members.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(i: u32) -> CacheId {
+        CacheId::new(i)
+    }
+
+    #[test]
+    fn insert_dedups() {
+        let mut s = SharerSet::new();
+        assert!(s.insert(c(1)));
+        assert!(!s.insert(c(1)));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn remove_and_contains() {
+        let mut s: SharerSet = [c(1), c(2), c(3)].into_iter().collect();
+        assert!(s.contains(c(2)));
+        assert!(s.remove(c(2)));
+        assert!(!s.remove(c(2)));
+        assert!(!s.contains(c(2)));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn insertion_order_preserved() {
+        let mut s = SharerSet::new();
+        s.insert(c(5));
+        s.insert(c(1));
+        s.insert(c(9));
+        let order: Vec<_> = s.iter().collect();
+        assert_eq!(order, vec![c(5), c(1), c(9)]);
+        assert_eq!(s.oldest(), Some(c(5)));
+    }
+
+    #[test]
+    fn oldest_other_skips_exception() {
+        let s: SharerSet = [c(5), c(1)].into_iter().collect();
+        assert_eq!(s.oldest_other(c(5)), Some(c(1)));
+        assert_eq!(s.oldest_other(c(1)), Some(c(5)));
+        let solo = SharerSet::singleton(c(7));
+        assert_eq!(solo.oldest_other(c(7)), None);
+    }
+
+    #[test]
+    fn others_and_count() {
+        let s: SharerSet = [c(1), c(2), c(3)].into_iter().collect();
+        let others: Vec<_> = s.others(c(2)).collect();
+        assert_eq!(others, vec![c(1), c(3)]);
+        assert_eq!(s.count_others(c(2)), 2);
+        assert_eq!(s.count_others(c(9)), 3);
+    }
+
+    #[test]
+    fn retain_only() {
+        let mut s: SharerSet = [c(1), c(2), c(3)].into_iter().collect();
+        s.retain_only(c(2));
+        assert_eq!(s.len(), 1);
+        assert!(s.contains(c(2)));
+        let mut t: SharerSet = [c(1)].into_iter().collect();
+        t.retain_only(c(9));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut s: SharerSet = [c(1), c(2)].into_iter().collect();
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.oldest(), None);
+    }
+
+    #[test]
+    fn extend_and_ref_iter() {
+        let mut s = SharerSet::new();
+        s.extend([c(1), c(2), c(1)]);
+        assert_eq!(s.len(), 2);
+        let via_ref: Vec<_> = (&s).into_iter().collect();
+        assert_eq!(via_ref, vec![c(1), c(2)]);
+    }
+}

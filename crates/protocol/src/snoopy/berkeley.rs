@@ -1,0 +1,146 @@
+//! The Berkeley Ownership cost derivation (§5's aside).
+//!
+//! The paper estimates the Berkeley Ownership snoopy protocol from the
+//! `Dir0B` event frequencies: both use the same state-change model, but a
+//! snooping cache learns from its own block state whether an invalidation
+//! is needed, so the directory-access cost drops to zero. (Berkeley's
+//! owned-shared state also lets a cache supply a dirty block directly; the
+//! paper notes this "does not impact our performance metric in the
+//! pipelined bus".)
+//!
+//! [`Berkeley`] is therefore the `Dir0B` machine with unoverlapped
+//! directory lookups stripped from the emitted bus operations — exactly the
+//! paper's derivation, expressed structurally.
+
+use dirsim_mem::{BlockAddr, CacheId};
+
+use crate::api::{BlockProbe, CoherenceProtocol};
+use crate::directory::{DirSpec, DirectoryProtocol};
+use crate::ops::RefOutcome;
+
+/// Berkeley Ownership, derived from `Dir0B` with free directory lookups.
+///
+/// # Examples
+///
+/// ```
+/// use dirsim_protocol::snoopy::Berkeley;
+/// use dirsim_protocol::api::CoherenceProtocol;
+/// use dirsim_protocol::ops::BusOp;
+/// use dirsim_mem::{BlockAddr, CacheId};
+///
+/// let mut berk = Berkeley::new(4);
+/// let b = BlockAddr::new(0);
+/// berk.on_data_ref(CacheId::new(0), b, false);
+/// let w = berk.on_data_ref(CacheId::new(0), b, true);
+/// // The cache's own state says whether to invalidate — no DirLookup op.
+/// assert!(!w.ops.contains(&BusOp::DirLookup));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Berkeley {
+    inner: DirectoryProtocol,
+}
+
+impl Berkeley {
+    /// Creates a Berkeley system with `caches` caches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `caches == 0`.
+    pub fn new(caches: u32) -> Self {
+        Berkeley {
+            inner: DirectoryProtocol::new(DirSpec::dir0_b(), caches).with_free_directory(),
+        }
+    }
+}
+
+impl CoherenceProtocol for Berkeley {
+    fn name(&self) -> String {
+        "Berkeley".to_string()
+    }
+
+    fn cache_count(&self) -> u32 {
+        self.inner.cache_count()
+    }
+
+    fn on_data_ref(&mut self, cache: CacheId, block: BlockAddr, write: bool) -> RefOutcome {
+        self.inner.on_data_ref(cache, block, write)
+    }
+
+    fn evict(&mut self, cache: CacheId, block: BlockAddr) -> RefOutcome {
+        self.inner.evict(cache, block)
+    }
+
+    fn probe(&self, block: BlockAddr) -> Option<BlockProbe> {
+        self.inner.probe(block)
+    }
+
+    fn tracked_blocks(&self) -> usize {
+        self.inner.tracked_blocks()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+    use crate::ops::BusOp;
+
+    const B: BlockAddr = BlockAddr::new(3);
+
+    fn c(i: u32) -> CacheId {
+        CacheId::new(i)
+    }
+
+    #[test]
+    fn never_emits_dir_lookup() {
+        let mut p = Berkeley::new(4);
+        let mut x: u64 = 3;
+        for _ in 0..3000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let out = p.on_data_ref(
+                c((x >> 33) as u32 % 4),
+                BlockAddr::new((x >> 13) % 8),
+                x % 3 == 0,
+            );
+            assert!(!out.ops.contains(&BusOp::DirLookup));
+        }
+    }
+
+    #[test]
+    fn events_match_dir0b() {
+        let mut berk = Berkeley::new(4);
+        let mut dir0b = DirectoryProtocol::new(DirSpec::dir0_b(), 4);
+        let mut x: u64 = 13;
+        for _ in 0..3000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let cache = c((x >> 33) as u32 % 4);
+            let block = BlockAddr::new((x >> 13) % 8);
+            let write = x % 3 == 0;
+            let a = berk.on_data_ref(cache, block, write);
+            let b = dir0b.on_data_ref(cache, block, write);
+            assert_eq!(a.kind(), b.kind());
+            // Ops are identical except DirLookup is stripped.
+            let b_ops: Vec<BusOp> = b
+                .ops
+                .iter()
+                .copied()
+                .filter(|&o| o != BusOp::DirLookup)
+                .collect();
+            assert_eq!(a.ops, b_ops);
+        }
+    }
+
+    #[test]
+    fn exclusive_clean_write_hit_is_totally_free() {
+        let mut p = Berkeley::new(4);
+        p.on_data_ref(c(0), B, false);
+        let out = p.on_data_ref(c(0), B, true);
+        assert_eq!(out.kind(), EventKind::WhBlkCln);
+        assert!(out.ops.is_empty(), "own state check needs no bus access");
+    }
+
+    #[test]
+    fn name_is_berkeley() {
+        assert_eq!(Berkeley::new(2).name(), "Berkeley");
+    }
+}

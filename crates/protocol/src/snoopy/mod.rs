@@ -1,0 +1,13 @@
+//! Snoopy-protocol baselines (§3): WTI at the simple/low-performance end,
+//! Dragon at the complex/high-performance end, plus the Berkeley Ownership
+//! derivation used in §5's comparison.
+
+mod berkeley;
+mod dragon;
+mod illinois;
+mod wti;
+
+pub use berkeley::Berkeley;
+pub use dragon::Dragon;
+pub use illinois::Illinois;
+pub use wti::Wti;

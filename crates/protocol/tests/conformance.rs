@@ -1,0 +1,232 @@
+//! Protocol conformance: classic sharing scenarios with the exact event
+//! sequence each scheme must produce, transition by transition. This is
+//! the table-driven specification of the state-change models of §2/§3.
+
+use dirsim_mem::{BlockAddr, CacheId};
+use dirsim_protocol::{EventKind, Scheme};
+
+use EventKind::*;
+
+/// Runs `accesses` (cache index, is-write) against `scheme` over one block
+/// and returns the classified events.
+fn events_for(scheme: Scheme, accesses: &[(u32, bool)]) -> Vec<EventKind> {
+    let mut protocol = scheme.build(4);
+    let block = BlockAddr::new(1);
+    accesses
+        .iter()
+        .map(|&(c, w)| protocol.on_data_ref(CacheId::new(c), block, w).kind())
+        .collect()
+}
+
+fn scheme(name: &str) -> Scheme {
+    name.parse().unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Asserts one scenario row.
+fn check(scheme_name: &str, accesses: &[(u32, bool)], expected: &[EventKind]) {
+    let got = events_for(scheme(scheme_name), accesses);
+    assert_eq!(
+        got, expected,
+        "{scheme_name} on {accesses:?}: got {got:?}, expected {expected:?}"
+    );
+}
+
+const R: bool = false;
+const W: bool = true;
+
+#[test]
+fn private_reuse_is_free_everywhere() {
+    // One cache reads then writes repeatedly: after the cold miss,
+    // everything stays local (the first write transitions clean→dirty).
+    let accesses = [(0, R), (0, R), (0, W), (0, W), (0, R)];
+    for s in ["Dir1NB", "DirnNB", "Dir0B", "Tang", "YenFu", "CoarseVector", "WTI", "Illinois", "Berkeley"] {
+        check(
+            s,
+            &accesses,
+            &[RmFirstRef, RdHit, WhBlkCln, WhBlkDrty, RdHit],
+        );
+    }
+    // Dragon uses the update-protocol classification for write hits.
+    check(
+        "Dragon",
+        &accesses,
+        &[RmFirstRef, RdHit, WhLocal, WhLocal, RdHit],
+    );
+}
+
+#[test]
+fn read_sharing_scenario() {
+    // Three readers then a write by the first.
+    let accesses = [(0, R), (1, R), (2, R), (0, W)];
+    // Multi-copy invalidation schemes: both later readers get clean misses,
+    // the write is a hit to a clean (shared) block.
+    for s in ["Dir0B", "DirnNB", "Tang", "YenFu", "CoarseVector", "WTI", "Illinois", "Berkeley"] {
+        check(s, &accesses, &[RmFirstRef, RmBlkCln, RmBlkCln, WhBlkCln]);
+    }
+    // Dragon never invalidates: the write hit is distributed.
+    check("Dragon", &accesses, &[RmFirstRef, RmBlkCln, RmBlkCln, WhDistrib]);
+    // Dir1NB bounces the single copy: cache 0 lost its copy to cache 2,
+    // so its "write" is a miss to a clean block.
+    check("Dir1NB", &accesses, &[RmFirstRef, RmBlkCln, RmBlkCln, WmBlkCln]);
+}
+
+#[test]
+fn migratory_ping_pong_scenario() {
+    // Two caches alternate read-modify-write.
+    let accesses = [(0, R), (0, W), (1, R), (1, W), (0, R), (0, W)];
+    for s in ["Dir0B", "DirnNB", "Tang", "YenFu", "CoarseVector", "Dir1NB", "WTI", "Illinois", "Berkeley"] {
+        check(
+            s,
+            &accesses,
+            &[
+                RmFirstRef, WhBlkCln, RmBlkDrty, WhBlkCln, RmBlkDrty, WhBlkCln,
+            ],
+        );
+    }
+    // Dragon: the handoff reads are supplied by the previous owner; the
+    // writes update the (still cached) stale copies.
+    check(
+        "Dragon",
+        &accesses,
+        &[RmFirstRef, WhLocal, RmBlkDrty, WhDistrib, RdHit, WhDistrib],
+    );
+}
+
+#[test]
+fn write_write_conflict_scenario() {
+    // Two caches write alternately with no reads at all.
+    let accesses = [(0, W), (1, W), (0, W), (1, W)];
+    for s in ["Dir0B", "DirnNB", "Tang", "YenFu", "CoarseVector", "Dir1NB", "WTI", "Illinois", "Berkeley"] {
+        check(s, &accesses, &[WmFirstRef, WmBlkDrty, WmBlkDrty, WmBlkDrty]);
+    }
+    // Dragon: the second writer fetches from the owner and updates; after
+    // that both hold copies forever, so later writes are distributed hits.
+    check(
+        "Dragon",
+        &accesses,
+        &[WmFirstRef, WmBlkDrty, WhDistrib, WhDistrib],
+    );
+}
+
+#[test]
+fn dirty_read_then_silent_reader_scenario() {
+    // A writer, then two readers; the block is flushed exactly once.
+    let accesses = [(0, W), (1, R), (2, R), (0, R)];
+    for s in ["Dir0B", "DirnNB", "Tang", "YenFu", "CoarseVector", "WTI", "Illinois", "Berkeley"] {
+        check(s, &accesses, &[WmFirstRef, RmBlkDrty, RmBlkCln, RdHit]);
+    }
+    // Dragon: the owner keeps supplying (memory stays stale).
+    check("Dragon", &accesses, &[WmFirstRef, RmBlkDrty, RmBlkDrty, RdHit]);
+    // Dir1NB: every reader steals the single copy; the final read by the
+    // original writer misses on a now-clean block.
+    check("Dir1NB", &accesses, &[WmFirstRef, RmBlkDrty, RmBlkCln, RmBlkCln]);
+}
+
+#[test]
+fn spin_lock_shape_scenario() {
+    // The §5.2 pathology in miniature: cache 1 polls while cache 0 holds.
+    // Under Dir0B the polls hit after one fill; under Dir1NB every poll
+    // alternating with the holder's accesses would bounce — here cache 1
+    // polls alone, so even Dir1NB settles.
+    let polls = [(0, W), (1, R), (1, R), (1, R), (1, R)];
+    check(
+        "Dir0B",
+        &polls,
+        &[WmFirstRef, RmBlkDrty, RdHit, RdHit, RdHit],
+    );
+    check(
+        "Dir1NB",
+        &polls,
+        &[WmFirstRef, RmBlkDrty, RdHit, RdHit, RdHit],
+    );
+    // Two alternating pollers under Dir1NB never stop missing:
+    let duel = [(0, R), (1, R), (0, R), (1, R), (0, R)];
+    check(
+        "Dir1NB",
+        &duel,
+        &[RmFirstRef, RmBlkCln, RmBlkCln, RmBlkCln, RmBlkCln],
+    );
+    // ...while Dir0B lets them all hit:
+    check(
+        "Dir0B",
+        &duel,
+        &[RmFirstRef, RmBlkCln, RdHit, RdHit, RdHit],
+    );
+}
+
+#[test]
+fn dir_update_matches_dragon_everywhere() {
+    // The directory update protocol shares Dragon's state-change model,
+    // scenario by scenario.
+    let scenarios: Vec<Vec<(u32, bool)>> = vec![
+        vec![(0, R), (0, R), (0, W), (0, W), (0, R)],
+        vec![(0, R), (1, R), (2, R), (0, W)],
+        vec![(0, R), (0, W), (1, R), (1, W), (0, R), (0, W)],
+        vec![(0, W), (1, W), (0, W), (1, W)],
+        vec![(0, W), (1, R), (2, R), (0, R)],
+    ];
+    for accesses in scenarios {
+        assert_eq!(
+            events_for(scheme("DirUpd"), &accesses),
+            events_for(scheme("Dragon"), &accesses),
+            "{accesses:?}"
+        );
+    }
+}
+
+#[test]
+fn berkeley_and_illinois_track_dir0b_events() {
+    // Both ownership protocols share the basic state-change model; only
+    // their bus operations differ (§5's point about references [5], [7]).
+    let scenarios: Vec<Vec<(u32, bool)>> = vec![
+        vec![(0, R), (1, W), (0, R), (1, R), (2, W)],
+        vec![(3, W), (3, W), (2, R), (3, R), (2, W), (2, W)],
+        vec![(0, R), (1, R), (2, R), (3, R), (0, W), (1, R)],
+    ];
+    for accesses in scenarios {
+        let reference = events_for(scheme("Dir0B"), &accesses);
+        assert_eq!(events_for(scheme("Berkeley"), &accesses), reference);
+        assert_eq!(events_for(scheme("Illinois"), &accesses), reference);
+    }
+}
+
+#[test]
+fn pointer_limited_schemes_diverge_only_past_their_capacity() {
+    // Up to i sharers, DiriNB behaves exactly like the full map; the
+    // (i+1)-th sharer forces an eviction that later shows up as a miss.
+    let accesses = [(0, R), (1, R), (0, R)];
+    // Two sharers fit in Dir2NB: identical to DirnNB.
+    assert_eq!(
+        events_for(scheme("Dir2NB"), &accesses),
+        events_for(scheme("DirnNB"), &accesses),
+    );
+    // A third sharer evicts the oldest under Dir2NB...
+    let over = [(0, R), (1, R), (2, R), (0, R)];
+    assert_eq!(
+        events_for(scheme("Dir2NB"), &over),
+        vec![RmFirstRef, RmBlkCln, RmBlkCln, RmBlkCln],
+        "cache 0 was evicted and must re-miss"
+    );
+    // ...while the full map keeps all three.
+    assert_eq!(
+        events_for(scheme("DirnNB"), &over),
+        vec![RmFirstRef, RmBlkCln, RmBlkCln, RdHit],
+    );
+}
+
+#[test]
+fn wti_matches_dir0b_on_every_scenario() {
+    // The §5 identity, spot-checked over many short scenarios.
+    let scenarios: Vec<Vec<(u32, bool)>> = vec![
+        vec![(0, R), (1, W), (0, R), (1, R), (2, W)],
+        vec![(3, W), (3, W), (2, R), (3, R), (2, W), (2, W)],
+        vec![(0, R), (1, R), (2, R), (3, R), (0, W), (1, R)],
+    ];
+    for accesses in scenarios {
+        assert_eq!(
+            events_for(scheme("WTI"), &accesses),
+            events_for(scheme("Dir0B"), &accesses),
+            "{accesses:?}"
+        );
+    }
+}

@@ -1,0 +1,213 @@
+//! Property tests for the protocol crate: SharerSet model checking,
+//! coarse-code algebra, directory naming, and cross-protocol structural
+//! identities on random streams.
+
+use proptest::prelude::*;
+
+use dirsim_mem::{BlockAddr, CacheId};
+use dirsim_protocol::directory::{CoarseCode, DirSpec, PointerCapacity};
+use dirsim_protocol::{EventKind, Scheme, SharerSet};
+
+#[derive(Debug, Clone, Copy)]
+enum SetOp {
+    Insert(u32),
+    Remove(u32),
+    RetainOnly(u32),
+    Clear,
+}
+
+fn set_ops(len: usize) -> impl Strategy<Value = Vec<SetOp>> {
+    prop::collection::vec(
+        (0..4u8, 0..16u32).prop_map(|(kind, c)| match kind {
+            0 => SetOp::Insert(c),
+            1 => SetOp::Remove(c),
+            2 => SetOp::RetainOnly(c),
+            _ => SetOp::Clear,
+        }),
+        1..len,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// SharerSet behaves like an insertion-ordered Vec-with-set-semantics.
+    #[test]
+    fn sharer_set_matches_vec_model(ops in set_ops(200)) {
+        let mut real = SharerSet::new();
+        let mut model: Vec<u32> = Vec::new();
+        for op in ops {
+            match op {
+                SetOp::Insert(c) => {
+                    let added = real.insert(CacheId::new(c));
+                    let model_added = !model.contains(&c);
+                    if model_added {
+                        model.push(c);
+                    }
+                    prop_assert_eq!(added, model_added);
+                }
+                SetOp::Remove(c) => {
+                    let removed = real.remove(CacheId::new(c));
+                    let model_removed = model.iter().position(|&x| x == c).map(|i| {
+                        model.remove(i);
+                    });
+                    prop_assert_eq!(removed, model_removed.is_some());
+                }
+                SetOp::RetainOnly(c) => {
+                    real.retain_only(CacheId::new(c));
+                    model.retain(|&x| x == c);
+                }
+                SetOp::Clear => {
+                    real.clear();
+                    model.clear();
+                }
+            }
+            let real_order: Vec<u32> =
+                real.iter().map(|c| c.index() as u32).collect();
+            prop_assert_eq!(&real_order, &model);
+            prop_assert_eq!(real.len(), model.len());
+            prop_assert_eq!(
+                real.oldest().map(|c| c.index() as u32),
+                model.first().copied()
+            );
+        }
+    }
+
+    /// The coarse code's superset size matches its member enumeration over
+    /// the full digit space.
+    #[test]
+    fn coarse_code_member_count_matches_superset(
+        caches_log in 1u32..6,
+        inserts in prop::collection::vec(0u64..64, 1..15),
+    ) {
+        let caches = 1u32 << caches_log; // power of two: members == superset
+        let mut code = CoarseCode::new(caches);
+        for &i in &inserts {
+            code.insert(i % u64::from(caches));
+        }
+        let members = code.members(caches);
+        prop_assert_eq!(members.len() as u64, code.superset_size());
+        // Members are sorted and unique.
+        let mut sorted = members.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(members, sorted);
+    }
+
+    /// DirSpec display names are parseable back into (i, broadcast).
+    #[test]
+    fn dir_spec_names_are_faithful(i in 0u32..100, broadcast in any::<bool>()) {
+        let Ok(spec) = DirSpec::new(PointerCapacity::Limited(i), broadcast) else {
+            prop_assert!(i == 0 && !broadcast, "only Dir0NB is rejected");
+            return Ok(());
+        };
+        let name = spec.to_string();
+        let suffix = if broadcast { "B" } else { "NB" };
+        prop_assert_eq!(name, format!("Dir{i}{suffix}"));
+    }
+
+    /// Every scheme classifies a deterministic stream deterministically
+    /// (two instances agree event-by-event).
+    #[test]
+    fn protocols_are_deterministic(
+        raw in prop::collection::vec((0u32..4, 0u64..10, any::<bool>()), 1..200)
+    ) {
+        for scheme in [
+            Scheme::Directory(DirSpec::dir0_b()),
+            Scheme::Directory(DirSpec::dir1_nb()),
+            Scheme::Tang,
+            Scheme::YenFu,
+            Scheme::CoarseVector,
+            Scheme::Wti,
+            Scheme::Dragon,
+            Scheme::Berkeley,
+        ] {
+            let mut a = scheme.build(4);
+            let mut b = scheme.build(4);
+            for &(c, blk, w) in &raw {
+                let oa = a.on_data_ref(CacheId::new(c), BlockAddr::new(blk), w);
+                let ob = b.on_data_ref(CacheId::new(c), BlockAddr::new(blk), w);
+                prop_assert_eq!(&oa, &ob, "{} diverged", scheme);
+            }
+        }
+    }
+
+    /// A read immediately after any reference by the same cache is a hit,
+    /// for every invalidation scheme (the copy was just installed).
+    #[test]
+    fn own_reference_installs_a_copy(
+        raw in prop::collection::vec((0u32..4, 0u64..10, any::<bool>()), 1..150)
+    ) {
+        for scheme in [
+            Scheme::Directory(DirSpec::dir0_b()),
+            Scheme::Directory(DirSpec::dir_n_nb()),
+            Scheme::Tang,
+            Scheme::YenFu,
+            Scheme::Wti,
+            Scheme::Dragon,
+        ] {
+            let mut p = scheme.build(4);
+            for &(c, blk, w) in &raw {
+                let cache = CacheId::new(c);
+                let block = BlockAddr::new(blk);
+                p.on_data_ref(cache, block, w);
+                let probe = p.probe(block).unwrap();
+                prop_assert!(
+                    probe.holders.contains(&cache),
+                    "{}: cache lost its own copy",
+                    scheme
+                );
+            }
+        }
+    }
+
+    /// Tang and DirnNB differ only in DirLookup multiplicity.
+    #[test]
+    fn tang_is_dirn_nb_with_scaled_lookups(
+        raw in prop::collection::vec((0u32..4, 0u64..8, any::<bool>()), 1..200)
+    ) {
+        use dirsim_protocol::BusOp;
+        let mut tang = Scheme::Tang.build(4);
+        let mut dirn = Scheme::Directory(DirSpec::dir_n_nb()).build(4);
+        for &(c, blk, w) in &raw {
+            let a = tang.on_data_ref(CacheId::new(c), BlockAddr::new(blk), w);
+            let b = dirn.on_data_ref(CacheId::new(c), BlockAddr::new(blk), w);
+            let count = |ops: &[BusOp], op: BusOp| ops.iter().filter(|&&o| o == op).count();
+            prop_assert_eq!(
+                count(&a.ops, BusOp::DirLookup),
+                4 * count(&b.ops, BusOp::DirLookup)
+            );
+            let strip = |ops: &[BusOp]| -> Vec<BusOp> {
+                ops.iter().copied().filter(|&o| o != BusOp::DirLookup).collect()
+            };
+            prop_assert_eq!(strip(&a.ops), strip(&b.ops));
+        }
+    }
+
+    /// Eviction then re-reference behaves like a (non-cold) miss.
+    #[test]
+    fn evict_then_reread_misses(
+        scheme_pick in 0usize..6,
+        blk in 0u64..8,
+    ) {
+        let schemes = [
+            Scheme::Directory(DirSpec::dir0_b()),
+            Scheme::Directory(DirSpec::dir_n_nb()),
+            Scheme::Tang,
+            Scheme::YenFu,
+            Scheme::Wti,
+            Scheme::Dragon,
+        ];
+        let scheme = schemes[scheme_pick];
+        let mut p = scheme.build(4);
+        let cache = CacheId::new(0);
+        let block = BlockAddr::new(blk);
+        p.on_data_ref(cache, block, false); // cold
+        p.evict(cache, block);
+        let probe = p.probe(block).unwrap();
+        prop_assert!(!probe.holders.contains(&cache));
+        let out = p.on_data_ref(cache, block, false);
+        prop_assert_ne!(out.kind(), EventKind::RdHit, "{}", scheme);
+        prop_assert_ne!(out.kind(), EventKind::RmFirstRef, "{}", scheme);
+    }
+}

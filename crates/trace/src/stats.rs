@@ -1,0 +1,277 @@
+//! Trace characterisation in the style of the paper's Table 3.
+//!
+//! [`TraceStats`] accumulates the per-kind counts the paper reports for each
+//! trace (total references, instructions, data reads, data writes, user vs.
+//! system references) plus the lock-spin counts that drive the §5.2
+//! experiment.
+
+use std::collections::HashSet;
+use std::fmt;
+
+use crate::types::{AccessKind, MemRef};
+
+/// Running counters over a reference stream.
+///
+/// # Examples
+///
+/// ```
+/// use dirsim_trace::{MemRef, CpuId, ProcessId, Addr, TraceStats};
+/// let mut stats = TraceStats::new();
+/// stats.observe(&MemRef::read(CpuId::new(0), ProcessId::new(0), Addr::new(0x10)));
+/// stats.observe(&MemRef::write(CpuId::new(1), ProcessId::new(1), Addr::new(0x20)));
+/// assert_eq!(stats.total(), 2);
+/// assert_eq!(stats.data_reads(), 1);
+/// assert_eq!(stats.data_writes(), 1);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TraceStats {
+    total: u64,
+    instr: u64,
+    data_reads: u64,
+    data_writes: u64,
+    user: u64,
+    system: u64,
+    lock_reads: u64,
+    cpus: HashSet<u16>,
+    pids: HashSet<u32>,
+}
+
+impl TraceStats {
+    /// Creates an empty statistics accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Accumulates statistics from every reference produced by an iterator.
+    pub fn from_refs<I>(refs: I) -> Self
+    where
+        I: IntoIterator<Item = MemRef>,
+    {
+        let mut stats = Self::new();
+        for r in refs {
+            stats.observe(&r);
+        }
+        stats
+    }
+
+    /// Records one reference.
+    pub fn observe(&mut self, r: &MemRef) {
+        self.total += 1;
+        match r.kind {
+            AccessKind::InstrFetch => self.instr += 1,
+            AccessKind::Read => {
+                self.data_reads += 1;
+                if r.flags.is_lock() {
+                    self.lock_reads += 1;
+                }
+            }
+            AccessKind::Write => self.data_writes += 1,
+        }
+        if r.flags.is_os() {
+            self.system += 1;
+        } else {
+            self.user += 1;
+        }
+        self.cpus.insert(r.cpu.index() as u16);
+        self.pids.insert(r.pid.index() as u32);
+    }
+
+    /// Total number of references observed.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of instruction fetches.
+    pub fn instructions(&self) -> u64 {
+        self.instr
+    }
+
+    /// Number of data reads.
+    pub fn data_reads(&self) -> u64 {
+        self.data_reads
+    }
+
+    /// Number of data writes.
+    pub fn data_writes(&self) -> u64 {
+        self.data_writes
+    }
+
+    /// Number of references not marked as operating-system activity.
+    pub fn user(&self) -> u64 {
+        self.user
+    }
+
+    /// Number of references marked as operating-system activity.
+    pub fn system(&self) -> u64 {
+        self.system
+    }
+
+    /// Number of data reads marked as spin-lock tests.
+    pub fn lock_reads(&self) -> u64 {
+        self.lock_reads
+    }
+
+    /// Number of distinct CPUs seen.
+    pub fn cpu_count(&self) -> usize {
+        self.cpus.len()
+    }
+
+    /// Number of distinct processes seen.
+    pub fn process_count(&self) -> usize {
+        self.pids.len()
+    }
+
+    /// Fraction of data reads that are lock-spin tests.
+    ///
+    /// The paper reports roughly one third for POPS and THOR.
+    pub fn lock_read_fraction(&self) -> f64 {
+        if self.data_reads == 0 {
+            0.0
+        } else {
+            self.lock_reads as f64 / self.data_reads as f64
+        }
+    }
+
+    /// Ratio of data reads to data writes.
+    pub fn read_write_ratio(&self) -> f64 {
+        if self.data_writes == 0 {
+            f64::INFINITY
+        } else {
+            self.data_reads as f64 / self.data_writes as f64
+        }
+    }
+
+    /// Merges another accumulator into this one.
+    ///
+    /// CPU/process identity sets are unioned, so merging two single-CPU
+    /// traces reports two distinct CPUs.
+    pub fn merge(&mut self, other: &TraceStats) {
+        self.total += other.total;
+        self.instr += other.instr;
+        self.data_reads += other.data_reads;
+        self.data_writes += other.data_writes;
+        self.user += other.user;
+        self.system += other.system;
+        self.lock_reads += other.lock_reads;
+        self.cpus.extend(other.cpus.iter().copied());
+        self.pids.extend(other.pids.iter().copied());
+    }
+}
+
+impl fmt::Display for TraceStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "refs={} instr={} dread={} dwrt={} user={} sys={} locks={} cpus={} procs={}",
+            self.total,
+            self.instr,
+            self.data_reads,
+            self.data_writes,
+            self.user,
+            self.system,
+            self.lock_reads,
+            self.cpu_count(),
+            self.process_count()
+        )
+    }
+}
+
+impl Extend<MemRef> for TraceStats {
+    fn extend<T: IntoIterator<Item = MemRef>>(&mut self, iter: T) {
+        for r in iter {
+            self.observe(&r);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{Addr, CpuId, ProcessId, RefFlags};
+
+    fn sample() -> Vec<MemRef> {
+        let c0 = CpuId::new(0);
+        let c1 = CpuId::new(1);
+        let p0 = ProcessId::new(0);
+        let p1 = ProcessId::new(1);
+        vec![
+            MemRef::instr(c0, p0, Addr::new(0x0)),
+            MemRef::read(c0, p0, Addr::new(0x100))
+                .with_flags(RefFlags::empty().with_lock()),
+            MemRef::read(c1, p1, Addr::new(0x100)),
+            MemRef::write(c1, p1, Addr::new(0x200))
+                .with_flags(RefFlags::empty().with_os()),
+        ]
+    }
+
+    #[test]
+    fn counts_by_kind() {
+        let stats = TraceStats::from_refs(sample());
+        assert_eq!(stats.total(), 4);
+        assert_eq!(stats.instructions(), 1);
+        assert_eq!(stats.data_reads(), 2);
+        assert_eq!(stats.data_writes(), 1);
+    }
+
+    #[test]
+    fn user_system_split() {
+        let stats = TraceStats::from_refs(sample());
+        assert_eq!(stats.system(), 1);
+        assert_eq!(stats.user(), 3);
+        assert_eq!(stats.user() + stats.system(), stats.total());
+    }
+
+    #[test]
+    fn lock_fraction() {
+        let stats = TraceStats::from_refs(sample());
+        assert_eq!(stats.lock_reads(), 1);
+        assert!((stats.lock_read_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identity_counts() {
+        let stats = TraceStats::from_refs(sample());
+        assert_eq!(stats.cpu_count(), 2);
+        assert_eq!(stats.process_count(), 2);
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let stats = TraceStats::new();
+        assert_eq!(stats.total(), 0);
+        assert_eq!(stats.lock_read_fraction(), 0.0);
+        assert!(stats.read_write_ratio().is_infinite());
+    }
+
+    #[test]
+    fn merge_unions_identities() {
+        let mut a = TraceStats::from_refs(vec![MemRef::read(
+            CpuId::new(0),
+            ProcessId::new(0),
+            Addr::new(0),
+        )]);
+        let b = TraceStats::from_refs(vec![MemRef::read(
+            CpuId::new(1),
+            ProcessId::new(1),
+            Addr::new(0),
+        )]);
+        a.merge(&b);
+        assert_eq!(a.total(), 2);
+        assert_eq!(a.cpu_count(), 2);
+        assert_eq!(a.process_count(), 2);
+    }
+
+    #[test]
+    fn extend_matches_observe() {
+        let mut a = TraceStats::new();
+        a.extend(sample());
+        let b = TraceStats::from_refs(sample());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let s = TraceStats::new().to_string();
+        assert!(s.contains("refs=0"));
+    }
+}

@@ -1,0 +1,539 @@
+//! Configuration for synthetic multiprocessor workloads.
+//!
+//! The configuration captures the first-order statistical structure of the
+//! paper's ATUM traces (Table 3, Table 4): the instruction/read/write mix,
+//! how much data is shared and in what pattern, how intensely processes
+//! contend on test-and-test-and-set locks, how often processes migrate
+//! between CPUs, and how much operating-system activity is interleaved.
+
+use std::fmt;
+
+/// Errors produced when a workload configuration is internally inconsistent.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// A probability-like field was outside `[0, 1]`.
+    OutOfRange {
+        /// Field name.
+        field: &'static str,
+        /// Offending value.
+        value: f64,
+    },
+    /// A count field that must be positive was zero.
+    ZeroCount {
+        /// Field name.
+        field: &'static str,
+    },
+    /// Fewer processes than CPUs (every CPU must have a process to run).
+    TooFewProcesses {
+        /// Configured process count.
+        processes: u32,
+        /// Configured CPU count.
+        cpus: u16,
+    },
+    /// Sharing-mix weights summed to zero.
+    EmptySharingMix,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::OutOfRange { field, value } => {
+                write!(f, "field `{field}` must be in [0, 1], got {value}")
+            }
+            ConfigError::ZeroCount { field } => {
+                write!(f, "field `{field}` must be positive")
+            }
+            ConfigError::TooFewProcesses { processes, cpus } => write!(
+                f,
+                "need at least as many processes ({processes}) as cpus ({cpus})"
+            ),
+            ConfigError::EmptySharingMix => {
+                write!(f, "sharing mix weights must not all be zero")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// How shared-data references are distributed over sharing patterns.
+///
+/// Weights are relative; they need not sum to 1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SharingMix {
+    /// Blocks read by many processes and written rarely (e.g. code-like
+    /// tables, rule networks in POPS).
+    pub read_mostly: f64,
+    /// Objects accessed in read-modify-write bursts by one process at a
+    /// time, handed off between processes (the dominant pattern behind the
+    /// paper's "≤1 invalidation" observation).
+    pub migratory: f64,
+    /// One process writes, the others read (event queues in THOR).
+    pub producer_consumer: f64,
+    /// *False* sharing: each process updates its own word, but the words
+    /// of several processes land in the same block, so block-granularity
+    /// coherence ping-pongs data that is logically private. Zero by
+    /// default (the calibrated paper presets don't need it); used by the
+    /// block-size ablation.
+    pub false_sharing: f64,
+}
+
+impl SharingMix {
+    /// Sum of the weights.
+    pub fn total(&self) -> f64 {
+        self.read_mostly + self.migratory + self.producer_consumer + self.false_sharing
+    }
+}
+
+impl Default for SharingMix {
+    fn default() -> Self {
+        SharingMix {
+            read_mostly: 0.4,
+            migratory: 0.45,
+            producer_consumer: 0.15,
+            false_sharing: 0.0,
+        }
+    }
+}
+
+/// Test-and-test-and-set lock behaviour.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LockConfig {
+    /// Number of distinct lock words (each in its own block).
+    pub locks: u32,
+    /// Per-data-reference probability that a running process begins an
+    /// acquire.
+    pub acquire_prob: f64,
+    /// Length of the lock-holding phase in *turns* (instructions included);
+    /// models task execution under a work-queue lock, which is what makes
+    /// other processes spin for long stretches as in the paper's traces.
+    pub critical_section_len: u32,
+    /// Fraction of guarded-data references inside the critical section
+    /// that are writes.
+    pub critical_write_frac: f64,
+}
+
+impl Default for LockConfig {
+    fn default() -> Self {
+        LockConfig {
+            locks: 2,
+            acquire_prob: 0.004,
+            critical_section_len: 120,
+            critical_write_frac: 0.4,
+        }
+    }
+}
+
+/// Barrier-synchronisation behaviour: all processes periodically rendezvous,
+/// spinning on a shared generation word until the last arrives. Produces
+/// bursts where one write must invalidate every other cache — the worst
+/// case for the paper's Figure 1 fan-out and for broadcast-free schemes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BarrierConfig {
+    /// Turns of work between barrier episodes, per process. Zero disables
+    /// barriers entirely.
+    pub interval: u32,
+}
+
+impl BarrierConfig {
+    /// No barriers (the calibrated paper presets).
+    pub const fn disabled() -> Self {
+        BarrierConfig { interval: 0 }
+    }
+
+    /// Whether barriers are active.
+    pub fn is_enabled(&self) -> bool {
+        self.interval > 0
+    }
+}
+
+impl Default for BarrierConfig {
+    fn default() -> Self {
+        BarrierConfig::disabled()
+    }
+}
+
+/// Full description of a synthetic workload.
+///
+/// Construct via [`WorkloadConfig::builder`]; `Default` gives a 4-CPU
+/// workload loosely matching the paper's averaged trace characteristics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadConfig {
+    /// Number of processors (the paper's traces have 4).
+    pub cpus: u16,
+    /// Number of processes (≥ `cpus`).
+    pub processes: u32,
+    /// Fraction of references that are instruction fetches (~0.50).
+    pub instr_frac: f64,
+    /// Of ordinary data references, the fraction that are writes (~0.21).
+    pub write_frac: f64,
+    /// Of ordinary data references, the fraction that target shared data.
+    pub shared_frac: f64,
+    /// Distribution over sharing patterns.
+    pub sharing_mix: SharingMix,
+    /// Number of shared blocks per pattern pool.
+    pub shared_blocks_per_pool: u32,
+    /// Number of private data blocks per process.
+    pub private_blocks: u32,
+    /// Number of instruction blocks per process (code loop length).
+    pub code_blocks: u32,
+    /// Lock behaviour.
+    pub lock: LockConfig,
+    /// Barrier behaviour (disabled by default).
+    pub barrier: BarrierConfig,
+    /// Fraction of references flagged as operating-system activity (~0.10).
+    pub os_frac: f64,
+    /// Per-scheduler-step probability of migrating a process to another CPU.
+    pub migration_prob: f64,
+    /// Scheduler quantum in references; processes beyond `cpus` are rotated
+    /// in at quantum boundaries.
+    pub quantum: u32,
+    /// Block size in bytes (the paper uses 16).
+    pub block_size: u32,
+    /// RNG seed; identical configurations generate identical traces.
+    pub seed: u64,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig {
+            cpus: 4,
+            processes: 4,
+            instr_frac: 0.497,
+            write_frac: 0.21,
+            shared_frac: 0.06,
+            sharing_mix: SharingMix::default(),
+            shared_blocks_per_pool: 64,
+            private_blocks: 256,
+            code_blocks: 512,
+            lock: LockConfig::default(),
+            barrier: BarrierConfig::disabled(),
+            os_frac: 0.10,
+            migration_prob: 0.0,
+            quantum: 10_000,
+            block_size: 16,
+            seed: 0x5eed_0001,
+        }
+    }
+}
+
+impl WorkloadConfig {
+    /// Starts a builder seeded with the default configuration.
+    pub fn builder() -> WorkloadBuilder {
+        WorkloadBuilder {
+            config: WorkloadConfig::default(),
+        }
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] describing the first violated constraint.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        let fracs = [
+            ("instr_frac", self.instr_frac),
+            ("write_frac", self.write_frac),
+            ("shared_frac", self.shared_frac),
+            ("os_frac", self.os_frac),
+            ("migration_prob", self.migration_prob),
+            ("lock.acquire_prob", self.lock.acquire_prob),
+            ("lock.critical_write_frac", self.lock.critical_write_frac),
+            ("sharing_mix.read_mostly", self.sharing_mix.read_mostly),
+            ("sharing_mix.migratory", self.sharing_mix.migratory),
+            (
+                "sharing_mix.producer_consumer",
+                self.sharing_mix.producer_consumer,
+            ),
+            ("sharing_mix.false_sharing", self.sharing_mix.false_sharing),
+        ];
+        for (field, value) in fracs {
+            if !(0.0..=1.0).contains(&value) || value.is_nan() {
+                return Err(ConfigError::OutOfRange { field, value });
+            }
+        }
+        if self.cpus == 0 {
+            return Err(ConfigError::ZeroCount { field: "cpus" });
+        }
+        if self.processes == 0 {
+            return Err(ConfigError::ZeroCount { field: "processes" });
+        }
+        if self.block_size == 0 || !self.block_size.is_power_of_two() {
+            return Err(ConfigError::ZeroCount { field: "block_size" });
+        }
+        if self.private_blocks == 0 {
+            return Err(ConfigError::ZeroCount {
+                field: "private_blocks",
+            });
+        }
+        if self.code_blocks == 0 {
+            return Err(ConfigError::ZeroCount { field: "code_blocks" });
+        }
+        if self.shared_blocks_per_pool == 0 {
+            return Err(ConfigError::ZeroCount {
+                field: "shared_blocks_per_pool",
+            });
+        }
+        if self.quantum == 0 {
+            return Err(ConfigError::ZeroCount { field: "quantum" });
+        }
+        if u32::from(self.cpus) > self.processes {
+            return Err(ConfigError::TooFewProcesses {
+                processes: self.processes,
+                cpus: self.cpus,
+            });
+        }
+        if self.shared_frac > 0.0 && self.sharing_mix.total() <= 0.0 {
+            return Err(ConfigError::EmptySharingMix);
+        }
+        Ok(())
+    }
+}
+
+/// Fluent builder for [`WorkloadConfig`].
+///
+/// # Examples
+///
+/// ```
+/// use dirsim_trace::synth::WorkloadConfig;
+/// let cfg = WorkloadConfig::builder()
+///     .cpus(16)
+///     .processes(16)
+///     .shared_frac(0.08)
+///     .seed(42)
+///     .build()
+///     .expect("valid configuration");
+/// assert_eq!(cfg.cpus, 16);
+/// ```
+#[derive(Debug, Clone)]
+pub struct WorkloadBuilder {
+    config: WorkloadConfig,
+}
+
+impl WorkloadBuilder {
+    /// Sets the number of processors.
+    pub fn cpus(mut self, cpus: u16) -> Self {
+        self.config.cpus = cpus;
+        self
+    }
+
+    /// Sets the number of processes.
+    pub fn processes(mut self, processes: u32) -> Self {
+        self.config.processes = processes;
+        self
+    }
+
+    /// Sets the instruction-fetch fraction.
+    pub fn instr_frac(mut self, f: f64) -> Self {
+        self.config.instr_frac = f;
+        self
+    }
+
+    /// Sets the write fraction of ordinary data references.
+    pub fn write_frac(mut self, f: f64) -> Self {
+        self.config.write_frac = f;
+        self
+    }
+
+    /// Sets the shared fraction of ordinary data references.
+    pub fn shared_frac(mut self, f: f64) -> Self {
+        self.config.shared_frac = f;
+        self
+    }
+
+    /// Sets the sharing-pattern mix.
+    pub fn sharing_mix(mut self, mix: SharingMix) -> Self {
+        self.config.sharing_mix = mix;
+        self
+    }
+
+    /// Sets the number of shared blocks per pattern pool.
+    pub fn shared_blocks_per_pool(mut self, blocks: u32) -> Self {
+        self.config.shared_blocks_per_pool = blocks;
+        self
+    }
+
+    /// Sets the number of private blocks per process.
+    pub fn private_blocks(mut self, blocks: u32) -> Self {
+        self.config.private_blocks = blocks;
+        self
+    }
+
+    /// Sets the per-process code loop length in blocks.
+    pub fn code_blocks(mut self, blocks: u32) -> Self {
+        self.config.code_blocks = blocks;
+        self
+    }
+
+    /// Sets the lock behaviour.
+    pub fn lock(mut self, lock: LockConfig) -> Self {
+        self.config.lock = lock;
+        self
+    }
+
+    /// Sets the barrier behaviour.
+    pub fn barrier(mut self, barrier: BarrierConfig) -> Self {
+        self.config.barrier = barrier;
+        self
+    }
+
+    /// Sets the operating-system activity fraction.
+    pub fn os_frac(mut self, f: f64) -> Self {
+        self.config.os_frac = f;
+        self
+    }
+
+    /// Sets the per-step process migration probability.
+    pub fn migration_prob(mut self, p: f64) -> Self {
+        self.config.migration_prob = p;
+        self
+    }
+
+    /// Sets the scheduler quantum in references.
+    pub fn quantum(mut self, q: u32) -> Self {
+        self.config.quantum = q;
+        self
+    }
+
+    /// Sets the block size in bytes (must be a power of two).
+    pub fn block_size(mut self, bytes: u32) -> Self {
+        self.config.block_size = bytes;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] if any constraint is violated.
+    pub fn build(self) -> Result<WorkloadConfig, ConfigError> {
+        self.config.validate()?;
+        Ok(self.config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid() {
+        WorkloadConfig::default().validate().unwrap();
+    }
+
+    #[test]
+    fn builder_sets_fields() {
+        let cfg = WorkloadConfig::builder()
+            .cpus(8)
+            .processes(12)
+            .instr_frac(0.4)
+            .write_frac(0.3)
+            .shared_frac(0.1)
+            .os_frac(0.05)
+            .migration_prob(0.001)
+            .quantum(500)
+            .block_size(32)
+            .seed(7)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.cpus, 8);
+        assert_eq!(cfg.processes, 12);
+        assert_eq!(cfg.block_size, 32);
+        assert_eq!(cfg.seed, 7);
+    }
+
+    #[test]
+    fn rejects_out_of_range_fraction() {
+        let err = WorkloadConfig::builder()
+            .instr_frac(1.5)
+            .build()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ConfigError::OutOfRange {
+                field: "instr_frac",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn rejects_nan_fraction() {
+        let err = WorkloadConfig::builder()
+            .write_frac(f64::NAN)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ConfigError::OutOfRange { .. }));
+    }
+
+    #[test]
+    fn rejects_zero_cpus() {
+        let err = WorkloadConfig::builder().cpus(0).build().unwrap_err();
+        assert!(matches!(err, ConfigError::ZeroCount { field: "cpus" }));
+    }
+
+    #[test]
+    fn rejects_fewer_processes_than_cpus() {
+        let err = WorkloadConfig::builder()
+            .cpus(8)
+            .processes(4)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ConfigError::TooFewProcesses { .. }));
+    }
+
+    #[test]
+    fn rejects_non_power_of_two_block() {
+        let err = WorkloadConfig::builder().block_size(24).build().unwrap_err();
+        assert!(matches!(
+            err,
+            ConfigError::ZeroCount {
+                field: "block_size"
+            }
+        ));
+    }
+
+    #[test]
+    fn rejects_empty_sharing_mix_when_sharing() {
+        let err = WorkloadConfig::builder()
+            .shared_frac(0.1)
+            .sharing_mix(SharingMix {
+                read_mostly: 0.0,
+                migratory: 0.0,
+                producer_consumer: 0.0,
+                false_sharing: 0.0,
+            })
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ConfigError::EmptySharingMix);
+    }
+
+    #[test]
+    fn zero_sharing_allows_empty_mix() {
+        WorkloadConfig::builder()
+            .shared_frac(0.0)
+            .sharing_mix(SharingMix {
+                read_mostly: 0.0,
+                migratory: 0.0,
+                producer_consumer: 0.0,
+                false_sharing: 0.0,
+            })
+            .build()
+            .unwrap();
+    }
+
+    #[test]
+    fn error_display() {
+        let e = ConfigError::TooFewProcesses {
+            processes: 2,
+            cpus: 4,
+        };
+        assert!(e.to_string().contains("processes (2)"));
+    }
+}

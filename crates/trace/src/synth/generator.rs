@@ -1,0 +1,794 @@
+//! The synthetic workload generator.
+//!
+//! [`Workload`] is an infinite, deterministic iterator of [`MemRef`]s that
+//! emulates `P` processes running on `C` processors: per-process code loops
+//! and private working sets, shared pools with read-mostly / migratory /
+//! producer-consumer / false-sharing semantics and working-set churn,
+//! honest test-and-test-and-set spin locks with long lock-holding phases,
+//! optional barrier rendezvous, split per-CPU/shared operating-system
+//! activity, a round-robin scheduler with a context-switch quantum, and
+//! optional process migration.
+//!
+//! Determinism: the stream is a pure function of the [`WorkloadConfig`]
+//! (including its seed), so experiments are exactly reproducible.
+
+use std::collections::VecDeque;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::synth::config::WorkloadConfig;
+use crate::synth::layout::{AddressLayout, Region};
+use crate::types::{CpuId, MemRef, ProcessId, RefFlags};
+
+#[cfg(test)]
+use crate::types::AccessKind;
+
+/// Blocks of data guarded by each lock (the critical-section working set).
+/// Kept small: the paper's traces show very low coherence-miss rates, so
+/// lock-protected handoffs must touch only a few blocks.
+const GUARDED_BLOCKS_PER_LOCK: u64 = 4;
+
+/// Of the data references issued inside a critical section, the fraction
+/// that touch the lock's guarded blocks (the rest are ordinary private/OS
+/// work done while holding the lock).
+const CS_GUARDED_FRAC: f64 = 0.30;
+
+/// Blocks in the globally-shared operating-system pool.
+const OS_SHARED_BLOCKS: u64 = 64;
+
+/// Per-processor operating-system blocks (kernel stacks, per-CPU data).
+const OS_LOCAL_BLOCKS: u64 = 64;
+
+/// Fraction of OS references that touch the globally-shared pool.
+const OS_SHARED_PROB: f64 = 0.25;
+
+/// Fraction of shared-pool OS references that are writes. Kept low: OS
+/// shared structures are read-mostly, and every write here invalidates
+/// copies in all processors' caches.
+const OS_SHARED_WRITE_FRAC: f64 = 0.02;
+
+/// Fraction of per-processor OS references that are writes.
+const OS_LOCAL_WRITE_FRAC: f64 = 0.30;
+
+/// Length of a migratory access burst, in references.
+const MIGRATORY_BURST: u32 = 8;
+
+/// References per producer/consumer epoch (producer role rotates).
+const PRODUCER_EPOCH: u64 = 50_000;
+
+/// Probability that an instruction fetch jumps instead of falling through.
+const JUMP_PROB: f64 = 0.05;
+
+/// Probability that a private reference reuses the previous private block.
+const PRIVATE_LOCALITY: f64 = 0.6;
+
+/// Fraction of read-mostly pool references that are writes.
+const READ_MOSTLY_WRITE_FRAC: f64 = 0.01;
+
+/// Fraction of migratory burst references that are writes.
+const MIGRATORY_WRITE_FRAC: f64 = 0.5;
+
+/// Working-set churn: shared pools are sliding windows over a growing
+/// block space, modelling allocation of new shared objects over time. This
+/// sustains the *native* miss rate the paper observes with infinite caches
+/// (Dragon's misses, Table 4) instead of letting it decay to zero once the
+/// pools are cached everywhere.
+///
+/// Probability per guarded-data reference of sliding the lock's window.
+const GUARDED_CHURN: f64 = 0.05;
+
+/// Probability per migratory burst of sliding the migratory window.
+const MIGRATORY_CHURN: f64 = 0.10;
+
+/// Probability per read-mostly/producer-consumer reference of sliding that
+/// pool's window.
+const POOL_CHURN: f64 = 0.004;
+
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Running,
+    /// Spinning on a lock with test reads.
+    Spinning { lock: u32 },
+    /// Inside the critical section of `lock`.
+    Critical { lock: u32, remaining: u32 },
+    /// Arrived at the barrier; spinning until the generation advances
+    /// past the recorded value.
+    AtBarrier { generation: u64 },
+}
+
+#[derive(Debug, Clone)]
+struct ProcState {
+    mode: Mode,
+    /// Current code block (program counter at block granularity).
+    pc: u64,
+    /// Most recent private block, for temporal locality.
+    last_private: u64,
+    /// Current migratory block and remaining burst length.
+    mig_block: u64,
+    mig_burst_left: u32,
+    /// Turns of ordinary work since the last barrier episode.
+    turns_since_barrier: u32,
+}
+
+impl ProcState {
+    fn new(pid: u32, cfg: &WorkloadConfig) -> Self {
+        ProcState {
+            mode: Mode::Running,
+            pc: u64::from(pid) % u64::from(cfg.code_blocks),
+            last_private: 0,
+            mig_block: u64::from(pid) % u64::from(cfg.shared_blocks_per_pool),
+            mig_burst_left: 0,
+            turns_since_barrier: 0,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct LockState {
+    holder: Option<u32>,
+}
+
+/// Infinite deterministic reference stream. See the module docs.
+///
+/// # Examples
+///
+/// ```
+/// use dirsim_trace::synth::{Workload, WorkloadConfig};
+///
+/// let cfg = WorkloadConfig::builder().seed(1).build().expect("valid");
+/// let refs: Vec<_> = Workload::new(cfg).take(1000).collect();
+/// assert_eq!(refs.len(), 1000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Workload {
+    cfg: WorkloadConfig,
+    layout: AddressLayout,
+    rng: SmallRng,
+    procs: Vec<ProcState>,
+    /// Process currently running on each CPU.
+    cpu_proc: Vec<u32>,
+    /// Processes waiting for a CPU.
+    ready: VecDeque<u32>,
+    locks: Vec<LockState>,
+    /// Processes currently waiting at the barrier.
+    barrier_arrived: u32,
+    /// Barrier generation; bumped by each release.
+    barrier_generation: u64,
+    next_cpu: usize,
+    step: u64,
+    /// Sliding-window bases for working-set churn (see the churn constants).
+    guarded_base: Vec<u64>,
+    mig_base: u64,
+    read_mostly_base: u64,
+    producer_base: u64,
+}
+
+impl Workload {
+    /// Creates a generator for a validated configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid; use
+    /// [`WorkloadConfig::validate`] (or the builder) first.
+    pub fn new(cfg: WorkloadConfig) -> Self {
+        cfg.validate().expect("invalid workload configuration");
+        let layout = AddressLayout::new(cfg.block_size);
+        let procs = (0..cfg.processes)
+            .map(|pid| ProcState::new(pid, &cfg))
+            .collect();
+        let cpu_proc: Vec<u32> = (0..u32::from(cfg.cpus)).collect();
+        let ready: VecDeque<u32> = (u32::from(cfg.cpus)..cfg.processes).collect();
+        let locks = vec![LockState { holder: None }; cfg.lock.locks as usize];
+        let guarded_base = vec![0u64; cfg.lock.locks as usize];
+        let rng = SmallRng::seed_from_u64(cfg.seed);
+        Workload {
+            cfg,
+            layout,
+            rng,
+            procs,
+            cpu_proc,
+            ready,
+            locks,
+            barrier_arrived: 0,
+            barrier_generation: 0,
+            next_cpu: 0,
+            step: 0,
+            guarded_base,
+            mig_base: 0,
+            read_mostly_base: 0,
+            producer_base: 0,
+        }
+    }
+
+    /// The configuration this generator was built from.
+    pub fn config(&self) -> &WorkloadConfig {
+        &self.cfg
+    }
+
+    fn maybe_migrate(&mut self) {
+        if self.cfg.migration_prob > 0.0
+            && self.cfg.cpus > 1
+            && self.rng.gen_bool(self.cfg.migration_prob)
+        {
+            let a = self.rng.gen_range(0..self.cpu_proc.len());
+            let b = self.rng.gen_range(0..self.cpu_proc.len());
+            self.cpu_proc.swap(a, b);
+        }
+    }
+
+    fn maybe_context_switch(&mut self) {
+        if self.ready.is_empty() {
+            return;
+        }
+        if self.step > 0 && self.step % u64::from(self.cfg.quantum) == 0 {
+            for slot in self.cpu_proc.iter_mut() {
+                if let Some(next) = self.ready.pop_front() {
+                    self.ready.push_back(*slot);
+                    *slot = next;
+                }
+            }
+        }
+    }
+
+    /// Emits the next reference from process `pid` on CPU `cpu`.
+    fn proc_turn(&mut self, cpu: CpuId, pid: u32) -> MemRef {
+        let id = ProcessId::new(pid);
+        match self.procs[pid as usize].mode {
+            Mode::Spinning { lock } => {
+                // The spin loop executes instructions between tests.
+                if self.rng.gen_bool(self.cfg.instr_frac) {
+                    return self.instr_fetch(cpu, pid);
+                }
+                if self.locks[lock as usize].holder.is_none() {
+                    // Observed free last test: issue the test-and-set write.
+                    self.locks[lock as usize].holder = Some(pid);
+                    self.procs[pid as usize].mode = Mode::Critical {
+                        lock,
+                        remaining: self.cfg.lock.critical_section_len,
+                    };
+                    MemRef::write(cpu, id, self.layout.lock(lock))
+                } else {
+                    // Keep testing: this is the spin read the paper flags.
+                    MemRef::read(cpu, id, self.layout.lock(lock))
+                        .with_flags(RefFlags::empty().with_lock())
+                }
+            }
+            Mode::Critical { lock, remaining } => {
+                if remaining == 0 {
+                    // Release store.
+                    self.locks[lock as usize].holder = None;
+                    self.procs[pid as usize].mode = Mode::Running;
+                    return MemRef::write(cpu, id, self.layout.lock(lock));
+                }
+                self.procs[pid as usize].mode = Mode::Critical {
+                    lock,
+                    remaining: remaining - 1,
+                };
+                // Work done while holding the lock looks like ordinary
+                // execution, except that its shared accesses target the
+                // lock's guarded blocks.
+                if self.rng.gen_bool(self.cfg.instr_frac) {
+                    return self.instr_fetch(cpu, pid);
+                }
+                let os_prob = (1.0 - self.cfg.instr_frac) * self.cfg.os_frac;
+                if self.rng.gen_bool(os_prob.clamp(0.0, 1.0)) {
+                    return self.os_ref(cpu, pid);
+                }
+                if self.rng.gen_bool(CS_GUARDED_FRAC) {
+                    if self.rng.gen_bool(GUARDED_CHURN) {
+                        self.guarded_base[lock as usize] += 1;
+                    }
+                    let base = self.guarded_base[lock as usize];
+                    let block = base + self.rng.gen_range(0..GUARDED_BLOCKS_PER_LOCK);
+                    let addr = self.layout.guarded(lock, block);
+                    if self.rng.gen_bool(self.cfg.lock.critical_write_frac) {
+                        MemRef::write(cpu, id, addr)
+                    } else {
+                        MemRef::read(cpu, id, addr)
+                    }
+                } else {
+                    self.private_ref(cpu, pid)
+                }
+            }
+            Mode::AtBarrier { generation } => {
+                // Spin-loop instructions interleave with generation tests.
+                if self.rng.gen_bool(self.cfg.instr_frac) {
+                    return self.instr_fetch(cpu, pid);
+                }
+                if self.barrier_generation != generation {
+                    // Released: a later generation means the round completed.
+                    self.procs[pid as usize].mode = Mode::Running;
+                    self.procs[pid as usize].turns_since_barrier = 0;
+                    return self.running_turn(cpu, pid);
+                }
+                MemRef::read(cpu, id, self.barrier_word())
+                    .with_flags(RefFlags::empty().with_lock())
+            }
+            Mode::Running => {
+                // Barrier rendezvous: after `interval` turns of work, a
+                // process arrives (a write on the barrier word) and waits
+                // for everyone else.
+                if self.cfg.barrier.is_enabled() {
+                    let state = &mut self.procs[pid as usize];
+                    state.turns_since_barrier += 1;
+                    if state.turns_since_barrier >= self.cfg.barrier.interval {
+                        self.barrier_arrived += 1;
+                        if self.barrier_arrived == self.cfg.processes {
+                            // Last arriver releases everyone: its write to
+                            // the barrier word is the release store, and it
+                            // advances the generation the waiters test.
+                            self.barrier_arrived = 0;
+                            self.barrier_generation += 1;
+                            self.procs[pid as usize].turns_since_barrier = 0;
+                        } else {
+                            self.procs[pid as usize].mode = Mode::AtBarrier {
+                                generation: self.barrier_generation,
+                            };
+                        }
+                        return MemRef::write(cpu, id, self.barrier_word());
+                    }
+                }
+                self.running_turn(cpu, pid)
+            }
+        }
+    }
+
+    /// The barrier generation word lives in its own block, one past the
+    /// lock words.
+    fn barrier_word(&self) -> crate::types::Addr {
+        self.layout.lock(self.cfg.lock.locks)
+    }
+
+    fn running_turn(&mut self, cpu: CpuId, pid: u32) -> MemRef {
+        let id = ProcessId::new(pid);
+        let roll: f64 = self.rng.gen();
+        if roll < self.cfg.instr_frac {
+            return self.instr_fetch(cpu, pid);
+        }
+        if roll < self.cfg.instr_frac + (1.0 - self.cfg.instr_frac) * self.cfg.os_frac {
+            return self.os_ref(cpu, pid);
+        }
+        // Ordinary data reference.
+        if !self.locks.is_empty() && self.rng.gen_bool(self.cfg.lock.acquire_prob) {
+            let lock = self.rng.gen_range(0..self.locks.len()) as u32;
+            self.procs[pid as usize].mode = Mode::Spinning { lock };
+            // The initial test read of test-and-test-and-set.
+            return MemRef::read(cpu, id, self.layout.lock(lock))
+                .with_flags(RefFlags::empty().with_lock());
+        }
+        if self.rng.gen_bool(self.cfg.shared_frac) {
+            self.shared_ref(cpu, pid)
+        } else {
+            self.private_ref(cpu, pid)
+        }
+    }
+
+    fn instr_fetch(&mut self, cpu: CpuId, pid: u32) -> MemRef {
+        let code_blocks = u64::from(self.cfg.code_blocks);
+        let state = &mut self.procs[pid as usize];
+        let pc = state.pc;
+        state.pc = if self.rng.gen_bool(JUMP_PROB) {
+            self.rng.gen_range(0..code_blocks)
+        } else {
+            (pc + 1) % code_blocks
+        };
+        MemRef::instr(cpu, ProcessId::new(pid), self.layout.code(pid, pc))
+    }
+
+    fn os_ref(&mut self, cpu: CpuId, pid: u32) -> MemRef {
+        let flags = RefFlags::empty().with_os();
+        let (addr, write_frac) = if self.rng.gen_bool(OS_SHARED_PROB) {
+            let block = self.rng.gen_range(0..OS_SHARED_BLOCKS);
+            (self.layout.os(block), OS_SHARED_WRITE_FRAC)
+        } else {
+            let block = self.rng.gen_range(0..OS_LOCAL_BLOCKS);
+            (
+                self.layout.os_local(cpu.index() as u16, block),
+                OS_LOCAL_WRITE_FRAC,
+            )
+        };
+        if self.rng.gen_bool(write_frac) {
+            MemRef::write(cpu, ProcessId::new(pid), addr).with_flags(flags)
+        } else {
+            MemRef::read(cpu, ProcessId::new(pid), addr).with_flags(flags)
+        }
+    }
+
+    fn private_ref(&mut self, cpu: CpuId, pid: u32) -> MemRef {
+        let blocks = u64::from(self.cfg.private_blocks);
+        let reuse = self.rng.gen_bool(PRIVATE_LOCALITY);
+        let block = if reuse {
+            self.procs[pid as usize].last_private
+        } else {
+            let b = self.rng.gen_range(0..blocks);
+            self.procs[pid as usize].last_private = b;
+            b
+        };
+        let addr = self.layout.private(pid, block);
+        if self.rng.gen_bool(self.cfg.write_frac) {
+            MemRef::write(cpu, ProcessId::new(pid), addr)
+        } else {
+            MemRef::read(cpu, ProcessId::new(pid), addr)
+        }
+    }
+
+    fn shared_ref(&mut self, cpu: CpuId, pid: u32) -> MemRef {
+        let mix = self.cfg.sharing_mix;
+        let total = mix.total();
+        let roll: f64 = self.rng.gen::<f64>() * total;
+        if roll < mix.read_mostly {
+            self.read_mostly_ref(cpu, pid)
+        } else if roll < mix.read_mostly + mix.migratory {
+            self.migratory_ref(cpu, pid)
+        } else if roll < mix.read_mostly + mix.migratory + mix.producer_consumer {
+            self.producer_consumer_ref(cpu, pid)
+        } else {
+            self.false_sharing_ref(cpu, pid)
+        }
+    }
+
+    fn false_sharing_ref(&mut self, cpu: CpuId, pid: u32) -> MemRef {
+        // Each process hammers its own word; several words share a block.
+        let blocks = u64::from(self.cfg.shared_blocks_per_pool);
+        let block = self.rng.gen_range(0..blocks);
+        let addr = self.layout.false_sharing_word(pid, block);
+        // Per-process counters are update-heavy.
+        if self.rng.gen_bool(0.6) {
+            MemRef::write(cpu, ProcessId::new(pid), addr)
+        } else {
+            MemRef::read(cpu, ProcessId::new(pid), addr)
+        }
+    }
+
+    fn read_mostly_ref(&mut self, cpu: CpuId, pid: u32) -> MemRef {
+        let blocks = u64::from(self.cfg.shared_blocks_per_pool);
+        if self.rng.gen_bool(POOL_CHURN) {
+            self.read_mostly_base += 1;
+        }
+        let block = self.read_mostly_base + self.rng.gen_range(0..blocks);
+        let addr = self.layout.shared(Region::ReadMostly, block);
+        if self.rng.gen_bool(READ_MOSTLY_WRITE_FRAC) {
+            MemRef::write(cpu, ProcessId::new(pid), addr)
+        } else {
+            MemRef::read(cpu, ProcessId::new(pid), addr)
+        }
+    }
+
+    fn migratory_ref(&mut self, cpu: CpuId, pid: u32) -> MemRef {
+        let blocks = u64::from(self.cfg.shared_blocks_per_pool);
+        if self.procs[pid as usize].mig_burst_left == 0 && self.rng.gen_bool(MIGRATORY_CHURN) {
+            self.mig_base += 1;
+        }
+        let mig_base = self.mig_base;
+        let state = &mut self.procs[pid as usize];
+        if state.mig_burst_left == 0 {
+            // Pick up a (likely previously-owned-by-someone-else) object.
+            state.mig_block = mig_base + self.rng.gen_range(0..blocks);
+            state.mig_burst_left = MIGRATORY_BURST;
+        }
+        state.mig_burst_left -= 1;
+        let first_of_burst = state.mig_burst_left == MIGRATORY_BURST - 1;
+        let addr = self.layout.shared(Region::Migratory, state.mig_block);
+        // A migratory burst starts with a read (inspect), then mixes writes.
+        if !first_of_burst && self.rng.gen_bool(MIGRATORY_WRITE_FRAC) {
+            MemRef::write(cpu, ProcessId::new(pid), addr)
+        } else {
+            MemRef::read(cpu, ProcessId::new(pid), addr)
+        }
+    }
+
+    fn producer_consumer_ref(&mut self, cpu: CpuId, pid: u32) -> MemRef {
+        let blocks = u64::from(self.cfg.shared_blocks_per_pool);
+        if self.rng.gen_bool(POOL_CHURN) {
+            self.producer_base += 1;
+        }
+        let block = self.producer_base + self.rng.gen_range(0..blocks);
+        let addr = self.layout.shared(Region::ProducerConsumer, block);
+        let producer = ((self.step / PRODUCER_EPOCH) % u64::from(self.cfg.processes)) as u32;
+        if pid == producer {
+            MemRef::write(cpu, ProcessId::new(pid), addr)
+        } else {
+            MemRef::read(cpu, ProcessId::new(pid), addr)
+        }
+    }
+}
+
+impl Iterator for Workload {
+    type Item = MemRef;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.maybe_context_switch();
+        self.maybe_migrate();
+        let cpu_idx = self.next_cpu;
+        self.next_cpu = (self.next_cpu + 1) % self.cpu_proc.len();
+        let pid = self.cpu_proc[cpu_idx];
+        let r = self.proc_turn(CpuId::new(cpu_idx as u16), pid);
+        self.step += 1;
+        Some(r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::TraceStats;
+    use crate::synth::config::LockConfig;
+
+    fn take(cfg: WorkloadConfig, n: usize) -> Vec<MemRef> {
+        Workload::new(cfg).take(n).collect()
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let cfg = WorkloadConfig::builder().seed(99).build().unwrap();
+        let a = take(cfg.clone(), 5_000);
+        let b = take(cfg, 5_000);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = take(WorkloadConfig::builder().seed(1).build().unwrap(), 2_000);
+        let b = take(WorkloadConfig::builder().seed(2).build().unwrap(), 2_000);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn reference_mix_matches_configuration() {
+        let cfg = WorkloadConfig::builder().seed(7).build().unwrap();
+        let stats = TraceStats::from_refs(take(cfg, 200_000));
+        let instr_frac = stats.instructions() as f64 / stats.total() as f64;
+        assert!(
+            (instr_frac - 0.497).abs() < 0.03,
+            "instr fraction {instr_frac}"
+        );
+        let write_frac = stats.data_writes() as f64 / stats.total() as f64;
+        assert!(
+            (0.05..0.20).contains(&write_frac),
+            "write fraction {write_frac}"
+        );
+    }
+
+    #[test]
+    fn cpus_interleave_round_robin() {
+        let cfg = WorkloadConfig::builder().seed(3).build().unwrap();
+        let refs = take(cfg, 64);
+        for (i, r) in refs.iter().enumerate() {
+            assert_eq!(r.cpu.index(), i % 4);
+        }
+    }
+
+    #[test]
+    fn lock_protocol_is_well_formed() {
+        // Sequence per lock word must alternate: (acquire write) precedes
+        // release write; spin reads only while locked or testing.
+        let cfg = WorkloadConfig::builder()
+            .seed(11)
+            .lock(LockConfig {
+                locks: 2,
+                acquire_prob: 0.05,
+                critical_section_len: 5,
+                critical_write_frac: 0.5,
+            })
+            .build()
+            .unwrap();
+        let refs = take(cfg, 50_000);
+        // Track per-lock-word writes: they must strictly alternate
+        // acquire/release, and consecutive writes must come from the same
+        // process (the holder releases).
+        use std::collections::HashMap;
+        let mut writes: HashMap<u64, Vec<u32>> = HashMap::new();
+        for r in &refs {
+            if Region::of(r.addr) == Some(Region::Locks) && r.kind == AccessKind::Write {
+                writes
+                    .entry(r.addr.raw())
+                    .or_default()
+                    .push(r.pid.index() as u32);
+            }
+        }
+        assert!(!writes.is_empty(), "locks were exercised");
+        for (_, seq) in writes {
+            // acquire(p) release(p) acquire(q) release(q) ...
+            for pair in seq.chunks(2) {
+                if pair.len() == 2 {
+                    assert_eq!(pair[0], pair[1], "acquire and release by same pid");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn spin_reads_are_flagged_and_on_lock_words() {
+        let cfg = WorkloadConfig::builder()
+            .seed(13)
+            .lock(LockConfig {
+                locks: 1,
+                acquire_prob: 0.05,
+                critical_section_len: 30,
+                critical_write_frac: 0.5,
+            })
+            .build()
+            .unwrap();
+        let refs = take(cfg, 50_000);
+        let lock_reads: Vec<_> = refs.iter().filter(|r| r.flags.is_lock()).collect();
+        assert!(!lock_reads.is_empty(), "contention produced spin reads");
+        for r in &lock_reads {
+            assert_eq!(r.kind, AccessKind::Read);
+            assert_eq!(Region::of(r.addr), Some(Region::Locks));
+        }
+    }
+
+    #[test]
+    fn contended_lock_produces_long_spins() {
+        // One lock, long critical sections, aggressive acquisition: a large
+        // share of reads should be spin tests (the paper reports ~1/3 for
+        // POPS and THOR).
+        let cfg = WorkloadConfig::builder()
+            .seed(17)
+            .lock(LockConfig {
+                locks: 1,
+                acquire_prob: 0.02,
+                critical_section_len: 50,
+                critical_write_frac: 0.3,
+            })
+            .build()
+            .unwrap();
+        let stats = TraceStats::from_refs(take(cfg, 100_000));
+        assert!(
+            stats.lock_read_fraction() > 0.15,
+            "lock read fraction {}",
+            stats.lock_read_fraction()
+        );
+    }
+
+    #[test]
+    fn os_refs_are_flagged() {
+        let cfg = WorkloadConfig::builder().seed(19).build().unwrap();
+        let refs = take(cfg, 100_000);
+        let os: Vec<_> = refs.iter().filter(|r| r.flags.is_os()).collect();
+        let frac = os.len() as f64 / refs.len() as f64;
+        assert!((0.01..0.15).contains(&frac), "os fraction {frac}");
+        for r in os {
+            assert!(matches!(
+                Region::of(r.addr),
+                Some(Region::Os | Region::OsLocal)
+            ));
+        }
+    }
+
+    #[test]
+    fn private_refs_stay_private() {
+        let cfg = WorkloadConfig::builder().seed(23).build().unwrap();
+        let refs = take(cfg, 100_000);
+        use std::collections::HashMap;
+        let mut owner: HashMap<u64, u32> = HashMap::new();
+        for r in &refs {
+            if matches!(Region::of(r.addr), Some(Region::Private | Region::Code)) {
+                let prev = owner.insert(r.addr.raw(), r.pid.index() as u32);
+                if let Some(p) = prev {
+                    assert_eq!(p, r.pid.index() as u32, "private block crossed processes");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn more_processes_than_cpus_all_get_scheduled() {
+        let cfg = WorkloadConfig::builder()
+            .cpus(2)
+            .processes(6)
+            .quantum(100)
+            .seed(29)
+            .build()
+            .unwrap();
+        let refs = take(cfg, 10_000);
+        let stats = TraceStats::from_refs(refs);
+        assert_eq!(stats.cpu_count(), 2);
+        assert_eq!(stats.process_count(), 6);
+    }
+
+    #[test]
+    fn migration_moves_processes_between_cpus() {
+        let cfg = WorkloadConfig::builder()
+            .migration_prob(0.01)
+            .seed(31)
+            .build()
+            .unwrap();
+        let refs = take(cfg, 20_000);
+        use std::collections::HashMap;
+        let mut cpus_per_pid: HashMap<u32, std::collections::HashSet<usize>> = HashMap::new();
+        for r in &refs {
+            cpus_per_pid
+                .entry(r.pid.index() as u32)
+                .or_default()
+                .insert(r.cpu.index());
+        }
+        assert!(
+            cpus_per_pid.values().any(|s| s.len() > 1),
+            "some process ran on multiple cpus"
+        );
+    }
+
+    #[test]
+    fn no_migration_pins_processes() {
+        let cfg = WorkloadConfig::builder()
+            .migration_prob(0.0)
+            .seed(37)
+            .build()
+            .unwrap();
+        let refs = take(cfg, 20_000);
+        for r in &refs {
+            assert_eq!(r.cpu.index() as u32, r.pid.index() as u32);
+        }
+    }
+
+    #[test]
+    fn barriers_produce_rendezvous_spins() {
+        use crate::synth::config::BarrierConfig;
+        let cfg = WorkloadConfig {
+            barrier: BarrierConfig { interval: 200 },
+            lock: LockConfig {
+                locks: 1,
+                acquire_prob: 0.0,
+                critical_section_len: 1,
+                critical_write_frac: 0.0,
+            },
+            seed: 41,
+            ..WorkloadConfig::default()
+        };
+        let refs = take(cfg, 60_000);
+        // The barrier word is the block one past the lock words.
+        let barrier_addr = AddressLayout::new(16).lock(1);
+        let arrivals = refs
+            .iter()
+            .filter(|r| r.addr == barrier_addr && r.kind == AccessKind::Write)
+            .count();
+        let spins = refs
+            .iter()
+            .filter(|r| r.addr == barrier_addr && r.flags.is_lock())
+            .count();
+        assert!(arrivals > 10, "barrier arrivals: {arrivals}");
+        assert!(spins > 0, "waiters spin between arrivals: {spins}");
+        // Every process reaches the barrier.
+        use std::collections::HashSet;
+        let arrivers: HashSet<u32> = refs
+            .iter()
+            .filter(|r| r.addr == barrier_addr && r.kind == AccessKind::Write)
+            .map(|r| r.pid.index() as u32)
+            .collect();
+        assert_eq!(arrivers.len(), 4);
+    }
+
+    #[test]
+    fn barriers_never_deadlock_with_extra_processes() {
+        use crate::synth::config::BarrierConfig;
+        let cfg = WorkloadConfig {
+            cpus: 2,
+            processes: 5,
+            quantum: 300,
+            barrier: BarrierConfig { interval: 100 },
+            seed: 43,
+            ..WorkloadConfig::default()
+        };
+        let refs = take(cfg, 80_000);
+        let barrier_addr = AddressLayout::new(16).lock(2);
+        let arrivals = refs
+            .iter()
+            .filter(|r| r.addr == barrier_addr && r.kind == AccessKind::Write)
+            .count();
+        // Barriers keep completing: arrivals far exceed one round.
+        assert!(arrivals > 10, "arrivals: {arrivals}");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid workload configuration")]
+    fn invalid_config_panics() {
+        let cfg = WorkloadConfig {
+            cpus: 0,
+            ..WorkloadConfig::default()
+        };
+        let _ = Workload::new(cfg);
+    }
+}

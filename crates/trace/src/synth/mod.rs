@@ -1,0 +1,15 @@
+//! Synthetic multiprocessor workload generation.
+//!
+//! Stand-in for the paper's ATUM traces: a deterministic generator
+//! ([`Workload`]) parameterised by a [`WorkloadConfig`], with presets
+//! calibrated to the paper's three traces ([`PaperTrace`]).
+
+mod config;
+mod generator;
+mod layout;
+mod presets;
+
+pub use config::{BarrierConfig, ConfigError, LockConfig, SharingMix, WorkloadBuilder, WorkloadConfig};
+pub use generator::Workload;
+pub use layout::{AddressLayout, Region};
+pub use presets::{pero_like, pops_like, thor_like, PaperTrace};

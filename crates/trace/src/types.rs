@@ -1,0 +1,367 @@
+//! Fundamental vocabulary for multiprocessor address traces.
+//!
+//! A trace is an interleaved stream of [`MemRef`] records, one per memory
+//! reference issued by any processor, in global time order. This mirrors the
+//! ATUM multiprocessor traces used by the paper: each record carries the
+//! issuing CPU, the scheduled process, the byte address, and the access kind,
+//! plus annotations (lock spin, operating-system activity) that the paper's
+//! §5.2 experiments rely on.
+
+use std::fmt;
+
+/// Identifier of a physical processor (and, in the paper's model, of the
+/// cache attached to it).
+///
+/// # Examples
+///
+/// ```
+/// use dirsim_trace::CpuId;
+/// let cpu = CpuId::new(2);
+/// assert_eq!(cpu.index(), 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct CpuId(u16);
+
+impl CpuId {
+    /// Creates a CPU identifier from a zero-based index.
+    pub fn new(index: u16) -> Self {
+        CpuId(index)
+    }
+
+    /// Returns the zero-based index of this CPU.
+    pub fn index(self) -> usize {
+        usize::from(self.0)
+    }
+}
+
+impl fmt::Display for CpuId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cpu{}", self.0)
+    }
+}
+
+impl From<u16> for CpuId {
+    fn from(value: u16) -> Self {
+        CpuId(value)
+    }
+}
+
+/// Identifier of a software process.
+///
+/// The paper defines sharing at *process* granularity: a block is shared only
+/// if more than one process touches it, so that sharing induced purely by
+/// process migration is excluded (§4.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ProcessId(u32);
+
+impl ProcessId {
+    /// Creates a process identifier from a zero-based index.
+    pub fn new(index: u32) -> Self {
+        ProcessId(index)
+    }
+
+    /// Returns the zero-based index of this process.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pid{}", self.0)
+    }
+}
+
+impl From<u32> for ProcessId {
+    fn from(value: u32) -> Self {
+        ProcessId(value)
+    }
+}
+
+/// A byte address in the shared physical address space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Addr(u64);
+
+impl Addr {
+    /// Creates an address from a raw byte value.
+    pub fn new(byte: u64) -> Self {
+        Addr(byte)
+    }
+
+    /// Returns the raw byte value.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl From<u64> for Addr {
+    fn from(value: u64) -> Self {
+        Addr(value)
+    }
+}
+
+/// The kind of a memory reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// Instruction fetch. The paper assumes instruction references cause no
+    /// coherence traffic and excludes instruction misses from cost (§4).
+    InstrFetch,
+    /// Data read.
+    Read,
+    /// Data write.
+    Write,
+}
+
+impl AccessKind {
+    /// Returns `true` for data reads and writes (everything except
+    /// instruction fetches).
+    pub fn is_data(self) -> bool {
+        !matches!(self, AccessKind::InstrFetch)
+    }
+
+    /// Returns `true` for data writes.
+    pub fn is_write(self) -> bool {
+        matches!(self, AccessKind::Write)
+    }
+
+    /// One-letter code used by the text trace format: `i`, `r`, or `w`.
+    pub fn code(self) -> char {
+        match self {
+            AccessKind::InstrFetch => 'i',
+            AccessKind::Read => 'r',
+            AccessKind::Write => 'w',
+        }
+    }
+
+    /// Parses the one-letter code used by the text trace format.
+    pub fn from_code(code: char) -> Option<Self> {
+        match code {
+            'i' => Some(AccessKind::InstrFetch),
+            'r' => Some(AccessKind::Read),
+            'w' => Some(AccessKind::Write),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for AccessKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            AccessKind::InstrFetch => "instr",
+            AccessKind::Read => "read",
+            AccessKind::Write => "write",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Annotation flags attached to a reference.
+///
+/// Flags never change how a protocol treats a reference; they exist so that
+/// experiments can *select* references (e.g. §5.2 removes spin-lock test
+/// reads and re-measures `Dir1NB`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct RefFlags(u8);
+
+impl RefFlags {
+    const LOCK: u8 = 0b0000_0001;
+    const OS: u8 = 0b0000_0010;
+
+    /// No annotations.
+    pub const fn empty() -> Self {
+        RefFlags(0)
+    }
+
+    /// Marks the reference as part of a spin on a lock (the read in the first
+    /// test of a test-and-test-and-set primitive).
+    pub fn with_lock(mut self) -> Self {
+        self.0 |= Self::LOCK;
+        self
+    }
+
+    /// Marks the reference as operating-system activity.
+    pub fn with_os(mut self) -> Self {
+        self.0 |= Self::OS;
+        self
+    }
+
+    /// Whether the reference is a spin-lock test read.
+    pub fn is_lock(self) -> bool {
+        self.0 & Self::LOCK != 0
+    }
+
+    /// Whether the reference is operating-system activity.
+    pub fn is_os(self) -> bool {
+        self.0 & Self::OS != 0
+    }
+
+    /// Raw bits, used by the binary trace format.
+    pub fn bits(self) -> u8 {
+        self.0
+    }
+
+    /// Reconstructs flags from raw bits, ignoring unknown bits.
+    pub fn from_bits(bits: u8) -> Self {
+        RefFlags(bits & (Self::LOCK | Self::OS))
+    }
+}
+
+/// One memory reference in an interleaved multiprocessor trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MemRef {
+    /// Issuing processor.
+    pub cpu: CpuId,
+    /// Process scheduled on that processor at the time of the reference.
+    pub pid: ProcessId,
+    /// Byte address referenced.
+    pub addr: Addr,
+    /// Kind of access.
+    pub kind: AccessKind,
+    /// Annotations (lock spin, OS activity).
+    pub flags: RefFlags,
+}
+
+impl MemRef {
+    /// Creates an un-annotated reference.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dirsim_trace::{AccessKind, Addr, CpuId, MemRef, ProcessId};
+    /// let r = MemRef::new(CpuId::new(0), ProcessId::new(7), Addr::new(0x1000), AccessKind::Read);
+    /// assert!(r.kind.is_data());
+    /// ```
+    pub fn new(cpu: CpuId, pid: ProcessId, addr: Addr, kind: AccessKind) -> Self {
+        MemRef {
+            cpu,
+            pid,
+            addr,
+            kind,
+            flags: RefFlags::empty(),
+        }
+    }
+
+    /// Shorthand for an instruction fetch.
+    pub fn instr(cpu: CpuId, pid: ProcessId, addr: Addr) -> Self {
+        Self::new(cpu, pid, addr, AccessKind::InstrFetch)
+    }
+
+    /// Shorthand for a data read.
+    pub fn read(cpu: CpuId, pid: ProcessId, addr: Addr) -> Self {
+        Self::new(cpu, pid, addr, AccessKind::Read)
+    }
+
+    /// Shorthand for a data write.
+    pub fn write(cpu: CpuId, pid: ProcessId, addr: Addr) -> Self {
+        Self::new(cpu, pid, addr, AccessKind::Write)
+    }
+
+    /// Returns the same reference with the given flags.
+    pub fn with_flags(mut self, flags: RefFlags) -> Self {
+        self.flags = flags;
+        self
+    }
+}
+
+impl fmt::Display for MemRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {} {} {}",
+            self.cpu, self.pid, self.kind, self.addr
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cpu_id_roundtrip() {
+        let cpu = CpuId::new(3);
+        assert_eq!(cpu.index(), 3);
+        assert_eq!(CpuId::from(3u16), cpu);
+        assert_eq!(cpu.to_string(), "cpu3");
+    }
+
+    #[test]
+    fn process_id_roundtrip() {
+        let pid = ProcessId::new(42);
+        assert_eq!(pid.index(), 42);
+        assert_eq!(ProcessId::from(42u32), pid);
+        assert_eq!(pid.to_string(), "pid42");
+    }
+
+    #[test]
+    fn addr_formatting() {
+        let a = Addr::new(0xff00);
+        assert_eq!(a.raw(), 0xff00);
+        assert_eq!(a.to_string(), "0xff00");
+        assert_eq!(format!("{:x}", a), "ff00");
+    }
+
+    #[test]
+    fn access_kind_codes_roundtrip() {
+        for kind in [AccessKind::InstrFetch, AccessKind::Read, AccessKind::Write] {
+            assert_eq!(AccessKind::from_code(kind.code()), Some(kind));
+        }
+        assert_eq!(AccessKind::from_code('x'), None);
+    }
+
+    #[test]
+    fn access_kind_predicates() {
+        assert!(!AccessKind::InstrFetch.is_data());
+        assert!(AccessKind::Read.is_data());
+        assert!(AccessKind::Write.is_data());
+        assert!(AccessKind::Write.is_write());
+        assert!(!AccessKind::Read.is_write());
+    }
+
+    #[test]
+    fn flags_compose() {
+        let f = RefFlags::empty().with_lock().with_os();
+        assert!(f.is_lock());
+        assert!(f.is_os());
+        let g = RefFlags::from_bits(f.bits());
+        assert_eq!(f, g);
+    }
+
+    #[test]
+    fn flags_ignore_unknown_bits() {
+        let f = RefFlags::from_bits(0xff);
+        assert!(f.is_lock());
+        assert!(f.is_os());
+        assert_eq!(f.bits() & 0b1111_1100, 0);
+    }
+
+    #[test]
+    fn memref_constructors() {
+        let cpu = CpuId::new(1);
+        let pid = ProcessId::new(2);
+        let addr = Addr::new(0x40);
+        assert_eq!(MemRef::instr(cpu, pid, addr).kind, AccessKind::InstrFetch);
+        assert_eq!(MemRef::read(cpu, pid, addr).kind, AccessKind::Read);
+        assert_eq!(MemRef::write(cpu, pid, addr).kind, AccessKind::Write);
+        let r = MemRef::read(cpu, pid, addr).with_flags(RefFlags::empty().with_lock());
+        assert!(r.flags.is_lock());
+    }
+
+    #[test]
+    fn memref_display() {
+        let r = MemRef::read(CpuId::new(0), ProcessId::new(1), Addr::new(16));
+        assert_eq!(r.to_string(), "cpu0 pid1 read 0x10");
+    }
+}

@@ -1,0 +1,183 @@
+//! Property tests for the trace crate: format robustness, statistics
+//! algebra, filter laws, and generator structure.
+
+use proptest::prelude::*;
+
+use dirsim_trace::filter::{by_cpu, data_only, without_lock_tests, without_os};
+use dirsim_trace::io::{read_binary, read_text, write_binary, write_text, TraceIoError};
+use dirsim_trace::synth::{Region, Workload, WorkloadConfig};
+use dirsim_trace::{AccessKind, Addr, CpuId, MemRef, ProcessId, RefFlags, TraceStats};
+
+fn arbitrary_refs(len: usize) -> impl Strategy<Value = Vec<MemRef>> {
+    prop::collection::vec(
+        (0u16..8, 0u32..8, 0u64..(1 << 44), 0u8..3, any::<bool>(), any::<bool>()).prop_map(
+            |(cpu, pid, addr, kind, lock, os)| {
+                let kind = match kind {
+                    0 => AccessKind::InstrFetch,
+                    1 => AccessKind::Read,
+                    _ => AccessKind::Write,
+                };
+                let mut flags = RefFlags::empty();
+                if lock {
+                    flags = flags.with_lock();
+                }
+                if os {
+                    flags = flags.with_os();
+                }
+                MemRef::new(CpuId::new(cpu), ProcessId::new(pid), Addr::new(addr), kind)
+                    .with_flags(flags)
+            },
+        ),
+        0..len,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Corrupting any single byte of a binary trace either still decodes
+    /// (payload bytes) or produces a clean error — never a panic.
+    #[test]
+    fn binary_corruption_never_panics(refs in arbitrary_refs(20), pos in 0usize..100, byte in any::<u8>()) {
+        let mut buf = Vec::new();
+        write_binary(&mut buf, refs.iter().copied()).unwrap();
+        if buf.is_empty() {
+            return Ok(());
+        }
+        let idx = pos % buf.len();
+        buf[idx] = byte;
+        // Must terminate without panicking; errors are fine.
+        let _ = read_binary(&buf[..]).collect::<Vec<Result<MemRef, TraceIoError>>>();
+    }
+
+    /// Truncating a binary trace mid-record errors instead of inventing
+    /// data.
+    #[test]
+    fn binary_truncation_is_detected(refs in arbitrary_refs(20), cut in 1usize..15) {
+        prop_assume!(!refs.is_empty());
+        let mut buf = Vec::new();
+        write_binary(&mut buf, refs.iter().copied()).unwrap();
+        buf.truncate(buf.len() - cut);
+        let results: Vec<_> = read_binary(&buf[..]).collect();
+        prop_assert!(matches!(
+            results.last(),
+            Some(Err(TraceIoError::TruncatedRecord)) | Some(Err(TraceIoError::Io(_)))
+        ));
+        // All records before the cut decode correctly.
+        for (got, want) in results.iter().zip(refs.iter()) {
+            if let Ok(got) = got {
+                prop_assert_eq!(got, want);
+            }
+        }
+    }
+
+    /// Text parsing accepts whatever the writer produces, line by line.
+    #[test]
+    fn text_lines_are_individually_valid(refs in arbitrary_refs(40)) {
+        let mut buf = Vec::new();
+        write_text(&mut buf, refs.iter().copied()).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        for (line, want) in text.lines().zip(refs.iter()) {
+            let got: Vec<MemRef> =
+                read_text(line.as_bytes()).collect::<Result<_, _>>().unwrap();
+            prop_assert_eq!(&got[..], std::slice::from_ref(want));
+        }
+    }
+
+    /// The compressed format round-trips arbitrary reference streams.
+    #[test]
+    fn compressed_round_trips(refs in arbitrary_refs(200)) {
+        use dirsim_trace::compress::{read_compressed, write_compressed};
+        let mut buf = Vec::new();
+        write_compressed(&mut buf, refs.iter().copied()).unwrap();
+        let back: Vec<MemRef> =
+            read_compressed(&buf[..]).collect::<Result<_, _>>().unwrap();
+        prop_assert_eq!(back, refs);
+    }
+
+    /// Corrupting a compressed stream never panics and never loops.
+    #[test]
+    fn compressed_corruption_never_panics(
+        refs in arbitrary_refs(30),
+        pos in 0usize..200,
+        byte in any::<u8>(),
+    ) {
+        use dirsim_trace::compress::{read_compressed, write_compressed};
+        let mut buf = Vec::new();
+        write_compressed(&mut buf, refs.iter().copied()).unwrap();
+        if buf.is_empty() {
+            return Ok(());
+        }
+        let idx = pos % buf.len();
+        buf[idx] = byte;
+        let decoded: Vec<_> = read_compressed(&buf[..]).take(1000).collect();
+        prop_assert!(decoded.len() <= refs.len() + 8, "no runaway decoding");
+    }
+
+    /// Stats of a concatenation equal the merge of the parts.
+    #[test]
+    fn stats_merge_is_concat(a in arbitrary_refs(100), b in arbitrary_refs(100)) {
+        let mut merged = TraceStats::from_refs(a.iter().copied());
+        merged.merge(&TraceStats::from_refs(b.iter().copied()));
+        let concat = TraceStats::from_refs(a.iter().copied().chain(b.iter().copied()));
+        prop_assert_eq!(merged, concat);
+    }
+
+    /// Filters are idempotent and only remove what they claim.
+    #[test]
+    fn filters_are_idempotent(refs in arbitrary_refs(150)) {
+        let once: Vec<MemRef> = without_lock_tests(refs.clone()).collect();
+        let twice: Vec<MemRef> = without_lock_tests(once.clone()).collect();
+        prop_assert_eq!(&once, &twice);
+        prop_assert!(once.iter().all(|r| !r.flags.is_lock()));
+        let removed = refs.len() - once.len();
+        let locks = refs.iter().filter(|r| r.flags.is_lock()).count();
+        prop_assert_eq!(removed, locks);
+
+        let os_free: Vec<MemRef> = without_os(refs.clone()).collect();
+        prop_assert!(os_free.iter().all(|r| !r.flags.is_os()));
+        let data: Vec<MemRef> = data_only(refs.clone()).collect();
+        prop_assert!(data.iter().all(|r| r.kind.is_data()));
+        for cpu in 0..8u16 {
+            let per: Vec<MemRef> = by_cpu(refs.clone(), CpuId::new(cpu)).collect();
+            prop_assert!(per.iter().all(|r| r.cpu == CpuId::new(cpu)));
+        }
+    }
+
+    /// Generator structural laws on arbitrary (valid) configurations:
+    /// instruction fetches only target code, lock flags only appear on
+    /// reads of lock words, and the CPU sequence is round-robin.
+    #[test]
+    fn generator_structural_laws(
+        cpus in 1u16..6,
+        extra_procs in 0u32..3,
+        seed in any::<u64>(),
+        shared in 0.0f64..0.2,
+    ) {
+        let cfg = WorkloadConfig::builder()
+            .cpus(cpus)
+            .processes(u32::from(cpus) + extra_procs)
+            .shared_frac(shared)
+            .seed(seed)
+            .build()
+            .unwrap();
+        let refs: Vec<MemRef> = Workload::new(cfg).take(3000).collect();
+        for (i, r) in refs.iter().enumerate() {
+            prop_assert_eq!(r.cpu.index(), i % cpus as usize, "round robin");
+            match r.kind {
+                AccessKind::InstrFetch => {
+                    prop_assert_eq!(Region::of(r.addr), Some(Region::Code));
+                }
+                AccessKind::Read => {
+                    if r.flags.is_lock() {
+                        prop_assert_eq!(Region::of(r.addr), Some(Region::Locks));
+                    }
+                }
+                AccessKind::Write => {
+                    prop_assert!(!r.flags.is_lock(), "writes are never spin tests");
+                }
+            }
+            prop_assert!(Region::of(r.addr).is_some(), "every address has a region");
+        }
+    }
+}

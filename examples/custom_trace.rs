@@ -1,0 +1,83 @@
+//! Bring your own trace: write, read back, and simulate a trace file.
+//!
+//! The library consumes any interleaved multiprocessor reference stream,
+//! not just the synthetic generators. This example
+//!
+//! 1. writes a workload to the compact binary `DTR1` format,
+//! 2. writes a small hand-crafted trace in the human-readable text format,
+//! 3. reads both back and runs a protocol over them, with the coherence
+//!    oracle enabled.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run -p dirsim --example custom_trace
+//! ```
+
+use std::io::BufReader;
+
+use dirsim::prelude::*;
+use dirsim_trace::io::{read_binary, read_text, write_binary, write_text};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- Binary round-trip of a generated workload ---------------------
+    let cfg = WorkloadConfig::builder().seed(7).build()?;
+    let refs: Vec<MemRef> = Workload::new(cfg).take(50_000).collect();
+
+    let path = std::env::temp_dir().join("dirsim_quickstart.dtr");
+    let mut file = std::fs::File::create(&path)?;
+    let written = write_binary(&mut file, refs.iter().copied())?;
+    drop(file);
+    println!(
+        "wrote {written} references to {} ({} bytes)",
+        path.display(),
+        std::fs::metadata(&path)?.len()
+    );
+
+    let reader = read_binary(BufReader::new(std::fs::File::open(&path)?));
+    let back: Vec<MemRef> = reader.collect::<Result<_, _>>()?;
+    assert_eq!(back, refs, "binary format round-trips exactly");
+
+    let mut protocol = Scheme::Directory(DirSpec::dir0_b()).build(4);
+    let sim = Simulator::new(SimConfig {
+        check_oracle: true,
+        ..SimConfig::default()
+    });
+    let result = sim.run(protocol.as_mut(), back)?;
+    println!(
+        "Dir0B over the file: {} refs, {} bus transactions, {:.4} cycles/ref (pipelined)\n",
+        result.refs,
+        result.transactions,
+        result.cycles_per_ref(CostModel::pipelined())
+    );
+
+    // --- Text format: hand-written sharing scenario ---------------------
+    // Two processes ping-pong a block: the classic migratory pattern.
+    let text = "\
+# cpu pid kind addr [flags: l=lock-test, s=os]
+0 0 r 1000
+0 0 w 1000
+1 1 r 1000
+1 1 w 1000
+0 0 r 1000
+0 0 w 1000
+";
+    let mut buf = Vec::new();
+    let parsed: Vec<MemRef> = read_text(text.as_bytes()).collect::<Result<_, _>>()?;
+    write_text(&mut buf, parsed.iter().copied())?;
+    println!("hand-written trace ({} refs):\n{}", parsed.len(), String::from_utf8_lossy(&buf));
+
+    let mut protocol = Scheme::Directory(DirSpec::dir0_b()).build(2);
+    let result = sim.run(protocol.as_mut(), parsed)?;
+    println!("event counts for the migratory ping-pong:");
+    for (kind, count) in result.events.iter() {
+        if count > 0 {
+            println!("  {kind:<14} {count}");
+        }
+    }
+    println!("\nEvery read miss found the block dirty in the other cache —");
+    println!("each handoff costs a flush (write-back) plus an invalidation.");
+
+    std::fs::remove_file(&path).ok();
+    Ok(())
+}

@@ -1,0 +1,65 @@
+//! Why directories, in one sweep: snoopy protocols on richer interconnects.
+//!
+//! The paper's argument (§1) is that snoopy schemes cannot scale past a
+//! bus because they depend on every cache observing every transaction,
+//! while directory schemes send directed messages that work over any
+//! network. This example quantifies that: it simulates directory and
+//! snoopy schemes once, then prices the recorded operations on a bus, a
+//! crossbar, and a 2-D mesh at increasing node counts, reporting how many
+//! processors each combination can sustain before the interconnect
+//! saturates.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run -p dirsim --example network_limits --release
+//! ```
+
+use dirsim::paper::network_scaling;
+use dirsim::prelude::*;
+use dirsim_cost::Topology;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let schemes = vec![
+        Scheme::Directory(DirSpec::dir1_b()),
+        Scheme::Directory(DirSpec::dir_n_nb()),
+        Scheme::Wti,
+        Scheme::Dragon,
+    ];
+
+    println!("saturation bound in processors (higher is better):\n");
+    println!(
+        "{:>8} {:>10} {:>10} {:>10} {:>10}",
+        "nodes", "topology", "Dir1B", "Dragon", "WTI"
+    );
+    for nodes in [4u16, 16, 64, 256] {
+        let rows = network_scaling(nodes, 100_000, schemes.clone())?;
+        for topology in Topology::ALL {
+            let get = |name: &str| {
+                rows.iter()
+                    .find(|r| r.scheme == name && r.topology == topology)
+                    .map(|r| r.saturation_processors)
+                    .unwrap_or(f64::NAN)
+            };
+            println!(
+                "{:>8} {:>10} {:>10.1} {:>10.1} {:>10.1}",
+                nodes,
+                topology.to_string(),
+                get("Dir1B"),
+                get("Dragon"),
+                get("WTI"),
+            );
+        }
+        println!();
+    }
+
+    println!(
+        "On the bus every scheme hits the same wall (the paper's ~15\n\
+         effective processors). Moving to a crossbar or mesh multiplies the\n\
+         directory schemes' headroom, while the snoopy protocols — whose\n\
+         every transaction must be flooded to all snoopers — barely improve.\n\
+         That asymmetry is the paper's thesis: directories are what make\n\
+         large-scale cache-coherent shared memory possible."
+    );
+    Ok(())
+}

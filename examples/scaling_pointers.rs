@@ -1,0 +1,87 @@
+//! The scalability story (§6): how many directory pointers do you need?
+//!
+//! The original authors only had 4-CPU traces and wrote that "an accurate
+//! evaluation of the tradeoffs will require traces from a much larger
+//! number of processors". This example runs that study on synthetic
+//! workloads at 4, 16 and 64 processors, sweeping the `Dir_i{B,NB}` design
+//! space plus the coarse-vector code, and prints per-scheme cost, the
+//! coherence miss rate (NB schemes trade misses for broadcasts), broadcast
+//! traffic, and directory storage.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run -p dirsim --example scaling_pointers --release
+//! ```
+
+use dirsim::paper::{pointer_sweep, scaled_workload};
+use dirsim::prelude::*;
+use dirsim::report;
+use dirsim_protocol::CoarseVectorProtocol;
+
+fn directory_storage_bits(scheme: &str, caches: u32) -> String {
+    // Bits of sharer-tracking state per directory entry.
+    let log_n = if caches <= 1 {
+        1
+    } else {
+        32 - (caches - 1).leading_zeros()
+    };
+    match scheme {
+        "Dir0B" => "2".to_string(), // the Archibald–Baer state bits
+        "DirnNB" => format!("{caches}"),
+        "CoarseVector" => format!("{}", CoarseVectorProtocol::new(caches).storage_bits()),
+        s => {
+            // Dir{i}B / Dir{i}NB: i pointers of log2(n) bits (+1 bcast bit).
+            let i: u32 = s
+                .trim_start_matches("Dir")
+                .trim_end_matches("NB")
+                .trim_end_matches('B')
+                .parse()
+                .unwrap_or(0);
+            let bcast = if s.ends_with("NB") { 0 } else { 1 };
+            format!("{}", i * log_n + bcast)
+        }
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let refs = 200_000;
+    for processors in [4u16, 16, 64] {
+        let rows = pointer_sweep(processors, refs, &[1, 2, 4])?;
+        println!("{}", report::render_pointer_sweep(processors, &rows));
+        println!("directory storage per block entry:");
+        for row in &rows {
+            println!(
+                "  {:>12}: {:>4} bits",
+                row.scheme,
+                directory_storage_bits(&row.scheme, u32::from(processors))
+            );
+        }
+        println!();
+
+        // The paper's motivating statistic, re-measured at this scale: how
+        // often does a write to a previously-clean block have at most one
+        // remote copy to invalidate?
+        let results = Experiment::new()
+            .workload(NamedWorkload::new(
+                format!("scaled-{processors}p"),
+                scaled_workload(processors, 0xfa11_0000 + u64::from(processors)),
+            ))
+            .scheme(Scheme::Directory(DirSpec::dir0_b()))
+            .refs_per_trace(refs)
+            .run()?;
+        let hist = &results.per_scheme[0].combined.fanout;
+        println!(
+            "at {processors} processors, {:.1}% of clean-block writes invalidate ≤1 cache \
+             (mean fan-out {:.2})\n",
+            hist.fraction_at_most(1) * 100.0,
+            hist.mean()
+        );
+    }
+    println!(
+        "Conclusion (matches §6): a small number of pointers plus a broadcast\n\
+         bit — or a coarse vector — captures almost all invalidations with a\n\
+         directory that grows O(log n) instead of O(n) bits per block."
+    );
+    Ok(())
+}

@@ -1,0 +1,104 @@
+//! The §5.2 pathology: spin locks destroy single-copy directories.
+//!
+//! `Dir1NB` allows each block in at most one cache, so when two processes
+//! spin on the same test-and-test-and-set lock the lock word bounces
+//! between their caches on *every* test read. This example builds
+//! progressively more contended workloads, measures the damage, and then
+//! reruns with the lock-test reads filtered out (the paper's ablation:
+//! Dir1NB improved from 0.32 to 0.12 bus cycles per reference while Dir0B
+//! was unchanged).
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run -p dirsim --example spinlock_storm --release
+//! ```
+
+use dirsim::prelude::*;
+use dirsim_trace::synth::LockConfig;
+
+fn storm(acquire_prob: f64, cs: u32, seed: u64) -> WorkloadConfig {
+    WorkloadConfig {
+        lock: LockConfig {
+            locks: 1,
+            acquire_prob,
+            critical_section_len: cs,
+            critical_write_frac: 0.4,
+        },
+        seed,
+        ..WorkloadConfig::default()
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let refs = 200_000;
+    let model = CostModel::pipelined();
+    let schemes = [
+        Scheme::Directory(DirSpec::dir1_nb()),
+        Scheme::Directory(DirSpec::dir0_b()),
+        Scheme::Dragon,
+    ];
+
+    println!("contention sweep (pipelined bus cycles per reference):\n");
+    println!("{:>12} {:>10} {:>10} {:>10} {:>10}", "contention", "lock/reads", "Dir1NB", "Dir0B", "Dragon");
+    for (label, p, cs) in [
+        ("none", 0.0, 50u32),
+        ("light", 0.002, 100),
+        ("moderate", 0.005, 200),
+        ("heavy", 0.015, 300),
+    ] {
+        let cfg = storm(p, cs, 0xabc0 + cs as u64);
+        let stats = TraceStats::from_refs(Workload::new(cfg.clone()).take(refs));
+        let results = Experiment::new()
+            .workload(NamedWorkload::new(label, cfg))
+            .schemes(schemes)
+            .refs_per_trace(refs)
+            .run()?;
+        let cost = |name: &str| {
+            results
+                .scheme(name)
+                .expect("simulated")
+                .combined
+                .cycles_per_ref(model)
+        };
+        println!(
+            "{label:>12} {:>10.3} {:>10.4} {:>10.4} {:>10.4}",
+            stats.lock_read_fraction(),
+            cost("Dir1NB"),
+            cost("Dir0B"),
+            cost("Dragon"),
+        );
+    }
+
+    // The §5.2 ablation on the heavy workload: exclude lock-test reads.
+    println!("\nexcluding spin-lock test reads (the paper's §5.2 experiment):\n");
+    let cfg = storm(0.015, 300, 0xabc0 + 300);
+    for exclude in [false, true] {
+        let results = Experiment::new()
+            .workload(NamedWorkload::new("heavy", cfg.clone()))
+            .schemes(schemes)
+            .refs_per_trace(refs)
+            .exclude_lock_tests(exclude)
+            .run()?;
+        let cost = |name: &str| {
+            results
+                .scheme(name)
+                .expect("simulated")
+                .combined
+                .cycles_per_ref(model)
+        };
+        println!(
+            "  lock tests {}: Dir1NB {:.4}  Dir0B {:.4}",
+            if exclude { "excluded" } else { "included" },
+            cost("Dir1NB"),
+            cost("Dir0B"),
+        );
+    }
+    println!(
+        "\nDir1NB collapses under lock contention and recovers when spins are\n\
+         removed; Dir0B barely notices (spinners all hold clean copies).\n\
+         Software coherence schemes that flush critical sections behave like\n\
+         Dir1NB — they must special-case locks (§5.2)."
+    );
+    Ok(())
+}
