@@ -37,7 +37,13 @@ fn bench_block_size(c: &mut Criterion) {
 
     let mut table =
         TextTable::new("Ablation: block size (Dir0B, pipelined; fs = false-sharing workload)");
-    table.headers(["block bytes", "cycles/ref", "miss rate", "fs cycles/ref", "fs miss rate"]);
+    table.headers([
+        "block bytes",
+        "cycles/ref",
+        "miss rate",
+        "fs cycles/ref",
+        "fs miss rate",
+    ]);
     for bytes in [4u32, 16, 64, 256] {
         let config = SimConfig {
             block_map: BlockMap::new(bytes).unwrap(),
@@ -46,7 +52,9 @@ fn bench_block_size(c: &mut Criterion) {
         let model = CostModel::pipelined().with_words_per_block((bytes / 4).max(1));
         let run = |stream: &[MemRef]| {
             let mut p = Scheme::Directory(DirSpec::dir0_b()).build(4);
-            Simulator::new(config).run(p.as_mut(), stream.iter().copied()).unwrap()
+            Simulator::new(config)
+                .run(p.as_mut(), stream.iter().copied())
+                .unwrap()
         };
         let result = run(&refs);
         let fs_result = run(&fs_refs);
@@ -67,7 +75,11 @@ fn bench_block_size(c: &mut Criterion) {
         };
         b.iter_batched(
             || Scheme::Directory(DirSpec::dir0_b()).build(4),
-            |mut p| Simulator::new(config).run(p.as_mut(), refs.iter().copied()).unwrap(),
+            |mut p| {
+                Simulator::new(config)
+                    .run(p.as_mut(), refs.iter().copied())
+                    .unwrap()
+            },
             BatchSize::SmallInput,
         )
     });
@@ -77,9 +89,8 @@ fn bench_block_size(c: &mut Criterion) {
 /// indexed map vs Tang duplicate tags vs Yen & Fu single bits.
 fn bench_directory_organisation(c: &mut Criterion) {
     let refs = refs_for(PaperTrace::Pops);
-    let mut table = TextTable::new(
-        "Ablation: full-map directory organisation (POPS-like, pipelined)",
-    );
+    let mut table =
+        TextTable::new("Ablation: full-map directory organisation (POPS-like, pipelined)");
     table.headers(["organisation", "cycles/ref", "dir ops/kiloref"]);
     for scheme in [
         Scheme::Directory(DirSpec::dir_n_nb()),
@@ -87,7 +98,9 @@ fn bench_directory_organisation(c: &mut Criterion) {
         Scheme::YenFu,
     ] {
         let mut p = scheme.build(4);
-        let result = Simulator::paper().run(p.as_mut(), refs.iter().copied()).unwrap();
+        let result = Simulator::paper()
+            .run(p.as_mut(), refs.iter().copied())
+            .unwrap();
         let dir_ops = result.ops[BusOp::DirLookup] + result.ops[BusOp::DirUpdate];
         table.row([
             scheme.name(),
@@ -100,7 +113,11 @@ fn bench_directory_organisation(c: &mut Criterion) {
     c.bench_function("ablation/tang_organisation", |b| {
         b.iter_batched(
             || Scheme::Tang.build(4),
-            |mut p| Simulator::paper().run(p.as_mut(), refs.iter().copied()).unwrap(),
+            |mut p| {
+                Simulator::paper()
+                    .run(p.as_mut(), refs.iter().copied())
+                    .unwrap()
+            },
             BatchSize::SmallInput,
         )
     });
@@ -117,7 +134,9 @@ fn bench_eviction_policy(c: &mut Criterion) {
     ] {
         let spec = DirSpec::dir_i_nb(2).unwrap().with_eviction(policy);
         let mut p = Scheme::Directory(spec).build(4);
-        let result = Simulator::paper().run(p.as_mut(), refs.iter().copied()).unwrap();
+        let result = Simulator::paper()
+            .run(p.as_mut(), refs.iter().copied())
+            .unwrap();
         table.row([
             name.to_string(),
             format!("{:.4}", result.cycles_per_ref(CostModel::pipelined())),
@@ -129,7 +148,11 @@ fn bench_eviction_policy(c: &mut Criterion) {
     c.bench_function("ablation/eviction_oldest", |b| {
         b.iter_batched(
             || Scheme::Directory(DirSpec::dir_i_nb(2).unwrap()).build(4),
-            |mut p| Simulator::paper().run(p.as_mut(), refs.iter().copied()).unwrap(),
+            |mut p| {
+                Simulator::paper()
+                    .run(p.as_mut(), refs.iter().copied())
+                    .unwrap()
+            },
             BatchSize::SmallInput,
         )
     });
@@ -142,9 +165,8 @@ fn bench_sharing_attribution(c: &mut Criterion) {
         ..PaperTrace::Pops.config()
     };
     let refs: Vec<MemRef> = Workload::new(cfg).take(REFS).collect();
-    let mut table = TextTable::new(
-        "Ablation: sharing attribution with process migration (pipelined)",
-    );
+    let mut table =
+        TextTable::new("Ablation: sharing attribution with process migration (pipelined)");
     table.headers(["attribution", "cycles/ref", "coh. miss rate"]);
     for sharing in [SharingModel::PerProcess, SharingModel::PerProcessor] {
         let config = SimConfig {
@@ -152,7 +174,9 @@ fn bench_sharing_attribution(c: &mut Criterion) {
             ..SimConfig::default()
         };
         let mut p = Scheme::Directory(DirSpec::dir0_b()).build(4);
-        let result = Simulator::new(config).run(p.as_mut(), refs.iter().copied()).unwrap();
+        let result = Simulator::new(config)
+            .run(p.as_mut(), refs.iter().copied())
+            .unwrap();
         table.row([
             sharing.to_string(),
             format!("{:.4}", result.cycles_per_ref(CostModel::pipelined())),
@@ -168,7 +192,11 @@ fn bench_sharing_attribution(c: &mut Criterion) {
         };
         b.iter_batched(
             || Scheme::Directory(DirSpec::dir0_b()).build(4),
-            |mut p| Simulator::new(config).run(p.as_mut(), refs.iter().copied()).unwrap(),
+            |mut p| {
+                Simulator::new(config)
+                    .run(p.as_mut(), refs.iter().copied())
+                    .unwrap()
+            },
             BatchSize::SmallInput,
         )
     });
@@ -188,12 +216,8 @@ fn bench_finite_caches(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("1024_blocks", |b| {
         b.iter(|| {
-            dirsim::paper::finite_cache_study(
-                Scheme::Directory(DirSpec::dir0_b()),
-                10_000,
-                &[1024],
-            )
-            .unwrap()
+            dirsim::paper::finite_cache_study(Scheme::Directory(DirSpec::dir0_b()), 10_000, &[1024])
+                .unwrap()
         })
     });
     group.finish();

@@ -35,8 +35,14 @@ fn bench_figures_2_to_5(c: &mut Criterion) {
     let results = paper::headline_experiment(REFS).run().unwrap();
     println!("{}", report::render_figure2(&results));
     println!("{}", report::render_figure3(&results));
-    println!("{}", report::render_figure4(&results, CostModel::pipelined()));
-    println!("{}", report::render_figure5(&results, CostModel::pipelined()));
+    println!(
+        "{}",
+        report::render_figure4(&results, CostModel::pipelined())
+    );
+    println!(
+        "{}",
+        report::render_figure5(&results, CostModel::pipelined())
+    );
     c.bench_function("fig2-5/render_all", |b| {
         b.iter(|| {
             let mut total = 0usize;
@@ -97,9 +103,7 @@ fn bench_lock_impact(c: &mut Criterion) {
     let mut group = c.benchmark_group("sec5.2/lock_impact");
     group.sample_size(10);
     group.bench_function("dir1nb_20k", |b| {
-        b.iter(|| {
-            paper::lock_impact(20_000, vec![Scheme::Directory(DirSpec::dir1_nb())]).unwrap()
-        })
+        b.iter(|| paper::lock_impact(20_000, vec![Scheme::Directory(DirSpec::dir1_nb())]).unwrap())
     });
     group.finish();
 }

@@ -35,7 +35,7 @@ fn bench_table4(c: &mut Criterion) {
     let refs = materialise(PaperTrace::Pops, REFS);
     let mut group = c.benchmark_group("table4/event_frequencies");
     for scheme in Scheme::paper_lineup() {
-        group.bench_function(scheme.name(), |b| {
+        group.bench_function(&scheme.name(), |b| {
             b.iter_batched(
                 || scheme.build(4),
                 |mut protocol| {
@@ -53,7 +53,10 @@ fn bench_table4(c: &mut Criterion) {
 /// Table 5: simulation plus cost aggregation under both bus models.
 fn bench_table5(c: &mut Criterion) {
     let results = dirsim::paper::headline_experiment(REFS).run().unwrap();
-    println!("{}", report::render_table5(&results, CostModel::pipelined()));
+    println!(
+        "{}",
+        report::render_table5(&results, CostModel::pipelined())
+    );
     println!(
         "{}",
         report::render_table5(&results, CostModel::non_pipelined())

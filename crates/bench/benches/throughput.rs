@@ -55,7 +55,7 @@ fn bench_protocols(c: &mut Criterion) {
     schemes.push(Scheme::Berkeley);
     schemes.push(Scheme::CoarseVector);
     for scheme in schemes {
-        group.bench_function(scheme.name(), |b| {
+        group.bench_function(&scheme.name(), |b| {
             b.iter_batched(
                 || scheme.build(4),
                 |mut protocol| {
@@ -75,7 +75,11 @@ fn bench_oracle_overhead(c: &mut Criterion) {
     let mut group = c.benchmark_group("throughput/oracle");
     group.throughput(Throughput::Elements(REFS as u64));
     for check in [false, true] {
-        let label = if check { "with_oracle" } else { "without_oracle" };
+        let label = if check {
+            "with_oracle"
+        } else {
+            "without_oracle"
+        };
         group.bench_function(label, |b| {
             b.iter_batched(
                 || Scheme::Directory(DirSpec::dir0_b()).build(4),

@@ -8,7 +8,7 @@
 //!
 //! `<scheme>` uses the paper's notation (`Dir0B`, `Dir2NB`, `DirnNB`,
 //! `CoarseVector`, `Tang`, `YenFu`, `WTI`, `Dragon`, `Berkeley`). Trace
-//! files ending in `.txt` are parsed as text, anything else as `DTR1`
+//! files ending in `.txt` or `.trace` are parsed as text, anything else as `DTR1`
 //! binary (see `trace_tool`).
 
 use std::fs::File;
@@ -96,7 +96,7 @@ fn parse_args() -> Result<Options, String> {
 fn run() -> Result<(), String> {
     let opts = parse_args()?;
     let file = File::open(&opts.path).map_err(|e| format!("{}: {e}", opts.path))?;
-    let refs: Vec<MemRef> = if opts.path.ends_with(".txt") {
+    let refs: Vec<MemRef> = if opts.path.ends_with(".txt") || opts.path.ends_with(".trace") {
         read_text(BufReader::new(file)).collect::<Result<_, _>>()
     } else if opts.path.ends_with(".dtr2") {
         read_compressed(BufReader::new(file)).collect::<Result<_, _>>()
@@ -117,8 +117,7 @@ fn run() -> Result<(), String> {
         }
     });
     let config = SimConfig {
-        block_map: BlockMap::new(opts.block_bytes)
-            .map_err(|e| e.to_string())?,
+        block_map: BlockMap::new(opts.block_bytes).map_err(|e| e.to_string())?,
         sharing: if opts.per_processor {
             SharingModel::PerProcessor
         } else {
@@ -126,6 +125,7 @@ fn run() -> Result<(), String> {
         },
         check_oracle: opts.oracle,
         geometry: opts.finite,
+        ..SimConfig::default()
     };
     if opts.schemes.len() > 1 {
         // Comparison mode: one summary row per scheme.

@@ -11,10 +11,7 @@ use dirsim::report;
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let which = args.first().map(String::as_str).unwrap_or("pops");
-    let refs: usize = args
-        .get(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(300_000);
+    let refs: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(300_000);
     let trace = match which {
         "pops" => PaperTrace::Pops,
         "thor" => PaperTrace::Thor,
@@ -27,11 +24,26 @@ fn main() -> ExitCode {
 
     let stats = TraceStats::from_refs(trace.workload().take(refs));
     println!("{} over {refs} refs:", trace.name());
-    println!("  instr frac     {:.3}", stats.instructions() as f64 / stats.total() as f64);
-    println!("  read frac      {:.3}", stats.data_reads() as f64 / stats.total() as f64);
-    println!("  write frac     {:.3}", stats.data_writes() as f64 / stats.total() as f64);
-    println!("  lock/reads     {:.3}  (paper POPS/THOR ≈ 0.33)", stats.lock_read_fraction());
-    println!("  os frac        {:.3}", stats.system() as f64 / stats.total() as f64);
+    println!(
+        "  instr frac     {:.3}",
+        stats.instructions() as f64 / stats.total() as f64
+    );
+    println!(
+        "  read frac      {:.3}",
+        stats.data_reads() as f64 / stats.total() as f64
+    );
+    println!(
+        "  write frac     {:.3}",
+        stats.data_writes() as f64 / stats.total() as f64
+    );
+    println!(
+        "  lock/reads     {:.3}  (paper POPS/THOR ≈ 0.33)",
+        stats.lock_read_fraction()
+    );
+    println!(
+        "  os frac        {:.3}",
+        stats.system() as f64 / stats.total() as f64
+    );
 
     let results = dirsim::Experiment::new()
         .workload(dirsim::NamedWorkload::new(trace.name(), trace.config()))

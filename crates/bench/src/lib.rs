@@ -34,9 +34,28 @@ pub const QUICK_REFS: usize = 100_000;
 /// `sec4.finite` and `sec5.sys` are the paper's sketched extensions
 /// (finite caches; effective-processor bound), fully implemented here.
 pub const ARTIFACTS: [&str; 22] = [
-    "table1", "table2", "table3", "table4", "table5", "fig1", "fig2", "fig3", "fig4", "fig5",
-    "sec4.finite", "sec5.1", "sec5.2", "sec5.sys", "sec6a", "sec6b", "sec6c", "sec7.network",
-    "compare", "robustness", "sec5.timing", "sensitivity",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "fig1",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "sec4.finite",
+    "sec5.1",
+    "sec5.2",
+    "sec5.sys",
+    "sec6a",
+    "sec6b",
+    "sec6c",
+    "sec7.network",
+    "compare",
+    "robustness",
+    "sec5.timing",
+    "sensitivity",
 ];
 
 /// Renders one artifact given pre-computed headline/extended results.
@@ -76,8 +95,7 @@ pub fn render_artifact(
         }
         "sec5.sys" => {
             let system = dirsim::analysis::SystemModel::PAPER;
-            let bounds =
-                dirsim::analysis::effective_processor_bounds(headline, pipelined, system);
+            let bounds = dirsim::analysis::effective_processor_bounds(headline, pipelined, system);
             let mut out = report::render_effective_processors(&bounds, system);
             // First-order contention (M/D/1): effective throughput per
             // processor as the machine grows.
@@ -139,7 +157,16 @@ pub fn render_artifact(
                 "Section 6a: broadcast vs sequential invalidation vs limited broadcast",
             );
             table.headers(["scheme", "cycles/ref (pipelined)"]);
-            for name in ["Dir0B", "DirnNB", "Dir1B", "CoarseVector", "Berkeley", "Illinois", "Dragon", "DirUpd"] {
+            for name in [
+                "Dir0B",
+                "DirnNB",
+                "Dir1B",
+                "CoarseVector",
+                "Berkeley",
+                "Illinois",
+                "Dragon",
+                "DirUpd",
+            ] {
                 if let Some(s) = extended.scheme(name) {
                     table.row([
                         name.to_string(),
@@ -153,8 +180,7 @@ pub fn render_artifact(
             let dir1b = extended
                 .scheme("Dir1B")
                 .expect("Dir1B simulated in extended experiment");
-            let points =
-                paper::broadcast_sensitivity(&dir1b.combined, &[1, 2, 4, 8, 16, 32]);
+            let points = paper::broadcast_sensitivity(&dir1b.combined, &[1, 2, 4, 8, 16, 32]);
             report::render_broadcast_sweep("Dir1B", &points)
         }
         "sec6c" => {
@@ -168,11 +194,8 @@ pub fn render_artifact(
             out
         }
         "sec5.timing" => {
-            let rows = paper::utilization_study(
-                refs.min(60_000),
-                &[2, 4, 8, 16],
-                Scheme::paper_lineup(),
-            );
+            let rows =
+                paper::utilization_study(refs.min(60_000), &[2, 4, 8, 16], Scheme::paper_lineup());
             report::render_utilization(&rows)
         }
         "sensitivity" => {
@@ -185,8 +208,8 @@ pub fn render_artifact(
             report::render_sharing_sweep(&rows)
         }
         "robustness" => {
-            let rows = paper::seed_sensitivity(refs.min(100_000), 3)
-                .expect("seed-sensitivity simulation");
+            let rows =
+                paper::seed_sensitivity(refs.min(100_000), 3).expect("seed-sensitivity simulation");
             report::render_seed_sensitivity(&rows)
         }
         "compare" => {
@@ -285,11 +308,8 @@ pub fn csv_artifacts(
     // §5.1 q sweep.
     let mut csv = String::from("scheme,q,cycles_per_ref\n");
     for s in &headline.per_scheme {
-        for (q, v) in paper::q_sensitivity(
-            &s.combined,
-            pipelined,
-            &[0.0, 0.25, 0.5, 1.0, 2.0, 4.0],
-        ) {
+        for (q, v) in paper::q_sensitivity(&s.combined, pipelined, &[0.0, 0.25, 0.5, 1.0, 2.0, 4.0])
+        {
             let _ = writeln!(csv, "{},{q},{v}", s.scheme.name());
         }
     }

@@ -100,8 +100,8 @@ impl SystemModel {
         // Extra stall cycles per reference from waiting behind others.
         let wait_cycles_per_ref = txns_per_ref * cycles_per_txn * delay;
         // A reference occupies 1/refs-per-cycle processor time uncontended.
-        let cpu_cycles_per_ref = 1e9
-            / (self.bus_cycle_ns * self.processor_mips * 1e6 * self.refs_per_instruction);
+        let cpu_cycles_per_ref =
+            1e9 / (self.bus_cycle_ns * self.processor_mips * 1e6 * self.refs_per_instruction);
         cpu_cycles_per_ref / (cpu_cycles_per_ref + wait_cycles_per_ref)
     }
 }
@@ -207,6 +207,10 @@ mod tests {
         let t12 = sys.contended_throughput(cpr, cpt, tpr, 12);
         assert!(t1 > t8 && t8 > t12, "{t1} {t8} {t12}");
         assert!(t1 <= 1.0 && t1 > 0.9, "lone processor barely waits: {t1}");
-        assert_eq!(sys.contended_throughput(cpr, cpt, tpr, 100), 0.0, "saturated");
+        assert_eq!(
+            sys.contended_throughput(cpr, cpt, tpr, 100),
+            0.0,
+            "saturated"
+        );
     }
 }

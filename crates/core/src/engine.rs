@@ -18,13 +18,14 @@ use std::fmt;
 
 use dirsim_cost::{CostBreakdown, CostModel};
 use dirsim_mem::{
-    BlockAddr, BlockMap, CacheGeometry, CacheStorage, FiniteCache, OracleViolation,
-    ShadowMemory, SharingModel,
+    BlockAddr, BlockMap, CacheGeometry, CacheStorage, FiniteCache, OracleViolation, ShadowMemory,
+    SharingModel,
 };
 use dirsim_protocol::{CoherenceProtocol, DataMovement, EventCounts, EventKind, OpCounts};
 use dirsim_trace::{AccessKind, MemRef};
 
 use crate::histogram::FanoutHistogram;
+use crate::invariant;
 
 /// Engine configuration.
 #[derive(Debug, Clone, Copy)]
@@ -41,6 +42,11 @@ pub struct SimConfig {
     /// re-fetches and write-backs are the paper's §4 "costs due to the
     /// finite cache size".
     pub geometry: Option<CacheGeometry>,
+    /// Audit every reference against the [`crate::invariant`] catalogue
+    /// (SWMR, event classification, fan-out, directory agreement) and
+    /// panic on the first violation. Defaults to on in debug builds and,
+    /// in release builds, under the crate's `invariants` feature.
+    pub check_invariants: bool,
 }
 
 impl Default for SimConfig {
@@ -50,6 +56,7 @@ impl Default for SimConfig {
             sharing: SharingModel::PerProcess,
             check_oracle: false,
             geometry: None,
+            check_invariants: cfg!(any(debug_assertions, feature = "invariants")),
         }
     }
 }
@@ -220,6 +227,16 @@ impl Simulator {
                             result.ops.record(op, 1);
                         }
                         eviction_used_bus = !ev.ops.is_empty();
+                        if self.config.check_invariants {
+                            if let Err(v) = invariant::check_eviction(protocol, cache, victim, &ev)
+                            {
+                                panic!(
+                                    "protocol invariant violated in {} at reference {index} \
+                                     (eviction): {v}",
+                                    protocol.name()
+                                );
+                            }
+                        }
                         Self::replay_movements(
                             protocol,
                             oracle.as_mut(),
@@ -231,7 +248,22 @@ impl Simulator {
                 }
             }
 
+            let pre = self
+                .config
+                .check_invariants
+                .then(|| protocol.probe(block))
+                .flatten();
             let outcome = protocol.on_data_ref(cache, block, write);
+            if self.config.check_invariants {
+                if let Err(v) =
+                    invariant::check_data_ref(protocol, pre.as_ref(), cache, block, write, &outcome)
+                {
+                    panic!(
+                        "protocol invariant violated in {} at reference {index}: {v}",
+                        protocol.name()
+                    );
+                }
+            }
             let kind = outcome.kind();
             result.events.record(kind);
             for &op in &outcome.ops {
@@ -247,11 +279,13 @@ impl Simulator {
             if let Some(oracle) = oracle.as_mut() {
                 // The fundamental check: the referencing cache must now
                 // hold the globally latest version of the block.
-                oracle.check_read(cache, block).map_err(|violation| SimError {
-                    scheme: protocol.name(),
-                    ref_index: index,
-                    violation,
-                })?;
+                oracle
+                    .check_read(cache, block)
+                    .map_err(|violation| SimError {
+                        scheme: protocol.name(),
+                        ref_index: index,
+                        violation,
+                    })?;
             }
         }
         result.distinct_blocks = protocol.tracked_blocks() as u64;
@@ -269,25 +303,11 @@ impl Simulator {
         let Some(oracle) = oracle else {
             return Ok(());
         };
-        for movement in movements {
-            let step = match *movement {
-                DataMovement::FillFromMemory { cache } => oracle.fill_from_memory(cache, block),
-                DataMovement::FillFromCache { cache, supplier } => {
-                    oracle.fill_from_cache(cache, supplier, block)
-                }
-                DataMovement::CacheWrite { cache } => oracle.write(cache, block),
-                DataMovement::WriteThrough { cache } => oracle.write_through(cache, block),
-                DataMovement::WriteUpdate { cache } => oracle.write_update(cache, block),
-                DataMovement::WriteBack { cache } => oracle.write_back(cache, block),
-                DataMovement::Invalidate { cache } => oracle.invalidate(cache, block),
-            };
-            step.map_err(|violation| SimError {
-                scheme: protocol.name(),
-                ref_index,
-                violation,
-            })?;
-        }
-        Ok(())
+        invariant::replay_movements(oracle, movements, block).map_err(|violation| SimError {
+            scheme: protocol.name(),
+            ref_index,
+            violation,
+        })
     }
 }
 
@@ -430,9 +450,15 @@ mod tests {
 
         let infinite = {
             let mut p = Scheme::Directory(DirSpec::dir0_b()).build(1);
-            Simulator::paper().run(p.as_mut(), refs.iter().copied()).unwrap()
+            Simulator::paper()
+                .run(p.as_mut(), refs.iter().copied())
+                .unwrap()
         };
-        assert_eq!(infinite.events.read_misses(), 0, "64 cold misses, then hits");
+        assert_eq!(
+            infinite.events.read_misses(),
+            0,
+            "64 cold misses, then hits"
+        );
         assert_eq!(infinite.capacity_evictions, 0);
 
         let finite = {
@@ -442,7 +468,9 @@ mod tests {
                 check_oracle: true,
                 ..SimConfig::default()
             };
-            Simulator::new(config).run(p.as_mut(), refs.iter().copied()).unwrap()
+            Simulator::new(config)
+                .run(p.as_mut(), refs.iter().copied())
+                .unwrap()
         };
         assert!(finite.capacity_evictions > 0);
         assert!(

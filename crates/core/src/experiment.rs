@@ -7,10 +7,10 @@
 //! [`crate::paper`].
 
 use dirsim_mem::SharingModel;
+use dirsim_protocol::Scheme;
 use dirsim_trace::filter::without_lock_tests;
 use dirsim_trace::synth::{Workload, WorkloadConfig};
 use dirsim_trace::{MemRef, TraceStats};
-use dirsim_protocol::Scheme;
 
 use crate::engine::{SimConfig, SimError, SimResult, Simulator};
 

@@ -80,11 +80,7 @@ impl FanoutHistogram {
         if total == 0 {
             return 0.0;
         }
-        let sum: u64 = self
-            .counts
-            .iter()
-            .take(fanout as usize + 1)
-            .sum();
+        let sum: u64 = self.counts.iter().take(fanout as usize + 1).sum();
         sum as f64 / total as f64
     }
 
@@ -105,10 +101,7 @@ impl FanoutHistogram {
 
     /// Iterates `(fanout, count)` pairs from 0 to the maximum observed.
     pub fn iter(&self) -> impl Iterator<Item = (u32, u64)> + '_ {
-        self.counts
-            .iter()
-            .enumerate()
-            .map(|(k, &c)| (k as u32, c))
+        self.counts.iter().enumerate().map(|(k, &c)| (k as u32, c))
     }
 
     /// Merges another histogram into this one.

@@ -48,6 +48,7 @@ pub mod analysis;
 pub mod engine;
 pub mod experiment;
 pub mod histogram;
+pub mod invariant;
 pub mod paper;
 pub mod reference;
 pub mod report;
@@ -56,6 +57,7 @@ pub mod timing;
 pub use engine::{SimConfig, SimError, SimResult, Simulator};
 pub use experiment::{Experiment, ExperimentResults, NamedWorkload, SchemeResult};
 pub use histogram::FanoutHistogram;
+pub use invariant::InvariantViolation;
 pub use timing::{TimingConfig, TimingResult, TimingSimulator};
 
 /// Convenient re-exports for examples and downstream users.
@@ -65,9 +67,7 @@ pub mod prelude {
     pub use crate::histogram::FanoutHistogram;
     pub use dirsim_cost::{BusKind, CostBreakdown, CostCategory, CostModel};
     pub use dirsim_mem::{BlockAddr, BlockMap, CacheId, SharingModel};
-    pub use dirsim_protocol::{
-        BusOp, CoherenceProtocol, DirSpec, EventCounts, EventKind, Scheme,
-    };
+    pub use dirsim_protocol::{BusOp, CoherenceProtocol, DirSpec, EventCounts, EventKind, Scheme};
     pub use dirsim_trace::synth::{PaperTrace, Workload, WorkloadConfig};
     pub use dirsim_trace::{AccessKind, Addr, CpuId, MemRef, ProcessId, TraceStats};
 }

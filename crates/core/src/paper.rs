@@ -349,8 +349,7 @@ pub fn network_scaling(
         };
         for topology in Topology::ALL {
             let model = NetworkModel::new(topology, u32::from(nodes));
-            let traffic =
-                model.traffic_per_ref(&s.combined.ops, s.combined.refs, placement);
+            let traffic = model.traffic_per_ref(&s.combined.ops, s.combined.refs, placement);
             rows.push(NetworkScalingRow {
                 scheme: s.scheme.name(),
                 nodes: u32::from(nodes),
@@ -732,19 +731,18 @@ mod tests {
 
     #[test]
     fn finite_cache_study_shows_capacity_penalty() {
-        let rows = finite_cache_study(
-            Scheme::Directory(DirSpec::dir0_b()),
-            20_000,
-            &[64, 4096],
-        )
-        .unwrap();
+        let rows =
+            finite_cache_study(Scheme::Directory(DirSpec::dir0_b()), 20_000, &[64, 4096]).unwrap();
         assert_eq!(rows.len(), 3);
         let infinite = &rows[0];
         let tiny = &rows[1];
         let large = &rows[2];
         assert_eq!(infinite.capacity_blocks, None);
         assert_eq!(infinite.evictions_per_kiloref, 0.0);
-        assert!(tiny.miss_rate > infinite.miss_rate, "small caches miss more");
+        assert!(
+            tiny.miss_rate > infinite.miss_rate,
+            "small caches miss more"
+        );
         assert!(tiny.cycles_per_ref > infinite.cycles_per_ref);
         assert!(tiny.evictions_per_kiloref > large.evictions_per_kiloref);
         // Large caches approach the infinite-cache bound (§4).

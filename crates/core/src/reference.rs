@@ -165,12 +165,9 @@ mod tests {
                     .find(|(kind, _)| *kind == k)
                     .and_then(|(_, v)| *v)
             };
-            if let (Some(hit), Some(cln), Some(drty), Some(first)) = (
-                get(RdHit),
-                get(RmBlkCln),
-                get(RmBlkDrty),
-                get(RmFirstRef),
-            ) {
+            if let (Some(hit), Some(cln), Some(drty), Some(first)) =
+                (get(RdHit), get(RmBlkCln), get(RmBlkDrty), get(RmFirstRef))
+            {
                 let reads = hit + cln + drty + first;
                 assert!(
                     (reads - 39.82).abs() < 0.02,

@@ -160,7 +160,9 @@ pub fn render_table2() -> String {
 /// Table 3: trace characteristics.
 pub fn render_table3(results: &ExperimentResults) -> String {
     let mut table = TextTable::new("Table 3: Summary of trace characteristics (thousands)");
-    table.headers(["trace", "refs", "instr", "drd", "dwrt", "user", "sys", "lockrd"]);
+    table.headers([
+        "trace", "refs", "instr", "drd", "dwrt", "user", "sys", "lockrd",
+    ]);
     for (name, stats) in &results.trace_stats {
         let k = |v: u64| format!("{:.0}", v as f64 / 1000.0);
         table.row([
@@ -191,12 +193,8 @@ pub fn render_table4(results: &ExperimentResults) -> String {
         }
         table.row(row);
     };
-    push_derived("read", &|r| {
-        r.events.reads() as f64 / r.refs as f64
-    });
-    push_derived("write", &|r| {
-        r.events.writes() as f64 / r.refs as f64
-    });
+    push_derived("read", &|r| r.events.reads() as f64 / r.refs as f64);
+    push_derived("write", &|r| r.events.writes() as f64 / r.refs as f64);
     for kind in EventKind::ALL {
         let mut row = vec![kind.name().to_string()];
         for s in &results.per_scheme {
@@ -244,9 +242,7 @@ pub fn render_table5(results: &ExperimentResults, model: CostModel) -> String {
 /// Table 4, paper vs. measured side by side for the headline schemes.
 pub fn render_table4_comparison(results: &ExperimentResults) -> String {
     let paper = crate::reference::paper_table4();
-    let mut table = TextTable::new(
-        "Table 4 comparison: paper / measured (% of all references)",
-    );
+    let mut table = TextTable::new("Table 4 comparison: paper / measured (% of all references)");
     let mut headers = vec!["event".to_string()];
     headers.extend(paper.iter().map(|c| c.scheme.to_string()));
     table.headers(headers);
@@ -292,7 +288,12 @@ pub fn render_table5_comparison(results: &ExperimentResults) -> String {
                 format!("{measured:.4}"),
                 format!("{:.2}x", measured / paper),
             ]),
-            None => table.row([name, "-".to_string(), format!("{measured:.4}"), "-".to_string()]),
+            None => table.row([
+                name,
+                "-".to_string(),
+                format!("{measured:.4}"),
+                "-".to_string(),
+            ]),
         };
     }
     table.render()
@@ -360,9 +361,8 @@ pub fn render_figure2(results: &ExperimentResults) -> String {
 
 /// Figure 3: the same per individual trace.
 pub fn render_figure3(results: &ExperimentResults) -> String {
-    let mut table = TextTable::new(
-        "Figure 3: bus cycles per reference per trace (pipelined / non-pipelined)",
-    );
+    let mut table =
+        TextTable::new("Figure 3: bus cycles per reference per trace (pipelined / non-pipelined)");
     let mut headers = vec!["trace".to_string()];
     headers.extend(results.per_scheme.iter().map(|s| s.scheme.name()));
     table.headers(headers);
@@ -452,9 +452,8 @@ pub fn render_q_sweep(lines: &[(String, Vec<(f64, f64)>)]) -> String {
 
 /// §5.2: the spin-lock ablation.
 pub fn render_lock_impact(impacts: &[LockImpact]) -> String {
-    let mut table = TextTable::new(
-        "Section 5.2: impact of spin-lock test reads (pipelined bus cycles/ref)",
-    );
+    let mut table =
+        TextTable::new("Section 5.2: impact of spin-lock test reads (pipelined bus cycles/ref)");
     table.headers(["scheme", "with locks", "without locks", "improvement"]);
     for i in impacts {
         table.row([
@@ -484,7 +483,12 @@ pub fn render_finite_cache(scheme: &str, rows: &[FiniteCacheRow]) -> String {
     let mut table = TextTable::new(format!(
         "Section 4 extension: {scheme} under finite caches (pipelined)"
     ));
-    table.headers(["capacity (blocks)", "cycles/ref", "miss rate", "evict/kiloref"]);
+    table.headers([
+        "capacity (blocks)",
+        "cycles/ref",
+        "miss rate",
+        "evict/kiloref",
+    ]);
     for r in rows {
         table.row([
             r.capacity_blocks
@@ -499,10 +503,7 @@ pub fn render_finite_cache(scheme: &str, rows: &[FiniteCacheRow]) -> String {
 }
 
 /// §5 end: effective-processor upper bounds under a system model.
-pub fn render_effective_processors(
-    bounds: &[(String, f64)],
-    system: SystemModel,
-) -> String {
+pub fn render_effective_processors(bounds: &[(String, f64)], system: SystemModel) -> String {
     let mut table = TextTable::new(format!(
         "Section 5: effective-processor bound ({} MIPS cpus, {} ns bus)",
         system.processor_mips, system.bus_cycle_ns
@@ -538,9 +539,8 @@ pub fn render_network_scaling(rows: &[crate::paper::NetworkScalingRow]) -> Strin
 
 /// Sharing-intensity sweep table.
 pub fn render_sharing_sweep(rows: &[crate::paper::SharingSweepRow]) -> String {
-    let mut table = TextTable::new(
-        "Workload sensitivity: cycles/ref vs shared-data fraction (pipelined)",
-    );
+    let mut table =
+        TextTable::new("Workload sensitivity: cycles/ref vs shared-data fraction (pipelined)");
     let mut headers = vec!["shared frac".to_string()];
     if let Some(first) = rows.first() {
         headers.extend(first.cycles_per_ref.iter().map(|(n, _)| n.clone()));
@@ -574,9 +574,8 @@ pub fn render_utilization(rows: &[crate::paper::UtilizationRow]) -> String {
 
 /// Seed-sensitivity dispersion table.
 pub fn render_seed_sensitivity(rows: &[crate::paper::SeedSensitivityRow]) -> String {
-    let mut table = TextTable::new(
-        "Robustness: cycles/ref dispersion across generator seeds (pipelined)",
-    );
+    let mut table =
+        TextTable::new("Robustness: cycles/ref dispersion across generator seeds (pipelined)");
     table.headers(["scheme", "mean", "stddev", "min", "max", "cv"]);
     for r in rows {
         table.row([

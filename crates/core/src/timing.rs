@@ -22,8 +22,8 @@ use std::collections::BinaryHeap;
 
 use dirsim_cost::CostModel;
 use dirsim_mem::BlockMap;
-use dirsim_protocol::CoherenceProtocol;
 use dirsim_mem::CacheId;
+use dirsim_protocol::CoherenceProtocol;
 use dirsim_trace::{AccessKind, MemRef};
 
 /// Timing-model configuration.
@@ -151,9 +151,8 @@ impl TimingSimulator {
         };
         // (next-free-time, cpu, position) — min-heap by time then cpu for
         // deterministic tie-breaking.
-        let mut heap: BinaryHeap<Reverse<(u64, usize)>> = (0..n)
-            .map(|cpu| Reverse((0u64, cpu)))
-            .collect();
+        let mut heap: BinaryHeap<Reverse<(u64, usize)>> =
+            (0..n).map(|cpu| Reverse((0u64, cpu))).collect();
         let mut position = vec![0usize; n];
         let mut bus_free_at = 0u64;
 
@@ -168,7 +167,11 @@ impl TimingSimulator {
             let mut next_free = now + 1;
             if r.kind != AccessKind::InstrFetch {
                 let block = self.config.block_map.block_of(r.addr);
-                let outcome = protocol.on_data_ref(CacheId::new(cpu as u32), block, r.kind == AccessKind::Write);
+                let outcome = protocol.on_data_ref(
+                    CacheId::new(cpu as u32),
+                    block,
+                    r.kind == AccessKind::Write,
+                );
                 if !outcome.ops.is_empty() {
                     let bus_cycles: u64 = u64::from(self.config.fixed_overhead)
                         + outcome
@@ -225,7 +228,7 @@ impl TimingSimulator {
 mod tests {
     use super::*;
     use dirsim_protocol::{DirSpec, Scheme};
-    use dirsim_trace::synth::{PaperTrace, WorkloadConfig, Workload};
+    use dirsim_trace::synth::{PaperTrace, Workload, WorkloadConfig};
     use dirsim_trace::{Addr, CpuId, ProcessId};
 
     #[test]
@@ -249,12 +252,15 @@ mod tests {
         // Two cpus ping-ponging a dirty block: every access after the first
         // is a 1(req)+4(wb) = 5-cycle transaction plus overhead 1.
         let mk = |cpu: u16, w: bool| {
-            
             MemRef::new(
                 CpuId::new(cpu),
                 ProcessId::new(u32::from(cpu)),
                 Addr::new(0x80),
-                if w { AccessKind::Write } else { AccessKind::Read },
+                if w {
+                    AccessKind::Write
+                } else {
+                    AccessKind::Read
+                },
             )
         };
         let a = vec![mk(0, true), mk(0, true)];
@@ -277,8 +283,7 @@ mod tests {
                 .build()
                 .unwrap();
             let refs: Vec<MemRef> = Workload::new(cfg).take(40_000).collect();
-            let mut p =
-                Scheme::Directory(DirSpec::dir0_b()).build(u32::from(cpus));
+            let mut p = Scheme::Directory(DirSpec::dir0_b()).build(u32::from(cpus));
             TimingSimulator::default()
                 .run_interleaved(p.as_mut(), refs, cpus as usize)
                 .processor_utilization()
@@ -347,7 +352,9 @@ mod tests {
         // Average cost per reference (with q=1 overhead), from the
         // frequency-based engine.
         let mut p = Scheme::Directory(DirSpec::dir0_b()).build(16);
-        let freq = Simulator::paper().run(p.as_mut(), refs.iter().copied()).unwrap();
+        let freq = Simulator::paper()
+            .run(p.as_mut(), refs.iter().copied())
+            .unwrap();
         let bd = freq.breakdown(CostModel::pipelined());
         let cycles_per_ref = bd.cycles_per_ref_with_overhead(1.0);
         let analytic_bound = 1.0 / cycles_per_ref;

@@ -210,9 +210,15 @@ mod tests {
     #[test]
     fn category_of_every_op() {
         assert_eq!(CostCategory::of(BusOp::MemRead), CostCategory::MemAccess);
-        assert_eq!(CostCategory::of(BusOp::CacheSupply), CostCategory::MemAccess);
+        assert_eq!(
+            CostCategory::of(BusOp::CacheSupply),
+            CostCategory::MemAccess
+        );
         assert_eq!(CostCategory::of(BusOp::WriteBack), CostCategory::WriteBack);
-        assert_eq!(CostCategory::of(BusOp::Invalidate), CostCategory::Invalidate);
+        assert_eq!(
+            CostCategory::of(BusOp::Invalidate),
+            CostCategory::Invalidate
+        );
         assert_eq!(
             CostCategory::of(BusOp::BroadcastInvalidate),
             CostCategory::Invalidate

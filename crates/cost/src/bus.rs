@@ -237,7 +237,10 @@ mod tests {
 
     #[test]
     fn for_kind_matches_constructors() {
-        assert_eq!(CostModel::for_kind(BusKind::Pipelined), CostModel::pipelined());
+        assert_eq!(
+            CostModel::for_kind(BusKind::Pipelined),
+            CostModel::pipelined()
+        );
         assert_eq!(
             CostModel::for_kind(BusKind::NonPipelined),
             CostModel::non_pipelined()

@@ -310,9 +310,7 @@ mod tests {
         let bus = NetworkModel::new(Topology::Bus, 64);
         let mesh = NetworkModel::new(Topology::Mesh2D, 64);
         let t = 0.1;
-        assert!(
-            mesh.saturation_processors(t, 0.5) > 10.0 * bus.saturation_processors(t, 0.5)
-        );
+        assert!(mesh.saturation_processors(t, 0.5) > 10.0 * bus.saturation_processors(t, 0.5));
         assert!(bus.saturation_processors(0.0, 0.5).is_infinite());
     }
 

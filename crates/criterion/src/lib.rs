@@ -1,0 +1,238 @@
+//! Minimal vendored stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors the slice of criterion its benches use: `Criterion`,
+//! `benchmark_group`, `Bencher::{iter, iter_batched}`, `Throughput`,
+//! `BatchSize`, and the `criterion_group!`/`criterion_main!` macros.
+//!
+//! Measurement is deliberately simple — wall-clock means over a bounded
+//! number of iterations, printed to stdout — with no statistical analysis,
+//! outlier rejection, or HTML reports. Numbers are indicative, not
+//! criterion-grade; the workspace relies on it primarily so `cargo bench`
+//! runs and bench targets stay compiling under `cargo test`.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Per-benchmark wall-clock budget. Kept small so full `cargo bench`
+/// sweeps stay in seconds, not minutes.
+const TARGET_TIME: Duration = Duration::from_millis(200);
+const MAX_ITERS: u64 = 10_000;
+
+/// How batched inputs are sized (accepted for API compatibility; the shim
+/// regenerates the input every iteration regardless).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// Units of work per iteration, for derived rate reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Iteration processes this many logical elements.
+    Elements(u64),
+    /// Iteration processes this many bytes.
+    Bytes(u64),
+}
+
+/// Times closures handed to [`Bencher::iter`] / [`Bencher::iter_batched`].
+#[derive(Debug, Default)]
+pub struct Bencher {
+    measured: Option<MeasureResult>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct MeasureResult {
+    mean: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Measures `routine` repeatedly and records the mean time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let mut iters = 0u64;
+        let start = Instant::now();
+        while start.elapsed() < TARGET_TIME && iters < MAX_ITERS {
+            black_box(routine());
+            iters += 1;
+        }
+        self.measured = Some(MeasureResult {
+            mean: start.elapsed() / iters.max(1) as u32,
+            iters,
+        });
+    }
+
+    /// Measures `routine` over fresh inputs from `setup`; only the routine
+    /// (not the setup) counts toward the measured time.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut iters = 0u64;
+        let mut spent = Duration::ZERO;
+        let wall = Instant::now();
+        while spent < TARGET_TIME && wall.elapsed() < 4 * TARGET_TIME && iters < MAX_ITERS {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            spent += start.elapsed();
+            iters += 1;
+        }
+        self.measured = Some(MeasureResult {
+            mean: spent / iters.max(1) as u32,
+            iters,
+        });
+    }
+}
+
+fn report(name: &str, measured: Option<MeasureResult>, throughput: Option<Throughput>) {
+    let Some(m) = measured else {
+        println!("{name:<44} (no measurement)");
+        return;
+    };
+    let rate = throughput.map(|t| {
+        let secs = m.mean.as_secs_f64().max(1e-12);
+        match t {
+            Throughput::Elements(n) => format!("  {:.3} Melem/s", n as f64 / secs / 1e6),
+            Throughput::Bytes(n) => format!("  {:.3} MiB/s", n as f64 / secs / (1 << 20) as f64),
+        }
+    });
+    println!(
+        "{name:<44} {:>12.3?}/iter  ({} iters){}",
+        m.mean,
+        m.iters,
+        rate.unwrap_or_default()
+    );
+}
+
+/// Collection of related benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the work per iteration for rate reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Accepted for API compatibility; the shim's iteration budget is fixed.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the shim's time budget is fixed.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher::default();
+        f(&mut bencher);
+        report(
+            &format!("{}/{}", self.name, id),
+            bencher.measured,
+            self.throughput,
+        );
+        self.criterion.ran += 1;
+        self
+    }
+
+    /// Ends the group (no-op beyond API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    ran: usize,
+}
+
+impl Criterion {
+    /// Runs one standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher::default();
+        f(&mut bencher);
+        report(id, bencher.measured, None);
+        self.ran += 1;
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Number of benchmarks run so far.
+    pub fn benchmarks_run(&self) -> usize {
+        self.ran
+    }
+}
+
+/// Bundles benchmark functions into a group runner, mirroring criterion's
+/// macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups, mirroring criterion's macro of
+/// the same name.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures_and_counts() {
+        let mut c = Criterion::default();
+        c.bench_function("smoke/add", |b| b.iter(|| black_box(2u64) + 2));
+        assert_eq!(c.benchmarks_run(), 1);
+    }
+
+    #[test]
+    fn groups_report_throughput() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("smoke");
+        g.throughput(Throughput::Elements(4)).sample_size(10);
+        g.bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![1u64, 2, 3, 4],
+                |v| v.into_iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            )
+        });
+        g.finish();
+        assert_eq!(c.benchmarks_run(), 1);
+    }
+}

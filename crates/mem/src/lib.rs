@@ -32,5 +32,5 @@ pub mod sharing;
 
 pub use block::{BlockAddr, BlockMap};
 pub use cache::{CacheGeometry, CacheId, CacheStorage, FiniteCache, InfiniteCache};
-pub use oracle::{OracleViolation, ShadowMemory};
+pub use oracle::{CanonicalBlock, OracleViolation, ShadowMemory};
 pub use sharing::{FirstRefTracker, SharingModel};

@@ -262,17 +262,12 @@ impl ShadowMemory {
     /// *only* holder of the latest version and memory is stale — the write
     /// would be lost. Invalidating a cache that holds no copy is a no-op
     /// (broadcast invalidates hit everyone).
-    pub fn invalidate(
-        &mut self,
-        cache: CacheId,
-        block: BlockAddr,
-    ) -> Result<(), OracleViolation> {
+    pub fn invalidate(&mut self, cache: CacheId, block: BlockAddr) -> Result<(), OracleViolation> {
         let e = self.entry(block);
         let Some(v) = e.copies.remove(&cache) else {
             return Ok(());
         };
-        let version_survives =
-            e.memory >= v || e.copies.values().any(|&other| other >= v);
+        let version_survives = e.memory >= v || e.copies.values().any(|&other| other >= v);
         if !version_survives && v == e.latest {
             return Err(OracleViolation::DirtyCopyLost {
                 cache,
@@ -319,7 +314,45 @@ impl ShadowMemory {
     pub fn tracked_blocks(&self) -> usize {
         self.blocks.len()
     }
+
+    /// A canonical, version-rank-normalised image of the shadow state.
+    ///
+    /// Absolute version numbers grow monotonically with every write, so two
+    /// shadows that will behave identically forever can still differ in raw
+    /// counters. This maps each block's versions onto dense ranks and sorts
+    /// everything, producing a value suitable as a hash key when exploring
+    /// the reachable state space (as `dirsim-verify` does).
+    ///
+    /// Per block the tuple is `(copies, memory, latest)` where `copies` is a
+    /// sorted list of `(cache index, version rank)`.
+    pub fn canonical(&self) -> Vec<CanonicalBlock> {
+        let mut out: Vec<_> = self
+            .blocks
+            .iter()
+            .map(|(&block, e)| {
+                let mut versions: Vec<u64> = e.copies.values().copied().collect();
+                versions.push(e.memory);
+                versions.push(e.latest);
+                versions.sort_unstable();
+                versions.dedup();
+                let rank = |v: u64| versions.binary_search(&v).expect("own version") as u64;
+                let mut copies: Vec<(usize, u64)> = e
+                    .copies
+                    .iter()
+                    .map(|(&cache, &v)| (cache.index(), rank(v)))
+                    .collect();
+                copies.sort_unstable();
+                (block, copies, rank(e.memory), rank(e.latest))
+            })
+            .collect();
+        out.sort_unstable_by_key(|&(block, ..)| block);
+        out
+    }
 }
+
+/// One block's entry in [`ShadowMemory::canonical`]:
+/// `(block, sorted (cache index, version rank) copies, memory rank, latest rank)`.
+pub type CanonicalBlock = (BlockAddr, Vec<(usize, u64)>, u64, u64);
 
 #[cfg(test)]
 mod tests {
@@ -491,5 +524,38 @@ mod tests {
         s.fill_from_memory(c(0), BlockAddr::new(2)).unwrap();
         assert_eq!(s.tracked_blocks(), 2);
         assert!(s.holds(c(0), BlockAddr::new(1)));
+    }
+
+    #[test]
+    fn canonical_ignores_absolute_version_counts() {
+        // One write vs. three writes by the same sole holder: raw versions
+        // differ (1 vs. 3) but the structure is identical.
+        let mut a = ShadowMemory::new();
+        a.fill_from_memory(c(0), B).unwrap();
+        a.write(c(0), B).unwrap();
+
+        let mut b = ShadowMemory::new();
+        b.fill_from_memory(c(0), B).unwrap();
+        b.write(c(0), B).unwrap();
+        b.write(c(0), B).unwrap();
+        b.write(c(0), B).unwrap();
+
+        assert_eq!(a.canonical(), b.canonical());
+    }
+
+    #[test]
+    fn canonical_distinguishes_stale_from_fresh_copies() {
+        // c1 holds a stale copy in `a`, a fresh one in `b`.
+        let mut a = ShadowMemory::new();
+        a.fill_from_memory(c(0), B).unwrap();
+        a.fill_from_memory(c(1), B).unwrap();
+        a.write(c(0), B).unwrap();
+
+        let mut b = ShadowMemory::new();
+        b.fill_from_memory(c(0), B).unwrap();
+        b.fill_from_memory(c(1), B).unwrap();
+        b.write_update(c(0), B).unwrap();
+
+        assert_ne!(a.canonical(), b.canonical());
     }
 }

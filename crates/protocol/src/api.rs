@@ -39,6 +39,97 @@ impl BlockProbe {
     }
 }
 
+/// The write-propagation family a protocol belongs to.
+///
+/// The paper's Table 4 event classification depends only on the shared
+/// state-change model, but *which* events a family can produce differs:
+/// invalidation protocols split write hits by the dirty bit
+/// (`wh-blk-cln`/`wh-blk-drty`), update protocols split them by sharing
+/// (`wh-distrib`/`wh-local`). The model checker uses this to predict the
+/// expected [`crate::event::EventKind`] from a pre-reference [`BlockProbe`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ProtocolStyle {
+    /// Copy-back with invalidation (the directory family, Illinois,
+    /// Berkeley): dirty blocks live in one cache, writes invalidate sharers.
+    #[default]
+    CopyBackInvalidate,
+    /// Write-through with invalidation (WTI): memory is always current;
+    /// `dirty` tracks "written while exclusively held" for event purposes.
+    WriteThrough,
+    /// Update (Dragon, DirUpdate): writes refresh remote copies; nothing is
+    /// ever invalidated and write hits classify as distrib/local.
+    Update,
+}
+
+/// Canonical state of one block inside a [`StateSnapshot`].
+///
+/// `holders` preserves *insertion order* — pointer-limited schemes evict
+/// the oldest/newest sharer and dirty-miss handling picks the oldest
+/// holder, so order is behaviourally significant and two states differing
+/// only in order must hash differently.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct BlockState {
+    /// The block this state describes.
+    pub block: BlockAddr,
+    /// Caches holding a copy, in insertion order.
+    pub holders: Vec<CacheId>,
+    /// The protocol's dirty/owned notion for this block (see
+    /// [`BlockProbe::dirty`]).
+    pub dirty: bool,
+    /// Directory pointer knowledge (broadcast directory schemes only;
+    /// empty where the holders list itself is the directory knowledge).
+    pub pointers: Vec<CacheId>,
+    /// Whether the directory's pointers overflowed into broadcast mode.
+    pub broadcast_bit: bool,
+    /// Protocol-specific extra state (Illinois exclusive bit, update-owner
+    /// identity, coarse-vector code words), packed as opaque words.
+    pub aux: Vec<u64>,
+}
+
+impl BlockState {
+    /// A block state with only holders and a dirty bit (the common case
+    /// for snoopy and full-map protocols).
+    pub fn basic(block: BlockAddr, holders: Vec<CacheId>, dirty: bool) -> Self {
+        BlockState {
+            block,
+            holders,
+            dirty,
+            pointers: Vec::new(),
+            broadcast_bit: false,
+            aux: Vec::new(),
+        }
+    }
+}
+
+/// Canonical, hashable snapshot of a protocol's complete state.
+///
+/// Blocks are sorted by address so two equal states always compare and
+/// hash identically regardless of internal map iteration order. This is
+/// what makes exhaustive reachability checking (`dirsim-verify`) possible:
+/// the breadth-first search dedups explored states on this snapshot.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct StateSnapshot {
+    blocks: Vec<BlockState>,
+}
+
+impl StateSnapshot {
+    /// Builds a snapshot, sorting the blocks into canonical order.
+    pub fn from_blocks(mut blocks: Vec<BlockState>) -> Self {
+        blocks.sort_by_key(|b| b.block);
+        StateSnapshot { blocks }
+    }
+
+    /// The per-block states, ordered by block address.
+    pub fn blocks(&self) -> &[BlockState] {
+        &self.blocks
+    }
+
+    /// The state of one block, if the protocol tracks it.
+    pub fn get(&self, block: BlockAddr) -> Option<&BlockState> {
+        self.blocks.iter().find(|b| b.block == block)
+    }
+}
+
 /// A cache-coherence protocol state machine.
 ///
 /// Implementations: the `Dir_i{B,NB}` directory family
@@ -70,6 +161,32 @@ pub trait CoherenceProtocol {
 
     /// Number of distinct blocks with protocol state.
     fn tracked_blocks(&self) -> usize;
+
+    /// The write-propagation family this protocol belongs to (drives
+    /// expected-event prediction in the model checker).
+    fn style(&self) -> ProtocolStyle {
+        ProtocolStyle::CopyBackInvalidate
+    }
+
+    /// Canonical, hashable snapshot of the complete protocol state.
+    ///
+    /// Two protocols of the same scheme that will behave identically on
+    /// every future reference must return equal snapshots; the exhaustive
+    /// checker dedups its search frontier on this.
+    fn snapshot(&self) -> StateSnapshot;
+
+    /// Canonical state of one block, or `None` if untracked.
+    ///
+    /// Semantically `snapshot().get(block)`, but implementations override
+    /// it with a single map lookup so the per-reference invariant audit
+    /// stays O(1) instead of O(tracked blocks).
+    fn block_state(&self, block: BlockAddr) -> Option<BlockState> {
+        self.snapshot().get(block).cloned()
+    }
+
+    /// Clones the protocol behind the trait object (state forking for the
+    /// breadth-first reachability search).
+    fn boxed_clone(&self) -> Box<dyn CoherenceProtocol>;
 }
 
 #[cfg(test)]

@@ -13,7 +13,7 @@ use std::fmt;
 
 use dirsim_mem::{BlockAddr, CacheId};
 
-use crate::api::{BlockProbe, CoherenceProtocol};
+use crate::api::{BlockProbe, BlockState, CoherenceProtocol, StateSnapshot};
 use crate::event::EventKind;
 use crate::ops::{BusOp, DataMovement, RefOutcome};
 use crate::sharer_set::SharerSet;
@@ -233,6 +233,19 @@ impl CoarseVectorProtocol {
             .count();
         ops.extend(std::iter::repeat(BusOp::Invalidate).take(targets));
     }
+
+    /// Canonical [`BlockState`] of one entry; the coarse code words ride
+    /// in `aux` so states differing only in coding stay distinct.
+    fn entry_state(block: BlockAddr, e: &Entry) -> BlockState {
+        BlockState {
+            block,
+            holders: e.holders.iter().collect(),
+            dirty: e.dirty,
+            pointers: Vec::new(),
+            broadcast_bit: false,
+            aux: vec![e.code.fixed_bits, e.code.both_mask, u64::from(e.code.empty)],
+        }
+    }
 }
 
 impl CoherenceProtocol for CoarseVectorProtocol {
@@ -300,7 +313,8 @@ impl CoherenceProtocol for CoarseVectorProtocol {
                 out.ops.push(BusOp::DirLookup);
                 Self::limited_broadcast_ops(caches, entry, cache, &mut out.ops);
                 for victim in &remote {
-                    out.movements.push(DataMovement::Invalidate { cache: *victim });
+                    out.movements
+                        .push(DataMovement::Invalidate { cache: *victim });
                 }
                 out.movements.push(DataMovement::CacheWrite { cache });
                 entry.holders.retain_only(cache);
@@ -318,7 +332,8 @@ impl CoherenceProtocol for CoarseVectorProtocol {
                     cache,
                     supplier: owner,
                 });
-                out.movements.push(DataMovement::Invalidate { cache: owner });
+                out.movements
+                    .push(DataMovement::Invalidate { cache: owner });
                 out.movements.push(DataMovement::CacheWrite { cache });
                 entry.holders.clear();
                 entry.holders.insert(cache);
@@ -334,7 +349,8 @@ impl CoherenceProtocol for CoarseVectorProtocol {
                 Self::limited_broadcast_ops(caches, entry, cache, &mut out.ops);
                 out.movements.push(DataMovement::FillFromMemory { cache });
                 for victim in &remote {
-                    out.movements.push(DataMovement::Invalidate { cache: *victim });
+                    out.movements
+                        .push(DataMovement::Invalidate { cache: *victim });
                 }
                 out.movements.push(DataMovement::CacheWrite { cache });
                 entry.holders.clear();
@@ -376,6 +392,23 @@ impl CoherenceProtocol for CoarseVectorProtocol {
 
     fn tracked_blocks(&self) -> usize {
         self.blocks.len()
+    }
+
+    fn snapshot(&self) -> StateSnapshot {
+        StateSnapshot::from_blocks(
+            self.blocks
+                .iter()
+                .map(|(&block, e)| Self::entry_state(block, e))
+                .collect(),
+        )
+    }
+
+    fn block_state(&self, block: BlockAddr) -> Option<BlockState> {
+        self.blocks.get(&block).map(|e| Self::entry_state(block, e))
+    }
+
+    fn boxed_clone(&self) -> Box<dyn CoherenceProtocol> {
+        Box::new(self.clone())
     }
 }
 

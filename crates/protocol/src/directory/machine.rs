@@ -27,10 +27,10 @@ use std::collections::HashMap;
 
 use dirsim_mem::{BlockAddr, CacheId};
 
-use crate::api::{BlockProbe, CoherenceProtocol};
-use crate::directory::spec::{DirSpec, EvictionPolicy};
+use crate::api::{BlockProbe, BlockState, CoherenceProtocol, StateSnapshot};
 #[cfg(test)]
 use crate::directory::spec::PointerCapacity;
+use crate::directory::spec::{DirSpec, EvictionPolicy};
 use crate::event::EventKind;
 use crate::ops::{BusOp, DataMovement, RefOutcome};
 use crate::sharer_set::SharerSet;
@@ -250,8 +250,7 @@ impl DirectoryProtocol {
             let victim = match spec.eviction() {
                 EvictionPolicy::OldestSharer => entry.holders.oldest_other(keep),
                 EvictionPolicy::NewestSharer => {
-                    let mut others: Vec<CacheId> =
-                        entry.holders.others(keep).collect();
+                    let mut others: Vec<CacheId> = entry.holders.others(keep).collect();
                     others.pop()
                 }
             }
@@ -301,7 +300,8 @@ impl DirectoryProtocol {
             }
             Self::clean_invalidation_ops(spec, entry, &mut out.ops, &remote);
             for victim in &remote {
-                out.movements.push(DataMovement::Invalidate { cache: *victim });
+                out.movements
+                    .push(DataMovement::Invalidate { cache: *victim });
             }
             out.movements.push(DataMovement::CacheWrite { cache });
             entry.holders.retain_only(cache);
@@ -323,7 +323,8 @@ impl DirectoryProtocol {
                 cache,
                 supplier: owner,
             });
-            out.movements.push(DataMovement::Invalidate { cache: owner });
+            out.movements
+                .push(DataMovement::Invalidate { cache: owner });
             out.movements.push(DataMovement::CacheWrite { cache });
             entry.holders.clear();
             entry.holders.insert(cache);
@@ -338,7 +339,8 @@ impl DirectoryProtocol {
             Self::clean_invalidation_ops(spec, entry, &mut out.ops, &remote);
             out.movements.push(DataMovement::FillFromMemory { cache });
             for victim in &remote {
-                out.movements.push(DataMovement::Invalidate { cache: *victim });
+                out.movements
+                    .push(DataMovement::Invalidate { cache: *victim });
             }
             out.movements.push(DataMovement::CacheWrite { cache });
             entry.holders.clear();
@@ -346,6 +348,26 @@ impl DirectoryProtocol {
             entry.dirty = true;
             Self::reset_to_sole_holder(entry, cache, capacity);
             out
+        }
+    }
+
+    /// Canonical [`BlockState`] of one entry. The pointer set is directory
+    /// knowledge only for broadcast schemes; NB schemes consult holders
+    /// directly and may leave the field stale, so exporting it would split
+    /// behaviourally equivalent states.
+    fn entry_state(&self, block: BlockAddr, e: &Entry) -> BlockState {
+        let broadcast = self.spec.allows_broadcast();
+        BlockState {
+            block,
+            holders: e.holders.iter().collect(),
+            dirty: e.dirty,
+            pointers: if broadcast {
+                e.pointers.iter().collect()
+            } else {
+                Vec::new()
+            },
+            broadcast_bit: broadcast && e.broadcast_bit,
+            aux: Vec::new(),
         }
     }
 }
@@ -406,6 +428,23 @@ impl CoherenceProtocol for DirectoryProtocol {
 
     fn tracked_blocks(&self) -> usize {
         self.blocks.len()
+    }
+
+    fn snapshot(&self) -> StateSnapshot {
+        StateSnapshot::from_blocks(
+            self.blocks
+                .iter()
+                .map(|(&block, e)| self.entry_state(block, e))
+                .collect(),
+        )
+    }
+
+    fn block_state(&self, block: BlockAddr) -> Option<BlockState> {
+        self.blocks.get(&block).map(|e| self.entry_state(block, e))
+    }
+
+    fn boxed_clone(&self) -> Box<dyn CoherenceProtocol> {
+        Box::new(self.clone())
     }
 }
 
@@ -641,7 +680,78 @@ mod tests {
         assert!(out.ops.contains(&BusOp::BroadcastInvalidate));
     }
 
+    #[test]
+    fn dir2b_exactly_i_pointers_stays_directed() {
+        // The boundary below overflow: with exactly i = 2 sharers the
+        // directory knowledge is exact, so invalidation is directed.
+        let mut p = DirectoryProtocol::new(DirSpec::dir_i_b(2), 4);
+        read(&mut p, 0);
+        read(&mut p, 1);
+        let state = p.block_state(B).unwrap();
+        assert_eq!(state.pointers, vec![c(0), c(1)]);
+        assert!(!state.broadcast_bit);
+        let out = write(&mut p, 0);
+        assert_eq!(out.kind(), EventKind::WhBlkCln);
+        assert_eq!(
+            out.ops.iter().filter(|&&o| o == BusOp::Invalidate).count(),
+            1,
+            "one directed invalidate for the one known remote sharer"
+        );
+        assert!(!out.ops.contains(&BusOp::BroadcastInvalidate));
+    }
+
+    #[test]
+    fn dir2b_one_sharer_past_i_trips_broadcast() {
+        // The boundary itself: the (i+1)-th sharer overflows the pointers,
+        // and the next write must fall back to a broadcast that reaches
+        // *every* sharer — including the one the directory forgot.
+        let mut p = DirectoryProtocol::new(DirSpec::dir_i_b(2), 4);
+        read(&mut p, 0);
+        read(&mut p, 1);
+        read(&mut p, 2); // one more than i
+        let state = p.block_state(B).unwrap();
+        assert!(state.broadcast_bit, "pointer overflow must set the bit");
+        assert_eq!(state.pointers, vec![c(0), c(1)], "slots keep the first i");
+        assert_eq!(state.holders.len(), 3);
+
+        let out = write(&mut p, 3);
+        assert!(out.ops.contains(&BusOp::BroadcastInvalidate));
+        let invalidated = out
+            .movements
+            .iter()
+            .filter(|m| matches!(m, DataMovement::Invalidate { .. }))
+            .count();
+        assert_eq!(invalidated, 3, "broadcast reaches every sharer");
+        let after = p.block_state(B).unwrap();
+        assert_eq!(after.holders, vec![c(3)]);
+        assert!(after.dirty);
+        assert_eq!(after.pointers, vec![c(3)], "knowledge reset to the writer");
+        assert!(!after.broadcast_bit);
+    }
+
     // ---------- DiriNB (limited copies) ----------
+
+    #[test]
+    fn dir2nb_eviction_path_keeps_directory_exact() {
+        // NB schemes never broadcast, so the directory must track holders
+        // exactly through the eviction: the snapshot exports no stale
+        // pointer knowledge and the evictee is truly gone.
+        let mut p = DirectoryProtocol::new(DirSpec::dir_i_nb(2).unwrap(), 4);
+        read(&mut p, 0);
+        read(&mut p, 1);
+        let at_capacity = p.block_state(B).unwrap();
+        assert_eq!(at_capacity.holders, vec![c(0), c(1)], "no premature evict");
+
+        let out = read(&mut p, 2);
+        assert!(out
+            .movements
+            .contains(&DataMovement::Invalidate { cache: c(0) }));
+        let state = p.block_state(B).unwrap();
+        assert_eq!(state.holders, vec![c(1), c(2)]);
+        assert!(!state.dirty);
+        assert!(state.pointers.is_empty(), "holders are the NB knowledge");
+        assert!(!state.broadcast_bit);
+    }
 
     #[test]
     fn dir2nb_evicts_oldest_sharer_on_third_copy() {
@@ -695,7 +805,9 @@ mod tests {
             // Pseudo-random access pattern over a few blocks.
             let mut x: u64 = 12345;
             for _ in 0..2000 {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 let cache = c((x >> 33) as u32 % 4);
                 let block = BlockAddr::new((x >> 16) % 8);
                 let write = x % 3 == 0;
@@ -836,10 +948,7 @@ mod tests {
 
     #[test]
     fn name_reflects_spec() {
-        assert_eq!(
-            DirectoryProtocol::new(DirSpec::dir0_b(), 4).name(),
-            "Dir0B"
-        );
+        assert_eq!(DirectoryProtocol::new(DirSpec::dir0_b(), 4).name(), "Dir0B");
         assert_eq!(
             DirectoryProtocol::new(DirSpec::dir_n_nb(), 4).name(),
             "DirnNB"

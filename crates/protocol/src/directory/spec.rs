@@ -214,7 +214,9 @@ mod tests {
         assert_eq!(DirSpec::dir_i_b(3).to_string(), "Dir3B");
         assert_eq!(DirSpec::dir_i_nb(2).unwrap().to_string(), "Dir2NB");
         assert_eq!(
-            DirSpec::new(PointerCapacity::Full, true).unwrap().to_string(),
+            DirSpec::new(PointerCapacity::Full, true)
+                .unwrap()
+                .to_string(),
             "DirnB"
         );
     }

@@ -15,7 +15,7 @@ use std::collections::HashMap;
 
 use dirsim_mem::{BlockAddr, CacheId};
 
-use crate::api::{BlockProbe, CoherenceProtocol};
+use crate::api::{BlockProbe, BlockState, CoherenceProtocol, ProtocolStyle, StateSnapshot};
 use crate::event::EventKind;
 use crate::ops::{BusOp, DataMovement, RefOutcome};
 use crate::sharer_set::SharerSet;
@@ -64,6 +64,20 @@ impl DirUpdate {
         DirUpdate {
             caches,
             blocks: HashMap::new(),
+        }
+    }
+
+    /// Canonical [`BlockState`] of one entry. The owner identity rides in
+    /// `aux[0]` as index + 1 (0 = memory current): which cache supplies
+    /// and writes back matters, not just that one exists.
+    fn entry_state(block: BlockAddr, e: &Entry) -> BlockState {
+        BlockState {
+            block,
+            holders: e.holders.iter().collect(),
+            dirty: e.owner.is_some(),
+            pointers: Vec::new(),
+            broadcast_bit: false,
+            aux: vec![e.owner.map_or(0, |c| c.index() as u64 + 1)],
         }
     }
 }
@@ -191,6 +205,27 @@ impl CoherenceProtocol for DirUpdate {
 
     fn tracked_blocks(&self) -> usize {
         self.blocks.len()
+    }
+
+    fn style(&self) -> ProtocolStyle {
+        ProtocolStyle::Update
+    }
+
+    fn snapshot(&self) -> StateSnapshot {
+        StateSnapshot::from_blocks(
+            self.blocks
+                .iter()
+                .map(|(&block, e)| Self::entry_state(block, e))
+                .collect(),
+        )
+    }
+
+    fn block_state(&self, block: BlockAddr) -> Option<BlockState> {
+        self.blocks.get(&block).map(|e| Self::entry_state(block, e))
+    }
+
+    fn boxed_clone(&self) -> Box<dyn CoherenceProtocol> {
+        Box::new(self.clone())
     }
 }
 

@@ -16,7 +16,7 @@ use std::collections::HashMap;
 
 use dirsim_mem::{BlockAddr, CacheId};
 
-use crate::api::{BlockProbe, CoherenceProtocol};
+use crate::api::{BlockProbe, BlockState, CoherenceProtocol, StateSnapshot};
 use crate::event::EventKind;
 use crate::ops::{BusOp, DataMovement, RefOutcome};
 use crate::sharer_set::SharerSet;
@@ -152,7 +152,8 @@ impl CoherenceProtocol for YenFu {
                         .extend(std::iter::repeat(BusOp::Invalidate).take(remote.len()));
                 }
                 for victim in &remote {
-                    out.movements.push(DataMovement::Invalidate { cache: *victim });
+                    out.movements
+                        .push(DataMovement::Invalidate { cache: *victim });
                 }
                 out.movements.push(DataMovement::CacheWrite { cache });
                 entry.holders.retain_only(cache);
@@ -169,7 +170,8 @@ impl CoherenceProtocol for YenFu {
                     cache,
                     supplier: owner,
                 });
-                out.movements.push(DataMovement::Invalidate { cache: owner });
+                out.movements
+                    .push(DataMovement::Invalidate { cache: owner });
                 out.movements.push(DataMovement::CacheWrite { cache });
                 entry.holders.clear();
                 entry.holders.insert(cache);
@@ -185,7 +187,8 @@ impl CoherenceProtocol for YenFu {
                     .extend(std::iter::repeat(BusOp::Invalidate).take(remote.len()));
                 out.movements.push(DataMovement::FillFromMemory { cache });
                 for victim in &remote {
-                    out.movements.push(DataMovement::Invalidate { cache: *victim });
+                    out.movements
+                        .push(DataMovement::Invalidate { cache: *victim });
                 }
                 out.movements.push(DataMovement::CacheWrite { cache });
                 entry.holders.clear();
@@ -226,6 +229,25 @@ impl CoherenceProtocol for YenFu {
 
     fn tracked_blocks(&self) -> usize {
         self.blocks.len()
+    }
+
+    fn snapshot(&self) -> StateSnapshot {
+        StateSnapshot::from_blocks(
+            self.blocks
+                .iter()
+                .map(|(&block, e)| BlockState::basic(block, e.holders.iter().collect(), e.dirty))
+                .collect(),
+        )
+    }
+
+    fn block_state(&self, block: BlockAddr) -> Option<BlockState> {
+        self.blocks
+            .get(&block)
+            .map(|e| BlockState::basic(block, e.holders.iter().collect(), e.dirty))
+    }
+
+    fn boxed_clone(&self) -> Box<dyn CoherenceProtocol> {
+        Box::new(self.clone())
     }
 }
 

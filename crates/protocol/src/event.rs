@@ -173,9 +173,7 @@ impl EventCounts {
 
     /// Total data reads (`rd-hit + rm + rm-first-ref`).
     pub fn reads(&self) -> u64 {
-        self[EventKind::RdHit]
-            + self.read_misses()
-            + self[EventKind::RmFirstRef]
+        self[EventKind::RdHit] + self.read_misses() + self[EventKind::RmFirstRef]
     }
 
     /// Total data writes (`wh + wm + wm-first-ref`).

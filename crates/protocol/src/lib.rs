@@ -35,7 +35,7 @@ pub mod ops;
 pub mod sharer_set;
 pub mod snoopy;
 
-pub use api::{BlockProbe, CoherenceProtocol};
+pub use api::{BlockProbe, BlockState, CoherenceProtocol, ProtocolStyle, StateSnapshot};
 pub use directory::{CoarseVectorProtocol, DirSpec, DirUpdate, DirectoryProtocol, Tang, YenFu};
 pub use event::{EventCounts, EventKind};
 pub use ops::{BusOp, DataMovement, OpCounts, RefOutcome};
@@ -221,10 +221,7 @@ mod tests {
     #[test]
     fn display_matches_name() {
         assert_eq!(Scheme::Dragon.to_string(), "Dragon");
-        assert_eq!(
-            Scheme::Directory(DirSpec::dir1_b()).to_string(),
-            "Dir1B"
-        );
+        assert_eq!(Scheme::Directory(DirSpec::dir1_b()).to_string(), "Dir1B");
     }
 
     #[test]

@@ -209,6 +209,29 @@ mod tests {
     }
 
     #[test]
+    fn reinsert_does_not_refresh_insertion_order() {
+        // A duplicate insert must keep the original position: `Dir_iNB`
+        // eviction picks the *oldest* sharer, and a re-reading cache must
+        // not be rejuvenated (it consumed no new pointer slot).
+        let mut s: SharerSet = [c(1), c(2)].into_iter().collect();
+        assert!(!s.insert(c(1)));
+        assert_eq!(s.oldest(), Some(c(1)));
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![c(1), c(2)]);
+    }
+
+    #[test]
+    fn remove_then_reinsert_moves_to_newest() {
+        // After an eviction, a returning sharer is the newest again — the
+        // order the `Dir_iNB` victim selection depends on.
+        let mut s: SharerSet = [c(1), c(2), c(3)].into_iter().collect();
+        assert!(s.remove(c(1)));
+        assert!(s.insert(c(1)));
+        assert_eq!(s.oldest(), Some(c(2)));
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![c(2), c(3), c(1)]);
+        assert_eq!(s.oldest_other(c(2)), Some(c(3)));
+    }
+
+    #[test]
     fn clear_empties() {
         let mut s: SharerSet = [c(1), c(2)].into_iter().collect();
         s.clear();

@@ -14,7 +14,7 @@
 
 use dirsim_mem::{BlockAddr, CacheId};
 
-use crate::api::{BlockProbe, CoherenceProtocol};
+use crate::api::{BlockProbe, BlockState, CoherenceProtocol, StateSnapshot};
 use crate::directory::{DirSpec, DirectoryProtocol};
 use crate::ops::RefOutcome;
 
@@ -76,6 +76,18 @@ impl CoherenceProtocol for Berkeley {
 
     fn tracked_blocks(&self) -> usize {
         self.inner.tracked_blocks()
+    }
+
+    fn snapshot(&self) -> StateSnapshot {
+        self.inner.snapshot()
+    }
+
+    fn block_state(&self, block: BlockAddr) -> Option<BlockState> {
+        self.inner.block_state(block)
+    }
+
+    fn boxed_clone(&self) -> Box<dyn CoherenceProtocol> {
+        Box::new(self.clone())
     }
 }
 

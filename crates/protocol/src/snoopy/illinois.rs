@@ -15,7 +15,7 @@ use std::collections::HashMap;
 
 use dirsim_mem::{BlockAddr, CacheId};
 
-use crate::api::{BlockProbe, CoherenceProtocol};
+use crate::api::{BlockProbe, BlockState, CoherenceProtocol, StateSnapshot};
 use crate::event::EventKind;
 use crate::ops::{BusOp, DataMovement, RefOutcome};
 use crate::sharer_set::SharerSet;
@@ -60,6 +60,20 @@ impl Illinois {
         Illinois {
             caches,
             blocks: HashMap::new(),
+        }
+    }
+
+    /// Canonical [`BlockState`] of one entry. The E/M bit rides in
+    /// `aux[0]`: an exclusive clean copy upgrades silently where a shared
+    /// one must broadcast.
+    fn entry_state(block: BlockAddr, e: &Entry) -> BlockState {
+        BlockState {
+            block,
+            holders: e.holders.iter().collect(),
+            dirty: e.dirty,
+            pointers: Vec::new(),
+            broadcast_bit: false,
+            aux: vec![u64::from(e.exclusive)],
         }
     }
 }
@@ -113,12 +127,11 @@ impl CoherenceProtocol for Illinois {
                         BusOp::CacheSupply
                     });
                     if entry.dirty {
-                        out.movements.push(DataMovement::WriteBack { cache: supplier });
+                        out.movements
+                            .push(DataMovement::WriteBack { cache: supplier });
                     }
-                    out.movements.push(DataMovement::FillFromCache {
-                        cache,
-                        supplier,
-                    });
+                    out.movements
+                        .push(DataMovement::FillFromCache { cache, supplier });
                 } else {
                     out.ops.push(BusOp::MemRead);
                     out.movements.push(DataMovement::FillFromMemory { cache });
@@ -146,7 +159,8 @@ impl CoherenceProtocol for Illinois {
                 // S → M: broadcast an invalidation on the snooping bus.
                 out.ops.push(BusOp::BroadcastInvalidate);
                 for victim in &remote {
-                    out.movements.push(DataMovement::Invalidate { cache: *victim });
+                    out.movements
+                        .push(DataMovement::Invalidate { cache: *victim });
                 }
                 out.movements.push(DataMovement::CacheWrite { cache });
                 entry.holders.retain_only(cache);
@@ -172,19 +186,19 @@ impl CoherenceProtocol for Illinois {
                         BusOp::CacheSupply
                     });
                     if entry.dirty {
-                        out.movements.push(DataMovement::WriteBack { cache: supplier });
+                        out.movements
+                            .push(DataMovement::WriteBack { cache: supplier });
                     }
-                    out.movements.push(DataMovement::FillFromCache {
-                        cache,
-                        supplier,
-                    });
+                    out.movements
+                        .push(DataMovement::FillFromCache { cache, supplier });
                 } else {
                     out.ops.push(BusOp::MemRead);
                     out.movements.push(DataMovement::FillFromMemory { cache });
                 }
                 // The read-with-intent-to-modify invalidates as it snoops.
                 for victim in &remote {
-                    out.movements.push(DataMovement::Invalidate { cache: *victim });
+                    out.movements
+                        .push(DataMovement::Invalidate { cache: *victim });
                 }
                 out.movements.push(DataMovement::CacheWrite { cache });
                 entry.holders.clear();
@@ -224,6 +238,23 @@ impl CoherenceProtocol for Illinois {
 
     fn tracked_blocks(&self) -> usize {
         self.blocks.len()
+    }
+
+    fn snapshot(&self) -> StateSnapshot {
+        StateSnapshot::from_blocks(
+            self.blocks
+                .iter()
+                .map(|(&block, e)| Self::entry_state(block, e))
+                .collect(),
+        )
+    }
+
+    fn block_state(&self, block: BlockAddr) -> Option<BlockState> {
+        self.blocks.get(&block).map(|e| Self::entry_state(block, e))
+    }
+
+    fn boxed_clone(&self) -> Box<dyn CoherenceProtocol> {
+        Box::new(self.clone())
     }
 }
 

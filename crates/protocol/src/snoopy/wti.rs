@@ -16,7 +16,7 @@ use std::collections::HashMap;
 
 use dirsim_mem::{BlockAddr, CacheId};
 
-use crate::api::{BlockProbe, CoherenceProtocol};
+use crate::api::{BlockProbe, BlockState, CoherenceProtocol, ProtocolStyle, StateSnapshot};
 use crate::event::EventKind;
 use crate::ops::{BusOp, DataMovement, RefOutcome};
 use crate::sharer_set::SharerSet;
@@ -130,7 +130,8 @@ impl CoherenceProtocol for Wti {
                 // free: snooping caches drop their copies as it passes.
                 out.ops.push(BusOp::WriteThrough);
                 for victim in &remote {
-                    out.movements.push(DataMovement::Invalidate { cache: *victim });
+                    out.movements
+                        .push(DataMovement::Invalidate { cache: *victim });
                 }
                 out.movements.push(DataMovement::WriteThrough { cache });
                 entry.holders.retain_only(cache);
@@ -153,7 +154,8 @@ impl CoherenceProtocol for Wti {
                 out.ops.push(BusOp::WriteThrough);
                 out.movements.push(DataMovement::FillFromMemory { cache });
                 for victim in &remote {
-                    out.movements.push(DataMovement::Invalidate { cache: *victim });
+                    out.movements
+                        .push(DataMovement::Invalidate { cache: *victim });
                 }
                 out.movements.push(DataMovement::WriteThrough { cache });
                 entry.holders.clear();
@@ -190,6 +192,31 @@ impl CoherenceProtocol for Wti {
 
     fn tracked_blocks(&self) -> usize {
         self.blocks.len()
+    }
+
+    fn style(&self) -> ProtocolStyle {
+        ProtocolStyle::WriteThrough
+    }
+
+    fn snapshot(&self) -> StateSnapshot {
+        StateSnapshot::from_blocks(
+            self.blocks
+                .iter()
+                .map(|(&block, e)| {
+                    BlockState::basic(block, e.holders.iter().collect(), e.written_exclusive)
+                })
+                .collect(),
+        )
+    }
+
+    fn block_state(&self, block: BlockAddr) -> Option<BlockState> {
+        self.blocks
+            .get(&block)
+            .map(|e| BlockState::basic(block, e.holders.iter().collect(), e.written_exclusive))
+    }
+
+    fn boxed_clone(&self) -> Box<dyn CoherenceProtocol> {
+        Box::new(self.clone())
     }
 }
 

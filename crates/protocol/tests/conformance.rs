@@ -39,7 +39,17 @@ fn private_reuse_is_free_everywhere() {
     // One cache reads then writes repeatedly: after the cold miss,
     // everything stays local (the first write transitions clean→dirty).
     let accesses = [(0, R), (0, R), (0, W), (0, W), (0, R)];
-    for s in ["Dir1NB", "DirnNB", "Dir0B", "Tang", "YenFu", "CoarseVector", "WTI", "Illinois", "Berkeley"] {
+    for s in [
+        "Dir1NB",
+        "DirnNB",
+        "Dir0B",
+        "Tang",
+        "YenFu",
+        "CoarseVector",
+        "WTI",
+        "Illinois",
+        "Berkeley",
+    ] {
         check(
             s,
             &accesses,
@@ -60,21 +70,48 @@ fn read_sharing_scenario() {
     let accesses = [(0, R), (1, R), (2, R), (0, W)];
     // Multi-copy invalidation schemes: both later readers get clean misses,
     // the write is a hit to a clean (shared) block.
-    for s in ["Dir0B", "DirnNB", "Tang", "YenFu", "CoarseVector", "WTI", "Illinois", "Berkeley"] {
+    for s in [
+        "Dir0B",
+        "DirnNB",
+        "Tang",
+        "YenFu",
+        "CoarseVector",
+        "WTI",
+        "Illinois",
+        "Berkeley",
+    ] {
         check(s, &accesses, &[RmFirstRef, RmBlkCln, RmBlkCln, WhBlkCln]);
     }
     // Dragon never invalidates: the write hit is distributed.
-    check("Dragon", &accesses, &[RmFirstRef, RmBlkCln, RmBlkCln, WhDistrib]);
+    check(
+        "Dragon",
+        &accesses,
+        &[RmFirstRef, RmBlkCln, RmBlkCln, WhDistrib],
+    );
     // Dir1NB bounces the single copy: cache 0 lost its copy to cache 2,
     // so its "write" is a miss to a clean block.
-    check("Dir1NB", &accesses, &[RmFirstRef, RmBlkCln, RmBlkCln, WmBlkCln]);
+    check(
+        "Dir1NB",
+        &accesses,
+        &[RmFirstRef, RmBlkCln, RmBlkCln, WmBlkCln],
+    );
 }
 
 #[test]
 fn migratory_ping_pong_scenario() {
     // Two caches alternate read-modify-write.
     let accesses = [(0, R), (0, W), (1, R), (1, W), (0, R), (0, W)];
-    for s in ["Dir0B", "DirnNB", "Tang", "YenFu", "CoarseVector", "Dir1NB", "WTI", "Illinois", "Berkeley"] {
+    for s in [
+        "Dir0B",
+        "DirnNB",
+        "Tang",
+        "YenFu",
+        "CoarseVector",
+        "Dir1NB",
+        "WTI",
+        "Illinois",
+        "Berkeley",
+    ] {
         check(
             s,
             &accesses,
@@ -96,7 +133,17 @@ fn migratory_ping_pong_scenario() {
 fn write_write_conflict_scenario() {
     // Two caches write alternately with no reads at all.
     let accesses = [(0, W), (1, W), (0, W), (1, W)];
-    for s in ["Dir0B", "DirnNB", "Tang", "YenFu", "CoarseVector", "Dir1NB", "WTI", "Illinois", "Berkeley"] {
+    for s in [
+        "Dir0B",
+        "DirnNB",
+        "Tang",
+        "YenFu",
+        "CoarseVector",
+        "Dir1NB",
+        "WTI",
+        "Illinois",
+        "Berkeley",
+    ] {
         check(s, &accesses, &[WmFirstRef, WmBlkDrty, WmBlkDrty, WmBlkDrty]);
     }
     // Dragon: the second writer fetches from the owner and updates; after
@@ -112,14 +159,31 @@ fn write_write_conflict_scenario() {
 fn dirty_read_then_silent_reader_scenario() {
     // A writer, then two readers; the block is flushed exactly once.
     let accesses = [(0, W), (1, R), (2, R), (0, R)];
-    for s in ["Dir0B", "DirnNB", "Tang", "YenFu", "CoarseVector", "WTI", "Illinois", "Berkeley"] {
+    for s in [
+        "Dir0B",
+        "DirnNB",
+        "Tang",
+        "YenFu",
+        "CoarseVector",
+        "WTI",
+        "Illinois",
+        "Berkeley",
+    ] {
         check(s, &accesses, &[WmFirstRef, RmBlkDrty, RmBlkCln, RdHit]);
     }
     // Dragon: the owner keeps supplying (memory stays stale).
-    check("Dragon", &accesses, &[WmFirstRef, RmBlkDrty, RmBlkDrty, RdHit]);
+    check(
+        "Dragon",
+        &accesses,
+        &[WmFirstRef, RmBlkDrty, RmBlkDrty, RdHit],
+    );
     // Dir1NB: every reader steals the single copy; the final read by the
     // original writer misses on a now-clean block.
-    check("Dir1NB", &accesses, &[WmFirstRef, RmBlkDrty, RmBlkCln, RmBlkCln]);
+    check(
+        "Dir1NB",
+        &accesses,
+        &[WmFirstRef, RmBlkDrty, RmBlkCln, RmBlkCln],
+    );
 }
 
 #[test]
@@ -147,11 +211,7 @@ fn spin_lock_shape_scenario() {
         &[RmFirstRef, RmBlkCln, RmBlkCln, RmBlkCln, RmBlkCln],
     );
     // ...while Dir0B lets them all hit:
-    check(
-        "Dir0B",
-        &duel,
-        &[RmFirstRef, RmBlkCln, RdHit, RdHit, RdHit],
-    );
+    check("Dir0B", &duel, &[RmFirstRef, RmBlkCln, RdHit, RdHit, RdHit]);
 }
 
 #[test]

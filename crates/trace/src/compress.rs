@@ -346,7 +346,9 @@ mod tests {
     fn empty_stream_is_valid() {
         let mut buf = Vec::new();
         write_compressed(&mut buf, std::iter::empty()).unwrap();
-        let back: Vec<_> = read_compressed(&buf[..]).collect::<Result<Vec<_>, _>>().unwrap();
+        let back: Vec<_> = read_compressed(&buf[..])
+            .collect::<Result<Vec<_>, _>>()
+            .unwrap();
         assert!(back.is_empty());
     }
 }

@@ -467,7 +467,10 @@ mod tests {
         ] {
             let results: Vec<_> = read_text(bad.as_bytes()).collect();
             assert!(
-                matches!(results.last(), Some(Err(TraceIoError::BadTextRecord { .. }))),
+                matches!(
+                    results.last(),
+                    Some(Err(TraceIoError::BadTextRecord { .. }))
+                ),
                 "input {bad:?} should fail"
             );
         }

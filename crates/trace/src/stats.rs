@@ -196,11 +196,9 @@ mod tests {
         let p1 = ProcessId::new(1);
         vec![
             MemRef::instr(c0, p0, Addr::new(0x0)),
-            MemRef::read(c0, p0, Addr::new(0x100))
-                .with_flags(RefFlags::empty().with_lock()),
+            MemRef::read(c0, p0, Addr::new(0x100)).with_flags(RefFlags::empty().with_lock()),
             MemRef::read(c1, p1, Addr::new(0x100)),
-            MemRef::write(c1, p1, Addr::new(0x200))
-                .with_flags(RefFlags::empty().with_os()),
+            MemRef::write(c1, p1, Addr::new(0x200)).with_flags(RefFlags::empty().with_os()),
         ]
     }
 

@@ -259,7 +259,9 @@ impl WorkloadConfig {
             return Err(ConfigError::ZeroCount { field: "processes" });
         }
         if self.block_size == 0 || !self.block_size.is_power_of_two() {
-            return Err(ConfigError::ZeroCount { field: "block_size" });
+            return Err(ConfigError::ZeroCount {
+                field: "block_size",
+            });
         }
         if self.private_blocks == 0 {
             return Err(ConfigError::ZeroCount {
@@ -267,7 +269,9 @@ impl WorkloadConfig {
             });
         }
         if self.code_blocks == 0 {
-            return Err(ConfigError::ZeroCount { field: "code_blocks" });
+            return Err(ConfigError::ZeroCount {
+                field: "code_blocks",
+            });
         }
         if self.shared_blocks_per_pool == 0 {
             return Err(ConfigError::ZeroCount {
@@ -490,7 +494,10 @@ mod tests {
 
     #[test]
     fn rejects_non_power_of_two_block() {
-        let err = WorkloadConfig::builder().block_size(24).build().unwrap_err();
+        let err = WorkloadConfig::builder()
+            .block_size(24)
+            .build()
+            .unwrap_err();
         assert!(matches!(
             err,
             ConfigError::ZeroCount {

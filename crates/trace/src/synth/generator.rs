@@ -85,17 +85,23 @@ const MIGRATORY_CHURN: f64 = 0.10;
 /// pool's window.
 const POOL_CHURN: f64 = 0.004;
 
-
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Mode {
     Running,
     /// Spinning on a lock with test reads.
-    Spinning { lock: u32 },
+    Spinning {
+        lock: u32,
+    },
     /// Inside the critical section of `lock`.
-    Critical { lock: u32, remaining: u32 },
+    Critical {
+        lock: u32,
+        remaining: u32,
+    },
     /// Arrived at the barrier; spinning until the generation advances
     /// past the recorded value.
-    AtBarrier { generation: u64 },
+    AtBarrier {
+        generation: u64,
+    },
 }
 
 #[derive(Debug, Clone)]
@@ -303,8 +309,7 @@ impl Workload {
                     self.procs[pid as usize].turns_since_barrier = 0;
                     return self.running_turn(cpu, pid);
                 }
-                MemRef::read(cpu, id, self.barrier_word())
-                    .with_flags(RefFlags::empty().with_lock())
+                MemRef::read(cpu, id, self.barrier_word()).with_flags(RefFlags::empty().with_lock())
             }
             Mode::Running => {
                 // Barrier rendezvous: after `interval` turns of work, a

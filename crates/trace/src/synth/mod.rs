@@ -9,7 +9,9 @@ mod generator;
 mod layout;
 mod presets;
 
-pub use config::{BarrierConfig, ConfigError, LockConfig, SharingMix, WorkloadBuilder, WorkloadConfig};
+pub use config::{
+    BarrierConfig, ConfigError, LockConfig, SharingMix, WorkloadBuilder, WorkloadConfig,
+};
 pub use generator::Workload;
 pub use layout::{AddressLayout, Region};
 pub use presets::{pero_like, pops_like, thor_like, PaperTrace};

@@ -277,11 +277,7 @@ impl MemRef {
 
 impl fmt::Display for MemRef {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{} {} {} {}",
-            self.cpu, self.pid, self.kind, self.addr
-        )
+        write!(f, "{} {} {} {}", self.cpu, self.pid, self.kind, self.addr)
     }
 }
 

@@ -10,8 +10,15 @@ use dirsim_trace::{AccessKind, Addr, CpuId, MemRef, ProcessId, RefFlags, TraceSt
 
 fn arbitrary_refs(len: usize) -> impl Strategy<Value = Vec<MemRef>> {
     prop::collection::vec(
-        (0u16..8, 0u32..8, 0u64..(1 << 44), 0u8..3, any::<bool>(), any::<bool>()).prop_map(
-            |(cpu, pid, addr, kind, lock, os)| {
+        (
+            0u16..8,
+            0u32..8,
+            0u64..(1 << 44),
+            0u8..3,
+            any::<bool>(),
+            any::<bool>(),
+        )
+            .prop_map(|(cpu, pid, addr, kind, lock, os)| {
                 let kind = match kind {
                     0 => AccessKind::InstrFetch,
                     1 => AccessKind::Read,
@@ -26,8 +33,7 @@ fn arbitrary_refs(len: usize) -> impl Strategy<Value = Vec<MemRef>> {
                 }
                 MemRef::new(CpuId::new(cpu), ProcessId::new(pid), Addr::new(addr), kind)
                     .with_flags(flags)
-            },
-        ),
+            }),
         0..len,
     )
 }

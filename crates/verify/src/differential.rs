@@ -1,0 +1,370 @@
+//! Lockstep differential checking across schemes.
+//!
+//! All directory organisations in the paper implement the *same*
+//! multiple-readers/single-writer policy — they differ in how the
+//! directory is organised and priced, not in what sharing states are
+//! reachable. [`differential`] makes that claim mechanical: it replays
+//! every bounded reference sequence through every scheme at once and
+//! asserts, after each reference, that
+//!
+//! * **full-knowledge invalidation schemes** (full-map, broadcast,
+//!   coarse-vector, duplicate-tag, snoopy invalidate) agree exactly with
+//!   the `Dir_nNB` reference on the sharing set and dirty bit;
+//! * **write-through** (`WTI`) agrees on the sharing set (its "dirty" bit
+//!   means written-exclusive, so it is excluded from the dirty check);
+//! * **limited no-broadcast schemes** (`Dir_iNB`) hold a *subset* of the
+//!   reference sharing set that always contains the referencing cache,
+//!   with the same dirty bit;
+//! * **update schemes** (`Dragon`, `DirUpd`) agree with each other.
+//!
+//! Like [`crate::explore`], joint states are deduplicated so the search
+//! closes over the reachable joint state space.
+
+use std::collections::{HashSet, VecDeque};
+
+use dirsim_mem::{BlockAddr, CanonicalBlock, ShadowMemory};
+use dirsim_protocol::directory::PointerCapacity;
+use dirsim_protocol::{CoherenceProtocol, Scheme, StateSnapshot};
+
+use crate::{apply_step, CheckConfig, Step};
+
+/// Semantic class a scheme is compared under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Class {
+    /// Exact agreement with the full-map reference (holders + dirty).
+    FullInvalidate,
+    /// Subset of the reference holders, containing the referencer.
+    LimitedInvalidate,
+    /// Exact holder agreement; dirty bit has write-through semantics.
+    WriteThrough,
+    /// Exact agreement with the update-family reference.
+    Update,
+}
+
+fn classify(scheme: Scheme, caches: u32) -> Class {
+    match scheme {
+        Scheme::Wti => Class::WriteThrough,
+        Scheme::Dragon | Scheme::DirUpdate => Class::Update,
+        Scheme::Directory(spec) => {
+            let limited = matches!(spec.pointers(), PointerCapacity::Limited(i) if i < caches);
+            if limited && !spec.allows_broadcast() {
+                Class::LimitedInvalidate
+            } else {
+                Class::FullInvalidate
+            }
+        }
+        _ => Class::FullInvalidate,
+    }
+}
+
+struct Entrant {
+    name: String,
+    class: Class,
+    protocol: Box<dyn CoherenceProtocol>,
+    oracle: ShadowMemory,
+}
+
+impl Entrant {
+    fn fork(&self) -> Entrant {
+        Entrant {
+            name: self.name.clone(),
+            class: self.class,
+            protocol: self.protocol.boxed_clone(),
+            oracle: self.oracle.clone(),
+        }
+    }
+}
+
+struct Node {
+    entrants: Vec<Entrant>,
+    path: Vec<Step>,
+}
+
+/// Statistics from one completed (divergence-free) differential run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DiffReport {
+    /// Distinct joint states reached.
+    pub states: usize,
+    /// Joint transitions taken.
+    pub transitions: u64,
+    /// Cross-scheme agreement checks performed.
+    pub checks: u64,
+}
+
+/// A scheme disagreeing with its reference after a reference sequence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Divergence {
+    /// The scheme that diverged (or failed its own audit).
+    pub scheme: String,
+    /// The (minimised) sequence that exposes the divergence.
+    pub steps: Vec<Step>,
+    /// Human-readable description of the disagreement.
+    pub reason: String,
+}
+
+impl std::fmt::Display for Divergence {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "{} diverged: {}", self.scheme, self.reason)?;
+        for (i, step) in self.steps.iter().enumerate() {
+            writeln!(f, "  {i}: {step}")?;
+        }
+        Ok(())
+    }
+}
+
+fn fresh_entrants(caches: u32) -> Vec<Entrant> {
+    crate::gauntlet()
+        .into_iter()
+        .map(|scheme| Entrant {
+            name: scheme.name(),
+            class: classify(scheme, caches),
+            protocol: scheme.build(caches),
+            oracle: ShadowMemory::new(),
+        })
+        .collect()
+}
+
+fn sorted_holders(protocol: &dyn CoherenceProtocol, block: BlockAddr) -> (Vec<usize>, bool) {
+    match protocol.probe(block) {
+        Some(probe) => {
+            let mut holders: Vec<usize> = probe.holders.iter().map(|c| c.index()).collect();
+            holders.sort_unstable();
+            (holders, probe.dirty)
+        }
+        None => (Vec::new(), false),
+    }
+}
+
+/// Applies `step` to every entrant and checks cross-scheme agreement on
+/// the touched block. Returns a reason string on divergence.
+fn step_and_compare(
+    entrants: &mut [Entrant],
+    step: Step,
+    checks: &mut u64,
+) -> Result<(), (String, String)> {
+    for entrant in entrants.iter_mut() {
+        if let Err(failure) = apply_step(entrant.protocol.as_mut(), &mut entrant.oracle, step) {
+            return Err((entrant.name.clone(), format!("audit failure: {failure}")));
+        }
+    }
+    let reference = entrants
+        .iter()
+        .find(|e| e.class == Class::FullInvalidate)
+        .expect("gauntlet contains the full-map reference");
+    let (ref_holders, ref_dirty) = sorted_holders(reference.protocol.as_ref(), step.block);
+    let update_reference = entrants
+        .iter()
+        .find(|e| e.class == Class::Update)
+        .expect("gauntlet contains an update-family reference");
+    let (upd_holders, upd_dirty) = sorted_holders(update_reference.protocol.as_ref(), step.block);
+
+    for entrant in entrants.iter() {
+        let (holders, dirty) = sorted_holders(entrant.protocol.as_ref(), step.block);
+        *checks += 1;
+        let agrees = match entrant.class {
+            Class::FullInvalidate => holders == ref_holders && dirty == ref_dirty,
+            Class::WriteThrough => holders == ref_holders,
+            Class::LimitedInvalidate => {
+                holders.iter().all(|h| ref_holders.contains(h))
+                    && holders.contains(&step.cache.index())
+                    && dirty == ref_dirty
+            }
+            Class::Update => holders == upd_holders && dirty == upd_dirty,
+        };
+        if !agrees {
+            let (exp_holders, exp_dirty) = if entrant.class == Class::Update {
+                (&upd_holders, upd_dirty)
+            } else {
+                (&ref_holders, ref_dirty)
+            };
+            return Err((
+                entrant.name.clone(),
+                format!(
+                    "after {step}: holders {holders:?} dirty {dirty} vs reference \
+                     holders {exp_holders:?} dirty {exp_dirty} ({:?})",
+                    entrant.class
+                ),
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn joint_key(entrants: &[Entrant]) -> Vec<(StateSnapshot, Vec<CanonicalBlock>)> {
+    entrants
+        .iter()
+        .map(|e| (e.protocol.snapshot(), e.oracle.canonical()))
+        .collect()
+}
+
+fn diff_replay(caches: u32, steps: &[Step]) -> Option<(usize, String, String)> {
+    let mut entrants = fresh_entrants(caches);
+    let mut checks = 0u64;
+    for (i, &step) in steps.iter().enumerate() {
+        if let Err((scheme, reason)) = step_and_compare(&mut entrants, step, &mut checks) {
+            return Some((i, scheme, reason));
+        }
+    }
+    None
+}
+
+fn minimize_divergence(caches: u32, steps: &[Step]) -> Divergence {
+    let (idx, mut scheme, mut reason) =
+        diff_replay(caches, steps).expect("minimisation requires a diverging sequence");
+    let mut current: Vec<Step> = steps[..=idx].to_vec();
+    loop {
+        let mut shrunk = false;
+        for i in 0..current.len() {
+            let mut candidate = current.clone();
+            candidate.remove(i);
+            if let Some((j, s, r)) = diff_replay(caches, &candidate) {
+                candidate.truncate(j + 1);
+                current = candidate;
+                scheme = s;
+                reason = r;
+                shrunk = true;
+                break;
+            }
+        }
+        if !shrunk {
+            return Divergence {
+                scheme,
+                steps: current,
+                reason,
+            };
+        }
+    }
+}
+
+/// Replays every bounded reference sequence through all gauntlet schemes
+/// in lockstep, asserting cross-scheme sharing/dirty agreement after each
+/// reference.
+///
+/// # Errors
+///
+/// Returns the minimised [`Divergence`] for the first disagreement (or
+/// per-scheme audit failure) found.
+pub fn differential(cfg: &CheckConfig) -> Result<DiffReport, Box<Divergence>> {
+    let alphabet = cfg.alphabet();
+    let mut report = DiffReport::default();
+    let mut visited = HashSet::new();
+    let mut queue: VecDeque<Node> = VecDeque::new();
+
+    let root = Node {
+        entrants: fresh_entrants(cfg.caches),
+        path: Vec::new(),
+    };
+    visited.insert(joint_key(&root.entrants));
+    queue.push_back(root);
+    report.states = 1;
+
+    while let Some(node) = queue.pop_front() {
+        if node.path.len() as u32 >= cfg.depth {
+            continue;
+        }
+        for &step in &alphabet {
+            let mut entrants: Vec<Entrant> = node.entrants.iter().map(Entrant::fork).collect();
+            report.transitions += 1;
+            if step_and_compare(&mut entrants, step, &mut report.checks).is_err() {
+                let mut failing = node.path.clone();
+                failing.push(step);
+                return Err(Box::new(minimize_divergence(cfg.caches, &failing)));
+            }
+            let key = joint_key(&entrants);
+            if visited.insert(key) {
+                report.states += 1;
+                let mut path = node.path.clone();
+                path.push(step);
+                queue.push_back(Node { entrants, path });
+            }
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dirsim_mem::CacheId;
+    use dirsim_protocol::DirSpec;
+
+    #[test]
+    fn classifies_the_gauntlet() {
+        assert_eq!(
+            classify(Scheme::Directory(DirSpec::dir_n_nb()), 4),
+            Class::FullInvalidate
+        );
+        assert_eq!(
+            classify(Scheme::Directory(DirSpec::dir0_b()), 4),
+            Class::FullInvalidate
+        );
+        assert_eq!(
+            classify(Scheme::Directory(DirSpec::dir1_nb()), 4),
+            Class::LimitedInvalidate
+        );
+        assert_eq!(classify(Scheme::Wti, 4), Class::WriteThrough);
+        assert_eq!(classify(Scheme::Dragon, 4), Class::Update);
+        assert_eq!(classify(Scheme::DirUpdate, 4), Class::Update);
+    }
+
+    #[test]
+    fn all_schemes_agree_on_a_tiny_system() {
+        let report = differential(&CheckConfig {
+            caches: 2,
+            blocks: 1,
+            depth: 4,
+        })
+        .unwrap();
+        assert!(report.checks > 0);
+        assert!(report.states > 1);
+    }
+
+    #[test]
+    fn a_diverging_sequence_is_reported_and_minimised() {
+        // Manufacture a divergence by replaying a sequence against a
+        // sabotaged entrant set: full-map reference vs. a mutant that
+        // forgets invalidations.
+        let steps = [
+            Step {
+                cache: CacheId::new(1),
+                block: BlockAddr::new(0),
+                write: false,
+            },
+            Step {
+                cache: CacheId::new(0),
+                block: BlockAddr::new(0),
+                write: true,
+            },
+        ];
+        let mut entrants = vec![
+            Entrant {
+                name: "DirnNB".to_string(),
+                class: Class::FullInvalidate,
+                protocol: Scheme::Directory(DirSpec::dir_n_nb()).build(2),
+                oracle: ShadowMemory::new(),
+            },
+            Entrant {
+                name: "Dragon".to_string(),
+                class: Class::Update,
+                protocol: Scheme::Dragon.build(2),
+                oracle: ShadowMemory::new(),
+            },
+            Entrant {
+                name: "Mutant".to_string(),
+                class: Class::FullInvalidate,
+                protocol: Box::new(crate::mutants::DroppedInvalidate::new(2)),
+                oracle: ShadowMemory::new(),
+            },
+        ];
+        let mut checks = 0;
+        let mut diverged = None;
+        for &step in &steps {
+            if let Err(hit) = step_and_compare(&mut entrants, step, &mut checks) {
+                diverged = Some(hit);
+                break;
+            }
+        }
+        let (scheme, _reason) = diverged.expect("the mutant must diverge");
+        assert_eq!(scheme, "Mutant");
+    }
+}

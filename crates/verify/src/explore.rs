@@ -1,0 +1,240 @@
+//! Breadth-first reachability checking.
+//!
+//! [`explore`] enumerates every interleaving of read/write references a
+//! bounded system can issue (all caches × all blocks × read/write, up to a
+//! depth), and audits every transition with the engine's invariant
+//! catalogue plus the shadow-memory oracle. States are deduplicated on the
+//! pair (protocol [`StateSnapshot`](dirsim_protocol::StateSnapshot),
+//! version-rank-canonical oracle image), so the search closes over the
+//! reachable state space instead of the exponential sequence tree.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use dirsim::invariant;
+use dirsim_mem::{CanonicalBlock, ShadowMemory};
+use dirsim_protocol::{CoherenceProtocol, StateSnapshot};
+
+use crate::{apply_step, minimize, CheckConfig, Counterexample, Failure, Step};
+
+/// Statistics from one completed (violation-free) exploration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ExploreReport {
+    /// Distinct (protocol, oracle) states reached.
+    pub states: usize,
+    /// Transitions taken (references applied), counting duplicates.
+    pub transitions: u64,
+    /// Longest sequence length at which a *new* state was discovered.
+    pub frontier_depth: u32,
+}
+
+type OracleImage = Vec<CanonicalBlock>;
+
+struct Node {
+    protocol: Box<dyn CoherenceProtocol>,
+    oracle: ShadowMemory,
+    path: Vec<Step>,
+}
+
+/// Exhaustively explores every reference interleaving of `build()`'s
+/// protocol under `cfg`, auditing every transition.
+///
+/// On a violation the failing sequence is minimised and returned as a
+/// replayable [`Counterexample`].
+///
+/// # Errors
+///
+/// Returns the minimised counterexample for the first violation found.
+pub fn explore<F>(
+    name: &str,
+    build: F,
+    cfg: &CheckConfig,
+) -> Result<ExploreReport, Box<Counterexample>>
+where
+    F: Fn() -> Box<dyn CoherenceProtocol>,
+{
+    let alphabet = cfg.alphabet();
+    let mut report = ExploreReport::default();
+    let mut visited: HashSet<(StateSnapshot, OracleImage)> = HashSet::new();
+    let mut queue: VecDeque<Node> = VecDeque::new();
+
+    let root = Node {
+        protocol: build(),
+        oracle: ShadowMemory::new(),
+        path: Vec::new(),
+    };
+    visited.insert((root.protocol.snapshot(), root.oracle.canonical()));
+    queue.push_back(root);
+    report.states = 1;
+
+    while let Some(node) = queue.pop_front() {
+        if node.path.len() as u32 >= cfg.depth {
+            continue;
+        }
+        for &step in &alphabet {
+            let mut protocol = node.protocol.boxed_clone();
+            let mut oracle = node.oracle.clone();
+            report.transitions += 1;
+
+            let audit = apply_step(protocol.as_mut(), &mut oracle, step).and_then(|()| {
+                // The per-reference audit covers the touched block; the
+                // whole-snapshot pass also catches collateral damage to
+                // *other* blocks.
+                invariant::check_snapshot(
+                    protocol.style(),
+                    &protocol.snapshot(),
+                    protocol.cache_count(),
+                )
+                .map_err(Failure::Invariant)
+            });
+            if audit.is_err() {
+                let mut failing = node.path.clone();
+                failing.push(step);
+                let (steps, failure) = minimize(&build, &failing);
+                return Err(Box::new(Counterexample {
+                    scheme: name.to_string(),
+                    steps,
+                    failure,
+                }));
+            }
+
+            let key = (protocol.snapshot(), oracle.canonical());
+            if visited.insert(key) {
+                report.states += 1;
+                let mut path = node.path.clone();
+                path.push(step);
+                report.frontier_depth = report.frontier_depth.max(path.len() as u32);
+                queue.push_back(Node {
+                    protocol,
+                    oracle,
+                    path,
+                });
+            }
+        }
+    }
+    Ok(report)
+}
+
+/// Explores every scheme in [`crate::gauntlet`] under `cfg`, returning
+/// per-scheme reports in gauntlet order.
+///
+/// # Errors
+///
+/// Stops at the first scheme with a violation and returns its minimised
+/// counterexample.
+pub fn explore_gauntlet(
+    cfg: &CheckConfig,
+) -> Result<Vec<(String, ExploreReport)>, Box<Counterexample>> {
+    let mut reports = Vec::new();
+    for scheme in crate::gauntlet() {
+        let name = scheme.name();
+        let report = explore(&name, || scheme.build(cfg.caches), cfg)?;
+        reports.push((name, report));
+    }
+    Ok(reports)
+}
+
+/// Sanity histogram: how many distinct states each sequence length
+/// contributes (diagnostic helper for tuning bounds).
+pub fn state_depth_histogram<F>(build: F, cfg: &CheckConfig) -> HashMap<u32, usize>
+where
+    F: Fn() -> Box<dyn CoherenceProtocol>,
+{
+    let alphabet = cfg.alphabet();
+    let mut visited: HashSet<(StateSnapshot, OracleImage)> = HashSet::new();
+    let mut queue: VecDeque<Node> = VecDeque::new();
+    let mut histogram: HashMap<u32, usize> = HashMap::new();
+
+    let root = Node {
+        protocol: build(),
+        oracle: ShadowMemory::new(),
+        path: Vec::new(),
+    };
+    visited.insert((root.protocol.snapshot(), root.oracle.canonical()));
+    histogram.insert(0, 1);
+    queue.push_back(root);
+
+    while let Some(node) = queue.pop_front() {
+        if node.path.len() as u32 >= cfg.depth {
+            continue;
+        }
+        for &step in &alphabet {
+            let mut protocol = node.protocol.boxed_clone();
+            let mut oracle = node.oracle.clone();
+            if apply_step(protocol.as_mut(), &mut oracle, step).is_err() {
+                continue;
+            }
+            let key = (protocol.snapshot(), oracle.canonical());
+            if visited.insert(key) {
+                let mut path = node.path.clone();
+                path.push(step);
+                *histogram.entry(path.len() as u32).or_insert(0) += 1;
+                queue.push_back(Node {
+                    protocol,
+                    oracle,
+                    path,
+                });
+            }
+        }
+    }
+    histogram
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dirsim_protocol::{DirSpec, Scheme};
+
+    #[test]
+    fn full_map_is_clean_at_small_bounds() {
+        let cfg = CheckConfig {
+            caches: 2,
+            blocks: 1,
+            depth: 6,
+        };
+        let scheme = Scheme::Directory(DirSpec::dir_n_nb());
+        let report = explore("DirnNB", || scheme.build(cfg.caches), &cfg).unwrap();
+        assert!(report.states > 4, "expected a non-trivial state space");
+        assert!(report.transitions >= report.states as u64 - 1);
+    }
+
+    #[test]
+    fn state_space_closes_before_the_depth_bound() {
+        // With dedup the reachable space of a 2-cache, 1-block full-map
+        // system closes quickly: deepening the bound discovers no states.
+        let scheme = Scheme::Directory(DirSpec::dir_n_nb());
+        let shallow = explore(
+            "DirnNB",
+            || scheme.build(2),
+            &CheckConfig {
+                caches: 2,
+                blocks: 1,
+                depth: 6,
+            },
+        )
+        .unwrap();
+        let deep = explore(
+            "DirnNB",
+            || scheme.build(2),
+            &CheckConfig {
+                caches: 2,
+                blocks: 1,
+                depth: 10,
+            },
+        )
+        .unwrap();
+        assert_eq!(shallow.states, deep.states);
+    }
+
+    #[test]
+    fn histogram_accounts_for_every_state() {
+        let cfg = CheckConfig {
+            caches: 2,
+            blocks: 1,
+            depth: 6,
+        };
+        let scheme = Scheme::Directory(DirSpec::dir0_b());
+        let report = explore("Dir0B", || scheme.build(cfg.caches), &cfg).unwrap();
+        let histogram = state_depth_histogram(|| scheme.build(cfg.caches), &cfg);
+        assert_eq!(histogram.values().sum::<usize>(), report.states);
+    }
+}

@@ -1,0 +1,374 @@
+//! Exhaustive protocol model checking for the `Dir_iB`/`Dir_iNB` family.
+//!
+//! The simulation engine audits protocol invariants *along one trace*; this
+//! crate closes the gap by checking them on **every reachable state** of a
+//! small system. Three layers:
+//!
+//! * [`explore`] — breadth-first reachability over all interleavings of
+//!   read/write references for a bounded configuration (caches × blocks ×
+//!   depth), asserting the full invariant catalogue of
+//!   [`dirsim::invariant`] plus shadow-memory oracle agreement on every
+//!   transition.
+//! * [`differential`] — lockstep replay of every bounded reference
+//!   sequence through *all* schemes at once, asserting that the different
+//!   directory organisations agree on sharing-set and dirty semantics
+//!   (full-map, broadcast, and snoopy schemes exactly; limited-pointer
+//!   schemes as a subset).
+//! * [`mutants`] — deliberately broken protocols that the checker must
+//!   catch, demonstrating each audit actually bites.
+//!
+//! A violation is minimised to the shortest failing reference sequence and
+//! exported as a replayable [`dirsim-trace`](dirsim_trace) text trace; see
+//! [`Counterexample`]. Committed counterexamples live in
+//! `tests/regressions/` and are replayed against every scheme in CI.
+
+use std::fmt;
+use std::io::Write;
+
+use dirsim::invariant::{self, InvariantViolation};
+use dirsim_mem::{BlockAddr, BlockMap, CacheId, OracleViolation, ShadowMemory};
+use dirsim_protocol::{CoherenceProtocol, DirSpec, Scheme};
+use dirsim_trace::io::TraceIoError;
+use dirsim_trace::{CpuId, MemRef, ProcessId};
+
+pub mod differential;
+pub mod explore;
+pub mod mutants;
+
+pub use differential::{differential, DiffReport, Divergence};
+pub use explore::{explore, ExploreReport};
+
+/// Bounds for one exhaustive exploration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckConfig {
+    /// Number of caches in the modelled system.
+    pub caches: u32,
+    /// Number of distinct blocks references may touch.
+    pub blocks: u64,
+    /// Maximum reference-sequence length explored.
+    pub depth: u32,
+}
+
+impl Default for CheckConfig {
+    fn default() -> Self {
+        CheckConfig {
+            caches: 3,
+            blocks: 2,
+            depth: 8,
+        }
+    }
+}
+
+impl CheckConfig {
+    /// Every possible single reference under these bounds, in a fixed
+    /// enumeration order (cache-major, then block, then read/write).
+    pub fn alphabet(&self) -> Vec<Step> {
+        let mut steps = Vec::with_capacity(self.caches as usize * self.blocks as usize * 2);
+        for cache in 0..self.caches {
+            for block in 0..self.blocks {
+                for write in [false, true] {
+                    steps.push(Step {
+                        cache: CacheId::new(cache),
+                        block: BlockAddr::new(block),
+                        write,
+                    });
+                }
+            }
+        }
+        steps
+    }
+}
+
+/// One reference in a checked sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Step {
+    /// The referencing cache.
+    pub cache: CacheId,
+    /// The referenced block.
+    pub block: BlockAddr,
+    /// Write (`true`) or read (`false`).
+    pub write: bool,
+}
+
+impl fmt::Display for Step {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {} {}",
+            if self.write { "write" } else { "read" },
+            self.block,
+            self.cache
+        )
+    }
+}
+
+/// Why a checked sequence failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Failure {
+    /// A protocol invariant from the [`dirsim::invariant`] catalogue.
+    Invariant(InvariantViolation),
+    /// The shadow-memory oracle rejected a data movement or final read.
+    Oracle(OracleViolation),
+}
+
+impl fmt::Display for Failure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Failure::Invariant(v) => write!(f, "invariant: {v}"),
+            Failure::Oracle(v) => write!(f, "oracle: {v}"),
+        }
+    }
+}
+
+/// A minimised failing reference sequence for one scheme.
+///
+/// The last step of `steps` is the reference on which `failure` fires.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Counterexample {
+    /// Name of the failing protocol.
+    pub scheme: String,
+    /// The shortest failing sequence found (minimised by greedy deltas).
+    pub steps: Vec<Step>,
+    /// The violation the final step triggers.
+    pub failure: Failure,
+}
+
+impl fmt::Display for Counterexample {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}: {}", self.scheme, self.failure)?;
+        for (i, step) in self.steps.iter().enumerate() {
+            writeln!(f, "  {i}: {step}")?;
+        }
+        Ok(())
+    }
+}
+
+impl Counterexample {
+    /// Renders the sequence as engine-replayable memory references.
+    ///
+    /// Cache *k* becomes CPU *k* / process *k* (so the trace replays
+    /// identically under either sharing model), and each block maps to the
+    /// base address of the paper's 16-byte block at the same index.
+    pub fn to_refs(&self) -> Vec<MemRef> {
+        let map = BlockMap::paper();
+        self.steps
+            .iter()
+            .map(|s| {
+                let cpu = CpuId::new(s.cache.index() as u16);
+                let pid = ProcessId::new(s.cache.index() as u32);
+                let addr = map.base_of(s.block);
+                if s.write {
+                    MemRef::write(cpu, pid, addr)
+                } else {
+                    MemRef::read(cpu, pid, addr)
+                }
+            })
+            .collect()
+    }
+
+    /// Writes the counterexample as a text trace with a `#` comment header.
+    ///
+    /// The output re-parses through [`dirsim_trace::io::read_text`]; the
+    /// comment lines are skipped by the reader.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures from the writer.
+    pub fn write_trace<W: Write>(&self, w: &mut W) -> Result<(), TraceIoError> {
+        writeln!(w, "# dirsim-verify counterexample")?;
+        writeln!(w, "# scheme: {}", self.scheme)?;
+        writeln!(w, "# failure: {}", self.failure)?;
+        writeln!(w, "# cpu k = cache k; addr = block index * 16 bytes")?;
+        dirsim_trace::io::write_text(w, self.to_refs())?;
+        Ok(())
+    }
+}
+
+/// Applies one reference to a protocol and its shadow oracle, running the
+/// full per-reference audit.
+///
+/// # Errors
+///
+/// Returns the first [`Failure`] — an invariant violation, an oracle
+/// rejection of a claimed data movement, or a stale final read.
+pub fn apply_step(
+    protocol: &mut dyn CoherenceProtocol,
+    oracle: &mut ShadowMemory,
+    step: Step,
+) -> Result<(), Failure> {
+    let pre = protocol.probe(step.block);
+    let outcome = protocol.on_data_ref(step.cache, step.block, step.write);
+    invariant::check_data_ref(
+        protocol,
+        pre.as_ref(),
+        step.cache,
+        step.block,
+        step.write,
+        &outcome,
+    )
+    .map_err(Failure::Invariant)?;
+    invariant::replay_movements(oracle, &outcome.movements, step.block).map_err(Failure::Oracle)?;
+    oracle
+        .check_read(step.cache, step.block)
+        .map_err(Failure::Oracle)
+}
+
+/// Replays `steps` from a fresh protocol instance, returning the first
+/// failure (if any) together with the index of the failing step.
+pub fn replay<F>(build: F, steps: &[Step]) -> Option<(usize, Failure)>
+where
+    F: Fn() -> Box<dyn CoherenceProtocol>,
+{
+    let mut protocol = build();
+    let mut oracle = ShadowMemory::new();
+    for (i, &step) in steps.iter().enumerate() {
+        if let Err(failure) = apply_step(protocol.as_mut(), &mut oracle, step) {
+            return Some((i, failure));
+        }
+        if let Err(v) = invariant::check_snapshot(
+            protocol.style(),
+            &protocol.snapshot(),
+            protocol.cache_count(),
+        ) {
+            return Some((i, Failure::Invariant(v)));
+        }
+    }
+    None
+}
+
+/// Greedily minimises a failing sequence: repeatedly drops any step whose
+/// removal keeps the replay failing, until no single removal does.
+///
+/// The result still fails (on its last step) but may fail with a different
+/// — earlier — violation than the original; the returned [`Failure`] is
+/// the one the minimised sequence actually triggers.
+pub fn minimize<F>(build: F, steps: &[Step]) -> (Vec<Step>, Failure)
+where
+    F: Fn() -> Box<dyn CoherenceProtocol>,
+{
+    let (idx, mut failure) = replay(&build, steps).expect("minimize requires a failing sequence");
+    let mut current: Vec<Step> = steps[..=idx].to_vec();
+    loop {
+        let mut shrunk = false;
+        for i in 0..current.len() {
+            let mut candidate = current.clone();
+            candidate.remove(i);
+            if let Some((j, f)) = replay(&build, &candidate) {
+                candidate.truncate(j + 1);
+                current = candidate;
+                failure = f;
+                shrunk = true;
+                break;
+            }
+        }
+        if !shrunk {
+            return (current, failure);
+        }
+    }
+}
+
+/// Every scheme the checker exercises: the paper's Table 5 line-up plus
+/// the remaining directory organisations and snoopy baselines.
+pub fn gauntlet() -> Vec<Scheme> {
+    vec![
+        Scheme::Directory(DirSpec::dir_n_nb()),
+        Scheme::Directory(DirSpec::dir0_b()),
+        Scheme::Directory(DirSpec::dir1_b()),
+        Scheme::Directory(DirSpec::dir_i_b(2)),
+        Scheme::Directory(DirSpec::dir1_nb()),
+        Scheme::Directory(DirSpec::dir_i_nb(2).expect("two pointers is a valid NB spec")),
+        Scheme::CoarseVector,
+        Scheme::Tang,
+        Scheme::YenFu,
+        Scheme::DirUpdate,
+        Scheme::Wti,
+        Scheme::Illinois,
+        Scheme::Dragon,
+        Scheme::Berkeley,
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(i: u32) -> CacheId {
+        CacheId::new(i)
+    }
+
+    fn b(i: u64) -> BlockAddr {
+        BlockAddr::new(i)
+    }
+
+    #[test]
+    fn alphabet_enumerates_every_reference() {
+        let cfg = CheckConfig {
+            caches: 2,
+            blocks: 2,
+            depth: 4,
+        };
+        let alpha = cfg.alphabet();
+        assert_eq!(alpha.len(), 8);
+        assert!(alpha.contains(&Step {
+            cache: c(1),
+            block: b(0),
+            write: true
+        }));
+    }
+
+    #[test]
+    fn replay_passes_a_legal_sequence_on_every_scheme() {
+        let steps = [
+            Step {
+                cache: c(0),
+                block: b(0),
+                write: false,
+            },
+            Step {
+                cache: c(1),
+                block: b(0),
+                write: true,
+            },
+            Step {
+                cache: c(0),
+                block: b(0),
+                write: false,
+            },
+        ];
+        for scheme in gauntlet() {
+            assert_eq!(
+                replay(|| scheme.build(3), &steps),
+                None,
+                "{}",
+                scheme.name()
+            );
+        }
+    }
+
+    #[test]
+    fn counterexample_trace_reparses() {
+        let cx = Counterexample {
+            scheme: "demo".to_string(),
+            steps: vec![
+                Step {
+                    cache: c(1),
+                    block: b(0),
+                    write: false,
+                },
+                Step {
+                    cache: c(0),
+                    block: b(1),
+                    write: true,
+                },
+            ],
+            failure: Failure::Invariant(InvariantViolation::StateDropped { block: b(0) }),
+        };
+        let mut buf = Vec::new();
+        cx.write_trace(&mut buf).unwrap();
+        let parsed: Vec<MemRef> = dirsim_trace::io::read_text(&buf[..])
+            .collect::<Result<_, _>>()
+            .unwrap();
+        assert_eq!(parsed, cx.to_refs());
+        assert_eq!(parsed[1].addr.raw(), 16);
+    }
+}

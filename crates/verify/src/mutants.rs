@@ -1,0 +1,274 @@
+//! Deliberately broken protocols the checker must catch.
+//!
+//! A model checker that has never failed proves nothing. Each mutant here
+//! plants one realistic protocol bug; `explore` must find it, minimise it,
+//! and export a replayable counterexample. The mutants double as living
+//! documentation of *which* audit layer catches *which* class of bug:
+//!
+//! * [`DroppedInvalidate`] — a full-map copy-back directory that forgets
+//!   to invalidate the most recently added sharer on clean writes. The
+//!   event classification and fan-out it reports look plausible; only the
+//!   post-state structural audit (`DirtyNotExclusive`) sees the lost
+//!   invalidation, two references in.
+//! * [`MisclassifiedHit`] — a correct `Dir_nNB` machine whose *reporting*
+//!   is wrong: clean read misses are booked as read hits, silently zeroing
+//!   their cost. State stays coherent forever; only the event-prediction
+//!   audit (`EventMismatch`) can catch it.
+
+use std::collections::HashMap;
+
+use dirsim_mem::{BlockAddr, CacheId};
+use dirsim_protocol::directory::{DirSpec, DirectoryProtocol};
+use dirsim_protocol::{
+    BlockProbe, BlockState, CoherenceProtocol, DataMovement, EventKind, RefOutcome, StateSnapshot,
+};
+
+#[derive(Debug, Clone, Default)]
+struct Entry {
+    holders: Vec<CacheId>,
+    dirty: bool,
+}
+
+/// Full-map copy-back directory that fails to invalidate the newest
+/// remote sharer on clean writes.
+#[derive(Debug, Clone)]
+pub struct DroppedInvalidate {
+    caches: u32,
+    blocks: HashMap<BlockAddr, Entry>,
+}
+
+impl DroppedInvalidate {
+    /// Creates the mutant for `caches` caches.
+    pub fn new(caches: u32) -> Self {
+        DroppedInvalidate {
+            caches,
+            blocks: HashMap::new(),
+        }
+    }
+}
+
+impl CoherenceProtocol for DroppedInvalidate {
+    fn name(&self) -> String {
+        "DroppedInvalidate".to_string()
+    }
+
+    fn cache_count(&self) -> u32 {
+        self.caches
+    }
+
+    fn on_data_ref(&mut self, cache: CacheId, block: BlockAddr, write: bool) -> RefOutcome {
+        let first_ref = !self.blocks.contains_key(&block);
+        let e = self.blocks.entry(block).or_default();
+        let resident = e.holders.contains(&cache);
+        let remote: Vec<CacheId> = e.holders.iter().copied().filter(|&h| h != cache).collect();
+        let mut out = RefOutcome::default();
+        if !write {
+            if resident {
+                out.event = Some(EventKind::RdHit);
+            } else if first_ref {
+                out.event = Some(EventKind::RmFirstRef);
+                out.movements.push(DataMovement::FillFromMemory { cache });
+                e.holders.push(cache);
+            } else if e.dirty {
+                let owner = e.holders[0];
+                out.event = Some(EventKind::RmBlkDrty);
+                out.movements.push(DataMovement::WriteBack { cache: owner });
+                out.movements.push(DataMovement::FillFromCache {
+                    cache,
+                    supplier: owner,
+                });
+                e.dirty = false;
+                e.holders.push(cache);
+            } else {
+                out.event = Some(EventKind::RmBlkCln);
+                out.movements.push(DataMovement::FillFromMemory { cache });
+                e.holders.push(cache);
+            }
+            return out;
+        }
+        if first_ref {
+            out.event = Some(EventKind::WmFirstRef);
+            out.movements.push(DataMovement::FillFromMemory { cache });
+            out.movements.push(DataMovement::CacheWrite { cache });
+            e.holders.push(cache);
+            e.dirty = true;
+        } else if resident && e.dirty {
+            out.event = Some(EventKind::WhBlkDrty);
+            out.movements.push(DataMovement::CacheWrite { cache });
+        } else if resident {
+            out.event = Some(EventKind::WhBlkCln);
+            out.clean_write_fanout = Some(remote.len() as u32);
+            // THE BUG: the last remote sharer is never invalidated — its
+            // stale copy lives on while the block goes dirty here.
+            for &victim in remote.iter().rev().skip(1) {
+                out.movements
+                    .push(DataMovement::Invalidate { cache: victim });
+            }
+            e.holders
+                .retain(|&h| h == cache || remote.last() == Some(&h));
+            out.movements.push(DataMovement::CacheWrite { cache });
+            e.dirty = true;
+        } else if e.dirty {
+            let owner = e.holders[0];
+            out.event = Some(EventKind::WmBlkDrty);
+            out.movements.push(DataMovement::WriteBack { cache: owner });
+            out.movements.push(DataMovement::FillFromCache {
+                cache,
+                supplier: owner,
+            });
+            out.movements
+                .push(DataMovement::Invalidate { cache: owner });
+            out.movements.push(DataMovement::CacheWrite { cache });
+            e.holders.clear();
+            e.holders.push(cache);
+            e.dirty = true;
+        } else {
+            out.event = Some(EventKind::WmBlkCln);
+            out.clean_write_fanout = Some(remote.len() as u32);
+            out.movements.push(DataMovement::FillFromMemory { cache });
+            // THE BUG, again, on the miss path.
+            for &victim in remote.iter().rev().skip(1) {
+                out.movements
+                    .push(DataMovement::Invalidate { cache: victim });
+            }
+            e.holders.retain(|&h| remote.last() == Some(&h));
+            out.movements.push(DataMovement::CacheWrite { cache });
+            e.holders.push(cache);
+            e.dirty = true;
+        }
+        out
+    }
+
+    fn evict(&mut self, cache: CacheId, block: BlockAddr) -> RefOutcome {
+        let mut out = RefOutcome::default();
+        if let Some(e) = self.blocks.get_mut(&block) {
+            if e.holders.contains(&cache) {
+                if e.dirty {
+                    out.movements.push(DataMovement::WriteBack { cache });
+                    e.dirty = false;
+                }
+                out.movements.push(DataMovement::Invalidate { cache });
+                e.holders.retain(|&h| h != cache);
+            }
+        }
+        out
+    }
+
+    fn probe(&self, block: BlockAddr) -> Option<BlockProbe> {
+        self.blocks.get(&block).map(|e| BlockProbe {
+            holders: e.holders.clone(),
+            dirty: e.dirty,
+        })
+    }
+
+    fn tracked_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    fn snapshot(&self) -> StateSnapshot {
+        StateSnapshot::from_blocks(
+            self.blocks
+                .iter()
+                .map(|(&block, e)| BlockState::basic(block, e.holders.clone(), e.dirty))
+                .collect(),
+        )
+    }
+
+    fn block_state(&self, block: BlockAddr) -> Option<BlockState> {
+        self.blocks
+            .get(&block)
+            .map(|e| BlockState::basic(block, e.holders.clone(), e.dirty))
+    }
+
+    fn boxed_clone(&self) -> Box<dyn CoherenceProtocol> {
+        Box::new(self.clone())
+    }
+}
+
+/// A correct `Dir_nNB` machine whose event reporting books clean read
+/// misses as read hits.
+#[derive(Debug, Clone)]
+pub struct MisclassifiedHit {
+    inner: DirectoryProtocol,
+}
+
+impl MisclassifiedHit {
+    /// Creates the mutant for `caches` caches.
+    pub fn new(caches: u32) -> Self {
+        MisclassifiedHit {
+            inner: DirectoryProtocol::new(DirSpec::dir_n_nb(), caches),
+        }
+    }
+}
+
+impl CoherenceProtocol for MisclassifiedHit {
+    fn name(&self) -> String {
+        "MisclassifiedHit".to_string()
+    }
+
+    fn cache_count(&self) -> u32 {
+        self.inner.cache_count()
+    }
+
+    fn on_data_ref(&mut self, cache: CacheId, block: BlockAddr, write: bool) -> RefOutcome {
+        let mut out = self.inner.on_data_ref(cache, block, write);
+        if out.event == Some(EventKind::RmBlkCln) {
+            // THE BUG: a coherence miss priced as a free hit.
+            out.event = Some(EventKind::RdHit);
+        }
+        out
+    }
+
+    fn evict(&mut self, cache: CacheId, block: BlockAddr) -> RefOutcome {
+        self.inner.evict(cache, block)
+    }
+
+    fn probe(&self, block: BlockAddr) -> Option<BlockProbe> {
+        self.inner.probe(block)
+    }
+
+    fn tracked_blocks(&self) -> usize {
+        self.inner.tracked_blocks()
+    }
+
+    fn snapshot(&self) -> StateSnapshot {
+        self.inner.snapshot()
+    }
+
+    fn block_state(&self, block: BlockAddr) -> Option<BlockState> {
+        self.inner.block_state(block)
+    }
+
+    fn boxed_clone(&self) -> Box<dyn CoherenceProtocol> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(i: u32) -> CacheId {
+        CacheId::new(i)
+    }
+
+    const B: BlockAddr = BlockAddr::new(0);
+
+    #[test]
+    fn dropped_invalidate_leaves_a_stale_sharer() {
+        let mut p = DroppedInvalidate::new(3);
+        p.on_data_ref(c(1), B, false);
+        p.on_data_ref(c(0), B, true);
+        let probe = p.probe(B).unwrap();
+        assert!(probe.dirty);
+        assert_eq!(probe.holders.len(), 2, "the stale sharer was kept");
+    }
+
+    #[test]
+    fn misclassified_hit_reports_rd_hit_for_a_clean_miss() {
+        let mut p = MisclassifiedHit::new(3);
+        p.on_data_ref(c(0), B, false);
+        let out = p.on_data_ref(c(1), B, false);
+        assert_eq!(out.event, Some(EventKind::RdHit));
+    }
+}

@@ -65,7 +65,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut buf = Vec::new();
     let parsed: Vec<MemRef> = read_text(text.as_bytes()).collect::<Result<_, _>>()?;
     write_text(&mut buf, parsed.iter().copied())?;
-    println!("hand-written trace ({} refs):\n{}", parsed.len(), String::from_utf8_lossy(&buf));
+    println!(
+        "hand-written trace ({} refs):\n{}",
+        parsed.len(),
+        String::from_utf8_lossy(&buf)
+    );
 
     let mut protocol = Scheme::Directory(DirSpec::dir0_b()).build(2);
     let result = sim.run(protocol.as_mut(), parsed)?;

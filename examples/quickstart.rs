@@ -41,8 +41,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let pipelined = CostModel::pipelined();
     let dir0b = results.scheme("Dir0B").expect("simulated");
     let dragon = results.scheme("Dragon").expect("simulated");
-    let ratio = dir0b.combined.cycles_per_ref(pipelined)
-        / dragon.combined.cycles_per_ref(pipelined);
+    let ratio =
+        dir0b.combined.cycles_per_ref(pipelined) / dragon.combined.cycles_per_ref(pipelined);
     println!(
         "Dir0B uses {ratio:.2}x the bus cycles of Dragon (paper: ~1.5x) — \
          directory schemes are competitive with the best snoopy scheme."

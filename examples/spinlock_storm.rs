@@ -40,7 +40,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ];
 
     println!("contention sweep (pipelined bus cycles per reference):\n");
-    println!("{:>12} {:>10} {:>10} {:>10} {:>10}", "contention", "lock/reads", "Dir1NB", "Dir0B", "Dragon");
+    println!(
+        "{:>12} {:>10} {:>10} {:>10} {:>10}",
+        "contention", "lock/reads", "Dir1NB", "Dir0B", "Dragon"
+    );
     for (label, p, cs) in [
         ("none", 0.0, 50u32),
         ("light", 0.002, 100),

@@ -15,7 +15,10 @@ fn headline(refs: usize) -> ExperimentResults {
 }
 
 fn combined<'a>(results: &'a ExperimentResults, name: &str) -> &'a dirsim::SimResult {
-    &results.scheme(name).unwrap_or_else(|| panic!("{name} missing")).combined
+    &results
+        .scheme(name)
+        .unwrap_or_else(|| panic!("{name} missing"))
+        .combined
 }
 
 #[test]
@@ -122,8 +125,7 @@ fn reads_and_writes_agree_across_schemes() {
         );
         // Cold misses are a property of the trace, not the scheme.
         assert_eq!(
-            s.combined.events[EventKind::RmFirstRef]
-                + s.combined.events[EventKind::WmFirstRef],
+            s.combined.events[EventKind::RmFirstRef] + s.combined.events[EventKind::WmFirstRef],
             first.events[EventKind::RmFirstRef] + first.events[EventKind::WmFirstRef]
         );
     }
@@ -151,7 +153,11 @@ fn first_ref_events_cost_nothing() {
 fn dragon_never_invalidates() {
     let results = headline(REFS);
     let dragon = combined(&results, "Dragon");
-    assert_eq!(dragon.fanout.total(), 0, "update protocol records no fan-out");
+    assert_eq!(
+        dragon.fanout.total(),
+        0,
+        "update protocol records no fan-out"
+    );
     assert_eq!(dragon.events[EventKind::WhBlkCln], 0);
     assert_eq!(dragon.ops[BusOp::Invalidate], 0);
     assert_eq!(dragon.ops[BusOp::BroadcastInvalidate], 0);
@@ -163,7 +169,11 @@ fn dir1nb_never_needs_directory_or_broadcast() {
     let results = headline(REFS);
     let dir1nb = combined(&results, "Dir1NB");
     assert_eq!(dir1nb.ops[BusOp::DirLookup], 0, "always overlapped (§4.3)");
-    assert_eq!(dir1nb.ops[BusOp::BroadcastInvalidate], 0, "NB never broadcasts");
+    assert_eq!(
+        dir1nb.ops[BusOp::BroadcastInvalidate],
+        0,
+        "NB never broadcasts"
+    );
 }
 
 #[test]
@@ -205,7 +215,11 @@ fn lock_filtering_leaves_dir0b_roughly_unchanged() {
 fn sharing_models_agree_without_migration() {
     // With processes pinned to processors, per-process and per-processor
     // attribution are the same partition, so results are identical.
-    let cfg = WorkloadConfig::builder().seed(11).migration_prob(0.0).build().unwrap();
+    let cfg = WorkloadConfig::builder()
+        .seed(11)
+        .migration_prob(0.0)
+        .build()
+        .unwrap();
     let refs: Vec<MemRef> = Workload::new(cfg).take(20_000).collect();
     let mut by_process = Scheme::Directory(DirSpec::dir0_b()).build(4);
     let mut by_processor = Scheme::Directory(DirSpec::dir0_b()).build(4);
@@ -321,8 +335,7 @@ fn finite_cache_storage_composes_with_block_map() {
     // plugs into the same block addressing.
     use dirsim_mem::{CacheGeometry, CacheStorage, FiniteCache};
     let map = BlockMap::paper();
-    let mut cache: FiniteCache<u8> =
-        FiniteCache::new(CacheGeometry { sets: 16, ways: 2 }).unwrap();
+    let mut cache: FiniteCache<u8> = FiniteCache::new(CacheGeometry { sets: 16, ways: 2 }).unwrap();
     let mut evictions = 0;
     for r in PaperTrace::Pops.workload().take(20_000) {
         if r.kind.is_data() {
@@ -332,7 +345,10 @@ fn finite_cache_storage_composes_with_block_map() {
             }
         }
     }
-    assert!(evictions > 0, "a small cache must evict under this workload");
+    assert!(
+        evictions > 0,
+        "a small cache must evict under this workload"
+    );
     assert!(cache.len() <= cache.capacity());
 }
 
@@ -436,12 +452,12 @@ fn false_sharing_is_a_block_granularity_artifact() {
 /// Exists to prove the oracle is a real check, not a rubber stamp.
 mod broken {
     use dirsim_mem::{BlockAddr, CacheId};
-    use dirsim_protocol::api::{BlockProbe, CoherenceProtocol};
+    use dirsim_protocol::api::{BlockProbe, BlockState, CoherenceProtocol, StateSnapshot};
     use dirsim_protocol::ops::{BusOp, DataMovement, RefOutcome};
     use dirsim_protocol::EventKind;
     use std::collections::HashMap;
 
-    #[derive(Debug, Default)]
+    #[derive(Debug, Clone, Default)]
     pub struct ForgotInvalidations {
         holders: HashMap<BlockAddr, Vec<CacheId>>,
     }
@@ -494,6 +510,19 @@ mod broken {
         fn tracked_blocks(&self) -> usize {
             self.holders.len()
         }
+
+        fn snapshot(&self) -> StateSnapshot {
+            StateSnapshot::from_blocks(
+                self.holders
+                    .iter()
+                    .map(|(&block, h)| BlockState::basic(block, h.clone(), false))
+                    .collect(),
+            )
+        }
+
+        fn boxed_clone(&self) -> Box<dyn CoherenceProtocol> {
+            Box::new(self.clone())
+        }
     }
 }
 
@@ -510,8 +539,11 @@ fn the_oracle_catches_a_protocol_that_forgets_invalidations() {
         MemRef::read(CpuId::new(0), p0, Addr::new(0x40)),
     ];
     let mut broken = broken::ForgotInvalidations::default();
+    // Invariant auditing off: it would catch this mutant earlier (at the
+    // un-propagated write); this test is about the *oracle* check.
     let err = Simulator::new(SimConfig {
         check_oracle: true,
+        check_invariants: false,
         ..SimConfig::default()
     })
     .run(&mut broken, refs.clone())

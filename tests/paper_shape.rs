@@ -165,9 +165,8 @@ fn section51_fixed_overhead_narrows_the_gap() {
     let model = CostModel::pipelined();
     let dir0b = results.scheme("Dir0B").unwrap().combined.breakdown(model);
     let dragon = results.scheme("Dragon").unwrap().combined.breakdown(model);
-    let gap_at = |q: f64| {
-        dir0b.cycles_per_ref_with_overhead(q) / dragon.cycles_per_ref_with_overhead(q)
-    };
+    let gap_at =
+        |q: f64| dir0b.cycles_per_ref_with_overhead(q) / dragon.cycles_per_ref_with_overhead(q);
     assert!(
         gap_at(1.0) < gap_at(0.0),
         "fixed overhead must narrow the Dir0B-Dragon gap: q0={:.3} q1={:.3}",
@@ -206,7 +205,10 @@ fn section6_sequential_invalidation_is_nearly_free() {
     let results = dirsim::paper::extended_experiment(REFS).run().unwrap();
     let dir0b = pipelined(&results, "Dir0B");
     let dirn = pipelined(&results, "DirnNB");
-    assert!(dirn >= dir0b * 0.99, "sequential can't be cheaper than broadcast");
+    assert!(
+        dirn >= dir0b * 0.99,
+        "sequential can't be cheaper than broadcast"
+    );
     assert!(
         dirn < dir0b * 1.10,
         "DirnNB {dirn:.4} should be within 10% of Dir0B {dir0b:.4}"

@@ -10,15 +10,8 @@ use dirsim_protocol::directory::EvictionPolicy;
 use dirsim_trace::RefFlags;
 
 /// A compact random reference: (cpu/pid index, block index, is-write).
-fn raw_refs(
-    caches: u32,
-    blocks: u64,
-    len: usize,
-) -> impl Strategy<Value = Vec<(u32, u64, bool)>> {
-    prop::collection::vec(
-        (0..caches, 0..blocks, any::<bool>()),
-        1..len,
-    )
+fn raw_refs(caches: u32, blocks: u64, len: usize) -> impl Strategy<Value = Vec<(u32, u64, bool)>> {
+    prop::collection::vec((0..caches, 0..blocks, any::<bool>()), 1..len)
 }
 
 fn all_schemes() -> Vec<Scheme> {
