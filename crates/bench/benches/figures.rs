@@ -14,7 +14,7 @@ const REFS: usize = 50_000;
 /// Figure 1: the invalidation fan-out histogram (Dir0B state model).
 fn bench_figure1(c: &mut Criterion) {
     let results = paper::headline_experiment(REFS).run().unwrap();
-    println!("{}", report::render_figure1(&results, "Dir0B"));
+    println!("{}", report::render_figure1(&results, Scheme::dir0_b()));
     let refs: Vec<MemRef> = PaperTrace::Pops.workload().take(REFS).collect();
     c.bench_function("fig1/fanout_histogram", |b| {
         b.iter_batched(
@@ -71,7 +71,7 @@ fn bench_sweeps(c: &mut Criterion) {
         })
         .collect();
     println!("{}", report::render_q_sweep(&lines));
-    let dir1b = results.scheme("Dir1B").unwrap().combined.clone();
+    let dir1b = results[Scheme::dir1_b()].combined.clone();
     let points = paper::broadcast_sensitivity(&dir1b, &[1, 2, 4, 8, 16, 32]);
     println!("{}", report::render_broadcast_sweep("Dir1B", &points));
 

@@ -62,7 +62,7 @@ fn bench_table5(c: &mut Criterion) {
         report::render_table5(&results, CostModel::non_pipelined())
     );
     // Cost application is the cheap part (the paper's point): bench it.
-    let dir0b = results.scheme("Dir0B").unwrap().combined.clone();
+    let dir0b = results[Scheme::dir0_b()].combined.clone();
     c.bench_function("table5/price_ops", |b| {
         b.iter(|| {
             let bd = dir0b.breakdown(CostModel::pipelined());

@@ -97,11 +97,38 @@ fn bench_oracle_overhead(c: &mut Criterion) {
     group.finish();
 }
 
+/// The tentpole comparison: the full headline matrix (3 traces × 4
+/// schemes at 200k refs/trace) under each execution path. `serial`
+/// regenerates and re-simulates per scheme; `single_pass` streams each
+/// trace once through all schemes; `sharded` additionally partitions by
+/// block address across workers. Throughput is engine steps per second
+/// (references × schemes).
+fn bench_execution_modes(c: &mut Criterion) {
+    const MATRIX_REFS: usize = 200_000;
+    let exp = dirsim::paper::headline_experiment(MATRIX_REFS);
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let steps = (MATRIX_REFS * exp.workload_count() * exp.scheme_count()) as u64;
+    let mut group = c.benchmark_group("throughput/full_matrix_200k");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(steps));
+    for (label, mode) in [
+        ("serial", ExecutionMode::Serial),
+        ("single_pass", ExecutionMode::SinglePass),
+        ("sharded", ExecutionMode::Sharded { workers }),
+    ] {
+        group.bench_function(label, |b| b.iter(|| exp.run_with(mode).unwrap()));
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_generator,
     bench_trace_io,
     bench_protocols,
-    bench_oracle_overhead
+    bench_oracle_overhead,
+    bench_execution_modes
 );
 criterion_main!(benches);

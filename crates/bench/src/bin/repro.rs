@@ -69,7 +69,7 @@ fn main() -> ExitCode {
     let headline = match paper::headline_experiment(refs).run_parallel() {
         Ok(r) => r,
         Err(e) => {
-            eprintln!("simulation failed: {e}");
+            dirsim_bench::report_error("repro", &e);
             return ExitCode::FAILURE;
         }
     };
@@ -77,7 +77,7 @@ fn main() -> ExitCode {
     let extended = match paper::extended_experiment(refs).run_parallel() {
         Ok(r) => r,
         Err(e) => {
-            eprintln!("simulation failed: {e}");
+            dirsim_bench::report_error("repro", &e);
             return ExitCode::FAILURE;
         }
     };

@@ -31,7 +31,7 @@ struct Options {
     finite: Option<CacheGeometry>,
 }
 
-fn parse_args() -> Result<Options, String> {
+fn parse_args() -> Result<Options, Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let usage = "usage: simulate <scheme> <trace> [--caches N] [--oracle] \
                  [--block BYTES] [--per-processor] [--finite SETSxWAYS]";
@@ -83,17 +83,17 @@ fn parse_args() -> Result<Options, String> {
         i += 1;
     }
     let [scheme, path] = &positional[..] else {
-        return Err(usage.to_string());
+        return Err(usage.into());
     };
     opts.schemes = scheme
         .split(',')
-        .map(|tok| tok.parse().map_err(|e| format!("{e}")))
-        .collect::<Result<Vec<Scheme>, String>>()?;
+        .map(str::parse)
+        .collect::<Result<Vec<Scheme>, _>>()?;
     opts.path = path.clone();
     Ok(opts)
 }
 
-fn run() -> Result<(), String> {
+fn run() -> Result<(), Box<dyn std::error::Error>> {
     let opts = parse_args()?;
     let file = File::open(&opts.path).map_err(|e| format!("{}: {e}", opts.path))?;
     let refs: Vec<MemRef> = if opts.path.ends_with(".txt") || opts.path.ends_with(".trace") {
@@ -102,10 +102,9 @@ fn run() -> Result<(), String> {
         read_compressed(BufReader::new(file)).collect::<Result<_, _>>()
     } else {
         read_binary(BufReader::new(file)).collect::<Result<_, _>>()
-    }
-    .map_err(|e| e.to_string())?;
+    }?;
     if refs.is_empty() {
-        return Err("trace is empty".to_string());
+        return Err("trace is empty".into());
     }
 
     let stats = TraceStats::from_refs(refs.iter().copied());
@@ -117,7 +116,7 @@ fn run() -> Result<(), String> {
         }
     });
     let config = SimConfig {
-        block_map: BlockMap::new(opts.block_bytes).map_err(|e| e.to_string())?,
+        block_map: BlockMap::new(opts.block_bytes)?,
         sharing: if opts.per_processor {
             SharingModel::PerProcessor
         } else {
@@ -136,9 +135,7 @@ fn run() -> Result<(), String> {
         );
         for &scheme in &opts.schemes {
             let mut protocol = scheme.build(caches);
-            let result = Simulator::new(config)
-                .run(protocol.as_mut(), refs.iter().copied())
-                .map_err(|e| e.to_string())?;
+            let result = Simulator::new(config).run(protocol.as_mut(), refs.iter().copied())?;
             let bd = result.breakdown(CostModel::pipelined());
             println!(
                 "{:>14} {:>12.4} {:>12.4} {:>10.4} {:>9.3}%",
@@ -153,9 +150,7 @@ fn run() -> Result<(), String> {
     }
 
     let mut protocol = opts.schemes[0].build(caches);
-    let result = Simulator::new(config)
-        .run(protocol.as_mut(), refs)
-        .map_err(|e| e.to_string())?;
+    let result = Simulator::new(config).run(protocol.as_mut(), refs)?;
 
     println!("trace:    {} ({stats})", opts.path);
     println!(
@@ -215,8 +210,8 @@ fn run() -> Result<(), String> {
 fn main() -> ExitCode {
     match run() {
         Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
-            eprintln!("{msg}");
+        Err(err) => {
+            dirsim_bench::report_error("simulate", err.as_ref());
             ExitCode::FAILURE
         }
     }

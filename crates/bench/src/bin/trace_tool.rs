@@ -54,7 +54,7 @@ fn write_refs(path: &str, refs: &[MemRef]) -> Result<u64, TraceIoError> {
     Ok(n)
 }
 
-fn run() -> Result<(), String> {
+fn run() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let usage = "usage: trace_tool <gen|convert|stats|strip-locks|head> ... (see --help)";
     match args.first().map(String::as_str) {
@@ -66,11 +66,11 @@ fn run() -> Result<(), String> {
                 "pops" => PaperTrace::Pops,
                 "thor" => PaperTrace::Thor,
                 "pero" => PaperTrace::Pero,
-                other => return Err(format!("unknown preset {other}")),
+                other => return Err(format!("unknown preset {other}").into()),
             };
             let n: usize = refs.parse().map_err(|_| "refs must be a number")?;
             let refs: Vec<MemRef> = trace.workload().take(n).collect();
-            let written = write_refs(out, &refs).map_err(|e| e.to_string())?;
+            let written = write_refs(out, &refs)?;
             eprintln!("wrote {written} references to {out}");
             Ok(())
         }
@@ -78,8 +78,8 @@ fn run() -> Result<(), String> {
             let [_, input, output] = &args[..] else {
                 return Err("usage: trace_tool convert <in> <out>".into());
             };
-            let refs = read_refs(input).map_err(|e| e.to_string())?;
-            let written = write_refs(output, &refs).map_err(|e| e.to_string())?;
+            let refs = read_refs(input)?;
+            let written = write_refs(output, &refs)?;
             eprintln!("converted {written} references {input} -> {output}");
             Ok(())
         }
@@ -87,7 +87,7 @@ fn run() -> Result<(), String> {
             let [_, input] = &args[..] else {
                 return Err("usage: trace_tool stats <in>".into());
             };
-            let refs = read_refs(input).map_err(|e| e.to_string())?;
+            let refs = read_refs(input)?;
             let stats = TraceStats::from_refs(refs);
             println!("{stats}");
             println!(
@@ -101,10 +101,10 @@ fn run() -> Result<(), String> {
             let [_, input, output] = &args[..] else {
                 return Err("usage: trace_tool strip-locks <in> <out>".into());
             };
-            let refs = read_refs(input).map_err(|e| e.to_string())?;
+            let refs = read_refs(input)?;
             let before = refs.len();
             let filtered: Vec<MemRef> = without_lock_tests(refs).collect();
-            write_refs(output, &filtered).map_err(|e| e.to_string())?;
+            write_refs(output, &filtered)?;
             eprintln!(
                 "dropped {} lock-test reads ({} -> {})",
                 before - filtered.len(),
@@ -118,9 +118,9 @@ fn run() -> Result<(), String> {
                 return Err("usage: trace_tool head <n> <in>".into());
             };
             let n: usize = n.parse().map_err(|_| "n must be a number")?;
-            let refs = read_refs(input).map_err(|e| e.to_string())?;
+            let refs = read_refs(input)?;
             let mut stdout = std::io::stdout().lock();
-            write_text(&mut stdout, refs.into_iter().take(n)).map_err(|e| e.to_string())?;
+            write_text(&mut stdout, refs.into_iter().take(n))?;
             Ok(())
         }
         _ => Err(usage.into()),
@@ -130,8 +130,8 @@ fn run() -> Result<(), String> {
 fn main() -> ExitCode {
     match run() {
         Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
-            eprintln!("{msg}");
+        Err(err) => {
+            dirsim_bench::report_error("trace_tool", err.as_ref());
             ExitCode::FAILURE
         }
     }

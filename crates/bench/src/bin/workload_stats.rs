@@ -54,7 +54,7 @@ fn main() -> ExitCode {
     println!();
     print!("{}", report::render_table4(&results));
     println!();
-    print!("{}", report::render_figure1(&results, "Dir0B"));
+    print!("{}", report::render_figure1(&results, Scheme::dir0_b()));
     println!();
     let model = CostModel::pipelined();
     for s in &results.per_scheme {

@@ -79,7 +79,7 @@ pub fn render_artifact(
         "table3" => report::render_table3(headline),
         "table4" => report::render_table4(headline),
         "table5" => report::render_table5(headline, pipelined),
-        "fig1" => report::render_figure1(headline, "Dir0B"),
+        "fig1" => report::render_figure1(headline, Scheme::dir0_b()),
         "fig2" => report::render_figure2(headline),
         "fig3" => report::render_figure3(headline),
         "fig4" => report::render_figure4(headline, pipelined),
@@ -157,19 +157,19 @@ pub fn render_artifact(
                 "Section 6a: broadcast vs sequential invalidation vs limited broadcast",
             );
             table.headers(["scheme", "cycles/ref (pipelined)"]);
-            for name in [
-                "Dir0B",
-                "DirnNB",
-                "Dir1B",
-                "CoarseVector",
-                "Berkeley",
-                "Illinois",
-                "Dragon",
-                "DirUpd",
+            for scheme in [
+                Scheme::dir0_b(),
+                Scheme::dir_n_nb(),
+                Scheme::dir1_b(),
+                Scheme::CoarseVector,
+                Scheme::Berkeley,
+                Scheme::Illinois,
+                Scheme::Dragon,
+                Scheme::DirUpdate,
             ] {
-                if let Some(s) = extended.scheme(name) {
+                if let Some(s) = extended.get(scheme) {
                     table.row([
-                        name.to_string(),
+                        scheme.to_string(),
                         format!("{:.4}", s.combined.cycles_per_ref(pipelined)),
                     ]);
                 }
@@ -177,9 +177,7 @@ pub fn render_artifact(
             table.render()
         }
         "sec6b" => {
-            let dir1b = extended
-                .scheme("Dir1B")
-                .expect("Dir1B simulated in extended experiment");
+            let dir1b = &extended[Scheme::dir1_b()];
             let points = paper::broadcast_sensitivity(&dir1b.combined, &[1, 2, 4, 8, 16, 32]);
             report::render_broadcast_sweep("Dir1B", &points)
         }
@@ -254,7 +252,7 @@ pub fn csv_artifacts(
 
     // Figure 1: fan-out histogram.
     let mut csv = String::from("fanout,count,fraction\n");
-    if let Some(s) = headline.scheme("Dir0B") {
+    if let Some(s) = headline.get(Scheme::dir0_b()) {
         for (k, count) in s.combined.fanout.iter() {
             let _ = writeln!(csv, "{k},{count},{}", s.combined.fanout.fraction(k));
         }
@@ -317,7 +315,7 @@ pub fn csv_artifacts(
 
     // §6b broadcast sweep for Dir1B.
     let mut csv = String::from("b,cycles_per_ref\n");
-    if let Some(dir1b) = extended.scheme("Dir1B") {
+    if let Some(dir1b) = extended.get(Scheme::dir1_b()) {
         for (b, v) in paper::broadcast_sensitivity(&dir1b.combined, &[1, 2, 4, 8, 16, 32]) {
             let _ = writeln!(csv, "{b},{v}");
         }
@@ -325,6 +323,19 @@ pub fn csv_artifacts(
     out.push(("sec6b_broadcast.csv".to_string(), csv));
 
     out
+}
+
+/// Prints an error and its full `source()` chain to stderr, one cause per
+/// line — shared by the command-line binaries so trace, config and
+/// simulation failures keep their context instead of being flattened to a
+/// single string.
+pub fn report_error(program: &str, err: &dyn std::error::Error) {
+    eprintln!("{program}: {err}");
+    let mut source = err.source();
+    while let Some(cause) = source {
+        eprintln!("  caused by: {cause}");
+        source = cause.source();
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,512 @@
+//! The single-pass, block-sharded multi-protocol engine.
+//!
+//! The paper's methodology (§4) measures protocol-independent event
+//! frequencies by replaying the *same* interleaved trace under every
+//! scheme. [`BroadcastSimulator`] does that in one pass: a
+//! [`TraceSource`] is decoded (or generated) chunk by chunk exactly once,
+//! and every chunk is fanned out to one protocol state machine per
+//! requested scheme. Memory stays bounded by the chunk size regardless of
+//! trace length, and an N-scheme matrix pays for one trace generation
+//! instead of N.
+//!
+//! ## Block sharding
+//!
+//! With `workers > 1` the reference stream is additionally partitioned by
+//! block address (`block % workers`) and each partition is simulated on
+//! its own `std::thread` worker. This is *exact*, not approximate, under
+//! the paper's infinite-cache model: every protocol here keeps its
+//! coherence state strictly per block (a directory entry, a sharer set, a
+//! dirty bit), so the events, bus operations, and fan-outs produced by
+//! references to block `b` depend only on the subsequence of references
+//! to `b` — which sharding preserves in order. Per-shard counters are
+//! then summed, and since every counter is a commutative sum the merged
+//! totals are bit-identical to a serial run. Finite caches break this
+//! (LRU couples blocks that share a set), so sharded execution rejects
+//! [`SimConfig::geometry`]`: Some` with a typed error.
+//!
+//! ```
+//! use dirsim::broadcast::BroadcastSimulator;
+//! use dirsim::SimConfig;
+//! use dirsim_protocol::Scheme;
+//! use dirsim_trace::source::IterSource;
+//! use dirsim_trace::synth::PaperTrace;
+//!
+//! # fn main() -> Result<(), dirsim::Error> {
+//! let schemes = Scheme::paper_lineup();
+//! let source = IterSource::new(PaperTrace::Pops.workload().take(20_000));
+//! let results = BroadcastSimulator::new(SimConfig::default())
+//!     .workers(2)
+//!     .run(&schemes, 4, source)?;
+//! assert_eq!(results.len(), 4);
+//! assert!(results.iter().all(|r| r.refs == 20_000));
+//! # Ok(())
+//! # }
+//! ```
+
+use std::sync::mpsc;
+
+use dirsim_protocol::{CoherenceProtocol, Scheme};
+use dirsim_trace::source::TraceSource;
+use dirsim_trace::MemRef;
+
+use crate::engine::{Lane, SimConfig, SimConfigError, SimError, SimResult, StepFailure};
+use crate::error::{Error, InvariantError};
+
+/// Default number of references decoded per chunk.
+///
+/// Large enough that cycling every lane's protocol state once per chunk
+/// amortises (each switch re-warms that protocol's per-block tables from
+/// cache); small enough that the chunk buffer stays well bounded
+/// (32k × 16-byte records = 512 KiB).
+pub const DEFAULT_CHUNK: usize = 32_768;
+
+/// Capacity (in batches) of each shard's bounded channel.
+const SHARD_CHANNEL_DEPTH: usize = 4;
+
+/// One protocol instance plus its accumulation lane.
+struct SchemeLane {
+    protocol: Box<dyn CoherenceProtocol>,
+    lane: Lane,
+}
+
+impl SchemeLane {
+    fn new(config: &SimConfig, scheme: Scheme, caches: u32) -> Self {
+        let protocol = scheme.build(caches);
+        let lane = Lane::new(config, protocol.name());
+        SchemeLane { protocol, lane }
+    }
+
+    #[inline]
+    fn step(&mut self, config: &SimConfig, r: MemRef) -> Result<(), Error> {
+        let index = self.lane.next_index();
+        match self.lane.step(config, self.protocol.as_mut(), r) {
+            Ok(()) => Ok(()),
+            Err(failure) => Err(step_error(self.protocol.name(), index, failure)),
+        }
+    }
+
+    fn finish(self) -> SimResult {
+        self.lane.finish(self.protocol.as_ref())
+    }
+}
+
+#[cold]
+fn step_error(scheme: String, ref_index: u64, failure: StepFailure) -> Error {
+    match failure {
+        StepFailure::Invariant { violation, .. } => Error::Invariant(InvariantError {
+            scheme,
+            ref_index,
+            violation,
+        }),
+        StepFailure::Oracle(violation) => Error::Sim(SimError {
+            scheme,
+            ref_index,
+            violation,
+        }),
+    }
+}
+
+/// Drives one reference stream through many protocols in lockstep (see
+/// module docs).
+#[derive(Debug, Clone)]
+pub struct BroadcastSimulator {
+    config: SimConfig,
+    chunk: usize,
+    workers: usize,
+}
+
+impl Default for BroadcastSimulator {
+    fn default() -> Self {
+        BroadcastSimulator::new(SimConfig::default())
+    }
+}
+
+impl BroadcastSimulator {
+    /// Creates a single-worker broadcast engine with the given
+    /// configuration and the default chunk size.
+    pub fn new(config: SimConfig) -> Self {
+        BroadcastSimulator {
+            config,
+            chunk: DEFAULT_CHUNK,
+            workers: 1,
+        }
+    }
+
+    /// Creates an engine with the paper's default configuration.
+    pub fn paper() -> Self {
+        BroadcastSimulator::default()
+    }
+
+    /// Sets the number of references decoded per chunk.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `refs == 0`.
+    pub fn chunk_size(mut self, refs: usize) -> Self {
+        assert!(refs > 0, "chunk size must be positive");
+        self.chunk = refs;
+        self
+    }
+
+    /// Sets the number of block-shard workers. `1` (the default) runs
+    /// single-pass on the calling thread; more shards the stream by block
+    /// address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers == 0`.
+    pub fn workers(mut self, workers: usize) -> Self {
+        assert!(workers > 0, "need at least one worker");
+        self.workers = workers;
+        self
+    }
+
+    /// The active engine configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// Runs every scheme over the stream, returning one [`SimResult`] per
+    /// scheme in `schemes` order.
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`Error`] for trace decode failures, oracle
+    /// violations, invariant violations, or a sharded run over finite
+    /// caches. Under sharded execution, `ref_index` in an error is
+    /// relative to the failing shard's subsequence, not the global
+    /// stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `schemes` is empty.
+    pub fn run<S>(
+        &self,
+        schemes: &[Scheme],
+        caches: u32,
+        source: S,
+    ) -> Result<Vec<SimResult>, Error>
+    where
+        S: TraceSource,
+    {
+        self.run_observed(schemes, caches, source, |_| {})
+    }
+
+    /// Like [`run`](Self::run), but additionally calls `observe` for every
+    /// reference, in stream order, on the calling thread — the hook the
+    /// experiment harness uses to accumulate
+    /// [`TraceStats`](dirsim_trace::TraceStats) without a second pass.
+    ///
+    /// # Errors
+    ///
+    /// See [`run`](Self::run).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `schemes` is empty.
+    pub fn run_observed<S, F>(
+        &self,
+        schemes: &[Scheme],
+        caches: u32,
+        mut source: S,
+        mut observe: F,
+    ) -> Result<Vec<SimResult>, Error>
+    where
+        S: TraceSource,
+        F: FnMut(&MemRef),
+    {
+        assert!(!schemes.is_empty(), "broadcast run needs schemes");
+        if self.workers <= 1 {
+            self.run_single(schemes, caches, &mut source, &mut observe)
+        } else {
+            if self.config.geometry.is_some() {
+                return Err(Error::Config(SimConfigError::ShardedFiniteCache));
+            }
+            self.run_sharded(schemes, caches, &mut source, &mut observe)
+        }
+    }
+
+    fn run_single(
+        &self,
+        schemes: &[Scheme],
+        caches: u32,
+        source: &mut dyn TraceSource,
+        observe: &mut dyn FnMut(&MemRef),
+    ) -> Result<Vec<SimResult>, Error> {
+        let mut lanes: Vec<SchemeLane> = schemes
+            .iter()
+            .map(|&s| SchemeLane::new(&self.config, s, caches))
+            .collect();
+        let mut buf = Vec::with_capacity(self.chunk);
+        loop {
+            let n = source.read_chunk(&mut buf, self.chunk)?;
+            if n == 0 {
+                break;
+            }
+            for r in &buf {
+                observe(r);
+            }
+            for lane in lanes.iter_mut() {
+                for &r in &buf {
+                    lane.step(&self.config, r)?;
+                }
+            }
+        }
+        Ok(lanes.into_iter().map(SchemeLane::finish).collect())
+    }
+
+    fn run_sharded(
+        &self,
+        schemes: &[Scheme],
+        caches: u32,
+        source: &mut dyn TraceSource,
+        observe: &mut dyn FnMut(&MemRef),
+    ) -> Result<Vec<SimResult>, Error> {
+        let workers = self.workers;
+        let config = self.config;
+        let chunk = self.chunk;
+
+        let per_worker: Result<Vec<Vec<SimResult>>, Error> = std::thread::scope(|scope| {
+            let mut txs = Vec::with_capacity(workers);
+            let mut handles = Vec::with_capacity(workers);
+            for _ in 0..workers {
+                let (tx, rx) = mpsc::sync_channel::<Vec<MemRef>>(SHARD_CHANNEL_DEPTH);
+                txs.push(tx);
+                handles.push(scope.spawn(move || -> Result<Vec<SimResult>, Error> {
+                    let mut lanes: Vec<SchemeLane> = schemes
+                        .iter()
+                        .map(|&s| SchemeLane::new(&config, s, caches))
+                        .collect();
+                    for batch in rx {
+                        for lane in lanes.iter_mut() {
+                            for &r in &batch {
+                                lane.step(&config, r)?;
+                            }
+                        }
+                    }
+                    Ok(lanes.into_iter().map(SchemeLane::finish).collect())
+                }));
+            }
+
+            // The main thread decodes each chunk exactly once and routes
+            // every reference to its block's shard. Routing by block (not
+            // by hash) keeps the assignment deterministic, so per-shard
+            // subsequences — and therefore merged counters — are
+            // reproducible run to run.
+            let mut buf = Vec::with_capacity(chunk);
+            let mut staging: Vec<Vec<MemRef>> =
+                (0..workers).map(|_| Vec::with_capacity(chunk)).collect();
+            let mut source_err: Option<Error> = None;
+            loop {
+                match source.read_chunk(&mut buf, chunk) {
+                    Ok(0) => break,
+                    Ok(_) => {}
+                    Err(e) => {
+                        source_err = Some(Error::TraceIo(e));
+                        break;
+                    }
+                }
+                for r in &buf {
+                    observe(r);
+                    let block = config.block_map.block_of(r.addr);
+                    let shard = (block.raw() % workers as u64) as usize;
+                    staging[shard].push(*r);
+                }
+                for (shard, pending) in staging.iter_mut().enumerate() {
+                    if pending.len() >= chunk {
+                        let batch = std::mem::replace(pending, Vec::with_capacity(chunk));
+                        // A closed channel means the worker already failed;
+                        // its error surfaces at join.
+                        let _ = txs[shard].send(batch);
+                    }
+                }
+            }
+            for (pending, tx) in staging.into_iter().zip(&txs) {
+                if !pending.is_empty() {
+                    let _ = tx.send(pending);
+                }
+            }
+            drop(txs);
+
+            let mut results = Vec::with_capacity(workers);
+            let mut worker_err: Option<Error> = None;
+            for handle in handles {
+                match handle.join().expect("shard worker panicked") {
+                    Ok(shard_results) => results.push(shard_results),
+                    Err(e) => {
+                        if worker_err.is_none() {
+                            worker_err = Some(e);
+                        }
+                    }
+                }
+            }
+            if let Some(e) = source_err {
+                return Err(e);
+            }
+            if let Some(e) = worker_err {
+                return Err(e);
+            }
+            Ok(results)
+        });
+
+        // Merge shard results per scheme. Every SimResult field is a
+        // commutative sum (or a histogram of sums), so the totals equal a
+        // serial run's bit for bit.
+        let mut shards = per_worker?.into_iter();
+        let mut merged = shards.next().expect("at least one worker");
+        for shard_results in shards {
+            for (acc, r) in merged.iter_mut().zip(shard_results.iter()) {
+                acc.merge(r);
+            }
+        }
+        Ok(merged)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Simulator;
+    use dirsim_mem::CacheGeometry;
+    use dirsim_trace::source::IterSource;
+    use dirsim_trace::synth::PaperTrace;
+
+    const REFS: usize = 20_000;
+
+    fn trace() -> Vec<MemRef> {
+        PaperTrace::Pops.workload().take(REFS).collect()
+    }
+
+    fn serial_baseline(config: SimConfig, schemes: &[Scheme], refs: &[MemRef]) -> Vec<SimResult> {
+        schemes
+            .iter()
+            .map(|&s| {
+                let mut p = s.build(4);
+                Simulator::new(config)
+                    .run(p.as_mut(), refs.iter().copied())
+                    .unwrap()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn single_pass_matches_serial() {
+        let refs = trace();
+        let schemes = Scheme::paper_lineup();
+        let config = SimConfig::default();
+        let serial = serial_baseline(config, &schemes, &refs);
+        let broadcast = BroadcastSimulator::new(config)
+            .run(&schemes, 4, IterSource::new(refs.iter().copied()))
+            .unwrap();
+        assert_eq!(serial, broadcast);
+    }
+
+    #[test]
+    fn sharded_matches_serial_with_oracle() {
+        let refs = trace();
+        let schemes = Scheme::paper_lineup();
+        let config = SimConfig {
+            check_oracle: true,
+            ..SimConfig::default()
+        };
+        let serial = serial_baseline(config, &schemes, &refs);
+        for workers in [2, 3, 7] {
+            let sharded = BroadcastSimulator::new(config)
+                .workers(workers)
+                .chunk_size(512)
+                .run(&schemes, 4, IterSource::new(refs.iter().copied()))
+                .unwrap();
+            assert_eq!(serial, sharded, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn sharded_rejects_finite_caches() {
+        let config = SimConfig {
+            geometry: Some(CacheGeometry { sets: 4, ways: 2 }),
+            ..SimConfig::default()
+        };
+        let err = BroadcastSimulator::new(config)
+            .workers(2)
+            .run(&[Scheme::Dragon], 4, IterSource::new(trace().into_iter()))
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            Error::Config(SimConfigError::ShardedFiniteCache)
+        ));
+    }
+
+    #[test]
+    fn single_pass_supports_finite_caches() {
+        let config = SimConfig {
+            geometry: Some(CacheGeometry { sets: 16, ways: 2 }),
+            check_oracle: true,
+            ..SimConfig::default()
+        };
+        let refs = trace();
+        let schemes = [Scheme::Dragon, Scheme::Wti];
+        let serial = serial_baseline(config, &schemes, &refs);
+        let broadcast = BroadcastSimulator::new(config)
+            .run(&schemes, 4, IterSource::new(refs.iter().copied()))
+            .unwrap();
+        assert_eq!(serial, broadcast);
+        assert!(broadcast[0].capacity_evictions > 0);
+    }
+
+    #[test]
+    fn observer_sees_every_reference_in_order() {
+        let refs = trace();
+        let mut seen = Vec::new();
+        BroadcastSimulator::paper()
+            .workers(2)
+            .run_observed(
+                &[Scheme::Wti],
+                4,
+                IterSource::new(refs.iter().copied()),
+                |r| seen.push(*r),
+            )
+            .unwrap();
+        assert_eq!(seen, refs);
+    }
+
+    #[test]
+    fn trace_errors_surface_as_typed_errors() {
+        let encoded = b"NOPE0000".to_vec();
+        let err = BroadcastSimulator::paper()
+            .run(
+                &[Scheme::Wti],
+                2,
+                dirsim_trace::io::read_binary(&encoded[..]),
+            )
+            .unwrap_err();
+        assert!(matches!(err, Error::TraceIo(_)));
+        // The chain bottoms out at the decode error.
+        use std::error::Error as _;
+        assert!(err.source().unwrap().to_string().contains("magic"));
+    }
+
+    #[test]
+    fn more_workers_than_blocks_is_fine() {
+        // Two blocks, eight workers: six shards stay empty.
+        let refs: Vec<MemRef> = trace()
+            .into_iter()
+            .map(|mut r| {
+                r.addr = dirsim_trace::Addr::new(r.addr.raw() % 32);
+                r
+            })
+            .collect();
+        let schemes = [Scheme::Directory(dirsim_protocol::DirSpec::dir0_b())];
+        let serial = serial_baseline(SimConfig::default(), &schemes, &refs);
+        let sharded = BroadcastSimulator::paper()
+            .workers(8)
+            .run(&schemes, 4, IterSource::new(refs.iter().copied()))
+            .unwrap();
+        assert_eq!(serial, sharded);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs schemes")]
+    fn empty_schemes_panics() {
+        let _ = BroadcastSimulator::paper().run(&[], 4, IterSource::new(std::iter::empty()));
+    }
+}

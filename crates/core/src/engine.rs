@@ -18,14 +18,15 @@ use std::fmt;
 
 use dirsim_cost::{CostBreakdown, CostModel};
 use dirsim_mem::{
-    BlockAddr, BlockMap, CacheGeometry, CacheStorage, FiniteCache, OracleViolation, ShadowMemory,
-    SharingModel,
+    BlockAddr, BlockMap, CacheGeometry, CacheId, CacheStorage, FiniteCache, InvalidGeometry,
+    OracleViolation, ShadowMemory, SharingModel,
 };
-use dirsim_protocol::{CoherenceProtocol, DataMovement, EventCounts, EventKind, OpCounts};
+use dirsim_protocol::{CoherenceProtocol, EventCounts, EventKind, OpCounts};
 use dirsim_trace::{AccessKind, MemRef};
 
 use crate::histogram::FanoutHistogram;
 use crate::invariant;
+use crate::invariant::InvariantViolation;
 
 /// Engine configuration.
 #[derive(Debug, Clone, Copy)]
@@ -58,6 +59,139 @@ impl Default for SimConfig {
             geometry: None,
             check_invariants: cfg!(any(debug_assertions, feature = "invariants")),
         }
+    }
+}
+
+impl SimConfig {
+    /// Starts a validating builder with the paper's defaults, mirroring
+    /// [`WorkloadConfig::builder`](dirsim_trace::synth::WorkloadConfig::builder).
+    pub fn builder() -> SimConfigBuilder {
+        SimConfigBuilder {
+            config: SimConfig::default(),
+        }
+    }
+
+    /// Checks the configuration for combinations that would otherwise fail
+    /// mid-run (today: an unusable finite-cache geometry).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`SimConfigError`] found.
+    pub fn validate(&self) -> Result<(), SimConfigError> {
+        if let Some(geometry) = self.geometry {
+            geometry.validate().map_err(SimConfigError::Geometry)?;
+        }
+        Ok(())
+    }
+}
+
+/// An invalid [`SimConfig`] combination, caught at construction time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimConfigError {
+    /// The finite-cache geometry is unusable (zero sets/ways or a
+    /// non-power-of-two set count).
+    Geometry(InvalidGeometry),
+    /// Block-sharded execution was requested with finite caches. LRU
+    /// replacement couples blocks that map to the same set, so only the
+    /// paper's infinite-cache model may be sharded by block address.
+    ShardedFiniteCache,
+}
+
+impl fmt::Display for SimConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimConfigError::Geometry(e) => write!(f, "invalid simulation config: {e}"),
+            SimConfigError::ShardedFiniteCache => write!(
+                f,
+                "block-sharded execution requires infinite caches \
+                 (finite-cache LRU state spans blocks within a set)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SimConfigError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimConfigError::Geometry(e) => Some(e),
+            SimConfigError::ShardedFiniteCache => None,
+        }
+    }
+}
+
+/// Builder for [`SimConfig`] whose [`build`](SimConfigBuilder::build)
+/// validates the configuration, so bad geometry surfaces as a typed error
+/// at construction instead of a panic mid-run.
+///
+/// ```
+/// use dirsim::SimConfig;
+/// use dirsim_mem::CacheGeometry;
+///
+/// let config = SimConfig::builder()
+///     .check_oracle(true)
+///     .geometry(CacheGeometry { sets: 64, ways: 4 })
+///     .build()
+///     .unwrap();
+/// assert!(config.check_oracle);
+///
+/// // Non-power-of-two set counts are rejected up front:
+/// let err = SimConfig::builder()
+///     .geometry(CacheGeometry { sets: 3, ways: 4 })
+///     .build()
+///     .unwrap_err();
+/// assert!(err.to_string().contains("invalid"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimConfigBuilder {
+    config: SimConfig,
+}
+
+impl SimConfigBuilder {
+    /// Sets the byte-address to block mapping.
+    pub fn block_map(mut self, block_map: BlockMap) -> Self {
+        self.config.block_map = block_map;
+        self
+    }
+
+    /// Sets the cache-attribution model.
+    pub fn sharing(mut self, sharing: SharingModel) -> Self {
+        self.config.sharing = sharing;
+        self
+    }
+
+    /// Enables or disables the coherence oracle.
+    pub fn check_oracle(mut self, check: bool) -> Self {
+        self.config.check_oracle = check;
+        self
+    }
+
+    /// Simulates finite caches of the given geometry (LRU replacement).
+    pub fn geometry(mut self, geometry: CacheGeometry) -> Self {
+        self.config.geometry = Some(geometry);
+        self
+    }
+
+    /// Restores the paper's infinite-cache model.
+    pub fn infinite_caches(mut self) -> Self {
+        self.config.geometry = None;
+        self
+    }
+
+    /// Enables or disables the per-reference invariant audit.
+    pub fn check_invariants(mut self, check: bool) -> Self {
+        self.config.check_invariants = check;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SimConfigError`] for invalid combinations (see
+    /// [`SimConfig::validate`]).
+    pub fn build(self) -> Result<SimConfig, SimConfigError> {
+        self.config.validate()?;
+        Ok(self.config)
     }
 }
 
@@ -155,6 +289,206 @@ impl SimResult {
     }
 }
 
+/// Why one audited reference step failed.
+///
+/// This is the typed form of the engine's per-reference failure modes,
+/// shared by [`Simulator`], the multi-protocol
+/// [`BroadcastSimulator`](crate::broadcast::BroadcastSimulator), and the
+/// `dirsim-verify` lockstep checkers (via [`audit_step`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StepFailure {
+    /// A protocol invariant from the [`crate::invariant`] catalogue.
+    Invariant {
+        /// The violation.
+        violation: InvariantViolation,
+        /// Whether it fired while auditing a capacity eviction.
+        during_eviction: bool,
+    },
+    /// The shadow-memory oracle rejected a claimed data movement or caught
+    /// a stale read.
+    Oracle(OracleViolation),
+}
+
+/// One protocol's accumulation state over a reference stream: its optional
+/// shadow oracle, finite-cache residency, and running [`SimResult`].
+///
+/// `Lane` is the unit both engines are built from: [`Simulator::run`]
+/// drives one lane, the broadcast engine drives one per scheme (and, when
+/// sharded, one per scheme per worker).
+pub(crate) struct Lane {
+    oracle: Option<ShadowMemory>,
+    finite: Vec<FiniteCache<()>>,
+    result: SimResult,
+}
+
+impl Lane {
+    pub(crate) fn new(config: &SimConfig, scheme: String) -> Self {
+        Lane {
+            oracle: config.check_oracle.then(ShadowMemory::new),
+            finite: Vec::new(),
+            result: SimResult::new(scheme),
+        }
+    }
+
+    /// Zero-based index of the next reference this lane will process.
+    pub(crate) fn next_index(&self) -> u64 {
+        self.result.refs
+    }
+
+    /// Advances the lane by one reference: the full engine step, including
+    /// finite-cache residency, event/op accounting, and (when configured)
+    /// the invariant and oracle audits.
+    pub(crate) fn step(
+        &mut self,
+        config: &SimConfig,
+        protocol: &mut dyn CoherenceProtocol,
+        r: MemRef,
+    ) -> Result<(), StepFailure> {
+        self.result.refs += 1;
+        if r.kind == AccessKind::InstrFetch {
+            self.result.events.record(EventKind::Instr);
+            return Ok(());
+        }
+        let block = config.block_map.block_of(r.addr);
+        let cache = config.sharing.cache_of(&r);
+        let write = r.kind == AccessKind::Write;
+
+        // Finite-cache mode: update residency first so that a capacity
+        // victim is evicted from the protocol state *before* the access
+        // is classified.
+        let mut eviction_used_bus = false;
+        if let Some(geometry) = config.geometry {
+            while self.finite.len() <= cache.index() {
+                self.finite.push(
+                    FiniteCache::new(geometry).expect("geometry validated at configuration time"),
+                );
+            }
+            let fc = &mut self.finite[cache.index()];
+            if fc.touch(block).is_none() {
+                if let Some((victim, ())) = fc.insert(block, ()) {
+                    self.result.capacity_evictions += 1;
+                    let ev = protocol.evict(cache, victim);
+                    for &op in &ev.ops {
+                        self.result.ops.record(op, 1);
+                    }
+                    eviction_used_bus = !ev.ops.is_empty();
+                    if config.check_invariants {
+                        if let Err(violation) =
+                            invariant::check_eviction(protocol, cache, victim, &ev)
+                        {
+                            return Err(StepFailure::Invariant {
+                                violation,
+                                during_eviction: true,
+                            });
+                        }
+                    }
+                    if let Some(oracle) = self.oracle.as_mut() {
+                        invariant::replay_movements(oracle, &ev.movements, victim)
+                            .map_err(StepFailure::Oracle)?;
+                    }
+                }
+            }
+        }
+
+        step_data_ref(
+            config,
+            protocol,
+            self.oracle.as_mut(),
+            &mut self.result,
+            cache,
+            block,
+            write,
+            eviction_used_bus,
+        )
+    }
+
+    /// Finalises the lane into its [`SimResult`].
+    pub(crate) fn finish(mut self, protocol: &dyn CoherenceProtocol) -> SimResult {
+        self.result.distinct_blocks = protocol.tracked_blocks() as u64;
+        self.result
+    }
+}
+
+/// The audited data-reference body shared by every execution path.
+#[allow(clippy::too_many_arguments)]
+fn step_data_ref(
+    config: &SimConfig,
+    protocol: &mut dyn CoherenceProtocol,
+    oracle: Option<&mut ShadowMemory>,
+    result: &mut SimResult,
+    cache: CacheId,
+    block: BlockAddr,
+    write: bool,
+    eviction_used_bus: bool,
+) -> Result<(), StepFailure> {
+    let pre = config
+        .check_invariants
+        .then(|| protocol.probe(block))
+        .flatten();
+    let outcome = protocol.on_data_ref(cache, block, write);
+    if config.check_invariants {
+        invariant::check_data_ref(protocol, pre.as_ref(), cache, block, write, &outcome).map_err(
+            |violation| StepFailure::Invariant {
+                violation,
+                during_eviction: false,
+            },
+        )?;
+    }
+    result.events.record(outcome.kind());
+    for &op in &outcome.ops {
+        result.ops.record(op, 1);
+    }
+    if outcome.is_bus_transaction() || eviction_used_bus {
+        result.transactions += 1;
+    }
+    if let Some(fanout) = outcome.clean_write_fanout {
+        result.fanout.record(fanout);
+    }
+    if let Some(oracle) = oracle {
+        invariant::replay_movements(oracle, &outcome.movements, block)
+            .map_err(StepFailure::Oracle)?;
+        // The fundamental check: the referencing cache must now hold the
+        // globally latest version of the block.
+        oracle
+            .check_read(cache, block)
+            .map_err(StepFailure::Oracle)?;
+    }
+    Ok(())
+}
+
+/// Applies one data reference to `protocol` with the full invariant and
+/// oracle audit — the per-reference primitive the engine and the
+/// `dirsim-verify` lockstep/exploration checkers share.
+///
+/// # Errors
+///
+/// Returns the first [`StepFailure`] — an invariant violation, an oracle
+/// rejection of a claimed data movement, or a stale final read.
+pub fn audit_step(
+    protocol: &mut dyn CoherenceProtocol,
+    oracle: &mut ShadowMemory,
+    cache: CacheId,
+    block: BlockAddr,
+    write: bool,
+) -> Result<(), StepFailure> {
+    let config = SimConfig {
+        check_oracle: true,
+        check_invariants: true,
+        ..SimConfig::default()
+    };
+    let mut scratch = SimResult::new(String::new());
+    step_data_ref(
+        &config,
+        protocol,
+        Some(oracle),
+        &mut scratch,
+        cache,
+        block,
+        write,
+        false,
+    )
+}
+
 /// The trace-driven simulator (see module docs).
 #[derive(Debug, Clone, Default)]
 pub struct Simulator {
@@ -192,122 +526,37 @@ impl Simulator {
     where
         I: IntoIterator<Item = MemRef>,
     {
-        let mut result = SimResult::new(protocol.name());
-        let mut oracle = self.config.check_oracle.then(ShadowMemory::new);
-        let mut finite: Vec<FiniteCache<()>> = Vec::new();
-
+        let mut lane = Lane::new(&self.config, protocol.name());
         for r in refs {
-            let index = result.refs;
-            result.refs += 1;
-            if r.kind == AccessKind::InstrFetch {
-                result.events.record(EventKind::Instr);
-                continue;
-            }
-            let block = self.config.block_map.block_of(r.addr);
-            let cache = self.config.sharing.cache_of(&r);
-            let write = r.kind == AccessKind::Write;
-
-            // Finite-cache mode: update residency first so that a capacity
-            // victim is evicted from the protocol state *before* the access
-            // is classified.
-            let mut eviction_used_bus = false;
-            if let Some(geometry) = self.config.geometry {
-                while finite.len() <= cache.index() {
-                    finite.push(
-                        FiniteCache::new(geometry)
-                            .expect("geometry validated at configuration time"),
-                    );
-                }
-                let fc = &mut finite[cache.index()];
-                if fc.touch(block).is_none() {
-                    if let Some((victim, ())) = fc.insert(block, ()) {
-                        result.capacity_evictions += 1;
-                        let ev = protocol.evict(cache, victim);
-                        for &op in &ev.ops {
-                            result.ops.record(op, 1);
-                        }
-                        eviction_used_bus = !ev.ops.is_empty();
-                        if self.config.check_invariants {
-                            if let Err(v) = invariant::check_eviction(protocol, cache, victim, &ev)
-                            {
-                                panic!(
-                                    "protocol invariant violated in {} at reference {index} \
-                                     (eviction): {v}",
-                                    protocol.name()
-                                );
-                            }
-                        }
-                        Self::replay_movements(
-                            protocol,
-                            oracle.as_mut(),
-                            &ev.movements,
-                            victim,
-                            index,
-                        )?;
+            let index = lane.next_index();
+            if let Err(failure) = lane.step(&self.config, protocol, r) {
+                match failure {
+                    StepFailure::Invariant {
+                        violation,
+                        during_eviction: true,
+                    } => panic!(
+                        "protocol invariant violated in {} at reference {index} \
+                         (eviction): {violation}",
+                        protocol.name()
+                    ),
+                    StepFailure::Invariant {
+                        violation,
+                        during_eviction: false,
+                    } => panic!(
+                        "protocol invariant violated in {} at reference {index}: {violation}",
+                        protocol.name()
+                    ),
+                    StepFailure::Oracle(violation) => {
+                        return Err(SimError {
+                            scheme: protocol.name(),
+                            ref_index: index,
+                            violation,
+                        })
                     }
                 }
             }
-
-            let pre = self
-                .config
-                .check_invariants
-                .then(|| protocol.probe(block))
-                .flatten();
-            let outcome = protocol.on_data_ref(cache, block, write);
-            if self.config.check_invariants {
-                if let Err(v) =
-                    invariant::check_data_ref(protocol, pre.as_ref(), cache, block, write, &outcome)
-                {
-                    panic!(
-                        "protocol invariant violated in {} at reference {index}: {v}",
-                        protocol.name()
-                    );
-                }
-            }
-            let kind = outcome.kind();
-            result.events.record(kind);
-            for &op in &outcome.ops {
-                result.ops.record(op, 1);
-            }
-            if outcome.is_bus_transaction() || eviction_used_bus {
-                result.transactions += 1;
-            }
-            if let Some(fanout) = outcome.clean_write_fanout {
-                result.fanout.record(fanout);
-            }
-            Self::replay_movements(protocol, oracle.as_mut(), &outcome.movements, block, index)?;
-            if let Some(oracle) = oracle.as_mut() {
-                // The fundamental check: the referencing cache must now
-                // hold the globally latest version of the block.
-                oracle
-                    .check_read(cache, block)
-                    .map_err(|violation| SimError {
-                        scheme: protocol.name(),
-                        ref_index: index,
-                        violation,
-                    })?;
-            }
         }
-        result.distinct_blocks = protocol.tracked_blocks() as u64;
-        Ok(result)
-    }
-
-    /// Replays a protocol's claimed data movements against the oracle.
-    fn replay_movements(
-        protocol: &dyn CoherenceProtocol,
-        oracle: Option<&mut ShadowMemory>,
-        movements: &[DataMovement],
-        block: BlockAddr,
-        ref_index: u64,
-    ) -> Result<(), SimError> {
-        let Some(oracle) = oracle else {
-            return Ok(());
-        };
-        invariant::replay_movements(oracle, movements, block).map_err(|violation| SimError {
-            scheme: protocol.name(),
-            ref_index,
-            violation,
-        })
+        Ok(lane.finish(protocol))
     }
 }
 

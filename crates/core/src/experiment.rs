@@ -1,18 +1,27 @@
 //! The experiment harness: a (workloads × schemes) simulation matrix.
 //!
-//! [`Experiment`] regenerates each (deterministic) synthetic workload once
-//! per scheme — the paper's methodology of one simulation run per protocol,
-//! with costs applied afterwards — and collects per-trace and combined
-//! [`SimResult`]s. The paper-specific experiment presets live in
-//! [`crate::paper`].
+//! [`Experiment`] drives every configured workload through every configured
+//! scheme and collects per-trace and combined [`SimResult`]s. By default it
+//! runs **single-pass**: each workload is generated once and broadcast
+//! through all schemes in lockstep via
+//! [`BroadcastSimulator`](crate::broadcast::BroadcastSimulator), instead of
+//! regenerating the trace once per scheme. [`ExecutionMode`] selects
+//! between that, the legacy one-pass-per-scheme serial mode, and
+//! block-sharded parallel execution — all three produce bit-identical
+//! results. The paper-specific experiment presets live in [`crate::paper`].
+
+use std::ops::Index;
 
 use dirsim_mem::SharingModel;
 use dirsim_protocol::Scheme;
 use dirsim_trace::filter::without_lock_tests;
+use dirsim_trace::source::{IterSource, WithoutLockTests};
 use dirsim_trace::synth::{Workload, WorkloadConfig};
 use dirsim_trace::{MemRef, TraceStats};
 
-use crate::engine::{SimConfig, SimError, SimResult, Simulator};
+use crate::broadcast::BroadcastSimulator;
+use crate::engine::{SimConfig, SimResult, Simulator};
+use crate::error::Error;
 
 /// One named workload in an experiment.
 #[derive(Debug, Clone)]
@@ -33,6 +42,28 @@ impl NamedWorkload {
     }
 }
 
+/// How an [`Experiment`] executes its matrix.
+///
+/// Every mode produces bit-identical [`ExperimentResults`]; they differ
+/// only in how many trace-generation passes run and how work is spread
+/// over threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecutionMode {
+    /// One full pass over each trace per scheme (the paper's literal
+    /// methodology). N schemes pay for N trace generations.
+    Serial,
+    /// Generate each trace once and broadcast every chunk through all
+    /// schemes in lockstep (the default).
+    SinglePass,
+    /// Single-pass, additionally sharded by block address over `workers`
+    /// threads. Requires the infinite-cache model (see
+    /// [`SimConfigError::ShardedFiniteCache`](crate::engine::SimConfigError::ShardedFiniteCache)).
+    Sharded {
+        /// Number of worker threads.
+        workers: usize,
+    },
+}
+
 /// A simulation matrix over workloads and schemes.
 ///
 /// # Examples
@@ -50,6 +81,7 @@ impl NamedWorkload {
 ///     .refs_per_trace(20_000)
 ///     .run()?;
 /// assert_eq!(results.per_scheme.len(), 4);
+/// assert!(results[Scheme::dir0_b()].combined.refs > 0);
 /// # Ok(())
 /// # }
 /// ```
@@ -60,6 +92,7 @@ pub struct Experiment {
     refs_per_trace: usize,
     sim: SimConfig,
     exclude_lock_tests: bool,
+    mode: ExecutionMode,
 }
 
 impl Default for Experiment {
@@ -70,6 +103,7 @@ impl Default for Experiment {
             refs_per_trace: 100_000,
             sim: SimConfig::default(),
             exclude_lock_tests: false,
+            mode: ExecutionMode::SinglePass,
         }
     }
 }
@@ -135,6 +169,22 @@ impl Experiment {
         self
     }
 
+    /// Sets the execution mode used by [`Self::run`].
+    pub fn execution(mut self, mode: ExecutionMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Number of workloads configured so far.
+    pub fn workload_count(&self) -> usize {
+        self.workloads.len()
+    }
+
+    /// Number of schemes configured so far.
+    pub fn scheme_count(&self) -> usize {
+        self.schemes.len()
+    }
+
     fn cache_count(&self, config: &WorkloadConfig) -> u32 {
         match self.sim.sharing {
             SharingModel::PerProcess => config.processes,
@@ -151,40 +201,70 @@ impl Experiment {
         }
     }
 
-    /// Runs the full matrix sequentially.
+    /// Runs the full matrix in the configured [`ExecutionMode`]
+    /// (single-pass unless overridden via [`Self::execution`]).
     ///
     /// # Errors
     ///
-    /// Propagates the first [`SimError`] if oracle checking is enabled and
-    /// a protocol misbehaves.
+    /// Propagates the first [`Error`] — an oracle or invariant violation
+    /// when checking is enabled, or an invalid mode/configuration
+    /// combination.
     ///
     /// # Panics
     ///
     /// Panics if no workloads or no schemes were configured.
-    pub fn run(&self) -> Result<ExperimentResults, SimError> {
-        self.run_inner(false)
+    pub fn run(&self) -> Result<ExperimentResults, Error> {
+        self.run_with(self.mode)
     }
 
-    /// Runs the full matrix with one thread per scheme. Results are
-    /// bit-identical to [`Self::run`]: each scheme's simulation is an
-    /// independent pass over the same materialised traces.
+    /// Runs the full matrix block-sharded over all available cores.
+    /// Results are bit-identical to [`Self::run`]: block sharding
+    /// preserves each block's reference subsequence and all counters merge
+    /// commutatively. Falls back to single-pass execution when the
+    /// configuration simulates finite caches (which cannot be sharded by
+    /// block) or only one core is available.
     ///
     /// # Errors
     ///
-    /// Propagates the first [`SimError`] (by scheme order) if oracle
-    /// checking is enabled and a protocol misbehaves.
+    /// See [`Self::run`].
     ///
     /// # Panics
     ///
     /// Panics if no workloads or no schemes were configured.
-    pub fn run_parallel(&self) -> Result<ExperimentResults, SimError> {
-        self.run_inner(true)
+    pub fn run_parallel(&self) -> Result<ExperimentResults, Error> {
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let mode = if self.sim.geometry.is_some() || workers <= 1 {
+            ExecutionMode::SinglePass
+        } else {
+            ExecutionMode::Sharded { workers }
+        };
+        self.run_with(mode)
     }
 
-    fn run_inner(&self, parallel: bool) -> Result<ExperimentResults, SimError> {
+    /// Runs the full matrix in an explicit [`ExecutionMode`].
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::run`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if no workloads or no schemes were configured.
+    pub fn run_with(&self, mode: ExecutionMode) -> Result<ExperimentResults, Error> {
         assert!(!self.workloads.is_empty(), "experiment needs workloads");
         assert!(!self.schemes.is_empty(), "experiment needs schemes");
+        match mode {
+            ExecutionMode::Serial => self.run_serial(),
+            ExecutionMode::SinglePass => self.run_broadcast(1),
+            ExecutionMode::Sharded { workers } => self.run_broadcast(workers),
+        }
+    }
 
+    /// The legacy path: materialise each trace, then one independent
+    /// simulation pass per scheme.
+    fn run_serial(&self) -> Result<ExperimentResults, Error> {
         let mut trace_stats = Vec::with_capacity(self.workloads.len());
         let mut trace_refs: Vec<Vec<MemRef>> = Vec::with_capacity(self.workloads.len());
         for w in &self.workloads {
@@ -193,8 +273,9 @@ impl Experiment {
             trace_refs.push(refs);
         }
 
-        let run_scheme = |scheme: Scheme| -> Result<SchemeResult, SimError> {
-            let simulator = Simulator::new(self.sim);
+        let simulator = Simulator::new(self.sim);
+        let mut per_scheme = Vec::with_capacity(self.schemes.len());
+        for &scheme in &self.schemes {
             let mut per_trace = Vec::with_capacity(self.workloads.len());
             let mut combined: Option<SimResult> = None;
             for (w, refs) in self.workloads.iter().zip(trace_refs.iter()) {
@@ -206,32 +287,67 @@ impl Experiment {
                 }
                 per_trace.push((w.name.clone(), result));
             }
-            Ok(SchemeResult {
+            per_scheme.push(SchemeResult {
                 scheme,
                 per_trace,
                 combined: combined.expect("at least one workload"),
-            })
-        };
-
-        let per_scheme = if parallel {
-            let results: Vec<Result<SchemeResult, SimError>> = std::thread::scope(|scope| {
-                let handles: Vec<_> = self
-                    .schemes
-                    .iter()
-                    .map(|&scheme| scope.spawn(move || run_scheme(scheme)))
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("scheme simulation thread panicked"))
-                    .collect()
             });
-            results.into_iter().collect::<Result<Vec<_>, _>>()?
-        } else {
-            self.schemes
-                .iter()
-                .map(|&scheme| run_scheme(scheme))
-                .collect::<Result<Vec<_>, _>>()?
-        };
+        }
+
+        Ok(ExperimentResults {
+            trace_stats,
+            per_scheme,
+        })
+    }
+
+    /// The single-pass path: each workload is generated once, streamed in
+    /// chunks, and broadcast through every scheme (optionally sharded).
+    fn run_broadcast(&self, workers: usize) -> Result<ExperimentResults, Error> {
+        let broadcaster = BroadcastSimulator::new(self.sim).workers(workers.max(1));
+        let mut trace_stats = Vec::with_capacity(self.workloads.len());
+        let mut per_workload: Vec<Vec<SimResult>> = Vec::with_capacity(self.workloads.len());
+        for w in &self.workloads {
+            let caches = self.cache_count(&w.config);
+            let mut stats = TraceStats::new();
+            let stream = Workload::new(w.config.clone()).take(self.refs_per_trace);
+            let results = if self.exclude_lock_tests {
+                broadcaster.run_observed(
+                    &self.schemes,
+                    caches,
+                    WithoutLockTests::new(IterSource::new(stream)),
+                    |r| stats.observe(r),
+                )?
+            } else {
+                broadcaster.run_observed(&self.schemes, caches, IterSource::new(stream), |r| {
+                    stats.observe(r)
+                })?
+            };
+            trace_stats.push((w.name.clone(), stats));
+            per_workload.push(results);
+        }
+
+        let per_scheme = self
+            .schemes
+            .iter()
+            .enumerate()
+            .map(|(i, &scheme)| {
+                let mut per_trace = Vec::with_capacity(self.workloads.len());
+                let mut combined: Option<SimResult> = None;
+                for (w, results) in self.workloads.iter().zip(per_workload.iter()) {
+                    let result = results[i].clone();
+                    match combined.as_mut() {
+                        Some(c) => c.merge(&result),
+                        None => combined = Some(result.clone()),
+                    }
+                    per_trace.push((w.name.clone(), result));
+                }
+                SchemeResult {
+                    scheme,
+                    per_trace,
+                    combined: combined.expect("at least one workload"),
+                }
+            })
+            .collect();
 
         Ok(ExperimentResults {
             trace_stats,
@@ -261,7 +377,28 @@ pub struct ExperimentResults {
 }
 
 impl ExperimentResults {
+    /// Finds a scheme's results.
+    ///
+    /// ```
+    /// # use dirsim::{Experiment, NamedWorkload};
+    /// # use dirsim_protocol::Scheme;
+    /// # use dirsim_trace::synth::WorkloadConfig;
+    /// # let cfg = WorkloadConfig::builder().seed(1).build().unwrap();
+    /// # let results = Experiment::new()
+    /// #     .workload(NamedWorkload::new("demo", cfg))
+    /// #     .scheme(Scheme::Dragon)
+    /// #     .refs_per_trace(1_000)
+    /// #     .run()
+    /// #     .unwrap();
+    /// assert!(results.get(Scheme::Dragon).is_some());
+    /// assert!(results.get(Scheme::dir_n_nb()).is_none());
+    /// ```
+    pub fn get(&self, scheme: Scheme) -> Option<&SchemeResult> {
+        self.per_scheme.iter().find(|s| s.scheme == scheme)
+    }
+
     /// Finds a scheme's results by display name.
+    #[deprecated(note = "use `get(Scheme)` or index with `results[scheme]` instead")]
     pub fn scheme(&self, name: &str) -> Option<&SchemeResult> {
         self.per_scheme.iter().find(|s| s.scheme.name() == name)
     }
@@ -272,10 +409,21 @@ impl ExperimentResults {
     }
 }
 
+impl Index<Scheme> for ExperimentResults {
+    type Output = SchemeResult;
+
+    /// `results[scheme]` — like [`ExperimentResults::get`], but panics
+    /// with a descriptive message when the scheme was not part of the
+    /// experiment.
+    fn index(&self, scheme: Scheme) -> &SchemeResult {
+        self.get(scheme)
+            .unwrap_or_else(|| panic!("scheme {scheme} was not simulated"))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dirsim_protocol::DirSpec;
 
     fn small_config(seed: u64) -> WorkloadConfig {
         WorkloadConfig::builder().seed(seed).build().unwrap()
@@ -285,7 +433,7 @@ mod tests {
         Experiment::new()
             .workload(NamedWorkload::new("a", small_config(1)))
             .workload(NamedWorkload::new("b", small_config(2)))
-            .schemes([Scheme::Directory(DirSpec::dir0_b()), Scheme::Dragon])
+            .schemes([Scheme::dir0_b(), Scheme::Dragon])
             .refs_per_trace(5_000)
     }
 
@@ -301,12 +449,28 @@ mod tests {
     }
 
     #[test]
-    fn scheme_lookup_by_name() {
+    fn typed_scheme_lookup() {
+        let results = tiny_experiment().run().unwrap();
+        assert!(results.get(Scheme::dir0_b()).is_some());
+        assert!(results.get(Scheme::Dragon).is_some());
+        assert!(results.get(Scheme::Wti).is_none());
+        assert_eq!(results[Scheme::Dragon].scheme, Scheme::Dragon);
+        assert_eq!(results.trace_names(), vec!["a", "b"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "was not simulated")]
+    fn index_panics_on_missing_scheme() {
+        let results = tiny_experiment().run().unwrap();
+        let _ = &results[Scheme::Wti];
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_name_lookup_still_works() {
         let results = tiny_experiment().run().unwrap();
         assert!(results.scheme("Dir0B").is_some());
-        assert!(results.scheme("Dragon").is_some());
         assert!(results.scheme("WTI").is_none());
-        assert_eq!(results.trace_names(), vec!["a", "b"]);
     }
 
     #[test]
@@ -324,6 +488,39 @@ mod tests {
     }
 
     #[test]
+    fn all_execution_modes_match() {
+        let serial = tiny_experiment().run_with(ExecutionMode::Serial).unwrap();
+        for mode in [
+            ExecutionMode::SinglePass,
+            ExecutionMode::Sharded { workers: 3 },
+        ] {
+            let other = tiny_experiment().run_with(mode).unwrap();
+            assert_eq!(serial.trace_stats, other.trace_stats, "{mode:?}");
+            for (a, b) in serial.per_scheme.iter().zip(other.per_scheme.iter()) {
+                assert_eq!(a.scheme, b.scheme);
+                assert_eq!(a.combined, b.combined, "{mode:?}");
+                assert_eq!(a.per_trace, b.per_trace, "{mode:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn modes_match_with_lock_exclusion() {
+        let serial = tiny_experiment()
+            .exclude_lock_tests(true)
+            .run_with(ExecutionMode::Serial)
+            .unwrap();
+        let single = tiny_experiment()
+            .exclude_lock_tests(true)
+            .run_with(ExecutionMode::SinglePass)
+            .unwrap();
+        assert_eq!(serial.trace_stats, single.trace_stats);
+        for (a, b) in serial.per_scheme.iter().zip(single.per_scheme.iter()) {
+            assert_eq!(a.combined, b.combined);
+        }
+    }
+
+    #[test]
     fn parallel_run_matches_sequential() {
         let sequential = tiny_experiment().run().unwrap();
         let parallel = tiny_experiment().run_parallel().unwrap();
@@ -333,6 +530,26 @@ mod tests {
             assert_eq!(a.combined, b.combined);
             assert_eq!(a.per_trace, b.per_trace);
         }
+    }
+
+    #[test]
+    fn sharded_finite_cache_is_a_typed_error() {
+        use crate::engine::SimConfigError;
+        use dirsim_mem::CacheGeometry;
+        let config = SimConfig::builder()
+            .geometry(CacheGeometry { sets: 16, ways: 2 })
+            .build()
+            .unwrap();
+        let err = tiny_experiment()
+            .sim_config(config)
+            .run_with(ExecutionMode::Sharded { workers: 4 })
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            Error::Config(SimConfigError::ShardedFiniteCache)
+        ));
+        // run_parallel silently degrades to single-pass instead.
+        tiny_experiment().sim_config(config).run_parallel().unwrap();
     }
 
     #[test]

@@ -20,20 +20,21 @@
 //! * [`dirsim_cost`] — the Table 1/2 bus cost models;
 //!
 //! and adds the [`engine`] (event counting + oracle replay), the
-//! [`experiment`] matrix harness, the paper's experiment presets
-//! ([`paper`]), and text renderers for every table and figure
-//! ([`report`]).
+//! single-pass multi-protocol [`broadcast`] engine, the [`experiment`]
+//! matrix harness, the paper's experiment presets ([`paper`]), and text
+//! renderers for every table and figure ([`report`]).
 //!
 //! ## Quick start
 //!
 //! ```
 //! use dirsim::prelude::*;
 //!
-//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
-//! // Simulate the paper's four schemes over a small POPS-like workload:
+//! # fn main() -> Result<(), dirsim::Error> {
+//! // Simulate the paper's four schemes over a small POPS-like workload
+//! // (one trace pass, all schemes in lockstep):
 //! let results = dirsim::paper::headline_experiment(20_000).run()?;
-//! let dir0b = results.scheme("Dir0B").expect("simulated");
-//! let dragon = results.scheme("Dragon").expect("simulated");
+//! let dir0b = &results[Scheme::dir0_b()];
+//! let dragon = &results[Scheme::Dragon];
 //! let model = CostModel::pipelined();
 //! // The paper's headline: Dir0B approaches Dragon's performance.
 //! assert!(dir0b.combined.cycles_per_ref(model) < 3.0 * dragon.combined.cycles_per_ref(model));
@@ -45,7 +46,9 @@
 #![warn(missing_debug_implementations)]
 
 pub mod analysis;
+pub mod broadcast;
 pub mod engine;
+pub mod error;
 pub mod experiment;
 pub mod histogram;
 pub mod invariant;
@@ -54,20 +57,29 @@ pub mod reference;
 pub mod report;
 pub mod timing;
 
-pub use engine::{SimConfig, SimError, SimResult, Simulator};
-pub use experiment::{Experiment, ExperimentResults, NamedWorkload, SchemeResult};
+pub use broadcast::BroadcastSimulator;
+pub use engine::{
+    audit_step, SimConfig, SimConfigBuilder, SimConfigError, SimError, SimResult, Simulator,
+    StepFailure,
+};
+pub use error::{Error, InvariantError};
+pub use experiment::{ExecutionMode, Experiment, ExperimentResults, NamedWorkload, SchemeResult};
 pub use histogram::FanoutHistogram;
 pub use invariant::InvariantViolation;
 pub use timing::{TimingConfig, TimingResult, TimingSimulator};
 
 /// Convenient re-exports for examples and downstream users.
 pub mod prelude {
+    pub use crate::broadcast::BroadcastSimulator;
     pub use crate::engine::{SimConfig, SimResult, Simulator};
-    pub use crate::experiment::{Experiment, ExperimentResults, NamedWorkload};
+    pub use crate::error::Error;
+    pub use crate::experiment::{ExecutionMode, Experiment, ExperimentResults, NamedWorkload};
     pub use crate::histogram::FanoutHistogram;
     pub use dirsim_cost::{BusKind, CostBreakdown, CostCategory, CostModel};
     pub use dirsim_mem::{BlockAddr, BlockMap, CacheId, SharingModel};
     pub use dirsim_protocol::{BusOp, CoherenceProtocol, DirSpec, EventCounts, EventKind, Scheme};
     pub use dirsim_trace::synth::{PaperTrace, Workload, WorkloadConfig};
-    pub use dirsim_trace::{AccessKind, Addr, CpuId, MemRef, ProcessId, TraceStats};
+    pub use dirsim_trace::{
+        AccessKind, Addr, CpuId, IterSource, MemRef, ProcessId, TraceSource, TraceStats,
+    };
 }

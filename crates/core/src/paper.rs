@@ -22,7 +22,8 @@ use dirsim_cost::CostModel;
 use dirsim_protocol::{DirSpec, Scheme};
 use dirsim_trace::synth::{PaperTrace, WorkloadConfig};
 
-use crate::engine::{SimError, SimResult};
+use crate::engine::SimResult;
+use crate::error::Error;
 use crate::experiment::{Experiment, ExperimentResults, NamedWorkload};
 
 /// The three paper-trace stand-ins, in Table 3 order.
@@ -129,10 +130,7 @@ impl LockImpact {
 ///
 /// Propagates simulation errors (only possible with oracle checking, which
 /// this preset leaves off).
-pub fn lock_impact(
-    refs_per_trace: usize,
-    schemes: Vec<Scheme>,
-) -> Result<Vec<LockImpact>, SimError> {
+pub fn lock_impact(refs_per_trace: usize, schemes: Vec<Scheme>) -> Result<Vec<LockImpact>, Error> {
     let base = Experiment::new()
         .workloads(paper_workloads())
         .schemes(schemes.clone())
@@ -142,23 +140,10 @@ pub fn lock_impact(
     let model = CostModel::pipelined();
     Ok(schemes
         .iter()
-        .map(|s| {
-            let name = s.name();
-            let a = with_locks
-                .scheme(&name)
-                .expect("scheme simulated")
-                .combined
-                .cycles_per_ref(model);
-            let b = without_locks
-                .scheme(&name)
-                .expect("scheme simulated")
-                .combined
-                .cycles_per_ref(model);
-            LockImpact {
-                scheme: name,
-                with_locks: a,
-                without_locks: b,
-            }
+        .map(|&s| LockImpact {
+            scheme: s.name(),
+            with_locks: with_locks[s].combined.cycles_per_ref(model),
+            without_locks: without_locks[s].combined.cycles_per_ref(model),
         })
         .collect())
 }
@@ -200,7 +185,7 @@ pub fn pointer_sweep(
     processors: u16,
     refs: usize,
     is: &[u32],
-) -> Result<Vec<PointerSweepRow>, SimError> {
+) -> Result<Vec<PointerSweepRow>, Error> {
     let mut schemes = vec![Scheme::Directory(DirSpec::dir0_b())];
     for &i in is {
         schemes.push(Scheme::Directory(DirSpec::dir_i_b(i)));
@@ -242,7 +227,7 @@ pub fn pointer_sweep(
 /// # Errors
 ///
 /// Propagates simulation errors.
-pub fn run_headline(refs_per_trace: usize) -> Result<ExperimentResults, SimError> {
+pub fn run_headline(refs_per_trace: usize) -> Result<ExperimentResults, Error> {
     headline_experiment(refs_per_trace).run()
 }
 
@@ -270,7 +255,7 @@ pub fn finite_cache_study(
     scheme: Scheme,
     refs_per_trace: usize,
     capacities_blocks: &[u32],
-) -> Result<Vec<FiniteCacheRow>, SimError> {
+) -> Result<Vec<FiniteCacheRow>, Error> {
     use dirsim_mem::CacheGeometry;
     let model = CostModel::pipelined();
     let mut rows = Vec::with_capacity(capacities_blocks.len() + 1);
@@ -330,7 +315,7 @@ pub fn network_scaling(
     nodes: u16,
     refs: usize,
     schemes: Vec<Scheme>,
-) -> Result<Vec<NetworkScalingRow>, SimError> {
+) -> Result<Vec<NetworkScalingRow>, Error> {
     use dirsim_cost::{NetworkModel, Placement, Topology};
     let results = Experiment::new()
         .workload(NamedWorkload::new(
@@ -383,7 +368,7 @@ pub fn sharing_sweep(
     refs: usize,
     fractions: &[f64],
     schemes: Vec<Scheme>,
-) -> Result<Vec<SharingSweepRow>, SimError> {
+) -> Result<Vec<SharingSweepRow>, Error> {
     let model = CostModel::pipelined();
     let mut rows = Vec::with_capacity(fractions.len());
     for &frac in fractions {
@@ -504,7 +489,7 @@ impl SeedSensitivityRow {
 pub fn seed_sensitivity(
     refs_per_trace: usize,
     seeds: u64,
-) -> Result<Vec<SeedSensitivityRow>, SimError> {
+) -> Result<Vec<SeedSensitivityRow>, Error> {
     assert!(seeds > 0, "need at least one seed");
     let model = CostModel::pipelined();
     let schemes = Scheme::paper_lineup();

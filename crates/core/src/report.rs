@@ -7,7 +7,7 @@
 use std::fmt::Write as _;
 
 use dirsim_cost::{BusTiming, CostCategory, CostModel};
-use dirsim_protocol::{BusOp, EventKind};
+use dirsim_protocol::{BusOp, EventKind, Scheme};
 
 use crate::analysis::SystemModel;
 use crate::engine::SimResult;
@@ -253,8 +253,11 @@ pub fn render_table4_comparison(results: &ExperimentResults) -> String {
                 .1
                 .map(|v| format!("{v:.2}"))
                 .unwrap_or_else(|| "-".to_string());
-            let measured_cell = results
-                .scheme(col.scheme)
+            let measured_cell = col
+                .scheme
+                .parse::<Scheme>()
+                .ok()
+                .and_then(|scheme| results.get(scheme))
                 .map(|s| {
                     let count = s.combined.events[*kind];
                     if count == 0 {
@@ -300,10 +303,9 @@ pub fn render_table5_comparison(results: &ExperimentResults) -> String {
 }
 
 /// Figure 1: histogram of caches invalidated on writes to previously-clean
-/// blocks, for the scheme named `scheme` (the paper uses the `Dir0B` state
-/// model).
-pub fn render_figure1(results: &ExperimentResults, scheme: &str) -> String {
-    let Some(s) = results.scheme(scheme) else {
+/// blocks, for `scheme` (the paper uses the `Dir0B` state model).
+pub fn render_figure1(results: &ExperimentResults, scheme: Scheme) -> String {
+    let Some(s) = results.get(scheme) else {
         return format!("figure 1: scheme {scheme} not simulated\n");
     };
     let hist = &s.combined.fanout;
@@ -672,8 +674,8 @@ mod tests {
     #[test]
     fn figures_render() {
         let results = small_results();
-        assert!(render_figure1(&results, "Dir0B").contains("cumulative ≤1"));
-        assert!(render_figure1(&results, "Nope").contains("not simulated"));
+        assert!(render_figure1(&results, Scheme::dir0_b()).contains("cumulative ≤1"));
+        assert!(render_figure1(&results, Scheme::Berkeley).contains("not simulated"));
         assert!(render_figure2(&results).contains("Dir1NB"));
         assert!(render_figure3(&results).contains("T"));
         assert!(render_figure4(&results, CostModel::pipelined()).contains("mem access"));

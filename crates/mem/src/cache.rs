@@ -126,6 +126,21 @@ pub struct CacheGeometry {
     pub ways: u32,
 }
 
+impl CacheGeometry {
+    /// Checks that the geometry is usable by [`FiniteCache`]: a nonzero
+    /// power-of-two set count and nonzero associativity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidGeometry`] otherwise.
+    pub fn validate(self) -> Result<(), InvalidGeometry> {
+        if self.sets == 0 || !self.sets.is_power_of_two() || self.ways == 0 {
+            return Err(InvalidGeometry(self));
+        }
+        Ok(())
+    }
+}
+
 /// Error for invalid cache geometry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct InvalidGeometry(pub CacheGeometry);
@@ -167,9 +182,7 @@ impl<L> FiniteCache<L> {
     /// Returns [`InvalidGeometry`] if `sets` is not a power of two or
     /// `ways` is zero.
     pub fn new(geometry: CacheGeometry) -> Result<Self, InvalidGeometry> {
-        if geometry.sets == 0 || !geometry.sets.is_power_of_two() || geometry.ways == 0 {
-            return Err(InvalidGeometry(geometry));
-        }
+        geometry.validate()?;
         let mut sets = Vec::with_capacity(geometry.sets as usize);
         for _ in 0..geometry.sets {
             sets.push(Vec::with_capacity(geometry.ways as usize));

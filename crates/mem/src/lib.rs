@@ -31,6 +31,8 @@ pub mod oracle;
 pub mod sharing;
 
 pub use block::{BlockAddr, BlockMap};
-pub use cache::{CacheGeometry, CacheId, CacheStorage, FiniteCache, InfiniteCache};
+pub use cache::{
+    CacheGeometry, CacheId, CacheStorage, FiniteCache, InfiniteCache, InvalidGeometry,
+};
 pub use oracle::{CanonicalBlock, OracleViolation, ShadowMemory};
 pub use sharing::{FirstRefTracker, SharingModel};

@@ -80,6 +80,32 @@ impl Scheme {
         ]
     }
 
+    /// `Dir0B`: no pointers, broadcast on every write to shared data.
+    pub fn dir0_b() -> Scheme {
+        Scheme::Directory(DirSpec::dir0_b())
+    }
+
+    /// `Dir1B`: one pointer, broadcast on overflow.
+    pub fn dir1_b() -> Scheme {
+        Scheme::Directory(DirSpec::dir1_b())
+    }
+
+    /// `DiriB`: `i` pointers, broadcast on overflow (`i = 0` is
+    /// [`Scheme::dir0_b`]).
+    pub fn dir_i_b(i: u32) -> Scheme {
+        Scheme::Directory(DirSpec::dir_i_b(i))
+    }
+
+    /// `Dir1NB`: one pointer, evict-on-overflow, no broadcast.
+    pub fn dir1_nb() -> Scheme {
+        Scheme::Directory(DirSpec::dir1_nb())
+    }
+
+    /// `DirnNB`: the full-map directory.
+    pub fn dir_n_nb() -> Scheme {
+        Scheme::Directory(DirSpec::dir_n_nb())
+    }
+
     /// Instantiates the protocol for a system of `caches` caches.
     ///
     /// # Panics

@@ -29,10 +29,12 @@
 pub mod compress;
 pub mod filter;
 pub mod io;
+pub mod source;
 pub mod stats;
 pub mod synth;
 pub mod types;
 
 pub use io::TraceIoError;
+pub use source::{IterSource, TraceSource};
 pub use stats::TraceStats;
 pub use types::{AccessKind, Addr, CpuId, MemRef, ProcessId, RefFlags};

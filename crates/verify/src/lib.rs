@@ -187,6 +187,11 @@ impl Counterexample {
 /// Applies one reference to a protocol and its shadow oracle, running the
 /// full per-reference audit.
 ///
+/// This is a thin adapter over [`dirsim::engine::audit_step`] — the
+/// checker and the simulation engine share one audited step, so a protocol
+/// the engine accepts and one the model checker accepts are the same
+/// thing.
+///
 /// # Errors
 ///
 /// Returns the first [`Failure`] — an invariant violation, an oracle
@@ -196,21 +201,12 @@ pub fn apply_step(
     oracle: &mut ShadowMemory,
     step: Step,
 ) -> Result<(), Failure> {
-    let pre = protocol.probe(step.block);
-    let outcome = protocol.on_data_ref(step.cache, step.block, step.write);
-    invariant::check_data_ref(
-        protocol,
-        pre.as_ref(),
-        step.cache,
-        step.block,
-        step.write,
-        &outcome,
+    dirsim::engine::audit_step(protocol, oracle, step.cache, step.block, step.write).map_err(
+        |failure| match failure {
+            dirsim::StepFailure::Invariant { violation, .. } => Failure::Invariant(violation),
+            dirsim::StepFailure::Oracle(violation) => Failure::Oracle(violation),
+        },
     )
-    .map_err(Failure::Invariant)?;
-    invariant::replay_movements(oracle, &outcome.movements, step.block).map_err(Failure::Oracle)?;
-    oracle
-        .check_read(step.cache, step.block)
-        .map_err(Failure::Oracle)
 }
 
 /// Replays `steps` from a fresh protocol instance, returning the first

@@ -39,8 +39,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{}", report::render_figure2(&results));
 
     let pipelined = CostModel::pipelined();
-    let dir0b = results.scheme("Dir0B").expect("simulated");
-    let dragon = results.scheme("Dragon").expect("simulated");
+    let dir0b = &results[Scheme::dir0_b()];
+    let dragon = &results[Scheme::Dragon];
     let ratio =
         dir0b.combined.cycles_per_ref(pipelined) / dragon.combined.cycles_per_ref(pipelined);
     println!(

@@ -57,19 +57,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .schemes(schemes)
             .refs_per_trace(refs)
             .run()?;
-        let cost = |name: &str| {
-            results
-                .scheme(name)
-                .expect("simulated")
-                .combined
-                .cycles_per_ref(model)
-        };
+        let cost = |scheme: Scheme| results[scheme].combined.cycles_per_ref(model);
         println!(
             "{label:>12} {:>10.3} {:>10.4} {:>10.4} {:>10.4}",
             stats.lock_read_fraction(),
-            cost("Dir1NB"),
-            cost("Dir0B"),
-            cost("Dragon"),
+            cost(Scheme::dir1_nb()),
+            cost(Scheme::dir0_b()),
+            cost(Scheme::Dragon),
         );
     }
 
@@ -83,18 +77,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .refs_per_trace(refs)
             .exclude_lock_tests(exclude)
             .run()?;
-        let cost = |name: &str| {
-            results
-                .scheme(name)
-                .expect("simulated")
-                .combined
-                .cycles_per_ref(model)
-        };
+        let cost = |scheme: Scheme| results[scheme].combined.cycles_per_ref(model);
         println!(
             "  lock tests {}: Dir1NB {:.4}  Dir0B {:.4}",
             if exclude { "excluded" } else { "included" },
-            cost("Dir1NB"),
-            cost("Dir0B"),
+            cost(Scheme::dir1_nb()),
+            cost(Scheme::dir0_b()),
         );
     }
     println!(

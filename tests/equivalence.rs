@@ -1,0 +1,142 @@
+//! Engine-path equivalence: the legacy serial per-scheme path, the
+//! single-pass broadcast path, and the block-sharded parallel path must
+//! produce **bit-identical** results for every scheme.
+//!
+//! This is the load-bearing guarantee behind `ExecutionMode`: sharding by
+//! block address is exact under the paper's infinite-cache model because
+//! per-block protocol state never interacts across blocks, and every
+//! counter merged across shards is a commutative sum. Any drift here means
+//! one of the paths is wrong, not "parallel noise".
+//!
+//! The scheme list mirrors the `dirsim-verify` gauntlet (that crate
+//! depends on this one, so the 14 schemes are enumerated inline).
+
+use dirsim::prelude::*;
+use dirsim::{ExecutionMode, Experiment, ExperimentResults, NamedWorkload};
+use dirsim_protocol::DirSpec;
+
+const REFS: usize = 12_000;
+
+/// The paper's Table 5 line-up plus the remaining directory organisations
+/// and snoopy baselines — every protocol the model checker gauntlets.
+fn gauntlet() -> Vec<Scheme> {
+    vec![
+        Scheme::dir_n_nb(),
+        Scheme::dir0_b(),
+        Scheme::dir1_b(),
+        Scheme::dir_i_b(2),
+        Scheme::dir1_nb(),
+        Scheme::Directory(DirSpec::dir_i_nb(2).expect("two pointers is a valid NB spec")),
+        Scheme::CoarseVector,
+        Scheme::Tang,
+        Scheme::YenFu,
+        Scheme::DirUpdate,
+        Scheme::Wti,
+        Scheme::Illinois,
+        Scheme::Dragon,
+        Scheme::Berkeley,
+    ]
+}
+
+fn experiment() -> Experiment {
+    Experiment::new()
+        .workloads(dirsim::paper::paper_workloads())
+        .schemes(gauntlet())
+        .refs_per_trace(REFS)
+}
+
+fn assert_identical(a: &ExperimentResults, b: &ExperimentResults, what: &str) {
+    assert_eq!(a.trace_stats, b.trace_stats, "{what}: trace statistics");
+    assert_eq!(
+        a.per_scheme.len(),
+        b.per_scheme.len(),
+        "{what}: scheme count"
+    );
+    for (x, y) in a.per_scheme.iter().zip(&b.per_scheme) {
+        assert_eq!(x.scheme, y.scheme, "{what}: scheme order");
+        assert_eq!(x.per_trace, y.per_trace, "{what}: {} per-trace", x.scheme);
+        assert_eq!(x.combined, y.combined, "{what}: {} combined", x.scheme);
+    }
+}
+
+#[test]
+fn gauntlet_covers_all_fourteen_schemes() {
+    let schemes = gauntlet();
+    assert_eq!(schemes.len(), 14);
+    let names: std::collections::HashSet<String> = schemes.iter().map(|s| s.name()).collect();
+    assert_eq!(names.len(), 14, "scheme names must be distinct");
+}
+
+#[test]
+fn single_pass_matches_serial_for_every_scheme() {
+    let exp = experiment();
+    let serial = exp.run_with(ExecutionMode::Serial).unwrap();
+    let single = exp.run_with(ExecutionMode::SinglePass).unwrap();
+    assert_identical(&serial, &single, "single-pass vs serial");
+}
+
+#[test]
+fn sharded_matches_serial_for_every_scheme() {
+    let exp = experiment();
+    let serial = exp.run_with(ExecutionMode::Serial).unwrap();
+    for workers in [2, 5] {
+        let sharded = exp.run_with(ExecutionMode::Sharded { workers }).unwrap();
+        assert_identical(&serial, &sharded, &format!("{workers} shards vs serial"));
+    }
+}
+
+#[test]
+fn shard_count_is_immaterial() {
+    // Per-shard counters are commutative sums, so the worker count must
+    // not leak into the results at all.
+    let exp = experiment();
+    let three = exp.run_with(ExecutionMode::Sharded { workers: 3 }).unwrap();
+    let eight = exp.run_with(ExecutionMode::Sharded { workers: 8 }).unwrap();
+    assert_identical(&three, &eight, "3 shards vs 8 shards");
+}
+
+#[test]
+fn equivalence_holds_with_lock_tests_excluded() {
+    // The §5.2 ablation filters the stream *before* it reaches the
+    // engine; every execution path must see the identical filtered trace.
+    let exp = experiment().exclude_lock_tests(true);
+    let serial = exp.run_with(ExecutionMode::Serial).unwrap();
+    let single = exp.run_with(ExecutionMode::SinglePass).unwrap();
+    let sharded = exp.run_with(ExecutionMode::Sharded { workers: 4 }).unwrap();
+    assert_identical(&serial, &single, "lock-filtered single-pass");
+    assert_identical(&serial, &sharded, "lock-filtered sharded");
+}
+
+#[test]
+fn equivalence_holds_under_the_oracle() {
+    // The shadow-memory audit must neither perturb results nor behave
+    // differently per path (each shard audits its own blocks).
+    let exp = Experiment::new()
+        .workload(NamedWorkload::new(
+            "audited",
+            WorkloadConfig::builder().seed(7).build().unwrap(),
+        ))
+        .schemes(gauntlet())
+        .refs_per_trace(6_000)
+        .check_oracle(true);
+    let serial = exp.run_with(ExecutionMode::Serial).unwrap();
+    let single = exp.run_with(ExecutionMode::SinglePass).unwrap();
+    let sharded = exp.run_with(ExecutionMode::Sharded { workers: 3 }).unwrap();
+    assert_identical(&serial, &single, "audited single-pass");
+    assert_identical(&serial, &sharded, "audited sharded");
+}
+
+#[test]
+fn default_and_parallel_runs_agree_with_serial() {
+    // The public entry points (`run`, `run_parallel`) sit on top of the
+    // same machinery; they must agree with the explicit modes too.
+    let exp = Experiment::new()
+        .workloads(dirsim::paper::paper_workloads())
+        .schemes(Scheme::paper_lineup())
+        .refs_per_trace(REFS);
+    let serial = exp.run_with(ExecutionMode::Serial).unwrap();
+    let default = exp.run().unwrap();
+    let parallel = exp.run_parallel().unwrap();
+    assert_identical(&serial, &default, "default run");
+    assert_identical(&serial, &parallel, "run_parallel");
+}

@@ -14,11 +14,8 @@ fn headline(refs: usize) -> ExperimentResults {
     dirsim::paper::headline_experiment(refs).run().unwrap()
 }
 
-fn combined<'a>(results: &'a ExperimentResults, name: &str) -> &'a dirsim::SimResult {
-    &results
-        .scheme(name)
-        .unwrap_or_else(|| panic!("{name} missing"))
-        .combined
+fn combined(results: &ExperimentResults, scheme: Scheme) -> &dirsim::SimResult {
+    &results[scheme].combined
 }
 
 #[test]
@@ -26,8 +23,8 @@ fn wti_and_dir0b_event_frequencies_are_identical() {
     // §5: "since Dir0B and WTI both rely on the same basic data
     // state-change model ... their event frequencies are identical."
     let results = headline(REFS);
-    let wti = combined(&results, "WTI");
-    let dir0b = combined(&results, "Dir0B");
+    let wti = combined(&results, Scheme::Wti);
+    let dir0b = combined(&results, Scheme::dir0_b());
     for kind in EventKind::ALL {
         assert_eq!(
             wti.events[kind], dir0b.events[kind],
@@ -40,8 +37,8 @@ fn wti_and_dir0b_event_frequencies_are_identical() {
 fn berkeley_equals_dir0b_minus_directory_accesses() {
     // §5 aside: Berkeley's cost model is Dir0B with directory cost zero.
     let results = dirsim::paper::extended_experiment(REFS).run().unwrap();
-    let dir0b = combined(&results, "Dir0B");
-    let berkeley = combined(&results, "Berkeley");
+    let dir0b = combined(&results, Scheme::dir0_b());
+    let berkeley = combined(&results, Scheme::Berkeley);
     let model = CostModel::pipelined();
     let dir0b_bd = dir0b.breakdown(model);
     let berkeley_bd = berkeley.breakdown(model);
@@ -152,7 +149,7 @@ fn first_ref_events_cost_nothing() {
 #[test]
 fn dragon_never_invalidates() {
     let results = headline(REFS);
-    let dragon = combined(&results, "Dragon");
+    let dragon = combined(&results, Scheme::Dragon);
     assert_eq!(
         dragon.fanout.total(),
         0,
@@ -167,7 +164,7 @@ fn dragon_never_invalidates() {
 #[test]
 fn dir1nb_never_needs_directory_or_broadcast() {
     let results = headline(REFS);
-    let dir1nb = combined(&results, "Dir1NB");
+    let dir1nb = combined(&results, Scheme::dir1_nb());
     assert_eq!(dir1nb.ops[BusOp::DirLookup], 0, "always overlapped (§4.3)");
     assert_eq!(
         dir1nb.ops[BusOp::BroadcastInvalidate],
@@ -179,7 +176,7 @@ fn dir1nb_never_needs_directory_or_broadcast() {
 #[test]
 fn dirn_nb_never_broadcasts_but_queries_directory() {
     let results = dirsim::paper::extended_experiment(REFS).run().unwrap();
-    let dirn = combined(&results, "DirnNB");
+    let dirn = combined(&results, Scheme::dir_n_nb());
     assert_eq!(dirn.ops[BusOp::BroadcastInvalidate], 0);
     assert!(dirn.ops[BusOp::DirLookup] > 0);
     assert!(dirn.ops[BusOp::Invalidate] > 0, "sequential invalidations");
@@ -314,8 +311,8 @@ fn coarse_vector_costs_at_least_the_exact_full_map() {
     // The coarse code invalidates a superset, so it can never use fewer
     // directed invalidations than the exact full map.
     let results = dirsim::paper::extended_experiment(REFS).run().unwrap();
-    let coarse = combined(&results, "CoarseVector");
-    let full = combined(&results, "DirnNB");
+    let coarse = combined(&results, Scheme::CoarseVector);
+    let full = combined(&results, Scheme::dir_n_nb());
     assert!(
         coarse.ops[BusOp::Invalidate] >= full.ops[BusOp::Invalidate],
         "superset invalidation can't beat exact knowledge"
@@ -323,7 +320,7 @@ fn coarse_vector_costs_at_least_the_exact_full_map() {
     for kind in EventKind::ALL {
         assert_eq!(
             coarse.events[kind],
-            combined(&results, "Dir0B").events[kind],
+            combined(&results, Scheme::dir0_b()).events[kind],
             "coarse vector shares the Dir0B state-change model ({kind})"
         );
     }

@@ -11,18 +11,14 @@ use dirsim_protocol::Scheme;
 
 const REFS: usize = 120_000;
 
-fn pipelined(results: &ExperimentResults, name: &str) -> f64 {
-    results
-        .scheme(name)
-        .unwrap_or_else(|| panic!("{name} missing"))
+fn pipelined(results: &ExperimentResults, scheme: Scheme) -> f64 {
+    results[scheme]
         .combined
         .cycles_per_ref(CostModel::pipelined())
 }
 
-fn non_pipelined(results: &ExperimentResults, name: &str) -> f64 {
-    results
-        .scheme(name)
-        .unwrap()
+fn non_pipelined(results: &ExperimentResults, scheme: Scheme) -> f64 {
+    results[scheme]
         .combined
         .cycles_per_ref(CostModel::non_pipelined())
 }
@@ -32,10 +28,10 @@ fn figure2_scheme_ordering_holds() {
     // Paper Figure 2: Dir1NB > WTI >> Dir0B > Dragon on both bus models.
     let results = dirsim::paper::headline_experiment(REFS).run().unwrap();
     for cost in [pipelined, non_pipelined] {
-        let dir1nb = cost(&results, "Dir1NB");
-        let wti = cost(&results, "WTI");
-        let dir0b = cost(&results, "Dir0B");
-        let dragon = cost(&results, "Dragon");
+        let dir1nb = cost(&results, Scheme::dir1_nb());
+        let wti = cost(&results, Scheme::Wti);
+        let dir0b = cost(&results, Scheme::dir0_b());
+        let dragon = cost(&results, Scheme::Dragon);
         assert!(
             dir1nb > wti && wti > dir0b && dir0b > dragon,
             "ordering violated: Dir1NB={dir1nb:.4} WTI={wti:.4} Dir0B={dir0b:.4} Dragon={dragon:.4}"
@@ -48,7 +44,7 @@ fn dir0b_approaches_dragon() {
     // Paper: Dir0B uses "close to 50% more bus cycles than Dragon"
     // (0.0491 vs 0.0336 ≈ 1.46x). Accept 1x–2.5x.
     let results = dirsim::paper::headline_experiment(REFS).run().unwrap();
-    let ratio = pipelined(&results, "Dir0B") / pipelined(&results, "Dragon");
+    let ratio = pipelined(&results, Scheme::dir0_b()) / pipelined(&results, Scheme::Dragon);
     assert!(
         (1.0..2.5).contains(&ratio),
         "Dir0B/Dragon = {ratio:.2}, expected ~1.5"
@@ -59,7 +55,7 @@ fn dir0b_approaches_dragon() {
 fn wti_is_several_times_worse_than_dir0b() {
     // Paper: 0.1466 vs 0.0491 ≈ 3.0x.
     let results = dirsim::paper::headline_experiment(REFS).run().unwrap();
-    let ratio = pipelined(&results, "WTI") / pipelined(&results, "Dir0B");
+    let ratio = pipelined(&results, Scheme::Wti) / pipelined(&results, Scheme::dir0_b());
     assert!(ratio > 1.8, "WTI/Dir0B = {ratio:.2}, expected ~3");
 }
 
@@ -67,7 +63,7 @@ fn wti_is_several_times_worse_than_dir0b() {
 fn dir1nb_is_many_times_worse_than_dir0b() {
     // Paper: "over a factor of six" (0.3210 vs 0.0491 ≈ 6.5x).
     let results = dirsim::paper::headline_experiment(REFS).run().unwrap();
-    let ratio = pipelined(&results, "Dir1NB") / pipelined(&results, "Dir0B");
+    let ratio = pipelined(&results, Scheme::dir1_nb()) / pipelined(&results, Scheme::dir0_b());
     assert!(ratio > 4.0, "Dir1NB/Dir0B = {ratio:.2}, expected ~6.5");
 }
 
@@ -76,7 +72,7 @@ fn figure1_most_clean_writes_invalidate_at_most_one_cache() {
     // Paper Figure 1: "over 85% of the writes to previously-clean blocks
     // cause invalidations in no more than one cache."
     let results = dirsim::paper::headline_experiment(REFS).run().unwrap();
-    let hist = &results.scheme("Dir0B").unwrap().combined.fanout;
+    let hist = &results[Scheme::dir0_b()].combined.fanout;
     let frac = hist.fraction_at_most(1);
     assert!(frac > 0.78, "≤1 fraction = {frac:.3}, paper reports >0.85");
     assert!(hist.total() > 100, "enough clean writes to be meaningful");
@@ -85,9 +81,9 @@ fn figure1_most_clean_writes_invalidate_at_most_one_cache() {
 #[test]
 fn table4_event_shape() {
     let results = dirsim::paper::headline_experiment(REFS).run().unwrap();
-    let dir1nb = &results.scheme("Dir1NB").unwrap().combined.events;
-    let dir0b = &results.scheme("Dir0B").unwrap().combined.events;
-    let dragon = &results.scheme("Dragon").unwrap().combined.events;
+    let dir1nb = &results[Scheme::dir1_nb()].combined.events;
+    let dir0b = &results[Scheme::dir0_b()].combined.events;
+    let dragon = &results[Scheme::Dragon].combined.events;
     // "The most obvious feature ... is the high rate of data read misses"
     // for Dir1NB — read-sharing misses dominate.
     assert!(
@@ -118,12 +114,12 @@ fn table5_breakdown_shape() {
     let results = dirsim::paper::headline_experiment(REFS).run().unwrap();
     let model = CostModel::pipelined();
     // WTI: "most of the bus cycles ... are due to the write-through policy".
-    let wti = results.scheme("WTI").unwrap().combined.breakdown(model);
+    let wti = results[Scheme::Wti].combined.breakdown(model);
     assert!(wti[CostCategory::WtOrWup] > 0.25 * wti.cycles_per_ref());
     // Dir0B: unoverlapped directory traffic is a small fraction —
     // "diminishes previous concerns that the directory could be a major
     // performance bottleneck".
-    let dir0b = results.scheme("Dir0B").unwrap().combined.breakdown(model);
+    let dir0b = results[Scheme::dir0_b()].combined.breakdown(model);
     assert!(
         dir0b[CostCategory::DirAccess] < 0.25 * dir0b.cycles_per_ref(),
         "dir access share = {:.3}",
@@ -133,7 +129,7 @@ fn table5_breakdown_shape() {
     // invalidation viable (§6).
     assert!(dir0b[CostCategory::Invalidate] < 0.30 * dir0b.cycles_per_ref());
     // Dir1NB: dominated by memory accesses from bouncing blocks.
-    let dir1nb = results.scheme("Dir1NB").unwrap().combined.breakdown(model);
+    let dir1nb = results[Scheme::dir1_nb()].combined.breakdown(model);
     assert!(dir1nb[CostCategory::MemAccess] > 0.4 * dir1nb.cycles_per_ref());
 }
 
@@ -144,17 +140,15 @@ fn figure5_transaction_cost_shape() {
     // lower than Dir0B's, so fixed overheads hurt it more (§5.1).
     let results = dirsim::paper::headline_experiment(REFS).run().unwrap();
     let model = CostModel::pipelined();
-    let per_txn = |name: &str| {
-        results
-            .scheme(name)
-            .unwrap()
+    let per_txn = |scheme: Scheme| {
+        results[scheme]
             .combined
             .breakdown(model)
             .cycles_per_transaction()
     };
-    assert!(per_txn("Dragon") < per_txn("Dir0B"));
-    assert!(per_txn("WTI") < per_txn("Dir0B"));
-    assert!(per_txn("Dir1NB") > per_txn("Dir0B"));
+    assert!(per_txn(Scheme::Dragon) < per_txn(Scheme::dir0_b()));
+    assert!(per_txn(Scheme::Wti) < per_txn(Scheme::dir0_b()));
+    assert!(per_txn(Scheme::dir1_nb()) > per_txn(Scheme::dir0_b()));
 }
 
 #[test]
@@ -163,8 +157,8 @@ fn section51_fixed_overhead_narrows_the_gap() {
     // Dragon, as compared with 46%".
     let results = dirsim::paper::headline_experiment(REFS).run().unwrap();
     let model = CostModel::pipelined();
-    let dir0b = results.scheme("Dir0B").unwrap().combined.breakdown(model);
-    let dragon = results.scheme("Dragon").unwrap().combined.breakdown(model);
+    let dir0b = results[Scheme::dir0_b()].combined.breakdown(model);
+    let dragon = results[Scheme::Dragon].combined.breakdown(model);
     let gap_at =
         |q: f64| dir0b.cycles_per_ref_with_overhead(q) / dragon.cycles_per_ref_with_overhead(q);
     assert!(
@@ -203,8 +197,8 @@ fn section52_spin_locks_cripple_dir1nb_only() {
 fn section6_sequential_invalidation_is_nearly_free() {
     // Paper: DirnNB 0.0499 vs Dir0B 0.0491 — under 2% apart. Allow 10%.
     let results = dirsim::paper::extended_experiment(REFS).run().unwrap();
-    let dir0b = pipelined(&results, "Dir0B");
-    let dirn = pipelined(&results, "DirnNB");
+    let dir0b = pipelined(&results, Scheme::dir0_b());
+    let dirn = pipelined(&results, Scheme::dir_n_nb());
     assert!(
         dirn >= dir0b * 0.99,
         "sequential can't be cheaper than broadcast"
@@ -220,7 +214,7 @@ fn section6_dir1b_broadcast_slope_is_tiny() {
     // Paper: Dir1B ≈ 0.0485 + 0.0006·b — the broadcast term is marginal
     // because almost all invalidations are single and directed.
     let results = dirsim::paper::extended_experiment(REFS).run().unwrap();
-    let dir1b = &results.scheme("Dir1B").unwrap().combined;
+    let dir1b = &results[Scheme::dir1_b()].combined;
     let points = dirsim::paper::broadcast_sensitivity(dir1b, &[1, 16]);
     let slope = (points[1].1 - points[0].1) / 15.0;
     let base = points[0].1;
@@ -230,16 +224,16 @@ fn section6_dir1b_broadcast_slope_is_tiny() {
         "broadcast slope {slope:.5} should be a tiny fraction of base {base:.4}"
     );
     // And Dir1B at b=1 is close to Dir0B.
-    let dir0b = pipelined(&results, "Dir0B");
+    let dir0b = pipelined(&results, Scheme::dir0_b());
     assert!((base - dir0b).abs() < 0.15 * dir0b);
 }
 
 #[test]
 fn section6_berkeley_sits_between_dir0b_and_dragon() {
     let results = dirsim::paper::extended_experiment(REFS).run().unwrap();
-    let dragon = pipelined(&results, "Dragon");
-    let dir0b = pipelined(&results, "Dir0B");
-    let berkeley = pipelined(&results, "Berkeley");
+    let dragon = pipelined(&results, Scheme::Dragon);
+    let dir0b = pipelined(&results, Scheme::dir0_b());
+    let berkeley = pipelined(&results, Scheme::Berkeley);
     assert!(
         dragon < berkeley && berkeley <= dir0b,
         "Dragon {dragon:.4} < Berkeley {berkeley:.4} <= Dir0B {dir0b:.4}"
@@ -280,14 +274,14 @@ fn relative_performance_is_bus_model_insensitive() {
     // Paper §5: "the relative performance of the four schemes does not
     // depend strongly on the sophistication of the bus."
     let results = dirsim::paper::headline_experiment(REFS).run().unwrap();
-    let order = |cost: fn(&ExperimentResults, &str) -> f64| {
-        let mut names: Vec<&str> = vec!["Dir1NB", "WTI", "Dir0B", "Dragon"];
-        names.sort_by(|a, b| {
+    let order = |cost: fn(&ExperimentResults, Scheme) -> f64| {
+        let mut schemes = Scheme::paper_lineup();
+        schemes.sort_by(|&a, &b| {
             cost(&results, a)
                 .partial_cmp(&cost(&results, b))
                 .expect("finite costs")
         });
-        names
+        schemes
     };
     assert_eq!(order(pipelined), order(non_pipelined));
 }
