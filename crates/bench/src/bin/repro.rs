@@ -4,15 +4,22 @@
 //!
 //! ```text
 //! repro [--quick] [--only <artifact>] [--csv <dir>] [--list]
+//!       [--metrics-json <path>] [--progress]
 //! ```
 //!
 //! * `--quick` — 100k references per trace instead of 1M.
 //! * `--only <artifact>` — print one artifact (see `--list`).
 //! * `--csv <dir>` — additionally write figure data series as CSV files.
 //! * `--list` — list artifact names.
+//! * `--metrics-json <path>` — write engine metrics (run manifest,
+//!   per-phase timings, per-scheme operation counts) as JSON lines.
+//! * `--progress` — report references/sec on stderr while simulating.
 
 use std::process::ExitCode;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
+use dirsim::obs::{MetricsRegistry, ProgressMeter, Recorder, RunManifest};
 use dirsim::paper;
 use dirsim_bench::{csv_artifacts, render_artifact, ARTIFACTS, QUICK_REFS, REPORT_REFS};
 
@@ -21,10 +28,13 @@ fn main() -> ExitCode {
     let mut quick = false;
     let mut only: Option<String> = None;
     let mut csv_dir: Option<String> = None;
+    let mut metrics_json: Option<String> = None;
+    let mut progress = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--quick" => quick = true,
+            "--progress" => progress = true,
             "--list" => {
                 for a in ARTIFACTS {
                     println!("{a}");
@@ -47,9 +57,18 @@ fn main() -> ExitCode {
                 };
                 csv_dir = Some(dir.clone());
             }
+            "--metrics-json" => {
+                i += 1;
+                let Some(path) = args.get(i) else {
+                    eprintln!("--metrics-json requires a path");
+                    return ExitCode::FAILURE;
+                };
+                metrics_json = Some(path.clone());
+            }
             other => {
                 eprintln!(
-                    "unknown argument {other}; usage: repro [--quick] [--only <artifact>] [--csv <dir>] [--list]"
+                    "unknown argument {other}; usage: repro [--quick] [--only <artifact>] \
+                     [--csv <dir>] [--list] [--metrics-json <path>] [--progress]"
                 );
                 return ExitCode::FAILURE;
             }
@@ -65,8 +84,25 @@ fn main() -> ExitCode {
         }
     }
 
+    let registry = metrics_json
+        .as_ref()
+        .map(|_| Arc::new(MetricsRegistry::new()));
+    let meter = Arc::new(Mutex::new(if progress {
+        ProgressMeter::stderr("refs", Duration::from_millis(500))
+    } else {
+        ProgressMeter::disabled()
+    }));
+    let instrument = |exp: dirsim::Experiment| {
+        let exp = match &registry {
+            Some(r) => exp.recorder(Arc::clone(r) as Arc<dyn Recorder>),
+            None => exp,
+        };
+        exp.progress(Arc::clone(&meter))
+    };
+
+    let started = Instant::now();
     eprintln!("simulating headline experiment ({refs} refs/trace)...");
-    let headline = match paper::headline_experiment(refs).run_parallel() {
+    let headline = match instrument(paper::headline_experiment(refs)).run_parallel() {
         Ok(r) => r,
         Err(e) => {
             dirsim_bench::report_error("repro", &e);
@@ -74,13 +110,31 @@ fn main() -> ExitCode {
         }
     };
     eprintln!("simulating extended experiment...");
-    let extended = match paper::extended_experiment(refs).run_parallel() {
+    let extended = match instrument(paper::extended_experiment(refs)).run_parallel() {
         Ok(r) => r,
         Err(e) => {
             dirsim_bench::report_error("repro", &e);
             return ExitCode::FAILURE;
         }
     };
+    let wall = started.elapsed().as_secs_f64();
+
+    if let (Some(path), Some(registry)) = (&metrics_json, &registry) {
+        let manifest = RunManifest::new("repro")
+            .schemes(paper::extended_schemes().iter().map(|s| s.name()))
+            .mode("parallel")
+            .trace("synth:paper-workloads")
+            .refs(refs as u64)
+            .wall_secs(wall)
+            .extra("experiments", "headline+extended");
+        if let Err(e) =
+            dirsim::obs::write_jsonl_file(std::path::Path::new(path), &manifest, registry)
+        {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("metrics written to {path}");
+    }
 
     println!("dirsim reproduction report — Agarwal, Simoni, Hennessy, Horowitz (ISCA 1988)");
     println!("references per trace: {refs}\n");

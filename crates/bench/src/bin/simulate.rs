@@ -1,55 +1,78 @@
-//! Run one or more coherence schemes over a trace file and report the
-//! results.
+//! Run one or more coherence schemes over a trace and report the results.
 //!
 //! ```text
-//! simulate <scheme[,scheme...]> <trace file> [--caches N] [--oracle]
+//! simulate [<scheme[,scheme...]> <trace file>] [--caches N] [--oracle]
 //!          [--block BYTES] [--per-processor] [--finite SETSxWAYS]
+//!          [--refs N] [--metrics-json PATH] [--progress]
 //! ```
+//!
+//! With no positional arguments the paper's four headline schemes are run
+//! over a synthetic POPS workload (`--refs` references, default 100 000) —
+//! a self-contained demo needing no trace file.
 //!
 //! `<scheme>` uses the paper's notation (`Dir0B`, `Dir2NB`, `DirnNB`,
 //! `CoarseVector`, `Tang`, `YenFu`, `WTI`, `Dragon`, `Berkeley`). Trace
-//! files ending in `.txt` or `.trace` are parsed as text, anything else as `DTR1`
-//! binary (see `trace_tool`).
+//! files ending in `.txt` or `.trace` are parsed as text, anything else as
+//! `DTR1` binary (see `trace_tool`).
+//!
+//! `--metrics-json` writes a JSON-lines metrics file (run manifest,
+//! per-phase engine timings, per-scheme operation counts — schema version
+//! `dirsim_obs::SCHEMA_VERSION`); `--progress` reports references/sec on
+//! stderr while the run is in flight.
 
 use std::fs::File;
 use std::io::BufReader;
+use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
+use dirsim::obs::{MetricsRegistry, NoopRecorder, ProgressMeter, Recorder, RunManifest};
 use dirsim::prelude::*;
 use dirsim_cost::CostCategory;
 use dirsim_mem::CacheGeometry;
 use dirsim_trace::compress::read_compressed;
 use dirsim_trace::io::{read_binary, read_text};
+use dirsim_trace::synth::PaperTrace;
 
 struct Options {
     schemes: Vec<Scheme>,
-    path: String,
+    /// `None` runs the synthetic demo workload.
+    path: Option<String>,
     caches: Option<u32>,
     oracle: bool,
     block_bytes: u32,
     per_processor: bool,
     finite: Option<CacheGeometry>,
+    refs: usize,
+    metrics_json: Option<PathBuf>,
+    progress: bool,
 }
 
 fn parse_args() -> Result<Options, Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let usage = "usage: simulate <scheme> <trace> [--caches N] [--oracle] \
-                 [--block BYTES] [--per-processor] [--finite SETSxWAYS]";
+    let usage = "usage: simulate [<scheme> <trace>] [--caches N] [--oracle] \
+                 [--block BYTES] [--per-processor] [--finite SETSxWAYS] \
+                 [--refs N] [--metrics-json PATH] [--progress]";
     let mut positional = Vec::new();
     let mut opts = Options {
         schemes: vec![Scheme::Dragon],
-        path: String::new(),
+        path: None,
         caches: None,
         oracle: false,
         block_bytes: 16,
         per_processor: false,
         finite: None,
+        refs: 100_000,
+        metrics_json: None,
+        progress: false,
     };
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--oracle" => opts.oracle = true,
             "--per-processor" => opts.per_processor = true,
+            "--progress" => opts.progress = true,
             "--caches" => {
                 i += 1;
                 opts.caches = Some(
@@ -67,6 +90,18 @@ fn parse_args() -> Result<Options, Box<dyn std::error::Error>> {
                     .parse()
                     .map_err(|_| "--block expects a number of bytes")?;
             }
+            "--refs" => {
+                i += 1;
+                opts.refs = args
+                    .get(i)
+                    .ok_or(usage)?
+                    .parse()
+                    .map_err(|_| "--refs expects a number")?;
+            }
+            "--metrics-json" => {
+                i += 1;
+                opts.metrics_json = Some(PathBuf::from(args.get(i).ok_or(usage)?));
+            }
             "--finite" => {
                 i += 1;
                 let spec = args.get(i).ok_or(usage)?;
@@ -82,23 +117,28 @@ fn parse_args() -> Result<Options, Box<dyn std::error::Error>> {
         }
         i += 1;
     }
-    let [scheme, path] = &positional[..] else {
-        return Err(usage.into());
-    };
-    opts.schemes = scheme
-        .split(',')
-        .map(str::parse)
-        .collect::<Result<Vec<Scheme>, _>>()?;
-    opts.path = path.clone();
+    match &positional[..] {
+        [] => {
+            // Demo mode: the paper's headline schemes over synthetic POPS.
+            opts.schemes = Scheme::paper_lineup();
+        }
+        [scheme, path] => {
+            opts.schemes = scheme
+                .split(',')
+                .map(str::parse)
+                .collect::<Result<Vec<Scheme>, _>>()?;
+            opts.path = Some(path.clone());
+        }
+        _ => return Err(usage.into()),
+    }
     Ok(opts)
 }
 
-fn run() -> Result<(), Box<dyn std::error::Error>> {
-    let opts = parse_args()?;
-    let file = File::open(&opts.path).map_err(|e| format!("{}: {e}", opts.path))?;
-    let refs: Vec<MemRef> = if opts.path.ends_with(".txt") || opts.path.ends_with(".trace") {
+fn load_trace(path: &str) -> Result<Vec<MemRef>, Box<dyn std::error::Error>> {
+    let file = File::open(path).map_err(|e| format!("{path}: {e}"))?;
+    let refs: Vec<MemRef> = if path.ends_with(".txt") || path.ends_with(".trace") {
         read_text(BufReader::new(file)).collect::<Result<_, _>>()
-    } else if opts.path.ends_with(".dtr2") {
+    } else if path.ends_with(".dtr2") {
         read_compressed(BufReader::new(file)).collect::<Result<_, _>>()
     } else {
         read_binary(BufReader::new(file)).collect::<Result<_, _>>()
@@ -106,6 +146,43 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
     if refs.is_empty() {
         return Err("trace is empty".into());
     }
+    Ok(refs)
+}
+
+fn run() -> Result<(), Box<dyn std::error::Error>> {
+    let opts = parse_args()?;
+
+    let registry = opts
+        .metrics_json
+        .as_ref()
+        .map(|_| Arc::new(MetricsRegistry::new()));
+    let recorder: Arc<dyn Recorder> = match &registry {
+        Some(r) => Arc::clone(r) as Arc<dyn Recorder>,
+        None => Arc::new(NoopRecorder),
+    };
+    let meter = Arc::new(Mutex::new(if opts.progress {
+        ProgressMeter::stderr("refs", Duration::from_millis(500))
+    } else {
+        ProgressMeter::disabled()
+    }));
+
+    // Materialise the reference stream: a trace file, or the synthetic
+    // demo workload.
+    let (refs, trace_desc, seed) = match &opts.path {
+        Some(path) => (load_trace(path)?, path.clone(), None),
+        None => {
+            let preset = PaperTrace::Pops;
+            let config = preset.config();
+            let refs: Vec<MemRef> = preset.workload().take(opts.refs).collect();
+            let desc = format!(
+                "synth:{}(cpus={}, seed={})",
+                preset.name(),
+                config.cpus,
+                config.seed
+            );
+            (refs, desc, Some(config.seed))
+        }
+    };
 
     let stats = TraceStats::from_refs(refs.iter().copied());
     let caches = opts.caches.unwrap_or_else(|| {
@@ -126,16 +203,56 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
         geometry: opts.finite,
         ..SimConfig::default()
     };
-    if opts.schemes.len() > 1 {
+
+    // One single-pass broadcast run covers every requested scheme and
+    // feeds the phase/scheme instrumentation.
+    let started = Instant::now();
+    let mut observed = 0u64;
+    let results = BroadcastSimulator::new(config)
+        .recorder(Arc::clone(&recorder))
+        .run_observed(
+            &opts.schemes,
+            caches,
+            IterSource::new(refs.iter().copied()),
+            |_| {
+                observed += 1;
+                meter
+                    .lock()
+                    .expect("progress meter poisoned")
+                    .tick(observed, None);
+            },
+        )?;
+    let wall = started.elapsed().as_secs_f64();
+    meter
+        .lock()
+        .expect("progress meter poisoned")
+        .finish(observed, None);
+
+    if let (Some(path), Some(registry)) = (&opts.metrics_json, &registry) {
+        let mut manifest = RunManifest::new("simulate")
+            .schemes(results.iter().map(|r| r.scheme.clone()))
+            .mode("single-pass")
+            .trace(&trace_desc)
+            .refs(observed)
+            .wall_secs(wall)
+            .extra("caches", &caches.to_string())
+            .extra("block_bytes", &opts.block_bytes.to_string());
+        if let Some(seed) = seed {
+            manifest = manifest.seed(seed);
+        }
+        dirsim::obs::write_jsonl_file(path, &manifest, registry)
+            .map_err(|e| format!("{}: {e}", path.display()))?;
+        eprintln!("metrics written to {}", path.display());
+    }
+
+    if results.len() > 1 {
         // Comparison mode: one summary row per scheme.
-        println!("trace:    {} ({stats})", opts.path);
+        println!("trace:    {trace_desc} ({stats})");
         println!(
             "{:>14} {:>12} {:>12} {:>10} {:>10}",
             "scheme", "pipelined", "non-pipelined", "txns/ref", "miss rate"
         );
-        for &scheme in &opts.schemes {
-            let mut protocol = scheme.build(caches);
-            let result = Simulator::new(config).run(protocol.as_mut(), refs.iter().copied())?;
+        for result in &results {
             let bd = result.breakdown(CostModel::pipelined());
             println!(
                 "{:>14} {:>12.4} {:>12.4} {:>10.4} {:>9.3}%",
@@ -149,10 +266,8 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
         return Ok(());
     }
 
-    let mut protocol = opts.schemes[0].build(caches);
-    let result = Simulator::new(config).run(protocol.as_mut(), refs)?;
-
-    println!("trace:    {} ({stats})", opts.path);
+    let result = &results[0];
+    println!("trace:    {trace_desc} ({stats})");
     println!(
         "scheme:   {} over {caches} caches ({} sharing, {}-byte blocks{})",
         result.scheme,

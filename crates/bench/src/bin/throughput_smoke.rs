@@ -4,33 +4,65 @@
 //! is identical, so a slowdown means a structural regression (an extra
 //! pass over the trace, a per-reference allocation), never tuning drift.
 //!
-//! Usage: `throughput_smoke [refs_per_trace]` (default 100 000)
+//! Usage: `throughput_smoke [refs_per_trace] [--metrics-json <path>]`
+//! (default 100 000 references per trace)
 //!
 //! Prints one row per mode with wall time, engine steps per second
 //! (references × schemes), and speedup over serial. The sharded row is
 //! informational: its speedup depends on the core count of the machine,
 //! so it warns rather than fails when it loses to single-pass.
+//!
+//! `--metrics-json` records the measured timings (`smoke_best_seconds`,
+//! `steps_per_sec` per mode, `smoke_best_ratio`) as JSON lines after the
+//! gate's measurements complete, so exporting never perturbs the timing.
 
 use std::process::ExitCode;
 use std::time::Instant;
 
+use dirsim::obs::{MetricsRegistry, Recorder, RunManifest};
 use dirsim::{ExecutionMode, Experiment, ExperimentResults};
+
+/// Floor on measured wall time. Coarse clocks (or an absurdly small ref
+/// count) can report 0 elapsed seconds; dividing by the floor instead
+/// keeps rates and paired ratios finite.
+const MIN_SECS: f64 = 1e-9;
 
 fn steps_of(results: &ExperimentResults) -> u64 {
     results.per_scheme.iter().map(|s| s.combined.refs).sum()
 }
 
-fn timed(exp: &Experiment, mode: ExecutionMode) -> (f64, u64) {
+fn timed(exp: &Experiment, mode: ExecutionMode) -> Result<(f64, u64), dirsim::Error> {
     let start = Instant::now();
-    let results = exp.run_with(mode).expect("simulation");
-    (start.elapsed().as_secs_f64(), steps_of(&results))
+    let results = exp.run_with(mode)?;
+    Ok((
+        start.elapsed().as_secs_f64().max(MIN_SECS),
+        steps_of(&results),
+    ))
 }
 
-fn main() -> ExitCode {
-    let refs: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(100_000);
+fn run() -> Result<ExitCode, Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut refs: usize = 100_000;
+    let mut metrics_json: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--metrics-json" => {
+                i += 1;
+                metrics_json = Some(args.get(i).ok_or("--metrics-json requires a path")?.clone());
+            }
+            other => {
+                refs = other.parse().map_err(|_| {
+                    format!(
+                        "unknown argument {other}; usage: throughput_smoke \
+                         [refs_per_trace] [--metrics-json <path>]"
+                    )
+                })?;
+            }
+        }
+        i += 1;
+    }
+
     let workers = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
@@ -53,18 +85,20 @@ fn main() -> ExitCode {
     // per-round *ratios* (adjacent measurements see the same machine
     // conditions), judging single-pass by its best round.
     const ROUNDS: usize = 5;
-    exp.run_with(ExecutionMode::SinglePass).expect("warm-up");
+    let started = Instant::now();
+    exp.run_with(ExecutionMode::SinglePass)?;
     let mut best = [f64::INFINITY; 3];
     let mut steps = [0u64; 3];
     let mut best_ratio = 0.0f64;
     for _ in 0..ROUNDS {
-        let mut round = [0.0; 3];
+        let mut round = [MIN_SECS; 3];
         for (i, &(_, mode)) in modes.iter().enumerate() {
-            let (secs, n) = timed(&exp, mode);
+            let (secs, n) = timed(&exp, mode)?;
             round[i] = secs;
             best[i] = best[i].min(secs);
             steps[i] = n;
         }
+        // timed() clamps to MIN_SECS, so the ratio is always finite.
         best_ratio = best_ratio.max(round[0] / round[1]);
     }
 
@@ -80,6 +114,28 @@ fn main() -> ExitCode {
         rates.push((label, rate));
     }
 
+    // Export after every measurement so recording can't perturb the gate.
+    if let Some(path) = &metrics_json {
+        let registry = MetricsRegistry::new();
+        for (i, (label, _)) in modes.iter().enumerate() {
+            let labels = [("mode", *label)];
+            registry.gauge("smoke_best_seconds", &labels, best[i]);
+            registry.gauge("steps_per_sec", &labels, steps[i] as f64 / best[i]);
+        }
+        registry.gauge("smoke_best_ratio", &[], best_ratio);
+        let manifest = RunManifest::new("throughput_smoke")
+            .schemes(dirsim::paper::extended_schemes().iter().map(|s| s.name()))
+            .mode("paired-rounds")
+            .trace("synth:paper-workloads")
+            .refs(refs as u64)
+            .wall_secs(started.elapsed().as_secs_f64())
+            .extra("rounds", &ROUNDS.to_string())
+            .extra("workers", &workers.to_string());
+        dirsim::obs::write_jsonl_file(std::path::Path::new(path), &manifest, &registry)
+            .map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("metrics written to {path}");
+    }
+
     // 10% guard band on the best paired round: a real regression slows
     // every round well past this; noise does not slow all five.
     if best_ratio < 0.90 {
@@ -87,7 +143,7 @@ fn main() -> ExitCode {
             "FAIL: single-pass never reached serial throughput \
              (best round {best_ratio:.2}x serial)"
         );
-        return ExitCode::FAILURE;
+        return Ok(ExitCode::FAILURE);
     }
     let (single_pass, sharded) = (rates[1].1, rates[2].1);
     if workers > 1 && sharded < single_pass {
@@ -97,5 +153,15 @@ fn main() -> ExitCode {
         );
     }
     println!("OK: single-pass best round is {best_ratio:.2}x serial");
-    ExitCode::SUCCESS
+    Ok(ExitCode::SUCCESS)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(err) => {
+            dirsim_bench::report_error("throughput_smoke", err.as_ref());
+            ExitCode::FAILURE
+        }
+    }
 }

@@ -43,8 +43,9 @@
 //! # }
 //! ```
 
-use std::sync::mpsc;
+use std::sync::{mpsc, Arc};
 
+use dirsim_obs::{NoopRecorder, Recorder, Span};
 use dirsim_protocol::{CoherenceProtocol, Scheme};
 use dirsim_trace::source::TraceSource;
 use dirsim_trace::MemRef;
@@ -113,6 +114,7 @@ pub struct BroadcastSimulator {
     config: SimConfig,
     chunk: usize,
     workers: usize,
+    recorder: Arc<dyn Recorder>,
 }
 
 impl Default for BroadcastSimulator {
@@ -129,6 +131,7 @@ impl BroadcastSimulator {
             config,
             chunk: DEFAULT_CHUNK,
             workers: 1,
+            recorder: Arc::new(NoopRecorder),
         }
     }
 
@@ -158,6 +161,23 @@ impl BroadcastSimulator {
     pub fn workers(mut self, workers: usize) -> Self {
         assert!(workers > 0, "need at least one worker");
         self.workers = workers;
+        self
+    }
+
+    /// Sets the metrics [`Recorder`] the engine reports into. The default
+    /// is [`NoopRecorder`]: instrumented sites cost one always-false
+    /// `enabled()` check and nothing else.
+    ///
+    /// The engine records:
+    ///
+    /// * `phase_seconds{phase=decode|step|merge}` — histogram of per-chunk
+    ///   phase wall-clock (sharded step spans carry a `shard` label);
+    /// * `engine_refs` — counter of references decoded from the source;
+    /// * `scheme_refs/scheme_transactions{scheme}` and
+    ///   `scheme_ops{scheme,op}` — per-scheme result totals;
+    /// * `shard_refs/shard_ops{shard}` — per-shard totals (sharded runs).
+    pub fn recorder(mut self, recorder: Arc<dyn Recorder>) -> Self {
+        self.recorder = recorder;
         self
     }
 
@@ -233,26 +253,33 @@ impl BroadcastSimulator {
         source: &mut dyn TraceSource,
         observe: &mut dyn FnMut(&MemRef),
     ) -> Result<Vec<SimResult>, Error> {
+        let rec = &*self.recorder;
         let mut lanes: Vec<SchemeLane> = schemes
             .iter()
             .map(|&s| SchemeLane::new(&self.config, s, caches))
             .collect();
         let mut buf = Vec::with_capacity(self.chunk);
         loop {
+            let decode = Span::with_labels(rec, "phase_seconds", &[("phase", "decode")]);
             let n = source.read_chunk(&mut buf, self.chunk)?;
+            drop(decode);
             if n == 0 {
                 break;
             }
+            rec.counter("engine_refs", &[], n as u64);
             for r in &buf {
                 observe(r);
             }
+            let _step = Span::with_labels(rec, "phase_seconds", &[("phase", "step")]);
             for lane in lanes.iter_mut() {
                 for &r in &buf {
                     lane.step(&self.config, r)?;
                 }
             }
         }
-        Ok(lanes.into_iter().map(SchemeLane::finish).collect())
+        let results: Vec<SimResult> = lanes.into_iter().map(SchemeLane::finish).collect();
+        record_scheme_totals(rec, &results);
+        Ok(results)
     }
 
     fn run_sharded(
@@ -265,19 +292,26 @@ impl BroadcastSimulator {
         let workers = self.workers;
         let config = self.config;
         let chunk = self.chunk;
+        let rec = &*self.recorder;
 
         let per_worker: Result<Vec<Vec<SimResult>>, Error> = std::thread::scope(|scope| {
             let mut txs = Vec::with_capacity(workers);
             let mut handles = Vec::with_capacity(workers);
-            for _ in 0..workers {
+            for shard in 0..workers {
                 let (tx, rx) = mpsc::sync_channel::<Vec<MemRef>>(SHARD_CHANNEL_DEPTH);
                 txs.push(tx);
                 handles.push(scope.spawn(move || -> Result<Vec<SimResult>, Error> {
+                    let shard_label = shard.to_string();
                     let mut lanes: Vec<SchemeLane> = schemes
                         .iter()
                         .map(|&s| SchemeLane::new(&config, s, caches))
                         .collect();
                     for batch in rx {
+                        let _step = Span::with_labels(
+                            rec,
+                            "phase_seconds",
+                            &[("phase", "step"), ("shard", &shard_label)],
+                        );
                         for lane in lanes.iter_mut() {
                             for &r in &batch {
                                 lane.step(&config, r)?;
@@ -298,7 +332,10 @@ impl BroadcastSimulator {
                 (0..workers).map(|_| Vec::with_capacity(chunk)).collect();
             let mut source_err: Option<Error> = None;
             loop {
-                match source.read_chunk(&mut buf, chunk) {
+                let decode = Span::with_labels(rec, "phase_seconds", &[("phase", "decode")]);
+                let read = source.read_chunk(&mut buf, chunk);
+                drop(decode);
+                match read {
                     Ok(0) => break,
                     Ok(_) => {}
                     Err(e) => {
@@ -306,6 +343,7 @@ impl BroadcastSimulator {
                         break;
                     }
                 }
+                rec.counter("engine_refs", &[], buf.len() as u64);
                 for r in &buf {
                     observe(r);
                     let block = config.block_map.block_of(r.addr);
@@ -349,17 +387,57 @@ impl BroadcastSimulator {
             Ok(results)
         });
 
+        let per_worker = per_worker?;
+        if rec.enabled() {
+            for (shard, shard_results) in per_worker.iter().enumerate() {
+                let shard_label = shard.to_string();
+                let labels = [("shard", shard_label.as_str())];
+                // All lanes in one shard see the same subsequence, so any
+                // lane's `refs` is the shard's reference count.
+                rec.counter("shard_refs", &labels, shard_results[0].refs);
+                let ops: u64 = shard_results.iter().map(|r| r.ops.total()).sum();
+                rec.counter("shard_ops", &labels, ops);
+            }
+        }
+
         // Merge shard results per scheme. Every SimResult field is a
         // commutative sum (or a histogram of sums), so the totals equal a
         // serial run's bit for bit.
-        let mut shards = per_worker?.into_iter();
+        let merge = Span::with_labels(rec, "phase_seconds", &[("phase", "merge")]);
+        let mut shards = per_worker.into_iter();
         let mut merged = shards.next().expect("at least one worker");
         for shard_results in shards {
             for (acc, r) in merged.iter_mut().zip(shard_results.iter()) {
                 acc.merge(r);
             }
         }
+        drop(merge);
+        record_scheme_totals(rec, &merged);
         Ok(merged)
+    }
+}
+
+/// Record per-scheme result totals into `recorder`: `scheme_refs`,
+/// `scheme_transactions`, and a `scheme_ops` counter per non-zero bus
+/// operation. Shared by every execution mode so the exported totals do not
+/// depend on how the run was parallelised.
+pub(crate) fn record_scheme_totals(recorder: &dyn Recorder, results: &[SimResult]) {
+    if !recorder.enabled() {
+        return;
+    }
+    for r in results {
+        let labels = [("scheme", r.scheme.as_str())];
+        recorder.counter("scheme_refs", &labels, r.refs);
+        recorder.counter("scheme_transactions", &labels, r.transactions);
+        for (op, count) in r.ops.iter() {
+            if count > 0 {
+                recorder.counter(
+                    "scheme_ops",
+                    &[("op", op.name()), ("scheme", r.scheme.as_str())],
+                    count,
+                );
+            }
+        }
     }
 }
 
@@ -508,5 +586,75 @@ mod tests {
     #[should_panic(expected = "needs schemes")]
     fn empty_schemes_panics() {
         let _ = BroadcastSimulator::paper().run(&[], 4, IterSource::new(std::iter::empty()));
+    }
+
+    #[test]
+    fn instrumented_run_records_phases_and_totals() {
+        use dirsim_obs::MetricsRegistry;
+
+        let refs = trace();
+        let registry = Arc::new(MetricsRegistry::new());
+        let results = BroadcastSimulator::paper()
+            .recorder(registry.clone())
+            .run(
+                &[Scheme::Wti, Scheme::Dragon],
+                4,
+                IterSource::new(refs.iter().copied()),
+            )
+            .unwrap();
+        assert_eq!(
+            registry.counter_value("engine_refs", &[]),
+            Some(REFS as u64)
+        );
+        for r in &results {
+            assert_eq!(
+                registry.counter_value("scheme_refs", &[("scheme", &r.scheme)]),
+                Some(r.refs)
+            );
+            assert_eq!(
+                registry.counter_value("scheme_transactions", &[("scheme", &r.scheme)]),
+                Some(r.transactions)
+            );
+        }
+        for phase in ["decode", "step"] {
+            let h = registry
+                .histogram_summary("phase_seconds", &[("phase", phase)])
+                .unwrap_or_else(|| panic!("missing {phase} phase timings"));
+            assert!(h.count > 0 && h.sum >= 0.0);
+        }
+    }
+
+    #[test]
+    fn sharded_shard_counters_sum_to_total() {
+        use dirsim_obs::MetricsRegistry;
+
+        let refs = trace();
+        let workers = 3;
+        let registry = Arc::new(MetricsRegistry::new());
+        let results = BroadcastSimulator::paper()
+            .workers(workers)
+            .recorder(registry.clone())
+            .run(&[Scheme::Wti], 4, IterSource::new(refs.iter().copied()))
+            .unwrap();
+        let shard_refs: u64 = (0..workers)
+            .map(|s| {
+                registry
+                    .counter_value("shard_refs", &[("shard", &s.to_string())])
+                    .unwrap_or(0)
+            })
+            .sum();
+        assert_eq!(shard_refs, REFS as u64);
+        let shard_ops: u64 = (0..workers)
+            .map(|s| {
+                registry
+                    .counter_value("shard_ops", &[("shard", &s.to_string())])
+                    .unwrap_or(0)
+            })
+            .sum();
+        assert_eq!(shard_ops, results[0].ops.total());
+        let merge = registry
+            .histogram_summary("phase_seconds", &[("phase", "merge")])
+            .expect("missing merge phase timing");
+        assert_eq!(merge.count, 1);
     }
 }

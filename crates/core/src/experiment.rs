@@ -11,8 +11,10 @@
 //! results. The paper-specific experiment presets live in [`crate::paper`].
 
 use std::ops::Index;
+use std::sync::{Arc, Mutex};
 
 use dirsim_mem::SharingModel;
+use dirsim_obs::{NoopRecorder, ProgressMeter, Recorder};
 use dirsim_protocol::Scheme;
 use dirsim_trace::filter::without_lock_tests;
 use dirsim_trace::source::{IterSource, WithoutLockTests};
@@ -93,6 +95,8 @@ pub struct Experiment {
     sim: SimConfig,
     exclude_lock_tests: bool,
     mode: ExecutionMode,
+    recorder: Arc<dyn Recorder>,
+    progress: Option<Arc<Mutex<ProgressMeter>>>,
 }
 
 impl Default for Experiment {
@@ -104,6 +108,8 @@ impl Default for Experiment {
             sim: SimConfig::default(),
             exclude_lock_tests: false,
             mode: ExecutionMode::SinglePass,
+            recorder: Arc::new(NoopRecorder),
+            progress: None,
         }
     }
 }
@@ -172,6 +178,20 @@ impl Experiment {
     /// Sets the execution mode used by [`Self::run`].
     pub fn execution(mut self, mode: ExecutionMode) -> Self {
         self.mode = mode;
+        self
+    }
+
+    /// Sets the metrics [`Recorder`] passed to the underlying engine (see
+    /// [`BroadcastSimulator::recorder`]). Defaults to the no-op recorder.
+    pub fn recorder(mut self, recorder: Arc<dyn Recorder>) -> Self {
+        self.recorder = recorder;
+        self
+    }
+
+    /// Attaches a throttled [`ProgressMeter`] reporting cumulative
+    /// references observed across the whole matrix.
+    pub fn progress(mut self, progress: Arc<Mutex<ProgressMeter>>) -> Self {
+        self.progress = Some(progress);
         self
     }
 
@@ -275,22 +295,34 @@ impl Experiment {
 
         let simulator = Simulator::new(self.sim);
         let mut per_scheme = Vec::with_capacity(self.schemes.len());
+        let mut simulated_refs = 0u64;
         for &scheme in &self.schemes {
             let mut per_trace = Vec::with_capacity(self.workloads.len());
             let mut combined: Option<SimResult> = None;
             for (w, refs) in self.workloads.iter().zip(trace_refs.iter()) {
                 let mut protocol = scheme.build(self.cache_count(&w.config));
                 let result = simulator.run(protocol.as_mut(), refs.iter().copied())?;
+                simulated_refs += result.refs;
+                if let Some(p) = &self.progress {
+                    p.lock()
+                        .expect("progress meter poisoned")
+                        .tick_now(simulated_refs, None);
+                }
                 match combined.as_mut() {
                     Some(c) => c.merge(&result),
                     None => combined = Some(result.clone()),
                 }
                 per_trace.push((w.name.clone(), result));
             }
+            let combined = combined.expect("at least one workload");
+            crate::broadcast::record_scheme_totals(
+                &*self.recorder,
+                std::slice::from_ref(&combined),
+            );
             per_scheme.push(SchemeResult {
                 scheme,
                 per_trace,
-                combined: combined.expect("at least one workload"),
+                combined,
             });
         }
 
@@ -303,24 +335,39 @@ impl Experiment {
     /// The single-pass path: each workload is generated once, streamed in
     /// chunks, and broadcast through every scheme (optionally sharded).
     fn run_broadcast(&self, workers: usize) -> Result<ExperimentResults, Error> {
-        let broadcaster = BroadcastSimulator::new(self.sim).workers(workers.max(1));
+        let broadcaster = BroadcastSimulator::new(self.sim)
+            .workers(workers.max(1))
+            .recorder(Arc::clone(&self.recorder));
         let mut trace_stats = Vec::with_capacity(self.workloads.len());
         let mut per_workload: Vec<Vec<SimResult>> = Vec::with_capacity(self.workloads.len());
+        let mut observed = 0u64;
         for w in &self.workloads {
             let caches = self.cache_count(&w.config);
             let mut stats = TraceStats::new();
             let stream = Workload::new(w.config.clone()).take(self.refs_per_trace);
+            let mut observe = |r: &MemRef| {
+                stats.observe(r);
+                observed += 1;
+                if let Some(p) = &self.progress {
+                    p.lock()
+                        .expect("progress meter poisoned")
+                        .tick(observed, None);
+                }
+            };
             let results = if self.exclude_lock_tests {
                 broadcaster.run_observed(
                     &self.schemes,
                     caches,
                     WithoutLockTests::new(IterSource::new(stream)),
-                    |r| stats.observe(r),
+                    &mut observe,
                 )?
             } else {
-                broadcaster.run_observed(&self.schemes, caches, IterSource::new(stream), |r| {
-                    stats.observe(r)
-                })?
+                broadcaster.run_observed(
+                    &self.schemes,
+                    caches,
+                    IterSource::new(stream),
+                    &mut observe,
+                )?
             };
             trace_stats.push((w.name.clone(), stats));
             per_workload.push(results);

@@ -56,11 +56,11 @@ impl FanoutHistogram {
 
     /// Largest fan-out observed, or `None` when empty.
     pub fn max_fanout(&self) -> Option<u32> {
-        if self.counts.iter().all(|&c| c == 0) {
-            None
-        } else {
-            Some(self.counts.len() as u32 - 1)
-        }
+        // Scan for the last non-zero bucket rather than trusting
+        // `counts.len()`: trailing zero buckets (e.g. after merging a
+        // histogram that only populated low fan-outs into a longer one)
+        // must not inflate the maximum.
+        self.counts.iter().rposition(|&c| c != 0).map(|i| i as u32)
     }
 
     /// Fraction of clean-writes with fan-out exactly `fanout`.
@@ -111,6 +111,13 @@ impl FanoutHistogram {
         }
         for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
             *a += b;
+        }
+        // Keep the representation canonical (no trailing zero buckets) so
+        // the derived equality stays structural: a merged histogram must
+        // compare equal to one built by recording the same samples
+        // directly, and `iter()`/`Display` must stop at the true maximum.
+        while self.counts.last() == Some(&0) {
+            self.counts.pop();
         }
     }
 }
@@ -198,5 +205,44 @@ mod tests {
         let mut h = FanoutHistogram::new();
         h.record(1);
         assert!(h.to_string().contains("total 1"));
+    }
+
+    #[test]
+    fn max_fanout_ignores_trailing_zero_buckets() {
+        // Regression: max_fanout used to report `counts.len() - 1`, which
+        // over-reports when the representation carries trailing zeros.
+        let h = FanoutHistogram {
+            counts: vec![2, 1, 0, 0],
+        };
+        assert_eq!(h.max_fanout(), Some(1));
+        let all_zero = FanoutHistogram {
+            counts: vec![0, 0, 0],
+        };
+        assert_eq!(all_zero.max_fanout(), None);
+    }
+
+    #[test]
+    fn merge_trims_to_canonical_form() {
+        // Merging a degenerate histogram with trailing zeros must produce
+        // the same value (and compare equal to) one recorded directly.
+        let mut a = FanoutHistogram {
+            counts: vec![0, 0, 0, 0],
+        };
+        let mut b = FanoutHistogram::new();
+        b.record(1);
+        a.merge(&b);
+        let mut direct = FanoutHistogram::new();
+        direct.record(1);
+        assert_eq!(a, direct);
+        assert_eq!(a.max_fanout(), Some(1));
+        assert_eq!(a.iter().count(), 2);
+    }
+
+    #[test]
+    fn merge_of_two_empties_is_empty() {
+        let mut a = FanoutHistogram::new();
+        a.merge(&FanoutHistogram::new());
+        assert_eq!(a, FanoutHistogram::new());
+        assert_eq!(a.max_fanout(), None);
     }
 }

@@ -58,6 +58,7 @@ pub mod report;
 pub mod timing;
 
 pub use broadcast::BroadcastSimulator;
+pub use dirsim_obs as obs;
 pub use engine::{
     audit_step, SimConfig, SimConfigBuilder, SimConfigError, SimError, SimResult, Simulator,
     StepFailure,

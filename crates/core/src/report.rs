@@ -111,11 +111,14 @@ fn pct(value: f64) -> String {
 }
 
 fn bar(value: f64, max: f64, width: usize) -> String {
-    if max <= 0.0 {
+    // A NaN/infinite/non-positive max or value renders as an empty bar
+    // rather than relying on the saturating float→usize cast to do
+    // something sensible.
+    if !max.is_finite() || max <= 0.0 || !value.is_finite() || value <= 0.0 {
         return String::new();
     }
-    let n = ((value / max) * width as f64).round() as usize;
-    "#".repeat(n.min(width))
+    let n = ((value / max).clamp(0.0, 1.0) * width as f64).round() as usize;
+    "#".repeat(n)
 }
 
 /// Table 1: primitive bus-operation timings.
@@ -708,5 +711,22 @@ mod tests {
         }];
         let s = render_pointer_sweep(16, &rows);
         assert!(s.contains("16 processors"));
+    }
+
+    #[test]
+    fn bar_handles_float_edge_cases() {
+        assert_eq!(bar(0.5, 1.0, 10), "#####");
+        assert_eq!(bar(1.0, 1.0, 10), "##########");
+        // Values past the maximum clamp to a full bar instead of relying
+        // on the saturating cast.
+        assert_eq!(bar(3.0, 1.0, 10), "##########");
+        // Degenerate inputs all render as an empty bar.
+        assert_eq!(bar(f64::NAN, 1.0, 10), "");
+        assert_eq!(bar(-0.5, 1.0, 10), "");
+        assert_eq!(bar(f64::INFINITY, 1.0, 10), "");
+        assert_eq!(bar(0.5, f64::NAN, 10), "");
+        assert_eq!(bar(0.5, 0.0, 10), "");
+        assert_eq!(bar(0.5, -1.0, 10), "");
+        assert_eq!(bar(0.0, 1.0, 10), "");
     }
 }

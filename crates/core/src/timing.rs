@@ -72,7 +72,9 @@ impl TimingResult {
     /// Mean processor utilisation: the fraction of each processor's
     /// lifetime spent executing references rather than stalled.
     pub fn processor_utilization(&self) -> f64 {
-        if self.total_cycles == 0 {
+        // An empty run has no processors to average over; without this
+        // guard the sum-over-n below would be 0.0 / 0.0 = NaN.
+        if self.total_cycles == 0 || self.per_cpu_refs.is_empty() {
             return 0.0;
         }
         let n = self.per_cpu_refs.len() as f64;
@@ -140,6 +142,27 @@ impl TimingSimulator {
         protocol: &mut dyn CoherenceProtocol,
         per_cpu: Vec<Vec<MemRef>>,
     ) -> TimingResult {
+        self.run_with_progress(
+            protocol,
+            per_cpu,
+            &mut dirsim_obs::ProgressMeter::disabled(),
+        )
+    }
+
+    /// Like [`run`](Self::run), but reports retired references (and the
+    /// implied references/sec rate) through a throttled
+    /// [`ProgressMeter`](dirsim_obs::ProgressMeter). A disabled meter costs
+    /// one branch per reference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `per_cpu` is empty.
+    pub fn run_with_progress(
+        &self,
+        protocol: &mut dyn CoherenceProtocol,
+        per_cpu: Vec<Vec<MemRef>>,
+        progress: &mut dirsim_obs::ProgressMeter,
+    ) -> TimingResult {
         assert!(!per_cpu.is_empty(), "need at least one processor stream");
         let n = per_cpu.len();
         let mut result = TimingResult {
@@ -155,6 +178,7 @@ impl TimingSimulator {
             (0..n).map(|cpu| Reverse((0u64, cpu))).collect();
         let mut position = vec![0usize; n];
         let mut bus_free_at = 0u64;
+        let mut retired = 0u64;
 
         while let Some(Reverse((now, cpu))) = heap.pop() {
             let stream = &per_cpu[cpu];
@@ -163,6 +187,8 @@ impl TimingSimulator {
             };
             position[cpu] += 1;
             result.per_cpu_refs[cpu] += 1;
+            retired += 1;
+            progress.tick(retired, None);
             // The reference itself takes one processor cycle.
             let mut next_free = now + 1;
             if r.kind != AccessKind::InstrFetch {
@@ -200,6 +226,7 @@ impl TimingSimulator {
                 heap.pop();
             }
         }
+        progress.finish(retired, None);
         result
     }
 
@@ -399,5 +426,64 @@ mod tests {
     fn empty_streams_rejected() {
         let mut p = Scheme::Dragon.build(1);
         let _ = TimingSimulator::default().run(p.as_mut(), Vec::new());
+    }
+
+    #[test]
+    fn empty_timing_result_reports_zero_utilization_not_nan() {
+        // Regression: a hand-built (or degenerate) result with no
+        // processors used to return 0.0/0.0 = NaN from
+        // processor_utilization when total_cycles was non-zero.
+        let empty = TimingResult {
+            total_cycles: 10,
+            per_cpu_refs: Vec::new(),
+            per_cpu_stall: Vec::new(),
+            bus_busy_cycles: 0,
+            transactions: 0,
+        };
+        assert_eq!(empty.processor_utilization(), 0.0);
+        assert!(empty.processor_utilization().is_finite());
+        assert_eq!(empty.effective_processors(), 0.0);
+        let zero = TimingResult {
+            total_cycles: 0,
+            per_cpu_refs: Vec::new(),
+            per_cpu_stall: Vec::new(),
+            bus_busy_cycles: 0,
+            transactions: 0,
+        };
+        assert_eq!(zero.processor_utilization(), 0.0);
+        assert_eq!(zero.bus_utilization(), 0.0);
+    }
+
+    #[test]
+    fn progress_meter_sees_every_retired_reference() {
+        use std::sync::{Arc, Mutex};
+        use std::time::Duration;
+
+        let refs: Vec<MemRef> = PaperTrace::Pops.workload().take(5_000).collect();
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&seen);
+        let mut meter = dirsim_obs::ProgressMeter::new(
+            "refs",
+            Duration::ZERO,
+            Box::new(move |p| sink.lock().unwrap().push(p.done)),
+        );
+        let mut p = Scheme::Wti.build(4);
+        let result =
+            TimingSimulator::default().run_with_progress(p.as_mut(), split(refs, 4), &mut meter);
+        let seen = seen.lock().unwrap();
+        assert!(!seen.is_empty());
+        // The forced finish report carries the exact retired total.
+        assert_eq!(
+            *seen.last().unwrap(),
+            result.per_cpu_refs.iter().sum::<u64>()
+        );
+    }
+
+    fn split(refs: Vec<MemRef>, cpus: usize) -> Vec<Vec<MemRef>> {
+        let mut per_cpu = vec![Vec::new(); cpus];
+        for r in refs {
+            per_cpu[r.cpu.index() % cpus].push(r);
+        }
+        per_cpu
     }
 }

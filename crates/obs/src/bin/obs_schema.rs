@@ -1,0 +1,40 @@
+//! Validate dirsim metrics JSON-lines files against the exporter schema.
+//!
+//! ```text
+//! obs_schema <file.jsonl> [more files...]
+//! ```
+//!
+//! Exits non-zero if any file fails to parse or violates the schema. Used by
+//! CI to keep emitted records from silently drifting, and handy locally on
+//! anything produced by `--metrics-json`.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() {
+        eprintln!("usage: obs_schema <metrics.jsonl> [more files...]");
+        return ExitCode::FAILURE;
+    }
+    let mut failed = false;
+    for path in &paths {
+        match std::fs::read_to_string(path) {
+            Ok(text) => match dirsim_obs::validate_jsonl(&text) {
+                Ok(summary) => println!("{path}: {summary}"),
+                Err(e) => {
+                    eprintln!("{path}: FAIL: {e}");
+                    failed = true;
+                }
+            },
+            Err(e) => {
+                eprintln!("{path}: FAIL: cannot read: {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

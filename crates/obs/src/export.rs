@@ -1,0 +1,114 @@
+//! JSON-lines export: one manifest record followed by one record per metric
+//! series.
+//!
+//! The format is line-oriented so files can be streamed, diffed, appended to
+//! and committed as `BENCH_*.json`. Every line is one complete JSON object
+//! with a `"record"` discriminator:
+//!
+//! ```text
+//! {"record":"manifest","schema":1,"program":"simulate","schemes":[...],...}
+//! {"record":"counter","name":"engine_refs","labels":{},"value":100000}
+//! {"record":"gauge","name":"smoke_best_ratio","labels":{},"value":1.07}
+//! {"record":"histogram","name":"phase_seconds","labels":{"phase":"decode"},
+//!  "count":4,"sum":0.012,"min":0.002,"max":0.005}
+//! ```
+//!
+//! [`SCHEMA_VERSION`] is carried in the manifest; bump it on any breaking
+//! change to record shapes and teach [`crate::schema`] both versions for one
+//! release.
+
+use std::io::{self, Write};
+use std::path::Path;
+
+use crate::json::{float, Json};
+use crate::manifest::RunManifest;
+use crate::registry::{MetricRecord, MetricValue, MetricsRegistry};
+
+/// Version of the JSON-lines record schema, written into every manifest.
+pub const SCHEMA_VERSION: u32 = 1;
+
+fn labels_json(labels: &[(String, String)]) -> Json {
+    Json::Obj(
+        labels
+            .iter()
+            .map(|(k, v)| (k.clone(), Json::Str(v.clone())))
+            .collect(),
+    )
+}
+
+/// Serialise one metric series to its JSON-lines record body.
+pub fn record_to_json(record: &MetricRecord) -> Json {
+    let kind = match record.value {
+        MetricValue::Counter(_) => "counter",
+        MetricValue::Gauge(_) => "gauge",
+        MetricValue::Histogram(_) => "histogram",
+    };
+    let mut pairs = vec![
+        ("record".to_string(), Json::Str(kind.to_string())),
+        ("name".to_string(), Json::Str(record.name.clone())),
+        ("labels".to_string(), labels_json(&record.labels)),
+    ];
+    match &record.value {
+        MetricValue::Counter(v) => pairs.push(("value".to_string(), Json::Int(*v as i128))),
+        MetricValue::Gauge(v) => pairs.push(("value".to_string(), float(*v))),
+        MetricValue::Histogram(h) => {
+            pairs.push(("count".to_string(), Json::Int(h.count as i128)));
+            pairs.push(("sum".to_string(), float(h.sum)));
+            pairs.push(("min".to_string(), float(h.min)));
+            pairs.push(("max".to_string(), float(h.max)));
+        }
+    }
+    Json::Obj(pairs)
+}
+
+/// Write the manifest plus every series in `registry` as JSON lines.
+pub fn write_jsonl<W: Write>(
+    out: &mut W,
+    manifest: &RunManifest,
+    registry: &MetricsRegistry,
+) -> io::Result<()> {
+    writeln!(out, "{}", manifest.to_json().to_string_compact())?;
+    for record in registry.snapshot() {
+        writeln!(out, "{}", record_to_json(&record).to_string_compact())?;
+    }
+    Ok(())
+}
+
+/// Write the manifest plus every series in `registry` to a file at `path`,
+/// replacing any existing file.
+pub fn write_jsonl_file(
+    path: &Path,
+    manifest: &RunManifest,
+    registry: &MetricsRegistry,
+) -> io::Result<()> {
+    let mut buf = Vec::new();
+    write_jsonl(&mut buf, manifest, registry)?;
+    std::fs::write(path, buf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::Recorder;
+
+    #[test]
+    fn exported_lines_each_parse_as_one_object() {
+        let reg = MetricsRegistry::new();
+        reg.counter("engine_refs", &[], 12);
+        reg.gauge("ratio", &[("mode", "sharded")], 1.5);
+        reg.observe("phase_seconds", &[("phase", "decode")], 0.25);
+        let manifest = RunManifest::new("test").mode("serial").trace("unit");
+        let mut buf = Vec::new();
+        write_jsonl(&mut buf, &manifest, &reg).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        for line in &lines {
+            Json::parse(line).unwrap();
+        }
+        assert_eq!(
+            Json::parse(lines[0]).unwrap().get("record").unwrap(),
+            &Json::Str("manifest".to_string())
+        );
+    }
+}

@@ -1,0 +1,47 @@
+//! # dirsim-obs
+//!
+//! Observability layer for the `dirsim` simulation engine.
+//!
+//! The paper's methodology (§4) separates *measuring event frequencies* from
+//! *pricing them*; this crate applies the same separation to the simulator
+//! itself. The engine is instrumented once, against the tiny [`Recorder`]
+//! trait, and everything downstream — aggregation, export, analysis — happens
+//! outside the hot path:
+//!
+//! * [`Recorder`] — the instrumentation surface: counters, gauges, histogram
+//!   observations. The default [`NoopRecorder`] compiles to nothing; the
+//!   throughput smoke gate in CI verifies the disabled cost stays
+//!   unmeasurable.
+//! * [`MetricsRegistry`] — a thread-safe in-memory [`Recorder`] that
+//!   aggregates everything it sees and can snapshot to [`MetricRecord`]s.
+//! * [`Span`] — an RAII phase timer; elapsed seconds land in a histogram
+//!   metric on drop. When the recorder is disabled it never touches the
+//!   clock.
+//! * [`RunManifest`] — what was run: program, scheme set, execution mode,
+//!   trace identity/seed, reference count, wall-clock.
+//! * [`export`] / [`schema`] — a hand-rolled JSON-lines writer and validator
+//!   (the workspace deliberately has no serde; see DESIGN.md §7). Files are
+//!   suitable for committing as `BENCH_*.json`.
+//! * [`ProgressMeter`] — a throttled progress callback for long runs
+//!   (references/sec, model-checker states/sec + frontier depth).
+//!
+//! No dependencies, std only.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod export;
+pub mod json;
+pub mod manifest;
+pub mod progress;
+pub mod recorder;
+pub mod registry;
+pub mod schema;
+
+pub use export::{write_jsonl, write_jsonl_file, SCHEMA_VERSION};
+pub use json::Json;
+pub use manifest::RunManifest;
+pub use progress::{Progress, ProgressMeter};
+pub use recorder::{NoopRecorder, Recorder, Span};
+pub use registry::{HistogramSummary, MetricRecord, MetricValue, MetricsRegistry};
+pub use schema::{parse_metrics, validate_jsonl, ExportedRun, SchemaError};

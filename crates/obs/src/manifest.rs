@@ -1,0 +1,182 @@
+//! [`RunManifest`]: the "what was run" record at the head of a metrics file.
+
+use crate::json::{float, Json};
+
+/// Identity of one simulation / verification run.
+///
+/// Emitted as the first JSON-lines record of every metrics file so a
+/// committed `BENCH_*.json` is self-describing: which program produced it,
+/// over which schemes, in which execution mode, from which trace/seed, and
+/// how long it took.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RunManifest {
+    /// Producing program (e.g. `"simulate"`, `"throughput_smoke"`).
+    pub program: String,
+    /// Scheme names in the run, in run order.
+    pub schemes: Vec<String>,
+    /// Execution mode description (e.g. `"single-pass"`, `"sharded(8)"`).
+    pub mode: String,
+    /// Trace identity: a file path or a synthetic-workload description.
+    pub trace: String,
+    /// RNG seed for synthetic traces, if one was used.
+    pub seed: Option<u64>,
+    /// Total memory references processed, if known.
+    pub refs: Option<u64>,
+    /// Wall-clock duration of the measured work, in seconds.
+    pub wall_secs: f64,
+    /// Free-form extra key/value pairs (e.g. cache geometry, gate outcome).
+    pub extra: Vec<(String, String)>,
+}
+
+impl RunManifest {
+    /// Start a manifest for `program`; fill the rest with the builder-style
+    /// setters.
+    pub fn new(program: &str) -> Self {
+        RunManifest {
+            program: program.to_string(),
+            ..Self::default()
+        }
+    }
+
+    /// Set the scheme list.
+    pub fn schemes<S: AsRef<str>>(mut self, schemes: impl IntoIterator<Item = S>) -> Self {
+        self.schemes = schemes
+            .into_iter()
+            .map(|s| s.as_ref().to_string())
+            .collect();
+        self
+    }
+
+    /// Set the execution-mode description.
+    pub fn mode(mut self, mode: &str) -> Self {
+        self.mode = mode.to_string();
+        self
+    }
+
+    /// Set the trace identity.
+    pub fn trace(mut self, trace: &str) -> Self {
+        self.trace = trace.to_string();
+        self
+    }
+
+    /// Set the synthetic-trace seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = Some(seed);
+        self
+    }
+
+    /// Set the processed-reference count.
+    pub fn refs(mut self, refs: u64) -> Self {
+        self.refs = Some(refs);
+        self
+    }
+
+    /// Set the measured wall-clock seconds.
+    pub fn wall_secs(mut self, secs: f64) -> Self {
+        self.wall_secs = secs;
+        self
+    }
+
+    /// Append one free-form key/value pair.
+    pub fn extra(mut self, key: &str, value: &str) -> Self {
+        self.extra.push((key.to_string(), value.to_string()));
+        self
+    }
+
+    /// Serialise to the JSON object used as the manifest record body.
+    pub fn to_json(&self) -> Json {
+        let mut pairs = vec![
+            ("record".to_string(), Json::Str("manifest".to_string())),
+            (
+                "schema".to_string(),
+                Json::Int(crate::SCHEMA_VERSION as i128),
+            ),
+            ("program".to_string(), Json::Str(self.program.clone())),
+            (
+                "schemes".to_string(),
+                Json::Arr(self.schemes.iter().map(|s| Json::Str(s.clone())).collect()),
+            ),
+            ("mode".to_string(), Json::Str(self.mode.clone())),
+            ("trace".to_string(), Json::Str(self.trace.clone())),
+        ];
+        if let Some(seed) = self.seed {
+            pairs.push(("seed".to_string(), Json::Int(seed as i128)));
+        }
+        if let Some(refs) = self.refs {
+            pairs.push(("refs".to_string(), Json::Int(refs as i128)));
+        }
+        pairs.push(("wall_secs".to_string(), float(self.wall_secs)));
+        if !self.extra.is_empty() {
+            pairs.push((
+                "extra".to_string(),
+                Json::Obj(
+                    self.extra
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::Str(v.clone())))
+                        .collect(),
+                ),
+            ));
+        }
+        Json::Obj(pairs)
+    }
+
+    /// Reconstruct a manifest from a parsed manifest record. Returns `None`
+    /// if required fields are missing or mistyped.
+    pub fn from_json(value: &Json) -> Option<RunManifest> {
+        if value.get("record")?.as_str()? != "manifest" {
+            return None;
+        }
+        let schemes = value
+            .get("schemes")?
+            .as_arr()?
+            .iter()
+            .map(|s| s.as_str().map(str::to_string))
+            .collect::<Option<Vec<_>>>()?;
+        let extra = match value.get("extra") {
+            None => Vec::new(),
+            Some(obj) => obj
+                .as_obj()?
+                .iter()
+                .map(|(k, v)| v.as_str().map(|v| (k.clone(), v.to_string())))
+                .collect::<Option<Vec<_>>>()?,
+        };
+        Some(RunManifest {
+            program: value.get("program")?.as_str()?.to_string(),
+            schemes,
+            mode: value.get("mode")?.as_str()?.to_string(),
+            trace: value.get("trace")?.as_str()?.to_string(),
+            seed: value.get("seed").and_then(Json::as_u64),
+            refs: value.get("refs").and_then(Json::as_u64),
+            wall_secs: value.get("wall_secs")?.as_f64()?,
+            extra,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manifest_round_trips_through_json() {
+        let m = RunManifest::new("simulate")
+            .schemes(["Dir0B", "Dragon"])
+            .mode("single-pass")
+            .trace("synth:pops(cpus=16)")
+            .seed(0xD1A5)
+            .refs(100_000)
+            .wall_secs(1.25)
+            .extra("caches", "16");
+        let back = RunManifest::from_json(&m.to_json()).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn optional_fields_stay_optional() {
+        let m = RunManifest::new("verify").mode("bfs").trace("model");
+        let json = m.to_json();
+        assert!(json.get("seed").is_none());
+        assert!(json.get("refs").is_none());
+        assert_eq!(RunManifest::from_json(&json).unwrap(), m);
+    }
+}

@@ -1,0 +1,216 @@
+//! Throttled progress reporting for long-running phases.
+
+use std::time::{Duration, Instant};
+
+/// One progress report delivered to the sink.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Progress {
+    /// What is being counted (e.g. `"refs"`, `"states"`).
+    pub label: &'static str,
+    /// Cumulative units of work completed.
+    pub done: u64,
+    /// Units per second since the meter was created.
+    pub rate_per_sec: f64,
+    /// Optional secondary figure (e.g. the model checker's frontier depth).
+    pub detail: Option<u64>,
+    /// Seconds since the meter was created.
+    pub elapsed_secs: f64,
+}
+
+type Sink = Box<dyn FnMut(&Progress) + Send>;
+
+/// A progress callback throttled two ways so it can sit inside per-reference
+/// or per-state hot loops:
+///
+/// * [`ProgressMeter::tick`] only consults the clock once every
+///   [`STRIDE`](Self::STRIDE) calls — a disabled or between-checks tick is a
+///   branch and an increment;
+/// * the sink only fires when at least the configured interval has passed
+///   since the previous report.
+///
+/// [`ProgressMeter::finish`] forces one final report regardless of
+/// throttling, so short runs still produce output.
+pub struct ProgressMeter {
+    sink: Option<Sink>,
+    label: &'static str,
+    interval: Duration,
+    start: Instant,
+    last_emit: Instant,
+    calls: u64,
+}
+
+impl ProgressMeter {
+    /// How many `tick` calls pass between clock reads.
+    pub const STRIDE: u64 = 1024;
+
+    /// A meter delivering reports to `sink` at most once per `interval`.
+    pub fn new(label: &'static str, interval: Duration, sink: Sink) -> Self {
+        let now = Instant::now();
+        ProgressMeter {
+            sink: Some(sink),
+            label,
+            interval,
+            start: now,
+            last_emit: now,
+            calls: 0,
+        }
+    }
+
+    /// A meter printing `label: done (rate/s, detail)` lines to stderr.
+    pub fn stderr(label: &'static str, interval: Duration) -> Self {
+        Self::new(
+            label,
+            interval,
+            Box::new(|p: &Progress| match p.detail {
+                Some(d) => eprintln!(
+                    "{}: {} ({:.0}/s, depth {})",
+                    p.label, p.done, p.rate_per_sec, d
+                ),
+                None => eprintln!("{}: {} ({:.0}/s)", p.label, p.done, p.rate_per_sec),
+            }),
+        )
+    }
+
+    /// A meter that never reports; every `tick` is a single branch.
+    pub fn disabled() -> Self {
+        let now = Instant::now();
+        ProgressMeter {
+            sink: None,
+            label: "",
+            interval: Duration::ZERO,
+            start: now,
+            last_emit: now,
+            calls: 0,
+        }
+    }
+
+    /// Whether this meter can ever emit a report.
+    pub fn is_enabled(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// Record that `done` cumulative units are complete; maybe emit a
+    /// report. Cheap enough for per-reference loops.
+    pub fn tick(&mut self, done: u64, detail: Option<u64>) {
+        if self.sink.is_none() {
+            return;
+        }
+        self.calls += 1;
+        if self.calls % Self::STRIDE != 0 {
+            return;
+        }
+        let now = Instant::now();
+        if now.duration_since(self.last_emit) < self.interval {
+            return;
+        }
+        self.emit(now, done, detail);
+    }
+
+    /// Like [`tick`](Self::tick) but without the call-count stride: always
+    /// consults the clock, still respects the report interval. For callers
+    /// that tick coarsely (per phase or per batch) rather than per unit.
+    pub fn tick_now(&mut self, done: u64, detail: Option<u64>) {
+        if self.sink.is_none() {
+            return;
+        }
+        let now = Instant::now();
+        if now.duration_since(self.last_emit) < self.interval {
+            return;
+        }
+        self.emit(now, done, detail);
+    }
+
+    /// Emit one final report now, bypassing throttling.
+    pub fn finish(&mut self, done: u64, detail: Option<u64>) {
+        if self.sink.is_none() {
+            return;
+        }
+        self.emit(Instant::now(), done, detail);
+    }
+
+    fn emit(&mut self, now: Instant, done: u64, detail: Option<u64>) {
+        self.last_emit = now;
+        let elapsed = now.duration_since(self.start).as_secs_f64();
+        let progress = Progress {
+            label: self.label,
+            done,
+            // Guard the rate against a zero-duration interval on very fast
+            // (or mocked) clocks.
+            rate_per_sec: if elapsed > 0.0 {
+                done as f64 / elapsed
+            } else {
+                0.0
+            },
+            detail,
+            elapsed_secs: elapsed,
+        };
+        if let Some(sink) = &mut self.sink {
+            sink(&progress);
+        }
+    }
+}
+
+impl std::fmt::Debug for ProgressMeter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProgressMeter")
+            .field("label", &self.label)
+            .field("interval", &self.interval)
+            .field("enabled", &self.is_enabled())
+            .field("calls", &self.calls)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Arc, Mutex};
+
+    fn collecting_meter(interval: Duration) -> (ProgressMeter, Arc<Mutex<Vec<Progress>>>) {
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&seen);
+        let meter = ProgressMeter::new(
+            "units",
+            interval,
+            Box::new(move |p| sink.lock().unwrap().push(*p)),
+        );
+        (meter, seen)
+    }
+
+    #[test]
+    fn disabled_meter_never_emits() {
+        let mut meter = ProgressMeter::disabled();
+        assert!(!meter.is_enabled());
+        for i in 0..10_000 {
+            meter.tick(i, None);
+        }
+        meter.finish(10_000, None);
+    }
+
+    #[test]
+    fn ticks_between_strides_do_not_touch_the_clock_path() {
+        let (mut meter, seen) = collecting_meter(Duration::ZERO);
+        // STRIDE - 1 ticks: none lands on the stride boundary.
+        for i in 1..ProgressMeter::STRIDE {
+            meter.tick(i, None);
+        }
+        assert!(seen.lock().unwrap().is_empty());
+        meter.tick(ProgressMeter::STRIDE, None);
+        assert_eq!(seen.lock().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn long_interval_suppresses_reports_until_finish() {
+        let (mut meter, seen) = collecting_meter(Duration::from_secs(3600));
+        for i in 0..(ProgressMeter::STRIDE * 4) {
+            meter.tick(i, None);
+        }
+        assert!(seen.lock().unwrap().is_empty());
+        meter.finish(1234, Some(7));
+        let seen = seen.lock().unwrap();
+        assert_eq!(seen.len(), 1);
+        assert_eq!(seen[0].done, 1234);
+        assert_eq!(seen[0].detail, Some(7));
+        assert_eq!(seen[0].label, "units");
+    }
+}

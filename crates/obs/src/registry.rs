@@ -1,0 +1,260 @@
+//! In-memory metric aggregation: [`MetricsRegistry`] and its snapshot types.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+use crate::recorder::Recorder;
+
+/// A metric identity: name plus a sorted label set.
+///
+/// Labels are sorted on insertion so `[("a","1"),("b","2")]` and
+/// `[("b","2"),("a","1")]` address the same series.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct MetricKey {
+    name: String,
+    labels: Vec<(String, String)>,
+}
+
+impl MetricKey {
+    fn new(name: &str, labels: &[(&str, &str)]) -> Self {
+        let mut labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|&(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        labels.sort();
+        MetricKey {
+            name: name.to_string(),
+            labels,
+        }
+    }
+}
+
+/// Aggregate of all samples observed by one histogram series.
+///
+/// The engine does not need quantiles, so the summary is the cheap exact
+/// part: count, sum, min, max. (Mean is `sum / count`.)
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistogramSummary {
+    /// Number of samples observed.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+}
+
+impl HistogramSummary {
+    fn observe(&mut self, value: f64) {
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    fn new(value: f64) -> Self {
+        HistogramSummary {
+            count: 1,
+            sum: value,
+            min: value,
+            max: value,
+        }
+    }
+}
+
+/// The value of one exported metric series.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// Monotonic counter.
+    Counter(u64),
+    /// Last-write-wins gauge.
+    Gauge(f64),
+    /// Histogram summary.
+    Histogram(HistogramSummary),
+}
+
+/// One metric series as exported: name, sorted labels, value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricRecord {
+    /// Metric name.
+    pub name: String,
+    /// Sorted `(key, value)` label pairs.
+    pub labels: Vec<(String, String)>,
+    /// The aggregated value.
+    pub value: MetricValue,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    counters: BTreeMap<MetricKey, u64>,
+    gauges: BTreeMap<MetricKey, f64>,
+    histograms: BTreeMap<MetricKey, HistogramSummary>,
+}
+
+/// A thread-safe in-memory [`Recorder`] that aggregates counters, gauges and
+/// histogram summaries, keyed by `(name, sorted labels)`.
+///
+/// A single `Mutex` guards the maps: the engine's instrumentation points are
+/// per-chunk / per-phase, not per-reference, so contention is negligible and
+/// simplicity wins over sharded atomics.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    inner: Mutex<Inner>,
+}
+
+impl MetricsRegistry {
+    /// Create an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Snapshot every series, sorted by kind (counters, then gauges, then
+    /// histograms) and within kind by `(name, labels)`.
+    pub fn snapshot(&self) -> Vec<MetricRecord> {
+        let inner = self.inner.lock().expect("metrics registry poisoned");
+        let mut out = Vec::new();
+        for (key, &value) in &inner.counters {
+            out.push(MetricRecord {
+                name: key.name.clone(),
+                labels: key.labels.clone(),
+                value: MetricValue::Counter(value),
+            });
+        }
+        for (key, &value) in &inner.gauges {
+            out.push(MetricRecord {
+                name: key.name.clone(),
+                labels: key.labels.clone(),
+                value: MetricValue::Gauge(value),
+            });
+        }
+        for (key, &value) in &inner.histograms {
+            out.push(MetricRecord {
+                name: key.name.clone(),
+                labels: key.labels.clone(),
+                value: MetricValue::Histogram(value),
+            });
+        }
+        out
+    }
+
+    /// Fetch one counter's current value, if the series exists.
+    pub fn counter_value(&self, name: &str, labels: &[(&str, &str)]) -> Option<u64> {
+        let inner = self.inner.lock().expect("metrics registry poisoned");
+        inner.counters.get(&MetricKey::new(name, labels)).copied()
+    }
+
+    /// Fetch one gauge's current value, if the series exists.
+    pub fn gauge_value(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        let inner = self.inner.lock().expect("metrics registry poisoned");
+        inner.gauges.get(&MetricKey::new(name, labels)).copied()
+    }
+
+    /// Fetch one histogram's summary, if the series exists.
+    pub fn histogram_summary(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+    ) -> Option<HistogramSummary> {
+        let inner = self.inner.lock().expect("metrics registry poisoned");
+        inner.histograms.get(&MetricKey::new(name, labels)).copied()
+    }
+
+    /// True when no series have been recorded.
+    pub fn is_empty(&self) -> bool {
+        let inner = self.inner.lock().expect("metrics registry poisoned");
+        inner.counters.is_empty() && inner.gauges.is_empty() && inner.histograms.is_empty()
+    }
+}
+
+impl Recorder for MetricsRegistry {
+    fn counter(&self, name: &str, labels: &[(&str, &str)], delta: u64) {
+        let key = MetricKey::new(name, labels);
+        let mut inner = self.inner.lock().expect("metrics registry poisoned");
+        *inner.counters.entry(key).or_insert(0) += delta;
+    }
+
+    fn gauge(&self, name: &str, labels: &[(&str, &str)], value: f64) {
+        let key = MetricKey::new(name, labels);
+        let mut inner = self.inner.lock().expect("metrics registry poisoned");
+        inner.gauges.insert(key, value);
+    }
+
+    fn observe(&self, name: &str, labels: &[(&str, &str)], value: f64) {
+        let key = MetricKey::new(name, labels);
+        let mut inner = self.inner.lock().expect("metrics registry poisoned");
+        inner
+            .histograms
+            .entry(key)
+            .and_modify(|h| h.observe(value))
+            .or_insert_with(|| HistogramSummary::new(value));
+    }
+
+    fn enabled(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let reg = MetricsRegistry::new();
+        reg.counter("refs", &[], 3);
+        reg.counter("refs", &[], 4);
+        assert_eq!(reg.counter_value("refs", &[]), Some(7));
+    }
+
+    #[test]
+    fn label_order_is_canonicalised() {
+        let reg = MetricsRegistry::new();
+        reg.counter("ops", &[("scheme", "Dir0B"), ("op", "Inval")], 1);
+        reg.counter("ops", &[("op", "Inval"), ("scheme", "Dir0B")], 1);
+        assert_eq!(
+            reg.counter_value("ops", &[("scheme", "Dir0B"), ("op", "Inval")]),
+            Some(2)
+        );
+        assert_eq!(reg.snapshot().len(), 1);
+    }
+
+    #[test]
+    fn gauges_take_last_write() {
+        let reg = MetricsRegistry::new();
+        reg.gauge("ratio", &[], 0.5);
+        reg.gauge("ratio", &[], 0.75);
+        assert_eq!(reg.gauge_value("ratio", &[]), Some(0.75));
+    }
+
+    #[test]
+    fn histograms_summarise() {
+        let reg = MetricsRegistry::new();
+        for v in [2.0, 1.0, 4.0] {
+            reg.observe("lat", &[], v);
+        }
+        let h = reg.histogram_summary("lat", &[]).unwrap();
+        assert_eq!(h.count, 3);
+        assert_eq!(h.sum, 7.0);
+        assert_eq!(h.min, 1.0);
+        assert_eq!(h.max, 4.0);
+    }
+
+    #[test]
+    fn snapshot_orders_counters_gauges_histograms() {
+        let reg = MetricsRegistry::new();
+        reg.observe("h", &[], 1.0);
+        reg.gauge("g", &[], 1.0);
+        reg.counter("c", &[], 1);
+        let kinds: Vec<_> = reg
+            .snapshot()
+            .into_iter()
+            .map(|r| match r.value {
+                MetricValue::Counter(_) => "c",
+                MetricValue::Gauge(_) => "g",
+                MetricValue::Histogram(_) => "h",
+            })
+            .collect();
+        assert_eq!(kinds, vec!["c", "g", "h"]);
+    }
+}

@@ -1,0 +1,253 @@
+//! Parse and validate exported metrics files, so committed `BENCH_*.json`
+//! records never silently drift from the writer.
+
+use crate::json::Json;
+use crate::manifest::RunManifest;
+use crate::registry::{HistogramSummary, MetricRecord, MetricValue};
+
+/// A fully parsed metrics file: the manifest plus every metric series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExportedRun {
+    /// The leading manifest record.
+    pub manifest: RunManifest,
+    /// Every metric series, in file order.
+    pub records: Vec<MetricRecord>,
+}
+
+/// Why a metrics file failed validation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SchemaError {
+    /// 1-based line number of the offending record (0 for file-level
+    /// problems such as an empty file).
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for SchemaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.line == 0 {
+            write!(f, "metrics schema error: {}", self.message)
+        } else {
+            write!(
+                f,
+                "metrics schema error on line {}: {}",
+                self.line, self.message
+            )
+        }
+    }
+}
+
+impl std::error::Error for SchemaError {}
+
+fn fail<T>(line: usize, message: impl Into<String>) -> Result<T, SchemaError> {
+    Err(SchemaError {
+        line,
+        message: message.into(),
+    })
+}
+
+fn parse_labels(line: usize, value: &Json) -> Result<Vec<(String, String)>, SchemaError> {
+    let Some(obj) = value.get("labels").and_then(Json::as_obj) else {
+        return fail(line, "missing or non-object \"labels\"");
+    };
+    let mut labels = Vec::with_capacity(obj.len());
+    for (k, v) in obj {
+        let Some(v) = v.as_str() else {
+            return fail(line, format!("label {k:?} has a non-string value"));
+        };
+        labels.push((k.clone(), v.to_string()));
+    }
+    let mut sorted = labels.clone();
+    sorted.sort();
+    if sorted != labels {
+        return fail(line, "labels are not sorted by key");
+    }
+    Ok(labels)
+}
+
+fn require_f64(line: usize, value: &Json, key: &str) -> Result<f64, SchemaError> {
+    match value.get(key).and_then(Json::as_f64) {
+        Some(f) => Ok(f),
+        None => fail(line, format!("missing or non-numeric {key:?}")),
+    }
+}
+
+fn parse_metric_line(line: usize, kind: &str, value: &Json) -> Result<MetricRecord, SchemaError> {
+    let Some(name) = value.get("name").and_then(Json::as_str) else {
+        return fail(line, "missing or non-string \"name\"");
+    };
+    let labels = parse_labels(line, value)?;
+    let metric = match kind {
+        "counter" => match value.get("value").and_then(Json::as_u64) {
+            Some(v) => MetricValue::Counter(v),
+            None => return fail(line, "counter \"value\" must be a non-negative integer"),
+        },
+        "gauge" => MetricValue::Gauge(require_f64(line, value, "value")?),
+        "histogram" => {
+            let Some(count) = value.get("count").and_then(Json::as_u64) else {
+                return fail(line, "histogram \"count\" must be a non-negative integer");
+            };
+            MetricValue::Histogram(HistogramSummary {
+                count,
+                sum: require_f64(line, value, "sum")?,
+                min: require_f64(line, value, "min")?,
+                max: require_f64(line, value, "max")?,
+            })
+        }
+        other => return fail(line, format!("unknown record kind {other:?}")),
+    };
+    Ok(MetricRecord {
+        name: name.to_string(),
+        labels,
+        value: metric,
+    })
+}
+
+/// Parse a JSON-lines metrics document into an [`ExportedRun`].
+///
+/// Checks the structural schema as it goes: the first line must be a
+/// `manifest` record carrying the supported [`crate::SCHEMA_VERSION`], and
+/// every following line must be a well-formed `counter` / `gauge` /
+/// `histogram` record. Blank lines are ignored.
+pub fn parse_metrics(text: &str) -> Result<ExportedRun, SchemaError> {
+    let mut manifest = None;
+    let mut records = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = idx + 1;
+        if raw.trim().is_empty() {
+            continue;
+        }
+        let value = match Json::parse(raw) {
+            Ok(v) => v,
+            Err(e) => return fail(line, e.to_string()),
+        };
+        let Some(kind) = value.get("record").and_then(Json::as_str) else {
+            return fail(line, "missing or non-string \"record\" discriminator");
+        };
+        let kind = kind.to_string();
+        if manifest.is_none() {
+            if kind != "manifest" {
+                return fail(
+                    line,
+                    format!("first record must be a manifest, got {kind:?}"),
+                );
+            }
+            match value.get("schema").and_then(Json::as_u64) {
+                Some(v) if v == u64::from(crate::SCHEMA_VERSION) => {}
+                Some(v) => {
+                    return fail(
+                        line,
+                        format!(
+                            "unsupported schema version {v} (expected {})",
+                            crate::SCHEMA_VERSION
+                        ),
+                    )
+                }
+                None => return fail(line, "manifest is missing an integer \"schema\""),
+            }
+            match RunManifest::from_json(&value) {
+                Some(m) => manifest = Some(m),
+                None => return fail(line, "manifest is missing required fields"),
+            }
+        } else if kind == "manifest" {
+            return fail(line, "duplicate manifest record");
+        } else {
+            records.push(parse_metric_line(line, &kind, &value)?);
+        }
+    }
+    match manifest {
+        Some(manifest) => Ok(ExportedRun { manifest, records }),
+        None => fail(0, "empty metrics file (no manifest record)"),
+    }
+}
+
+/// Validate a JSON-lines metrics document, returning a one-line human
+/// summary on success.
+pub fn validate_jsonl(text: &str) -> Result<String, SchemaError> {
+    let run = parse_metrics(text)?;
+    let mut counters = 0usize;
+    let mut gauges = 0usize;
+    let mut histograms = 0usize;
+    for r in &run.records {
+        match r.value {
+            MetricValue::Counter(_) => counters += 1,
+            MetricValue::Gauge(_) => gauges += 1,
+            MetricValue::Histogram(_) => histograms += 1,
+        }
+    }
+    Ok(format!(
+        "ok: program={} schema={} schemes={} counters={} gauges={} histograms={}",
+        run.manifest.program,
+        crate::SCHEMA_VERSION,
+        run.manifest.schemes.len(),
+        counters,
+        gauges,
+        histograms,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::export::write_jsonl;
+    use crate::recorder::Recorder;
+    use crate::MetricsRegistry;
+
+    fn sample_file() -> String {
+        let reg = MetricsRegistry::new();
+        reg.counter("engine_refs", &[], 1000);
+        reg.counter("scheme_refs", &[("scheme", "Dir0B")], 1000);
+        reg.gauge("best_ratio", &[], 1.04);
+        reg.observe("phase_seconds", &[("phase", "decode")], 0.002);
+        let manifest = RunManifest::new("test")
+            .schemes(["Dir0B"])
+            .mode("single-pass")
+            .trace("unit")
+            .refs(1000);
+        let mut buf = Vec::new();
+        write_jsonl(&mut buf, &manifest, &reg).unwrap();
+        String::from_utf8(buf).unwrap()
+    }
+
+    #[test]
+    fn writer_output_validates_and_round_trips() {
+        let text = sample_file();
+        let summary = validate_jsonl(&text).unwrap();
+        assert!(summary.starts_with("ok:"), "{summary}");
+        let run = parse_metrics(&text).unwrap();
+        assert_eq!(run.manifest.program, "test");
+        assert_eq!(run.records.len(), 4);
+    }
+
+    #[test]
+    fn rejects_missing_manifest() {
+        let err =
+            parse_metrics(r#"{"record":"counter","name":"x","labels":{},"value":1}"#).unwrap_err();
+        assert!(err.message.contains("manifest"), "{err}");
+    }
+
+    #[test]
+    fn rejects_wrong_schema_version() {
+        let bad = sample_file().replacen("\"schema\":1", "\"schema\":99", 1);
+        let err = parse_metrics(&bad).unwrap_err();
+        assert!(err.message.contains("unsupported schema version"), "{err}");
+    }
+
+    #[test]
+    fn rejects_negative_counter() {
+        let text = format!(
+            "{}\n{}",
+            sample_file().lines().next().unwrap(),
+            r#"{"record":"counter","name":"x","labels":{},"value":-1}"#
+        );
+        let err = parse_metrics(&text).unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn rejects_empty_file() {
+        let err = parse_metrics("").unwrap_err();
+        assert_eq!(err.line, 0);
+    }
+}

@@ -21,8 +21,9 @@ use std::io::BufWriter;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
+use dirsim_obs::ProgressMeter;
 use dirsim_protocol::{CoherenceProtocol, Scheme};
-use dirsim_verify::{differential, explore, mutants, CheckConfig, Counterexample};
+use dirsim_verify::{differential, explore_observed, mutants, CheckConfig, Counterexample};
 
 struct Options {
     check: CheckConfig,
@@ -31,16 +32,19 @@ struct Options {
     out: PathBuf,
     run_mutants: bool,
     skip_diff: bool,
+    progress: bool,
 }
 
 fn usage() -> &'static str {
     "usage: verify [--caches N] [--blocks N] [--depth N] [--diff-depth N]\n\
      \x20             [--scheme NAME]... [--out DIR] [--mutants] [--skip-diff]\n\
+     \x20             [--progress]\n\
      \n\
      Exhaustively checks every reachable protocol state under the bounds\n\
      (defaults: --caches 3 --blocks 2 --depth 8 --diff-depth 5), then\n\
      cross-checks all schemes in lockstep. Counterexample traces are\n\
-     written to --out (default: current directory)."
+     written to --out (default: current directory). --progress reports\n\
+     BFS throughput (states/sec and frontier depth) on stderr."
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
@@ -51,6 +55,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         out: PathBuf::from("."),
         run_mutants: false,
         skip_diff: false,
+        progress: false,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -87,6 +92,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--out" => opts.out = PathBuf::from(value("--out")?),
             "--mutants" => opts.run_mutants = true,
             "--skip-diff" => opts.skip_diff = true,
+            "--progress" => opts.progress = true,
             "--help" | "-h" => return Err(usage().to_string()),
             other => return Err(format!("unknown argument `{other}`\n{}", usage())),
         }
@@ -135,9 +141,21 @@ fn run(opts: &Options) -> bool {
         opts.check.blocks,
         opts.check.depth
     );
+    let meter = |enabled: bool| {
+        if enabled {
+            ProgressMeter::stderr("states", std::time::Duration::from_millis(500))
+        } else {
+            ProgressMeter::disabled()
+        }
+    };
     for scheme in &schemes {
         let name = scheme.name();
-        match explore(&name, || scheme.build(opts.check.caches), &opts.check) {
+        match explore_observed(
+            &name,
+            || scheme.build(opts.check.caches),
+            &opts.check,
+            &mut meter(opts.progress),
+        ) {
             Ok(report) => println!(
                 "  {name:<14} ok: {} states, {} transitions, frontier depth {}",
                 report.states, report.transitions, report.frontier_depth
@@ -184,7 +202,12 @@ fn run(opts: &Options) -> bool {
             }),
         ];
         for (name, build) in mutant_builders {
-            match explore(name, || build(opts.check.caches), &opts.check) {
+            match explore_observed(
+                name,
+                || build(opts.check.caches),
+                &opts.check,
+                &mut meter(opts.progress),
+            ) {
                 Ok(_) => {
                     ok = false;
                     println!("  {name:<18} NOT CAUGHT — the checker is blind to this bug");

@@ -52,6 +52,26 @@ pub fn explore<F>(
 where
     F: Fn() -> Box<dyn CoherenceProtocol>,
 {
+    explore_observed(name, build, cfg, &mut dirsim_obs::ProgressMeter::disabled())
+}
+
+/// Like [`explore`], but reports progress (states discovered, the implied
+/// states/sec rate, and the current frontier depth) through a throttled
+/// [`ProgressMeter`](dirsim_obs::ProgressMeter). A disabled meter costs one
+/// branch per dequeued state.
+///
+/// # Errors
+///
+/// Returns the minimised counterexample for the first violation found.
+pub fn explore_observed<F>(
+    name: &str,
+    build: F,
+    cfg: &CheckConfig,
+    progress: &mut dirsim_obs::ProgressMeter,
+) -> Result<ExploreReport, Box<Counterexample>>
+where
+    F: Fn() -> Box<dyn CoherenceProtocol>,
+{
     let alphabet = cfg.alphabet();
     let mut report = ExploreReport::default();
     let mut visited: HashSet<(StateSnapshot, OracleImage)> = HashSet::new();
@@ -67,6 +87,7 @@ where
     report.states = 1;
 
     while let Some(node) = queue.pop_front() {
+        progress.tick(report.states as u64, Some(u64::from(report.frontier_depth)));
         if node.path.len() as u32 >= cfg.depth {
             continue;
         }
@@ -111,6 +132,7 @@ where
             }
         }
     }
+    progress.finish(report.states as u64, Some(u64::from(report.frontier_depth)));
     Ok(report)
 }
 
@@ -223,6 +245,37 @@ mod tests {
         )
         .unwrap();
         assert_eq!(shallow.states, deep.states);
+    }
+
+    #[test]
+    fn observed_exploration_reports_final_state_count() {
+        use std::sync::{Arc, Mutex};
+        use std::time::Duration;
+
+        let cfg = CheckConfig {
+            caches: 2,
+            blocks: 1,
+            depth: 6,
+        };
+        let scheme = Scheme::Directory(DirSpec::dir_n_nb());
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&seen);
+        let mut meter = dirsim_obs::ProgressMeter::new(
+            "states",
+            Duration::ZERO,
+            Box::new(move |p| sink.lock().unwrap().push((p.done, p.detail))),
+        );
+        let report =
+            explore_observed("DirnNB", || scheme.build(cfg.caches), &cfg, &mut meter).unwrap();
+        let seen = seen.lock().unwrap();
+        // The forced finish report carries the exact totals.
+        assert_eq!(
+            *seen.last().unwrap(),
+            (report.states as u64, Some(u64::from(report.frontier_depth)))
+        );
+        // Identical result to the unobserved entry point.
+        let plain = explore("DirnNB", || scheme.build(cfg.caches), &cfg).unwrap();
+        assert_eq!(plain, report);
     }
 
     #[test]

@@ -36,7 +36,7 @@ pub mod explore;
 pub mod mutants;
 
 pub use differential::{differential, DiffReport, Divergence};
-pub use explore::{explore, ExploreReport};
+pub use explore::{explore, explore_observed, ExploreReport};
 
 /// Bounds for one exhaustive exploration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -1,0 +1,217 @@
+//! Observability contract: metrics must describe the run faithfully and
+//! must never change it.
+//!
+//! Three guarantees matter enough to pin down across the full 14-scheme
+//! gauntlet:
+//!
+//! 1. **Zero perturbation** — attaching a recorder (or leaving the default
+//!    no-op one) yields bit-identical [`ExperimentResults`] on every
+//!    execution path.
+//! 2. **Faithful totals** — the exported counters agree exactly with the
+//!    simulation's own results (`engine_refs`, per-scheme refs /
+//!    transactions / bus-op counts).
+//! 3. **Lossless export** — writing the registry as JSON lines and parsing
+//!    it back reproduces the manifest and every series exactly.
+
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use dirsim::obs::{
+    parse_metrics, write_jsonl, MetricsRegistry, ProgressMeter, Recorder, RunManifest,
+};
+use dirsim::prelude::*;
+use dirsim::{ExecutionMode, Experiment, ExperimentResults};
+use dirsim_protocol::DirSpec;
+
+const REFS: usize = 6_000;
+
+/// The 14-scheme model-checker gauntlet (mirrors `tests/equivalence.rs`).
+fn gauntlet() -> Vec<Scheme> {
+    vec![
+        Scheme::dir_n_nb(),
+        Scheme::dir0_b(),
+        Scheme::dir1_b(),
+        Scheme::dir_i_b(2),
+        Scheme::dir1_nb(),
+        Scheme::Directory(DirSpec::dir_i_nb(2).expect("two pointers is a valid NB spec")),
+        Scheme::CoarseVector,
+        Scheme::Tang,
+        Scheme::YenFu,
+        Scheme::DirUpdate,
+        Scheme::Wti,
+        Scheme::Illinois,
+        Scheme::Dragon,
+        Scheme::Berkeley,
+    ]
+}
+
+fn experiment() -> Experiment {
+    Experiment::new()
+        .workloads(dirsim::paper::paper_workloads())
+        .schemes(gauntlet())
+        .refs_per_trace(REFS)
+}
+
+fn assert_identical(a: &ExperimentResults, b: &ExperimentResults, what: &str) {
+    assert_eq!(a.trace_stats, b.trace_stats, "{what}: trace statistics");
+    assert_eq!(
+        a.per_scheme.len(),
+        b.per_scheme.len(),
+        "{what}: scheme count"
+    );
+    for (x, y) in a.per_scheme.iter().zip(&b.per_scheme) {
+        assert_eq!(x.scheme, y.scheme, "{what}: scheme order");
+        assert_eq!(x.per_trace, y.per_trace, "{what}: {} per-trace", x.scheme);
+        assert_eq!(x.combined, y.combined, "{what}: {} combined", x.scheme);
+    }
+}
+
+#[test]
+fn recorder_never_perturbs_results() {
+    // Baseline: the default no-op recorder.
+    let baseline = experiment().run_with(ExecutionMode::SinglePass).unwrap();
+    for (what, mode) in [
+        ("single-pass", ExecutionMode::SinglePass),
+        ("serial", ExecutionMode::Serial),
+        ("sharded", ExecutionMode::Sharded { workers: 3 }),
+    ] {
+        let registry = Arc::new(MetricsRegistry::new());
+        let instrumented = experiment()
+            .recorder(Arc::clone(&registry) as Arc<dyn Recorder>)
+            .run_with(mode)
+            .unwrap();
+        assert_identical(&baseline, &instrumented, what);
+        assert!(
+            !registry.is_empty(),
+            "{what}: an attached registry must actually collect metrics"
+        );
+    }
+}
+
+#[test]
+fn recorded_counters_match_simulation_results() {
+    let registry = Arc::new(MetricsRegistry::new());
+    let results = experiment()
+        .recorder(Arc::clone(&registry) as Arc<dyn Recorder>)
+        .run_with(ExecutionMode::SinglePass)
+        .unwrap();
+
+    // The engine decodes each workload's stream exactly once, which every
+    // scheme then consumes in lockstep.
+    let engine_refs = registry
+        .counter_value("engine_refs", &[])
+        .expect("engine_refs must be recorded");
+    for s in &results.per_scheme {
+        assert_eq!(engine_refs, s.combined.refs, "{}", s.scheme);
+        let name = s.scheme.name();
+        let labels = [("scheme", name.as_str())];
+        assert_eq!(
+            registry.counter_value("scheme_refs", &labels),
+            Some(s.combined.refs),
+            "{name}: scheme_refs"
+        );
+        assert_eq!(
+            registry.counter_value("scheme_transactions", &labels),
+            Some(s.combined.transactions),
+            "{name}: scheme_transactions"
+        );
+        let recorded_ops: u64 = s
+            .combined
+            .ops
+            .iter()
+            .filter(|&(_, count)| count > 0)
+            .map(|(op, _)| {
+                registry
+                    .counter_value(
+                        "scheme_ops",
+                        &[("op", op.name()), ("scheme", name.as_str())],
+                    )
+                    .unwrap_or_else(|| panic!("{name}: missing scheme_ops for {}", op.name()))
+            })
+            .sum();
+        assert_eq!(recorded_ops, s.combined.ops.total(), "{name}: scheme_ops");
+    }
+
+    // Phase spans fire at least once per chunk on the single-pass path.
+    for phase in ["decode", "step"] {
+        let h = registry
+            .histogram_summary("phase_seconds", &[("phase", phase)])
+            .unwrap_or_else(|| panic!("missing phase_seconds for {phase}"));
+        assert!(h.count > 0, "{phase}: no span samples");
+        assert!(h.sum >= 0.0 && h.min >= 0.0, "{phase}: negative timing");
+    }
+}
+
+#[test]
+fn sharded_run_records_per_shard_series() {
+    let registry = Arc::new(MetricsRegistry::new());
+    let results = experiment()
+        .recorder(Arc::clone(&registry) as Arc<dyn Recorder>)
+        .run_with(ExecutionMode::Sharded { workers: 3 })
+        .unwrap();
+
+    // Shards partition the reference stream: per-shard refs sum to the
+    // refs every scheme saw.
+    let total: u64 = (0..3)
+        .map(|shard| {
+            registry
+                .counter_value("shard_refs", &[("shard", &shard.to_string())])
+                .unwrap_or(0)
+        })
+        .sum();
+    assert_eq!(total, results.per_scheme[0].combined.refs);
+    assert!(
+        registry
+            .histogram_summary("phase_seconds", &[("phase", "merge")])
+            .is_some(),
+        "sharded runs must time the merge phase"
+    );
+}
+
+#[test]
+fn exported_jsonl_round_trips_exactly() {
+    let registry = Arc::new(MetricsRegistry::new());
+    experiment()
+        .recorder(Arc::clone(&registry) as Arc<dyn Recorder>)
+        .run_with(ExecutionMode::SinglePass)
+        .unwrap();
+
+    let manifest = RunManifest::new("observability-test")
+        .schemes(gauntlet().iter().map(|s| s.name()))
+        .mode("single-pass")
+        .trace("synth:paper-workloads")
+        .refs(REFS as u64)
+        .wall_secs(0.125)
+        .extra("suite", "integration");
+    let mut buf = Vec::new();
+    write_jsonl(&mut buf, &manifest, &registry).unwrap();
+    let text = String::from_utf8(buf).unwrap();
+
+    let run = parse_metrics(&text).expect("writer output must satisfy its own schema");
+    assert_eq!(run.manifest, manifest, "manifest round-trip");
+    assert_eq!(run.records, registry.snapshot(), "metric series round-trip");
+}
+
+#[test]
+fn progress_meter_sees_monotone_cumulative_refs() {
+    let seen = Arc::new(Mutex::new(Vec::new()));
+    let sink = Arc::clone(&seen);
+    let meter = ProgressMeter::new(
+        "refs",
+        Duration::ZERO,
+        Box::new(move |p| sink.lock().unwrap().push(p.done)),
+    );
+    let results = experiment()
+        .progress(Arc::new(Mutex::new(meter)))
+        .run_with(ExecutionMode::SinglePass)
+        .unwrap();
+
+    let seen = seen.lock().unwrap();
+    // 3 workloads × 6 000 refs comfortably clears the tick stride.
+    assert!(!seen.is_empty(), "expected at least one progress report");
+    assert!(
+        seen.windows(2).all(|w| w[0] <= w[1]),
+        "progress must be monotone: {seen:?}"
+    );
+    assert!(*seen.last().unwrap() <= results.per_scheme[0].combined.refs);
+}

@@ -282,4 +282,72 @@ proptest! {
         let b: Vec<MemRef> = Workload::new(cfg).take(500).collect();
         prop_assert_eq!(a, b);
     }
+
+    /// Merging histograms equals recording the concatenated samples —
+    /// including when either side is empty, so merge has no way to leave
+    /// the representation non-canonical (trailing zero buckets).
+    #[test]
+    fn histogram_merge_matches_direct_recording(
+        a in prop::collection::vec(0u32..12, 0..40),
+        b in prop::collection::vec(0u32..12, 0..40),
+    ) {
+        let mut left = FanoutHistogram::new();
+        for &f in &a {
+            left.record(f);
+        }
+        let mut right = FanoutHistogram::new();
+        for &f in &b {
+            right.record(f);
+        }
+        let mut merged = left.clone();
+        merged.merge(&right);
+
+        let mut direct = FanoutHistogram::new();
+        for &f in a.iter().chain(&b) {
+            direct.record(f);
+        }
+        prop_assert_eq!(&merged, &direct);
+        prop_assert_eq!(merged.total(), (a.len() + b.len()) as u64);
+        prop_assert_eq!(merged.max_fanout(), a.iter().chain(&b).max().copied());
+
+        // Merge is symmetric in value.
+        let mut flipped = right;
+        flipped.merge(&left);
+        prop_assert_eq!(&flipped, &direct);
+    }
+
+    /// Merging with the empty histogram is the identity in both
+    /// directions, and the empty histogram itself reports safe zeros.
+    #[test]
+    fn histogram_empty_merge_is_identity(a in prop::collection::vec(0u32..12, 0..40)) {
+        let empty = FanoutHistogram::new();
+        prop_assert_eq!(empty.total(), 0);
+        prop_assert_eq!(empty.max_fanout(), None);
+        prop_assert_eq!(empty.mean(), 0.0);
+
+        let mut h = FanoutHistogram::new();
+        for &f in &a {
+            h.record(f);
+        }
+        let before = h.clone();
+        h.merge(&empty);
+        prop_assert_eq!(&h, &before);
+        let mut other = FanoutHistogram::new();
+        other.merge(&before);
+        prop_assert_eq!(&other, &before);
+    }
+
+    /// A histogram fed a single bucket reports exactly that bucket.
+    #[test]
+    fn histogram_single_bucket_is_exact(f in 0u32..16, n in 1u64..50) {
+        let mut h = FanoutHistogram::new();
+        for _ in 0..n {
+            h.record(f);
+        }
+        prop_assert_eq!(h.total(), n);
+        prop_assert_eq!(h.count(f), n);
+        prop_assert_eq!(h.max_fanout(), Some(f));
+        prop_assert!((h.fraction(f) - 1.0).abs() < 1e-12);
+        prop_assert!((h.mean() - f64::from(f)).abs() < 1e-9);
+    }
 }
