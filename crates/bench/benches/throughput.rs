@@ -123,12 +123,43 @@ fn bench_execution_modes(c: &mut Criterion) {
     group.finish();
 }
 
+/// The finite-cache counterpart of [`bench_execution_modes`]: the same
+/// headline matrix over a 64-set × 4-way LRU geometry, so every mode
+/// additionally pays for replacement lookups, evictions, and re-fetches.
+/// Sharded execution partitions by cache **set index** here (LRU state
+/// never crosses sets), which is exactly as parallel as block sharding
+/// whenever `sets >= workers`.
+fn bench_execution_modes_finite(c: &mut Criterion) {
+    const MATRIX_REFS: usize = 200_000;
+    let config = SimConfig::builder()
+        .geometry(dirsim_mem::CacheGeometry { sets: 64, ways: 4 })
+        .build()
+        .expect("bench geometry is valid");
+    let exp = dirsim::paper::headline_experiment(MATRIX_REFS).sim_config(config);
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let steps = (MATRIX_REFS * exp.workload_count() * exp.scheme_count()) as u64;
+    let mut group = c.benchmark_group("throughput/full_matrix_finite_200k");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(steps));
+    for (label, mode) in [
+        ("serial", ExecutionMode::Serial),
+        ("single_pass", ExecutionMode::SinglePass),
+        ("sharded", ExecutionMode::Sharded { workers }),
+    ] {
+        group.bench_function(label, |b| b.iter(|| exp.run_with(mode).unwrap()));
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_generator,
     bench_trace_io,
     bench_protocols,
     bench_oracle_overhead,
-    bench_execution_modes
+    bench_execution_modes,
+    bench_execution_modes_finite
 );
 criterion_main!(benches);

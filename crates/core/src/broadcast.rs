@@ -1,4 +1,4 @@
-//! The single-pass, block-sharded multi-protocol engine.
+//! The single-pass, sharded multi-protocol engine.
 //!
 //! The paper's methodology (§4) measures protocol-independent event
 //! frequencies by replaying the *same* interleaved trace under every
@@ -9,20 +9,24 @@
 //! trace length, and an N-scheme matrix pays for one trace generation
 //! instead of N.
 //!
-//! ## Block sharding
+//! ## Sharding
 //!
-//! With `workers > 1` the reference stream is additionally partitioned by
-//! block address (`block % workers`) and each partition is simulated on
-//! its own `std::thread` worker. This is *exact*, not approximate, under
-//! the paper's infinite-cache model: every protocol here keeps its
-//! coherence state strictly per block (a directory entry, a sharer set, a
-//! dirty bit), so the events, bus operations, and fan-outs produced by
-//! references to block `b` depend only on the subsequence of references
-//! to `b` — which sharding preserves in order. Per-shard counters are
-//! then summed, and since every counter is a commutative sum the merged
-//! totals are bit-identical to a serial run. Finite caches break this
-//! (LRU couples blocks that share a set), so sharded execution rejects
-//! [`SimConfig::geometry`]`: Some` with a typed error.
+//! With `workers > 1` the reference stream is additionally partitioned
+//! under a [`ShardKey`] and each partition is simulated on its own
+//! `std::thread` worker. This is *exact*, not approximate: every
+//! protocol here keeps its coherence state strictly per block (a
+//! directory entry, a sharer set, a dirty bit), so the events, bus
+//! operations, and fan-outs produced by references to block `b` depend
+//! only on the subsequence of references to `b` — which sharding
+//! preserves in order. Under the paper's infinite-cache model the key is
+//! the raw block address (`block % workers`). Finite caches add LRU
+//! state that couples blocks sharing a set, so they shard on the cache
+//! **set index** instead — a block's set is a pure function of its
+//! address and replacement never crosses sets, so set-partitioned shards
+//! see exactly the serial access order of every set they own. Per-shard
+//! counters are then summed, and since every counter is a commutative
+//! sum the merged totals are bit-identical to a serial run under either
+//! key.
 //!
 //! ```
 //! use dirsim::broadcast::BroadcastSimulator;
@@ -50,7 +54,7 @@ use dirsim_protocol::{CoherenceProtocol, Scheme};
 use dirsim_trace::source::TraceSource;
 use dirsim_trace::MemRef;
 
-use crate::engine::{Lane, SimConfig, SimConfigError, SimError, SimResult, StepFailure};
+use crate::engine::{Lane, ShardKey, SimConfig, SimError, SimResult, StepFailure};
 use crate::error::{Error, InvariantError};
 
 /// Default number of references decoded per chunk.
@@ -151,9 +155,10 @@ impl BroadcastSimulator {
         self
     }
 
-    /// Sets the number of block-shard workers. `1` (the default) runs
-    /// single-pass on the calling thread; more shards the stream by block
-    /// address.
+    /// Sets the number of shard workers. `1` (the default) runs
+    /// single-pass on the calling thread; more shards the stream under
+    /// the configuration's [`ShardKey`] — by block address for infinite
+    /// caches, by cache set index for finite ones.
     ///
     /// # Panics
     ///
@@ -192,8 +197,8 @@ impl BroadcastSimulator {
     /// # Errors
     ///
     /// Returns a typed [`Error`] for trace decode failures, oracle
-    /// violations, invariant violations, or a sharded run over finite
-    /// caches. Under sharded execution, `ref_index` in an error is
+    /// violations, invariant violations, or an unusable finite-cache
+    /// geometry. Under sharded execution, `ref_index` in an error is
     /// relative to the failing shard's subsequence, not the global
     /// stream.
     ///
@@ -236,12 +241,14 @@ impl BroadcastSimulator {
         F: FnMut(&MemRef),
     {
         assert!(!schemes.is_empty(), "broadcast run needs schemes");
+        // Sharded finite-cache runs derive the set mask from the
+        // geometry, and every finite run builds `FiniteCache`s from it,
+        // so an unusable sets/ways combination surfaces here as a typed
+        // error instead of a mid-run panic.
+        self.config.validate().map_err(Error::Config)?;
         if self.workers <= 1 {
             self.run_single(schemes, caches, &mut source, &mut observe)
         } else {
-            if self.config.geometry.is_some() {
-                return Err(Error::Config(SimConfigError::ShardedFiniteCache));
-            }
             self.run_sharded(schemes, caches, &mut source, &mut observe)
         }
     }
@@ -292,6 +299,7 @@ impl BroadcastSimulator {
         let workers = self.workers;
         let config = self.config;
         let chunk = self.chunk;
+        let shard_key = ShardKey::for_config(&config);
         let rec = &*self.recorder;
 
         let per_worker: Result<Vec<Vec<SimResult>>, Error> = std::thread::scope(|scope| {
@@ -323,10 +331,11 @@ impl BroadcastSimulator {
             }
 
             // The main thread decodes each chunk exactly once and routes
-            // every reference to its block's shard. Routing by block (not
-            // by hash) keeps the assignment deterministic, so per-shard
-            // subsequences — and therefore merged counters — are
-            // reproducible run to run.
+            // every reference to its shard under the configuration's
+            // shard key (block address for infinite caches, set index
+            // for finite ones). Routing by key (not by hash) keeps the
+            // assignment deterministic, so per-shard subsequences — and
+            // therefore merged counters — are reproducible run to run.
             let mut buf = Vec::with_capacity(chunk);
             let mut staging: Vec<Vec<MemRef>> =
                 (0..workers).map(|_| Vec::with_capacity(chunk)).collect();
@@ -347,7 +356,7 @@ impl BroadcastSimulator {
                 for r in &buf {
                     observe(r);
                     let block = config.block_map.block_of(r.addr);
-                    let shard = (block.raw() % workers as u64) as usize;
+                    let shard = shard_key.shard_of(block, workers);
                     staging[shard].push(*r);
                 }
                 for (shard, pending) in staging.iter_mut().enumerate() {
@@ -499,19 +508,51 @@ mod tests {
     }
 
     #[test]
-    fn sharded_rejects_finite_caches() {
+    fn sharded_supports_finite_caches() {
+        // Regression: this exact configuration used to be rejected with
+        // the (now removed) `SimConfigError::ShardedFiniteCache`. Set
+        // sharding makes it both legal and exact.
         let config = SimConfig {
             geometry: Some(CacheGeometry { sets: 4, ways: 2 }),
+            check_oracle: true,
             ..SimConfig::default()
         };
-        let err = BroadcastSimulator::new(config)
-            .workers(2)
-            .run(&[Scheme::Dragon], 4, IterSource::new(trace().into_iter()))
-            .unwrap_err();
-        assert!(matches!(
-            err,
-            Error::Config(SimConfigError::ShardedFiniteCache)
-        ));
+        let refs = trace();
+        let schemes = Scheme::paper_lineup();
+        let serial = serial_baseline(config, &schemes, &refs);
+        for workers in [2, 3, 8] {
+            let sharded = BroadcastSimulator::new(config)
+                .workers(workers)
+                .chunk_size(512)
+                .run(&schemes, 4, IterSource::new(refs.iter().copied()))
+                .unwrap();
+            assert_eq!(serial, sharded, "workers = {workers}");
+        }
+        assert!(
+            serial[0].capacity_evictions > 0,
+            "geometry small enough to evict"
+        );
+    }
+
+    #[test]
+    fn unusable_geometry_is_a_typed_error() {
+        use crate::engine::SimConfigError;
+        // Bypass the builder (which would catch this) to prove the
+        // engine validates too, on every execution path.
+        let config = SimConfig {
+            geometry: Some(CacheGeometry { sets: 3, ways: 2 }),
+            ..SimConfig::default()
+        };
+        for workers in [1, 2] {
+            let err = BroadcastSimulator::new(config)
+                .workers(workers)
+                .run(&[Scheme::Dragon], 4, IterSource::new(trace().into_iter()))
+                .unwrap_err();
+            assert!(
+                matches!(err, Error::Config(SimConfigError::Geometry(_))),
+                "workers = {workers}: {err}"
+            );
+        }
     }
 
     #[test]

@@ -91,21 +91,12 @@ pub enum SimConfigError {
     /// The finite-cache geometry is unusable (zero sets/ways or a
     /// non-power-of-two set count).
     Geometry(InvalidGeometry),
-    /// Block-sharded execution was requested with finite caches. LRU
-    /// replacement couples blocks that map to the same set, so only the
-    /// paper's infinite-cache model may be sharded by block address.
-    ShardedFiniteCache,
 }
 
 impl fmt::Display for SimConfigError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SimConfigError::Geometry(e) => write!(f, "invalid simulation config: {e}"),
-            SimConfigError::ShardedFiniteCache => write!(
-                f,
-                "block-sharded execution requires infinite caches \
-                 (finite-cache LRU state spans blocks within a set)"
-            ),
         }
     }
 }
@@ -114,8 +105,61 @@ impl std::error::Error for SimConfigError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             SimConfigError::Geometry(e) => Some(e),
-            SimConfigError::ShardedFiniteCache => None,
         }
+    }
+}
+
+/// How the sharded engine partitions a reference stream across workers.
+///
+/// A shard key maps every block to one worker such that *all* state the
+/// engine mutates while stepping a reference stays inside that worker:
+/// protocol state (directory entry, sharer set, dirty bit) is per block
+/// under every key, and finite-cache LRU state is per set. Infinite
+/// caches therefore shard on the raw block address; finite caches shard
+/// on the set index — a pure function of the address — so replacement
+/// decisions inside a set see exactly the serial access order and the
+/// partition stays exact, never approximate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardKey {
+    /// Partition by raw block address (`block % workers`): the paper's
+    /// infinite-cache model, where no engine state couples distinct
+    /// blocks.
+    Block,
+    /// Partition by cache set index (`(block & set_mask) % workers`):
+    /// finite caches, where LRU replacement couples blocks within a set
+    /// but never across sets.
+    Set {
+        /// `sets - 1` — the same power-of-two mask
+        /// [`FiniteCache`] derives from the geometry, so the key and the
+        /// cache always agree on which set a block lives in.
+        set_mask: u64,
+    },
+}
+
+impl ShardKey {
+    /// The key that makes sharded execution exact for `config`: blocks
+    /// for infinite caches, sets for finite ones.
+    ///
+    /// The caller is expected to have validated the configuration (see
+    /// [`SimConfig::validate`]); an unvalidated non-power-of-two set
+    /// count would yield a mask that disagrees with [`FiniteCache`].
+    pub fn for_config(config: &SimConfig) -> ShardKey {
+        match config.geometry {
+            None => ShardKey::Block,
+            Some(geometry) => ShardKey::Set {
+                set_mask: u64::from(geometry.sets) - 1,
+            },
+        }
+    }
+
+    /// The worker that owns `block` among `workers` shards.
+    #[inline]
+    pub fn shard_of(self, block: BlockAddr, workers: usize) -> usize {
+        let key = match self {
+            ShardKey::Block => block.raw(),
+            ShardKey::Set { set_mask } => block.raw() & set_mask,
+        };
+        (key % workers as u64) as usize
     }
 }
 
@@ -750,6 +794,44 @@ mod tests {
             result.capacity_evictions,
             "every evicted line was dirty here"
         );
+    }
+
+    #[test]
+    fn shard_key_follows_geometry() {
+        use dirsim_mem::CacheGeometry;
+        let infinite = SimConfig::default();
+        assert_eq!(ShardKey::for_config(&infinite), ShardKey::Block);
+        let finite = SimConfig {
+            geometry: Some(CacheGeometry { sets: 8, ways: 2 }),
+            ..SimConfig::default()
+        };
+        assert_eq!(ShardKey::for_config(&finite), ShardKey::Set { set_mask: 7 });
+    }
+
+    #[test]
+    fn set_key_keeps_a_set_on_one_shard() {
+        // Blocks 5 and 13 share set 5 of 8; the block key may split them,
+        // the set key never does, for any worker count.
+        let key = ShardKey::Set { set_mask: 7 };
+        for workers in 1..=16 {
+            assert_eq!(
+                key.shard_of(BlockAddr::new(5), workers),
+                key.shard_of(BlockAddr::new(13), workers),
+                "workers = {workers}"
+            );
+        }
+        assert_ne!(
+            ShardKey::Block.shard_of(BlockAddr::new(5), 3),
+            ShardKey::Block.shard_of(BlockAddr::new(13), 3),
+        );
+    }
+
+    #[test]
+    fn single_set_key_maps_everything_to_shard_zero() {
+        let key = ShardKey::Set { set_mask: 0 };
+        for block in [0u64, 1, 7, 1 << 40] {
+            assert_eq!(key.shard_of(BlockAddr::new(block), 6), 0);
+        }
     }
 
     #[test]

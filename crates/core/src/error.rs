@@ -156,7 +156,12 @@ mod tests {
     fn from_impls_wrap_every_layer() {
         let trace: Error = TraceIoError::TruncatedRecord.into();
         assert!(matches!(trace, Error::TraceIo(_)));
-        let config: Error = SimConfigError::ShardedFiniteCache.into();
+        let config: Error =
+            SimConfigError::Geometry(dirsim_mem::InvalidGeometry(dirsim_mem::CacheGeometry {
+                sets: 3,
+                ways: 0,
+            }))
+            .into();
         assert!(matches!(config, Error::Config(_)));
         let workload: Error = dirsim_trace::synth::WorkloadConfig::builder()
             .cpus(0)

@@ -4,11 +4,12 @@
 //! scheme and collects per-trace and combined [`SimResult`]s. By default it
 //! runs **single-pass**: each workload is generated once and broadcast
 //! through all schemes in lockstep via
-//! [`BroadcastSimulator`](crate::broadcast::BroadcastSimulator), instead of
+//! [`BroadcastSimulator`], instead of
 //! regenerating the trace once per scheme. [`ExecutionMode`] selects
 //! between that, the legacy one-pass-per-scheme serial mode, and
-//! block-sharded parallel execution — all three produce bit-identical
-//! results. The paper-specific experiment presets live in [`crate::paper`].
+//! sharded parallel execution (by block address for infinite caches, by
+//! cache set index for finite geometries) — all three produce
+//! bit-identical results. The paper-specific experiment presets live in [`crate::paper`].
 
 use std::ops::Index;
 use std::sync::{Arc, Mutex};
@@ -57,9 +58,10 @@ pub enum ExecutionMode {
     /// Generate each trace once and broadcast every chunk through all
     /// schemes in lockstep (the default).
     SinglePass,
-    /// Single-pass, additionally sharded by block address over `workers`
-    /// threads. Requires the infinite-cache model (see
-    /// [`SimConfigError::ShardedFiniteCache`](crate::engine::SimConfigError::ShardedFiniteCache)).
+    /// Single-pass, additionally sharded over `workers` threads under
+    /// the configuration's [`ShardKey`](crate::engine::ShardKey): by
+    /// block address for infinite caches, by cache set index for finite
+    /// geometries. Exact for both.
     Sharded {
         /// Number of worker threads.
         workers: usize,
@@ -237,12 +239,12 @@ impl Experiment {
         self.run_with(self.mode)
     }
 
-    /// Runs the full matrix block-sharded over all available cores.
-    /// Results are bit-identical to [`Self::run`]: block sharding
-    /// preserves each block's reference subsequence and all counters merge
-    /// commutatively. Falls back to single-pass execution when the
-    /// configuration simulates finite caches (which cannot be sharded by
-    /// block) or only one core is available.
+    /// Runs the full matrix sharded over all available cores. Results
+    /// are bit-identical to [`Self::run`]: the shard key (block address
+    /// for infinite caches, cache set index for finite geometries)
+    /// preserves each block's reference subsequence and all counters
+    /// merge commutatively. Falls back to single-pass execution when
+    /// only one core is available.
     ///
     /// # Errors
     ///
@@ -255,7 +257,7 @@ impl Experiment {
         let workers = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1);
-        let mode = if self.sim.geometry.is_some() || workers <= 1 {
+        let mode = if workers <= 1 {
             ExecutionMode::SinglePass
         } else {
             ExecutionMode::Sharded { workers }
@@ -580,23 +582,32 @@ mod tests {
     }
 
     #[test]
-    fn sharded_finite_cache_is_a_typed_error() {
-        use crate::engine::SimConfigError;
+    fn sharded_finite_cache_matches_serial() {
+        // Regression: sharded finite-cache experiments used to be
+        // rejected with a typed `ShardedFiniteCache` error; set sharding
+        // made them exact. `run_parallel` shards finite geometries too.
         use dirsim_mem::CacheGeometry;
         let config = SimConfig::builder()
             .geometry(CacheGeometry { sets: 16, ways: 2 })
             .build()
             .unwrap();
-        let err = tiny_experiment()
+        let serial = tiny_experiment()
             .sim_config(config)
-            .run_with(ExecutionMode::Sharded { workers: 4 })
-            .unwrap_err();
-        assert!(matches!(
-            err,
-            Error::Config(SimConfigError::ShardedFiniteCache)
-        ));
-        // run_parallel silently degrades to single-pass instead.
-        tiny_experiment().sim_config(config).run_parallel().unwrap();
+            .run_with(ExecutionMode::Serial)
+            .unwrap();
+        for results in [
+            tiny_experiment()
+                .sim_config(config)
+                .run_with(ExecutionMode::Sharded { workers: 4 })
+                .unwrap(),
+            tiny_experiment().sim_config(config).run_parallel().unwrap(),
+        ] {
+            for (a, b) in serial.per_scheme.iter().zip(results.per_scheme.iter()) {
+                assert_eq!(a.scheme, b.scheme);
+                assert_eq!(a.combined, b.combined);
+                assert_eq!(a.per_trace, b.per_trace);
+            }
+        }
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Runtime protocol-invariant audit.
 //!
-//! Every [`CoherenceProtocol`](dirsim_protocol::CoherenceProtocol) must
+//! Every [`CoherenceProtocol`] must
 //! uphold a small catalogue of invariants regardless of scheme:
 //!
 //! 1. **SWMR** — a dirty block has exactly one holder (invalidation
@@ -419,7 +419,7 @@ pub fn check_eviction(
 /// oracle, stopping at the first movement the oracle rejects.
 ///
 /// This is the single definition of how
-/// [`DataMovement`](dirsim_protocol::DataMovement)s map onto
+/// [`DataMovement`]s map onto
 /// [`ShadowMemory`] operations; both the simulation engine and the
 /// `dirsim-verify` model checker drive the oracle through it.
 ///

@@ -60,8 +60,8 @@ pub mod timing;
 pub use broadcast::BroadcastSimulator;
 pub use dirsim_obs as obs;
 pub use engine::{
-    audit_step, SimConfig, SimConfigBuilder, SimConfigError, SimError, SimResult, Simulator,
-    StepFailure,
+    audit_step, ShardKey, SimConfig, SimConfigBuilder, SimConfigError, SimError, SimResult,
+    Simulator, StepFailure,
 };
 pub use error::{Error, InvariantError};
 pub use experiment::{ExecutionMode, Experiment, ExperimentResults, NamedWorkload, SchemeResult};

@@ -17,7 +17,7 @@
 //!   with the same dirty bit;
 //! * **update schemes** (`Dragon`, `DirUpd`) agree with each other.
 //!
-//! Like [`crate::explore`], joint states are deduplicated so the search
+//! Like [`crate::explore`](mod@crate::explore), joint states are deduplicated so the search
 //! closes over the reachable joint state space.
 
 use std::collections::{HashSet, VecDeque};

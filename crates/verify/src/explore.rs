@@ -4,7 +4,7 @@
 //! bounded system can issue (all caches × all blocks × read/write, up to a
 //! depth), and audits every transition with the engine's invariant
 //! catalogue plus the shadow-memory oracle. States are deduplicated on the
-//! pair (protocol [`StateSnapshot`](dirsim_protocol::StateSnapshot),
+//! pair (protocol [`StateSnapshot`],
 //! version-rank-canonical oracle image), so the search closes over the
 //! reachable state space instead of the exponential sequence tree.
 

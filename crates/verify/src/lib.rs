@@ -4,12 +4,12 @@
 //! crate closes the gap by checking them on **every reachable state** of a
 //! small system. Three layers:
 //!
-//! * [`explore`] — breadth-first reachability over all interleavings of
+//! * [`explore`](mod@explore) — breadth-first reachability over all interleavings of
 //!   read/write references for a bounded configuration (caches × blocks ×
 //!   depth), asserting the full invariant catalogue of
 //!   [`dirsim::invariant`] plus shadow-memory oracle agreement on every
 //!   transition.
-//! * [`differential`] — lockstep replay of every bounded reference
+//! * [`differential`](mod@differential) — lockstep replay of every bounded reference
 //!   sequence through *all* schemes at once, asserting that the different
 //!   directory organisations agree on sharing-set and dirty semantics
 //!   (full-map, broadcast, and snoopy schemes exactly; limited-pointer

@@ -1,21 +1,29 @@
 //! Engine-path equivalence: the legacy serial per-scheme path, the
-//! single-pass broadcast path, and the block-sharded parallel path must
+//! single-pass broadcast path, and the sharded parallel path must
 //! produce **bit-identical** results for every scheme.
 //!
-//! This is the load-bearing guarantee behind `ExecutionMode`: sharding by
-//! block address is exact under the paper's infinite-cache model because
-//! per-block protocol state never interacts across blocks, and every
-//! counter merged across shards is a commutative sum. Any drift here means
-//! one of the paths is wrong, not "parallel noise".
+//! This is the load-bearing guarantee behind `ExecutionMode`: sharding is
+//! exact because per-block protocol state never interacts across blocks
+//! and every counter merged across shards is a commutative sum. Infinite
+//! caches shard by block address; finite caches shard by cache set index
+//! (LRU state never crosses sets, and a block's set is a pure function of
+//! its address), so both geometries get the full three-way guarantee. Any
+//! drift here means one of the paths is wrong, not "parallel noise".
 //!
 //! The scheme list mirrors the `dirsim-verify` gauntlet (that crate
 //! depends on this one, so the 14 schemes are enumerated inline).
 
 use dirsim::prelude::*;
 use dirsim::{ExecutionMode, Experiment, ExperimentResults, NamedWorkload};
+use dirsim_mem::CacheGeometry;
 use dirsim_protocol::DirSpec;
 
 const REFS: usize = 12_000;
+
+/// Reference count for the finite-cache rounds: capacity evictions make
+/// every reference more expensive (evict + re-fetch + oracle replay), so
+/// the finite gauntlet runs a slightly shorter trace.
+const FINITE_REFS: usize = 8_000;
 
 /// The paper's Table 5 line-up plus the remaining directory organisations
 /// and snoopy baselines — every protocol the model checker gauntlets.
@@ -124,6 +132,102 @@ fn equivalence_holds_under_the_oracle() {
     let sharded = exp.run_with(ExecutionMode::Sharded { workers: 3 }).unwrap();
     assert_identical(&serial, &single, "audited single-pass");
     assert_identical(&serial, &sharded, "audited sharded");
+}
+
+fn finite_experiment(geometry: CacheGeometry) -> Experiment {
+    let config = SimConfig::builder()
+        .geometry(geometry)
+        .build()
+        .expect("test geometry is valid");
+    Experiment::new()
+        .workloads(dirsim::paper::paper_workloads())
+        .schemes(gauntlet())
+        .refs_per_trace(FINITE_REFS)
+        .sim_config(config)
+}
+
+#[test]
+fn finite_cache_sharded_matches_serial_for_every_scheme() {
+    // The tentpole guarantee: set-sharded finite-cache execution is
+    // bit-identical to serial for all 14 schemes. This configuration was
+    // rejected outright (`SimConfigError::ShardedFiniteCache`) before
+    // set sharding existed, so this doubles as the regression test that
+    // the old rejection path now succeeds.
+    let exp = finite_experiment(CacheGeometry { sets: 8, ways: 2 });
+    let serial = exp.run_with(ExecutionMode::Serial).unwrap();
+    let single = exp.run_with(ExecutionMode::SinglePass).unwrap();
+    assert_identical(&serial, &single, "finite single-pass vs serial");
+    for workers in [2, 5] {
+        let sharded = exp.run_with(ExecutionMode::Sharded { workers }).unwrap();
+        assert_identical(
+            &serial,
+            &sharded,
+            &format!("finite {workers} shards vs serial"),
+        );
+    }
+    // The geometry is small enough that the equivalence is exercised by
+    // real replacement traffic, not a trivially infinite-looking run.
+    for s in &serial.per_scheme {
+        assert!(
+            s.combined.capacity_evictions > 0,
+            "{}: no capacity evictions — geometry too large for the trace",
+            s.scheme
+        );
+    }
+}
+
+#[test]
+fn finite_cache_shard_count_is_immaterial() {
+    let exp = finite_experiment(CacheGeometry { sets: 8, ways: 2 });
+    let three = exp.run_with(ExecutionMode::Sharded { workers: 3 }).unwrap();
+    let eight = exp.run_with(ExecutionMode::Sharded { workers: 8 }).unwrap();
+    assert_identical(&three, &eight, "finite 3 shards vs 8 shards");
+}
+
+#[test]
+fn degenerate_finite_geometries_agree_across_modes() {
+    // The corners of the geometry space: direct-mapped (ways = 1, every
+    // touch of a new block in a set evicts), a single set (sets = 1, the
+    // set key routes everything to shard 0 and the run degenerates to
+    // single-pass-on-a-worker), and fewer sets than shards (most shards
+    // stay empty). Each must agree with serial in all three modes.
+    let cases = [
+        ("direct-mapped", CacheGeometry { sets: 16, ways: 1 }),
+        ("single-set", CacheGeometry { sets: 1, ways: 4 }),
+        ("sets < shards", CacheGeometry { sets: 2, ways: 2 }),
+    ];
+    for (label, geometry) in cases {
+        let exp = finite_experiment(geometry);
+        let serial = exp.run_with(ExecutionMode::Serial).unwrap();
+        let single = exp.run_with(ExecutionMode::SinglePass).unwrap();
+        let sharded = exp.run_with(ExecutionMode::Sharded { workers: 8 }).unwrap();
+        assert_identical(&serial, &single, &format!("{label} single-pass"));
+        assert_identical(&serial, &sharded, &format!("{label} sharded"));
+    }
+}
+
+#[test]
+fn finite_cache_equivalence_holds_under_the_oracle() {
+    // Eviction write-backs and post-eviction re-fetches must replay
+    // identically against each shard's shadow memory.
+    let config = SimConfig::builder()
+        .geometry(CacheGeometry { sets: 4, ways: 2 })
+        .check_oracle(true)
+        .build()
+        .unwrap();
+    let exp = Experiment::new()
+        .workload(NamedWorkload::new(
+            "audited",
+            WorkloadConfig::builder().seed(7).build().unwrap(),
+        ))
+        .schemes(gauntlet())
+        .refs_per_trace(6_000)
+        .sim_config(config);
+    let serial = exp.run_with(ExecutionMode::Serial).unwrap();
+    let single = exp.run_with(ExecutionMode::SinglePass).unwrap();
+    let sharded = exp.run_with(ExecutionMode::Sharded { workers: 3 }).unwrap();
+    assert_identical(&serial, &single, "audited finite single-pass");
+    assert_identical(&serial, &sharded, "audited finite sharded");
 }
 
 #[test]

@@ -169,6 +169,56 @@ fn sharded_run_records_per_shard_series() {
 }
 
 #[test]
+fn finite_sharded_run_records_per_shard_series() {
+    // Set-sharded finite-cache runs report the same shard_refs/shard_ops
+    // series as block-sharded infinite runs, and attaching the recorder
+    // must not perturb the (replacement-heavy) results.
+    use dirsim_mem::CacheGeometry;
+    let config = SimConfig::builder()
+        .geometry(CacheGeometry { sets: 8, ways: 2 })
+        .build()
+        .unwrap();
+    let workers = 3;
+    let baseline = experiment()
+        .sim_config(config)
+        .run_with(ExecutionMode::SinglePass)
+        .unwrap();
+    let registry = Arc::new(MetricsRegistry::new());
+    let results = experiment()
+        .sim_config(config)
+        .recorder(Arc::clone(&registry) as Arc<dyn Recorder>)
+        .run_with(ExecutionMode::Sharded { workers })
+        .unwrap();
+    assert_identical(&baseline, &results, "finite sharded instrumented");
+
+    let shard_refs: u64 = (0..workers)
+        .map(|shard| {
+            registry
+                .counter_value("shard_refs", &[("shard", &shard.to_string())])
+                .unwrap_or(0)
+        })
+        .sum();
+    assert_eq!(shard_refs, results.per_scheme[0].combined.refs);
+    let shard_ops: u64 = (0..workers)
+        .map(|shard| {
+            registry
+                .counter_value("shard_ops", &[("shard", &shard.to_string())])
+                .unwrap_or(0)
+        })
+        .sum();
+    let total_ops: u64 = results
+        .per_scheme
+        .iter()
+        .map(|s| s.combined.ops.total())
+        .sum();
+    assert_eq!(shard_ops, total_ops, "eviction ops are per-shard too");
+    assert!(
+        results.per_scheme[0].combined.capacity_evictions > 0,
+        "the geometry must be small enough to exercise replacement"
+    );
+}
+
+#[test]
 fn exported_jsonl_round_trips_exactly() {
     let registry = Arc::new(MetricsRegistry::new());
     experiment()
