@@ -101,8 +101,11 @@ fn bench_oracle_overhead(c: &mut Criterion) {
 /// schemes at 200k refs/trace) under each execution path. `serial`
 /// regenerates and re-simulates per scheme; `single_pass` streams each
 /// trace once through all schemes; `sharded` additionally partitions by
-/// block address across workers. Throughput is engine steps per second
-/// (references × schemes).
+/// block address across workers; `pipelined` is the sharded placement
+/// with trace decode overlapped on a dedicated producer thread, and
+/// `pipelined_1` isolates the overlap itself (one step worker, so the
+/// only difference from `single_pass` is where decode runs). Throughput
+/// is engine steps per second (references × schemes).
 fn bench_execution_modes(c: &mut Criterion) {
     const MATRIX_REFS: usize = 200_000;
     let exp = dirsim::paper::headline_experiment(MATRIX_REFS);
@@ -117,6 +120,8 @@ fn bench_execution_modes(c: &mut Criterion) {
         ("serial", ExecutionMode::Serial),
         ("single_pass", ExecutionMode::SinglePass),
         ("sharded", ExecutionMode::Sharded { workers }),
+        ("pipelined_1", ExecutionMode::Pipelined { workers: 1 }),
+        ("pipelined", ExecutionMode::Pipelined { workers }),
     ] {
         group.bench_function(label, |b| b.iter(|| exp.run_with(mode).unwrap()));
     }
@@ -147,6 +152,8 @@ fn bench_execution_modes_finite(c: &mut Criterion) {
         ("serial", ExecutionMode::Serial),
         ("single_pass", ExecutionMode::SinglePass),
         ("sharded", ExecutionMode::Sharded { workers }),
+        ("pipelined_1", ExecutionMode::Pipelined { workers: 1 }),
+        ("pipelined", ExecutionMode::Pipelined { workers }),
     ] {
         group.bench_function(label, |b| b.iter(|| exp.run_with(mode).unwrap()));
     }

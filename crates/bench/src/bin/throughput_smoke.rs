@@ -10,6 +10,12 @@
 //! gate, so the finite-cache engine path is held to the same bar the
 //! infinite path has been since it was parallelised.
 //!
+//! A second paired gate covers the staged pipeline's overlapped decode:
+//! `pipelined` (one step worker plus a decode producer thread) must not
+//! lose to `single-pass` (the same placement with decode inline) — the
+//! stepping work is identical, so losing means the handshake itself
+//! regressed, not the machine.
+//!
 //! Usage: `throughput_smoke [refs_per_trace] [--metrics-json <path>]
 //! [--bench-json <path>]` (default 100 000 references per trace)
 //!
@@ -19,13 +25,19 @@
 //! so they warn rather than fail when they lose to single-pass.
 //!
 //! `--metrics-json` records the measured timings (`smoke_best_seconds`,
-//! `steps_per_sec` per `{cache, mode}`, `smoke_best_ratio` per `{cache}`)
-//! as JSON lines after the gate's measurements complete, so exporting
-//! never perturbs the timing. `--bench-json` additionally writes a
-//! one-object perf-trajectory file (`BENCH_throughput.json` in CI) whose
-//! `metrics` map holds one steps/sec entry per cache-model × mode pair.
+//! `steps_per_sec` per `{cache, mode}`, `smoke_best_ratio` and
+//! `smoke_pipelined_ratio` per `{cache}`) as JSON lines after the gate's
+//! measurements complete, so exporting never perturbs the timing; it then
+//! runs one instrumented pipelined pass per cache model so the pipeline
+//! metrics (`decode_stall_seconds`, `step_stall_seconds`,
+//! `pipeline_queue_depth`, `pipeline_occupancy`) land in the same file
+//! for schema validation. `--bench-json` additionally writes a one-object
+//! perf-trajectory file (`BENCH_throughput.json` in CI) whose `metrics`
+//! map holds one steps/sec entry per cache-model × mode pair plus the
+//! paired `{cache}_pipelined_vs_inline_ratio`.
 
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Instant;
 
 use dirsim::obs::{Json, MetricsRegistry, Recorder, RunManifest};
@@ -39,9 +51,9 @@ const MIN_SECS: f64 = 1e-9;
 
 /// Paired rounds per cache model. Shared-runner noise is bursty, so
 /// unpaired timings are useless: a slow patch of machine can double any
-/// individual measurement. Each round times all three modes back-to-back
-/// and the gate looks at per-round *ratios* (adjacent measurements see
-/// the same machine conditions), judging single-pass by its best round.
+/// individual measurement. Each round times all modes back-to-back and
+/// the gates look at per-round *ratios* (adjacent measurements see the
+/// same machine conditions), judging each gated mode by its best round.
 const ROUNDS: usize = 5;
 
 /// The finite-cache geometry for the finite round: small enough that the
@@ -49,13 +61,21 @@ const ROUNDS: usize = 5;
 /// the run is not pure eviction churn.
 const FINITE_GEOMETRY: CacheGeometry = CacheGeometry { sets: 64, ways: 4 };
 
-const MODE_LABELS: [&str; 3] = ["serial", "single-pass", "sharded"];
+const MODES: usize = 4;
 
-fn modes(workers: usize) -> [ExecutionMode; 3] {
+/// Mode order: serial (index 0) and single-pass (index 1) form the PR 2
+/// pair; single-pass (inline decode) and pipelined (index 3, overlapped
+/// decode on one step worker) form the overlap pair.
+const MODE_LABELS: [&str; MODES] = ["serial", "single-pass", "sharded", "pipelined"];
+
+fn modes(workers: usize) -> [ExecutionMode; MODES] {
     [
         ExecutionMode::Serial,
         ExecutionMode::SinglePass,
         ExecutionMode::Sharded { workers },
+        // One step worker: isolates the decode overlap itself, instead of
+        // mixing it with sharding speedups or core-count noise.
+        ExecutionMode::Pipelined { workers: 1 },
     ]
 }
 
@@ -73,46 +93,51 @@ fn timed(exp: &Experiment, mode: ExecutionMode) -> Result<(f64, u64), dirsim::Er
 }
 
 /// One cache model's paired measurement: best seconds and steps per mode,
-/// plus the best per-round serial/single-pass ratio the gate judges.
+/// plus the best per-round ratios the gates judge (serial / single-pass,
+/// and single-pass / pipelined).
 struct Round {
-    best: [f64; 3],
-    steps: [u64; 3],
+    best: [f64; MODES],
+    steps: [u64; MODES],
     best_ratio: f64,
+    best_pipelined_ratio: f64,
 }
 
 fn measure(exp: &Experiment, workers: usize) -> Result<Round, dirsim::Error> {
     // Warm-up pass: first-touch page faults and lazy allocations land
     // here instead of skewing round one.
     exp.run_with(ExecutionMode::SinglePass)?;
-    let mut best = [f64::INFINITY; 3];
-    let mut steps = [0u64; 3];
+    let mut best = [f64::INFINITY; MODES];
+    let mut steps = [0u64; MODES];
     let mut best_ratio = 0.0f64;
+    let mut best_pipelined_ratio = 0.0f64;
     for _ in 0..ROUNDS {
-        let mut round = [MIN_SECS; 3];
+        let mut round = [MIN_SECS; MODES];
         for (i, &mode) in modes(workers).iter().enumerate() {
             let (secs, n) = timed(exp, mode)?;
             round[i] = secs;
             best[i] = best[i].min(secs);
             steps[i] = n;
         }
-        // timed() clamps to MIN_SECS, so the ratio is always finite.
+        // timed() clamps to MIN_SECS, so the ratios are always finite.
         best_ratio = best_ratio.max(round[0] / round[1]);
+        best_pipelined_ratio = best_pipelined_ratio.max(round[1] / round[3]);
     }
     Ok(Round {
         best,
         steps,
         best_ratio,
+        best_pipelined_ratio,
     })
 }
 
 /// Prints the per-mode table for one round and returns steps/sec per mode.
-fn report(label: &str, round: &Round) -> [f64; 3] {
+fn report(label: &str, round: &Round) -> [f64; MODES] {
     println!(
         "[{label}] {:>12} {:>9} {:>14} {:>9}",
         "mode", "seconds", "steps/sec", "vs serial"
     );
-    let mut rates = [0.0f64; 3];
-    for i in 0..3 {
+    let mut rates = [0.0f64; MODES];
+    for i in 0..MODES {
         rates[i] = round.steps[i] as f64 / round.best[i];
         let speedup = rates[i] / rates[0];
         println!(
@@ -123,9 +148,11 @@ fn report(label: &str, round: &Round) -> [f64; 3] {
     rates
 }
 
-/// Applies the gate to one round: single-pass must reach 90% of serial
-/// throughput in at least one paired round; sharded only warns.
-fn gate(label: &str, round: &Round, rates: &[f64; 3], workers: usize) -> bool {
+/// Applies the gates to one round: single-pass must reach 90% of serial
+/// throughput in at least one paired round, and pipelined must reach 90%
+/// of single-pass throughput in at least one paired round; sharded only
+/// warns.
+fn gate(label: &str, round: &Round, rates: &[f64; MODES], workers: usize) -> bool {
     // 10% guard band on the best paired round: a real regression slows
     // every round well past this; noise does not slow all five.
     if round.best_ratio < 0.90 {
@@ -133,6 +160,14 @@ fn gate(label: &str, round: &Round, rates: &[f64; 3], workers: usize) -> bool {
             "FAIL[{label}]: single-pass never reached serial throughput \
              (best round {:.2}x serial)",
             round.best_ratio
+        );
+        return false;
+    }
+    if round.best_pipelined_ratio < 0.90 {
+        eprintln!(
+            "FAIL[{label}]: pipelined decode never reached inline throughput \
+             (best round {:.2}x single-pass)",
+            round.best_pipelined_ratio
         );
         return false;
     }
@@ -144,8 +179,9 @@ fn gate(label: &str, round: &Round, rates: &[f64; 3], workers: usize) -> bool {
         );
     }
     println!(
-        "OK[{label}]: single-pass best round is {:.2}x serial",
-        round.best_ratio
+        "OK[{label}]: single-pass best round is {:.2}x serial, \
+         pipelined best round is {:.2}x single-pass",
+        round.best_ratio, round.best_pipelined_ratio
     );
     true
 }
@@ -208,7 +244,7 @@ fn run() -> Result<ExitCode, Box<dyn std::error::Error>> {
 
     // Export after every measurement so recording can't perturb the gate.
     if let Some(path) = &metrics_json {
-        let registry = MetricsRegistry::new();
+        let registry = Arc::new(MetricsRegistry::new());
         for (cache, round, _) in &rounds {
             for (i, mode) in MODE_LABELS.iter().enumerate() {
                 let labels = [("cache", *cache), ("mode", mode)];
@@ -220,6 +256,32 @@ fn run() -> Result<ExitCode, Box<dyn std::error::Error>> {
                 );
             }
             registry.gauge("smoke_best_ratio", &[("cache", *cache)], round.best_ratio);
+            registry.gauge(
+                "smoke_pipelined_ratio",
+                &[("cache", *cache)],
+                round.best_pipelined_ratio,
+            );
+            // The overlap pair under its own mode labels: `inline` is the
+            // single-pass placement (same stepping, decode on the calling
+            // thread), `pipelined` the overlapped one.
+            for (mode, idx) in [("inline", 1usize), ("pipelined", 3usize)] {
+                registry.gauge(
+                    "smoke_overlap_best_seconds",
+                    &[("cache", *cache), ("mode", mode)],
+                    round.best[idx],
+                );
+            }
+        }
+        // One instrumented pipelined pass per cache model (after all the
+        // timing), so the pipeline-overlap metrics land in the exported
+        // file and CI schema-validates their names and shapes.
+        for (_, exp) in &caches {
+            (*exp)
+                .clone()
+                .recorder(Arc::clone(&registry) as Arc<dyn Recorder>)
+                .run_with(ExecutionMode::Pipelined {
+                    workers: workers.min(2),
+                })?;
         }
         let manifest = RunManifest::new("throughput_smoke")
             .schemes(dirsim::paper::extended_schemes().iter().map(|s| s.name()))
@@ -244,13 +306,17 @@ fn run() -> Result<ExitCode, Box<dyn std::error::Error>> {
         // commit history.
         let mut metrics = Vec::new();
         for (cache, round, rates) in &rounds {
-            for i in 0..3 {
+            for i in 0..MODES {
                 let key = format!("{cache}_{}_steps_per_sec", MODE_LABELS[i].replace('-', "_"));
                 metrics.push((key, dirsim::obs::json::float(rates[i])));
             }
             metrics.push((
                 format!("{cache}_best_ratio"),
                 dirsim::obs::json::float(round.best_ratio),
+            ));
+            metrics.push((
+                format!("{cache}_pipelined_vs_inline_ratio"),
+                dirsim::obs::json::float(round.best_pipelined_ratio),
             ));
         }
         let doc = Json::Obj(vec![

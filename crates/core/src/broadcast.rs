@@ -9,10 +9,15 @@
 //! trace length, and an N-scheme matrix pays for one trace generation
 //! instead of N.
 //!
+//! All execution paths are placements of the one staged pipeline in
+//! `crate::pipeline` (`decode → route → step → merge`); this type only
+//! holds configuration and picks a placement.
+//!
 //! ## Sharding
 //!
 //! With `workers > 1` the reference stream is additionally partitioned
-//! under a [`ShardKey`] and each partition is simulated on its own
+//! under a [`ShardKey`](crate::engine::ShardKey) and each partition is
+//! simulated on its own
 //! `std::thread` worker. This is *exact*, not approximate: every
 //! protocol here keeps its coherence state strictly per block (a
 //! directory entry, a sharer set, a dirty bit), so the events, bus
@@ -27,6 +32,16 @@
 //! counters are then summed, and since every counter is a commutative
 //! sum the merged totals are bit-identical to a serial run under either
 //! key.
+//!
+//! ## Overlapped decode
+//!
+//! [`run_pipelined`](BroadcastSimulator::run_pipelined) additionally
+//! moves the decode stage onto a dedicated producer thread, so chunk
+//! *N+1* is decoded while chunk *N* is stepped. Chunk buffers are
+//! recycled through a bounded two-channel handshake (see
+//! `crate::pipeline`), so the overlap allocates nothing in steady state
+//! and — because only *work* moves threads, never *order* — results stay
+//! bit-identical to the non-overlapped paths.
 //!
 //! ```
 //! use dirsim::broadcast::BroadcastSimulator;
@@ -47,15 +62,16 @@
 //! # }
 //! ```
 
-use std::sync::{mpsc, Arc};
+use std::sync::Arc;
 
-use dirsim_obs::{NoopRecorder, Recorder, Span};
-use dirsim_protocol::{CoherenceProtocol, Scheme};
+use dirsim_obs::{NoopRecorder, Recorder};
+use dirsim_protocol::Scheme;
 use dirsim_trace::source::TraceSource;
 use dirsim_trace::MemRef;
 
-use crate::engine::{Lane, ShardKey, SimConfig, SimError, SimResult, StepFailure};
-use crate::error::{Error, InvariantError};
+use crate::engine::{SimConfig, SimConfigError, SimResult};
+use crate::error::Error;
+use crate::pipeline;
 
 /// Default number of references decoded per chunk.
 ///
@@ -64,52 +80,6 @@ use crate::error::{Error, InvariantError};
 /// cache); small enough that the chunk buffer stays well bounded
 /// (32k × 16-byte records = 512 KiB).
 pub const DEFAULT_CHUNK: usize = 32_768;
-
-/// Capacity (in batches) of each shard's bounded channel.
-const SHARD_CHANNEL_DEPTH: usize = 4;
-
-/// One protocol instance plus its accumulation lane.
-struct SchemeLane {
-    protocol: Box<dyn CoherenceProtocol>,
-    lane: Lane,
-}
-
-impl SchemeLane {
-    fn new(config: &SimConfig, scheme: Scheme, caches: u32) -> Self {
-        let protocol = scheme.build(caches);
-        let lane = Lane::new(config, protocol.name());
-        SchemeLane { protocol, lane }
-    }
-
-    #[inline]
-    fn step(&mut self, config: &SimConfig, r: MemRef) -> Result<(), Error> {
-        let index = self.lane.next_index();
-        match self.lane.step(config, self.protocol.as_mut(), r) {
-            Ok(()) => Ok(()),
-            Err(failure) => Err(step_error(self.protocol.name(), index, failure)),
-        }
-    }
-
-    fn finish(self) -> SimResult {
-        self.lane.finish(self.protocol.as_ref())
-    }
-}
-
-#[cold]
-fn step_error(scheme: String, ref_index: u64, failure: StepFailure) -> Error {
-    match failure {
-        StepFailure::Invariant { violation, .. } => Error::Invariant(InvariantError {
-            scheme,
-            ref_index,
-            violation,
-        }),
-        StepFailure::Oracle(violation) => Error::Sim(SimError {
-            scheme,
-            ref_index,
-            violation,
-        }),
-    }
-}
 
 /// Drives one reference stream through many protocols in lockstep (see
 /// module docs).
@@ -146,25 +116,23 @@ impl BroadcastSimulator {
 
     /// Sets the number of references decoded per chunk.
     ///
-    /// # Panics
-    ///
-    /// Panics if `refs == 0`.
+    /// A zero chunk size is rejected with a typed
+    /// [`SimConfigError::ZeroChunk`] when the engine runs, consistent
+    /// with every other configuration error.
     pub fn chunk_size(mut self, refs: usize) -> Self {
-        assert!(refs > 0, "chunk size must be positive");
         self.chunk = refs;
         self
     }
 
     /// Sets the number of shard workers. `1` (the default) runs
     /// single-pass on the calling thread; more shards the stream under
-    /// the configuration's [`ShardKey`] — by block address for infinite
-    /// caches, by cache set index for finite ones.
+    /// the configuration's [`ShardKey`](crate::engine::ShardKey) — by
+    /// block address for infinite caches, by cache set index for finite
+    /// ones.
     ///
-    /// # Panics
-    ///
-    /// Panics if `workers == 0`.
+    /// A zero worker count is rejected with a typed
+    /// [`SimConfigError::ZeroWorkers`] when the engine runs.
     pub fn workers(mut self, workers: usize) -> Self {
-        assert!(workers > 0, "need at least one worker");
         self.workers = workers;
         self
     }
@@ -175,12 +143,18 @@ impl BroadcastSimulator {
     ///
     /// The engine records:
     ///
-    /// * `phase_seconds{phase=decode|step|merge}` — histogram of per-chunk
-    ///   phase wall-clock (sharded step spans carry a `shard` label);
+    /// * `phase_seconds{phase=decode|route|step|merge}` — histogram of
+    ///   per-chunk phase wall-clock (sharded step spans carry a `shard`
+    ///   label);
     /// * `engine_refs` — counter of references decoded from the source;
     /// * `scheme_refs/scheme_transactions{scheme}` and
     ///   `scheme_ops{scheme,op}` — per-scheme result totals;
-    /// * `shard_refs/shard_ops{shard}` — per-shard totals (sharded runs).
+    /// * `shard_refs/shard_ops{shard}` — per-shard totals (sharded runs);
+    /// * pipeline-overlap metrics on the
+    ///   [`run_pipelined`](Self::run_pipelined) path:
+    ///   `decode_stall_seconds`, `step_stall_seconds`,
+    ///   `pipeline_queue_depth{stage[,shard]}`, and the
+    ///   `pipeline_occupancy` gauge.
     pub fn recorder(mut self, recorder: Arc<dyn Recorder>) -> Self {
         self.recorder = recorder;
         self
@@ -191,16 +165,34 @@ impl BroadcastSimulator {
         &self.config
     }
 
+    /// Validates everything shared by all run paths. Kept out of the
+    /// builders so misconfiguration is a typed error, not a panic.
+    fn validate_run(&self, schemes: &[Scheme]) -> Result<(), Error> {
+        assert!(!schemes.is_empty(), "broadcast run needs schemes");
+        // Sharded finite-cache runs derive the set mask from the
+        // geometry, and every finite run builds `FiniteCache`s from it,
+        // so an unusable sets/ways combination surfaces here as a typed
+        // error instead of a mid-run panic.
+        self.config.validate().map_err(Error::Config)?;
+        if self.chunk == 0 {
+            return Err(Error::Config(SimConfigError::ZeroChunk));
+        }
+        if self.workers == 0 {
+            return Err(Error::Config(SimConfigError::ZeroWorkers));
+        }
+        Ok(())
+    }
+
     /// Runs every scheme over the stream, returning one [`SimResult`] per
     /// scheme in `schemes` order.
     ///
     /// # Errors
     ///
     /// Returns a typed [`Error`] for trace decode failures, oracle
-    /// violations, invariant violations, or an unusable finite-cache
-    /// geometry. Under sharded execution, `ref_index` in an error is
-    /// relative to the failing shard's subsequence, not the global
-    /// stream.
+    /// violations, invariant violations, or an unusable configuration
+    /// (finite-cache geometry, zero chunk size, zero workers). Under
+    /// sharded execution, `ref_index` in an error is relative to the
+    /// failing shard's subsequence, not the global stream.
     ///
     /// # Panics
     ///
@@ -240,213 +232,80 @@ impl BroadcastSimulator {
         S: TraceSource,
         F: FnMut(&MemRef),
     {
-        assert!(!schemes.is_empty(), "broadcast run needs schemes");
-        // Sharded finite-cache runs derive the set mask from the
-        // geometry, and every finite run builds `FiniteCache`s from it,
-        // so an unusable sets/ways combination surfaces here as a typed
-        // error instead of a mid-run panic.
-        self.config.validate().map_err(Error::Config)?;
-        if self.workers <= 1 {
-            self.run_single(schemes, caches, &mut source, &mut observe)
-        } else {
-            self.run_sharded(schemes, caches, &mut source, &mut observe)
-        }
+        self.validate_run(schemes)?;
+        pipeline::run_inline(
+            self.config,
+            self.chunk,
+            self.workers,
+            &*self.recorder,
+            schemes,
+            caches,
+            &mut source,
+            &mut observe,
+        )
     }
 
-    fn run_single(
+    /// Like [`run`](Self::run), but decodes the source on a dedicated
+    /// producer thread, overlapped with stepping (double-buffered,
+    /// recycled chunk buffers over a bounded channel). Results are
+    /// bit-identical to [`run`](Self::run): only the decode *work* moves
+    /// to another thread, never the chunk *order*.
+    ///
+    /// Requires `S: Send` because the source itself moves to the producer
+    /// thread.
+    ///
+    /// # Errors
+    ///
+    /// See [`run`](Self::run).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `schemes` is empty.
+    pub fn run_pipelined<S>(
         &self,
         schemes: &[Scheme],
         caches: u32,
-        source: &mut dyn TraceSource,
-        observe: &mut dyn FnMut(&MemRef),
-    ) -> Result<Vec<SimResult>, Error> {
-        let rec = &*self.recorder;
-        let mut lanes: Vec<SchemeLane> = schemes
-            .iter()
-            .map(|&s| SchemeLane::new(&self.config, s, caches))
-            .collect();
-        let mut buf = Vec::with_capacity(self.chunk);
-        loop {
-            let decode = Span::with_labels(rec, "phase_seconds", &[("phase", "decode")]);
-            let n = source.read_chunk(&mut buf, self.chunk)?;
-            drop(decode);
-            if n == 0 {
-                break;
-            }
-            rec.counter("engine_refs", &[], n as u64);
-            for r in &buf {
-                observe(r);
-            }
-            let _step = Span::with_labels(rec, "phase_seconds", &[("phase", "step")]);
-            for lane in lanes.iter_mut() {
-                for &r in &buf {
-                    lane.step(&self.config, r)?;
-                }
-            }
-        }
-        let results: Vec<SimResult> = lanes.into_iter().map(SchemeLane::finish).collect();
-        record_scheme_totals(rec, &results);
-        Ok(results)
+        source: S,
+    ) -> Result<Vec<SimResult>, Error>
+    where
+        S: TraceSource + Send,
+    {
+        self.run_observed_pipelined(schemes, caches, source, |_| {})
     }
 
-    fn run_sharded(
+    /// Like [`run_pipelined`](Self::run_pipelined) with an observer hook.
+    /// Even with decode overlapped, `observe` still runs on the calling
+    /// thread in stream order.
+    ///
+    /// # Errors
+    ///
+    /// See [`run`](Self::run).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `schemes` is empty.
+    pub fn run_observed_pipelined<S, F>(
         &self,
         schemes: &[Scheme],
         caches: u32,
-        source: &mut dyn TraceSource,
-        observe: &mut dyn FnMut(&MemRef),
-    ) -> Result<Vec<SimResult>, Error> {
-        let workers = self.workers;
-        let config = self.config;
-        let chunk = self.chunk;
-        let shard_key = ShardKey::for_config(&config);
-        let rec = &*self.recorder;
-
-        let per_worker: Result<Vec<Vec<SimResult>>, Error> = std::thread::scope(|scope| {
-            let mut txs = Vec::with_capacity(workers);
-            let mut handles = Vec::with_capacity(workers);
-            for shard in 0..workers {
-                let (tx, rx) = mpsc::sync_channel::<Vec<MemRef>>(SHARD_CHANNEL_DEPTH);
-                txs.push(tx);
-                handles.push(scope.spawn(move || -> Result<Vec<SimResult>, Error> {
-                    let shard_label = shard.to_string();
-                    let mut lanes: Vec<SchemeLane> = schemes
-                        .iter()
-                        .map(|&s| SchemeLane::new(&config, s, caches))
-                        .collect();
-                    for batch in rx {
-                        let _step = Span::with_labels(
-                            rec,
-                            "phase_seconds",
-                            &[("phase", "step"), ("shard", &shard_label)],
-                        );
-                        for lane in lanes.iter_mut() {
-                            for &r in &batch {
-                                lane.step(&config, r)?;
-                            }
-                        }
-                    }
-                    Ok(lanes.into_iter().map(SchemeLane::finish).collect())
-                }));
-            }
-
-            // The main thread decodes each chunk exactly once and routes
-            // every reference to its shard under the configuration's
-            // shard key (block address for infinite caches, set index
-            // for finite ones). Routing by key (not by hash) keeps the
-            // assignment deterministic, so per-shard subsequences — and
-            // therefore merged counters — are reproducible run to run.
-            let mut buf = Vec::with_capacity(chunk);
-            let mut staging: Vec<Vec<MemRef>> =
-                (0..workers).map(|_| Vec::with_capacity(chunk)).collect();
-            let mut source_err: Option<Error> = None;
-            loop {
-                let decode = Span::with_labels(rec, "phase_seconds", &[("phase", "decode")]);
-                let read = source.read_chunk(&mut buf, chunk);
-                drop(decode);
-                match read {
-                    Ok(0) => break,
-                    Ok(_) => {}
-                    Err(e) => {
-                        source_err = Some(Error::TraceIo(e));
-                        break;
-                    }
-                }
-                rec.counter("engine_refs", &[], buf.len() as u64);
-                for r in &buf {
-                    observe(r);
-                    let block = config.block_map.block_of(r.addr);
-                    let shard = shard_key.shard_of(block, workers);
-                    staging[shard].push(*r);
-                }
-                for (shard, pending) in staging.iter_mut().enumerate() {
-                    if pending.len() >= chunk {
-                        let batch = std::mem::replace(pending, Vec::with_capacity(chunk));
-                        // A closed channel means the worker already failed;
-                        // its error surfaces at join.
-                        let _ = txs[shard].send(batch);
-                    }
-                }
-            }
-            for (pending, tx) in staging.into_iter().zip(&txs) {
-                if !pending.is_empty() {
-                    let _ = tx.send(pending);
-                }
-            }
-            drop(txs);
-
-            let mut results = Vec::with_capacity(workers);
-            let mut worker_err: Option<Error> = None;
-            for handle in handles {
-                match handle.join().expect("shard worker panicked") {
-                    Ok(shard_results) => results.push(shard_results),
-                    Err(e) => {
-                        if worker_err.is_none() {
-                            worker_err = Some(e);
-                        }
-                    }
-                }
-            }
-            if let Some(e) = source_err {
-                return Err(e);
-            }
-            if let Some(e) = worker_err {
-                return Err(e);
-            }
-            Ok(results)
-        });
-
-        let per_worker = per_worker?;
-        if rec.enabled() {
-            for (shard, shard_results) in per_worker.iter().enumerate() {
-                let shard_label = shard.to_string();
-                let labels = [("shard", shard_label.as_str())];
-                // All lanes in one shard see the same subsequence, so any
-                // lane's `refs` is the shard's reference count.
-                rec.counter("shard_refs", &labels, shard_results[0].refs);
-                let ops: u64 = shard_results.iter().map(|r| r.ops.total()).sum();
-                rec.counter("shard_ops", &labels, ops);
-            }
-        }
-
-        // Merge shard results per scheme. Every SimResult field is a
-        // commutative sum (or a histogram of sums), so the totals equal a
-        // serial run's bit for bit.
-        let merge = Span::with_labels(rec, "phase_seconds", &[("phase", "merge")]);
-        let mut shards = per_worker.into_iter();
-        let mut merged = shards.next().expect("at least one worker");
-        for shard_results in shards {
-            for (acc, r) in merged.iter_mut().zip(shard_results.iter()) {
-                acc.merge(r);
-            }
-        }
-        drop(merge);
-        record_scheme_totals(rec, &merged);
-        Ok(merged)
-    }
-}
-
-/// Record per-scheme result totals into `recorder`: `scheme_refs`,
-/// `scheme_transactions`, and a `scheme_ops` counter per non-zero bus
-/// operation. Shared by every execution mode so the exported totals do not
-/// depend on how the run was parallelised.
-pub(crate) fn record_scheme_totals(recorder: &dyn Recorder, results: &[SimResult]) {
-    if !recorder.enabled() {
-        return;
-    }
-    for r in results {
-        let labels = [("scheme", r.scheme.as_str())];
-        recorder.counter("scheme_refs", &labels, r.refs);
-        recorder.counter("scheme_transactions", &labels, r.transactions);
-        for (op, count) in r.ops.iter() {
-            if count > 0 {
-                recorder.counter(
-                    "scheme_ops",
-                    &[("op", op.name()), ("scheme", r.scheme.as_str())],
-                    count,
-                );
-            }
-        }
+        source: S,
+        mut observe: F,
+    ) -> Result<Vec<SimResult>, Error>
+    where
+        S: TraceSource + Send,
+        F: FnMut(&MemRef),
+    {
+        self.validate_run(schemes)?;
+        pipeline::run_overlapped(
+            self.config,
+            self.chunk,
+            self.workers,
+            &*self.recorder,
+            schemes,
+            caches,
+            source,
+            &mut observe,
+        )
     }
 }
 
@@ -536,7 +395,6 @@ mod tests {
 
     #[test]
     fn unusable_geometry_is_a_typed_error() {
-        use crate::engine::SimConfigError;
         // Bypass the builder (which would catch this) to prove the
         // engine validates too, on every execution path.
         let config = SimConfig {
@@ -553,6 +411,40 @@ mod tests {
                 "workers = {workers}: {err}"
             );
         }
+    }
+
+    #[test]
+    fn zero_chunk_size_is_a_typed_error() {
+        // Regression: `chunk_size(0)` used to panic in the builder; it is
+        // now a typed configuration error at run time, on every path.
+        let engine = BroadcastSimulator::paper().chunk_size(0);
+        let err = engine
+            .run(&[Scheme::Wti], 4, IterSource::new(trace().into_iter()))
+            .unwrap_err();
+        assert!(
+            matches!(err, Error::Config(SimConfigError::ZeroChunk)),
+            "{err}"
+        );
+        assert!(err.to_string().contains("chunk"), "{err}");
+        let err = engine
+            .run_pipelined(&[Scheme::Wti], 4, IterSource::new(trace().into_iter()))
+            .unwrap_err();
+        assert!(
+            matches!(err, Error::Config(SimConfigError::ZeroChunk)),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn zero_workers_is_a_typed_error() {
+        let err = BroadcastSimulator::paper()
+            .workers(0)
+            .run(&[Scheme::Wti], 4, IterSource::new(trace().into_iter()))
+            .unwrap_err();
+        assert!(
+            matches!(err, Error::Config(SimConfigError::ZeroWorkers)),
+            "{err}"
+        );
     }
 
     #[test]

@@ -91,12 +91,25 @@ pub enum SimConfigError {
     /// The finite-cache geometry is unusable (zero sets/ways or a
     /// non-power-of-two set count).
     Geometry(InvalidGeometry),
+    /// The engine was asked to decode zero references per chunk.
+    ZeroChunk,
+    /// The engine was asked to run with zero shard workers.
+    ZeroWorkers,
 }
 
 impl fmt::Display for SimConfigError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SimConfigError::Geometry(e) => write!(f, "invalid simulation config: {e}"),
+            SimConfigError::ZeroChunk => {
+                write!(f, "invalid simulation config: chunk size must be positive")
+            }
+            SimConfigError::ZeroWorkers => {
+                write!(
+                    f,
+                    "invalid simulation config: worker count must be positive"
+                )
+            }
         }
     }
 }
@@ -105,6 +118,7 @@ impl std::error::Error for SimConfigError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             SimConfigError::Geometry(e) => Some(e),
+            SimConfigError::ZeroChunk | SimConfigError::ZeroWorkers => None,
         }
     }
 }

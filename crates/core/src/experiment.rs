@@ -6,10 +6,13 @@
 //! through all schemes in lockstep via
 //! [`BroadcastSimulator`], instead of
 //! regenerating the trace once per scheme. [`ExecutionMode`] selects
-//! between that, the legacy one-pass-per-scheme serial mode, and
-//! sharded parallel execution (by block address for infinite caches, by
-//! cache set index for finite geometries) — all three produce
-//! bit-identical results. The paper-specific experiment presets live in [`crate::paper`].
+//! between that, the legacy one-pass-per-scheme serial mode, sharded
+//! parallel execution (by block address for infinite caches, by cache
+//! set index for finite geometries), and pipelined execution with trace
+//! decode overlapped on a producer thread — all of which are placements
+//! of the same staged `decode → route → step → merge` pipeline and
+//! produce bit-identical results. The paper-specific experiment presets
+//! live in [`crate::paper`].
 
 use std::ops::Index;
 use std::sync::{Arc, Mutex};
@@ -23,7 +26,7 @@ use dirsim_trace::synth::{Workload, WorkloadConfig};
 use dirsim_trace::{MemRef, TraceStats};
 
 use crate::broadcast::BroadcastSimulator;
-use crate::engine::{SimConfig, SimResult, Simulator};
+use crate::engine::{SimConfig, SimResult};
 use crate::error::Error;
 
 /// One named workload in an experiment.
@@ -64,6 +67,17 @@ pub enum ExecutionMode {
     /// geometries. Exact for both.
     Sharded {
         /// Number of worker threads.
+        workers: usize,
+    },
+    /// Like [`Sharded`](Self::Sharded) (or [`SinglePass`](Self::SinglePass)
+    /// when `workers == 1`), but with trace decode overlapped on a
+    /// dedicated producer thread: chunk *N+1* is generated/decoded while
+    /// chunk *N* is stepped, through recycled double-buffered chunk
+    /// buffers. Still bit-identical — only decode *work* moves threads,
+    /// never chunk order.
+    Pipelined {
+        /// Number of step worker threads (not counting the decode
+        /// producer).
         workers: usize,
     },
 }
@@ -239,12 +253,13 @@ impl Experiment {
         self.run_with(self.mode)
     }
 
-    /// Runs the full matrix sharded over all available cores. Results
-    /// are bit-identical to [`Self::run`]: the shard key (block address
-    /// for infinite caches, cache set index for finite geometries)
-    /// preserves each block's reference subsequence and all counters
-    /// merge commutatively. Falls back to single-pass execution when
-    /// only one core is available.
+    /// Runs the full matrix pipelined and sharded over all available
+    /// cores: trace decode overlapped on a producer thread, stepping
+    /// sharded across workers. Results are bit-identical to
+    /// [`Self::run`]: the shard key (block address for infinite caches,
+    /// cache set index for finite geometries) preserves each block's
+    /// reference subsequence and all counters merge commutatively. Falls
+    /// back to single-pass execution when only one core is available.
     ///
     /// # Errors
     ///
@@ -260,7 +275,7 @@ impl Experiment {
         let mode = if workers <= 1 {
             ExecutionMode::SinglePass
         } else {
-            ExecutionMode::Sharded { workers }
+            ExecutionMode::Pipelined { workers }
         };
         self.run_with(mode)
     }
@@ -279,13 +294,16 @@ impl Experiment {
         assert!(!self.schemes.is_empty(), "experiment needs schemes");
         match mode {
             ExecutionMode::Serial => self.run_serial(),
-            ExecutionMode::SinglePass => self.run_broadcast(1),
-            ExecutionMode::Sharded { workers } => self.run_broadcast(workers),
+            ExecutionMode::SinglePass => self.run_broadcast(1, false),
+            ExecutionMode::Sharded { workers } => self.run_broadcast(workers, false),
+            ExecutionMode::Pipelined { workers } => self.run_broadcast(workers, true),
         }
     }
 
     /// The legacy path: materialise each trace, then one independent
-    /// simulation pass per scheme.
+    /// pipeline pass per (scheme, workload) cell — the paper's literal
+    /// N-passes methodology, expressed on the same staged pipeline as
+    /// every other mode.
     fn run_serial(&self) -> Result<ExperimentResults, Error> {
         let mut trace_stats = Vec::with_capacity(self.workloads.len());
         let mut trace_refs: Vec<Vec<MemRef>> = Vec::with_capacity(self.workloads.len());
@@ -295,15 +313,20 @@ impl Experiment {
             trace_refs.push(refs);
         }
 
-        let simulator = Simulator::new(self.sim);
+        // The engine keeps its default no-op recorder here: per-chunk
+        // metrics would count every trace `schemes` times in this mode,
+        // so only the per-scheme totals are recorded, as before.
+        let engine = BroadcastSimulator::new(self.sim);
         let mut per_scheme = Vec::with_capacity(self.schemes.len());
         let mut simulated_refs = 0u64;
         for &scheme in &self.schemes {
             let mut per_trace = Vec::with_capacity(self.workloads.len());
             let mut combined: Option<SimResult> = None;
             for (w, refs) in self.workloads.iter().zip(trace_refs.iter()) {
-                let mut protocol = scheme.build(self.cache_count(&w.config));
-                let result = simulator.run(protocol.as_mut(), refs.iter().copied())?;
+                let caches = self.cache_count(&w.config);
+                let mut results =
+                    engine.run(&[scheme], caches, IterSource::new(refs.iter().copied()))?;
+                let result = results.pop().expect("one scheme in, one result out");
                 simulated_refs += result.refs;
                 if let Some(p) = &self.progress {
                     p.lock()
@@ -317,10 +340,7 @@ impl Experiment {
                 per_trace.push((w.name.clone(), result));
             }
             let combined = combined.expect("at least one workload");
-            crate::broadcast::record_scheme_totals(
-                &*self.recorder,
-                std::slice::from_ref(&combined),
-            );
+            crate::pipeline::record_scheme_totals(&*self.recorder, std::slice::from_ref(&combined));
             per_scheme.push(SchemeResult {
                 scheme,
                 per_trace,
@@ -335,8 +355,10 @@ impl Experiment {
     }
 
     /// The single-pass path: each workload is generated once, streamed in
-    /// chunks, and broadcast through every scheme (optionally sharded).
-    fn run_broadcast(&self, workers: usize) -> Result<ExperimentResults, Error> {
+    /// chunks, and broadcast through every scheme (optionally sharded;
+    /// with `overlap`, generation runs on a producer thread overlapped
+    /// against stepping).
+    fn run_broadcast(&self, workers: usize, overlap: bool) -> Result<ExperimentResults, Error> {
         let broadcaster = BroadcastSimulator::new(self.sim)
             .workers(workers.max(1))
             .recorder(Arc::clone(&self.recorder));
@@ -356,20 +378,31 @@ impl Experiment {
                         .tick(observed, None);
                 }
             };
-            let results = if self.exclude_lock_tests {
-                broadcaster.run_observed(
+            let results = match (self.exclude_lock_tests, overlap) {
+                (true, true) => broadcaster.run_observed_pipelined(
                     &self.schemes,
                     caches,
                     WithoutLockTests::new(IterSource::new(stream)),
                     &mut observe,
-                )?
-            } else {
-                broadcaster.run_observed(
+                )?,
+                (true, false) => broadcaster.run_observed(
+                    &self.schemes,
+                    caches,
+                    WithoutLockTests::new(IterSource::new(stream)),
+                    &mut observe,
+                )?,
+                (false, true) => broadcaster.run_observed_pipelined(
                     &self.schemes,
                     caches,
                     IterSource::new(stream),
                     &mut observe,
-                )?
+                )?,
+                (false, false) => broadcaster.run_observed(
+                    &self.schemes,
+                    caches,
+                    IterSource::new(stream),
+                    &mut observe,
+                )?,
             };
             trace_stats.push((w.name.clone(), stats));
             per_workload.push(results);
@@ -447,7 +480,14 @@ impl ExperimentResults {
     }
 
     /// Finds a scheme's results by display name.
-    #[deprecated(note = "use `get(Scheme)` or index with `results[scheme]` instead")]
+    ///
+    /// This is a compatibility shim from before [`Scheme`] indexing
+    /// existed. No internal call site uses it any more; it is slated for
+    /// removal and kept only so downstream code gets a deprecation
+    /// warning instead of a hard break.
+    #[deprecated(
+        note = "slated for removal: use `get(Scheme)` or index with `results[scheme]` instead"
+    )]
     pub fn scheme(&self, name: &str) -> Option<&SchemeResult> {
         self.per_scheme.iter().find(|s| s.scheme.name() == name)
     }
@@ -542,6 +582,8 @@ mod tests {
         for mode in [
             ExecutionMode::SinglePass,
             ExecutionMode::Sharded { workers: 3 },
+            ExecutionMode::Pipelined { workers: 1 },
+            ExecutionMode::Pipelined { workers: 3 },
         ] {
             let other = tiny_experiment().run_with(mode).unwrap();
             assert_eq!(serial.trace_stats, other.trace_stats, "{mode:?}");

@@ -20,9 +20,12 @@
 //! * [`dirsim_cost`] — the Table 1/2 bus cost models;
 //!
 //! and adds the [`engine`] (event counting + oracle replay), the
-//! single-pass multi-protocol [`broadcast`] engine, the [`experiment`]
-//! matrix harness, the paper's experiment presets ([`paper`]), and text
-//! renderers for every table and figure ([`report`]).
+//! single-pass multi-protocol [`broadcast`] engine (every execution mode
+//! is a placement of one staged `decode → route → step → merge`
+//! pipeline, optionally with decode overlapped on a producer thread),
+//! the [`experiment`] matrix harness, the paper's experiment presets
+//! ([`paper`]), and text renderers for every table and figure
+//! ([`report`]).
 //!
 //! ## Quick start
 //!
@@ -53,6 +56,7 @@ pub mod experiment;
 pub mod histogram;
 pub mod invariant;
 pub mod paper;
+mod pipeline;
 pub mod reference;
 pub mod report;
 pub mod timing;

@@ -1,0 +1,664 @@
+//! The staged execution pipeline shared by every execution mode.
+//!
+//! Every way of running the engine is the same four stages:
+//!
+//! ```text
+//!   decode ──► route ──► step ──► merge
+//!   (trace     (shard     (one lane   (commutative
+//!    source)    key)       per scheme) counter sums)
+//! ```
+//!
+//! This module implements the stages exactly once; the public
+//! [`BroadcastSimulator`](crate::broadcast::BroadcastSimulator) and the
+//! [`Experiment`](crate::experiment::Experiment) harness only choose how
+//! the stages are *placed*:
+//!
+//! * **inline** (`run_inline`) — decode happens on the calling thread,
+//!   between chunks. With one worker the route stage is the identity and
+//!   stepping happens in-thread; with several, references are routed by
+//!   [`ShardKey`] into per-shard bounded queues.
+//! * **overlapped** (`run_overlapped`) — a dedicated producer thread
+//!   decodes chunk *N+1* from the [`TraceSource`] while the step side is
+//!   still working on chunk *N*.
+//!
+//! ## Buffer recycling
+//!
+//! The overlapped feed is a two-channel handshake built on
+//! [`TraceSource::read_chunk_owned`]: filled chunk buffers travel
+//! producer → consumer over a bounded data channel of depth
+//! [`PIPELINE_DEPTH`], and emptied buffers travel back over a recycle
+//! channel. Exactly `PIPELINE_DEPTH + 2` buffers exist for the lifetime of
+//! a run (the data queue, plus one in each side's hands), so the steady
+//! state allocates nothing and memory stays bounded no matter how long
+//! the trace is. The recycle channel's capacity equals the total buffer
+//! count, so returning a buffer never blocks the step side.
+//!
+//! ## Why overlap cannot perturb results
+//!
+//! The producer moves *work*, never *order*: chunk boundaries carry no
+//! simulation state (every lane's protocol state persists across chunks),
+//! the consumer receives chunks in exactly the order they were decoded
+//! (one bounded FIFO), and the observer hook still runs on the consumer
+//! thread in stream order. The step and merge stages are byte-for-byte
+//! the ones the inline path uses, so results are bit-identical across
+//! all placements — `tests/equivalence.rs` pins this for every scheme.
+//!
+//! ## Pipeline metrics
+//!
+//! On top of the `phase_seconds{phase=decode|route|step|merge}` spans the
+//! overlapped feed records how well the overlap is doing:
+//!
+//! * `decode_stall_seconds` — histogram of time the step side waited for
+//!   a decoded chunk (per chunk);
+//! * `step_stall_seconds` — histogram of time the producer waited for the
+//!   step side (for a free buffer, or for space in the data queue);
+//! * `pipeline_queue_depth{stage=decode}` and
+//!   `pipeline_queue_depth{shard, stage=step}` — decoded chunks in flight
+//!   at each dequeue, and per-shard batches in flight at each worker
+//!   dequeue;
+//! * `pipeline_occupancy` — gauge in `[0, 1]`: the fraction of the run
+//!   the step side spent stepping rather than stalled on decode.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::time::Instant;
+
+use dirsim_obs::{Recorder, Span};
+use dirsim_protocol::{CoherenceProtocol, Scheme};
+use dirsim_trace::source::TraceSource;
+use dirsim_trace::{MemRef, TraceIoError};
+
+use crate::engine::{Lane, ShardKey, SimConfig, SimError, SimResult, StepFailure};
+use crate::error::{Error, InvariantError};
+
+/// Depth (in chunks) of the overlapped decode queue. Two is enough for
+/// full overlap — one chunk being stepped, one decoded ahead — without
+/// letting a fast producer run away with memory.
+pub(crate) const PIPELINE_DEPTH: usize = 2;
+
+/// Capacity (in batches) of each shard's bounded channel.
+const SHARD_CHANNEL_DEPTH: usize = 4;
+
+/// One protocol instance plus its accumulation lane.
+struct SchemeLane {
+    protocol: Box<dyn CoherenceProtocol>,
+    lane: Lane,
+}
+
+impl SchemeLane {
+    fn new(config: &SimConfig, scheme: Scheme, caches: u32) -> Self {
+        let protocol = scheme.build(caches);
+        let lane = Lane::new(config, protocol.name());
+        SchemeLane { protocol, lane }
+    }
+
+    #[inline]
+    fn step(&mut self, config: &SimConfig, r: MemRef) -> Result<(), Error> {
+        let index = self.lane.next_index();
+        match self.lane.step(config, self.protocol.as_mut(), r) {
+            Ok(()) => Ok(()),
+            Err(failure) => Err(step_error(self.protocol.name(), index, failure)),
+        }
+    }
+
+    fn finish(self) -> SimResult {
+        self.lane.finish(self.protocol.as_ref())
+    }
+}
+
+#[cold]
+fn step_error(scheme: String, ref_index: u64, failure: StepFailure) -> Error {
+    match failure {
+        StepFailure::Invariant { violation, .. } => Error::Invariant(InvariantError {
+            scheme,
+            ref_index,
+            violation,
+        }),
+        StepFailure::Oracle(violation) => Error::Sim(SimError {
+            scheme,
+            ref_index,
+            violation,
+        }),
+    }
+}
+
+/// The decode-stage boundary: hands decoded chunks to the step side and
+/// takes emptied buffers back for reuse. `next` returning `Ok(None)`
+/// means end of stream.
+trait ChunkFeed {
+    fn next(&mut self) -> Result<Option<Vec<MemRef>>, Error>;
+    fn recycle(&mut self, buf: Vec<MemRef>);
+}
+
+/// Non-overlapped decode: reads the source on the calling thread, between
+/// chunks, with a single recycled buffer.
+struct InlineFeed<'a> {
+    source: &'a mut dyn TraceSource,
+    chunk: usize,
+    spare: Vec<MemRef>,
+    rec: &'a dyn Recorder,
+}
+
+impl ChunkFeed for InlineFeed<'_> {
+    fn next(&mut self) -> Result<Option<Vec<MemRef>>, Error> {
+        let decode = Span::with_labels(self.rec, "phase_seconds", &[("phase", "decode")]);
+        let n = self.source.read_chunk(&mut self.spare, self.chunk)?;
+        drop(decode);
+        if n == 0 {
+            return Ok(None);
+        }
+        Ok(Some(std::mem::take(&mut self.spare)))
+    }
+
+    fn recycle(&mut self, buf: Vec<MemRef>) {
+        self.spare = buf;
+    }
+}
+
+/// Overlapped decode: receives chunks a dedicated producer thread filled
+/// ahead of time (see [`producer_loop`]) and sends emptied buffers back.
+struct ChannelFeed<'a> {
+    rx: mpsc::Receiver<Result<Vec<MemRef>, TraceIoError>>,
+    recycle_tx: mpsc::SyncSender<Vec<MemRef>>,
+    depth: &'a AtomicUsize,
+    rec: &'a dyn Recorder,
+    /// `Some` iff the recorder is enabled: total consumer stall so far and
+    /// when the feed started, for the closing occupancy gauge.
+    clock: Option<(f64, Instant)>,
+}
+
+impl<'a> ChannelFeed<'a> {
+    fn new(
+        rx: mpsc::Receiver<Result<Vec<MemRef>, TraceIoError>>,
+        recycle_tx: mpsc::SyncSender<Vec<MemRef>>,
+        depth: &'a AtomicUsize,
+        rec: &'a dyn Recorder,
+    ) -> Self {
+        ChannelFeed {
+            rx,
+            recycle_tx,
+            depth,
+            rec,
+            clock: rec.enabled().then(|| (0.0, Instant::now())),
+        }
+    }
+
+    /// Records the occupancy gauge and drops both channel ends, which
+    /// makes the producer exit even when stepping failed mid-stream.
+    fn finish(self) {
+        if let Some((stall, started)) = self.clock {
+            let elapsed = started.elapsed().as_secs_f64();
+            let occupancy = if elapsed > 0.0 {
+                (1.0 - stall / elapsed).clamp(0.0, 1.0)
+            } else {
+                1.0
+            };
+            self.rec.gauge("pipeline_occupancy", &[], occupancy);
+        }
+    }
+}
+
+impl ChunkFeed for ChannelFeed<'_> {
+    fn next(&mut self) -> Result<Option<Vec<MemRef>>, Error> {
+        let wait = self.clock.as_ref().map(|_| Instant::now());
+        let received = self.rx.recv();
+        if let Some(wait) = wait {
+            let stalled = wait.elapsed().as_secs_f64();
+            if let Some((stall, _)) = self.clock.as_mut() {
+                *stall += stalled;
+            }
+            self.rec.observe("decode_stall_seconds", &[], stalled);
+        }
+        match received {
+            Ok(Ok(buf)) => {
+                let queued = self.depth.fetch_sub(1, Ordering::Relaxed);
+                if self.clock.is_some() {
+                    self.rec.observe(
+                        "pipeline_queue_depth",
+                        &[("stage", "decode")],
+                        queued as f64,
+                    );
+                }
+                Ok(Some(buf))
+            }
+            Ok(Err(e)) => Err(Error::TraceIo(e)),
+            // The producer dropped its sender: end of stream.
+            Err(mpsc::RecvError) => Ok(None),
+        }
+    }
+
+    fn recycle(&mut self, buf: Vec<MemRef>) {
+        // The recycle channel's capacity equals the total buffer count,
+        // so this never blocks; an error just means the producer exited.
+        let _ = self.recycle_tx.send(buf);
+    }
+}
+
+/// The overlapped-decode producer: waits for an emptied buffer, refills
+/// it from the source, and sends it forward. Runs until end of stream, a
+/// decode error, or the consumer hangs up.
+fn producer_loop(
+    source: &mut dyn TraceSource,
+    chunk: usize,
+    tx: mpsc::SyncSender<Result<Vec<MemRef>, TraceIoError>>,
+    recycle_rx: mpsc::Receiver<Vec<MemRef>>,
+    depth: &AtomicUsize,
+    rec: &dyn Recorder,
+) {
+    let enabled = rec.enabled();
+    loop {
+        // An emptied buffer coming back doubles as the consumer's
+        // liveness signal: a closed recycle channel means the step side
+        // is gone (finished or failed), so stop decoding.
+        let wait = enabled.then(Instant::now);
+        let Ok(buf) = recycle_rx.recv() else { return };
+        if let Some(wait) = wait {
+            rec.observe("step_stall_seconds", &[], wait.elapsed().as_secs_f64());
+        }
+        let decode = Span::with_labels(rec, "phase_seconds", &[("phase", "decode")]);
+        let read = source.read_chunk_owned(buf, chunk);
+        drop(decode);
+        match read {
+            // End of stream: dropping `tx` tells the consumer.
+            Ok(buf) if buf.is_empty() => return,
+            Ok(buf) => {
+                depth.fetch_add(1, Ordering::Relaxed);
+                let wait = enabled.then(Instant::now);
+                if tx.send(Ok(buf)).is_err() {
+                    return;
+                }
+                if let Some(wait) = wait {
+                    rec.observe("step_stall_seconds", &[], wait.elapsed().as_secs_f64());
+                }
+            }
+            Err(e) => {
+                let _ = tx.send(Err(e));
+                return;
+            }
+        }
+    }
+}
+
+/// The consumer half of the decode stage: pulls chunks from the feed,
+/// runs the observer hook in stream order on the calling thread, hands
+/// each chunk to `sink` (the route/step side), and recycles the buffer.
+fn drive(
+    rec: &dyn Recorder,
+    feed: &mut dyn ChunkFeed,
+    observe: &mut dyn FnMut(&MemRef),
+    sink: &mut dyn FnMut(&[MemRef]) -> Result<(), Error>,
+) -> Result<(), Error> {
+    while let Some(buf) = feed.next()? {
+        rec.counter("engine_refs", &[], buf.len() as u64);
+        for r in &buf {
+            observe(r);
+        }
+        sink(&buf)?;
+        feed.recycle(buf);
+    }
+    Ok(())
+}
+
+/// Single-worker placement: the route stage is the identity and every
+/// lane steps on the calling thread.
+fn drive_in_thread(
+    config: SimConfig,
+    rec: &dyn Recorder,
+    schemes: &[Scheme],
+    caches: u32,
+    feed: &mut dyn ChunkFeed,
+    observe: &mut dyn FnMut(&MemRef),
+) -> Result<Vec<SimResult>, Error> {
+    let mut lanes: Vec<SchemeLane> = schemes
+        .iter()
+        .map(|&s| SchemeLane::new(&config, s, caches))
+        .collect();
+    let mut sink = |refs: &[MemRef]| -> Result<(), Error> {
+        let _step = Span::with_labels(rec, "phase_seconds", &[("phase", "step")]);
+        for lane in lanes.iter_mut() {
+            for &r in refs {
+                lane.step(&config, r)?;
+            }
+        }
+        Ok(())
+    };
+    drive(rec, feed, observe, &mut sink)?;
+    Ok(lanes.into_iter().map(SchemeLane::finish).collect())
+}
+
+/// Sharded placement: the route stage partitions each chunk under the
+/// configuration's [`ShardKey`] into per-shard bounded queues, one worker
+/// thread steps each shard, and the merge stage sums the per-shard
+/// counters (all commutative, so totals are bit-identical to serial).
+#[allow(clippy::too_many_arguments)]
+fn drive_sharded(
+    config: SimConfig,
+    chunk: usize,
+    workers: usize,
+    rec: &dyn Recorder,
+    schemes: &[Scheme],
+    caches: u32,
+    feed: &mut dyn ChunkFeed,
+    observe: &mut dyn FnMut(&MemRef),
+) -> Result<Vec<SimResult>, Error> {
+    let shard_key = ShardKey::for_config(&config);
+    let enabled = rec.enabled();
+    let queue_depth: Vec<AtomicUsize> = (0..workers).map(|_| AtomicUsize::new(0)).collect();
+    let queue_depth = &queue_depth;
+
+    let per_worker: Result<Vec<Vec<SimResult>>, Error> = std::thread::scope(|scope| {
+        let mut txs = Vec::with_capacity(workers);
+        let mut handles = Vec::with_capacity(workers);
+        for (shard, depth) in queue_depth.iter().enumerate() {
+            let (tx, rx) = mpsc::sync_channel::<Vec<MemRef>>(SHARD_CHANNEL_DEPTH);
+            txs.push(tx);
+            handles.push(scope.spawn(move || -> Result<Vec<SimResult>, Error> {
+                let shard_label = shard.to_string();
+                let mut lanes: Vec<SchemeLane> = schemes
+                    .iter()
+                    .map(|&s| SchemeLane::new(&config, s, caches))
+                    .collect();
+                for batch in rx {
+                    if enabled {
+                        let queued = depth.fetch_sub(1, Ordering::Relaxed);
+                        rec.observe(
+                            "pipeline_queue_depth",
+                            &[("shard", &shard_label), ("stage", "step")],
+                            queued as f64,
+                        );
+                    }
+                    let _step = Span::with_labels(
+                        rec,
+                        "phase_seconds",
+                        &[("phase", "step"), ("shard", &shard_label)],
+                    );
+                    for lane in lanes.iter_mut() {
+                        for &r in &batch {
+                            lane.step(&config, r)?;
+                        }
+                    }
+                }
+                Ok(lanes.into_iter().map(SchemeLane::finish).collect())
+            }));
+        }
+
+        // Routing by key (not by hash) keeps the assignment
+        // deterministic, so per-shard subsequences — and therefore merged
+        // counters — are reproducible run to run.
+        let mut staging: Vec<Vec<MemRef>> =
+            (0..workers).map(|_| Vec::with_capacity(chunk)).collect();
+        let mut sink = |refs: &[MemRef]| -> Result<(), Error> {
+            let route = Span::with_labels(rec, "phase_seconds", &[("phase", "route")]);
+            for r in refs {
+                let block = config.block_map.block_of(r.addr);
+                let shard = shard_key.shard_of(block, workers);
+                staging[shard].push(*r);
+            }
+            drop(route);
+            for (shard, pending) in staging.iter_mut().enumerate() {
+                if pending.len() >= chunk {
+                    let batch = std::mem::replace(pending, Vec::with_capacity(chunk));
+                    if enabled {
+                        queue_depth[shard].fetch_add(1, Ordering::Relaxed);
+                    }
+                    // A closed channel means the worker already failed;
+                    // its error surfaces at join.
+                    let _ = txs[shard].send(batch);
+                }
+            }
+            Ok(())
+        };
+        let driven = drive(rec, feed, observe, &mut sink);
+        for (shard, pending) in staging.into_iter().enumerate() {
+            if !pending.is_empty() {
+                if enabled {
+                    queue_depth[shard].fetch_add(1, Ordering::Relaxed);
+                }
+                let _ = txs[shard].send(pending);
+            }
+        }
+        drop(txs);
+
+        let mut results = Vec::with_capacity(workers);
+        let mut worker_err: Option<Error> = None;
+        for handle in handles {
+            match handle.join().expect("shard worker panicked") {
+                Ok(shard_results) => results.push(shard_results),
+                Err(e) => {
+                    if worker_err.is_none() {
+                        worker_err = Some(e);
+                    }
+                }
+            }
+        }
+        // A decode (or route) failure takes precedence over whatever the
+        // starved workers reported.
+        driven?;
+        if let Some(e) = worker_err {
+            return Err(e);
+        }
+        Ok(results)
+    });
+
+    let per_worker = per_worker?;
+    if enabled {
+        for (shard, shard_results) in per_worker.iter().enumerate() {
+            let shard_label = shard.to_string();
+            let labels = [("shard", shard_label.as_str())];
+            // All lanes in one shard see the same subsequence, so any
+            // lane's `refs` is the shard's reference count.
+            rec.counter("shard_refs", &labels, shard_results[0].refs);
+            let ops: u64 = shard_results.iter().map(|r| r.ops.total()).sum();
+            rec.counter("shard_ops", &labels, ops);
+        }
+    }
+
+    // Merge shard results per scheme. Every SimResult field is a
+    // commutative sum (or a histogram of sums), so the totals equal a
+    // serial run's bit for bit.
+    let merge = Span::with_labels(rec, "phase_seconds", &[("phase", "merge")]);
+    let mut shards = per_worker.into_iter();
+    let mut merged = shards.next().expect("at least one worker");
+    for shard_results in shards {
+        for (acc, r) in merged.iter_mut().zip(shard_results.iter()) {
+            acc.merge(r);
+        }
+    }
+    drop(merge);
+    Ok(merged)
+}
+
+/// Runs the pipeline with decode inline on the calling thread (the
+/// classic placement: serial, single-pass, and sharded modes).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_inline(
+    config: SimConfig,
+    chunk: usize,
+    workers: usize,
+    rec: &dyn Recorder,
+    schemes: &[Scheme],
+    caches: u32,
+    source: &mut dyn TraceSource,
+    observe: &mut dyn FnMut(&MemRef),
+) -> Result<Vec<SimResult>, Error> {
+    let mut feed = InlineFeed {
+        source,
+        chunk,
+        spare: Vec::with_capacity(chunk),
+        rec,
+    };
+    let results = if workers <= 1 {
+        drive_in_thread(config, rec, schemes, caches, &mut feed, observe)?
+    } else {
+        drive_sharded(
+            config, chunk, workers, rec, schemes, caches, &mut feed, observe,
+        )?
+    };
+    record_scheme_totals(rec, &results);
+    Ok(results)
+}
+
+/// Runs the pipeline with decode overlapped on a dedicated producer
+/// thread (see the module docs for the buffer-recycling handshake).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_overlapped<S>(
+    config: SimConfig,
+    chunk: usize,
+    workers: usize,
+    rec: &dyn Recorder,
+    schemes: &[Scheme],
+    caches: u32,
+    mut source: S,
+    observe: &mut dyn FnMut(&MemRef),
+) -> Result<Vec<SimResult>, Error>
+where
+    S: TraceSource + Send,
+{
+    let depth = AtomicUsize::new(0);
+    let depth = &depth;
+    let (data_tx, data_rx) =
+        mpsc::sync_channel::<Result<Vec<MemRef>, TraceIoError>>(PIPELINE_DEPTH);
+    let (recycle_tx, recycle_rx) = mpsc::sync_channel::<Vec<MemRef>>(PIPELINE_DEPTH + 2);
+    for _ in 0..PIPELINE_DEPTH + 2 {
+        recycle_tx
+            .send(Vec::with_capacity(chunk))
+            .expect("recycle channel holds every buffer");
+    }
+
+    let results = std::thread::scope(|scope| {
+        let producer =
+            scope.spawn(move || producer_loop(&mut source, chunk, data_tx, recycle_rx, depth, rec));
+        let mut feed = ChannelFeed::new(data_rx, recycle_tx, depth, rec);
+        let results = if workers <= 1 {
+            drive_in_thread(config, rec, schemes, caches, &mut feed, observe)
+        } else {
+            drive_sharded(
+                config, chunk, workers, rec, schemes, caches, &mut feed, observe,
+            )
+        };
+        // Closes both channel directions so the producer always exits,
+        // even when stepping failed mid-stream.
+        feed.finish();
+        producer.join().expect("pipeline decode thread panicked");
+        results
+    })?;
+    record_scheme_totals(rec, &results);
+    Ok(results)
+}
+
+/// Record per-scheme result totals into `recorder`: `scheme_refs`,
+/// `scheme_transactions`, and a `scheme_ops` counter per non-zero bus
+/// operation. Shared by every execution mode so the exported totals do not
+/// depend on how the run was parallelised.
+pub(crate) fn record_scheme_totals(recorder: &dyn Recorder, results: &[SimResult]) {
+    if !recorder.enabled() {
+        return;
+    }
+    for r in results {
+        let labels = [("scheme", r.scheme.as_str())];
+        recorder.counter("scheme_refs", &labels, r.refs);
+        recorder.counter("scheme_transactions", &labels, r.transactions);
+        for (op, count) in r.ops.iter() {
+            if count > 0 {
+                recorder.counter(
+                    "scheme_ops",
+                    &[("op", op.name()), ("scheme", r.scheme.as_str())],
+                    count,
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::broadcast::BroadcastSimulator;
+    use dirsim_trace::source::IterSource;
+    use dirsim_trace::synth::PaperTrace;
+
+    const REFS: usize = 12_000;
+
+    fn trace() -> Vec<MemRef> {
+        PaperTrace::Pops.workload().take(REFS).collect()
+    }
+
+    #[test]
+    fn overlapped_matches_inline_for_every_worker_count() {
+        let refs = trace();
+        let schemes = Scheme::paper_lineup();
+        for workers in [1, 3] {
+            let engine = BroadcastSimulator::paper().workers(workers).chunk_size(512);
+            let inline = engine
+                .run(&schemes, 4, IterSource::new(refs.iter().copied()))
+                .unwrap();
+            let overlapped = engine
+                .run_pipelined(&schemes, 4, IterSource::new(refs.iter().copied()))
+                .unwrap();
+            assert_eq!(inline, overlapped, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn overlapped_observer_sees_every_reference_in_order() {
+        let refs = trace();
+        let mut seen = Vec::new();
+        BroadcastSimulator::paper()
+            .workers(2)
+            .chunk_size(256)
+            .run_observed_pipelined(
+                &[Scheme::Wti],
+                4,
+                IterSource::new(refs.iter().copied()),
+                |r| seen.push(*r),
+            )
+            .unwrap();
+        assert_eq!(seen, refs);
+    }
+
+    #[test]
+    fn overlapped_surfaces_decode_errors() {
+        let encoded = b"NOPE0000".to_vec();
+        let err = BroadcastSimulator::paper()
+            .run_pipelined(
+                &[Scheme::Wti],
+                2,
+                dirsim_trace::io::read_binary(std::io::Cursor::new(encoded)),
+            )
+            .unwrap_err();
+        assert!(matches!(err, Error::TraceIo(_)));
+    }
+
+    #[test]
+    fn overlapped_records_pipeline_metrics() {
+        use dirsim_obs::MetricsRegistry;
+        use std::sync::Arc;
+
+        let refs = trace();
+        let registry = Arc::new(MetricsRegistry::new());
+        BroadcastSimulator::paper()
+            .workers(2)
+            .chunk_size(512)
+            .recorder(registry.clone())
+            .run_pipelined(&[Scheme::Wti], 4, IterSource::new(refs.iter().copied()))
+            .unwrap();
+        let stall = registry
+            .histogram_summary("decode_stall_seconds", &[])
+            .expect("decode stall histogram");
+        assert!(stall.count > 0 && stall.sum >= 0.0);
+        assert!(registry
+            .histogram_summary("step_stall_seconds", &[])
+            .is_some());
+        let depth = registry
+            .histogram_summary("pipeline_queue_depth", &[("stage", "decode")])
+            .expect("decode queue depth");
+        assert!(depth.count > 0);
+        assert!(registry
+            .histogram_summary("pipeline_queue_depth", &[("shard", "0"), ("stage", "step")])
+            .is_some());
+        let occupancy = registry
+            .gauge_value("pipeline_occupancy", &[])
+            .expect("occupancy gauge");
+        assert!((0.0..=1.0).contains(&occupancy), "occupancy = {occupancy}");
+    }
+}

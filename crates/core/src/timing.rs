@@ -249,6 +249,45 @@ impl TimingSimulator {
         }
         self.run(protocol, per_cpu)
     }
+
+    /// Like [`run_interleaved`](Self::run_interleaved), but pulling the
+    /// stream from any [`TraceSource`](dirsim_trace::TraceSource) in
+    /// chunks — the same decode stage the frequency engine's pipeline
+    /// uses (see [`crate::broadcast`]), so a trace file or filtered
+    /// source feeds the timing model without being collected first.
+    ///
+    /// Unlike the frequency engine, the timing model's event loop
+    /// consumes per-CPU streams whole (arbitration looks ahead across
+    /// the full run), so the split streams are still materialised; only
+    /// the decode is chunked.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first decode error from the source.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cpus == 0`.
+    pub fn run_source<S: dirsim_trace::TraceSource>(
+        &self,
+        protocol: &mut dyn CoherenceProtocol,
+        mut source: S,
+        cpus: usize,
+    ) -> Result<TimingResult, crate::error::Error> {
+        assert!(cpus > 0, "need at least one processor");
+        let mut per_cpu = vec![Vec::new(); cpus];
+        let mut buf = Vec::new();
+        loop {
+            buf = source.read_chunk_owned(buf, crate::broadcast::DEFAULT_CHUNK)?;
+            if buf.is_empty() {
+                break;
+            }
+            for r in &buf {
+                per_cpu[r.cpu.index() % cpus].push(*r);
+            }
+        }
+        Ok(self.run(protocol, per_cpu))
+    }
 }
 
 #[cfg(test)]
@@ -297,6 +336,25 @@ mod tests {
         assert_eq!(result.transactions, 3, "all but the cold write transact");
         assert_eq!(result.bus_busy_cycles, 3 * 6);
         assert!(result.per_cpu_stall.iter().sum::<u64>() >= 18);
+    }
+
+    #[test]
+    fn run_source_matches_run_interleaved() {
+        // Chunked decode through a TraceSource must not change the timing
+        // model's view of the stream.
+        use dirsim_trace::source::IterSource;
+        let refs: Vec<MemRef> = PaperTrace::Pops.workload().take(20_000).collect();
+        let mut a = Scheme::Directory(DirSpec::dir0_b()).build(4);
+        let from_vec = TimingSimulator::default().run_interleaved(a.as_mut(), refs.clone(), 4);
+        let mut b = Scheme::Directory(DirSpec::dir0_b()).build(4);
+        let from_source = TimingSimulator::default()
+            .run_source(b.as_mut(), IterSource::new(refs.into_iter()), 4)
+            .unwrap();
+        assert_eq!(from_vec.total_cycles, from_source.total_cycles);
+        assert_eq!(from_vec.per_cpu_refs, from_source.per_cpu_refs);
+        assert_eq!(from_vec.per_cpu_stall, from_source.per_cpu_stall);
+        assert_eq!(from_vec.bus_busy_cycles, from_source.bus_busy_cycles);
+        assert_eq!(from_vec.transactions, from_source.transactions);
     }
 
     #[test]

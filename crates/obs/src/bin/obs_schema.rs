@@ -1,25 +1,47 @@
 //! Validate dirsim metrics JSON-lines files against the exporter schema.
 //!
 //! ```text
-//! obs_schema <file.jsonl> [more files...]
+//! obs_schema [--require <metric-name>]... <file.jsonl> [more files...]
 //! ```
 //!
-//! Exits non-zero if any file fails to parse or violates the schema. Used by
-//! CI to keep emitted records from silently drifting, and handy locally on
-//! anything produced by `--metrics-json`.
+//! Exits non-zero if any file fails to parse or violates the schema. Each
+//! `--require <name>` (repeatable) additionally demands that **every**
+//! listed file contain at least one series with that metric name — CI
+//! pins the pipeline metrics this way, so a renamed or silently-disabled
+//! series fails the check instead of drifting. Used by CI and handy
+//! locally on anything produced by `--metrics-json`.
 
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
-    let paths: Vec<String> = std::env::args().skip(1).collect();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut required: Vec<String> = Vec::new();
+    let mut paths: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--require" {
+            i += 1;
+            match args.get(i) {
+                Some(name) => required.push(name.clone()),
+                None => {
+                    eprintln!("obs_schema: --require needs a metric name");
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else {
+            paths.push(args[i].clone());
+        }
+        i += 1;
+    }
     if paths.is_empty() {
-        eprintln!("usage: obs_schema <metrics.jsonl> [more files...]");
+        eprintln!("usage: obs_schema [--require <metric-name>]... <metrics.jsonl> [more files...]");
         return ExitCode::FAILURE;
     }
+    let required: Vec<&str> = required.iter().map(String::as_str).collect();
     let mut failed = false;
     for path in &paths {
         match std::fs::read_to_string(path) {
-            Ok(text) => match dirsim_obs::validate_jsonl(&text) {
+            Ok(text) => match check(&text, &required) {
                 Ok(summary) => println!("{path}: {summary}"),
                 Err(e) => {
                     eprintln!("{path}: FAIL: {e}");
@@ -37,4 +59,14 @@ fn main() -> ExitCode {
     } else {
         ExitCode::SUCCESS
     }
+}
+
+fn check(text: &str, required: &[&str]) -> Result<String, dirsim_obs::SchemaError> {
+    let summary = dirsim_obs::validate_jsonl(text)?;
+    if !required.is_empty() {
+        // validate_jsonl already proved the file parses.
+        let run = dirsim_obs::parse_metrics(text)?;
+        dirsim_obs::require_metrics(&run, required)?;
+    }
+    Ok(summary)
 }

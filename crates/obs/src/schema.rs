@@ -162,6 +162,22 @@ pub fn parse_metrics(text: &str) -> Result<ExportedRun, SchemaError> {
     }
 }
 
+/// Require that `run` contains at least one record for every metric name
+/// in `names` (labels are ignored: any series of that name counts).
+///
+/// CI uses this through `obs_schema --require` to pin the pipeline
+/// metric names (`decode_stall_seconds`, `pipeline_occupancy`, …): a
+/// rename or an accidentally-disabled recorder then fails the schema
+/// check instead of silently exporting a file with the series missing.
+pub fn require_metrics(run: &ExportedRun, names: &[&str]) -> Result<(), SchemaError> {
+    for name in names {
+        if !run.records.iter().any(|r| r.name == *name) {
+            return fail(0, format!("required metric {name:?} is missing"));
+        }
+    }
+    Ok(())
+}
+
 /// Validate a JSON-lines metrics document, returning a one-line human
 /// summary on success.
 pub fn validate_jsonl(text: &str) -> Result<String, SchemaError> {
@@ -249,5 +265,16 @@ mod tests {
     fn rejects_empty_file() {
         let err = parse_metrics("").unwrap_err();
         assert_eq!(err.line, 0);
+    }
+
+    #[test]
+    fn require_metrics_checks_names_not_labels() {
+        let run = parse_metrics(&sample_file()).unwrap();
+        require_metrics(&run, &["engine_refs", "phase_seconds", "best_ratio"]).unwrap();
+        // A labelled series satisfies a bare-name requirement.
+        require_metrics(&run, &["scheme_refs"]).unwrap();
+        let err = require_metrics(&run, &["engine_refs", "pipeline_occupancy"]).unwrap_err();
+        assert!(err.message.contains("pipeline_occupancy"), "{err}");
+        assert_eq!(err.line, 0, "missing metrics are a file-level problem");
     }
 }

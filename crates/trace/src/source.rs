@@ -53,6 +53,30 @@ pub trait TraceSource {
     /// decode; after an error the source is fused (subsequent calls
     /// return `Ok(0)`).
     fn read_chunk(&mut self, buf: &mut Vec<MemRef>, max: usize) -> Result<usize, TraceIoError>;
+
+    /// Owned-buffer variant of [`read_chunk`](Self::read_chunk): takes the
+    /// chunk buffer by value and hands it back filled.
+    ///
+    /// This is the recycling handshake the pipelined engine uses when the
+    /// decode stage lives on its own thread: emptied buffers travel back
+    /// to the producer over a channel, get refilled here, and are sent
+    /// forward again — the references themselves are written exactly once
+    /// per chunk and never copied between stages. An empty returned
+    /// buffer (`buf.is_empty()`) means the stream is exhausted, mirroring
+    /// the `Ok(0)` contract of `read_chunk`.
+    ///
+    /// # Errors
+    ///
+    /// See [`read_chunk`](Self::read_chunk); on error the buffer is
+    /// consumed (the caller is expected to abandon the stream).
+    fn read_chunk_owned(
+        &mut self,
+        mut buf: Vec<MemRef>,
+        max: usize,
+    ) -> Result<Vec<MemRef>, TraceIoError> {
+        self.read_chunk(&mut buf, max)?;
+        Ok(buf)
+    }
 }
 
 impl<S: TraceSource + ?Sized> TraceSource for &mut S {
@@ -218,6 +242,36 @@ mod tests {
         assert_eq!(seen, refs);
         // Exhausted sources stay exhausted.
         assert_eq!(source.read_chunk(&mut buf, 64).unwrap(), 0);
+    }
+
+    #[test]
+    fn owned_buffer_handshake_recycles_one_allocation() {
+        let refs: Vec<MemRef> = PaperTrace::Pops.workload().take(300).collect();
+        let mut source = IterSource::new(refs.iter().copied());
+        let mut buf = Vec::with_capacity(64);
+        let ptr = buf.as_ptr();
+        let mut seen = Vec::new();
+        loop {
+            buf = source.read_chunk_owned(buf, 64).unwrap();
+            if buf.is_empty() {
+                break;
+            }
+            seen.extend_from_slice(&buf);
+        }
+        assert_eq!(seen, refs);
+        // The chunk never outgrew the buffer, so the handshake reused the
+        // caller's allocation for the entire stream.
+        assert_eq!(buf.as_ptr(), ptr, "the same allocation is recycled");
+    }
+
+    #[test]
+    fn owned_buffer_handshake_surfaces_errors() {
+        let encoded = b"NOPE0000".to_vec();
+        let mut source = read_binary(&encoded[..]);
+        assert!(matches!(
+            source.read_chunk_owned(Vec::new(), 16),
+            Err(TraceIoError::BadMagic(_))
+        ));
     }
 
     #[test]

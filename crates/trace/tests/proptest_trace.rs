@@ -2,11 +2,13 @@
 //! algebra, filter laws, and generator structure.
 
 use proptest::prelude::*;
+use proptest::test_runner::TestCaseResult;
 
 use dirsim_trace::filter::{by_cpu, data_only, without_lock_tests, without_os};
 use dirsim_trace::io::{read_binary, read_text, write_binary, write_text, TraceIoError};
+use dirsim_trace::source::IterSource;
 use dirsim_trace::synth::{Region, Workload, WorkloadConfig};
-use dirsim_trace::{AccessKind, Addr, CpuId, MemRef, ProcessId, RefFlags, TraceStats};
+use dirsim_trace::{AccessKind, Addr, CpuId, MemRef, ProcessId, RefFlags, TraceSource, TraceStats};
 
 fn arbitrary_refs(len: usize) -> impl Strategy<Value = Vec<MemRef>> {
     prop::collection::vec(
@@ -38,8 +40,86 @@ fn arbitrary_refs(len: usize) -> impl Strategy<Value = Vec<MemRef>> {
     )
 }
 
+/// Drives `source` to exhaustion in `chunk`-sized reads, checking the
+/// short-read/EOF contract along the way: `read_chunk` never over-fills
+/// `max`, the buffer length always equals the returned count, `Ok(0)`
+/// appears exactly once — at end of stream, never mid-stream (a
+/// premature 0 would truncate `got` and fail the final comparison) — and
+/// end of stream is sticky.
+fn check_source_contract<S: TraceSource>(
+    mut source: S,
+    want: &[MemRef],
+    chunk: usize,
+) -> TestCaseResult {
+    let mut got = Vec::new();
+    let mut buf = Vec::new();
+    loop {
+        let n = source.read_chunk(&mut buf, chunk).unwrap();
+        prop_assert!(n <= chunk, "read_chunk over-filled max: {} > {}", n, chunk);
+        prop_assert_eq!(n, buf.len());
+        if n == 0 {
+            break;
+        }
+        got.extend_from_slice(&buf);
+    }
+    // A source that reported end of stream stays ended.
+    prop_assert_eq!(source.read_chunk(&mut buf, chunk).unwrap(), 0);
+    prop_assert_eq!(&got[..], want);
+    Ok(())
+}
+
+/// Drains a source, panicking on any error (for comparisons only).
+fn drain<S: TraceSource>(mut source: S, chunk: usize) -> Vec<MemRef> {
+    let mut got = Vec::new();
+    let mut buf = Vec::new();
+    while source.read_chunk(&mut buf, chunk).unwrap() > 0 {
+        got.extend_from_slice(&buf);
+    }
+    got
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Every [`TraceSource`] adapter honours the short-read/EOF contract
+    /// for arbitrary streams and chunk sizes: binary, text, and
+    /// iterator/synthetic sources alike.
+    #[test]
+    fn sources_honour_the_chunk_contract(refs in arbitrary_refs(120), chunk in 1usize..40) {
+        let mut bin = Vec::new();
+        write_binary(&mut bin, refs.iter().copied()).unwrap();
+        check_source_contract(read_binary(&bin[..]), &refs, chunk)?;
+
+        let mut txt = Vec::new();
+        write_text(&mut txt, refs.iter().copied()).unwrap();
+        check_source_contract(read_text(&txt[..]), &refs, chunk)?;
+
+        check_source_contract(IterSource::new(refs.iter().copied()), &refs, chunk)?;
+    }
+
+    /// Chunk size is invisible: reading one reference at a time and
+    /// reading everything in one oversized chunk produce the same
+    /// sequence for binary, text, and synthetic workload sources.
+    #[test]
+    fn chunk_size_does_not_change_the_stream(refs in arbitrary_refs(80), seed in any::<u64>()) {
+        let oversized = refs.len() + 1;
+
+        let mut bin = Vec::new();
+        write_binary(&mut bin, refs.iter().copied()).unwrap();
+        prop_assert_eq!(drain(read_binary(&bin[..]), 1), drain(read_binary(&bin[..]), oversized));
+
+        let mut txt = Vec::new();
+        write_text(&mut txt, refs.iter().copied()).unwrap();
+        prop_assert_eq!(drain(read_text(&txt[..]), 1), drain(read_text(&txt[..]), oversized));
+
+        // Synthetic workloads are deterministic under a seed, so two
+        // independently generated streams are comparable.
+        let cfg = WorkloadConfig::builder().seed(seed).build().unwrap();
+        let synth = |chunk: usize| {
+            drain(IterSource::new(Workload::new(cfg.clone()).take(64)), chunk)
+        };
+        prop_assert_eq!(synth(1), synth(65));
+    }
 
     /// Corrupting any single byte of a binary trace either still decodes
     /// (payload bytes) or produces a clean error — never a panic.

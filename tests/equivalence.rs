@@ -1,14 +1,18 @@
 //! Engine-path equivalence: the legacy serial per-scheme path, the
-//! single-pass broadcast path, and the sharded parallel path must
-//! produce **bit-identical** results for every scheme.
+//! single-pass broadcast path, the sharded parallel path, and the
+//! pipelined overlapped-decode path must produce **bit-identical**
+//! results for every scheme.
 //!
 //! This is the load-bearing guarantee behind `ExecutionMode`: sharding is
 //! exact because per-block protocol state never interacts across blocks
 //! and every counter merged across shards is a commutative sum. Infinite
 //! caches shard by block address; finite caches shard by cache set index
 //! (LRU state never crosses sets, and a block's set is a pure function of
-//! its address), so both geometries get the full three-way guarantee. Any
-//! drift here means one of the paths is wrong, not "parallel noise".
+//! its address), so both geometries get the full guarantee. Overlapped
+//! decode is exact because only decode *work* moves to the producer
+//! thread — chunks arrive in stream order over one bounded FIFO and
+//! chunk boundaries carry no simulation state. Any drift here means one
+//! of the paths is wrong, not "parallel noise".
 //!
 //! The scheme list mirrors the `dirsim-verify` gauntlet (that crate
 //! depends on this one, so the 14 schemes are enumerated inline).
@@ -94,6 +98,24 @@ fn sharded_matches_serial_for_every_scheme() {
 }
 
 #[test]
+fn pipelined_matches_serial_for_every_scheme() {
+    // Overlap enabled vs disabled, for every scheme: Pipelined { 1 } is
+    // single-pass with decode overlapped; Pipelined { n } is sharded
+    // with decode overlapped. Serial and SinglePass are the
+    // overlap-disabled baselines.
+    let exp = experiment();
+    let serial = exp.run_with(ExecutionMode::Serial).unwrap();
+    for workers in [1, 4] {
+        let pipelined = exp.run_with(ExecutionMode::Pipelined { workers }).unwrap();
+        assert_identical(
+            &serial,
+            &pipelined,
+            &format!("pipelined ({workers} workers) vs serial"),
+        );
+    }
+}
+
+#[test]
 fn shard_count_is_immaterial() {
     // Per-shard counters are commutative sums, so the worker count must
     // not leak into the results at all.
@@ -111,8 +133,12 @@ fn equivalence_holds_with_lock_tests_excluded() {
     let serial = exp.run_with(ExecutionMode::Serial).unwrap();
     let single = exp.run_with(ExecutionMode::SinglePass).unwrap();
     let sharded = exp.run_with(ExecutionMode::Sharded { workers: 4 }).unwrap();
+    let pipelined = exp
+        .run_with(ExecutionMode::Pipelined { workers: 4 })
+        .unwrap();
     assert_identical(&serial, &single, "lock-filtered single-pass");
     assert_identical(&serial, &sharded, "lock-filtered sharded");
+    assert_identical(&serial, &pipelined, "lock-filtered pipelined");
 }
 
 #[test]
@@ -130,8 +156,12 @@ fn equivalence_holds_under_the_oracle() {
     let serial = exp.run_with(ExecutionMode::Serial).unwrap();
     let single = exp.run_with(ExecutionMode::SinglePass).unwrap();
     let sharded = exp.run_with(ExecutionMode::Sharded { workers: 3 }).unwrap();
+    let pipelined = exp
+        .run_with(ExecutionMode::Pipelined { workers: 3 })
+        .unwrap();
     assert_identical(&serial, &single, "audited single-pass");
     assert_identical(&serial, &sharded, "audited sharded");
+    assert_identical(&serial, &pipelined, "audited pipelined");
 }
 
 fn finite_experiment(geometry: CacheGeometry) -> Experiment {
@@ -165,6 +195,14 @@ fn finite_cache_sharded_matches_serial_for_every_scheme() {
             &format!("finite {workers} shards vs serial"),
         );
     }
+    for workers in [1, 5] {
+        let pipelined = exp.run_with(ExecutionMode::Pipelined { workers }).unwrap();
+        assert_identical(
+            &serial,
+            &pipelined,
+            &format!("finite pipelined ({workers} workers) vs serial"),
+        );
+    }
     // The geometry is small enough that the equivalence is exercised by
     // real replacement traffic, not a trivially infinite-looking run.
     for s in &serial.per_scheme {
@@ -190,7 +228,7 @@ fn degenerate_finite_geometries_agree_across_modes() {
     // touch of a new block in a set evicts), a single set (sets = 1, the
     // set key routes everything to shard 0 and the run degenerates to
     // single-pass-on-a-worker), and fewer sets than shards (most shards
-    // stay empty). Each must agree with serial in all three modes.
+    // stay empty). Each must agree with serial in every mode.
     let cases = [
         ("direct-mapped", CacheGeometry { sets: 16, ways: 1 }),
         ("single-set", CacheGeometry { sets: 1, ways: 4 }),
@@ -201,8 +239,12 @@ fn degenerate_finite_geometries_agree_across_modes() {
         let serial = exp.run_with(ExecutionMode::Serial).unwrap();
         let single = exp.run_with(ExecutionMode::SinglePass).unwrap();
         let sharded = exp.run_with(ExecutionMode::Sharded { workers: 8 }).unwrap();
+        let pipelined = exp
+            .run_with(ExecutionMode::Pipelined { workers: 8 })
+            .unwrap();
         assert_identical(&serial, &single, &format!("{label} single-pass"));
         assert_identical(&serial, &sharded, &format!("{label} sharded"));
+        assert_identical(&serial, &pipelined, &format!("{label} pipelined"));
     }
 }
 
@@ -226,8 +268,12 @@ fn finite_cache_equivalence_holds_under_the_oracle() {
     let serial = exp.run_with(ExecutionMode::Serial).unwrap();
     let single = exp.run_with(ExecutionMode::SinglePass).unwrap();
     let sharded = exp.run_with(ExecutionMode::Sharded { workers: 3 }).unwrap();
+    let pipelined = exp
+        .run_with(ExecutionMode::Pipelined { workers: 3 })
+        .unwrap();
     assert_identical(&serial, &single, "audited finite single-pass");
     assert_identical(&serial, &sharded, "audited finite sharded");
+    assert_identical(&serial, &pipelined, "audited finite pipelined");
 }
 
 #[test]

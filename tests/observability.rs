@@ -74,6 +74,7 @@ fn recorder_never_perturbs_results() {
         ("single-pass", ExecutionMode::SinglePass),
         ("serial", ExecutionMode::Serial),
         ("sharded", ExecutionMode::Sharded { workers: 3 }),
+        ("pipelined", ExecutionMode::Pipelined { workers: 3 }),
     ] {
         let registry = Arc::new(MetricsRegistry::new());
         let instrumented = experiment()
@@ -216,6 +217,70 @@ fn finite_sharded_run_records_per_shard_series() {
         results.per_scheme[0].combined.capacity_evictions > 0,
         "the geometry must be small enough to exercise replacement"
     );
+}
+
+#[test]
+fn pipelined_run_records_overlap_metrics() {
+    // The overlapped-decode path must make the overlap observable:
+    // per-chunk stall histograms on both sides of the handshake, queue
+    // depths per stage, and a closing occupancy gauge in [0, 1] — on top
+    // of everything the inline paths record.
+    let workers = 3;
+    let baseline = experiment().run_with(ExecutionMode::SinglePass).unwrap();
+    let registry = Arc::new(MetricsRegistry::new());
+    let results = experiment()
+        .recorder(Arc::clone(&registry) as Arc<dyn Recorder>)
+        .run_with(ExecutionMode::Pipelined { workers })
+        .unwrap();
+    assert_identical(&baseline, &results, "pipelined instrumented");
+
+    let decode_stall = registry
+        .histogram_summary("decode_stall_seconds", &[])
+        .expect("decode_stall_seconds must be recorded");
+    assert!(decode_stall.count > 0 && decode_stall.sum >= 0.0);
+    let step_stall = registry
+        .histogram_summary("step_stall_seconds", &[])
+        .expect("step_stall_seconds must be recorded");
+    assert!(step_stall.count > 0 && step_stall.sum >= 0.0);
+
+    let decode_depth = registry
+        .histogram_summary("pipeline_queue_depth", &[("stage", "decode")])
+        .expect("decode-stage queue depth must be recorded");
+    assert!(decode_depth.count > 0 && decode_depth.min >= 0.0);
+    let step_depths: u64 = (0..workers)
+        .filter_map(|shard| {
+            registry.histogram_summary(
+                "pipeline_queue_depth",
+                &[("shard", &shard.to_string()), ("stage", "step")],
+            )
+        })
+        .map(|h| h.count)
+        .sum();
+    assert!(
+        step_depths > 0,
+        "per-shard step queue depth must be recorded"
+    );
+
+    // One occupancy gauge per workload pass; gauges overwrite, so only
+    // the final value is visible — but it must be a valid fraction.
+    let occupancy = registry
+        .gauge_value("pipeline_occupancy", &[])
+        .expect("pipeline_occupancy must be recorded");
+    assert!(
+        (0.0..=1.0).contains(&occupancy),
+        "occupancy must be a fraction, got {occupancy}"
+    );
+
+    // The inline metrics are unchanged by overlap: per-shard refs still
+    // partition the stream.
+    let shard_refs: u64 = (0..workers)
+        .map(|shard| {
+            registry
+                .counter_value("shard_refs", &[("shard", &shard.to_string())])
+                .unwrap_or(0)
+        })
+        .sum();
+    assert_eq!(shard_refs, results.per_scheme[0].combined.refs);
 }
 
 #[test]
