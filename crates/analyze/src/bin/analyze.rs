@@ -1,0 +1,213 @@
+//! Static protocol analysis gate: extract, lint, and golden-diff.
+//!
+//! ```text
+//! analyze --all                        # every gauntlet scheme vs committed goldens
+//! analyze --scheme Dir1NB              # one scheme
+//! analyze --all --bless                # regenerate the goldens
+//! analyze --mutant dropped-invalidate  # must FAIL: proves the gate bites
+//! ```
+//!
+//! Exit status: 0 when every extraction is clean, lints pass and tables
+//! match their goldens; 1 on any finding or diff; 2 on usage or I/O
+//! errors.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use dirsim_analyze::checks::check_product;
+use dirsim_analyze::{diff_tables, extract, parse_table, run_lints, table_to_jsonl};
+use dirsim_protocol::{CoherenceProtocol, Scheme};
+use dirsim_verify::mutants::{DroppedInvalidate, MisclassifiedHit};
+
+const USAGE: &str = "usage: analyze [--all | --scheme NAME | --mutant NAME] [options]
+
+modes (default: --all)
+  --all              analyze every gauntlet scheme
+  --scheme NAME      analyze one scheme (paper notation, e.g. Dir1NB)
+  --mutant NAME      analyze a deliberately broken protocol; expected to fail
+                     (names: dropped-invalidate, misclassified-hit)
+
+options
+  --caches N         caches in the extracted configuration (default 3)
+  --golden DIR       golden directory (default: crates/analyze/golden)
+  --bless            rewrite goldens from the live extraction
+  --no-product       skip the two-block product-factorization check
+  -h, --help         this text";
+
+struct Options {
+    caches: u32,
+    golden_dir: PathBuf,
+    bless: bool,
+    product: bool,
+}
+
+fn default_golden_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("golden")
+}
+
+/// Analyzes one machine: extract at one block, lint, product-check at two
+/// blocks, then diff against (or bless) the golden. Returns whether
+/// everything passed.
+fn analyze_one(
+    label: &str,
+    build: &dyn Fn() -> Box<dyn CoherenceProtocol>,
+    scheme: Option<Scheme>,
+    golden_name: &str,
+    opts: &Options,
+    audited: bool,
+) -> Result<bool, String> {
+    let table = match extract(build, opts.caches, 1, audited) {
+        Ok(t) => t,
+        Err(e) => {
+            println!("FAIL {label}: {e}");
+            return Ok(false);
+        }
+    };
+    let mut clean = true;
+
+    let probe = build();
+    let findings = run_lints(&table, probe.as_ref(), scheme.and_then(Scheme::dir_spec));
+    for f in &findings {
+        println!("FAIL {label}: {f}");
+        clean = false;
+    }
+
+    if opts.product {
+        match extract(build, opts.caches, 2, audited) {
+            Ok(double) => {
+                for f in check_product(&table, &double) {
+                    println!("FAIL {label}: {f}");
+                    clean = false;
+                }
+            }
+            Err(e) => {
+                println!("FAIL {label}: two-block extraction: {e}");
+                clean = false;
+            }
+        }
+    }
+
+    let golden_path = opts.golden_dir.join(format!("{golden_name}.jsonl"));
+    if opts.bless {
+        std::fs::create_dir_all(&opts.golden_dir)
+            .map_err(|e| format!("creating {}: {e}", opts.golden_dir.display()))?;
+        std::fs::write(&golden_path, table_to_jsonl(&table))
+            .map_err(|e| format!("writing {}: {e}", golden_path.display()))?;
+        println!(
+            "BLESS {label}: {} states, {} transitions -> {}",
+            table.states.len(),
+            table.transition_count(),
+            golden_path.display()
+        );
+        return Ok(clean);
+    }
+    let text = std::fs::read_to_string(&golden_path).map_err(|e| {
+        format!(
+            "reading {}: {e} (run with --bless to create goldens)",
+            golden_path.display()
+        )
+    })?;
+    let golden = parse_table(&text).map_err(|e| format!("{}: {e}", golden_path.display()))?;
+    let diff = diff_tables(&golden, &table, golden_name != table.scheme);
+    if diff.is_empty() {
+        if clean {
+            println!(
+                "ok {label}: {} states, {} transitions, lints clean, matches golden",
+                table.states.len(),
+                table.transition_count()
+            );
+        }
+    } else {
+        print!("FAIL {diff}");
+        clean = false;
+    }
+    Ok(clean)
+}
+
+fn run() -> Result<bool, String> {
+    let mut opts = Options {
+        caches: 3,
+        golden_dir: default_golden_dir(),
+        bless: false,
+        product: true,
+    };
+    let mut schemes: Vec<Scheme> = Vec::new();
+    let mut mutant: Option<String> = None;
+    let mut all = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "--all" => all = true,
+            "--scheme" => {
+                let name = value("--scheme")?;
+                schemes.push(name.parse().map_err(|e| format!("{e}"))?);
+            }
+            "--mutant" => mutant = Some(value("--mutant")?),
+            "--caches" => {
+                opts.caches = value("--caches")?
+                    .parse()
+                    .map_err(|e| format!("--caches: {e}"))?;
+            }
+            "--golden" => opts.golden_dir = PathBuf::from(value("--golden")?),
+            "--bless" => opts.bless = true,
+            "--no-product" => opts.product = false,
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                return Ok(true);
+            }
+            other => return Err(format!("unknown argument {other:?}\n{USAGE}")),
+        }
+    }
+
+    if let Some(name) = mutant {
+        let caches = opts.caches;
+        // Mutants extract unaudited — the point is to show the *static*
+        // pass catches what it can and the golden diff catches the rest,
+        // without the dynamic audit stopping extraction first.
+        type Build = Box<dyn Fn() -> Box<dyn CoherenceProtocol>>;
+        let (build, base): (Build, &str) = match name.as_str() {
+            "dropped-invalidate" => (
+                Box::new(move || -> Box<dyn CoherenceProtocol> {
+                    Box::new(DroppedInvalidate::new(caches))
+                }),
+                "DirnNB",
+            ),
+            "misclassified-hit" => (
+                Box::new(move || -> Box<dyn CoherenceProtocol> {
+                    Box::new(MisclassifiedHit::new(caches))
+                }),
+                "DirnNB",
+            ),
+            other => return Err(format!("unknown mutant {other:?}\n{USAGE}")),
+        };
+        println!("analyzing mutant {name} against the {base} golden");
+        return analyze_one(&name, build.as_ref(), None, base, &opts, false);
+    }
+
+    if schemes.is_empty() || all {
+        schemes = dirsim_verify::gauntlet();
+    }
+    let mut clean = true;
+    for scheme in schemes {
+        let name = scheme.name();
+        let build = move || scheme.build(opts.caches);
+        clean &= analyze_one(&name, &build, Some(scheme), &name, &opts, true)?;
+    }
+    Ok(clean)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::from(1),
+        Err(e) => {
+            eprintln!("analyze: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

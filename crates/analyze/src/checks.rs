@@ -1,0 +1,770 @@
+//! The static check catalogue over extracted [`ProtocolTable`]s.
+//!
+//! Each check is a pure function of the declarative table (plus, for the
+//! symmetry check, the protocol's own state-renaming hook); none of them
+//! executes a trace. Together they make whole classes of protocol bugs
+//! into lint findings:
+//!
+//! | check | catches |
+//! |---|---|
+//! | `exhaustive` | missing `(state, symbol)` rows, dangling destinations |
+//! | `reachable` | dead states a hand-edited golden could smuggle in |
+//! | `drainable` | states evictions cannot empty (stuck residency) |
+//! | `structural` | per-state invariant violations (dirty-not-exclusive, …) |
+//! | `event` | Table 4 misclassification against the §4 prediction model |
+//! | `capacity` | `Dir_i NB` holder / `Dir_i B` pointer overflow |
+//! | `broadcast` | `Dir_i B` broadcasting while pointer knowledge is exact, or any `Dir_i NB` broadcast |
+//! | `conservation` | sharer-set changes unaccounted by fills/invalidates |
+//! | `symmetry` | cache-identity dependence in nominally symmetric machines |
+//! | `style` | invalidations in update protocols, write-backs in write-through |
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use dirsim::invariant;
+use dirsim_mem::CacheId;
+use dirsim_protocol::directory::PointerCapacity;
+use dirsim_protocol::{
+    BlockProbe, BlockState, BusOp, CacheSymmetry, CoherenceProtocol, DirSpec, ProtocolStyle,
+};
+
+use crate::serial::state_key;
+use crate::table::{ProtocolTable, Symbol};
+
+/// One static-analysis finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LintFinding {
+    /// Which check fired (the table in the module docs).
+    pub check: &'static str,
+    /// The state the finding is anchored to, if any.
+    pub state: Option<usize>,
+    /// Human-readable description.
+    pub detail: String,
+}
+
+impl fmt::Display for LintFinding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.state {
+            Some(id) => write!(f, "[{}] state {}: {}", self.check, id, self.detail),
+            None => write!(f, "[{}] {}", self.check, self.detail),
+        }
+    }
+}
+
+fn sorted(caches: &[CacheId]) -> Vec<usize> {
+    let mut v: Vec<usize> = caches.iter().map(|c| c.index()).collect();
+    v.sort_unstable();
+    v
+}
+
+/// Cache indices named by `inval($#k)` movement codes.
+fn invalidated(movements: &[String]) -> Vec<usize> {
+    movements
+        .iter()
+        .filter_map(|m| {
+            m.strip_prefix("inval($#")
+                .and_then(|rest| rest.strip_suffix(')'))
+                .and_then(|i| i.parse::<usize>().ok())
+        })
+        .collect()
+}
+
+/// Rewrites every `$#k` occurrence in a movement code through `perm`.
+fn permute_code(code: &str, perm: &[u32]) -> String {
+    let mut out = String::with_capacity(code.len());
+    let mut rest = code;
+    while let Some(pos) = rest.find("$#") {
+        out.push_str(&rest[..pos + 2]);
+        rest = &rest[pos + 2..];
+        let digits = rest.len() - rest.trim_start_matches(|c: char| c.is_ascii_digit()).len();
+        let index: usize = rest[..digits].parse().unwrap_or(0);
+        out.push_str(&perm[index].to_string());
+        rest = &rest[digits..];
+    }
+    out.push_str(rest);
+    out
+}
+
+fn exhaustive(table: &ProtocolTable, findings: &mut Vec<LintFinding>) {
+    for (id, state) in table.states.iter().enumerate() {
+        if state.transitions.len() != table.symbols.len() {
+            findings.push(LintFinding {
+                check: "exhaustive",
+                state: Some(id),
+                detail: format!(
+                    "row covers {} of {} symbols",
+                    state.transitions.len(),
+                    table.symbols.len()
+                ),
+            });
+            continue;
+        }
+        for (si, t) in state.transitions.iter().enumerate() {
+            if t.to >= table.states.len() {
+                findings.push(LintFinding {
+                    check: "exhaustive",
+                    state: Some(id),
+                    detail: format!("'{}' leads to undefined state {}", table.symbols[si], t.to),
+                });
+            }
+        }
+    }
+}
+
+fn reachable(table: &ProtocolTable, findings: &mut Vec<LintFinding>) {
+    let n = table.states.len();
+    let mut seen = vec![false; n];
+    let mut queue = VecDeque::from([0usize]);
+    seen[0] = true;
+    while let Some(id) = queue.pop_front() {
+        for t in &table.states[id].transitions {
+            if t.to < n && !seen[t.to] {
+                seen[t.to] = true;
+                queue.push_back(t.to);
+            }
+        }
+    }
+    for (id, seen) in seen.iter().enumerate() {
+        if !seen {
+            findings.push(LintFinding {
+                check: "reachable",
+                state: Some(id),
+                detail: "state is unreachable from the initial state".into(),
+            });
+        }
+    }
+}
+
+/// Every state must drain to an all-empty sharer configuration using only
+/// eviction symbols — otherwise some residency can never be reclaimed.
+fn drainable(table: &ProtocolTable, findings: &mut Vec<LintFinding>) {
+    let n = table.states.len();
+    let evict_syms: Vec<usize> = table
+        .symbols
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| s.is_evict())
+        .map(|(i, _)| i)
+        .collect();
+    // Reverse reachability from the drained states over eviction edges.
+    let mut drains = vec![false; n];
+    let mut queue = VecDeque::new();
+    for (id, state) in table.states.iter().enumerate() {
+        if state.blocks.iter().all(|b| b.holders.is_empty()) {
+            drains[id] = true;
+            queue.push_back(id);
+        }
+    }
+    let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (id, state) in table.states.iter().enumerate() {
+        for &si in &evict_syms {
+            if let Some(t) = state.transitions.get(si) {
+                if t.to < n {
+                    preds[t.to].push(id);
+                }
+            }
+        }
+    }
+    while let Some(id) = queue.pop_front() {
+        for &p in &preds[id] {
+            if !drains[p] {
+                drains[p] = true;
+                queue.push_back(p);
+            }
+        }
+    }
+    for (id, ok) in drains.iter().enumerate() {
+        if !ok {
+            findings.push(LintFinding {
+                check: "drainable",
+                state: Some(id),
+                detail: "no eviction sequence empties every cache from here".into(),
+            });
+        }
+    }
+}
+
+fn structural(table: &ProtocolTable, findings: &mut Vec<LintFinding>) {
+    for (id, state) in table.states.iter().enumerate() {
+        for block in &state.blocks {
+            if let Err(v) = invariant::check_block(table.style, block, table.caches) {
+                findings.push(LintFinding {
+                    check: "structural",
+                    state: Some(id),
+                    detail: v.to_string(),
+                });
+            }
+        }
+    }
+}
+
+/// Re-predicts every reference transition's Table 4 event from the source
+/// state via the §4 model and flags disagreements.
+fn event_agreement(table: &ProtocolTable, findings: &mut Vec<LintFinding>) {
+    for (id, state) in table.states.iter().enumerate() {
+        for (si, t) in state.transitions.iter().enumerate() {
+            let Some(Symbol::Ref(step)) = table.symbols.get(si).copied() else {
+                if t.event.is_some() {
+                    findings.push(LintFinding {
+                        check: "event",
+                        state: Some(id),
+                        detail: format!(
+                            "eviction '{}' classified as {:?}",
+                            table.symbols[si], t.event
+                        ),
+                    });
+                }
+                continue;
+            };
+            let pre = state
+                .blocks
+                .iter()
+                .find(|b| b.block == step.block)
+                .map(|b| BlockProbe {
+                    holders: b.holders.clone(),
+                    dirty: b.dirty,
+                });
+            let expected =
+                invariant::predicted_event(table.style, pre.as_ref(), step.cache, step.write);
+            if t.event != Some(expected) {
+                findings.push(LintFinding {
+                    check: "event",
+                    state: Some(id),
+                    detail: format!(
+                        "'{}' classified as {} but the state predicts {}",
+                        table.symbols[si],
+                        t.event.map_or("none".to_string(), |e| e.name().to_string()),
+                        expected.name(),
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// `Dir_i NB`: at most `i` holders ever; `Dir_i B`: at most `i` pointers.
+fn capacity(table: &ProtocolTable, spec: DirSpec, findings: &mut Vec<LintFinding>) {
+    let limit = spec.pointers().resolve(table.caches) as usize;
+    for (id, state) in table.states.iter().enumerate() {
+        for block in &state.blocks {
+            if spec.allows_broadcast() {
+                if block.pointers.len() > limit {
+                    findings.push(LintFinding {
+                        check: "capacity",
+                        state: Some(id),
+                        detail: format!(
+                            "{}: {} pointers exceed capacity {limit}",
+                            block.block,
+                            block.pointers.len()
+                        ),
+                    });
+                }
+            } else if block.holders.len() > limit {
+                findings.push(LintFinding {
+                    check: "capacity",
+                    state: Some(id),
+                    detail: format!(
+                        "{}: {} holders exceed the {limit}-pointer no-broadcast capacity",
+                        block.block,
+                        block.holders.len()
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Broadcast discipline: a `Dir_i B` transition may put a broadcast
+/// invalidation on the bus only when the directory has in fact lost exact
+/// knowledge (broadcast bit set, or a holder outside the pointer set); a
+/// `Dir_i NB` machine may never broadcast at all.
+fn broadcast(table: &ProtocolTable, spec: DirSpec, findings: &mut Vec<LintFinding>) {
+    for (id, state) in table.states.iter().enumerate() {
+        for (si, t) in state.transitions.iter().enumerate() {
+            if !t.ops.contains(&BusOp::BroadcastInvalidate) {
+                continue;
+            }
+            if !spec.allows_broadcast() {
+                findings.push(LintFinding {
+                    check: "broadcast",
+                    state: Some(id),
+                    detail: format!(
+                        "'{}' broadcasts in a no-broadcast scheme",
+                        table.symbols[si]
+                    ),
+                });
+                continue;
+            }
+            let block = table.symbols[si].block();
+            let inexact = state
+                .blocks
+                .iter()
+                .find(|b| b.block == block)
+                .is_some_and(|b| {
+                    let known = sorted(&b.pointers);
+                    b.broadcast_bit || !sorted(&b.holders).iter().all(|h| known.contains(h))
+                });
+            if !inexact {
+                findings.push(LintFinding {
+                    check: "broadcast",
+                    state: Some(id),
+                    detail: format!(
+                        "'{}' broadcasts although pointer knowledge is exact",
+                        table.symbols[si]
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Sharer-set conservation: across every transition, untouched blocks are
+/// unchanged; on the touched block, only the acting cache may join, and
+/// every leaving cache is accounted for by an `inval` movement.
+fn conservation(table: &ProtocolTable, findings: &mut Vec<LintFinding>) {
+    for (id, state) in table.states.iter().enumerate() {
+        for (si, t) in state.transitions.iter().enumerate() {
+            if t.to >= table.states.len() {
+                continue; // already an `exhaustive` finding
+            }
+            let symbol = &table.symbols[si];
+            let dest = &table.states[t.to];
+            for from_block in &state.blocks {
+                if from_block.block == symbol.block() {
+                    continue;
+                }
+                let to_block = dest.blocks.iter().find(|b| b.block == from_block.block);
+                if to_block != Some(from_block) {
+                    findings.push(LintFinding {
+                        check: "conservation",
+                        state: Some(id),
+                        detail: format!("'{}' disturbed untouched {}", symbol, from_block.block),
+                    });
+                }
+            }
+            let from_holders = state
+                .blocks
+                .iter()
+                .find(|b| b.block == symbol.block())
+                .map(|b| sorted(&b.holders))
+                .unwrap_or_default();
+            let to_holders = dest
+                .blocks
+                .iter()
+                .find(|b| b.block == symbol.block())
+                .map(|b| sorted(&b.holders))
+                .unwrap_or_default();
+            let joined: Vec<usize> = to_holders
+                .iter()
+                .copied()
+                .filter(|h| !from_holders.contains(h))
+                .collect();
+            let left: Vec<usize> = from_holders
+                .iter()
+                .copied()
+                .filter(|h| !to_holders.contains(h))
+                .collect();
+            let actor = symbol.cache().index();
+            if symbol.is_evict() {
+                if !joined.is_empty() || left.iter().any(|&l| l != actor) {
+                    findings.push(LintFinding {
+                        check: "conservation",
+                        state: Some(id),
+                        detail: format!(
+                            "'{}' changed holders {from_holders:?} -> {to_holders:?}",
+                            symbol
+                        ),
+                    });
+                }
+                continue;
+            }
+            if joined.iter().any(|&j| j != actor) {
+                findings.push(LintFinding {
+                    check: "conservation",
+                    state: Some(id),
+                    detail: format!(
+                        "'{}' added non-acting holders: {from_holders:?} -> {to_holders:?}",
+                        symbol
+                    ),
+                });
+            }
+            let invalidations = invalidated(&t.movements);
+            for &l in &left {
+                if !invalidations.contains(&l) {
+                    findings.push(LintFinding {
+                        check: "conservation",
+                        state: Some(id),
+                        detail: format!(
+                            "'{}' dropped holder $#{l} without an inval movement",
+                            symbol
+                        ),
+                    });
+                }
+            }
+            if table.style == ProtocolStyle::Update && !left.is_empty() {
+                findings.push(LintFinding {
+                    check: "conservation",
+                    state: Some(id),
+                    detail: format!("update protocol lost sharers {left:?} on '{}'", symbol),
+                });
+            }
+        }
+    }
+}
+
+/// Cache-permutation symmetry: for each generator permutation `p`, the
+/// image of every reachable state is reachable, and the table commutes —
+/// `p(dest(s, σ)) == dest(p(s), p(σ))` with matching event, ops, fan-out,
+/// and (multiset of renamed) movements. Uses the protocol's own
+/// [`CoherenceProtocol::permute_block_state`] hook so owner identities in
+/// `aux` rename correctly; skipped for
+/// [`CacheSymmetry::Asymmetric`] machines.
+fn symmetry(
+    table: &ProtocolTable,
+    protocol: &dyn CoherenceProtocol,
+    findings: &mut Vec<LintFinding>,
+) {
+    if table.symmetry == CacheSymmetry::Asymmetric || table.caches < 2 {
+        return;
+    }
+    let mut generators = vec![{
+        // Swap the first two caches.
+        let mut p: Vec<u32> = (0..table.caches).collect();
+        p.swap(0, 1);
+        p
+    }];
+    if table.caches > 2 {
+        // Rotate all caches by one.
+        generators.push((0..table.caches).map(|i| (i + 1) % table.caches).collect());
+    }
+
+    let key_to_id: std::collections::HashMap<String, usize> = table
+        .states
+        .iter()
+        .enumerate()
+        .map(|(id, s)| (state_key(&s.blocks), id))
+        .collect();
+    let sym_index: std::collections::HashMap<Symbol, usize> = table
+        .symbols
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| (s, i))
+        .collect();
+
+    for perm in &generators {
+        for (id, state) in table.states.iter().enumerate() {
+            let image: Vec<BlockState> = state
+                .blocks
+                .iter()
+                .map(|b| protocol.permute_block_state(b, perm))
+                .collect();
+            let Some(&image_id) = key_to_id.get(&state_key(&image)) else {
+                findings.push(LintFinding {
+                    check: "symmetry",
+                    state: Some(id),
+                    detail: format!("image under {perm:?} is not a reachable state"),
+                });
+                continue;
+            };
+            for (si, t) in state.transitions.iter().enumerate() {
+                if t.to >= table.states.len() {
+                    continue;
+                }
+                let p_sym = table.symbols[si].permuted(perm);
+                let Some(&p_si) = sym_index.get(&p_sym) else {
+                    continue;
+                };
+                let mirrored = &table.states[image_id].transitions[p_si];
+                let dest_image: Vec<BlockState> = table.states[t.to]
+                    .blocks
+                    .iter()
+                    .map(|b| protocol.permute_block_state(b, perm))
+                    .collect();
+                let dest_image_id = key_to_id.get(&state_key(&dest_image)).copied();
+                let mut expected_moves: Vec<String> =
+                    t.movements.iter().map(|m| permute_code(m, perm)).collect();
+                expected_moves.sort();
+                let mut mirrored_moves = mirrored.movements.clone();
+                mirrored_moves.sort();
+                let mut expected_ops = t.ops.clone();
+                expected_ops.sort();
+                let mut mirrored_ops = mirrored.ops.clone();
+                mirrored_ops.sort();
+                if dest_image_id != Some(mirrored.to)
+                    || t.event != mirrored.event
+                    || expected_ops != mirrored_ops
+                    || expected_moves != mirrored_moves
+                    || t.fanout != mirrored.fanout
+                {
+                    findings.push(LintFinding {
+                        check: "symmetry",
+                        state: Some(id),
+                        detail: format!(
+                            "table does not commute with {perm:?} on '{}'",
+                            table.symbols[si]
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Style consistency: update protocols never invalidate; write-through
+/// protocols never write back dirty data.
+fn style_consistency(table: &ProtocolTable, findings: &mut Vec<LintFinding>) {
+    for (id, state) in table.states.iter().enumerate() {
+        for (si, t) in state.transitions.iter().enumerate() {
+            let offending = match table.style {
+                ProtocolStyle::Update if !table.symbols[si].is_evict() => t
+                    .movements
+                    .iter()
+                    .find(|m| m.starts_with("inval("))
+                    .cloned(),
+                ProtocolStyle::WriteThrough => t
+                    .movements
+                    .iter()
+                    .find(|m| m.starts_with("write-back("))
+                    .cloned(),
+                _ => None,
+            };
+            if let Some(movement) = offending {
+                findings.push(LintFinding {
+                    check: "style",
+                    state: Some(id),
+                    detail: format!(
+                        "{movement} is impossible for a {} protocol on '{}'",
+                        match table.style {
+                            ProtocolStyle::Update => "update",
+                            _ => "write-through",
+                        },
+                        table.symbols[si]
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Runs the full static check catalogue over one extracted table.
+///
+/// `protocol` must be a fresh instance of the same scheme (it supplies the
+/// state-renaming hook for the symmetry check); `dir_spec` enables the
+/// directory-family capacity and broadcast-discipline lints.
+pub fn run_lints(
+    table: &ProtocolTable,
+    protocol: &dyn CoherenceProtocol,
+    dir_spec: Option<DirSpec>,
+) -> Vec<LintFinding> {
+    let mut findings = Vec::new();
+    exhaustive(table, &mut findings);
+    reachable(table, &mut findings);
+    drainable(table, &mut findings);
+    structural(table, &mut findings);
+    event_agreement(table, &mut findings);
+    if let Some(spec) = dir_spec {
+        if let PointerCapacity::Limited(_) = spec.pointers() {
+            capacity(table, spec, &mut findings);
+        }
+        broadcast(table, spec, &mut findings);
+    }
+    conservation(table, &mut findings);
+    symmetry(table, protocol, &mut findings);
+    style_consistency(table, &mut findings);
+    findings
+}
+
+/// Product-factorization check: the multi-block machine must be the
+/// independent product of per-block machines. Every reachable state of
+/// `multi` must project, block by block (normalised to block 0), onto a
+/// reachable state of `single`, and every transition must act only on its
+/// symbol's component, exactly as the single-block table says.
+pub fn check_product(single: &ProtocolTable, multi: &ProtocolTable) -> Vec<LintFinding> {
+    let mut findings = Vec::new();
+    if single.blocks != 1 {
+        findings.push(LintFinding {
+            check: "product",
+            state: None,
+            detail: "reference table must have exactly one block".into(),
+        });
+        return findings;
+    }
+    let key_to_id: std::collections::HashMap<String, usize> = single
+        .states
+        .iter()
+        .enumerate()
+        .map(|(id, s)| (state_key(&s.blocks), id))
+        .collect();
+    let normalise = |blocks: &[BlockState], block: dirsim_mem::BlockAddr| -> Vec<BlockState> {
+        blocks
+            .iter()
+            .filter(|b| b.block == block)
+            .map(|b| BlockState {
+                block: dirsim_mem::BlockAddr::new(0),
+                ..b.clone()
+            })
+            .collect()
+    };
+    // Map each multi-table symbol to the single-table symbol acting on
+    // block 0 with the same verb and cache.
+    let sym_index: std::collections::HashMap<Symbol, usize> = single
+        .symbols
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| (s, i))
+        .collect();
+    let project_symbol = |s: &Symbol| -> Option<usize> {
+        let zero = dirsim_mem::BlockAddr::new(0);
+        let projected = match *s {
+            Symbol::Ref(step) => Symbol::Ref(dirsim_verify::Step {
+                block: zero,
+                ..step
+            }),
+            Symbol::Evict { cache, .. } => Symbol::Evict { cache, block: zero },
+        };
+        sym_index.get(&projected).copied()
+    };
+
+    for (id, state) in multi.states.iter().enumerate() {
+        // Each component must be a reachable single-block state.
+        let mut component_ids = Vec::new();
+        let mut bad_component = false;
+        for raw in 0..multi.blocks {
+            let block = dirsim_mem::BlockAddr::new(raw);
+            let component = normalise(&state.blocks, block);
+            match key_to_id.get(&state_key(&component)) {
+                Some(&cid) => component_ids.push(cid),
+                None => {
+                    findings.push(LintFinding {
+                        check: "product",
+                        state: Some(id),
+                        detail: format!(
+                            "component for {block} is not a reachable single-block state"
+                        ),
+                    });
+                    bad_component = true;
+                }
+            }
+        }
+        if bad_component {
+            continue;
+        }
+        for (si, t) in state.transitions.iter().enumerate() {
+            if t.to >= multi.states.len() {
+                continue;
+            }
+            let symbol = &multi.symbols[si];
+            let Some(ssi) = project_symbol(symbol) else {
+                continue;
+            };
+            let touched = symbol.block().raw() as usize;
+            let reference = &single.states[component_ids[touched]].transitions[ssi];
+            let dest = &multi.states[t.to];
+            let dest_component = normalise(&dest.blocks, symbol.block());
+            let dest_cid = key_to_id.get(&state_key(&dest_component)).copied();
+            let mut rebased_moves: Vec<String> = t.movements.clone();
+            rebased_moves.sort();
+            let mut reference_moves = reference.movements.clone();
+            reference_moves.sort();
+            if dest_cid != Some(reference.to)
+                || t.event != reference.event
+                || t.ops != reference.ops
+                || rebased_moves != reference_moves
+                || t.fanout != reference.fanout
+            {
+                findings.push(LintFinding {
+                    check: "product",
+                    state: Some(id),
+                    detail: format!(
+                        "'{}' does not factor through the single-block table",
+                        symbol
+                    ),
+                });
+            }
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::extract;
+    use dirsim_protocol::Scheme;
+
+    #[test]
+    fn invalidated_parses_codes() {
+        let moves = vec![
+            "fill-mem($#0)".to_string(),
+            "inval($#2)".to_string(),
+            "inval($#10)".to_string(),
+        ];
+        assert_eq!(invalidated(&moves), vec![2, 10]);
+    }
+
+    #[test]
+    fn permute_code_renames_every_cache_reference() {
+        assert_eq!(
+            permute_code("fill-cache($#2<-$#0)", &[2, 1, 0]),
+            "fill-cache($#0<-$#2)"
+        );
+        assert_eq!(permute_code("write($#1)", &[2, 1, 0]), "write($#1)");
+    }
+
+    #[test]
+    fn clean_scheme_lints_clean() {
+        let scheme = Scheme::dir1_nb();
+        let table = extract(|| scheme.build(3), 3, 1, true).unwrap();
+        let probe = scheme.build(3);
+        let findings = run_lints(&table, probe.as_ref(), scheme.dir_spec());
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn dropped_invalidate_mutant_fails_structural_and_conservation() {
+        let table = extract(
+            || Box::new(dirsim_verify::mutants::DroppedInvalidate::new(3)),
+            3,
+            1,
+            false,
+        )
+        .unwrap();
+        let probe = Scheme::dir_n_nb().build(3);
+        let findings = run_lints(&table, probe.as_ref(), None);
+        assert!(
+            findings.iter().any(|f| f.check == "structural"),
+            "{findings:?}"
+        );
+        assert!(
+            findings.iter().any(|f| f.check == "conservation"),
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn misclassified_hit_mutant_fails_event_agreement() {
+        let table = extract(
+            || Box::new(dirsim_verify::mutants::MisclassifiedHit::new(3)),
+            3,
+            1,
+            false,
+        )
+        .unwrap();
+        let probe = Scheme::dir_n_nb().build(3);
+        let findings = run_lints(
+            &table,
+            probe.as_ref(),
+            Some(dirsim_protocol::DirSpec::dir_n_nb()),
+        );
+        assert!(findings.iter().any(|f| f.check == "event"), "{findings:?}");
+    }
+
+    #[test]
+    fn product_factorization_holds_for_dir1b() {
+        let scheme = Scheme::dir1_b();
+        let single = extract(|| scheme.build(2), 2, 1, true).unwrap();
+        let double = extract(|| scheme.build(2), 2, 2, true).unwrap();
+        let findings = check_product(&single, &double);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+}

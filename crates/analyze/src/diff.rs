@@ -1,0 +1,366 @@
+//! State-level semantic diffs between a live extraction and a committed
+//! golden table.
+//!
+//! States are matched by **content** (their canonical block list), never by
+//! discovery id, so a protocol change that merely reorders BFS discovery
+//! produces no noise — only genuine semantic drift (states appearing or
+//! vanishing, transitions reclassified, movements changed) is reported,
+//! each entry anchored to a human-readable rendering of the state it
+//! occurred in.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use dirsim_protocol::BlockState;
+
+use crate::serial::state_key;
+use crate::table::{ProtocolTable, Transition};
+
+/// One difference between golden and live tables.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DiffEntry {
+    /// A header field differs (configuration mismatch, style drift, …).
+    Header {
+        /// Which field.
+        field: &'static str,
+        /// Golden value.
+        golden: String,
+        /// Live value.
+        live: String,
+    },
+    /// A state in the golden table is no longer reachable live.
+    MissingState {
+        /// Rendering of the lost state.
+        state: String,
+    },
+    /// A live state the golden table has never seen.
+    ExtraState {
+        /// Rendering of the new state.
+        state: String,
+    },
+    /// The same state handles the same symbol differently.
+    Transition {
+        /// Rendering of the source state.
+        state: String,
+        /// The symbol label.
+        symbol: String,
+        /// Which cell field differs (`event`, `ops`, `moves`, `fanout`,
+        /// `destination`).
+        field: &'static str,
+        /// Golden value.
+        golden: String,
+        /// Live value.
+        live: String,
+    },
+}
+
+impl fmt::Display for DiffEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DiffEntry::Header {
+                field,
+                golden,
+                live,
+            } => write!(f, "header {field}: golden={golden} live={live}"),
+            DiffEntry::MissingState { state } => {
+                write!(f, "state no longer reachable: {state}")
+            }
+            DiffEntry::ExtraState { state } => write!(f, "new unexpected state: {state}"),
+            DiffEntry::Transition {
+                state,
+                symbol,
+                field,
+                golden,
+                live,
+            } => write!(
+                f,
+                "in {state} on '{symbol}': {field} golden={golden} live={live}"
+            ),
+        }
+    }
+}
+
+/// Readable rendering of a state's block list, e.g.
+/// `{blk0x0: holders=[$#0,$#1] dirty ptr=[$#0] bcast}`.
+pub fn render_state(blocks: &[BlockState]) -> String {
+    if blocks.is_empty() {
+        return "{empty}".to_string();
+    }
+    let mut out = String::from("{");
+    for (i, b) in blocks.iter().enumerate() {
+        if i > 0 {
+            out.push_str("; ");
+        }
+        let holders: Vec<String> = b.holders.iter().map(|c| c.to_string()).collect();
+        out.push_str(&format!("{}: holders=[{}]", b.block, holders.join(",")));
+        out.push_str(if b.dirty { " dirty" } else { " clean" });
+        if !b.pointers.is_empty() {
+            let ptrs: Vec<String> = b.pointers.iter().map(|c| c.to_string()).collect();
+            out.push_str(&format!(" ptr=[{}]", ptrs.join(",")));
+        }
+        if b.broadcast_bit {
+            out.push_str(" bcast");
+        }
+        if !b.aux.is_empty() {
+            out.push_str(&format!(" aux={:?}", b.aux));
+        }
+    }
+    out.push('}');
+    out
+}
+
+/// A complete semantic diff of two tables for one scheme.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableDiff {
+    /// The scheme the tables describe (the live table's name).
+    pub scheme: String,
+    /// Every difference found, in golden-table state order.
+    pub entries: Vec<DiffEntry>,
+}
+
+impl TableDiff {
+    /// Whether the tables agree completely.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+impl fmt::Display for TableDiff {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.entries.is_empty() {
+            return write!(f, "{}: tables agree", self.scheme);
+        }
+        writeln!(
+            f,
+            "{}: {} difference(s) against the golden table",
+            self.scheme,
+            self.entries.len()
+        )?;
+        for e in &self.entries {
+            writeln!(f, "  {e}")?;
+        }
+        Ok(())
+    }
+}
+
+fn fmt_transition_value(t: &Transition, dest: &str) -> (String, String, String, String, String) {
+    (
+        t.event.map_or("none".to_string(), |e| e.name().to_string()),
+        format!(
+            "[{}]",
+            t.ops
+                .iter()
+                .map(|o| o.name().to_string())
+                .collect::<Vec<_>>()
+                .join(",")
+        ),
+        format!("[{}]", t.movements.join(",")),
+        t.fanout.map_or("none".to_string(), |v| v.to_string()),
+        dest.to_string(),
+    )
+}
+
+/// Diffs `live` against `golden`, matching states by content.
+///
+/// `ignore_scheme_name` suppresses the scheme-name header entry — used
+/// when diffing a mutant against its base scheme's golden, where the name
+/// is expected to differ and only semantic drift matters.
+pub fn diff_tables(
+    golden: &ProtocolTable,
+    live: &ProtocolTable,
+    ignore_scheme_name: bool,
+) -> TableDiff {
+    let mut entries = Vec::new();
+    if !ignore_scheme_name && golden.scheme != live.scheme {
+        entries.push(DiffEntry::Header {
+            field: "scheme",
+            golden: golden.scheme.clone(),
+            live: live.scheme.clone(),
+        });
+    }
+    let headers: [(&'static str, String, String); 4] = [
+        ("caches", golden.caches.to_string(), live.caches.to_string()),
+        ("blocks", golden.blocks.to_string(), live.blocks.to_string()),
+        (
+            "style",
+            format!("{:?}", golden.style),
+            format!("{:?}", live.style),
+        ),
+        (
+            "symmetry",
+            format!("{:?}", golden.symmetry),
+            format!("{:?}", live.symmetry),
+        ),
+    ];
+    for (field, g, l) in headers {
+        if g != l {
+            entries.push(DiffEntry::Header {
+                field,
+                golden: g,
+                live: l,
+            });
+        }
+    }
+    let golden_syms: Vec<String> = golden.symbols.iter().map(|s| s.to_string()).collect();
+    let live_syms: Vec<String> = live.symbols.iter().map(|s| s.to_string()).collect();
+    if golden_syms != live_syms {
+        entries.push(DiffEntry::Header {
+            field: "symbols",
+            golden: golden_syms.join(" | "),
+            live: live_syms.join(" | "),
+        });
+        return TableDiff {
+            scheme: live.scheme.clone(),
+            entries,
+        };
+    }
+
+    let live_by_key: HashMap<String, usize> = live
+        .states
+        .iter()
+        .enumerate()
+        .map(|(id, s)| (state_key(&s.blocks), id))
+        .collect();
+    let golden_keys: HashMap<String, usize> = golden
+        .states
+        .iter()
+        .enumerate()
+        .map(|(id, s)| (state_key(&s.blocks), id))
+        .collect();
+
+    for state in &live.states {
+        if !golden_keys.contains_key(&state_key(&state.blocks)) {
+            entries.push(DiffEntry::ExtraState {
+                state: render_state(&state.blocks),
+            });
+        }
+    }
+    for gstate in &golden.states {
+        let Some(&live_id) = live_by_key.get(&state_key(&gstate.blocks)) else {
+            entries.push(DiffEntry::MissingState {
+                state: render_state(&gstate.blocks),
+            });
+            continue;
+        };
+        let lstate = &live.states[live_id];
+        for (si, (gt, lt)) in gstate
+            .transitions
+            .iter()
+            .zip(&lstate.transitions)
+            .enumerate()
+        {
+            let gdest = golden
+                .states
+                .get(gt.to)
+                .map_or("<undefined>".to_string(), |s| render_state(&s.blocks));
+            let ldest = live
+                .states
+                .get(lt.to)
+                .map_or("<undefined>".to_string(), |s| render_state(&s.blocks));
+            let (ge, go, gm, gf, gd) = fmt_transition_value(gt, &gdest);
+            let (le, lo, lm, lf, ld) = fmt_transition_value(lt, &ldest);
+            let state = render_state(&gstate.blocks);
+            let symbol = golden_syms[si].clone();
+            let fields: [(&'static str, &String, &String); 5] = [
+                ("event", &ge, &le),
+                ("ops", &go, &lo),
+                ("moves", &gm, &lm),
+                ("fanout", &gf, &lf),
+                ("destination", &gd, &ld),
+            ];
+            for (field, g, l) in fields {
+                if g != l {
+                    entries.push(DiffEntry::Transition {
+                        state: state.clone(),
+                        symbol: symbol.clone(),
+                        field,
+                        golden: g.clone(),
+                        live: l.clone(),
+                    });
+                }
+            }
+        }
+    }
+    TableDiff {
+        scheme: live.scheme.clone(),
+        entries,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::extract;
+    use dirsim_protocol::{EventKind, Scheme};
+
+    #[test]
+    fn identical_tables_diff_empty() {
+        let a = extract(|| Scheme::dir1_nb().build(2), 2, 1, true).unwrap();
+        let b = a.clone();
+        assert!(diff_tables(&a, &b, false).is_empty());
+    }
+
+    #[test]
+    fn event_drift_is_reported_per_state() {
+        let golden = extract(|| Scheme::dir_n_nb().build(2), 2, 1, true).unwrap();
+        let mut live = golden.clone();
+        // Forge a misclassification in one cell.
+        let cell = live.states[1]
+            .transitions
+            .iter_mut()
+            .find(|t| t.event == Some(EventKind::RmBlkCln))
+            .expect("full-map table has a clean read miss from state 1");
+        cell.event = Some(EventKind::RdHit);
+        let diff = diff_tables(&golden, &live, false);
+        assert!(!diff.is_empty());
+        assert!(
+            diff.entries
+                .iter()
+                .any(|e| matches!(e, DiffEntry::Transition { field: "event", .. })),
+            "{diff}"
+        );
+        let rendered = diff.to_string();
+        assert!(rendered.contains("rm-blk-cln"), "{rendered}");
+        assert!(rendered.contains("rd-hit"), "{rendered}");
+    }
+
+    #[test]
+    fn lost_state_is_reported() {
+        let golden = extract(|| Scheme::dir_n_nb().build(2), 2, 1, true).unwrap();
+        let mut live = golden.clone();
+        // Drop the last state and re-point its in-edges at state 0.
+        let lost = live.states.len() - 1;
+        live.states.pop();
+        for s in &mut live.states {
+            for t in &mut s.transitions {
+                if t.to == lost {
+                    t.to = 0;
+                }
+            }
+        }
+        let diff = diff_tables(&golden, &live, false);
+        assert!(diff
+            .entries
+            .iter()
+            .any(|e| matches!(e, DiffEntry::MissingState { .. })));
+    }
+
+    #[test]
+    fn render_state_is_compact() {
+        use dirsim_mem::{BlockAddr, CacheId};
+        use dirsim_protocol::BlockState;
+        let s = BlockState {
+            block: BlockAddr::new(0),
+            holders: vec![CacheId::new(1)],
+            dirty: true,
+            pointers: vec![CacheId::new(1)],
+            broadcast_bit: false,
+            aux: vec![],
+        };
+        assert_eq!(
+            render_state(&[s]),
+            "{blk0x0: holders=[$#1] dirty ptr=[$#1]}"
+        );
+        assert_eq!(render_state(&[]), "{empty}");
+    }
+}

@@ -1,0 +1,40 @@
+//! # dirsim-analyze
+//!
+//! Static analysis of the coherence protocols: lift each hand-written
+//! `on_data_ref` state machine into an explicit declarative **transition
+//! table** and check whole classes of bugs *before any trace runs*.
+//!
+//! The paper's `Dir_i X` schemes (and the snoopy baselines) are implemented
+//! as imperative [`dirsim_protocol::CoherenceProtocol`] machines; the only
+//! prior correctness net was dynamic — `dirsim-verify`'s bounded BFS and
+//! lockstep replay over executions. This crate closes the remaining gap:
+//!
+//! 1. [`table::extract`] drives a protocol through **every** symbol of a
+//!    small configuration (the `verify::CheckConfig` reference alphabet
+//!    plus capacity evictions) from every reachable state, producing a
+//!    complete, deterministic [`table::ProtocolTable`] — one row per
+//!    reachable state, one column per symbol.
+//! 2. [`checks::run_lints`] runs the static check catalogue over the table:
+//!    exhaustiveness, reachability, drainability, structural invariants,
+//!    event-classification agreement, pointer-capacity bounds, broadcast
+//!    discipline, sharer-set conservation, and cache-permutation symmetry.
+//! 3. [`serial`] serializes tables to JSON-lines (via `dirsim-obs`'s JSON
+//!    layer) for the committed goldens in `crates/analyze/golden/`, and
+//!    [`diff::diff_tables`] turns any semantic drift between a live
+//!    extraction and its golden into a readable state-level diff.
+//!
+//! The `analyze` binary wires these together as a CI gate; see the README's
+//! "Static analysis" section for a walkthrough.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod checks;
+pub mod diff;
+pub mod serial;
+pub mod table;
+
+pub use checks::{run_lints, LintFinding};
+pub use diff::{diff_tables, TableDiff};
+pub use serial::{parse_table, table_to_jsonl};
+pub use table::{extract, ExtractError, ProtocolTable, Symbol, TableState, Transition};

@@ -1,0 +1,485 @@
+//! JSON-lines serialization of [`ProtocolTable`]s — the golden-file
+//! format under `crates/analyze/golden/`.
+//!
+//! The format follows the `dirsim-obs` export conventions: one JSON object
+//! per line, each carrying a `"record"` discriminator, with a leading
+//! header record pinning the schema version. Three record kinds:
+//!
+//! ```text
+//! {"record":"table","schema":1,"scheme":"Dir1NB","style":"copy-back-invalidate",...}
+//! {"record":"state","id":0,"blocks":[{"block":0,"holders":[],...}]}
+//! {"record":"transition","from":0,"sym":1,"to":1,"event":"wm-first-ref",...}
+//! ```
+//!
+//! Parsing reuses [`dirsim_obs::parse_lines`] (the shared JSONL front half)
+//! and reports [`SchemaError`]s with 1-based line numbers, exactly like the
+//! metrics schema checker.
+
+use dirsim_mem::{BlockAddr, CacheId};
+use dirsim_obs::{parse_lines, Json, SchemaError};
+use dirsim_protocol::{BlockState, BusOp, CacheSymmetry, EventKind, ProtocolStyle};
+use dirsim_verify::Step;
+
+use crate::table::{ProtocolTable, Symbol, TableState, Transition};
+
+/// Version stamp of the golden-table format.
+pub const TABLE_SCHEMA: u32 = 1;
+
+fn int(v: u64) -> Json {
+    Json::Int(v as i128)
+}
+
+fn cache_arr(caches: &[CacheId]) -> Json {
+    Json::Arr(caches.iter().map(|c| int(c.index() as u64)).collect())
+}
+
+fn style_name(style: ProtocolStyle) -> &'static str {
+    match style {
+        ProtocolStyle::CopyBackInvalidate => "copy-back-invalidate",
+        ProtocolStyle::WriteThrough => "write-through",
+        ProtocolStyle::Update => "update",
+    }
+}
+
+fn parse_style(name: &str) -> Option<ProtocolStyle> {
+    match name {
+        "copy-back-invalidate" => Some(ProtocolStyle::CopyBackInvalidate),
+        "write-through" => Some(ProtocolStyle::WriteThrough),
+        "update" => Some(ProtocolStyle::Update),
+        _ => None,
+    }
+}
+
+fn symmetry_name(symmetry: CacheSymmetry) -> &'static str {
+    match symmetry {
+        CacheSymmetry::Symmetric => "symmetric",
+        CacheSymmetry::Asymmetric => "asymmetric",
+    }
+}
+
+fn parse_symmetry(name: &str) -> Option<CacheSymmetry> {
+    match name {
+        "symmetric" => Some(CacheSymmetry::Symmetric),
+        "asymmetric" => Some(CacheSymmetry::Asymmetric),
+        _ => None,
+    }
+}
+
+fn block_to_json(b: &BlockState) -> Json {
+    Json::Obj(vec![
+        ("block".into(), int(b.block.raw())),
+        ("holders".into(), cache_arr(&b.holders)),
+        ("dirty".into(), Json::Bool(b.dirty)),
+        ("pointers".into(), cache_arr(&b.pointers)),
+        ("bcast".into(), Json::Bool(b.broadcast_bit)),
+        (
+            "aux".into(),
+            Json::Arr(b.aux.iter().map(|&a| int(a)).collect()),
+        ),
+    ])
+}
+
+/// Canonical content key of one state (its block list as compact JSON) —
+/// what the golden diff and the product-factorization check match states
+/// on, so ids can differ between tables without spurious mismatches.
+pub fn state_key(blocks: &[BlockState]) -> String {
+    Json::Arr(blocks.iter().map(block_to_json).collect()).to_string_compact()
+}
+
+/// Serializes a table to the JSON-lines golden format (trailing newline
+/// included).
+pub fn table_to_jsonl(table: &ProtocolTable) -> String {
+    let mut out = String::new();
+    let header = Json::Obj(vec![
+        ("record".into(), Json::Str("table".into())),
+        ("schema".into(), int(u64::from(TABLE_SCHEMA))),
+        ("scheme".into(), Json::Str(table.scheme.clone())),
+        ("style".into(), Json::Str(style_name(table.style).into())),
+        (
+            "symmetry".into(),
+            Json::Str(symmetry_name(table.symmetry).into()),
+        ),
+        ("caches".into(), int(u64::from(table.caches))),
+        ("blocks".into(), int(table.blocks)),
+        ("states".into(), int(table.states.len() as u64)),
+        (
+            "symbols".into(),
+            Json::Arr(
+                table
+                    .symbols
+                    .iter()
+                    .map(|s| Json::Str(s.to_string()))
+                    .collect(),
+            ),
+        ),
+    ]);
+    out.push_str(&header.to_string_compact());
+    out.push('\n');
+    for (id, state) in table.states.iter().enumerate() {
+        let record = Json::Obj(vec![
+            ("record".into(), Json::Str("state".into())),
+            ("id".into(), int(id as u64)),
+            (
+                "blocks".into(),
+                Json::Arr(state.blocks.iter().map(block_to_json).collect()),
+            ),
+        ]);
+        out.push_str(&record.to_string_compact());
+        out.push('\n');
+    }
+    for (id, state) in table.states.iter().enumerate() {
+        for (si, t) in state.transitions.iter().enumerate() {
+            let record = Json::Obj(vec![
+                ("record".into(), Json::Str("transition".into())),
+                ("from".into(), int(id as u64)),
+                ("sym".into(), int(si as u64)),
+                ("to".into(), int(t.to as u64)),
+                (
+                    "event".into(),
+                    match t.event {
+                        Some(e) => Json::Str(e.name().into()),
+                        None => Json::Null,
+                    },
+                ),
+                (
+                    "ops".into(),
+                    Json::Arr(t.ops.iter().map(|o| Json::Str(o.name().into())).collect()),
+                ),
+                (
+                    "moves".into(),
+                    Json::Arr(t.movements.iter().map(|m| Json::Str(m.clone())).collect()),
+                ),
+                (
+                    "fanout".into(),
+                    match t.fanout {
+                        Some(f) => int(u64::from(f)),
+                        None => Json::Null,
+                    },
+                ),
+            ]);
+            out.push_str(&record.to_string_compact());
+            out.push('\n');
+        }
+    }
+    out
+}
+
+fn fail<T>(line: usize, message: impl Into<String>) -> Result<T, SchemaError> {
+    Err(SchemaError {
+        line,
+        message: message.into(),
+    })
+}
+
+fn req_u64(line: usize, value: &Json, key: &str) -> Result<u64, SchemaError> {
+    match value.get(key).and_then(Json::as_u64) {
+        Some(v) => Ok(v),
+        None => fail(line, format!("missing or non-integer {key:?}")),
+    }
+}
+
+fn req_str<'a>(line: usize, value: &'a Json, key: &str) -> Result<&'a str, SchemaError> {
+    match value.get(key).and_then(Json::as_str) {
+        Some(v) => Ok(v),
+        None => fail(line, format!("missing or non-string {key:?}")),
+    }
+}
+
+fn req_bool(line: usize, value: &Json, key: &str) -> Result<bool, SchemaError> {
+    match value.get(key) {
+        Some(Json::Bool(b)) => Ok(*b),
+        _ => fail(line, format!("missing or non-bool {key:?}")),
+    }
+}
+
+fn req_arr<'a>(line: usize, value: &'a Json, key: &str) -> Result<&'a [Json], SchemaError> {
+    match value.get(key).and_then(Json::as_arr) {
+        Some(v) => Ok(v),
+        None => fail(line, format!("missing or non-array {key:?}")),
+    }
+}
+
+fn parse_caches(line: usize, items: &[Json], key: &str) -> Result<Vec<CacheId>, SchemaError> {
+    items
+        .iter()
+        .map(|j| match j.as_u64() {
+            Some(i) => Ok(CacheId::new(i as u32)),
+            None => fail(line, format!("non-integer cache index in {key:?}")),
+        })
+        .collect()
+}
+
+fn parse_block(line: usize, value: &Json) -> Result<BlockState, SchemaError> {
+    let aux = req_arr(line, value, "aux")?
+        .iter()
+        .map(|j| match j.as_u64() {
+            Some(a) => Ok(a),
+            None => fail(line, "non-integer aux word"),
+        })
+        .collect::<Result<Vec<u64>, _>>()?;
+    Ok(BlockState {
+        block: BlockAddr::new(req_u64(line, value, "block")?),
+        holders: parse_caches(line, req_arr(line, value, "holders")?, "holders")?,
+        dirty: req_bool(line, value, "dirty")?,
+        pointers: parse_caches(line, req_arr(line, value, "pointers")?, "pointers")?,
+        broadcast_bit: req_bool(line, value, "bcast")?,
+        aux,
+    })
+}
+
+/// Parses a symbol label as rendered by [`Symbol`]'s `Display`:
+/// `read blk0x1 $#2`, `write blk0x0 $#0`, or `evict blk0x0 $#1`.
+fn parse_symbol(line: usize, label: &str) -> Result<Symbol, SchemaError> {
+    let bad = || SchemaError {
+        line,
+        message: format!("malformed symbol label {label:?}"),
+    };
+    let mut parts = label.split_whitespace();
+    let verb = parts.next().ok_or_else(bad)?;
+    let block = parts
+        .next()
+        .and_then(|b| b.strip_prefix("blk0x"))
+        .and_then(|hex| u64::from_str_radix(hex, 16).ok())
+        .map(BlockAddr::new)
+        .ok_or_else(bad)?;
+    let cache = parts
+        .next()
+        .and_then(|c| c.strip_prefix("$#"))
+        .and_then(|i| i.parse::<u32>().ok())
+        .map(CacheId::new)
+        .ok_or_else(bad)?;
+    if parts.next().is_some() {
+        return Err(bad());
+    }
+    match verb {
+        "read" | "write" => Ok(Symbol::Ref(Step {
+            cache,
+            block,
+            write: verb == "write",
+        })),
+        "evict" => Ok(Symbol::Evict { cache, block }),
+        _ => Err(bad()),
+    }
+}
+
+fn parse_event(line: usize, value: &Json) -> Result<Option<EventKind>, SchemaError> {
+    match value.get("event") {
+        Some(Json::Null) => Ok(None),
+        Some(Json::Str(name)) => match EventKind::ALL.iter().find(|e| e.name() == name.as_str()) {
+            Some(&e) => Ok(Some(e)),
+            None => fail(line, format!("unknown event {name:?}")),
+        },
+        _ => fail(line, "missing \"event\" (string or null)"),
+    }
+}
+
+fn parse_ops(line: usize, items: &[Json]) -> Result<Vec<BusOp>, SchemaError> {
+    items
+        .iter()
+        .map(|j| {
+            let Some(name) = j.as_str() else {
+                return fail(line, "non-string bus op");
+            };
+            match BusOp::ALL.iter().find(|o| o.name() == name) {
+                Some(&op) => Ok(op),
+                None => fail(line, format!("unknown bus op {name:?}")),
+            }
+        })
+        .collect()
+}
+
+/// Parses a JSON-lines golden file back into a [`ProtocolTable`].
+///
+/// Validates the structural schema: a leading `table` header at the
+/// supported [`TABLE_SCHEMA`], exactly the declared number of `state`
+/// records with dense ids, and exactly one `transition` record per
+/// `(state, symbol)` pair.
+///
+/// # Errors
+///
+/// Returns a [`SchemaError`] with the 1-based line number of the first
+/// malformed or missing record.
+pub fn parse_table(text: &str) -> Result<ProtocolTable, SchemaError> {
+    let mut lines = parse_lines(text)?.into_iter();
+    let Some((line, kind, header)) = lines.next() else {
+        return fail(0, "empty table file (no header record)");
+    };
+    if kind != "table" {
+        return fail(
+            line,
+            format!("first record must be a table header, got {kind:?}"),
+        );
+    }
+    match req_u64(line, &header, "schema")? {
+        v if v == u64::from(TABLE_SCHEMA) => {}
+        v => {
+            return fail(
+                line,
+                format!("unsupported table schema {v} (expected {TABLE_SCHEMA})"),
+            )
+        }
+    }
+    let scheme = req_str(line, &header, "scheme")?.to_string();
+    let style = parse_style(req_str(line, &header, "style")?).ok_or_else(|| SchemaError {
+        line,
+        message: "unknown \"style\"".into(),
+    })?;
+    let symmetry =
+        parse_symmetry(req_str(line, &header, "symmetry")?).ok_or_else(|| SchemaError {
+            line,
+            message: "unknown \"symmetry\"".into(),
+        })?;
+    let caches = req_u64(line, &header, "caches")? as u32;
+    let blocks = req_u64(line, &header, "blocks")?;
+    let state_count = req_u64(line, &header, "states")? as usize;
+    let symbols = req_arr(line, &header, "symbols")?
+        .iter()
+        .map(|j| match j.as_str() {
+            Some(label) => parse_symbol(line, label),
+            None => fail(line, "non-string symbol label"),
+        })
+        .collect::<Result<Vec<Symbol>, _>>()?;
+
+    let mut blocks_by_id: Vec<Option<Vec<BlockState>>> = vec![None; state_count];
+    let mut rows: Vec<Vec<Option<Transition>>> = vec![vec![None; symbols.len()]; state_count];
+    for (line, kind, value) in lines {
+        match kind.as_str() {
+            "state" => {
+                let id = req_u64(line, &value, "id")? as usize;
+                if id >= state_count {
+                    return fail(line, format!("state id {id} out of range"));
+                }
+                if blocks_by_id[id].is_some() {
+                    return fail(line, format!("duplicate state id {id}"));
+                }
+                let parsed = req_arr(line, &value, "blocks")?
+                    .iter()
+                    .map(|b| parse_block(line, b))
+                    .collect::<Result<Vec<BlockState>, _>>()?;
+                blocks_by_id[id] = Some(parsed);
+            }
+            "transition" => {
+                let from = req_u64(line, &value, "from")? as usize;
+                let sym = req_u64(line, &value, "sym")? as usize;
+                let to = req_u64(line, &value, "to")? as usize;
+                if from >= state_count || to >= state_count {
+                    return fail(line, "transition endpoint out of range");
+                }
+                if sym >= symbols.len() {
+                    return fail(line, format!("symbol index {sym} out of range"));
+                }
+                if rows[from][sym].is_some() {
+                    return fail(line, format!("duplicate transition ({from}, sym {sym})"));
+                }
+                let fanout = match value.get("fanout") {
+                    Some(Json::Null) => None,
+                    Some(j) => match j.as_u64() {
+                        Some(f) => Some(f as u32),
+                        None => return fail(line, "non-integer \"fanout\""),
+                    },
+                    None => return fail(line, "missing \"fanout\""),
+                };
+                let movements = req_arr(line, &value, "moves")?
+                    .iter()
+                    .map(|j| match j.as_str() {
+                        Some(m) => Ok(m.to_string()),
+                        None => fail(line, "non-string movement"),
+                    })
+                    .collect::<Result<Vec<String>, _>>()?;
+                rows[from][sym] = Some(Transition {
+                    to,
+                    event: parse_event(line, &value)?,
+                    ops: parse_ops(line, req_arr(line, &value, "ops")?)?,
+                    movements,
+                    fanout,
+                });
+            }
+            other => return fail(line, format!("unknown record kind {other:?}")),
+        }
+    }
+
+    let mut states = Vec::with_capacity(state_count);
+    for (id, (blocks, row)) in blocks_by_id.into_iter().zip(rows).enumerate() {
+        let Some(blocks) = blocks else {
+            return fail(0, format!("missing state record for id {id}"));
+        };
+        let transitions = row
+            .into_iter()
+            .enumerate()
+            .map(|(si, t)| match t {
+                Some(t) => Ok(t),
+                None => fail(0, format!("missing transition (state {id}, sym {si})")),
+            })
+            .collect::<Result<Vec<Transition>, _>>()?;
+        states.push(TableState {
+            blocks,
+            transitions,
+        });
+    }
+    Ok(ProtocolTable {
+        scheme,
+        style,
+        symmetry,
+        caches,
+        blocks,
+        symbols,
+        states,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::extract;
+    use dirsim_protocol::Scheme;
+
+    #[test]
+    fn round_trips_an_extracted_table() {
+        let table = extract(|| Scheme::dir1_b().build(2), 2, 1, true).unwrap();
+        let text = table_to_jsonl(&table);
+        let parsed = parse_table(&text).unwrap();
+        assert_eq!(parsed, table);
+    }
+
+    #[test]
+    fn state_key_is_content_sensitive() {
+        let a = BlockState::basic(BlockAddr::new(0), vec![CacheId::new(0)], false);
+        let mut b = a.clone();
+        assert_eq!(
+            state_key(std::slice::from_ref(&a)),
+            state_key(std::slice::from_ref(&b))
+        );
+        b.dirty = true;
+        assert_ne!(state_key(&[a]), state_key(&[b]));
+    }
+
+    #[test]
+    fn parse_rejects_wrong_schema() {
+        let table = extract(|| Scheme::dir0_b().build(2), 2, 1, true).unwrap();
+        let bad = table_to_jsonl(&table).replacen("\"schema\":1", "\"schema\":9", 1);
+        let err = parse_table(&bad).unwrap_err();
+        assert!(err.message.contains("unsupported table schema"), "{err}");
+    }
+
+    #[test]
+    fn parse_rejects_missing_transition() {
+        let table = extract(|| Scheme::dir0_b().build(2), 2, 1, true).unwrap();
+        let text = table_to_jsonl(&table);
+        let truncated: String = text
+            .lines()
+            .take(text.lines().count() - 1)
+            .map(|l| format!("{l}\n"))
+            .collect();
+        let err = parse_table(&truncated).unwrap_err();
+        assert!(err.message.contains("missing transition"), "{err}");
+    }
+
+    #[test]
+    fn symbol_labels_parse_back() {
+        for label in ["read blk0x0 $#0", "write blk0x1 $#2", "evict blk0xa $#1"] {
+            let sym = parse_symbol(1, label).unwrap();
+            assert_eq!(sym.to_string(), label);
+        }
+        assert!(parse_symbol(1, "poke blk0x0 $#0").is_err());
+    }
+}

@@ -1,0 +1,143 @@
+//! Golden-table snapshot tests: every gauntlet scheme's live extraction
+//! must lint clean and match its committed golden byte-for-byte at the
+//! semantic level, and the deliberately broken `verify::mutants` must be
+//! caught — proving the static gate actually bites.
+
+use std::path::PathBuf;
+
+use dirsim_analyze::checks::check_product;
+use dirsim_analyze::diff::DiffEntry;
+use dirsim_analyze::{diff_tables, extract, parse_table, run_lints, table_to_jsonl};
+use dirsim_protocol::Scheme;
+use dirsim_verify::mutants::{DroppedInvalidate, MisclassifiedHit};
+
+const CACHES: u32 = 3;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("golden")
+        .join(format!("{name}.jsonl"))
+}
+
+fn load_golden(name: &str) -> dirsim_analyze::ProtocolTable {
+    let path = golden_path(name);
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("reading {}: {e}; bless goldens first", path.display()));
+    parse_table(&text).unwrap_or_else(|e| panic!("{}: {e}", path.display()))
+}
+
+#[test]
+fn every_gauntlet_scheme_lints_clean_and_matches_its_golden() {
+    for scheme in dirsim_verify::gauntlet() {
+        let name = scheme.name();
+        let table =
+            extract(|| scheme.build(CACHES), CACHES, 1, true).unwrap_or_else(|e| panic!("{e}"));
+        let probe = scheme.build(CACHES);
+        let findings = run_lints(&table, probe.as_ref(), scheme.dir_spec());
+        assert!(findings.is_empty(), "{name}: {findings:?}");
+        let golden = load_golden(&name);
+        let diff = diff_tables(&golden, &table, false);
+        assert!(diff.is_empty(), "{diff}");
+    }
+}
+
+#[test]
+fn every_golden_round_trips_through_the_serializer() {
+    for scheme in dirsim_verify::gauntlet() {
+        let golden = load_golden(&scheme.name());
+        let reparsed = parse_table(&table_to_jsonl(&golden)).unwrap();
+        assert_eq!(reparsed, golden, "{}", scheme.name());
+    }
+}
+
+#[test]
+fn every_scheme_factors_into_a_per_block_product() {
+    for scheme in dirsim_verify::gauntlet() {
+        let single = extract(|| scheme.build(CACHES), CACHES, 1, true).unwrap();
+        let double = extract(|| scheme.build(CACHES), CACHES, 2, true).unwrap();
+        let findings = check_product(&single, &double);
+        assert!(findings.is_empty(), "{}: {findings:?}", scheme.name());
+    }
+}
+
+#[test]
+fn dropped_invalidate_mutant_is_caught_statically_and_by_the_golden_diff() {
+    let table = extract(
+        || Box::new(DroppedInvalidate::new(CACHES)),
+        CACHES,
+        1,
+        false,
+    )
+    .unwrap();
+    let probe = Scheme::dir_n_nb().build(CACHES);
+    let findings = run_lints(&table, probe.as_ref(), None);
+    // The lost invalidation shows up as a dirty-not-exclusive state and as
+    // an unaccounted sharer departure — no golden needed.
+    assert!(
+        findings.iter().any(|f| f.check == "structural"),
+        "{findings:?}"
+    );
+    assert!(
+        findings.iter().any(|f| f.check == "conservation"),
+        "{findings:?}"
+    );
+    // And as a state-level diff against the base scheme's golden.
+    let diff = diff_tables(&load_golden("DirnNB"), &table, true);
+    assert!(
+        diff.entries
+            .iter()
+            .any(|e| matches!(e, DiffEntry::ExtraState { .. })),
+        "the stale-sharer states are new relative to the golden: {diff}"
+    );
+}
+
+#[test]
+fn misclassified_hit_mutant_is_caught_statically_and_by_the_golden_diff() {
+    let table = extract(|| Box::new(MisclassifiedHit::new(CACHES)), CACHES, 1, false).unwrap();
+    let probe = Scheme::dir_n_nb().build(CACHES);
+    let findings = run_lints(&table, probe.as_ref(), None);
+    assert!(findings.iter().any(|f| f.check == "event"), "{findings:?}");
+    // State evolution is identical to DirnNB — only the event column
+    // drifts, which is exactly what the golden diff pinpoints.
+    let diff = diff_tables(&load_golden("DirnNB"), &table, true);
+    assert!(
+        diff.entries.iter().any(|e| matches!(
+            e,
+            DiffEntry::Transition { field: "event", golden, live, .. }
+                if golden == "rm-blk-cln" && live == "rd-hit"
+        )),
+        "{diff}"
+    );
+    assert!(
+        !diff.entries.iter().any(|e| matches!(
+            e,
+            DiffEntry::ExtraState { .. } | DiffEntry::MissingState { .. }
+        )),
+        "state space must be unchanged: {diff}"
+    );
+}
+
+#[test]
+fn goldens_pin_the_expected_state_counts() {
+    // The reachable-state count is itself a semantic fingerprint: a
+    // protocol change that grows or shrinks the space must be deliberate.
+    let expected = [
+        ("DirnNB", 20),
+        ("Dir0B", 21),
+        ("Dir1B", 39),
+        ("Dir2B", 57),
+        ("Dir1NB", 8),
+        ("Dir2NB", 14),
+        ("CoarseVector", 36),
+        ("Tang", 20),
+        ("YenFu", 20),
+        ("DirUpd", 50),
+        ("WTI", 20),
+        ("Illinois", 23),
+        ("Dragon", 50),
+        ("Berkeley", 21),
+    ];
+    for (name, states) in expected {
+        assert_eq!(load_golden(name).states.len(), states, "{name}");
+    }
+}

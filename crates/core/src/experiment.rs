@@ -479,19 +479,6 @@ impl ExperimentResults {
         self.per_scheme.iter().find(|s| s.scheme == scheme)
     }
 
-    /// Finds a scheme's results by display name.
-    ///
-    /// This is a compatibility shim from before [`Scheme`] indexing
-    /// existed. No internal call site uses it any more; it is slated for
-    /// removal and kept only so downstream code gets a deprecation
-    /// warning instead of a hard break.
-    #[deprecated(
-        note = "slated for removal: use `get(Scheme)` or index with `results[scheme]` instead"
-    )]
-    pub fn scheme(&self, name: &str) -> Option<&SchemeResult> {
-        self.per_scheme.iter().find(|s| s.scheme.name() == name)
-    }
-
     /// Names of the simulated workloads, in order.
     pub fn trace_names(&self) -> Vec<&str> {
         self.trace_stats.iter().map(|(n, _)| n.as_str()).collect()
@@ -552,14 +539,6 @@ mod tests {
     fn index_panics_on_missing_scheme() {
         let results = tiny_experiment().run().unwrap();
         let _ = &results[Scheme::Wti];
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_name_lookup_still_works() {
-        let results = tiny_experiment().run().unwrap();
-        assert!(results.scheme("Dir0B").is_some());
-        assert!(results.scheme("WTI").is_none());
     }
 
     #[test]

@@ -310,6 +310,21 @@ impl ShadowMemory {
             .is_some_and(|e| e.copies.contains_key(&cache))
     }
 
+    /// Every cache currently holding a copy of `block`, sorted by index.
+    ///
+    /// Static table extraction (`dirsim-analyze`) cross-checks the sharer
+    /// set a protocol *reports* in its canonical state against the copies
+    /// the oracle *saw* move.
+    pub fn holders(&self, block: BlockAddr) -> Vec<CacheId> {
+        let mut holders: Vec<CacheId> = self
+            .blocks
+            .get(&block)
+            .map(|e| e.copies.keys().copied().collect())
+            .unwrap_or_default();
+        holders.sort_by_key(|c| c.index());
+        holders
+    }
+
     /// Number of blocks the shadow is tracking.
     pub fn tracked_blocks(&self) -> usize {
         self.blocks.len()
@@ -524,6 +539,18 @@ mod tests {
         s.fill_from_memory(c(0), BlockAddr::new(2)).unwrap();
         assert_eq!(s.tracked_blocks(), 2);
         assert!(s.holds(c(0), BlockAddr::new(1)));
+    }
+
+    #[test]
+    fn holders_lists_copies_sorted() {
+        let mut s = ShadowMemory::new();
+        let b = BlockAddr::new(1);
+        s.fill_from_memory(c(2), b).unwrap();
+        s.fill_from_memory(c(0), b).unwrap();
+        assert_eq!(s.holders(b), vec![c(0), c(2)]);
+        assert!(s.holders(BlockAddr::new(9)).is_empty());
+        s.invalidate(c(2), b).unwrap();
+        assert_eq!(s.holders(b), vec![c(0)]);
     }
 
     #[test]

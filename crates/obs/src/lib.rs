@@ -44,4 +44,6 @@ pub use manifest::RunManifest;
 pub use progress::{Progress, ProgressMeter};
 pub use recorder::{NoopRecorder, Recorder, Span};
 pub use registry::{HistogramSummary, MetricRecord, MetricValue, MetricsRegistry};
-pub use schema::{parse_metrics, require_metrics, validate_jsonl, ExportedRun, SchemaError};
+pub use schema::{
+    parse_lines, parse_metrics, require_metrics, validate_jsonl, ExportedRun, SchemaError,
+};

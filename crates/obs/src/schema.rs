@@ -47,6 +47,32 @@ fn fail<T>(line: usize, message: impl Into<String>) -> Result<T, SchemaError> {
     })
 }
 
+/// Parse a JSON-lines document into `(line, kind, value)` triples, where
+/// `kind` is each record's `"record"` discriminator. Blank lines are
+/// skipped; line numbers are 1-based.
+///
+/// This is the shared front half of every JSONL reader in the workspace:
+/// [`parse_metrics`] layers the metrics schema on top, and
+/// `dirsim-analyze` layers its transition-table schema the same way.
+pub fn parse_lines(text: &str) -> Result<Vec<(usize, String, Json)>, SchemaError> {
+    let mut out = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = idx + 1;
+        if raw.trim().is_empty() {
+            continue;
+        }
+        let value = match Json::parse(raw) {
+            Ok(v) => v,
+            Err(e) => return fail(line, e.to_string()),
+        };
+        let Some(kind) = value.get("record").and_then(Json::as_str) else {
+            return fail(line, "missing or non-string \"record\" discriminator");
+        };
+        out.push((line, kind.to_string(), value));
+    }
+    Ok(out)
+}
+
 fn parse_labels(line: usize, value: &Json) -> Result<Vec<(String, String)>, SchemaError> {
     let Some(obj) = value.get("labels").and_then(Json::as_obj) else {
         return fail(line, "missing or non-object \"labels\"");
@@ -113,19 +139,7 @@ fn parse_metric_line(line: usize, kind: &str, value: &Json) -> Result<MetricReco
 pub fn parse_metrics(text: &str) -> Result<ExportedRun, SchemaError> {
     let mut manifest = None;
     let mut records = Vec::new();
-    for (idx, raw) in text.lines().enumerate() {
-        let line = idx + 1;
-        if raw.trim().is_empty() {
-            continue;
-        }
-        let value = match Json::parse(raw) {
-            Ok(v) => v,
-            Err(e) => return fail(line, e.to_string()),
-        };
-        let Some(kind) = value.get("record").and_then(Json::as_str) else {
-            return fail(line, "missing or non-string \"record\" discriminator");
-        };
-        let kind = kind.to_string();
+    for (line, kind, value) in parse_lines(text)? {
         if manifest.is_none() {
             if kind != "manifest" {
                 return fail(
@@ -234,6 +248,17 @@ mod tests {
         let run = parse_metrics(&text).unwrap();
         assert_eq!(run.manifest.program, "test");
         assert_eq!(run.records.len(), 4);
+    }
+
+    #[test]
+    fn parse_lines_skips_blanks_and_numbers_from_one() {
+        let text = "\n{\"record\":\"a\"}\n\n{\"record\":\"b\",\"x\":1}\n";
+        let lines = parse_lines(text).unwrap();
+        assert_eq!(lines.len(), 2);
+        assert_eq!((lines[0].0, lines[0].1.as_str()), (2, "a"));
+        assert_eq!((lines[1].0, lines[1].1.as_str()), (4, "b"));
+        let err = parse_lines("{\"norecord\":true}").unwrap_err();
+        assert!(err.message.contains("discriminator"), "{err}");
     }
 
     #[test]

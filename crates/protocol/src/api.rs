@@ -130,6 +130,42 @@ impl StateSnapshot {
     }
 }
 
+/// Whether renaming cache identities is a symmetry of the protocol.
+///
+/// Static analysis (`dirsim-analyze`) uses this to decide whether the
+/// extracted transition table must commute with cache permutations: for a
+/// [`Symmetric`](CacheSymmetry::Symmetric) protocol, relabelling the caches
+/// of a reachable state yields another reachable state with the permuted
+/// transitions. Protocols whose state encodes the *binary representation*
+/// of cache indices (the §6 coarse-vector code words) are only symmetric
+/// under a subgroup of permutations and opt out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum CacheSymmetry {
+    /// Every permutation of cache identities is a symmetry.
+    #[default]
+    Symmetric,
+    /// Cache identities carry structure (index coding, region grouping);
+    /// arbitrary permutations are not symmetries.
+    Asymmetric,
+}
+
+/// Renames cache identities in one block's canonical state: cache `i`
+/// becomes cache `perm[i]`. Maps the `holders` and `pointers` lists
+/// elementwise and leaves `aux` untouched — the default behaviour of
+/// [`CoherenceProtocol::permute_block_state`], exposed so overrides that
+/// only need to fix up `aux` can delegate the rest.
+pub fn permute_basic(state: &BlockState, perm: &[u32]) -> BlockState {
+    let map = |c: &CacheId| CacheId::new(perm[c.index()]);
+    BlockState {
+        block: state.block,
+        holders: state.holders.iter().map(map).collect(),
+        dirty: state.dirty,
+        pointers: state.pointers.iter().map(map).collect(),
+        broadcast_bit: state.broadcast_bit,
+        aux: state.aux.clone(),
+    }
+}
+
 /// A cache-coherence protocol state machine.
 ///
 /// Implementations: the `Dir_i{B,NB}` directory family
@@ -184,6 +220,29 @@ pub trait CoherenceProtocol {
         self.snapshot().get(block).cloned()
     }
 
+    /// Whether cache permutations are a symmetry of this machine (see
+    /// [`CacheSymmetry`]). Defaults to symmetric, which holds for every
+    /// protocol whose state names caches only through holder/pointer
+    /// lists and owner identities.
+    fn cache_symmetry(&self) -> CacheSymmetry {
+        CacheSymmetry::Symmetric
+    }
+
+    /// Applies a renaming of cache identities to one block's canonical
+    /// state: cache `i` becomes cache `perm[i]`.
+    ///
+    /// The default maps the `holders` and `pointers` lists elementwise
+    /// (preserving insertion order, which renaming does not disturb) and
+    /// leaves `aux` untouched — correct whenever `aux` carries no cache
+    /// identity. Protocols that pack an owner index into `aux`
+    /// ([`crate::directory::DirUpdate`], [`crate::snoopy::Dragon`])
+    /// override this to remap it.
+    ///
+    /// `perm` must have one entry per cache (`perm.len() == cache_count`).
+    fn permute_block_state(&self, state: &BlockState, perm: &[u32]) -> BlockState {
+        permute_basic(state, perm)
+    }
+
     /// Clones the protocol behind the trait object (state forking for the
     /// breadth-first reachability search).
     fn boxed_clone(&self) -> Box<dyn CoherenceProtocol>;
@@ -192,6 +251,27 @@ pub trait CoherenceProtocol {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn default_permute_renames_holders_and_pointers() {
+        // Any protocol exercises the provided default; the directory
+        // machine does not override it.
+        let p = crate::directory::DirectoryProtocol::new(crate::directory::DirSpec::dir1_b(), 3);
+        let state = BlockState {
+            block: BlockAddr::new(0),
+            holders: vec![CacheId::new(0), CacheId::new(2)],
+            dirty: false,
+            pointers: vec![CacheId::new(0)],
+            broadcast_bit: true,
+            aux: vec![7],
+        };
+        let permuted = p.permute_block_state(&state, &[2, 1, 0]);
+        assert_eq!(permuted.holders, vec![CacheId::new(2), CacheId::new(0)]);
+        assert_eq!(permuted.pointers, vec![CacheId::new(2)]);
+        assert!(permuted.broadcast_bit);
+        assert_eq!(permuted.aux, vec![7]);
+        assert_eq!(p.cache_symmetry(), CacheSymmetry::Symmetric);
+    }
 
     #[test]
     fn probe_dirty_holder() {

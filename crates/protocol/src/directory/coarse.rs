@@ -13,7 +13,7 @@ use std::fmt;
 
 use dirsim_mem::{BlockAddr, CacheId};
 
-use crate::api::{BlockProbe, BlockState, CoherenceProtocol, StateSnapshot};
+use crate::api::{BlockProbe, BlockState, CacheSymmetry, CoherenceProtocol, StateSnapshot};
 use crate::event::EventKind;
 use crate::ops::{BusOp, DataMovement, RefOutcome};
 use crate::sharer_set::SharerSet;
@@ -405,6 +405,14 @@ impl CoherenceProtocol for CoarseVectorProtocol {
 
     fn block_state(&self, block: BlockAddr) -> Option<BlockState> {
         self.blocks.get(&block).map(|e| Self::entry_state(block, e))
+    }
+
+    fn cache_symmetry(&self) -> CacheSymmetry {
+        // The code word stores the *binary representation* of cache
+        // indices; a `both` digit denotes {x, x ^ bit}. Renaming caches
+        // arbitrarily does not commute with that coding, so only
+        // bit-permutation/complement renamings are symmetries.
+        CacheSymmetry::Asymmetric
     }
 
     fn boxed_clone(&self) -> Box<dyn CoherenceProtocol> {

@@ -35,7 +35,9 @@ pub mod ops;
 pub mod sharer_set;
 pub mod snoopy;
 
-pub use api::{BlockProbe, BlockState, CoherenceProtocol, ProtocolStyle, StateSnapshot};
+pub use api::{
+    BlockProbe, BlockState, CacheSymmetry, CoherenceProtocol, ProtocolStyle, StateSnapshot,
+};
 pub use directory::{CoarseVectorProtocol, DirSpec, DirUpdate, DirectoryProtocol, Tang, YenFu};
 pub use event::{EventCounts, EventKind};
 pub use ops::{BusOp, DataMovement, OpCounts, RefOutcome};
@@ -122,6 +124,16 @@ impl Scheme {
             Scheme::Illinois => Box::new(Illinois::new(caches)),
             Scheme::Dragon => Box::new(Dragon::new(caches)),
             Scheme::Berkeley => Box::new(Berkeley::new(caches)),
+        }
+    }
+
+    /// The directory specification, for the `Dir_i{B,NB}` family; `None`
+    /// for every other organisation. Static analysis uses this to know
+    /// which pointer-capacity and broadcast-discipline lints apply.
+    pub fn dir_spec(self) -> Option<DirSpec> {
+        match self {
+            Scheme::Directory(spec) => Some(spec),
+            _ => None,
         }
     }
 
@@ -284,6 +296,16 @@ mod tests {
             let err = bad.parse::<Scheme>().unwrap_err();
             assert!(err.to_string().contains("unknown scheme"), "{bad}");
         }
+    }
+
+    #[test]
+    fn dir_spec_accessor() {
+        assert_eq!(
+            Scheme::Directory(DirSpec::dir1_b()).dir_spec(),
+            Some(DirSpec::dir1_b())
+        );
+        assert_eq!(Scheme::Tang.dir_spec(), None);
+        assert_eq!(Scheme::Dragon.dir_spec(), None);
     }
 
     #[test]

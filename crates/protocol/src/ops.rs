@@ -184,6 +184,38 @@ pub enum DataMovement {
     },
 }
 
+impl DataMovement {
+    /// Compact, stable label for serialized transition tables and diffs,
+    /// e.g. `fill-mem(c0)`, `fill-cache(c2<-c0)`, `inval(c1)`.
+    pub fn code(&self) -> String {
+        match self {
+            DataMovement::FillFromMemory { cache } => format!("fill-mem({cache})"),
+            DataMovement::FillFromCache { cache, supplier } => {
+                format!("fill-cache({cache}<-{supplier})")
+            }
+            DataMovement::CacheWrite { cache } => format!("write({cache})"),
+            DataMovement::WriteThrough { cache } => format!("write-through({cache})"),
+            DataMovement::WriteUpdate { cache } => format!("write-update({cache})"),
+            DataMovement::WriteBack { cache } => format!("write-back({cache})"),
+            DataMovement::Invalidate { cache } => format!("inval({cache})"),
+        }
+    }
+
+    /// The cache performing or suffering the movement (the requester for
+    /// cache-to-cache fills).
+    pub fn cache(&self) -> CacheId {
+        match *self {
+            DataMovement::FillFromMemory { cache }
+            | DataMovement::FillFromCache { cache, .. }
+            | DataMovement::CacheWrite { cache }
+            | DataMovement::WriteThrough { cache }
+            | DataMovement::WriteUpdate { cache }
+            | DataMovement::WriteBack { cache }
+            | DataMovement::Invalidate { cache } => cache,
+        }
+    }
+}
+
 /// The full result of classifying and executing one data reference.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct RefOutcome {
@@ -267,6 +299,34 @@ mod tests {
         a.merge(&b);
         assert_eq!(a[BusOp::WriteBack], 3);
         assert_eq!(a[BusOp::DirLookup], 5);
+    }
+
+    #[test]
+    fn movement_codes_are_compact_and_distinct() {
+        let c0 = CacheId::new(0);
+        let c2 = CacheId::new(2);
+        assert_eq!(
+            DataMovement::FillFromMemory { cache: c0 }.code(),
+            "fill-mem($#0)"
+        );
+        assert_eq!(
+            DataMovement::FillFromCache {
+                cache: c2,
+                supplier: c0
+            }
+            .code(),
+            "fill-cache($#2<-$#0)"
+        );
+        assert_eq!(DataMovement::Invalidate { cache: c2 }.code(), "inval($#2)");
+        assert_eq!(DataMovement::WriteBack { cache: c0 }.cache(), c0);
+        assert_eq!(
+            DataMovement::FillFromCache {
+                cache: c2,
+                supplier: c0
+            }
+            .cache(),
+            c2
+        );
     }
 
     #[test]

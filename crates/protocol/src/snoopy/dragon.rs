@@ -15,7 +15,9 @@ use std::collections::HashMap;
 
 use dirsim_mem::{BlockAddr, CacheId};
 
-use crate::api::{BlockProbe, BlockState, CoherenceProtocol, ProtocolStyle, StateSnapshot};
+use crate::api::{
+    permute_basic, BlockProbe, BlockState, CoherenceProtocol, ProtocolStyle, StateSnapshot,
+};
 use crate::event::EventKind;
 use crate::ops::{BusOp, DataMovement, RefOutcome};
 use crate::sharer_set::SharerSet;
@@ -216,6 +218,17 @@ impl CoherenceProtocol for Dragon {
 
     fn block_state(&self, block: BlockAddr) -> Option<BlockState> {
         self.blocks.get(&block).map(|e| Self::entry_state(block, e))
+    }
+
+    fn permute_block_state(&self, state: &BlockState, perm: &[u32]) -> BlockState {
+        let mut permuted = permute_basic(state, perm);
+        // `aux[0]` carries the owner identity as index + 1 (0 = no owner).
+        if let Some(a) = permuted.aux.first_mut() {
+            if *a > 0 {
+                *a = perm[(*a - 1) as usize] as u64 + 1;
+            }
+        }
+        permuted
     }
 
     fn boxed_clone(&self) -> Box<dyn CoherenceProtocol> {

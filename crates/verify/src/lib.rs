@@ -77,6 +77,20 @@ impl CheckConfig {
         }
         steps
     }
+
+    /// Every possible capacity eviction under these bounds, in the same
+    /// cache-major, then block, enumeration order as [`Self::alphabet`].
+    /// Static table extraction appends these to the reference alphabet so
+    /// the finite-cache `evict` path is part of the extracted relation.
+    pub fn eviction_alphabet(&self) -> Vec<(CacheId, BlockAddr)> {
+        let mut evictions = Vec::with_capacity(self.caches as usize * self.blocks as usize);
+        for cache in 0..self.caches {
+            for block in 0..self.blocks {
+                evictions.push((CacheId::new(cache), BlockAddr::new(block)));
+            }
+        }
+        evictions
+    }
 }
 
 /// One reference in a checked sequence.
@@ -310,6 +324,19 @@ mod tests {
             block: b(0),
             write: true
         }));
+    }
+
+    #[test]
+    fn eviction_alphabet_covers_every_cache_block_pair() {
+        let cfg = CheckConfig {
+            caches: 3,
+            blocks: 2,
+            depth: 4,
+        };
+        let evictions = cfg.eviction_alphabet();
+        assert_eq!(evictions.len(), 6);
+        assert_eq!(evictions[0], (c(0), b(0)));
+        assert_eq!(evictions[5], (c(2), b(1)));
     }
 
     #[test]
