@@ -9,18 +9,24 @@ use dirsim::prelude::*;
 use dirsim::report::TextTable;
 use dirsim_mem::BlockMap;
 use dirsim_protocol::directory::EvictionPolicy;
-use dirsim_trace::synth::PaperTrace;
-
 const REFS: usize = 60_000;
 
-fn refs_for(trace: PaperTrace) -> Vec<MemRef> {
-    trace.workload().take(REFS).collect()
+fn refs_for(name: &str) -> Vec<MemRef> {
+    Scenario::named(name)
+        .expect("bundled")
+        .workload()
+        .take(REFS)
+        .collect()
+}
+
+fn pops_config() -> WorkloadConfig {
+    Scenario::named("pops").expect("bundled").config().clone()
 }
 
 /// Block size: larger blocks amortise fetch latency but magnify
 /// invalidation cost and false sharing.
 fn bench_block_size(c: &mut Criterion) {
-    let refs = refs_for(PaperTrace::Pops);
+    let refs = refs_for("pops");
     // A second workload where the only sharing is *false* sharing.
     let fs_cfg = WorkloadConfig {
         shared_frac: 0.05,
@@ -31,7 +37,7 @@ fn bench_block_size(c: &mut Criterion) {
             false_sharing: 1.0,
         },
         seed: 0xab1a7e,
-        ..PaperTrace::Pops.config()
+        ..pops_config()
     };
     let fs_refs: Vec<MemRef> = Workload::new(fs_cfg).take(REFS).collect();
 
@@ -88,7 +94,7 @@ fn bench_block_size(c: &mut Criterion) {
 /// Directory organisation at the same full-map protocol: Censier–Feautrier
 /// indexed map vs Tang duplicate tags vs Yen & Fu single bits.
 fn bench_directory_organisation(c: &mut Criterion) {
-    let refs = refs_for(PaperTrace::Pops);
+    let refs = refs_for("pops");
     let mut table =
         TextTable::new("Ablation: full-map directory organisation (POPS-like, pipelined)");
     table.headers(["organisation", "cycles/ref", "dir ops/kiloref"]);
@@ -125,7 +131,7 @@ fn bench_directory_organisation(c: &mut Criterion) {
 
 /// Eviction policy for pointer-limited NB schemes.
 fn bench_eviction_policy(c: &mut Criterion) {
-    let refs = refs_for(PaperTrace::Thor);
+    let refs = refs_for("thor");
     let mut table = TextTable::new("Ablation: Dir2NB eviction policy (THOR-like, pipelined)");
     table.headers(["policy", "cycles/ref", "coh. miss rate"]);
     for (name, policy) in [
@@ -162,7 +168,7 @@ fn bench_eviction_policy(c: &mut Criterion) {
 fn bench_sharing_attribution(c: &mut Criterion) {
     let cfg = WorkloadConfig {
         migration_prob: 0.001,
-        ..PaperTrace::Pops.config()
+        ..pops_config()
     };
     let refs: Vec<MemRef> = Workload::new(cfg).take(REFS).collect();
     let mut table =

@@ -7,7 +7,6 @@ use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use dirsim::paper;
 use dirsim::prelude::*;
 use dirsim::report;
-use dirsim_trace::synth::PaperTrace;
 
 const REFS: usize = 50_000;
 
@@ -15,7 +14,8 @@ const REFS: usize = 50_000;
 fn bench_figure1(c: &mut Criterion) {
     let results = paper::headline_experiment(REFS).run().unwrap();
     println!("{}", report::render_figure1(&results, Scheme::dir0_b()));
-    let refs: Vec<MemRef> = PaperTrace::Pops.workload().take(REFS).collect();
+    let pops = Scenario::named("pops").expect("bundled");
+    let refs: Vec<MemRef> = pops.workload().take(REFS).collect();
     c.bench_function("fig1/fanout_histogram", |b| {
         b.iter_batched(
             || Scheme::Directory(DirSpec::dir0_b()).build(4),

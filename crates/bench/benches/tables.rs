@@ -7,12 +7,15 @@ use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use dirsim::prelude::*;
 use dirsim::report;
 use dirsim::{Experiment, NamedWorkload};
-use dirsim_trace::synth::PaperTrace;
 
 const REFS: usize = 50_000;
 
-fn materialise(trace: PaperTrace, refs: usize) -> Vec<MemRef> {
-    trace.workload().take(refs).collect()
+fn materialise(scenario: &Scenario, refs: usize) -> Vec<MemRef> {
+    scenario.workload().take(refs).collect()
+}
+
+fn pops() -> &'static Scenario {
+    Scenario::named("pops").expect("bundled")
 }
 
 /// Table 3 is pure trace generation + statistics.
@@ -21,7 +24,7 @@ fn bench_table3(c: &mut Criterion) {
     println!("{}", report::render_table3(&results));
     c.bench_function("table3/trace_stats", |b| {
         b.iter_batched(
-            || PaperTrace::Pops.workload().take(REFS),
+            || pops().workload().take(REFS),
             TraceStats::from_refs,
             BatchSize::SmallInput,
         )
@@ -32,7 +35,7 @@ fn bench_table3(c: &mut Criterion) {
 fn bench_table4(c: &mut Criterion) {
     let results = dirsim::paper::headline_experiment(REFS).run().unwrap();
     println!("{}", report::render_table4(&results));
-    let refs = materialise(PaperTrace::Pops, REFS);
+    let refs = materialise(pops(), REFS);
     let mut group = c.benchmark_group("table4/event_frequencies");
     for scheme in Scheme::paper_lineup() {
         group.bench_function(&scheme.name(), |b| {

@@ -5,17 +5,21 @@ use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughpu
 
 use dirsim::prelude::*;
 use dirsim_trace::io::{read_binary, write_binary};
-use dirsim_trace::synth::PaperTrace;
 
 const REFS: usize = 100_000;
+
+fn pops() -> &'static Scenario {
+    Scenario::named("pops").expect("bundled")
+}
 
 fn bench_generator(c: &mut Criterion) {
     let mut group = c.benchmark_group("throughput/generator");
     group.throughput(Throughput::Elements(REFS as u64));
-    for trace in PaperTrace::ALL {
-        group.bench_function(trace.name(), |b| {
+    for name in ["pops", "thor", "pero"] {
+        let scenario = Scenario::named(name).expect("bundled");
+        group.bench_function(&name.to_uppercase(), |b| {
             b.iter(|| {
-                let n = trace.workload().take(REFS).count();
+                let n = scenario.workload().take(REFS).count();
                 std::hint::black_box(n)
             })
         });
@@ -24,7 +28,7 @@ fn bench_generator(c: &mut Criterion) {
 }
 
 fn bench_trace_io(c: &mut Criterion) {
-    let refs: Vec<MemRef> = PaperTrace::Pops.workload().take(REFS).collect();
+    let refs: Vec<MemRef> = pops().workload().take(REFS).collect();
     let mut encoded = Vec::new();
     write_binary(&mut encoded, refs.iter().copied()).unwrap();
 
@@ -47,7 +51,7 @@ fn bench_trace_io(c: &mut Criterion) {
 }
 
 fn bench_protocols(c: &mut Criterion) {
-    let refs: Vec<MemRef> = PaperTrace::Pops.workload().take(REFS).collect();
+    let refs: Vec<MemRef> = pops().workload().take(REFS).collect();
     let mut group = c.benchmark_group("throughput/engine");
     group.throughput(Throughput::Elements(REFS as u64));
     let mut schemes = Scheme::paper_lineup();
@@ -71,7 +75,7 @@ fn bench_protocols(c: &mut Criterion) {
 }
 
 fn bench_oracle_overhead(c: &mut Criterion) {
-    let refs: Vec<MemRef> = PaperTrace::Pops.workload().take(REFS).collect();
+    let refs: Vec<MemRef> = pops().workload().take(REFS).collect();
     let mut group = c.benchmark_group("throughput/oracle");
     group.throughput(Throughput::Elements(REFS as u64));
     for check in [false, true] {

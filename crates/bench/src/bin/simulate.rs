@@ -3,12 +3,17 @@
 //! ```text
 //! simulate [<scheme[,scheme...]> <trace file>] [--caches N] [--oracle]
 //!          [--block BYTES] [--per-processor] [--finite SETSxWAYS]
-//!          [--refs N] [--metrics-json PATH] [--progress]
+//!          [--refs N] [--scenario NAME|FILE] [--list-scenarios]
+//!          [--metrics-json PATH] [--progress]
 //! ```
 //!
 //! With no positional arguments the paper's four headline schemes are run
 //! over a synthetic POPS workload (`--refs` references, default 100 000) —
-//! a self-contained demo needing no trace file.
+//! a self-contained demo needing no trace file. `--scenario` swaps that
+//! workload for any bundled scenario by name, or for a `.scn` spec file
+//! parsed by the scenario language (see DESIGN.md §15); a single scheme
+//! list may still be given as the only positional argument.
+//! `--list-scenarios` prints the bundled registry and exits.
 //!
 //! `<scheme>` uses the paper's notation (`Dir0B`, `Dir2NB`, `DirnNB`,
 //! `CoarseVector`, `Tang`, `YenFu`, `WTI`, `Dragon`, `Berkeley`). Trace
@@ -33,12 +38,15 @@ use dirsim_cost::CostCategory;
 use dirsim_mem::CacheGeometry;
 use dirsim_trace::compress::read_compressed;
 use dirsim_trace::io::{read_binary, read_text};
-use dirsim_trace::synth::PaperTrace;
+use dirsim_trace::scenario::registry;
 
 struct Options {
     schemes: Vec<Scheme>,
     /// `None` runs the synthetic demo workload.
     path: Option<String>,
+    /// Synthetic workload: bundled scenario name or spec-file path.
+    scenario: Option<String>,
+    list_scenarios: bool,
     caches: Option<u32>,
     oracle: bool,
     block_bytes: u32,
@@ -53,11 +61,14 @@ fn parse_args() -> Result<Options, Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let usage = "usage: simulate [<scheme> <trace>] [--caches N] [--oracle] \
                  [--block BYTES] [--per-processor] [--finite SETSxWAYS] \
-                 [--refs N] [--metrics-json PATH] [--progress]";
+                 [--refs N] [--scenario NAME|FILE] [--list-scenarios] \
+                 [--metrics-json PATH] [--progress]";
     let mut positional = Vec::new();
     let mut opts = Options {
         schemes: vec![Scheme::Dragon],
         path: None,
+        scenario: None,
+        list_scenarios: false,
         caches: None,
         oracle: false,
         block_bytes: 16,
@@ -73,6 +84,11 @@ fn parse_args() -> Result<Options, Box<dyn std::error::Error>> {
             "--oracle" => opts.oracle = true,
             "--per-processor" => opts.per_processor = true,
             "--progress" => opts.progress = true,
+            "--list-scenarios" => opts.list_scenarios = true,
+            "--scenario" => {
+                i += 1;
+                opts.scenario = Some(args.get(i).ok_or(usage)?.clone());
+            }
             "--caches" => {
                 i += 1;
                 opts.caches = Some(
@@ -119,10 +135,20 @@ fn parse_args() -> Result<Options, Box<dyn std::error::Error>> {
     }
     match &positional[..] {
         [] => {
-            // Demo mode: the paper's headline schemes over synthetic POPS.
+            // Demo mode: the paper's headline schemes over a synthetic
+            // scenario (POPS unless --scenario says otherwise).
             opts.schemes = Scheme::paper_lineup();
         }
+        [scheme] if opts.scenario.is_some() => {
+            opts.schemes = scheme
+                .split(',')
+                .map(str::parse)
+                .collect::<Result<Vec<Scheme>, _>>()?;
+        }
         [scheme, path] => {
+            if opts.scenario.is_some() {
+                return Err("--scenario and a trace file are mutually exclusive".into());
+            }
             opts.schemes = scheme
                 .split(',')
                 .map(str::parse)
@@ -152,6 +178,23 @@ fn load_trace(path: &str) -> Result<Vec<MemRef>, Box<dyn std::error::Error>> {
 fn run() -> Result<(), Box<dyn std::error::Error>> {
     let opts = parse_args()?;
 
+    if opts.list_scenarios {
+        println!(
+            "{:<18} {:>5} {:>5}  description",
+            "scenario", "cpus", "procs"
+        );
+        for s in registry() {
+            println!(
+                "{:<18} {:>5} {:>5}  {}",
+                s.name(),
+                s.config().cpus,
+                s.config().processes,
+                s.description()
+            );
+        }
+        return Ok(());
+    }
+
     let registry = opts
         .metrics_json
         .as_ref()
@@ -166,21 +209,23 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
         ProgressMeter::disabled()
     }));
 
-    // Materialise the reference stream: a trace file, or the synthetic
-    // demo workload.
+    // Materialise the reference stream: a trace file, or a synthetic
+    // scenario (the bundled POPS spec unless --scenario overrides it).
     let (refs, trace_desc, seed) = match &opts.path {
         Some(path) => (load_trace(path)?, path.clone(), None),
         None => {
-            let preset = PaperTrace::Pops;
-            let config = preset.config();
-            let refs: Vec<MemRef> = preset.workload().take(opts.refs).collect();
+            let arg = opts.scenario.as_deref().unwrap_or("pops");
+            let scenario = Scenario::resolve(arg)?;
+            let config = scenario.config();
+            let seed = config.seed;
             let desc = format!(
-                "synth:{}(cpus={}, seed={})",
-                preset.name(),
+                "scenario:{}(cpus={}, seed={:#x})",
+                scenario.name(),
                 config.cpus,
-                config.seed
+                seed
             );
-            (refs, desc, Some(config.seed))
+            let refs: Vec<MemRef> = scenario.workload().take(opts.refs).collect();
+            (refs, desc, Some(seed))
         }
     };
 
@@ -189,7 +234,10 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
         if opts.per_processor {
             stats.cpu_count() as u32
         } else {
-            stats.process_count() as u32
+            // One cache per process *id*, not per distinct process: an
+            // open-system scenario can retire an id without it ever
+            // emitting a reference, leaving gaps in the id space.
+            stats.process_id_bound()
         }
     });
     let config = SimConfig {

@@ -2,7 +2,7 @@
 //! multiprocessor address traces in the `DTR1` binary and text formats.
 //!
 //! ```text
-//! trace_tool gen <pops|thor|pero> <refs> <out.dtr>      generate a preset trace
+//! trace_tool gen <scenario|spec.scn> <refs> <out.dtr>   generate a scenario trace
 //! trace_tool convert <in> <out>                          binary <-> text (by extension)
 //! trace_tool stats <in>                                  Table 3-style statistics
 //! trace_tool strip-locks <in> <out>                      drop spin-lock test reads
@@ -19,8 +19,7 @@ use std::process::ExitCode;
 use dirsim_trace::compress::{read_compressed, write_compressed};
 use dirsim_trace::filter::without_lock_tests;
 use dirsim_trace::io::{read_binary, read_text, write_binary, write_text, TraceIoError};
-use dirsim_trace::synth::PaperTrace;
-use dirsim_trace::{MemRef, TraceStats};
+use dirsim_trace::{MemRef, Scenario, TraceStats};
 
 fn is_text(path: &str) -> bool {
     path.ends_with(".txt")
@@ -60,14 +59,9 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
     match args.first().map(String::as_str) {
         Some("gen") => {
             let [_, preset, refs, out] = &args[..] else {
-                return Err("usage: trace_tool gen <pops|thor|pero> <refs> <out>".into());
+                return Err("usage: trace_tool gen <scenario|spec.scn> <refs> <out>".into());
             };
-            let trace = match preset.as_str() {
-                "pops" => PaperTrace::Pops,
-                "thor" => PaperTrace::Thor,
-                "pero" => PaperTrace::Pero,
-                other => return Err(format!("unknown preset {other}").into()),
-            };
+            let trace = Scenario::resolve(preset)?;
             let n: usize = refs.parse().map_err(|_| "refs must be a number")?;
             let refs: Vec<MemRef> = trace.workload().take(n).collect();
             let written = write_refs(out, &refs)?;

@@ -1,7 +1,12 @@
-//! Workload calibration tool: prints the Table 3/Table 4 shape of a preset
-//! so generator parameters can be tuned against the paper's numbers.
+//! Workload calibration tool: prints the Table 3/Table 4 shape of a
+//! scenario so generator parameters can be tuned against the paper's
+//! numbers.
 //!
-//! Usage: `workload_stats [pops|thor|pero] [refs]`
+//! Usage: `workload_stats [scenario-name|spec.scn] [refs]`
+//!
+//! Any bundled scenario name (`pops`, `thor`, `pero`, `lock-storm`, …)
+//! or a scenario spec file is accepted; run `simulate --list-scenarios`
+//! for the registry.
 
 use std::process::ExitCode;
 
@@ -12,12 +17,10 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let which = args.first().map(String::as_str).unwrap_or("pops");
     let refs: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(300_000);
-    let trace = match which {
-        "pops" => PaperTrace::Pops,
-        "thor" => PaperTrace::Thor,
-        "pero" => PaperTrace::Pero,
-        other => {
-            eprintln!("unknown trace {other}; expected pops|thor|pero");
+    let trace = match Scenario::resolve(which) {
+        Ok(scenario) => scenario,
+        Err(err) => {
+            eprintln!("workload_stats: {err}");
             return ExitCode::FAILURE;
         }
     };
@@ -46,7 +49,7 @@ fn main() -> ExitCode {
     );
 
     let results = dirsim::Experiment::new()
-        .workload(dirsim::NamedWorkload::new(trace.name(), trace.config()))
+        .workload(dirsim::NamedWorkload::from(&trace))
         .schemes(Scheme::paper_lineup())
         .refs_per_trace(refs)
         .run()

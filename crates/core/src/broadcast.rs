@@ -48,11 +48,12 @@
 //! use dirsim::SimConfig;
 //! use dirsim_protocol::Scheme;
 //! use dirsim_trace::source::IterSource;
-//! use dirsim_trace::synth::PaperTrace;
+//! use dirsim_trace::Scenario;
 //!
 //! # fn main() -> Result<(), dirsim::Error> {
 //! let schemes = Scheme::paper_lineup();
-//! let source = IterSource::new(PaperTrace::Pops.workload().take(20_000));
+//! let pops = Scenario::named("pops").expect("bundled scenario");
+//! let source = IterSource::new(pops.workload().take(20_000));
 //! let results = BroadcastSimulator::new(SimConfig::default())
 //!     .workers(2)
 //!     .run(&schemes, 4, source)?;
@@ -315,12 +316,16 @@ mod tests {
     use crate::engine::Simulator;
     use dirsim_mem::CacheGeometry;
     use dirsim_trace::source::IterSource;
-    use dirsim_trace::synth::PaperTrace;
+    use dirsim_trace::Scenario;
 
     const REFS: usize = 20_000;
 
     fn trace() -> Vec<MemRef> {
-        PaperTrace::Pops.workload().take(REFS).collect()
+        Scenario::named("pops")
+            .unwrap()
+            .workload()
+            .take(REFS)
+            .collect()
     }
 
     fn serial_baseline(config: SimConfig, schemes: &[Scheme], refs: &[MemRef]) -> Vec<SimResult> {

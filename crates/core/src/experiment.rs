@@ -23,7 +23,7 @@ use dirsim_protocol::Scheme;
 use dirsim_trace::filter::without_lock_tests;
 use dirsim_trace::source::{IterSource, WithoutLockTests};
 use dirsim_trace::synth::{Workload, WorkloadConfig};
-use dirsim_trace::{MemRef, TraceStats};
+use dirsim_trace::{MemRef, Scenario, TraceStats};
 
 use crate::broadcast::BroadcastSimulator;
 use crate::engine::{SimConfig, SimResult};
@@ -45,6 +45,14 @@ impl NamedWorkload {
             name: name.into(),
             config,
         }
+    }
+}
+
+impl From<&Scenario> for NamedWorkload {
+    /// Adopts a scenario (bundled or parsed from a spec file) as an
+    /// experiment workload, keeping its registry name.
+    fn from(scenario: &Scenario) -> Self {
+        NamedWorkload::new(scenario.name(), scenario.config().clone())
     }
 }
 
@@ -223,6 +231,20 @@ impl Experiment {
 
     fn cache_count(&self, config: &WorkloadConfig) -> u32 {
         match self.sim.sharing {
+            SharingModel::PerProcess if config.open.is_enabled() => {
+                // Open-system traces mint fresh process ids past the
+                // initial population, and per-process attribution needs
+                // one cache per id that appears. The generator is
+                // deterministic, so a dry pass over the same stream
+                // yields the exact bound. Lock-test filtering never
+                // widens the id space, so this bound also covers the
+                // filtered stream.
+                Workload::new(config.clone())
+                    .take(self.refs_per_trace)
+                    .map(|r| r.pid.index() as u32 + 1)
+                    .max()
+                    .unwrap_or(config.processes)
+            }
             SharingModel::PerProcess => config.processes,
             SharingModel::PerProcessor => u32::from(config.cpus),
         }
@@ -307,10 +329,12 @@ impl Experiment {
     fn run_serial(&self) -> Result<ExperimentResults, Error> {
         let mut trace_stats = Vec::with_capacity(self.workloads.len());
         let mut trace_refs: Vec<Vec<MemRef>> = Vec::with_capacity(self.workloads.len());
+        let mut trace_caches = Vec::with_capacity(self.workloads.len());
         for w in &self.workloads {
             let refs = self.generate(&w.config);
             trace_stats.push((w.name.clone(), TraceStats::from_refs(refs.iter().copied())));
             trace_refs.push(refs);
+            trace_caches.push(self.cache_count(&w.config));
         }
 
         // The engine keeps its default no-op recorder here: per-chunk
@@ -322,8 +346,12 @@ impl Experiment {
         for &scheme in &self.schemes {
             let mut per_trace = Vec::with_capacity(self.workloads.len());
             let mut combined: Option<SimResult> = None;
-            for (w, refs) in self.workloads.iter().zip(trace_refs.iter()) {
-                let caches = self.cache_count(&w.config);
+            for ((w, refs), &caches) in self
+                .workloads
+                .iter()
+                .zip(trace_refs.iter())
+                .zip(trace_caches.iter())
+            {
                 let mut results =
                     engine.run(&[scheme], caches, IterSource::new(refs.iter().copied()))?;
                 let result = results.pop().expect("one scheme in, one result out");

@@ -85,6 +85,7 @@ pub mod prelude {
     pub use dirsim_protocol::{BusOp, CoherenceProtocol, DirSpec, EventCounts, EventKind, Scheme};
     pub use dirsim_trace::synth::{PaperTrace, Workload, WorkloadConfig};
     pub use dirsim_trace::{
-        AccessKind, Addr, CpuId, IterSource, MemRef, ProcessId, TraceSource, TraceStats,
+        AccessKind, Addr, CpuId, IterSource, MemRef, ProcessId, Scenario, ScenarioError,
+        TraceSource, TraceStats,
     };
 }

@@ -27,10 +27,13 @@ use crate::error::Error;
 use crate::experiment::{Experiment, ExperimentResults, NamedWorkload};
 
 /// The three paper-trace stand-ins, in Table 3 order.
+///
+/// Resolved from the bundled scenario registry (the `pops`/`thor`/`pero`
+/// specs), keeping the paper's upper-case display names for table output.
 pub fn paper_workloads() -> Vec<NamedWorkload> {
     PaperTrace::ALL
         .iter()
-        .map(|t| NamedWorkload::new(t.name(), t.config()))
+        .map(|t| NamedWorkload::new(t.name(), t.scenario().config().clone()))
         .collect()
 }
 

@@ -575,12 +575,16 @@ mod tests {
     use super::*;
     use crate::broadcast::BroadcastSimulator;
     use dirsim_trace::source::IterSource;
-    use dirsim_trace::synth::PaperTrace;
+    use dirsim_trace::Scenario;
 
     const REFS: usize = 12_000;
 
     fn trace() -> Vec<MemRef> {
-        PaperTrace::Pops.workload().take(REFS).collect()
+        Scenario::named("pops")
+            .unwrap()
+            .workload()
+            .take(REFS)
+            .collect()
     }
 
     #[test]

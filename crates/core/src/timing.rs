@@ -294,8 +294,8 @@ impl TimingSimulator {
 mod tests {
     use super::*;
     use dirsim_protocol::{DirSpec, Scheme};
-    use dirsim_trace::synth::{PaperTrace, Workload, WorkloadConfig};
-    use dirsim_trace::{Addr, CpuId, ProcessId};
+    use dirsim_trace::synth::{Workload, WorkloadConfig};
+    use dirsim_trace::{Addr, CpuId, ProcessId, Scenario};
 
     #[test]
     fn lone_processor_private_stream_never_stalls_after_warmup() {
@@ -343,7 +343,11 @@ mod tests {
         // Chunked decode through a TraceSource must not change the timing
         // model's view of the stream.
         use dirsim_trace::source::IterSource;
-        let refs: Vec<MemRef> = PaperTrace::Pops.workload().take(20_000).collect();
+        let refs: Vec<MemRef> = Scenario::named("pops")
+            .unwrap()
+            .workload()
+            .take(20_000)
+            .collect();
         let mut a = Scheme::Directory(DirSpec::dir0_b()).build(4);
         let from_vec = TimingSimulator::default().run_interleaved(a.as_mut(), refs.clone(), 4);
         let mut b = Scheme::Directory(DirSpec::dir0_b()).build(4);
@@ -405,7 +409,11 @@ mod tests {
     #[test]
     fn dragon_sustains_more_effective_processors_than_wti() {
         let run = |scheme: Scheme| {
-            let refs: Vec<MemRef> = PaperTrace::Pops.workload().take(60_000).collect();
+            let refs: Vec<MemRef> = Scenario::named("pops")
+                .unwrap()
+                .workload()
+                .take(60_000)
+                .collect();
             let mut p = scheme.build(4);
             TimingSimulator::default().run_interleaved(p.as_mut(), refs, 4)
         };
@@ -461,7 +469,11 @@ mod tests {
     #[test]
     fn slower_bus_hurts_utilization() {
         let run = |multiplier: u32| {
-            let refs: Vec<MemRef> = PaperTrace::Thor.workload().take(40_000).collect();
+            let refs: Vec<MemRef> = Scenario::named("thor")
+                .unwrap()
+                .workload()
+                .take(40_000)
+                .collect();
             let mut p = Scheme::Directory(DirSpec::dir0_b()).build(4);
             let config = TimingConfig {
                 bus_clock_multiplier: multiplier,
@@ -517,7 +529,11 @@ mod tests {
         use std::sync::{Arc, Mutex};
         use std::time::Duration;
 
-        let refs: Vec<MemRef> = PaperTrace::Pops.workload().take(5_000).collect();
+        let refs: Vec<MemRef> = Scenario::named("pops")
+            .unwrap()
+            .workload()
+            .take(5_000)
+            .collect();
         let seen = Arc::new(Mutex::new(Vec::new()));
         let sink = Arc::clone(&seen);
         let mut meter = dirsim_obs::ProgressMeter::new(

@@ -29,12 +29,14 @@
 pub mod compress;
 pub mod filter;
 pub mod io;
+pub mod scenario;
 pub mod source;
 pub mod stats;
 pub mod synth;
 pub mod types;
 
 pub use io::TraceIoError;
+pub use scenario::{Scenario, ScenarioError};
 pub use source::{IterSource, TraceSource};
 pub use stats::TraceStats;
 pub use types::{AccessKind, Addr, CpuId, MemRef, ProcessId, RefFlags};

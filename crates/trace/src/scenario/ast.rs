@@ -1,0 +1,74 @@
+//! The parsed form of a scenario spec.
+//!
+//! A spec is one `scenario "name" { ... }` clause whose body is a list of
+//! [`Item`]s: scalar assignments (`cpus = 4`) and nested blocks
+//! (`lock { ... }`, repeated `phase { ... }`). The AST is deliberately
+//! untyped — keys are plain strings and every node carries the source
+//! line it came from — so the parser stays a pure grammar concern and all
+//! key/type knowledge lives in [`rules`](crate::scenario::rules), which
+//! turns an AST into a validated
+//! [`WorkloadConfig`](crate::synth::WorkloadConfig).
+
+/// A parsed `scenario` clause.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spec {
+    /// The scenario's name (the quoted string after `scenario`).
+    pub name: String,
+    /// Line of the `scenario` keyword (1-based).
+    pub line: u32,
+    /// Body items in source order.
+    pub items: Vec<Item>,
+}
+
+/// One entry in a spec body: `key = value` or `key { ... }`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Item {
+    /// The key identifier.
+    pub key: String,
+    /// Line the key appears on (1-based).
+    pub line: u32,
+    /// Scalar assignment or nested block.
+    pub kind: ItemKind,
+}
+
+/// The right-hand side of an [`Item`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ItemKind {
+    /// `key = value`.
+    Value(Value),
+    /// `key { items... }`.
+    Block(Vec<Item>),
+}
+
+/// A scalar literal.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// An unsigned integer, decimal (`4`, with optional `_` separators) or
+    /// hexadecimal (`0x1988_0001`).
+    Int(u64),
+    /// A floating-point number (`0.517`).
+    Float(f64),
+    /// A double-quoted string.
+    Str(String),
+}
+
+impl Value {
+    /// Human-readable name of the value's type, for error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Int(_) => "integer",
+            Value::Float(_) => "number",
+            Value::Str(_) => "string",
+        }
+    }
+}
+
+impl Spec {
+    /// Finds the first scalar item with the given key, if any.
+    pub fn scalar(&self, key: &str) -> Option<&Value> {
+        self.items.iter().find_map(|item| match &item.kind {
+            ItemKind::Value(v) if item.key == key => Some(v),
+            _ => None,
+        })
+    }
+}

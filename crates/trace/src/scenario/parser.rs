@@ -1,0 +1,493 @@
+//! Recursive-descent parser for the scenario spec format.
+//!
+//! The grammar is tiny (see DESIGN.md §15):
+//!
+//! ```text
+//! spec    := "scenario" STRING "{" item* "}"
+//! item    := IDENT "=" value
+//!          | IDENT "{" item* "}"
+//! value   := STRING | NUMBER
+//! NUMBER  := decimal integer (with optional "_" separators),
+//!            "0x" hexadecimal integer, or decimal float
+//! ```
+//!
+//! `#` starts a comment that runs to end of line. Whitespace (including
+//! newlines) is insignificant between tokens. Every token carries its
+//! 1-based source line so both parse errors and the semantic errors
+//! raised later by [`rules`](crate::scenario::rules) can point at the
+//! offending line.
+
+use std::fmt;
+
+use crate::scenario::ast::{Item, ItemKind, Spec, Value};
+
+/// A parse failure, locating the offending source line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: u32,
+    /// What went wrong.
+    pub kind: ParseErrorKind,
+}
+
+/// The ways a spec can fail to parse.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParseErrorKind {
+    /// A character that starts no token.
+    UnexpectedChar(char),
+    /// A string literal with no closing quote on its line.
+    UnterminatedString,
+    /// A malformed numeric literal.
+    BadNumber(String),
+    /// The parser wanted one thing and found another.
+    Expected {
+        /// What the grammar required here.
+        wanted: &'static str,
+        /// What was actually found.
+        found: String,
+    },
+    /// Tokens left over after the closing `}` of the spec.
+    TrailingInput(String),
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: ", self.line)?;
+        match &self.kind {
+            ParseErrorKind::UnexpectedChar(c) => write!(f, "unexpected character `{c}`"),
+            ParseErrorKind::UnterminatedString => write!(f, "unterminated string literal"),
+            ParseErrorKind::BadNumber(s) => write!(f, "malformed number `{s}`"),
+            ParseErrorKind::Expected { wanted, found } => {
+                write!(f, "expected {wanted}, found {found}")
+            }
+            ParseErrorKind::TrailingInput(s) => {
+                write!(f, "trailing input after scenario body: `{s}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    Ident(String),
+    Str(String),
+    Int(u64),
+    Float(f64),
+    LBrace,
+    RBrace,
+    Equals,
+    Comma,
+}
+
+impl Token {
+    fn describe(&self) -> String {
+        match self {
+            Token::Ident(s) => format!("`{s}`"),
+            Token::Str(s) => format!("string \"{s}\""),
+            Token::Int(n) => format!("integer {n}"),
+            Token::Float(x) => format!("number {x}"),
+            Token::LBrace => "`{`".to_string(),
+            Token::RBrace => "`}`".to_string(),
+            Token::Equals => "`=`".to_string(),
+            Token::Comma => "`,`".to_string(),
+        }
+    }
+}
+
+fn lex(text: &str) -> Result<Vec<(Token, u32)>, ParseError> {
+    let mut tokens = Vec::new();
+    let mut line: u32 = 1;
+    let mut chars = text.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        match c {
+            '\n' => {
+                line += 1;
+                chars.next();
+            }
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '#' => {
+                // Comment to end of line; the newline itself is handled
+                // above so line counting stays in one place.
+                while let Some(&c) = chars.peek() {
+                    if c == '\n' {
+                        break;
+                    }
+                    chars.next();
+                }
+            }
+            '{' => {
+                tokens.push((Token::LBrace, line));
+                chars.next();
+            }
+            '}' => {
+                tokens.push((Token::RBrace, line));
+                chars.next();
+            }
+            '=' => {
+                tokens.push((Token::Equals, line));
+                chars.next();
+            }
+            ',' => {
+                tokens.push((Token::Comma, line));
+                chars.next();
+            }
+            '"' => {
+                chars.next();
+                let mut s = String::new();
+                loop {
+                    match chars.next() {
+                        Some('"') => break,
+                        Some('\n') | None => {
+                            return Err(ParseError {
+                                line,
+                                kind: ParseErrorKind::UnterminatedString,
+                            });
+                        }
+                        Some(c) => s.push(c),
+                    }
+                }
+                tokens.push((Token::Str(s), line));
+            }
+            c if c.is_ascii_digit() || c == '.' => {
+                let mut raw = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_ascii_alphanumeric() || c == '.' || c == '_' {
+                        raw.push(c);
+                        chars.next();
+                    } else if (c == '+' || c == '-')
+                        && matches!(raw.chars().last(), Some('e' | 'E'))
+                        && !raw.starts_with("0x")
+                        && !raw.starts_with("0X")
+                    {
+                        // Exponent sign in a float like `1e-5`.
+                        raw.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push((parse_number(&raw, line)?, line));
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut s = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_ascii_alphanumeric() || c == '_' || c == '-' {
+                        s.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push((Token::Ident(s), line));
+            }
+            c => {
+                return Err(ParseError {
+                    line,
+                    kind: ParseErrorKind::UnexpectedChar(c),
+                });
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+fn parse_number(raw: &str, line: u32) -> Result<Token, ParseError> {
+    let bad = || ParseError {
+        line,
+        kind: ParseErrorKind::BadNumber(raw.to_string()),
+    };
+    if let Some(hex) = raw.strip_prefix("0x").or_else(|| raw.strip_prefix("0X")) {
+        let digits: String = hex.chars().filter(|&c| c != '_').collect();
+        if digits.is_empty() {
+            return Err(bad());
+        }
+        return u64::from_str_radix(&digits, 16)
+            .map(Token::Int)
+            .map_err(|_| bad());
+    }
+    let plain: String = raw.chars().filter(|&c| c != '_').collect();
+    if plain.contains(['.', 'e', 'E']) {
+        // Reject forms like "1.2.3" or a bare "." that f64::parse would
+        // also reject, but with our own error.
+        plain.parse::<f64>().map(Token::Float).map_err(|_| bad())
+    } else {
+        plain.parse::<u64>().map(Token::Int).map_err(|_| bad())
+    }
+}
+
+struct Parser {
+    tokens: Vec<(Token, u32)>,
+    pos: usize,
+    last_line: u32,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&(Token, u32)> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<(Token, u32)> {
+        let t = self.tokens.get(self.pos).cloned();
+        if let Some((_, line)) = &t {
+            self.last_line = *line;
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expected(&self, wanted: &'static str, found: Option<&(Token, u32)>) -> ParseError {
+        match found {
+            Some((tok, line)) => ParseError {
+                line: *line,
+                kind: ParseErrorKind::Expected {
+                    wanted,
+                    found: tok.describe(),
+                },
+            },
+            None => ParseError {
+                line: self.last_line,
+                kind: ParseErrorKind::Expected {
+                    wanted,
+                    found: "end of input".to_string(),
+                },
+            },
+        }
+    }
+
+    fn expect_ident(&mut self, wanted: &'static str) -> Result<(String, u32), ParseError> {
+        match self.next() {
+            Some((Token::Ident(s), line)) => Ok((s, line)),
+            other => Err(self.expected(wanted, other.as_ref())),
+        }
+    }
+
+    fn expect(&mut self, token: Token, wanted: &'static str) -> Result<u32, ParseError> {
+        match self.next() {
+            Some((t, line)) if t == token => Ok(line),
+            other => Err(self.expected(wanted, other.as_ref())),
+        }
+    }
+
+    fn items_until_rbrace(&mut self) -> Result<Vec<Item>, ParseError> {
+        let mut items = Vec::new();
+        loop {
+            match self.peek() {
+                Some((Token::RBrace, _)) => {
+                    self.next();
+                    return Ok(items);
+                }
+                Some((Token::Ident(_), _)) => {
+                    let (key, line) = self.expect_ident("a key")?;
+                    match self.peek() {
+                        Some((Token::Equals, _)) => {
+                            self.next();
+                            let value = match self.next() {
+                                Some((Token::Int(n), _)) => Value::Int(n),
+                                Some((Token::Float(x), _)) => Value::Float(x),
+                                Some((Token::Str(s), _)) => Value::Str(s),
+                                other => {
+                                    return Err(self.expected("a value", other.as_ref()));
+                                }
+                            };
+                            items.push(Item {
+                                key,
+                                line,
+                                kind: ItemKind::Value(value),
+                            });
+                        }
+                        Some((Token::LBrace, _)) => {
+                            self.next();
+                            let body = self.items_until_rbrace()?;
+                            items.push(Item {
+                                key,
+                                line,
+                                kind: ItemKind::Block(body),
+                            });
+                        }
+                        other => return Err(self.expected("`=` or `{`", other)),
+                    }
+                    // Items are newline-separated by convention, but a
+                    // trailing comma after an item is accepted so one-line
+                    // blocks read naturally: `lock { locks = 1, hold = 9 }`.
+                    if let Some((Token::Comma, _)) = self.peek() {
+                        self.next();
+                    }
+                }
+                other => return Err(self.expected("a key or `}`", other)),
+            }
+        }
+    }
+}
+
+/// Parses one `scenario "name" { ... }` spec.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] locating the first offending line.
+///
+/// # Examples
+///
+/// ```
+/// use dirsim_trace::scenario::parse_spec;
+///
+/// let spec = parse_spec(r#"
+///     scenario "demo" {
+///         cpus = 4
+///         lock { locks = 2 }
+///     }
+/// "#).unwrap();
+/// assert_eq!(spec.name, "demo");
+/// assert_eq!(spec.items.len(), 2);
+/// ```
+pub fn parse_spec(text: &str) -> Result<Spec, ParseError> {
+    let tokens = lex(text)?;
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        last_line: 1,
+    };
+    match p.next() {
+        Some((Token::Ident(kw), _)) if kw == "scenario" => {}
+        other => return Err(p.expected("`scenario`", other.as_ref())),
+    }
+    let (name, line) = match p.next() {
+        Some((Token::Str(s), line)) => (s, line),
+        other => return Err(p.expected("a quoted scenario name", other.as_ref())),
+    };
+    p.expect(Token::LBrace, "`{`")?;
+    let items = p.items_until_rbrace()?;
+    if let Some((tok, line)) = p.peek() {
+        return Err(ParseError {
+            line: *line,
+            kind: ParseErrorKind::TrailingInput(tok.describe()),
+        });
+    }
+    Ok(Spec { name, line, items })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars_blocks_and_comments() {
+        let spec = parse_spec(
+            r#"
+            # header comment
+            scenario "pops" {
+                cpus = 4            # trailing comment
+                instr_frac = 0.517
+                seed = 0x1988_0001
+                description = "rule system"
+                lock {
+                    locks = 1
+                }
+                phase { refs = 1_000 write_frac = 0.3 }
+                phase { refs = 0 write_frac = 0.6 }
+            }
+            "#,
+        )
+        .unwrap();
+        assert_eq!(spec.name, "pops");
+        assert_eq!(spec.items.len(), 7);
+        assert_eq!(spec.scalar("cpus"), Some(&Value::Int(4)));
+        assert_eq!(spec.scalar("instr_frac"), Some(&Value::Float(0.517)));
+        assert_eq!(spec.scalar("seed"), Some(&Value::Int(0x1988_0001)));
+        assert_eq!(
+            spec.scalar("description"),
+            Some(&Value::Str("rule system".to_string()))
+        );
+        let phases: Vec<_> = spec
+            .items
+            .iter()
+            .filter(|i| i.key == "phase" && matches!(i.kind, ItemKind::Block(_)))
+            .collect();
+        assert_eq!(phases.len(), 2);
+    }
+
+    #[test]
+    fn accepts_comma_separated_one_line_blocks() {
+        let spec = parse_spec(
+            r#"
+            scenario "one-liner" {
+                cpus = 8, processes = 8
+                lock { locks = 1, hold = 9, spin_block = 0x40 }
+            }
+            "#,
+        )
+        .unwrap();
+        assert_eq!(spec.scalar("cpus"), Some(&Value::Int(8)));
+        let lock = spec
+            .items
+            .iter()
+            .find(|i| i.key == "lock")
+            .expect("lock block");
+        match &lock.kind {
+            ItemKind::Block(items) => assert_eq!(items.len(), 3),
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reports_line_numbers() {
+        let err = parse_spec("scenario \"x\" {\n  cpus = 4\n  oops =\n}").unwrap_err();
+        assert_eq!(err.line, 4, "{err}");
+        assert!(matches!(err.kind, ParseErrorKind::Expected { .. }));
+    }
+
+    #[test]
+    fn rejects_unterminated_string() {
+        let err = parse_spec("scenario \"x {\n}").unwrap_err();
+        assert_eq!(err.kind, ParseErrorKind::UnterminatedString);
+        assert_eq!(err.line, 1);
+    }
+
+    #[test]
+    fn rejects_bad_numbers() {
+        for bad in ["1.2.3", "0x", "12ab"] {
+            let err = parse_spec(&format!("scenario \"x\" {{ cpus = {bad} }}")).unwrap_err();
+            assert!(
+                matches!(err.kind, ParseErrorKind::BadNumber(_)),
+                "{bad}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_missing_braces() {
+        let err = parse_spec("scenario \"x\"").unwrap_err();
+        assert!(matches!(err.kind, ParseErrorKind::Expected { .. }));
+        let err = parse_spec("scenario \"x\" { cpus = 4").unwrap_err();
+        assert!(matches!(err.kind, ParseErrorKind::Expected { .. }));
+    }
+
+    #[test]
+    fn rejects_trailing_input() {
+        let err = parse_spec("scenario \"x\" { } scenario \"y\" { }").unwrap_err();
+        assert!(matches!(err.kind, ParseErrorKind::TrailingInput(_)));
+    }
+
+    #[test]
+    fn rejects_unexpected_characters() {
+        let err = parse_spec("scenario \"x\" { cpus: 4 }").unwrap_err();
+        assert_eq!(err.kind, ParseErrorKind::UnexpectedChar(':'));
+    }
+
+    #[test]
+    fn underscore_separators_parse() {
+        let spec = parse_spec("scenario \"x\" { quantum = 10_000 }").unwrap();
+        assert_eq!(spec.scalar("quantum"), Some(&Value::Int(10_000)));
+    }
+
+    #[test]
+    fn error_display_names_the_line() {
+        let err = parse_spec("scenario 4 { }").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("line 1"), "{msg}");
+        assert!(msg.contains("quoted scenario name"), "{msg}");
+    }
+}

@@ -1,0 +1,87 @@
+//! The bundled scenario registry.
+//!
+//! Every `.scn` file under `crates/trace/scenarios/` is compiled into the
+//! binary with `include_str!` and parsed once, on first use, into a
+//! static list of [`Scenario`]s. The first three entries are the paper's
+//! POPS / THOR / PERO traces re-expressed as specs; the rest open the
+//! scenario-diversity axis (open systems, skewed popularity, phases,
+//! sharing-motif stress tests).
+
+use std::sync::OnceLock;
+
+use crate::scenario::Scenario;
+
+/// The bundled spec texts, in registry order (paper traces first).
+pub(crate) const BUNDLED_SPECS: &[&str] = &[
+    include_str!("../../scenarios/pops.scn"),
+    include_str!("../../scenarios/thor.scn"),
+    include_str!("../../scenarios/pero.scn"),
+    include_str!("../../scenarios/open-system.scn"),
+    include_str!("../../scenarios/zipf-hot.scn"),
+    include_str!("../../scenarios/phased.scn"),
+    include_str!("../../scenarios/false-sharing.scn"),
+    include_str!("../../scenarios/producer-consumer.scn"),
+    include_str!("../../scenarios/lock-storm.scn"),
+    include_str!("../../scenarios/barrier-heavy.scn"),
+    include_str!("../../scenarios/migratory-16.scn"),
+    include_str!("../../scenarios/read-mostly-8.scn"),
+    include_str!("../../scenarios/open-zipf-phased.scn"),
+];
+
+/// All bundled scenarios, parsed and validated.
+///
+/// The list is stable across calls (parsed once into a static); lookups
+/// by name go through [`Scenario::named`].
+///
+/// # Examples
+///
+/// ```
+/// let names: Vec<_> = dirsim_trace::scenario::registry()
+///     .iter()
+///     .map(|s| s.name())
+///     .collect();
+/// assert!(names.contains(&"pops"));
+/// assert!(names.len() >= 10);
+/// ```
+pub fn registry() -> &'static [Scenario] {
+    static REGISTRY: OnceLock<Vec<Scenario>> = OnceLock::new();
+    REGISTRY.get_or_init(|| {
+        BUNDLED_SPECS
+            .iter()
+            .map(|text| {
+                Scenario::parse(text).unwrap_or_else(|e| panic!("bundled scenario spec: {e}"))
+            })
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_has_at_least_ten_scenarios() {
+        assert!(registry().len() >= 10, "{}", registry().len());
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<_> = registry().iter().map(|s| s.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), registry().len());
+    }
+
+    #[test]
+    fn paper_traces_lead_the_registry() {
+        let names: Vec<_> = registry().iter().take(3).map(|s| s.name()).collect();
+        assert_eq!(names, ["pops", "thor", "pero"]);
+    }
+
+    #[test]
+    fn every_scenario_has_a_description() {
+        for s in registry() {
+            assert!(!s.description().is_empty(), "{}", s.name());
+        }
+    }
+}

@@ -1,0 +1,670 @@
+//! Semantic resolution: turning a parsed [`Spec`] into a validated
+//! [`WorkloadConfig`].
+//!
+//! This is the only place that knows which keys exist, what types they
+//! take, and how they map onto configuration fields. Unknown keys,
+//! type mismatches, and duplicates are reported as [`RuleError`]s that
+//! carry the source line and the dotted field path (`lock.hold`,
+//! `phase.write_frac`). Range constraints are *not* re-checked here —
+//! the resolved configuration is passed through
+//! [`WorkloadConfig::validate`], so scenario specs hit exactly the same
+//! semantic wall as configurations built in Rust.
+
+use std::fmt;
+
+use crate::scenario::ast::{Item, ItemKind, Spec, Value};
+use crate::synth::{
+    BarrierConfig, ConfigError, LockConfig, OpenSystemConfig, Phase, SharingMix, WorkloadConfig,
+};
+
+/// A semantic error in an otherwise well-formed spec.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuleError {
+    /// 1-based source line of the offending item.
+    pub line: u32,
+    /// Dotted field path (`cpus`, `lock.hold`, `phase.mix.migratory`).
+    pub field: String,
+    /// What went wrong.
+    pub kind: RuleErrorKind,
+}
+
+/// The ways a well-formed spec can fail to resolve.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RuleErrorKind {
+    /// The key is not part of the scenario vocabulary at this position.
+    UnknownKey,
+    /// The key exists but takes a different shape.
+    WrongType {
+        /// The type the key requires.
+        wanted: &'static str,
+        /// The type the spec supplied.
+        found: &'static str,
+    },
+    /// The key was given more than once.
+    Duplicate,
+    /// An integer too large for the field's width.
+    IntOutOfRange {
+        /// The field's maximum value.
+        max: u64,
+    },
+}
+
+impl fmt::Display for RuleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: `{}`: ", self.line, self.field)?;
+        match &self.kind {
+            RuleErrorKind::UnknownKey => write!(f, "unknown key"),
+            RuleErrorKind::WrongType { wanted, found } => {
+                write!(f, "expected {wanted}, found {found}")
+            }
+            RuleErrorKind::Duplicate => write!(f, "key given more than once"),
+            RuleErrorKind::IntOutOfRange { max } => {
+                write!(f, "value exceeds the field's maximum ({max})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RuleError {}
+
+fn wrong_type(item: &Item, field: &str, wanted: &'static str) -> RuleError {
+    let found = match &item.kind {
+        ItemKind::Value(v) => v.type_name(),
+        ItemKind::Block(_) => "a block",
+    };
+    RuleError {
+        line: item.line,
+        field: field.to_string(),
+        kind: RuleErrorKind::WrongType { wanted, found },
+    }
+}
+
+/// Extracts a float (integers are accepted and widened: `write_frac = 0`).
+fn float(item: &Item, field: &str) -> Result<f64, RuleError> {
+    match &item.kind {
+        ItemKind::Value(Value::Float(x)) => Ok(*x),
+        ItemKind::Value(Value::Int(n)) => Ok(*n as f64),
+        _ => Err(wrong_type(item, field, "a number")),
+    }
+}
+
+fn int(item: &Item, field: &str, max: u64) -> Result<u64, RuleError> {
+    match &item.kind {
+        ItemKind::Value(Value::Int(n)) if *n <= max => Ok(*n),
+        ItemKind::Value(Value::Int(_)) => Err(RuleError {
+            line: item.line,
+            field: field.to_string(),
+            kind: RuleErrorKind::IntOutOfRange { max },
+        }),
+        _ => Err(wrong_type(item, field, "an integer")),
+    }
+}
+
+fn string(item: &Item, field: &str) -> Result<String, RuleError> {
+    match &item.kind {
+        ItemKind::Value(Value::Str(s)) => Ok(s.clone()),
+        _ => Err(wrong_type(item, field, "a string")),
+    }
+}
+
+fn block<'a>(item: &'a Item, field: &str) -> Result<&'a [Item], RuleError> {
+    match &item.kind {
+        ItemKind::Block(items) => Ok(items),
+        ItemKind::Value(_) => Err(wrong_type(item, field, "a block")),
+    }
+}
+
+/// Tracks which keys have been seen to reject duplicates.
+struct Seen(Vec<String>);
+
+impl Seen {
+    fn new() -> Self {
+        Seen(Vec::new())
+    }
+
+    fn claim(&mut self, item: &Item, field: &str) -> Result<(), RuleError> {
+        if self.0.iter().any(|k| k == &item.key) {
+            return Err(RuleError {
+                line: item.line,
+                field: field.to_string(),
+                kind: RuleErrorKind::Duplicate,
+            });
+        }
+        self.0.push(item.key.clone());
+        Ok(())
+    }
+}
+
+fn resolve_mix(items: &[Item], prefix: &str) -> Result<SharingMix, RuleError> {
+    let mut mix = SharingMix {
+        read_mostly: 0.0,
+        migratory: 0.0,
+        producer_consumer: 0.0,
+        false_sharing: 0.0,
+    };
+    let mut seen = Seen::new();
+    for item in items {
+        let field = format!("{prefix}.{}", item.key);
+        seen.claim(item, &field)?;
+        match item.key.as_str() {
+            "read_mostly" => mix.read_mostly = float(item, &field)?,
+            "migratory" => mix.migratory = float(item, &field)?,
+            "producer_consumer" => mix.producer_consumer = float(item, &field)?,
+            "false_sharing" => mix.false_sharing = float(item, &field)?,
+            _ => {
+                return Err(RuleError {
+                    line: item.line,
+                    field,
+                    kind: RuleErrorKind::UnknownKey,
+                });
+            }
+        }
+    }
+    Ok(mix)
+}
+
+fn resolve_lock(items: &[Item], base: LockConfig) -> Result<LockConfig, RuleError> {
+    let mut lock = base;
+    let mut seen = Seen::new();
+    for item in items {
+        let field = format!("lock.{}", item.key);
+        seen.claim(item, &field)?;
+        match item.key.as_str() {
+            "locks" => lock.locks = int(item, &field, u64::from(u32::MAX))? as u32,
+            "acquire_prob" => lock.acquire_prob = float(item, &field)?,
+            "hold" => lock.critical_section_len = int(item, &field, u64::from(u32::MAX))? as u32,
+            "write_frac" => lock.critical_write_frac = float(item, &field)?,
+            _ => {
+                return Err(RuleError {
+                    line: item.line,
+                    field,
+                    kind: RuleErrorKind::UnknownKey,
+                });
+            }
+        }
+    }
+    Ok(lock)
+}
+
+fn resolve_open(items: &[Item]) -> Result<OpenSystemConfig, RuleError> {
+    let mut open = OpenSystemConfig::closed();
+    let mut seen = Seen::new();
+    for item in items {
+        let field = format!("open.{}", item.key);
+        seen.claim(item, &field)?;
+        match item.key.as_str() {
+            "arrival" => open.arrival_prob = float(item, &field)?,
+            "departure" => open.departure_prob = float(item, &field)?,
+            "max_processes" => {
+                open.max_processes = int(item, &field, u64::from(u32::MAX))? as u32;
+            }
+            _ => {
+                return Err(RuleError {
+                    line: item.line,
+                    field,
+                    kind: RuleErrorKind::UnknownKey,
+                });
+            }
+        }
+    }
+    Ok(open)
+}
+
+fn resolve_phase(items: &[Item]) -> Result<Phase, RuleError> {
+    let mut phase = Phase::default();
+    let mut seen = Seen::new();
+    for item in items {
+        let field = format!("phase.{}", item.key);
+        seen.claim(item, &field)?;
+        match item.key.as_str() {
+            "refs" => phase.refs = int(item, &field, u64::MAX)?,
+            "instr_frac" => phase.instr_frac = Some(float(item, &field)?),
+            "write_frac" => phase.write_frac = Some(float(item, &field)?),
+            "shared_frac" => phase.shared_frac = Some(float(item, &field)?),
+            "acquire_prob" => phase.acquire_prob = Some(float(item, &field)?),
+            "mix" => {
+                phase.sharing_mix = Some(resolve_mix(block(item, &field)?, "phase.mix")?);
+            }
+            _ => {
+                return Err(RuleError {
+                    line: item.line,
+                    field,
+                    kind: RuleErrorKind::UnknownKey,
+                });
+            }
+        }
+    }
+    Ok(phase)
+}
+
+/// The resolved spec: the configuration plus the spec-level metadata that
+/// does not live in [`WorkloadConfig`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Resolved {
+    /// Human-readable description (empty if the spec gave none).
+    pub description: String,
+    /// The workload configuration, already validated.
+    pub config: WorkloadConfig,
+}
+
+/// Resolution failure: either a key-level [`RuleError`] or a range/
+/// consistency [`ConfigError`] from the final validation pass.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ResolveError {
+    /// Unknown key, wrong type, duplicate, or overflow.
+    Rule(RuleError),
+    /// The resolved configuration failed [`WorkloadConfig::validate`].
+    Config(ConfigError),
+}
+
+impl fmt::Display for ResolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ResolveError::Rule(e) => e.fmt(f),
+            ResolveError::Config(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for ResolveError {}
+
+impl From<RuleError> for ResolveError {
+    fn from(e: RuleError) -> Self {
+        ResolveError::Rule(e)
+    }
+}
+
+/// Resolves a parsed spec into a validated configuration.
+///
+/// Defaults come from [`WorkloadConfig::default`]; a spec only names what
+/// differs, which is what makes the bundled paper scenarios exactly
+/// equivalent to the old hand-written presets.
+///
+/// # Errors
+///
+/// Returns a [`ResolveError`] for unknown keys, type mismatches,
+/// duplicates, integer overflow, or a configuration that fails
+/// validation.
+pub fn resolve(spec: &Spec) -> Result<Resolved, ResolveError> {
+    let mut cfg = WorkloadConfig::default();
+    let mut description = String::new();
+    let mut seen = Seen::new();
+    for item in &spec.items {
+        let field = item.key.clone();
+        if item.key != "phase" {
+            seen.claim(item, &field)?;
+        }
+        match item.key.as_str() {
+            "description" => description = string(item, &field)?,
+            "cpus" => cfg.cpus = int(item, &field, u64::from(u16::MAX))? as u16,
+            "processes" => cfg.processes = int(item, &field, u64::from(u32::MAX))? as u32,
+            "instr_frac" => cfg.instr_frac = float(item, &field)?,
+            "write_frac" => cfg.write_frac = float(item, &field)?,
+            "shared_frac" => cfg.shared_frac = float(item, &field)?,
+            "os_frac" => cfg.os_frac = float(item, &field)?,
+            "migration_prob" => cfg.migration_prob = float(item, &field)?,
+            "zipf_theta" => cfg.zipf_theta = float(item, &field)?,
+            "shared_blocks" => {
+                cfg.shared_blocks_per_pool = int(item, &field, u64::from(u32::MAX))? as u32;
+            }
+            "private_blocks" => {
+                cfg.private_blocks = int(item, &field, u64::from(u32::MAX))? as u32;
+            }
+            "code_blocks" => cfg.code_blocks = int(item, &field, u64::from(u32::MAX))? as u32,
+            "quantum" => cfg.quantum = int(item, &field, u64::from(u32::MAX))? as u32,
+            "block_size" => cfg.block_size = int(item, &field, u64::from(u32::MAX))? as u32,
+            "seed" => cfg.seed = int(item, &field, u64::MAX)?,
+            "mix" => cfg.sharing_mix = resolve_mix(block(item, &field)?, "mix")?,
+            "lock" => cfg.lock = resolve_lock(block(item, &field)?, cfg.lock)?,
+            "barrier" => {
+                let items = block(item, &field)?;
+                let mut seen = Seen::new();
+                for item in items {
+                    let field = format!("barrier.{}", item.key);
+                    seen.claim(item, &field)?;
+                    match item.key.as_str() {
+                        "interval" => {
+                            cfg.barrier = BarrierConfig {
+                                interval: int(item, &field, u64::from(u32::MAX))? as u32,
+                            };
+                        }
+                        _ => {
+                            return Err(RuleError {
+                                line: item.line,
+                                field,
+                                kind: RuleErrorKind::UnknownKey,
+                            }
+                            .into());
+                        }
+                    }
+                }
+            }
+            "open" => cfg.open = resolve_open(block(item, &field)?)?,
+            "phase" => cfg.phases.push(resolve_phase(block(item, &field)?)?),
+            _ => {
+                return Err(RuleError {
+                    line: item.line,
+                    field,
+                    kind: RuleErrorKind::UnknownKey,
+                }
+                .into());
+            }
+        }
+    }
+    cfg.validate().map_err(ResolveError::Config)?;
+    Ok(Resolved {
+        description,
+        config: cfg,
+    })
+}
+
+/// Formats a float so the spec grammar can read it back exactly.
+fn fmt_f64(x: f64) -> String {
+    // Rust's `{:?}` is shortest-round-trip; it may use an exponent
+    // (`1e-7`), which the lexer accepts.
+    format!("{x:?}")
+}
+
+/// Renders a configuration back into spec text that resolves to the same
+/// configuration (`parse → resolve` round-trips, pinned by proptest).
+///
+/// The render is exhaustive — every field is written even when it equals
+/// the default — so rendered specs double as complete documentation of a
+/// configuration.
+pub fn render(name: &str, description: &str, cfg: &WorkloadConfig) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "scenario \"{name}\" {{");
+    if !description.is_empty() {
+        let _ = writeln!(out, "    description = \"{description}\"");
+    }
+    let _ = writeln!(out, "    cpus = {}", cfg.cpus);
+    let _ = writeln!(out, "    processes = {}", cfg.processes);
+    let _ = writeln!(out, "    instr_frac = {}", fmt_f64(cfg.instr_frac));
+    let _ = writeln!(out, "    write_frac = {}", fmt_f64(cfg.write_frac));
+    let _ = writeln!(out, "    shared_frac = {}", fmt_f64(cfg.shared_frac));
+    let _ = writeln!(out, "    os_frac = {}", fmt_f64(cfg.os_frac));
+    let _ = writeln!(out, "    migration_prob = {}", fmt_f64(cfg.migration_prob));
+    let _ = writeln!(out, "    zipf_theta = {}", fmt_f64(cfg.zipf_theta));
+    let _ = writeln!(out, "    shared_blocks = {}", cfg.shared_blocks_per_pool);
+    let _ = writeln!(out, "    private_blocks = {}", cfg.private_blocks);
+    let _ = writeln!(out, "    code_blocks = {}", cfg.code_blocks);
+    let _ = writeln!(out, "    quantum = {}", cfg.quantum);
+    let _ = writeln!(out, "    block_size = {}", cfg.block_size);
+    let _ = writeln!(out, "    seed = 0x{:x}", cfg.seed);
+    let _ = writeln!(out, "    mix {{");
+    let _ = writeln!(
+        out,
+        "        read_mostly = {}",
+        fmt_f64(cfg.sharing_mix.read_mostly)
+    );
+    let _ = writeln!(
+        out,
+        "        migratory = {}",
+        fmt_f64(cfg.sharing_mix.migratory)
+    );
+    let _ = writeln!(
+        out,
+        "        producer_consumer = {}",
+        fmt_f64(cfg.sharing_mix.producer_consumer)
+    );
+    let _ = writeln!(
+        out,
+        "        false_sharing = {}",
+        fmt_f64(cfg.sharing_mix.false_sharing)
+    );
+    let _ = writeln!(out, "    }}");
+    let _ = writeln!(out, "    lock {{");
+    let _ = writeln!(out, "        locks = {}", cfg.lock.locks);
+    let _ = writeln!(
+        out,
+        "        acquire_prob = {}",
+        fmt_f64(cfg.lock.acquire_prob)
+    );
+    let _ = writeln!(out, "        hold = {}", cfg.lock.critical_section_len);
+    let _ = writeln!(
+        out,
+        "        write_frac = {}",
+        fmt_f64(cfg.lock.critical_write_frac)
+    );
+    let _ = writeln!(out, "    }}");
+    if cfg.barrier.is_enabled() {
+        let _ = writeln!(out, "    barrier {{");
+        let _ = writeln!(out, "        interval = {}", cfg.barrier.interval);
+        let _ = writeln!(out, "    }}");
+    }
+    if cfg.open.is_enabled() {
+        let _ = writeln!(out, "    open {{");
+        let _ = writeln!(out, "        arrival = {}", fmt_f64(cfg.open.arrival_prob));
+        let _ = writeln!(
+            out,
+            "        departure = {}",
+            fmt_f64(cfg.open.departure_prob)
+        );
+        let _ = writeln!(out, "        max_processes = {}", cfg.open.max_processes);
+        let _ = writeln!(out, "    }}");
+    }
+    for phase in &cfg.phases {
+        let _ = writeln!(out, "    phase {{");
+        let _ = writeln!(out, "        refs = {}", phase.refs);
+        if let Some(x) = phase.instr_frac {
+            let _ = writeln!(out, "        instr_frac = {}", fmt_f64(x));
+        }
+        if let Some(x) = phase.write_frac {
+            let _ = writeln!(out, "        write_frac = {}", fmt_f64(x));
+        }
+        if let Some(x) = phase.shared_frac {
+            let _ = writeln!(out, "        shared_frac = {}", fmt_f64(x));
+        }
+        if let Some(x) = phase.acquire_prob {
+            let _ = writeln!(out, "        acquire_prob = {}", fmt_f64(x));
+        }
+        if let Some(mix) = phase.sharing_mix {
+            let _ = writeln!(out, "        mix {{");
+            let _ = writeln!(
+                out,
+                "            read_mostly = {}",
+                fmt_f64(mix.read_mostly)
+            );
+            let _ = writeln!(out, "            migratory = {}", fmt_f64(mix.migratory));
+            let _ = writeln!(
+                out,
+                "            producer_consumer = {}",
+                fmt_f64(mix.producer_consumer)
+            );
+            let _ = writeln!(
+                out,
+                "            false_sharing = {}",
+                fmt_f64(mix.false_sharing)
+            );
+            let _ = writeln!(out, "        }}");
+        }
+        let _ = writeln!(out, "    }}");
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::parser::parse_spec;
+
+    fn resolve_text(text: &str) -> Result<Resolved, ResolveError> {
+        resolve(&parse_spec(text).unwrap())
+    }
+
+    #[test]
+    fn spec_overrides_only_what_it_names() {
+        let r = resolve_text(
+            r#"scenario "x" {
+                cpus = 8
+                processes = 8
+                write_frac = 0.3
+            }"#,
+        )
+        .unwrap();
+        assert_eq!(r.config.cpus, 8);
+        assert_eq!(r.config.write_frac, 0.3);
+        // Untouched fields keep the defaults.
+        let d = WorkloadConfig::default();
+        assert_eq!(r.config.quantum, d.quantum);
+        assert_eq!(r.config.lock, d.lock);
+        assert_eq!(r.config.seed, d.seed);
+    }
+
+    #[test]
+    fn unknown_key_names_line_and_field() {
+        let err = resolve_text("scenario \"x\" {\n  cpuz = 4\n}").unwrap_err();
+        match err {
+            ResolveError::Rule(e) => {
+                assert_eq!(e.line, 2);
+                assert_eq!(e.field, "cpuz");
+                assert_eq!(e.kind, RuleErrorKind::UnknownKey);
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_nested_key_gets_dotted_path() {
+        let err = resolve_text("scenario \"x\" {\n  lock {\n    spin = 4\n  }\n}").unwrap_err();
+        match err {
+            ResolveError::Rule(e) => {
+                assert_eq!(e.line, 3);
+                assert_eq!(e.field, "lock.spin");
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn out_of_range_fraction_surfaces_config_error() {
+        let err = resolve_text("scenario \"x\" { write_frac = 1.5 }").unwrap_err();
+        assert!(matches!(
+            err,
+            ResolveError::Config(ConfigError::OutOfRange {
+                field: "write_frac",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn empty_phase_surfaces_config_error() {
+        let err = resolve_text("scenario \"x\" { phase { refs = 100 } }").unwrap_err();
+        assert!(matches!(
+            err,
+            ResolveError::Config(ConfigError::EmptyPhase { index: 0 })
+        ));
+    }
+
+    #[test]
+    fn duplicate_scalar_rejected() {
+        let err = resolve_text("scenario \"x\" {\n  cpus = 4\n  cpus = 8\n}").unwrap_err();
+        match err {
+            ResolveError::Rule(e) => {
+                assert_eq!(e.line, 3);
+                assert_eq!(e.kind, RuleErrorKind::Duplicate);
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn repeated_phase_blocks_accumulate() {
+        let r = resolve_text(
+            r#"scenario "x" {
+                phase { refs = 1000 write_frac = 0.1 }
+                phase { refs = 0 write_frac = 0.5 }
+            }"#,
+        )
+        .unwrap();
+        assert_eq!(r.config.phases.len(), 2);
+        assert_eq!(r.config.phases[1].write_frac, Some(0.5));
+    }
+
+    #[test]
+    fn wrong_type_reports_both_sides() {
+        let err = resolve_text("scenario \"x\" { cpus = \"four\" }").unwrap_err();
+        match err {
+            ResolveError::Rule(e) => {
+                assert_eq!(
+                    e.kind,
+                    RuleErrorKind::WrongType {
+                        wanted: "an integer",
+                        found: "string"
+                    }
+                );
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn block_where_scalar_expected() {
+        let err = resolve_text("scenario \"x\" { cpus { } }").unwrap_err();
+        assert!(matches!(
+            err,
+            ResolveError::Rule(RuleError {
+                kind: RuleErrorKind::WrongType { .. },
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn int_overflow_rejected() {
+        let err = resolve_text("scenario \"x\" { cpus = 70000 }").unwrap_err();
+        match err {
+            ResolveError::Rule(e) => {
+                assert_eq!(
+                    e.kind,
+                    RuleErrorKind::IntOutOfRange {
+                        max: u64::from(u16::MAX)
+                    }
+                );
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn integers_widen_to_floats() {
+        let r = resolve_text("scenario \"x\" { write_frac = 0 zipf_theta = 0 }").unwrap();
+        assert_eq!(r.config.write_frac, 0.0);
+    }
+
+    #[test]
+    fn render_round_trips_a_full_config() {
+        let cfg = WorkloadConfig {
+            cpus: 8,
+            processes: 16,
+            zipf_theta: 0.9,
+            open: OpenSystemConfig {
+                arrival_prob: 0.0005,
+                departure_prob: 1e-7,
+                max_processes: 64,
+            },
+            phases: vec![
+                Phase {
+                    refs: 10_000,
+                    write_frac: Some(0.4),
+                    sharing_mix: Some(SharingMix::default()),
+                    ..Phase::default()
+                },
+                Phase {
+                    refs: 0,
+                    shared_frac: Some(0.1),
+                    ..Phase::default()
+                },
+            ],
+            ..WorkloadConfig::default()
+        };
+        cfg.validate().unwrap();
+        let text = render("round-trip", "exercise every clause", &cfg);
+        let r = resolve_text(&text).unwrap();
+        assert_eq!(r.config, cfg);
+        assert_eq!(r.description, "exercise every clause");
+    }
+}

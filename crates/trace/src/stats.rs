@@ -121,6 +121,16 @@ impl TraceStats {
         self.pids.len()
     }
 
+    /// One past the highest process index seen (0 for an empty trace).
+    ///
+    /// This is the per-process cache count a simulation of the trace
+    /// needs. It differs from [`process_count`](Self::process_count) on
+    /// open-system traces, where a process id can appear even though an
+    /// earlier-minted id never emitted a reference.
+    pub fn process_id_bound(&self) -> u32 {
+        self.pids.iter().copied().max().map_or(0, |p| p + 1)
+    }
+
     /// Fraction of data reads that are lock-spin tests.
     ///
     /// The paper reports roughly one third for POPS and THOR.

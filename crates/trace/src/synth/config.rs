@@ -32,6 +32,33 @@ pub enum ConfigError {
     },
     /// Sharing-mix weights summed to zero.
     EmptySharingMix,
+    /// Zipf skew outside `[0, 1)` (`0` selects uniform popularity).
+    ZipfTheta {
+        /// Offending value.
+        value: f64,
+    },
+    /// Open-system population dynamics combined with barriers. A barrier
+    /// release waits for every live process, which is ill-defined while
+    /// the population grows and shrinks.
+    OpenSystemWithBarriers,
+    /// Open-system cap below the initial process population.
+    OpenSystemCapTooSmall {
+        /// Configured cap on live processes.
+        max_processes: u32,
+        /// Initial process population.
+        processes: u32,
+    },
+    /// A phase that overrides nothing (index into the phase list).
+    EmptyPhase {
+        /// Zero-based phase index.
+        index: usize,
+    },
+    /// A zero-length phase anywhere but last (`refs == 0` means "rest of
+    /// the trace" and is only meaningful for the final phase).
+    ZeroRefsPhaseNotLast {
+        /// Zero-based phase index.
+        index: usize,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -49,6 +76,31 @@ impl fmt::Display for ConfigError {
             ),
             ConfigError::EmptySharingMix => {
                 write!(f, "sharing mix weights must not all be zero")
+            }
+            ConfigError::ZipfTheta { value } => {
+                write!(f, "zipf_theta must be in [0, 1), got {value}")
+            }
+            ConfigError::OpenSystemWithBarriers => {
+                write!(
+                    f,
+                    "open-system arrivals/departures cannot be combined with barriers"
+                )
+            }
+            ConfigError::OpenSystemCapTooSmall {
+                max_processes,
+                processes,
+            } => write!(
+                f,
+                "open-system cap ({max_processes}) below initial population ({processes})"
+            ),
+            ConfigError::EmptyPhase { index } => {
+                write!(f, "phase {index} overrides nothing")
+            }
+            ConfigError::ZeroRefsPhaseNotLast { index } => {
+                write!(
+                    f,
+                    "phase {index} has refs = 0 (rest of trace) but is not the final phase"
+                )
             }
         }
     }
@@ -153,6 +205,84 @@ impl Default for BarrierConfig {
     }
 }
 
+/// Open-system process population dynamics.
+///
+/// Instead of a fixed process set rotated through the CPUs (a *closed*
+/// system), processes arrive and depart as independent Bernoulli events
+/// per generated reference — the discrete-time analogue of a Poisson
+/// birth/death process, following the open-system workload model of
+/// Berserker and the queueing literature ("Open versus closed: a
+/// cautionary tale", Schroeder et al.). Arrivals join the ready queue;
+/// departures retire a *waiting* process, so every CPU always has work
+/// and a critical-section holder is never killed while holding its lock.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OpenSystemConfig {
+    /// Per-reference probability that a new process arrives (ignored once
+    /// `max_processes` are live).
+    pub arrival_prob: f64,
+    /// Per-reference probability that a waiting process departs. The
+    /// population never drops below the CPU count (running processes are
+    /// not retired).
+    pub departure_prob: f64,
+    /// Cap on the live process population.
+    pub max_processes: u32,
+}
+
+impl OpenSystemConfig {
+    /// A closed system: the process population is fixed.
+    pub const fn closed() -> Self {
+        OpenSystemConfig {
+            arrival_prob: 0.0,
+            departure_prob: 0.0,
+            max_processes: 0,
+        }
+    }
+
+    /// Whether arrivals or departures are active.
+    pub fn is_enabled(&self) -> bool {
+        self.arrival_prob > 0.0 || self.departure_prob > 0.0
+    }
+}
+
+impl Default for OpenSystemConfig {
+    fn default() -> Self {
+        OpenSystemConfig::closed()
+    }
+}
+
+/// One phase of a phased workload: a reference-count window in which part
+/// of the reference mix is overridden. Fields left `None` keep the base
+/// configuration's value, so a phase only has to name what changes.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Phase {
+    /// Phase length in generated references; `0` means "the rest of the
+    /// trace" and is only allowed on the final phase. After the last
+    /// phase's budget is spent, the last phase's mix persists.
+    pub refs: u64,
+    /// Overrides the instruction-fetch fraction.
+    pub instr_frac: Option<f64>,
+    /// Overrides the data-write fraction.
+    pub write_frac: Option<f64>,
+    /// Overrides the shared fraction of data references.
+    pub shared_frac: Option<f64>,
+    /// Overrides the sharing-pattern mix.
+    pub sharing_mix: Option<SharingMix>,
+    /// Overrides the lock-acquire probability.
+    pub acquire_prob: Option<f64>,
+}
+
+impl Phase {
+    /// Whether the phase overrides nothing (invalid: a phase must change
+    /// something).
+    pub fn overrides_nothing(&self) -> bool {
+        self.instr_frac.is_none()
+            && self.write_frac.is_none()
+            && self.shared_frac.is_none()
+            && self.sharing_mix.is_none()
+            && self.acquire_prob.is_none()
+    }
+}
+
 /// Full description of a synthetic workload.
 ///
 /// Construct via [`WorkloadConfig::builder`]; `Default` gives a 4-CPU
@@ -190,6 +320,16 @@ pub struct WorkloadConfig {
     pub quantum: u32,
     /// Block size in bytes (the paper uses 16).
     pub block_size: u32,
+    /// Zipf skew for shared-pool block popularity: `0` (the default) is
+    /// uniform, values in `(0, 1)` concentrate references on a few hot
+    /// blocks (rank 0 hottest).
+    pub zipf_theta: f64,
+    /// Open-system process arrival/departure (disabled by default: the
+    /// population is closed, as in the paper's traces).
+    pub open: OpenSystemConfig,
+    /// Phased mix schedule; empty means one implicit phase with the base
+    /// mix for the whole trace.
+    pub phases: Vec<Phase>,
     /// RNG seed; identical configurations generate identical traces.
     pub seed: u64,
 }
@@ -212,6 +352,9 @@ impl Default for WorkloadConfig {
             migration_prob: 0.0,
             quantum: 10_000,
             block_size: 16,
+            zipf_theta: 0.0,
+            open: OpenSystemConfig::closed(),
+            phases: Vec::new(),
             seed: 0x5eed_0001,
         }
     }
@@ -289,6 +432,56 @@ impl WorkloadConfig {
         }
         if self.shared_frac > 0.0 && self.sharing_mix.total() <= 0.0 {
             return Err(ConfigError::EmptySharingMix);
+        }
+        if !(0.0..1.0).contains(&self.zipf_theta) || self.zipf_theta.is_nan() {
+            return Err(ConfigError::ZipfTheta {
+                value: self.zipf_theta,
+            });
+        }
+        for (field, value) in [
+            ("open.arrival_prob", self.open.arrival_prob),
+            ("open.departure_prob", self.open.departure_prob),
+        ] {
+            if !(0.0..=1.0).contains(&value) || value.is_nan() {
+                return Err(ConfigError::OutOfRange { field, value });
+            }
+        }
+        if self.open.is_enabled() {
+            if self.barrier.is_enabled() {
+                return Err(ConfigError::OpenSystemWithBarriers);
+            }
+            if self.open.max_processes < self.processes {
+                return Err(ConfigError::OpenSystemCapTooSmall {
+                    max_processes: self.open.max_processes,
+                    processes: self.processes,
+                });
+            }
+        }
+        for (index, phase) in self.phases.iter().enumerate() {
+            if phase.overrides_nothing() {
+                return Err(ConfigError::EmptyPhase { index });
+            }
+            if phase.refs == 0 && index + 1 != self.phases.len() {
+                return Err(ConfigError::ZeroRefsPhaseNotLast { index });
+            }
+            let fracs = [
+                ("phase.instr_frac", phase.instr_frac),
+                ("phase.write_frac", phase.write_frac),
+                ("phase.shared_frac", phase.shared_frac),
+                ("phase.acquire_prob", phase.acquire_prob),
+            ];
+            for (field, value) in fracs {
+                if let Some(value) = value {
+                    if !(0.0..=1.0).contains(&value) || value.is_nan() {
+                        return Err(ConfigError::OutOfRange { field, value });
+                    }
+                }
+            }
+            let shared = phase.shared_frac.unwrap_or(self.shared_frac);
+            let mix = phase.sharing_mix.unwrap_or(self.sharing_mix);
+            if shared > 0.0 && mix.total() <= 0.0 {
+                return Err(ConfigError::EmptySharingMix);
+            }
         }
         Ok(())
     }
@@ -402,6 +595,30 @@ impl WorkloadBuilder {
     /// Sets the block size in bytes (must be a power of two).
     pub fn block_size(mut self, bytes: u32) -> Self {
         self.config.block_size = bytes;
+        self
+    }
+
+    /// Sets the Zipf skew for shared-pool block popularity (`0` = uniform).
+    pub fn zipf_theta(mut self, theta: f64) -> Self {
+        self.config.zipf_theta = theta;
+        self
+    }
+
+    /// Sets the open-system arrival/departure behaviour.
+    pub fn open(mut self, open: OpenSystemConfig) -> Self {
+        self.config.open = open;
+        self
+    }
+
+    /// Appends one phase to the phased mix schedule.
+    pub fn phase(mut self, phase: Phase) -> Self {
+        self.config.phases.push(phase);
+        self
+    }
+
+    /// Replaces the phased mix schedule.
+    pub fn phases(mut self, phases: Vec<Phase>) -> Self {
+        self.config.phases = phases;
         self
     }
 
@@ -542,5 +759,156 @@ mod tests {
             cpus: 4,
         };
         assert!(e.to_string().contains("processes (2)"));
+    }
+
+    #[test]
+    fn rejects_zipf_theta_at_or_above_one() {
+        for theta in [1.0, 1.5, f64::NAN] {
+            let err = WorkloadConfig::builder()
+                .zipf_theta(theta)
+                .build()
+                .unwrap_err();
+            assert!(matches!(err, ConfigError::ZipfTheta { .. }), "{theta}");
+        }
+        WorkloadConfig::builder().zipf_theta(0.99).build().unwrap();
+    }
+
+    #[test]
+    fn rejects_open_system_with_barriers() {
+        let err = WorkloadConfig::builder()
+            .open(OpenSystemConfig {
+                arrival_prob: 0.001,
+                departure_prob: 0.001,
+                max_processes: 16,
+            })
+            .barrier(BarrierConfig { interval: 100 })
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ConfigError::OpenSystemWithBarriers);
+    }
+
+    #[test]
+    fn rejects_open_system_cap_below_population() {
+        let err = WorkloadConfig::builder()
+            .processes(8)
+            .cpus(4)
+            .open(OpenSystemConfig {
+                arrival_prob: 0.001,
+                departure_prob: 0.0,
+                max_processes: 4,
+            })
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ConfigError::OpenSystemCapTooSmall { .. }));
+    }
+
+    #[test]
+    fn rejects_out_of_range_arrival_prob() {
+        let err = WorkloadConfig::builder()
+            .open(OpenSystemConfig {
+                arrival_prob: 1.5,
+                departure_prob: 0.0,
+                max_processes: 64,
+            })
+            .build()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ConfigError::OutOfRange {
+                field: "open.arrival_prob",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn rejects_empty_phase() {
+        let err = WorkloadConfig::builder()
+            .phase(Phase {
+                refs: 100,
+                ..Phase::default()
+            })
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ConfigError::EmptyPhase { index: 0 });
+    }
+
+    #[test]
+    fn rejects_zero_refs_phase_not_last() {
+        let err = WorkloadConfig::builder()
+            .phase(Phase {
+                refs: 0,
+                write_frac: Some(0.3),
+                ..Phase::default()
+            })
+            .phase(Phase {
+                refs: 100,
+                write_frac: Some(0.1),
+                ..Phase::default()
+            })
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ConfigError::ZeroRefsPhaseNotLast { index: 0 });
+    }
+
+    #[test]
+    fn rejects_out_of_range_phase_fraction() {
+        let err = WorkloadConfig::builder()
+            .phase(Phase {
+                refs: 100,
+                write_frac: Some(2.0),
+                ..Phase::default()
+            })
+            .build()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ConfigError::OutOfRange {
+                field: "phase.write_frac",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn rejects_phase_emptying_the_sharing_mix() {
+        let err = WorkloadConfig::builder()
+            .shared_frac(0.05)
+            .phase(Phase {
+                refs: 0,
+                sharing_mix: Some(SharingMix {
+                    read_mostly: 0.0,
+                    migratory: 0.0,
+                    producer_consumer: 0.0,
+                    false_sharing: 0.0,
+                }),
+                ..Phase::default()
+            })
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ConfigError::EmptySharingMix);
+    }
+
+    #[test]
+    fn accepts_valid_phases_and_open_system() {
+        WorkloadConfig::builder()
+            .zipf_theta(0.9)
+            .open(OpenSystemConfig {
+                arrival_prob: 0.0005,
+                departure_prob: 0.0005,
+                max_processes: 32,
+            })
+            .phase(Phase {
+                refs: 50_000,
+                write_frac: Some(0.4),
+                ..Phase::default()
+            })
+            .phase(Phase {
+                refs: 0,
+                shared_frac: Some(0.1),
+                ..Phase::default()
+            })
+            .build()
+            .unwrap();
     }
 }

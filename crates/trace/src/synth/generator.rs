@@ -17,7 +17,8 @@ use std::collections::VecDeque;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-use crate::synth::config::WorkloadConfig;
+use crate::synth::config::{Phase, SharingMix, WorkloadConfig};
+use crate::synth::dist::Zipf;
 use crate::synth::layout::{AddressLayout, Region};
 use crate::types::{CpuId, MemRef, ProcessId, RefFlags};
 
@@ -136,6 +137,40 @@ struct LockState {
     holder: Option<u32>,
 }
 
+/// The reference mix currently in force: the base configuration with the
+/// active phase's overrides applied. Recomputed only at phase boundaries,
+/// so the per-reference hot path reads plain fields.
+#[derive(Debug, Clone, Copy)]
+struct EffectiveMix {
+    instr_frac: f64,
+    write_frac: f64,
+    shared_frac: f64,
+    acquire_prob: f64,
+    sharing_mix: SharingMix,
+}
+
+impl EffectiveMix {
+    fn base(cfg: &WorkloadConfig) -> Self {
+        EffectiveMix {
+            instr_frac: cfg.instr_frac,
+            write_frac: cfg.write_frac,
+            shared_frac: cfg.shared_frac,
+            acquire_prob: cfg.lock.acquire_prob,
+            sharing_mix: cfg.sharing_mix,
+        }
+    }
+
+    fn for_phase(cfg: &WorkloadConfig, phase: &Phase) -> Self {
+        EffectiveMix {
+            instr_frac: phase.instr_frac.unwrap_or(cfg.instr_frac),
+            write_frac: phase.write_frac.unwrap_or(cfg.write_frac),
+            shared_frac: phase.shared_frac.unwrap_or(cfg.shared_frac),
+            acquire_prob: phase.acquire_prob.unwrap_or(cfg.lock.acquire_prob),
+            sharing_mix: phase.sharing_mix.unwrap_or(cfg.sharing_mix),
+        }
+    }
+}
+
 /// Infinite deterministic reference stream. See the module docs.
 ///
 /// # Examples
@@ -169,6 +204,17 @@ pub struct Workload {
     mig_base: u64,
     read_mostly_base: u64,
     producer_base: u64,
+    /// The mix currently in force (base config + active phase overrides).
+    eff: EffectiveMix,
+    /// Index of the active phase (`cfg.phases` may be empty).
+    phase_idx: usize,
+    /// References left in the active phase; `None` once the schedule is
+    /// exhausted (or was never set).
+    phase_left: Option<u64>,
+    /// Zipf sampler for shared-pool popularity (`None` = uniform).
+    zipf: Option<Zipf>,
+    /// Live process count (grows and shrinks in open-system mode).
+    live: u32,
 }
 
 impl Workload {
@@ -189,6 +235,16 @@ impl Workload {
         let locks = vec![LockState { holder: None }; cfg.lock.locks as usize];
         let guarded_base = vec![0u64; cfg.lock.locks as usize];
         let rng = SmallRng::seed_from_u64(cfg.seed);
+        let (eff, phase_left) = match cfg.phases.first() {
+            Some(phase) => (
+                EffectiveMix::for_phase(&cfg, phase),
+                (phase.refs > 0).then_some(phase.refs),
+            ),
+            None => (EffectiveMix::base(&cfg), None),
+        };
+        let zipf = (cfg.zipf_theta > 0.0)
+            .then(|| Zipf::new(u64::from(cfg.shared_blocks_per_pool), cfg.zipf_theta));
+        let live = cfg.processes;
         Workload {
             cfg,
             layout,
@@ -205,12 +261,77 @@ impl Workload {
             mig_base: 0,
             read_mostly_base: 0,
             producer_base: 0,
+            eff,
+            phase_idx: 0,
+            phase_left,
+            zipf,
+            live,
         }
     }
 
     /// The configuration this generator was built from.
     pub fn config(&self) -> &WorkloadConfig {
         &self.cfg
+    }
+
+    /// Moves to the next phase once the active one's budget is spent. The
+    /// last phase's mix persists after its budget runs out.
+    fn maybe_advance_phase(&mut self) {
+        if self.phase_left == Some(0) {
+            self.phase_idx += 1;
+            match self.cfg.phases.get(self.phase_idx) {
+                Some(phase) => {
+                    self.eff = EffectiveMix::for_phase(&self.cfg, phase);
+                    self.phase_left = (phase.refs > 0).then_some(phase.refs);
+                }
+                None => self.phase_left = None,
+            }
+        }
+    }
+
+    /// One step of the open-system birth/death process: maybe spawn a new
+    /// process into the ready queue, maybe retire a waiting one. Only runs
+    /// when open-system mode is enabled, so closed configurations draw no
+    /// extra randomness (bit-identical streams).
+    fn open_system_step(&mut self) {
+        let open = self.cfg.open;
+        if open.arrival_prob > 0.0 && self.rng.gen_bool(open.arrival_prob) {
+            // The cap check comes after the draw so the stream consumed
+            // per step does not depend on the population.
+            if self.live < open.max_processes {
+                let pid = self.procs.len() as u32;
+                self.procs.push(ProcState::new(pid, &self.cfg));
+                self.ready.push_back(pid);
+                self.live += 1;
+            }
+        }
+        if open.departure_prob > 0.0 && self.rng.gen_bool(open.departure_prob) {
+            // Retire the front waiter; CPUs keep their running processes,
+            // so the population never drops below the CPU count. A
+            // critical-section holder is never retired (it would leak its
+            // lock and starve every spinner) — it is rotated to the back
+            // and this departure is skipped.
+            if let Some(&front) = self.ready.front() {
+                if matches!(self.procs[front as usize].mode, Mode::Critical { .. }) {
+                    self.ready.rotate_left(1);
+                } else {
+                    self.ready.pop_front();
+                    self.live -= 1;
+                }
+            }
+        }
+    }
+
+    /// Draws a block rank within a shared pool: uniform by default, Zipf
+    /// when `zipf_theta > 0`. Consumes exactly one RNG value either way.
+    fn pool_rank(&mut self, blocks: u64) -> u64 {
+        match &self.zipf {
+            Some(zipf) => {
+                debug_assert_eq!(zipf.ranks(), blocks);
+                zipf.sample(&mut self.rng)
+            }
+            None => self.rng.gen_range(0..blocks),
+        }
     }
 
     fn maybe_migrate(&mut self) {
@@ -244,7 +365,7 @@ impl Workload {
         match self.procs[pid as usize].mode {
             Mode::Spinning { lock } => {
                 // The spin loop executes instructions between tests.
-                if self.rng.gen_bool(self.cfg.instr_frac) {
+                if self.rng.gen_bool(self.eff.instr_frac) {
                     return self.instr_fetch(cpu, pid);
                 }
                 if self.locks[lock as usize].holder.is_none() {
@@ -275,10 +396,10 @@ impl Workload {
                 // Work done while holding the lock looks like ordinary
                 // execution, except that its shared accesses target the
                 // lock's guarded blocks.
-                if self.rng.gen_bool(self.cfg.instr_frac) {
+                if self.rng.gen_bool(self.eff.instr_frac) {
                     return self.instr_fetch(cpu, pid);
                 }
-                let os_prob = (1.0 - self.cfg.instr_frac) * self.cfg.os_frac;
+                let os_prob = (1.0 - self.eff.instr_frac) * self.cfg.os_frac;
                 if self.rng.gen_bool(os_prob.clamp(0.0, 1.0)) {
                     return self.os_ref(cpu, pid);
                 }
@@ -300,7 +421,7 @@ impl Workload {
             }
             Mode::AtBarrier { generation } => {
                 // Spin-loop instructions interleave with generation tests.
-                if self.rng.gen_bool(self.cfg.instr_frac) {
+                if self.rng.gen_bool(self.eff.instr_frac) {
                     return self.instr_fetch(cpu, pid);
                 }
                 if self.barrier_generation != generation {
@@ -349,21 +470,21 @@ impl Workload {
     fn running_turn(&mut self, cpu: CpuId, pid: u32) -> MemRef {
         let id = ProcessId::new(pid);
         let roll: f64 = self.rng.gen();
-        if roll < self.cfg.instr_frac {
+        if roll < self.eff.instr_frac {
             return self.instr_fetch(cpu, pid);
         }
-        if roll < self.cfg.instr_frac + (1.0 - self.cfg.instr_frac) * self.cfg.os_frac {
+        if roll < self.eff.instr_frac + (1.0 - self.eff.instr_frac) * self.cfg.os_frac {
             return self.os_ref(cpu, pid);
         }
         // Ordinary data reference.
-        if !self.locks.is_empty() && self.rng.gen_bool(self.cfg.lock.acquire_prob) {
+        if !self.locks.is_empty() && self.rng.gen_bool(self.eff.acquire_prob) {
             let lock = self.rng.gen_range(0..self.locks.len()) as u32;
             self.procs[pid as usize].mode = Mode::Spinning { lock };
             // The initial test read of test-and-test-and-set.
             return MemRef::read(cpu, id, self.layout.lock(lock))
                 .with_flags(RefFlags::empty().with_lock());
         }
-        if self.rng.gen_bool(self.cfg.shared_frac) {
+        if self.rng.gen_bool(self.eff.shared_frac) {
             self.shared_ref(cpu, pid)
         } else {
             self.private_ref(cpu, pid)
@@ -412,7 +533,7 @@ impl Workload {
             b
         };
         let addr = self.layout.private(pid, block);
-        if self.rng.gen_bool(self.cfg.write_frac) {
+        if self.rng.gen_bool(self.eff.write_frac) {
             MemRef::write(cpu, ProcessId::new(pid), addr)
         } else {
             MemRef::read(cpu, ProcessId::new(pid), addr)
@@ -420,7 +541,7 @@ impl Workload {
     }
 
     fn shared_ref(&mut self, cpu: CpuId, pid: u32) -> MemRef {
-        let mix = self.cfg.sharing_mix;
+        let mix = self.eff.sharing_mix;
         let total = mix.total();
         let roll: f64 = self.rng.gen::<f64>() * total;
         if roll < mix.read_mostly {
@@ -437,7 +558,7 @@ impl Workload {
     fn false_sharing_ref(&mut self, cpu: CpuId, pid: u32) -> MemRef {
         // Each process hammers its own word; several words share a block.
         let blocks = u64::from(self.cfg.shared_blocks_per_pool);
-        let block = self.rng.gen_range(0..blocks);
+        let block = self.pool_rank(blocks);
         let addr = self.layout.false_sharing_word(pid, block);
         // Per-process counters are update-heavy.
         if self.rng.gen_bool(0.6) {
@@ -452,7 +573,7 @@ impl Workload {
         if self.rng.gen_bool(POOL_CHURN) {
             self.read_mostly_base += 1;
         }
-        let block = self.read_mostly_base + self.rng.gen_range(0..blocks);
+        let block = self.read_mostly_base + self.pool_rank(blocks);
         let addr = self.layout.shared(Region::ReadMostly, block);
         if self.rng.gen_bool(READ_MOSTLY_WRITE_FRAC) {
             MemRef::write(cpu, ProcessId::new(pid), addr)
@@ -467,12 +588,14 @@ impl Workload {
             self.mig_base += 1;
         }
         let mig_base = self.mig_base;
-        let state = &mut self.procs[pid as usize];
-        if state.mig_burst_left == 0 {
+        if self.procs[pid as usize].mig_burst_left == 0 {
             // Pick up a (likely previously-owned-by-someone-else) object.
-            state.mig_block = mig_base + self.rng.gen_range(0..blocks);
+            let rank = self.pool_rank(blocks);
+            let state = &mut self.procs[pid as usize];
+            state.mig_block = mig_base + rank;
             state.mig_burst_left = MIGRATORY_BURST;
         }
+        let state = &mut self.procs[pid as usize];
         state.mig_burst_left -= 1;
         let first_of_burst = state.mig_burst_left == MIGRATORY_BURST - 1;
         let addr = self.layout.shared(Region::Migratory, state.mig_block);
@@ -489,9 +612,11 @@ impl Workload {
         if self.rng.gen_bool(POOL_CHURN) {
             self.producer_base += 1;
         }
-        let block = self.producer_base + self.rng.gen_range(0..blocks);
+        let block = self.producer_base + self.pool_rank(blocks);
         let addr = self.layout.shared(Region::ProducerConsumer, block);
-        let producer = ((self.step / PRODUCER_EPOCH) % u64::from(self.cfg.processes)) as u32;
+        // Rotate the producer role over every process ever created; in a
+        // closed system this is exactly the configured process set.
+        let producer = ((self.step / PRODUCER_EPOCH) % self.procs.len() as u64) as u32;
         if pid == producer {
             MemRef::write(cpu, ProcessId::new(pid), addr)
         } else {
@@ -504,6 +629,10 @@ impl Iterator for Workload {
     type Item = MemRef;
 
     fn next(&mut self) -> Option<Self::Item> {
+        self.maybe_advance_phase();
+        if self.cfg.open.is_enabled() {
+            self.open_system_step();
+        }
         self.maybe_context_switch();
         self.maybe_migrate();
         let cpu_idx = self.next_cpu;
@@ -511,6 +640,9 @@ impl Iterator for Workload {
         let pid = self.cpu_proc[cpu_idx];
         let r = self.proc_turn(CpuId::new(cpu_idx as u16), pid);
         self.step += 1;
+        if let Some(left) = &mut self.phase_left {
+            *left -= 1;
+        }
         Some(r)
     }
 }
@@ -795,5 +927,184 @@ mod tests {
             ..WorkloadConfig::default()
         };
         let _ = Workload::new(cfg);
+    }
+
+    #[test]
+    fn phases_matching_the_base_mix_do_not_perturb_the_stream() {
+        // Phase bookkeeping must consume no randomness: a schedule whose
+        // overrides equal the base configuration yields the identical
+        // trace. This is the bit-identity guarantee the paper presets
+        // (re-expressed as scenario specs) rely on.
+        let plain = WorkloadConfig::builder().seed(47).build().unwrap();
+        let phased = WorkloadConfig::builder()
+            .seed(47)
+            .phase(Phase {
+                refs: 5_000,
+                write_frac: Some(plain.write_frac),
+                ..Phase::default()
+            })
+            .phase(Phase {
+                refs: 0,
+                instr_frac: Some(plain.instr_frac),
+                ..Phase::default()
+            })
+            .build()
+            .unwrap();
+        assert_eq!(take(plain, 20_000), take(phased, 20_000));
+    }
+
+    #[test]
+    fn phases_shift_the_write_mix_at_the_boundary() {
+        let cfg = WorkloadConfig::builder()
+            .seed(53)
+            .phase(Phase {
+                refs: 100_000,
+                write_frac: Some(0.02),
+                ..Phase::default()
+            })
+            .phase(Phase {
+                refs: 0,
+                write_frac: Some(0.60),
+                ..Phase::default()
+            })
+            .build()
+            .unwrap();
+        let refs = take(cfg, 200_000);
+        let write_frac = |window: &[MemRef]| {
+            let writes = window
+                .iter()
+                .filter(|r| r.kind == AccessKind::Write)
+                .count();
+            writes as f64 / window.len() as f64
+        };
+        let early = write_frac(&refs[..100_000]);
+        let late = write_frac(&refs[100_000..]);
+        assert!(
+            late > early + 0.10,
+            "write fraction shifts up at the phase boundary: {early} -> {late}"
+        );
+    }
+
+    #[test]
+    fn open_system_grows_the_population() {
+        let cfg = WorkloadConfig::builder()
+            .seed(59)
+            .quantum(500)
+            .open(crate::synth::config::OpenSystemConfig {
+                arrival_prob: 0.001,
+                departure_prob: 0.0002,
+                max_processes: 32,
+            })
+            .build()
+            .unwrap();
+        let stats = TraceStats::from_refs(take(cfg, 200_000));
+        assert!(
+            stats.process_count() > 4,
+            "arrivals created new processes: {}",
+            stats.process_count()
+        );
+    }
+
+    #[test]
+    fn open_system_respects_the_population_cap() {
+        let cfg = WorkloadConfig::builder()
+            .seed(61)
+            .quantum(200)
+            .open(crate::synth::config::OpenSystemConfig {
+                arrival_prob: 0.05,
+                departure_prob: 0.0,
+                max_processes: 6,
+            })
+            .build()
+            .unwrap();
+        let mut w = Workload::new(cfg);
+        for _ in 0..100_000 {
+            let _ = w.next();
+            assert!(w.live <= 6, "live population {} over cap", w.live);
+        }
+        assert_eq!(w.live, 6, "aggressive arrivals saturate the cap");
+    }
+
+    #[test]
+    fn open_system_departures_shrink_the_ready_queue() {
+        let cfg = WorkloadConfig::builder()
+            .seed(67)
+            .processes(12)
+            .quantum(200)
+            .open(crate::synth::config::OpenSystemConfig {
+                arrival_prob: 0.0,
+                departure_prob: 0.01,
+                max_processes: 12,
+            })
+            .build()
+            .unwrap();
+        let mut w = Workload::new(cfg);
+        for _ in 0..100_000 {
+            let _ = w.next();
+        }
+        assert!(w.live < 12, "departures retired waiters: live {}", w.live);
+        assert!(
+            w.live >= 4,
+            "running processes are never retired: live {}",
+            w.live
+        );
+    }
+
+    #[test]
+    fn open_system_is_deterministic() {
+        let cfg = WorkloadConfig::builder()
+            .seed(71)
+            .open(crate::synth::config::OpenSystemConfig {
+                arrival_prob: 0.002,
+                departure_prob: 0.001,
+                max_processes: 16,
+            })
+            .build()
+            .unwrap();
+        assert_eq!(take(cfg.clone(), 50_000), take(cfg, 50_000));
+    }
+
+    #[test]
+    fn zipf_popularity_concentrates_shared_pool_traffic() {
+        use std::collections::HashMap;
+        // Use the false-sharing pool: unlike the churned sliding-window
+        // pools, its word addresses are stable over the whole trace, so
+        // the popularity law is visible in a raw address histogram.
+        let pool_histogram = |theta: f64| {
+            let cfg = WorkloadConfig::builder()
+                .seed(73)
+                .shared_frac(0.30)
+                .sharing_mix(SharingMix {
+                    read_mostly: 0.0,
+                    migratory: 0.0,
+                    producer_consumer: 0.0,
+                    false_sharing: 1.0,
+                })
+                .zipf_theta(theta)
+                .build()
+                .unwrap();
+            let refs = take(cfg, 300_000);
+            let mut counts: HashMap<u64, u64> = HashMap::new();
+            for r in &refs {
+                if Region::of(r.addr) == Some(Region::FalseSharing) {
+                    *counts.entry(r.addr.raw()).or_default() += 1;
+                }
+            }
+            let mut sorted: Vec<u64> = counts.into_values().collect();
+            sorted.sort_unstable_by(|a, b| b.cmp(a));
+            sorted
+        };
+        let uniform = pool_histogram(0.0);
+        let skewed = pool_histogram(0.9);
+        let head_share = |h: &[u64]| {
+            let total: u64 = h.iter().sum();
+            h[0] as f64 / total as f64
+        };
+        assert!(
+            head_share(&skewed) > 2.0 * head_share(&uniform),
+            "zipf head {:.3} vs uniform head {:.3}",
+            head_share(&skewed),
+            head_share(&uniform)
+        );
     }
 }

@@ -5,13 +5,16 @@
 //! calibrated to the paper's three traces ([`PaperTrace`]).
 
 mod config;
+mod dist;
 mod generator;
 mod layout;
 mod presets;
 
 pub use config::{
-    BarrierConfig, ConfigError, LockConfig, SharingMix, WorkloadBuilder, WorkloadConfig,
+    BarrierConfig, ConfigError, LockConfig, OpenSystemConfig, Phase, SharingMix, WorkloadBuilder,
+    WorkloadConfig,
 };
+pub use dist::Zipf;
 pub use generator::Workload;
 pub use layout::{AddressLayout, Region};
 pub use presets::{pero_like, pops_like, thor_like, PaperTrace};

@@ -15,8 +15,15 @@
 //! These presets configure the synthetic generator to match those first-order
 //! characteristics. They do not (and cannot) reproduce the applications'
 //! exact address streams; see DESIGN.md §2 for the substitution argument.
+//!
+//! Since the scenario language landed, this module is a thin alias over
+//! the bundled registry: the calibrations themselves live in
+//! `crates/trace/scenarios/{pops,thor,pero}.scn` and [`PaperTrace`] just
+//! resolves them by name. `tests/scenarios.rs` pins the specs
+//! bit-identical to the original hand-written constructors.
 
-use crate::synth::config::{LockConfig, SharingMix, WorkloadConfig};
+use crate::scenario::Scenario;
+use crate::synth::config::WorkloadConfig;
 use crate::synth::generator::Workload;
 
 /// Identifies one of the paper's three traces.
@@ -43,13 +50,14 @@ impl PaperTrace {
         }
     }
 
+    /// The bundled scenario this trace resolves to.
+    pub fn scenario(self) -> &'static Scenario {
+        Scenario::named(self.name()).expect("paper scenarios are bundled")
+    }
+
     /// The workload configuration emulating this trace.
     pub fn config(self) -> WorkloadConfig {
-        match self {
-            PaperTrace::Pops => pops_like(),
-            PaperTrace::Thor => thor_like(),
-            PaperTrace::Pero => pero_like(),
-        }
+        self.scenario().config().clone()
     }
 
     /// Reference count the paper reports for this trace (Table 3, thousands
@@ -74,86 +82,25 @@ impl std::fmt::Display for PaperTrace {
     }
 }
 
-fn base() -> WorkloadConfig {
-    WorkloadConfig::default()
-}
-
 /// Workload approximating the POPS trace: rule-system with contended locks.
+///
+/// Alias for the bundled `pops` scenario.
 pub fn pops_like() -> WorkloadConfig {
-    WorkloadConfig {
-        cpus: 4,
-        processes: 4,
-        instr_frac: 0.517,
-        write_frac: 0.24,
-        shared_frac: 0.02,
-        sharing_mix: SharingMix {
-            read_mostly: 0.50,
-            migratory: 0.40,
-            producer_consumer: 0.10,
-            false_sharing: 0.0,
-        },
-        lock: LockConfig {
-            locks: 1,
-            acquire_prob: 0.0055,
-            critical_section_len: 200,
-            critical_write_frac: 0.50,
-        },
-        os_frac: 0.103,
-        seed: 0x1988_0001,
-        ..base()
-    }
+    PaperTrace::Pops.config()
 }
 
 /// Workload approximating the THOR trace: logic simulator with event queues.
+///
+/// Alias for the bundled `thor` scenario.
 pub fn thor_like() -> WorkloadConfig {
-    WorkloadConfig {
-        cpus: 4,
-        processes: 4,
-        instr_frac: 0.452,
-        write_frac: 0.21,
-        shared_frac: 0.025,
-        sharing_mix: SharingMix {
-            read_mostly: 0.35,
-            migratory: 0.53,
-            producer_consumer: 0.12,
-            false_sharing: 0.0,
-        },
-        lock: LockConfig {
-            locks: 1,
-            acquire_prob: 0.0055,
-            critical_section_len: 200,
-            critical_write_frac: 0.45,
-        },
-        os_frac: 0.154,
-        seed: 0x1988_0002,
-        ..base()
-    }
+    PaperTrace::Thor.config()
 }
 
 /// Workload approximating the PERO trace: read-heavy router, little sharing.
+///
+/// Alias for the bundled `pero` scenario.
 pub fn pero_like() -> WorkloadConfig {
-    WorkloadConfig {
-        cpus: 4,
-        processes: 4,
-        instr_frac: 0.523,
-        write_frac: 0.24,
-        shared_frac: 0.008,
-        sharing_mix: SharingMix {
-            read_mostly: 0.70,
-            migratory: 0.25,
-            producer_consumer: 0.05,
-            false_sharing: 0.0,
-        },
-        lock: LockConfig {
-            locks: 2,
-            acquire_prob: 0.0003,
-            critical_section_len: 60,
-            critical_write_frac: 0.30,
-        },
-        os_frac: 0.076,
-        seed: 0x1988_0003,
-        ..base()
-    }
+    PaperTrace::Pero.config()
 }
 
 #[cfg(test)]

@@ -1,0 +1,360 @@
+//! The bundled scenario registry, held to its contract:
+//!
+//! * the paper scenarios (`pops`/`thor`/`pero`) generate traces
+//!   **bit-identical** to the old hand-written presets, pinned here
+//!   against literal configurations (not the preset constructors, so a
+//!   drive-by edit to either side fails loudly);
+//! * every bundled scenario passes `trace::stats` shape checks on its
+//!   first-order mix (CPU count, instruction fraction, lock-read
+//!   ordering, arrival-rate sanity);
+//! * malformed specs fail with typed, line-addressed errors (the
+//!   `fixtures/malformed.scn` file is the same one the CI gate feeds to
+//!   `simulate --scenario` expecting a non-zero exit);
+//! * `render → parse` round-trips arbitrary valid configurations
+//!   (proptest).
+
+use proptest::prelude::*;
+
+use dirsim_trace::scenario::{registry, rules, Scenario, ScenarioError};
+use dirsim_trace::synth::{
+    LockConfig, OpenSystemConfig, Phase, SharingMix, Workload, WorkloadConfig,
+};
+use dirsim_trace::TraceStats;
+
+fn stats_for(scenario: &Scenario, n: usize) -> TraceStats {
+    TraceStats::from_refs(scenario.workload().take(n))
+}
+
+/// The old `pops_like()` preset, written out literally (4-CPU OPS5 rule
+/// system; see crates/trace/src/synth/presets.rs for the calibration).
+fn pinned_pops() -> WorkloadConfig {
+    WorkloadConfig {
+        cpus: 4,
+        processes: 4,
+        instr_frac: 0.517,
+        write_frac: 0.24,
+        shared_frac: 0.02,
+        sharing_mix: SharingMix {
+            read_mostly: 0.50,
+            migratory: 0.40,
+            producer_consumer: 0.10,
+            false_sharing: 0.0,
+        },
+        lock: LockConfig {
+            locks: 1,
+            acquire_prob: 0.0055,
+            critical_section_len: 200,
+            critical_write_frac: 0.50,
+        },
+        os_frac: 0.103,
+        seed: 0x1988_0001,
+        ..WorkloadConfig::default()
+    }
+}
+
+fn pinned_thor() -> WorkloadConfig {
+    WorkloadConfig {
+        cpus: 4,
+        processes: 4,
+        instr_frac: 0.452,
+        write_frac: 0.21,
+        shared_frac: 0.025,
+        sharing_mix: SharingMix {
+            read_mostly: 0.35,
+            migratory: 0.53,
+            producer_consumer: 0.12,
+            false_sharing: 0.0,
+        },
+        lock: LockConfig {
+            locks: 1,
+            acquire_prob: 0.0055,
+            critical_section_len: 200,
+            critical_write_frac: 0.45,
+        },
+        os_frac: 0.154,
+        seed: 0x1988_0002,
+        ..WorkloadConfig::default()
+    }
+}
+
+fn pinned_pero() -> WorkloadConfig {
+    WorkloadConfig {
+        cpus: 4,
+        processes: 4,
+        instr_frac: 0.523,
+        write_frac: 0.24,
+        shared_frac: 0.008,
+        sharing_mix: SharingMix {
+            read_mostly: 0.70,
+            migratory: 0.25,
+            producer_consumer: 0.05,
+            false_sharing: 0.0,
+        },
+        lock: LockConfig {
+            locks: 2,
+            acquire_prob: 0.0003,
+            critical_section_len: 60,
+            critical_write_frac: 0.30,
+        },
+        os_frac: 0.076,
+        seed: 0x1988_0003,
+        ..WorkloadConfig::default()
+    }
+}
+
+#[test]
+fn paper_scenarios_are_bit_identical_to_the_old_presets() {
+    for (name, pinned) in [
+        ("pops", pinned_pops()),
+        ("thor", pinned_thor()),
+        ("pero", pinned_pero()),
+    ] {
+        let scenario = Scenario::named(name).unwrap();
+        assert_eq!(scenario.config(), &pinned, "{name}: config drift");
+        // Config equality already implies identical traces (the generator
+        // is a pure function of the config), but compare a real prefix
+        // anyway so a generator regression that consults global state
+        // cannot hide behind the config check.
+        let via_scenario: Vec<_> = scenario.workload().take(100_000).collect();
+        let via_pinned: Vec<_> = Workload::new(pinned).take(100_000).collect();
+        assert_eq!(via_scenario, via_pinned, "{name}: trace drift");
+    }
+}
+
+#[test]
+fn paper_trace_alias_matches_the_registry() {
+    use dirsim_trace::synth::PaperTrace;
+    for t in PaperTrace::ALL {
+        let scenario = Scenario::named(t.name()).unwrap();
+        assert_eq!(&t.config(), scenario.config(), "{t}");
+    }
+}
+
+#[test]
+fn registry_exposes_at_least_ten_scenarios() {
+    assert!(registry().len() >= 10, "only {}", registry().len());
+}
+
+#[test]
+fn every_scenario_matches_its_declared_cpu_count() {
+    for s in registry() {
+        // Enough references that the round-robin covers every CPU even
+        // under migration and open-system churn.
+        let stats = stats_for(s, 20_000);
+        assert_eq!(
+            stats.cpu_count(),
+            usize::from(s.config().cpus),
+            "{}",
+            s.name()
+        );
+    }
+}
+
+#[test]
+fn every_scenario_tracks_its_instruction_fraction() {
+    for s in registry() {
+        // The effective instruction fraction of the *first* window: for
+        // phased scenarios that is the first phase's override.
+        let want = s
+            .config()
+            .phases
+            .first()
+            .and_then(|p| p.instr_frac)
+            .unwrap_or(s.config().instr_frac);
+        let stats = stats_for(s, 150_000);
+        let got = stats.instructions() as f64 / stats.total() as f64;
+        // Spin-heavy scenarios sit below the configured fraction (spin
+        // reads displace ordinary turns), so the band is generous but
+        // still catches a mixed-up mix.
+        assert!(
+            (got - want).abs() < 0.12,
+            "{}: instr fraction {got} vs configured {want}",
+            s.name()
+        );
+    }
+}
+
+#[test]
+fn lock_read_ordering_matches_the_paper() {
+    // POPS and THOR spin far more than PERO (paper: ~1/3 of data reads
+    // vs essentially none), and the lock-storm scenario out-spins all
+    // three paper traces.
+    let frac = |name: &str| stats_for(Scenario::named(name).unwrap(), 150_000).lock_read_fraction();
+    let (pops, thor, pero, storm) = (frac("pops"), frac("thor"), frac("pero"), frac("lock-storm"));
+    assert!(pops > 5.0 * pero, "pops {pops} vs pero {pero}");
+    assert!(thor > 5.0 * pero, "thor {thor} vs pero {pero}");
+    assert!(storm > pops, "lock-storm {storm} vs pops {pops}");
+    assert!(storm > 0.3, "lock-storm spins hard: {storm}");
+}
+
+#[test]
+fn open_scenarios_grow_their_population() {
+    for name in ["open-system", "open-zipf-phased"] {
+        let s = Scenario::named(name).unwrap();
+        let open = s.config().open;
+        // Arrival-rate sanity: open scenarios declare a positive arrival
+        // probability that is still a probability, an arrival rate at
+        // least the departure rate (the population trends up, not to
+        // extinction), and a cap above the initial population.
+        assert!(open.arrival_prob > 0.0 && open.arrival_prob < 1.0, "{name}");
+        assert!(open.arrival_prob >= open.departure_prob, "{name}");
+        assert!(open.max_processes > s.config().processes, "{name}");
+        let stats = stats_for(s, 300_000);
+        assert!(
+            stats.process_count() > s.config().processes as usize,
+            "{name}: population never grew past {}",
+            s.config().processes
+        );
+    }
+}
+
+#[test]
+fn closed_scenarios_keep_their_population() {
+    for s in registry() {
+        if s.config().open.is_enabled() {
+            continue;
+        }
+        let stats = stats_for(s, 100_000);
+        assert_eq!(
+            stats.process_count(),
+            s.config().processes as usize,
+            "{}",
+            s.name()
+        );
+    }
+}
+
+#[test]
+fn phased_scenario_shifts_its_write_mix() {
+    let s = Scenario::named("phased").unwrap();
+    let refs: Vec<_> = s.workload().take(800_000).collect();
+    let write_frac = |w: &[dirsim_trace::MemRef]| {
+        w.iter()
+            .filter(|r| r.kind == dirsim_trace::AccessKind::Write)
+            .count() as f64
+            / w.len() as f64
+    };
+    let build = write_frac(&refs[..400_000]);
+    let update = write_frac(&refs[400_000..800_000]);
+    assert!(
+        update > 2.0 * build,
+        "write fraction jumps between phases: {build} -> {update}"
+    );
+}
+
+#[test]
+fn reads_dominate_writes_in_the_paper_scenarios() {
+    for name in ["pops", "thor", "pero"] {
+        let stats = stats_for(Scenario::named(name).unwrap(), 100_000);
+        assert!(
+            stats.read_write_ratio() > 2.0,
+            "{name}: r/w {}",
+            stats.read_write_ratio()
+        );
+    }
+}
+
+#[test]
+fn malformed_fixture_fails_with_a_typed_error() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures/malformed.scn");
+    let err = Scenario::from_file(path).unwrap_err();
+    match err {
+        ScenarioError::Config(e) => {
+            let msg = e.to_string();
+            assert!(msg.contains("write_frac"), "{msg}");
+        }
+        other => panic!("expected a config error, got {other:?}"),
+    }
+}
+
+#[test]
+fn parse_error_paths_carry_line_and_field_context() {
+    // Unknown key.
+    let err = Scenario::parse("scenario \"x\" {\n  turbo = 9\n}").unwrap_err();
+    match &err {
+        ScenarioError::Rule(e) => {
+            assert_eq!(e.line, 2);
+            assert_eq!(e.field, "turbo");
+        }
+        other => panic!("unexpected: {other:?}"),
+    }
+    // Out-of-range fraction (via validation).
+    let err = Scenario::parse("scenario \"x\" { os_frac = 7.0 }").unwrap_err();
+    assert!(matches!(err, ScenarioError::Config(_)), "{err:?}");
+    // A phase that overrides nothing.
+    let err = Scenario::parse("scenario \"x\" { phase { refs = 10 } }").unwrap_err();
+    assert!(err.to_string().contains("overrides nothing"), "{err}");
+    // Grammar failure with a line number.
+    let err = Scenario::parse("scenario \"x\" {\n  cpus =\n}").unwrap_err();
+    match err {
+        ScenarioError::Parse(e) => assert_eq!(e.line, 3),
+        other => panic!("unexpected: {other:?}"),
+    }
+}
+
+/// A strategy over valid workload configurations that exercises every
+/// clause the renderer can emit.
+fn arb_config() -> impl Strategy<Value = WorkloadConfig> {
+    (
+        (1u16..=8, 0u32..8),                     // cpus, extra processes
+        (0.1f64..0.9, 0.0f64..0.9, 0.0f64..0.5), // instr/write/shared fracs
+        (0.0f64..0.99, any::<bool>()),           // zipf_theta, open system?
+        (0u64..3, any::<u64>()),                 // phase count, seed
+    )
+        .prop_map(
+            |((cpus, extra), (instr, write, shared), (zipf, open), (phases, seed))| {
+                let processes = u32::from(cpus) + extra;
+                let mut cfg = WorkloadConfig {
+                    cpus,
+                    processes,
+                    instr_frac: instr,
+                    write_frac: write,
+                    shared_frac: shared,
+                    zipf_theta: zipf,
+                    seed,
+                    ..WorkloadConfig::default()
+                };
+                if open {
+                    cfg.open = OpenSystemConfig {
+                        arrival_prob: 0.001,
+                        departure_prob: 0.0005,
+                        max_processes: processes + 16,
+                    };
+                }
+                for i in 0..phases {
+                    cfg.phases.push(Phase {
+                        // Last phase gets refs = 0 ("rest of trace").
+                        refs: if i + 1 == phases { 0 } else { 1_000 * (i + 1) },
+                        write_frac: Some(0.1 * (i + 1) as f64),
+                        ..Phase::default()
+                    });
+                }
+                cfg
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `render → parse → resolve` reproduces the configuration exactly —
+    /// the renderer and the rules vocabulary cannot drift apart without
+    /// this failing.
+    #[test]
+    fn spec_render_parse_round_trip(cfg in arb_config()) {
+        prop_assume!(cfg.validate().is_ok());
+        let text = rules::render("round-trip", "proptest", &cfg);
+        let scenario = Scenario::parse(&text).unwrap();
+        prop_assert_eq!(scenario.config(), &cfg);
+        prop_assert_eq!(scenario.name(), "round-trip");
+    }
+
+    /// Rendering a bundled scenario and parsing it back is the identity.
+    #[test]
+    fn bundled_round_trip(idx in 0usize..13) {
+        prop_assume!(idx < registry().len());
+        let s = &registry()[idx];
+        let back = Scenario::parse(&s.to_spec()).unwrap();
+        prop_assert_eq!(&back, s);
+    }
+}

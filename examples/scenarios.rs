@@ -1,0 +1,58 @@
+//! Scenarios: drive the simulator from the scenario language instead of
+//! hand-built `WorkloadConfig`s.
+//!
+//! The bundled registry ships the paper's three trace stand-ins plus a
+//! family of stress workloads (lock storms, false sharing, Zipf-skewed
+//! pools, open-system arrivals, phased mixes). Any of them — or a `.scn`
+//! spec file of your own — resolves to the same `Scenario` type.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run -p dirsim --example scenarios
+//! ```
+
+use dirsim::prelude::*;
+use dirsim::report;
+use dirsim_trace::scenario::registry;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. The bundled registry: every scenario the crate ships, already
+    //    parsed and validated. `simulate --list-scenarios` prints the same.
+    println!("bundled scenarios:");
+    for s in registry() {
+        println!("  {:<18} {}", s.name(), s.description());
+    }
+    println!();
+
+    // 2. Scenarios are just specs: the same language accepts inline text
+    //    (or a file via `Scenario::from_file` / `Scenario::resolve`).
+    //    Everything not named falls back to the calibrated defaults.
+    let custom = Scenario::parse(
+        r#"
+        scenario "hot-lock-demo" {
+            description = "one fiercely contended lock on eight cpus"
+            cpus = 8
+            processes = 8
+            lock { locks = 1, acquire_prob = 0.01, hold = 300, write_frac = 0.5 }
+        }
+        "#,
+    )?;
+
+    // 3. Mix bundled and custom scenarios in one experiment matrix. The
+    //    `NamedWorkload` conversion keeps the scenario's registry name.
+    let results = Experiment::new()
+        .workload(NamedWorkload::from(Scenario::named("pops")?))
+        .workload(NamedWorkload::from(Scenario::named("lock-storm")?))
+        .workload(NamedWorkload::from(&custom))
+        .schemes(Scheme::paper_lineup())
+        .refs_per_trace(150_000)
+        .run()?;
+
+    println!("{}", report::render_figure2(&results));
+
+    // 4. A scenario also renders back to spec text (`to_spec`), so a tuned
+    //    configuration can be committed as a reviewable .scn file.
+    println!("hot-lock-demo as a spec:\n{}", custom.to_spec());
+    Ok(())
+}

@@ -277,6 +277,37 @@ fn finite_cache_equivalence_holds_under_the_oracle() {
 }
 
 #[test]
+fn open_system_scenario_agrees_across_all_modes() {
+    // Open-system workloads exercise the one generator feature that
+    // changes the *population* mid-trace: Poisson arrivals mint new
+    // process IDs and departures retire them, with a Zipf-skewed shared
+    // pool and a phased write ramp layered on top ("open-zipf-phased").
+    // The engine paths only ever see the emitted reference stream, so
+    // every mode must still be bit-identical across all 14 schemes.
+    let scenario = Scenario::named("open-zipf-phased").unwrap();
+    let exp = Experiment::new()
+        .workload(NamedWorkload::from(scenario))
+        .schemes(gauntlet())
+        .refs_per_trace(REFS);
+    let serial = exp.run_with(ExecutionMode::Serial).unwrap();
+    let single = exp.run_with(ExecutionMode::SinglePass).unwrap();
+    let sharded = exp.run_with(ExecutionMode::Sharded { workers: 4 }).unwrap();
+    let pipelined = exp
+        .run_with(ExecutionMode::Pipelined { workers: 4 })
+        .unwrap();
+    assert_identical(&serial, &single, "open-system single-pass");
+    assert_identical(&serial, &sharded, "open-system sharded");
+    assert_identical(&serial, &pipelined, "open-system pipelined");
+    // The run really is open: more processes appear than the six that
+    // start, so the equivalence covers mid-trace arrivals.
+    let procs = serial.trace_stats[0].1.process_count();
+    assert!(
+        procs > 6,
+        "expected arrivals beyond the initial population, saw {procs} processes"
+    );
+}
+
+#[test]
 fn default_and_parallel_runs_agree_with_serial() {
     // The public entry points (`run`, `run_parallel`) sit on top of the
     // same machinery; they must agree with the explicit modes too.

@@ -6,7 +6,6 @@ use dirsim::prelude::*;
 use dirsim::{Experiment, NamedWorkload};
 use dirsim_cost::CostCategory;
 use dirsim_mem::{BlockAddr, CacheId};
-use dirsim_trace::synth::PaperTrace;
 
 const REFS: usize = 60_000;
 
@@ -278,7 +277,11 @@ fn migration_induces_processor_sharing_only() {
 #[test]
 fn trace_io_round_trips_a_full_workload() {
     use dirsim_trace::io::{read_binary, read_text, write_binary, write_text};
-    let refs: Vec<MemRef> = PaperTrace::Thor.workload().take(25_000).collect();
+    let refs: Vec<MemRef> = Scenario::named("thor")
+        .unwrap()
+        .workload()
+        .take(25_000)
+        .collect();
     let mut bin = Vec::new();
     write_binary(&mut bin, refs.iter().copied()).unwrap();
     let back: Vec<MemRef> = read_binary(&bin[..]).collect::<Result<_, _>>().unwrap();
@@ -292,7 +295,11 @@ fn trace_io_round_trips_a_full_workload() {
 #[test]
 fn simulating_a_file_trace_matches_simulating_the_generator() {
     use dirsim_trace::io::{read_binary, write_binary};
-    let refs: Vec<MemRef> = PaperTrace::Pero.workload().take(20_000).collect();
+    let refs: Vec<MemRef> = Scenario::named("pero")
+        .unwrap()
+        .workload()
+        .take(20_000)
+        .collect();
     let mut bin = Vec::new();
     write_binary(&mut bin, refs.iter().copied()).unwrap();
     let from_file: Vec<MemRef> = read_binary(&bin[..]).collect::<Result<_, _>>().unwrap();
@@ -334,7 +341,7 @@ fn finite_cache_storage_composes_with_block_map() {
     let map = BlockMap::paper();
     let mut cache: FiniteCache<u8> = FiniteCache::new(CacheGeometry { sets: 16, ways: 2 }).unwrap();
     let mut evictions = 0;
-    for r in PaperTrace::Pops.workload().take(20_000) {
+    for r in Scenario::named("pops").unwrap().workload().take(20_000) {
         if r.kind.is_data() {
             let block = map.block_of(r.addr);
             if cache.touch(block).is_none() && cache.insert(block, 0).is_some() {
@@ -381,8 +388,11 @@ fn barrier_releases_invalidate_every_waiter() {
 #[test]
 fn compressed_traces_feed_the_engine() {
     use dirsim_trace::compress::{read_compressed, write_compressed};
-    use dirsim_trace::synth::PaperTrace as PT;
-    let refs: Vec<MemRef> = PT::Pops.workload().take(20_000).collect();
+    let refs: Vec<MemRef> = Scenario::named("pops")
+        .unwrap()
+        .workload()
+        .take(20_000)
+        .collect();
     let mut buf = Vec::new();
     write_compressed(&mut buf, refs.iter().copied()).unwrap();
     let from_file: Vec<MemRef> = read_compressed(&buf[..]).collect::<Result<_, _>>().unwrap();
