@@ -229,34 +229,51 @@ impl Experiment {
         self.schemes.len()
     }
 
-    fn cache_count(&self, config: &WorkloadConfig) -> u32 {
+    /// Whether sizing the system needs the materialised trace: open-system
+    /// traces mint fresh process ids past the initial population, and
+    /// per-process attribution needs one cache per id that appears.
+    fn needs_trace_for_bound(&self, config: &WorkloadConfig) -> bool {
+        self.sim.sharing == SharingModel::PerProcess && config.open.is_enabled()
+    }
+
+    /// Caches the simulated system needs for `config`, given the
+    /// **unfiltered** reference stream `raw` when
+    /// [`Self::needs_trace_for_bound`] says it is required. Lock-test
+    /// filtering never widens the id space, so the unfiltered bound also
+    /// covers the filtered stream.
+    ///
+    /// This used to run a *dry generation pass* over the workload just to
+    /// find max-pid+1, silently doubling trace-generation cost for every
+    /// open-system per-process run; the bound now comes from the same
+    /// materialised pass the run itself consumes
+    /// (`trace_generations` pins the pass count).
+    fn cache_bound(&self, config: &WorkloadConfig, raw: &[MemRef]) -> u32 {
         match self.sim.sharing {
-            SharingModel::PerProcess if config.open.is_enabled() => {
-                // Open-system traces mint fresh process ids past the
-                // initial population, and per-process attribution needs
-                // one cache per id that appears. The generator is
-                // deterministic, so a dry pass over the same stream
-                // yields the exact bound. Lock-test filtering never
-                // widens the id space, so this bound also covers the
-                // filtered stream.
-                Workload::new(config.clone())
-                    .take(self.refs_per_trace)
-                    .map(|r| r.pid.index() as u32 + 1)
-                    .max()
-                    .unwrap_or(config.processes)
-            }
+            SharingModel::PerProcess if config.open.is_enabled() => raw
+                .iter()
+                .map(|r| r.pid.index() as u32 + 1)
+                .max()
+                .unwrap_or(config.processes),
             SharingModel::PerProcess => config.processes,
             SharingModel::PerProcessor => u32::from(config.cpus),
         }
     }
 
-    fn generate(&self, config: &WorkloadConfig) -> Vec<MemRef> {
-        let stream = Workload::new(config.clone()).take(self.refs_per_trace);
-        if self.exclude_lock_tests {
-            without_lock_tests(stream).collect()
-        } else {
-            stream.collect()
-        }
+    /// Materialises one workload's unfiltered reference stream — exactly
+    /// one generation pass, counted in the `trace_generations` metric so
+    /// tests can pin that no code path regenerates a trace behind the
+    /// experiment's back.
+    fn generate_raw(&self, w: &NamedWorkload) -> Vec<MemRef> {
+        self.note_generation(&w.name);
+        Workload::new(w.config.clone())
+            .take(self.refs_per_trace)
+            .collect()
+    }
+
+    /// Records one trace-generation pass for `name`.
+    fn note_generation(&self, name: &str) {
+        self.recorder
+            .counter("trace_generations", &[("trace", name)], 1);
     }
 
     /// Runs the full matrix in the configured [`ExecutionMode`]
@@ -331,10 +348,15 @@ impl Experiment {
         let mut trace_refs: Vec<Vec<MemRef>> = Vec::with_capacity(self.workloads.len());
         let mut trace_caches = Vec::with_capacity(self.workloads.len());
         for w in &self.workloads {
-            let refs = self.generate(&w.config);
+            let raw = self.generate_raw(w);
+            trace_caches.push(self.cache_bound(&w.config, &raw));
+            let refs: Vec<MemRef> = if self.exclude_lock_tests {
+                without_lock_tests(raw).collect()
+            } else {
+                raw
+            };
             trace_stats.push((w.name.clone(), TraceStats::from_refs(refs.iter().copied())));
             trace_refs.push(refs);
-            trace_caches.push(self.cache_count(&w.config));
         }
 
         // The engine keeps its default no-op recorder here: per-chunk
@@ -394,9 +416,7 @@ impl Experiment {
         let mut per_workload: Vec<Vec<SimResult>> = Vec::with_capacity(self.workloads.len());
         let mut observed = 0u64;
         for w in &self.workloads {
-            let caches = self.cache_count(&w.config);
             let mut stats = TraceStats::new();
-            let stream = Workload::new(w.config.clone()).take(self.refs_per_trace);
             let mut observe = |r: &MemRef| {
                 stats.observe(r);
                 observed += 1;
@@ -406,31 +426,19 @@ impl Experiment {
                         .tick(observed, None);
                 }
             };
-            let results = match (self.exclude_lock_tests, overlap) {
-                (true, true) => broadcaster.run_observed_pipelined(
-                    &self.schemes,
-                    caches,
-                    WithoutLockTests::new(IterSource::new(stream)),
-                    &mut observe,
-                )?,
-                (true, false) => broadcaster.run_observed(
-                    &self.schemes,
-                    caches,
-                    WithoutLockTests::new(IterSource::new(stream)),
-                    &mut observe,
-                )?,
-                (false, true) => broadcaster.run_observed_pipelined(
-                    &self.schemes,
-                    caches,
-                    IterSource::new(stream),
-                    &mut observe,
-                )?,
-                (false, false) => broadcaster.run_observed(
-                    &self.schemes,
-                    caches,
-                    IterSource::new(stream),
-                    &mut observe,
-                )?,
+            // Closed systems stream straight out of the generator; open
+            // per-process systems materialise the trace once and derive
+            // the cache bound from that same pass (never a second, dry
+            // generation pass — see `cache_bound`).
+            let results = if self.needs_trace_for_bound(&w.config) {
+                let raw = self.generate_raw(w);
+                let caches = self.cache_bound(&w.config, &raw);
+                self.run_stream(&broadcaster, caches, raw.into_iter(), overlap, &mut observe)?
+            } else {
+                let caches = self.cache_bound(&w.config, &[]);
+                self.note_generation(&w.name);
+                let stream = Workload::new(w.config.clone()).take(self.refs_per_trace);
+                self.run_stream(&broadcaster, caches, stream, overlap, &mut observe)?
             };
             trace_stats.push((w.name.clone(), stats));
             per_workload.push(results);
@@ -463,6 +471,46 @@ impl Experiment {
             trace_stats,
             per_scheme,
         })
+    }
+
+    /// Drives one workload's reference stream through the broadcaster in
+    /// the requested placement, applying lock-test filtering at the
+    /// source so `observe` (and therefore [`TraceStats`]) sees exactly
+    /// the filtered stream, as in serial mode.
+    fn run_stream<I>(
+        &self,
+        broadcaster: &BroadcastSimulator,
+        caches: u32,
+        stream: I,
+        overlap: bool,
+        observe: &mut dyn FnMut(&MemRef),
+    ) -> Result<Vec<SimResult>, Error>
+    where
+        I: Iterator<Item = MemRef> + Send,
+    {
+        match (self.exclude_lock_tests, overlap) {
+            (true, true) => broadcaster.run_observed_pipelined(
+                &self.schemes,
+                caches,
+                WithoutLockTests::new(IterSource::new(stream)),
+                observe,
+            ),
+            (true, false) => broadcaster.run_observed(
+                &self.schemes,
+                caches,
+                WithoutLockTests::new(IterSource::new(stream)),
+                observe,
+            ),
+            (false, true) => broadcaster.run_observed_pipelined(
+                &self.schemes,
+                caches,
+                IterSource::new(stream),
+                observe,
+            ),
+            (false, false) => {
+                broadcaster.run_observed(&self.schemes, caches, IterSource::new(stream), observe)
+            }
+        }
     }
 }
 
@@ -656,6 +704,76 @@ mod tests {
                 assert_eq!(a.combined, b.combined);
                 assert_eq!(a.per_trace, b.per_trace);
             }
+        }
+    }
+
+    #[test]
+    fn run_generates_each_trace_exactly_once() {
+        use dirsim_obs::{MetricValue, MetricsRegistry};
+        // Regression for the dry-pass double generation: sizing an
+        // open-system per-process run used to regenerate the *entire*
+        // workload just to compute max-pid+1, so every such run paid for
+        // two generation passes per trace. The bound now comes from the
+        // run's own materialised pass; `trace_generations` counts every
+        // `Workload` stream the experiment constructs.
+        let open = Scenario::named("open-system").unwrap();
+        assert!(open.config().open.is_enabled(), "scenario must be open");
+        for mode in [
+            ExecutionMode::Serial,
+            ExecutionMode::SinglePass,
+            ExecutionMode::Pipelined { workers: 2 },
+        ] {
+            let reg = Arc::new(MetricsRegistry::new());
+            let results = Experiment::new()
+                .workload(NamedWorkload::from(open))
+                .workload(NamedWorkload::new("closed", small_config(3)))
+                .schemes([Scheme::dir0_b(), Scheme::Dragon])
+                .refs_per_trace(4_000)
+                .recorder(Arc::clone(&reg) as Arc<dyn Recorder>)
+                .run_with(mode)
+                .unwrap();
+            assert_eq!(results.per_scheme.len(), 2);
+            for name in ["open-system", "closed"] {
+                let passes: u64 = reg
+                    .snapshot()
+                    .iter()
+                    .filter(|r| {
+                        r.name == "trace_generations"
+                            && r.labels == [("trace".to_string(), name.to_string())]
+                    })
+                    .map(|r| match r.value {
+                        MetricValue::Counter(c) => c,
+                        _ => 0,
+                    })
+                    .sum();
+                assert_eq!(passes, 1, "{mode:?}: trace {name} generated {passes} times");
+            }
+        }
+    }
+
+    #[test]
+    fn open_system_modes_agree_on_cache_bound() {
+        // The materialised bound must match what the old dry pass
+        // computed: every execution mode still sizes the system
+        // identically and produces bit-identical results.
+        let open = Scenario::named("open-system").unwrap();
+        let experiment = || {
+            Experiment::new()
+                .workload(NamedWorkload::from(open))
+                .scheme(Scheme::dir0_b())
+                .refs_per_trace(4_000)
+        };
+        let serial = experiment().run_with(ExecutionMode::Serial).unwrap();
+        for mode in [
+            ExecutionMode::SinglePass,
+            ExecutionMode::Pipelined { workers: 2 },
+        ] {
+            let other = experiment().run_with(mode).unwrap();
+            assert_eq!(serial.trace_stats, other.trace_stats, "{mode:?}");
+            assert_eq!(
+                serial.per_scheme[0].combined, other.per_scheme[0].combined,
+                "{mode:?}"
+            );
         }
     }
 

@@ -17,6 +17,7 @@
 //! change to record shapes and teach [`crate::schema`] both versions for one
 //! release.
 
+use std::fs::{File, OpenOptions};
 use std::io::{self, Write};
 use std::path::Path;
 
@@ -86,6 +87,59 @@ pub fn write_jsonl_file(
     std::fs::write(path, buf)
 }
 
+/// An append-mode JSON-lines writer that flushes every record.
+///
+/// [`write_jsonl_file`] replaces the whole file per export, which suits
+/// one-shot metrics snapshots but not long-running producers: a crash
+/// loses the entire buffered run. `JsonlAppender` is the complement —
+/// the file is opened in append mode (existing records are never
+/// rewritten), each record is written as one complete line in a single
+/// `write` call and flushed immediately, so after a kill at any instant
+/// the file holds every completed record plus at most one torn final
+/// line, which [`crate::parse_lines`] skips on the next read. This is
+/// the durability contract the `dirsim-sweep` result store builds its
+/// crash-safe resume on.
+#[derive(Debug)]
+pub struct JsonlAppender {
+    file: File,
+}
+
+impl JsonlAppender {
+    /// Opens (creating if necessary) `path` for appending.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying [`io::Error`].
+    pub fn open(path: &Path) -> io::Result<Self> {
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(JsonlAppender { file })
+    }
+
+    /// Appends one record as a single line and flushes it to the OS.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying [`io::Error`].
+    pub fn append(&mut self, record: &Json) -> io::Result<()> {
+        self.append_line(&record.to_string_compact())
+    }
+
+    /// Appends one pre-rendered line (without trailing newline) and
+    /// flushes it. The line and its newline go down in one `write` call,
+    /// so concurrent appenders never interleave within a record.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying [`io::Error`].
+    pub fn append_line(&mut self, line: &str) -> io::Result<()> {
+        let mut buf = String::with_capacity(line.len() + 1);
+        buf.push_str(line);
+        buf.push('\n');
+        self.file.write_all(buf.as_bytes())?;
+        self.file.flush()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -110,5 +164,53 @@ mod tests {
             Json::parse(lines[0]).unwrap().get("record").unwrap(),
             &Json::Str("manifest".to_string())
         );
+    }
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("dirsim_obs_{name}_{}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn appender_appends_instead_of_truncating() {
+        let path = temp_path("append");
+        let _ = std::fs::remove_file(&path);
+        let record = |n: u64| {
+            Json::Obj(vec![
+                ("record".to_string(), Json::Str("counter".to_string())),
+                ("name".to_string(), Json::Str("x".to_string())),
+                ("labels".to_string(), Json::Obj(Vec::new())),
+                ("value".to_string(), Json::Int(n as i128)),
+            ])
+        };
+        {
+            let mut a = JsonlAppender::open(&path).unwrap();
+            a.append(&record(1)).unwrap();
+            // Every record is flushed: the file is complete mid-session.
+            let text = std::fs::read_to_string(&path).unwrap();
+            assert_eq!(text.lines().count(), 1);
+            a.append(&record(2)).unwrap();
+        }
+        {
+            // A second session must extend the file, not replace it.
+            let mut a = JsonlAppender::open(&path).unwrap();
+            a.append(&record(3)).unwrap();
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        let values: Vec<u64> = text
+            .lines()
+            .map(|l| {
+                Json::parse(l)
+                    .unwrap()
+                    .get("value")
+                    .unwrap()
+                    .as_u64()
+                    .unwrap()
+            })
+            .collect();
+        assert_eq!(values, vec![1, 2, 3]);
+        assert!(text.ends_with('\n'), "every record is newline-terminated");
+        std::fs::remove_file(&path).unwrap();
     }
 }

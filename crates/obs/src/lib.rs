@@ -21,7 +21,10 @@
 //!   trace identity/seed, reference count, wall-clock.
 //! * [`export`] / [`schema`] — a hand-rolled JSON-lines writer and validator
 //!   (the workspace deliberately has no serde; see DESIGN.md §7). Files are
-//!   suitable for committing as `BENCH_*.json`.
+//!   suitable for committing as `BENCH_*.json`. [`JsonlAppender`] is the
+//!   append-mode, flush-per-record variant for long-running producers
+//!   (the `dirsim-sweep` store); the parser skips a killed writer's torn
+//!   final line so such files can always be read back and resumed.
 //! * [`ProgressMeter`] — a throttled progress callback for long runs
 //!   (references/sec, model-checker states/sec + frontier depth).
 //!
@@ -38,7 +41,7 @@ pub mod recorder;
 pub mod registry;
 pub mod schema;
 
-pub use export::{write_jsonl, write_jsonl_file, SCHEMA_VERSION};
+pub use export::{write_jsonl, write_jsonl_file, JsonlAppender, SCHEMA_VERSION};
 pub use json::Json;
 pub use manifest::RunManifest;
 pub use progress::{Progress, ProgressMeter};

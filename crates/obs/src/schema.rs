@@ -51,10 +51,25 @@ fn fail<T>(line: usize, message: impl Into<String>) -> Result<T, SchemaError> {
 /// `kind` is each record's `"record"` discriminator. Blank lines are
 /// skipped; line numbers are 1-based.
 ///
+/// A **final** line that is not valid JSON is skipped rather than
+/// rejected: appenders (see [`crate::export::JsonlAppender`]) write each
+/// record as one line and flush it, so the only artefact a killed writer
+/// can leave behind is a torn trailing line — tolerating it lets a
+/// crashed run's output be read back and resumed. Malformed JSON
+/// *before* the last line still fails: that is corruption, not a torn
+/// write. A well-formed final line missing its discriminator also still
+/// fails — a torn write cannot produce valid JSON of the wrong shape.
+///
 /// This is the shared front half of every JSONL reader in the workspace:
 /// [`parse_metrics`] layers the metrics schema on top, and
 /// `dirsim-analyze` layers its transition-table schema the same way.
 pub fn parse_lines(text: &str) -> Result<Vec<(usize, String, Json)>, SchemaError> {
+    let last_content_line = text
+        .lines()
+        .enumerate()
+        .filter(|(_, raw)| !raw.trim().is_empty())
+        .map(|(idx, _)| idx + 1)
+        .last();
     let mut out = Vec::new();
     for (idx, raw) in text.lines().enumerate() {
         let line = idx + 1;
@@ -63,6 +78,7 @@ pub fn parse_lines(text: &str) -> Result<Vec<(usize, String, Json)>, SchemaError
         }
         let value = match Json::parse(raw) {
             Ok(v) => v,
+            Err(_) if Some(line) == last_content_line => continue,
             Err(e) => return fail(line, e.to_string()),
         };
         let Some(kind) = value.get("record").and_then(Json::as_str) else {
@@ -135,7 +151,8 @@ fn parse_metric_line(line: usize, kind: &str, value: &Json) -> Result<MetricReco
 /// Checks the structural schema as it goes: the first line must be a
 /// `manifest` record carrying the supported [`crate::SCHEMA_VERSION`], and
 /// every following line must be a well-formed `counter` / `gauge` /
-/// `histogram` record. Blank lines are ignored.
+/// `histogram` record. Blank lines are ignored, and a torn final line
+/// (a killed writer's partial record) is skipped — see [`parse_lines`].
 pub fn parse_metrics(text: &str) -> Result<ExportedRun, SchemaError> {
     let mut manifest = None;
     let mut records = Vec::new();
@@ -259,6 +276,28 @@ mod tests {
         assert_eq!((lines[1].0, lines[1].1.as_str()), (4, "b"));
         let err = parse_lines("{\"norecord\":true}").unwrap_err();
         assert!(err.message.contains("discriminator"), "{err}");
+    }
+
+    #[test]
+    fn torn_final_line_is_skipped() {
+        // A killed appender leaves a partial record on the last line; both
+        // layers must read past it so the run can be resumed.
+        let torn = format!("{}{}", sample_file(), r#"{"record":"counter","na"#);
+        let lines = parse_lines(&torn).unwrap();
+        assert_eq!(lines.len(), 5, "manifest + 4 records, torn tail dropped");
+        let run = parse_metrics(&torn).unwrap();
+        assert_eq!(run.records.len(), 4);
+        validate_jsonl(&torn).unwrap();
+    }
+
+    #[test]
+    fn torn_middle_line_still_fails() {
+        // Only the *final* line can be a torn write; earlier garbage is
+        // corruption and must surface.
+        let mut lines: Vec<String> = sample_file().lines().map(str::to_string).collect();
+        lines.insert(2, r#"{"record":"cou"#.to_string());
+        let err = parse_metrics(&lines.join("\n")).unwrap_err();
+        assert_eq!(err.line, 3);
     }
 
     #[test]

@@ -1,0 +1,288 @@
+//! The sweep executor: a worker pool of pipelined engines over the
+//! pending cells.
+//!
+//! Scheduling is deliberately simple. Cells are independent (the grid is
+//! a cross product, and every cell regenerates its workload from the
+//! scenario seed), so a shared work queue plus a result channel is all
+//! the coordination needed. Each worker runs its cell through the normal
+//! [`Experiment`] front door in `Pipelined { workers: 1 }` mode — trace
+//! decode overlapped with simulation inside the cell, cell-level
+//! parallelism across the pool — which keeps every result bit-identical
+//! to a serial `simulate` run of the same configuration (the equivalence
+//! the engine's tier-1 tests pin).
+//!
+//! The main thread owns the store: workers never touch the file, results
+//! are appended (and flushed) in completion order, and a crash between
+//! appends loses only cells that had not finished. Progress goes through
+//! [`dirsim_obs::ProgressMeter`] — cells done/total, aggregate refs/sec,
+//! and an ETA from the mean cell time so far.
+
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use dirsim::{ExecutionMode, Experiment, NamedWorkload, SimConfig};
+use dirsim_cost::CostModel;
+use dirsim_obs::{NoopRecorder, ProgressMeter, Recorder};
+
+use crate::cell::{Cell, CellRecord};
+use crate::store::Store;
+use crate::{SweepError, SweepSpec};
+
+/// Tuning knobs for [`run_sweep`].
+#[derive(Debug)]
+pub struct SweepOptions {
+    /// Worker threads; 0 means one per available CPU.
+    pub workers: usize,
+    /// Emit live progress to stderr.
+    pub progress: bool,
+    /// Metrics sink for sweep-level counters (cells run/skipped, refs).
+    pub recorder: Arc<dyn Recorder>,
+}
+
+impl Default for SweepOptions {
+    fn default() -> Self {
+        SweepOptions {
+            workers: 0,
+            progress: false,
+            recorder: Arc::new(NoopRecorder),
+        }
+    }
+}
+
+/// What one [`run_sweep`] call did.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepSummary {
+    /// Cells in the expanded grid.
+    pub total: usize,
+    /// Cells simulated by this invocation.
+    pub ran: usize,
+    /// Cells already in the store, left untouched.
+    pub skipped: usize,
+    /// References simulated by this invocation.
+    pub refs_simulated: u64,
+    /// Wall-clock seconds spent running cells.
+    pub wall_secs: f64,
+}
+
+/// Expands `spec`, skips every cell already in `store`, runs the rest
+/// over a worker pool, and streams each completed cell to the store.
+///
+/// # Errors
+///
+/// Returns the first [`SweepError`] hit: spec expansion, a cell's
+/// simulation, or a store append. Cells completed before the failure are
+/// already durable in the store, so a re-run resumes past them.
+pub fn run_sweep(
+    spec: &SweepSpec,
+    store: &mut Store,
+    opts: &SweepOptions,
+) -> Result<SweepSummary, SweepError> {
+    let cells = spec.expand()?;
+    let total = cells.len();
+    let pending: Vec<Cell> = cells
+        .into_iter()
+        .filter(|c| !store.contains(&c.hash))
+        .collect();
+    let skipped = total - pending.len();
+    let refs_pending: u64 = pending.iter().map(|c| c.refs as u64).sum();
+    opts.recorder
+        .counter("sweep_cells_total", &[], total as u64);
+    opts.recorder
+        .counter("sweep_cells_skipped", &[], skipped as u64);
+
+    let workers = effective_workers(opts.workers, pending.len());
+    let mut meter = progress_meter(opts.progress, total, skipped);
+    let start = Instant::now();
+
+    let mut ran = 0usize;
+    let mut refs_simulated = 0u64;
+    let mut first_err: Option<SweepError> = None;
+
+    if !pending.is_empty() {
+        let queue = Mutex::new(pending.into_iter());
+        let queue = &queue;
+        let (tx, rx) = mpsc::channel::<(Cell, Result<CellRecord, SweepError>)>();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let tx = tx.clone();
+                scope.spawn(move || loop {
+                    let cell = queue.lock().expect("queue poisoned").next();
+                    let Some(cell) = cell else { break };
+                    let result = run_cell(&cell);
+                    if tx.send((cell, result)).is_err() {
+                        break; // main thread stopped listening
+                    }
+                });
+            }
+            drop(tx);
+            for (cell, result) in rx {
+                let record = match result {
+                    Ok(record) => record,
+                    Err(e) => {
+                        first_err = Some(e);
+                        // Dropping the receiver makes every worker's next
+                        // send fail, draining the pool.
+                        break;
+                    }
+                };
+                if let Err(e) = store.append(&record) {
+                    first_err = Some(e.into());
+                    break;
+                }
+                ran += 1;
+                refs_simulated += record.refs;
+                let scheme = cell.scheme.name();
+                opts.recorder
+                    .counter("sweep_cells_run", &[("scheme", scheme.as_str())], 1);
+                opts.recorder.counter("sweep_refs", &[], record.refs);
+                let eta = eta_secs(start.elapsed(), refs_simulated, refs_pending);
+                meter.tick_now(ran as u64, eta);
+            }
+        });
+    }
+    if let Some(e) = first_err {
+        return Err(e);
+    }
+
+    let wall_secs = start.elapsed().as_secs_f64();
+    meter.finish(ran as u64, None);
+    Ok(SweepSummary {
+        total,
+        ran,
+        skipped,
+        refs_simulated,
+        wall_secs,
+    })
+}
+
+/// Runs one cell and condenses the result into its store record.
+fn run_cell(cell: &Cell) -> Result<CellRecord, SweepError> {
+    let sim = SimConfig {
+        geometry: cell.geometry,
+        ..SimConfig::default()
+    };
+    let results = Experiment::new()
+        .workload(NamedWorkload::new(
+            cell.scenario.clone(),
+            cell.config.clone(),
+        ))
+        .scheme(cell.scheme)
+        .refs_per_trace(cell.refs)
+        .sim_config(sim)
+        .execution(ExecutionMode::Pipelined { workers: 1 })
+        .run()?;
+    let result = &results.per_scheme[0].combined;
+    Ok(CellRecord {
+        hash: cell.hash.clone(),
+        scheme: result.scheme.clone(),
+        scenario: cell.scenario.clone(),
+        geometry: cell.geometry_label(),
+        cpus: u32::from(cell.config.cpus),
+        refs: result.refs,
+        transactions: result.transactions,
+        distinct_blocks: result.distinct_blocks,
+        evictions: result.capacity_evictions,
+        miss_rate: result.events.data_miss_rate(),
+        pipelined_cpr: result.cycles_per_ref(CostModel::pipelined()),
+        non_pipelined_cpr: result.cycles_per_ref(CostModel::non_pipelined()),
+    })
+}
+
+fn effective_workers(requested: usize, pending: usize) -> usize {
+    let available = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let workers = if requested == 0 { available } else { requested };
+    workers.clamp(1, pending.max(1))
+}
+
+/// ETA from the aggregate reference rate so far: remaining refs over
+/// refs/sec. Reference-weighted, so a grid mixing cheap and expensive
+/// cells converges faster than a per-cell mean would.
+fn eta_secs(elapsed: Duration, refs_done: u64, refs_pending: u64) -> Option<u64> {
+    let secs = elapsed.as_secs_f64();
+    if refs_done == 0 || secs <= 0.0 {
+        return None;
+    }
+    let rate = refs_done as f64 / secs;
+    let remaining = refs_pending.saturating_sub(refs_done) as f64;
+    Some((remaining / rate).ceil() as u64)
+}
+
+fn progress_meter(enabled: bool, total: usize, skipped: usize) -> ProgressMeter {
+    if !enabled {
+        return ProgressMeter::disabled();
+    }
+    ProgressMeter::new(
+        "cells",
+        Duration::from_millis(500),
+        Box::new(move |p| {
+            let eta = p
+                .detail
+                .map_or(String::new(), |secs| format!(", eta {secs}s"));
+            eprintln!(
+                "sweep: {}/{} cells ({} cached), {:.2} cells/s{eta}",
+                p.done + skipped as u64,
+                total,
+                skipped,
+                p.rate_per_sec,
+            );
+        }),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fs;
+    use std::path::PathBuf;
+
+    fn temp_store(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!(
+            "dirsim-sweep-run-{}-{tag}.jsonl",
+            std::process::id()
+        ))
+    }
+
+    fn tiny_spec() -> SweepSpec {
+        SweepSpec::parse("schemes = Dir1NB, WTI\nscenarios = pops\nrefs = 2_000\n").unwrap()
+    }
+
+    #[test]
+    fn runs_then_skips_and_matches_single_cell_results() {
+        let path = temp_store("skip");
+        let _ = fs::remove_file(&path);
+        let mut store = Store::open(&path).unwrap();
+        let spec = tiny_spec();
+
+        let first = run_sweep(&spec, &mut store, &SweepOptions::default()).unwrap();
+        assert_eq!((first.total, first.ran, first.skipped), (2, 2, 0));
+        assert_eq!(first.refs_simulated, 4_000);
+        let bytes = fs::read(&path).unwrap();
+
+        let again = run_sweep(&spec, &mut store, &SweepOptions::default()).unwrap();
+        assert_eq!((again.total, again.ran, again.skipped), (2, 0, 2));
+        assert_eq!(again.refs_simulated, 0);
+        assert_eq!(fs::read(&path).unwrap(), bytes, "skip must not rewrite");
+
+        // The stored numbers are the engine's own, not a re-derivation.
+        let cell = &spec.expand().unwrap()[0];
+        let direct = run_cell(cell).unwrap();
+        assert_eq!(store.records()[0], direct);
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn worker_count_clamps_to_pending_cells() {
+        assert_eq!(effective_workers(8, 2), 2);
+        assert_eq!(effective_workers(1, 100), 1);
+        assert!(effective_workers(0, 100) >= 1);
+        assert_eq!(effective_workers(3, 0), 1);
+    }
+
+    #[test]
+    fn eta_is_reference_weighted() {
+        let eta = eta_secs(Duration::from_secs(10), 1_000, 3_000).unwrap();
+        assert_eq!(eta, 20);
+        assert!(eta_secs(Duration::from_secs(1), 0, 100).is_none());
+    }
+}
