@@ -27,6 +27,7 @@ use dirsim_trace::{AccessKind, MemRef};
 use crate::histogram::FanoutHistogram;
 use crate::invariant;
 use crate::invariant::InvariantViolation;
+use crate::kernel::{self, KernelOverflow, KernelPolicy, LaneKernel};
 
 /// Engine configuration.
 #[derive(Debug, Clone, Copy)]
@@ -48,6 +49,11 @@ pub struct SimConfig {
     /// panic on the first violation. Defaults to on in debug builds and,
     /// in release builds, under the crate's `invariants` feature.
     pub check_invariants: bool,
+    /// Whether lanes may step through memoized transition-table kernels
+    /// instead of the match-based protocol machines (see
+    /// [`crate::kernel`]). Results are bit-identical either way; audited
+    /// runs (oracle or invariants) always take the match path.
+    pub kernels: KernelPolicy,
 }
 
 impl Default for SimConfig {
@@ -58,6 +64,7 @@ impl Default for SimConfig {
             check_oracle: false,
             geometry: None,
             check_invariants: cfg!(any(debug_assertions, feature = "invariants")),
+            kernels: KernelPolicy::default(),
         }
     }
 }
@@ -82,6 +89,15 @@ impl SimConfig {
             geometry.validate().map_err(SimConfigError::Geometry)?;
         }
         Ok(())
+    }
+
+    /// Whether lanes under this configuration may step through table
+    /// kernels: both audits must be off (rows carry no movements or
+    /// probes) and the policy must allow it.
+    pub(crate) fn kernel_eligible(&self) -> bool {
+        !self.check_oracle
+            && !self.check_invariants
+            && self.kernels.effective() != KernelPolicy::Disabled
     }
 }
 
@@ -238,6 +254,12 @@ impl SimConfigBuilder {
     /// Enables or disables the per-reference invariant audit.
     pub fn check_invariants(mut self, check: bool) -> Self {
         self.config.check_invariants = check;
+        self
+    }
+
+    /// Sets the table-kernel policy (see [`crate::kernel`]).
+    pub fn kernels(mut self, policy: KernelPolicy) -> Self {
+        self.config.kernels = policy;
         self
     }
 
@@ -460,9 +482,158 @@ impl Lane {
         )
     }
 
+    /// Advances the lane by one pre-decoded reference through a table
+    /// kernel: the same accumulation as [`Lane::step`] with both audits
+    /// off, driven by memoized transition rows instead of the protocol
+    /// machine. The bank decodes each reference once — block mapping,
+    /// cache attribution, block-index interning, and (under a finite
+    /// geometry) the shared residency probe and LRU victim choice — and
+    /// every lane replays the [`kernel::DecodedRef`], so the per-lane hot
+    /// path is pure array indexing with no hashing and no cache probing.
+    ///
+    /// Row lookups happen *before* any state mutation, so on
+    /// [`KernelOverflow`] the lane is exactly as it was before the call
+    /// and the reference can be re-stepped on the match path after
+    /// materializing the protocol (the bank reconstructs the lane's
+    /// finite-cache replica from its chunk-start snapshot).
+    pub(crate) fn step_with_kernel(
+        &mut self,
+        kernel: &mut LaneKernel,
+        d: kernel::DecodedRef,
+    ) -> Result<(), KernelOverflow> {
+        if d.block_idx == kernel::INSTR_REF {
+            self.result.refs += 1;
+            self.result.events.record(EventKind::Instr);
+            return Ok(());
+        }
+        let data_event = kernel::data_event(d.cache, d.write);
+
+        // Hot path: the bank interned the block to a dense index and
+        // resolved residency up front, so the state lookup, the row
+        // lookup, and the hit count are all array indexing. Per-row
+        // counter effects are not accumulated here: the step is recorded
+        // as `hits[idx] += 1` and multiplied out once at drain time (see
+        // `LaneKernel::drain_hits`), which is bit-identical because every
+        // counter is a commutative sum. The fallible row lookup comes
+        // first, so on overflow the lane is exactly as it was before the
+        // call.
+        let LaneKernel {
+            table,
+            states,
+            tracked: _,
+        } = kernel;
+        let i = d.block_idx as usize;
+        if states.len() <= i {
+            states.resize(i + 1, kernel::ABSENT);
+        }
+        let idx = table.ensure_row(states[i], data_event)?;
+        if !d.resident {
+            // Residency miss: may need two block slots at once (data +
+            // victim), so it takes the cold path. Nothing has been
+            // mutated yet; the prepared data row is passed along.
+            return self.kernel_step_miss(kernel, d, idx);
+        }
+        self.result.refs += 1;
+        let LaneKernel { table, states, .. } = kernel;
+        table.hits[idx] += 1;
+        states[i] = table.nexts[idx];
+        Ok(())
+    }
+
+    /// The finite-geometry residency-miss half of [`Self::step_with_kernel`]:
+    /// prepares the (possible) eviction row before any commit (the data
+    /// row arrives pre-ensured from the caller), so [`KernelOverflow`]
+    /// still leaves the lane pristine. The LRU bookkeeping itself lives in
+    /// the bank's shared residency cache (every lane's replica is
+    /// bit-identical), so only the accounting happens here — per-step,
+    /// because the bus-transaction count folds the data and eviction rows
+    /// into one flag, which a per-row hit count cannot express.
+    #[cold]
+    fn kernel_step_miss(
+        &mut self,
+        kernel: &mut LaneKernel,
+        d: kernel::DecodedRef,
+        data_idx: usize,
+    ) -> Result<(), KernelOverflow> {
+        // Prepare: fallible, mutates only the kernel's table.
+        let prepared = if d.victim_idx != kernel::NO_VICTIM {
+            let row =
+                kernel.ensure_row(kernel.state_of(d.victim_idx), kernel::evict_event(d.cache))?;
+            Some((d.victim_idx, row))
+        } else {
+            None
+        };
+
+        // Commit: infallible, mirrors `step` field for field.
+        self.result.refs += 1;
+        let mut eviction_used_bus = false;
+        if let Some((v_idx, idx)) = prepared {
+            self.result.capacity_evictions += 1;
+            let row = kernel.row(idx);
+            self.result.ops.merge(row.ops());
+            eviction_used_bus = row.used_bus();
+            kernel.commit(v_idx, idx);
+        }
+        let row = kernel.row(data_idx);
+        if let Some(kind) = row.kind() {
+            self.result.events.record(kind);
+        }
+        self.result.ops.merge(row.ops());
+        if row.used_bus() || eviction_used_bus {
+            self.result.transactions += 1;
+        }
+        if let Some(fanout) = row.fanout() {
+            self.result.fanout.record(fanout);
+        }
+        kernel.commit(d.block_idx, data_idx);
+        Ok(())
+    }
+
+    /// Installs a reconstructed finite-cache replica — used when a kernel
+    /// lane overflows and must continue on the match path: kernel lanes
+    /// never touch their own `finite` (the bank's shared replica carries
+    /// the LRU state), so the bank replays the chunk prefix onto its
+    /// chunk-start snapshot and hands the result over here.
+    pub(crate) fn restore_finite(&mut self, finite: Vec<FiniteCache<()>>) {
+        self.finite = finite;
+    }
+
     /// Finalises the lane into its [`SimResult`].
     pub(crate) fn finish(mut self, protocol: &dyn CoherenceProtocol) -> SimResult {
         self.result.distinct_blocks = protocol.tracked_blocks() as u64;
+        self.result
+    }
+
+    /// Settles the kernel's batched row-hit counts into this lane's
+    /// result (events, ops, transactions, fan-out, tracked ledger). Must
+    /// run before the result or `kernel.tracked()` are read.
+    pub(crate) fn absorb_kernel_hits(&mut self, kernel: &mut LaneKernel) {
+        let result = &mut self.result;
+        kernel.drain_hits(|row, n| {
+            if let Some(kind) = row.kind() {
+                result.events.record_n(kind, n);
+            }
+            if row.has_ops() {
+                for (op, count) in row.ops().iter() {
+                    if count > 0 {
+                        result.ops.record(op, count * n);
+                    }
+                }
+            }
+            if row.used_bus() {
+                result.transactions += n;
+            }
+            if let Some(fanout) = row.fanout() {
+                result.fanout.record_n(fanout, n);
+            }
+        });
+    }
+
+    /// Finalises a kernel-stepped lane: the distinct-block count comes
+    /// from the kernel's tracked-state ledger instead of a machine.
+    pub(crate) fn finish_with_kernel(mut self, kernel: &mut LaneKernel) -> SimResult {
+        self.absorb_kernel_hits(kernel);
+        self.result.distinct_blocks = kernel.tracked();
         self.result
     }
 }

@@ -44,6 +44,15 @@ impl FanoutHistogram {
         self.counts[idx] += 1;
     }
 
+    /// Records `n` clean-writes at the same `fanout` (batched accumulation).
+    pub fn record_n(&mut self, fanout: u32, n: u64) {
+        let idx = fanout as usize;
+        if self.counts.len() <= idx {
+            self.counts.resize(idx + 1, 0);
+        }
+        self.counts[idx] += n;
+    }
+
     /// Number of clean-writes with exactly `fanout` remote copies.
     pub fn count(&self, fanout: u32) -> u64 {
         self.counts.get(fanout as usize).copied().unwrap_or(0)

@@ -55,6 +55,7 @@ pub mod error;
 pub mod experiment;
 pub mod histogram;
 pub mod invariant;
+pub mod kernel;
 pub mod paper;
 mod pipeline;
 pub mod reference;
@@ -71,6 +72,7 @@ pub use error::{Error, InvariantError};
 pub use experiment::{ExecutionMode, Experiment, ExperimentResults, NamedWorkload, SchemeResult};
 pub use histogram::FanoutHistogram;
 pub use invariant::InvariantViolation;
+pub use kernel::KernelPolicy;
 pub use timing::{TimingConfig, TimingResult, TimingSimulator};
 
 /// Convenient re-exports for examples and downstream users.
@@ -80,6 +82,7 @@ pub mod prelude {
     pub use crate::error::Error;
     pub use crate::experiment::{ExecutionMode, Experiment, ExperimentResults, NamedWorkload};
     pub use crate::histogram::FanoutHistogram;
+    pub use crate::kernel::KernelPolicy;
     pub use dirsim_cost::{BusKind, CostBreakdown, CostCategory, CostModel};
     pub use dirsim_mem::{BlockAddr, BlockMap, CacheId, SharingModel};
     pub use dirsim_protocol::{BusOp, CoherenceProtocol, DirSpec, EventCounts, EventKind, Scheme};

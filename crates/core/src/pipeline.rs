@@ -63,13 +63,15 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::time::Instant;
 
+use dirsim_mem::{BlockAddr, CacheStorage, FiniteCache, FxHashMap};
 use dirsim_obs::{Recorder, Span};
 use dirsim_protocol::{CoherenceProtocol, Scheme};
 use dirsim_trace::source::TraceSource;
-use dirsim_trace::{MemRef, TraceIoError};
+use dirsim_trace::{AccessKind, MemRef, TraceIoError};
 
 use crate::engine::{Lane, ShardKey, SimConfig, SimError, SimResult, StepFailure};
 use crate::error::{Error, InvariantError};
+use crate::kernel::{DecodedRef, KernelPolicy, LaneKernel, NO_VICTIM};
 
 /// Depth (in chunks) of the overlapped decode queue. Two is enough for
 /// full overlap — one chunk being stepped, one decoded ahead — without
@@ -79,31 +81,285 @@ pub(crate) const PIPELINE_DEPTH: usize = 2;
 /// Capacity (in batches) of each shard's bounded channel.
 const SHARD_CHANNEL_DEPTH: usize = 4;
 
-/// One protocol instance plus its accumulation lane.
-struct SchemeLane {
-    protocol: Box<dyn CoherenceProtocol>,
-    lane: Lane,
+/// The step stage's lane state, struct-of-arrays: one entry per scheme in
+/// each parallel vector, so the inner loop walks contiguous accumulation
+/// state instead of chasing one boxed bundle per scheme.
+///
+/// `kernels[i]` is `Some` when lane `i` steps through a memoized
+/// transition table (see [`crate::kernel`]); its protocol instance then
+/// stays untouched until the kernel either finishes (the instance is
+/// dropped) or overflows (the instance is replaced by a materialized
+/// machine and the lane continues on the match path, bit-identically).
+/// While any kernel lane is live the bank also keeps a shared decode
+/// table: every distinct block address is interned to a dense index
+/// exactly once (`intern`/`addrs`), and each chunk is decoded once into
+/// `decoded` before the lanes step it — so the block-map hash probe and
+/// cache attribution are paid per *reference*, not per reference × lane.
+///
+/// Under a finite geometry the decode pass also owns the LRU bookkeeping:
+/// a lane's finite-cache contents depend only on the reference stream and
+/// the geometry — never the scheme — so every lane's replica is
+/// bit-identical, and the bank keeps exactly one (`shared_finite`),
+/// probed and updated once per reference. Kernel lanes receive the
+/// residency verdict and victim choice inside the [`DecodedRef`]. When a
+/// kernel lane overflows mid-chunk, its private replica (needed by the
+/// match-path continuation) is reconstructed by replaying the chunk
+/// prefix onto `finite_snapshot`, the clone taken at chunk start.
+struct LaneBank {
+    protocols: Vec<Box<dyn CoherenceProtocol>>,
+    kernels: Vec<Option<LaneKernel>>,
+    lanes: Vec<Lane>,
+    /// Block address → dense index shared by every kernel lane.
+    intern: FxHashMap<BlockAddr, u32>,
+    /// Reverse table: dense index → block address, for materializing.
+    addrs: Vec<BlockAddr>,
+    /// Per-chunk decoded references, recycled across chunks.
+    decoded: Vec<DecodedRef>,
+    /// The one finite-cache replica shared by every kernel lane.
+    shared_finite: Vec<FiniteCache<()>>,
+    /// Chunk-start clone of `shared_finite`, for overflow reconstruction.
+    finite_snapshot: Vec<FiniteCache<()>>,
 }
 
-impl SchemeLane {
-    fn new(config: &SimConfig, scheme: Scheme, caches: u32) -> Self {
-        let protocol = scheme.build(caches);
-        let lane = Lane::new(config, protocol.name());
-        SchemeLane { protocol, lane }
-    }
-
-    #[inline]
-    fn step(&mut self, config: &SimConfig, r: MemRef) -> Result<(), Error> {
-        let index = self.lane.next_index();
-        match self.lane.step(config, self.protocol.as_mut(), r) {
-            Ok(()) => Ok(()),
-            Err(failure) => Err(step_error(self.protocol.name(), index, failure)),
+impl LaneBank {
+    fn new(config: &SimConfig, schemes: &[Scheme], caches: u32) -> Self {
+        let protocols: Vec<Box<dyn CoherenceProtocol>> =
+            schemes.iter().map(|&s| s.build(caches)).collect();
+        let lanes: Vec<Lane> = protocols
+            .iter()
+            .map(|p| Lane::new(config, p.name()))
+            .collect();
+        let kernels: Vec<Option<LaneKernel>> = schemes
+            .iter()
+            .map(|&s| {
+                if !config.kernel_eligible() {
+                    return None;
+                }
+                let kernel = LaneKernel::new(s, caches);
+                if kernel.is_none() && config.kernels.effective() == KernelPolicy::Required {
+                    panic!(
+                        "KernelPolicy::Required, but {caches} caches exceed the \
+                         table-kernel cap for {s:?}"
+                    );
+                }
+                kernel
+            })
+            .collect();
+        LaneBank {
+            protocols,
+            kernels,
+            lanes,
+            intern: FxHashMap::default(),
+            addrs: Vec::new(),
+            decoded: Vec::new(),
+            shared_finite: Vec::new(),
+            finite_snapshot: Vec::new(),
         }
     }
 
-    fn finish(self) -> SimResult {
-        self.lane.finish(self.protocol.as_ref())
+    /// Number of lanes currently stepping through table kernels.
+    fn kernel_lanes(&self) -> usize {
+        self.kernels.iter().filter(|k| k.is_some()).count()
     }
+
+    /// Steps every lane over one chunk. The kernel/match dispatch is
+    /// hoisted out of the per-reference loop, and when any kernel lane is
+    /// live the chunk is decoded exactly once for all of them. A single
+    /// kernel lane (the serial mode's shape) fuses decode and step into
+    /// one pass instead of staging through the decode buffer.
+    fn step_chunk(&mut self, config: &SimConfig, refs: &[MemRef]) -> Result<(), Error> {
+        let LaneBank {
+            protocols,
+            kernels,
+            lanes,
+            intern,
+            addrs,
+            decoded,
+            shared_finite,
+            finite_snapshot,
+        } = self;
+        let live_kernels = kernels.iter().filter(|k| k.is_some()).count();
+        if live_kernels > 0 && config.geometry.is_some() {
+            // Keep the chunk-start LRU state around so an overflowing
+            // lane can reconstruct its own replica as of the failed
+            // reference (the shared replica will have advanced past it).
+            finite_snapshot.clear();
+            finite_snapshot.extend(shared_finite.iter().cloned());
+        }
+        if live_kernels > 1 {
+            decoded.clear();
+            decoded.reserve(refs.len());
+            for r in refs {
+                decoded.push(decode_ref(config, intern, addrs, shared_finite, r));
+            }
+        }
+        for i in 0..lanes.len() {
+            // Take the kernel out so the overflow path can replace the
+            // protocol instance without aliasing; put it back on success.
+            if let Some(mut kernel) = kernels[i].take() {
+                let lane = &mut lanes[i];
+                let mut overflowed_at = None;
+                if live_kernels > 1 {
+                    for (j, &d) in decoded.iter().enumerate() {
+                        if lane.step_with_kernel(&mut kernel, d).is_err() {
+                            overflowed_at = Some(j);
+                            break;
+                        }
+                    }
+                } else {
+                    for (j, r) in refs.iter().enumerate() {
+                        let d = decode_ref(config, intern, addrs, shared_finite, r);
+                        if lane.step_with_kernel(&mut kernel, d).is_err() {
+                            overflowed_at = Some(j);
+                            break;
+                        }
+                    }
+                }
+                match overflowed_at {
+                    None => kernels[i] = Some(kernel),
+                    // Overflow: the failed reference mutated nothing in
+                    // the lane, so settle the batched counts, materialize
+                    // the machine, rebuild the lane's finite replica as
+                    // of the failed reference, and re-step from it on the
+                    // match path. The kernel stays dropped.
+                    Some(j) => {
+                        lanes[i].absorb_kernel_hits(&mut kernel);
+                        protocols[i] = kernel.materialize(addrs);
+                        if config.geometry.is_some() {
+                            lanes[i].restore_finite(replay_finite(
+                                config,
+                                finite_snapshot,
+                                &refs[..j],
+                            ));
+                        }
+                        step_direct(config, &mut lanes[i], protocols[i].as_mut(), &refs[j..])?;
+                    }
+                }
+            } else {
+                step_direct(config, &mut lanes[i], protocols[i].as_mut(), refs)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn finish(self) -> Vec<SimResult> {
+        self.lanes
+            .into_iter()
+            .zip(self.kernels)
+            .zip(self.protocols)
+            .map(|((lane, kernel), protocol)| match kernel {
+                Some(mut kernel) => lane.finish_with_kernel(&mut kernel),
+                None => lane.finish(protocol.as_ref()),
+            })
+            .collect()
+    }
+}
+
+/// Decodes one reference for the kernel lanes: block mapping, cache
+/// attribution, bank-wide block-index interning, and — under a finite
+/// geometry — the shared residency probe, LRU victim choice, and LRU
+/// commit, each paid once per reference no matter how many lanes replay
+/// the result. The LRU op sequence on the shared replica (fused probe on
+/// a hit; `touch` then `insert` on a miss) matches `Lane::step`'s
+/// tick-for-tick, so the replica stays bit-identical to what every
+/// match-based lane would hold.
+#[inline]
+fn decode_ref(
+    config: &SimConfig,
+    intern: &mut FxHashMap<BlockAddr, u32>,
+    addrs: &mut Vec<BlockAddr>,
+    shared_finite: &mut Vec<FiniteCache<()>>,
+    r: &MemRef,
+) -> DecodedRef {
+    if r.kind == AccessKind::InstrFetch {
+        return DecodedRef::instr();
+    }
+    let block = config.block_map.block_of(r.addr);
+    let block_idx = *intern.entry(block).or_insert_with(|| {
+        let idx = u32::try_from(addrs.len()).expect("fewer than 2^32 blocks");
+        addrs.push(block);
+        idx
+    });
+    let cache = config.sharing.cache_of(r);
+    let mut resident = true;
+    let mut victim_idx = NO_VICTIM;
+    if let Some(geometry) = config.geometry {
+        while shared_finite.len() <= cache.index() {
+            shared_finite.push(
+                FiniteCache::new(geometry).expect("geometry validated at configuration time"),
+            );
+        }
+        let fc = &mut shared_finite[cache.index()];
+        if fc.touch_if_resident(block).is_none() {
+            resident = false;
+            if let Some(v) = fc.would_evict(block) {
+                victim_idx = *intern
+                    .get(&v)
+                    .expect("victim blocks were interned by their own data refs");
+            }
+            let touched = fc.touch(block);
+            debug_assert!(touched.is_none(), "the fused probe proved a miss");
+            fc.insert(block, ());
+        }
+    }
+    DecodedRef {
+        block_idx,
+        victim_idx,
+        cache,
+        write: r.kind == AccessKind::Write,
+        resident,
+    }
+}
+
+/// Reconstructs the finite-cache replica a match-based lane would hold
+/// after the chunk prefix `refs`: a clone of the chunk-start snapshot
+/// advanced by each data reference's touch/insert LRU ops — the exact op
+/// sequence `Lane::step` performs. Used when a kernel lane overflows
+/// mid-chunk: kernel lanes carry no finite state of their own (the
+/// bank's shared replica does), so the match-path continuation needs a
+/// private copy as of the failed reference.
+fn replay_finite(
+    config: &SimConfig,
+    snapshot: &[FiniteCache<()>],
+    refs: &[MemRef],
+) -> Vec<FiniteCache<()>> {
+    let Some(geometry) = config.geometry else {
+        return Vec::new();
+    };
+    let mut finite: Vec<FiniteCache<()>> = snapshot.to_vec();
+    for r in refs {
+        if r.kind == AccessKind::InstrFetch {
+            continue;
+        }
+        let block = config.block_map.block_of(r.addr);
+        let cache = config.sharing.cache_of(r);
+        while finite.len() <= cache.index() {
+            finite.push(
+                FiniteCache::new(geometry).expect("geometry validated at configuration time"),
+            );
+        }
+        let fc = &mut finite[cache.index()];
+        if fc.touch(block).is_none() {
+            fc.insert(block, ());
+        }
+    }
+    finite
+}
+
+/// Steps one lane over a slice on the match-based path.
+fn step_direct(
+    config: &SimConfig,
+    lane: &mut Lane,
+    protocol: &mut dyn CoherenceProtocol,
+    refs: &[MemRef],
+) -> Result<(), Error> {
+    for &r in refs {
+        let index = lane.next_index();
+        if let Err(failure) = lane.step(config, protocol, r) {
+            return Err(step_error(protocol.name(), index, failure));
+        }
+    }
+    Ok(())
 }
 
 #[cold]
@@ -309,21 +565,14 @@ fn drive_in_thread(
     feed: &mut dyn ChunkFeed,
     observe: &mut dyn FnMut(&MemRef),
 ) -> Result<Vec<SimResult>, Error> {
-    let mut lanes: Vec<SchemeLane> = schemes
-        .iter()
-        .map(|&s| SchemeLane::new(&config, s, caches))
-        .collect();
+    let mut bank = LaneBank::new(&config, schemes, caches);
+    rec.counter("kernel_lanes", &[], bank.kernel_lanes() as u64);
     let mut sink = |refs: &[MemRef]| -> Result<(), Error> {
         let _step = Span::with_labels(rec, "phase_seconds", &[("phase", "step")]);
-        for lane in lanes.iter_mut() {
-            for &r in refs {
-                lane.step(&config, r)?;
-            }
-        }
-        Ok(())
+        bank.step_chunk(&config, refs)
     };
     drive(rec, feed, observe, &mut sink)?;
-    Ok(lanes.into_iter().map(SchemeLane::finish).collect())
+    Ok(bank.finish())
 }
 
 /// Sharded placement: the route stage partitions each chunk under the
@@ -348,17 +597,21 @@ fn drive_sharded(
 
     let per_worker: Result<Vec<Vec<SimResult>>, Error> = std::thread::scope(|scope| {
         let mut txs = Vec::with_capacity(workers);
+        let mut recycle_rxs = Vec::with_capacity(workers);
         let mut handles = Vec::with_capacity(workers);
         for (shard, depth) in queue_depth.iter().enumerate() {
             let (tx, rx) = mpsc::sync_channel::<Vec<MemRef>>(SHARD_CHANNEL_DEPTH);
+            // Return channel for spent batch buffers: workers hand the
+            // emptied Vec back so the router reuses its capacity instead
+            // of allocating a fresh staging buffer per batch.
+            let (recycle_tx, recycle_rx) =
+                mpsc::sync_channel::<Vec<MemRef>>(SHARD_CHANNEL_DEPTH + 2);
             txs.push(tx);
+            recycle_rxs.push(recycle_rx);
             handles.push(scope.spawn(move || -> Result<Vec<SimResult>, Error> {
                 let shard_label = shard.to_string();
-                let mut lanes: Vec<SchemeLane> = schemes
-                    .iter()
-                    .map(|&s| SchemeLane::new(&config, s, caches))
-                    .collect();
-                for batch in rx {
+                let mut bank = LaneBank::new(&config, schemes, caches);
+                for mut batch in rx {
                     if enabled {
                         let queued = depth.fetch_sub(1, Ordering::Relaxed);
                         rec.observe(
@@ -367,18 +620,19 @@ fn drive_sharded(
                             queued as f64,
                         );
                     }
-                    let _step = Span::with_labels(
+                    let step = Span::with_labels(
                         rec,
                         "phase_seconds",
                         &[("phase", "step"), ("shard", &shard_label)],
                     );
-                    for lane in lanes.iter_mut() {
-                        for &r in &batch {
-                            lane.step(&config, r)?;
-                        }
-                    }
+                    bank.step_chunk(&config, &batch)?;
+                    drop(step);
+                    batch.clear();
+                    // A full (or closed) return queue just means this
+                    // buffer isn't reused; dropping it is harmless.
+                    let _ = recycle_tx.try_send(batch);
                 }
-                Ok(lanes.into_iter().map(SchemeLane::finish).collect())
+                Ok(bank.finish())
             }));
         }
 
@@ -397,7 +651,10 @@ fn drive_sharded(
             drop(route);
             for (shard, pending) in staging.iter_mut().enumerate() {
                 if pending.len() >= chunk {
-                    let batch = std::mem::replace(pending, Vec::with_capacity(chunk));
+                    let fresh = recycle_rxs[shard]
+                        .try_recv()
+                        .unwrap_or_else(|_| Vec::with_capacity(chunk));
+                    let batch = std::mem::replace(pending, fresh);
                     if enabled {
                         queue_depth[shard].fetch_add(1, Ordering::Relaxed);
                     }

@@ -9,7 +9,7 @@
 //!
 //! Both implement [`CacheStorage`], the interface protocols program against.
 
-use std::collections::HashMap;
+use crate::fxmap::FxHashMap;
 use std::fmt;
 
 use crate::block::BlockAddr;
@@ -77,14 +77,14 @@ pub trait CacheStorage<L> {
 /// explicitly removed.
 #[derive(Debug, Clone, Default)]
 pub struct InfiniteCache<L> {
-    lines: HashMap<BlockAddr, L>,
+    lines: FxHashMap<BlockAddr, L>,
 }
 
 impl<L> InfiniteCache<L> {
     /// Creates an empty infinite cache.
     pub fn new() -> Self {
         InfiniteCache {
-            lines: HashMap::new(),
+            lines: FxHashMap::default(),
         }
     }
 
@@ -165,16 +165,25 @@ struct Way<L> {
 }
 
 /// Finite set-associative cache with LRU replacement.
+///
+/// Storage is one contiguous slab of `sets × ways` slots plus a per-set
+/// occupancy count — a set lookup is a single computed offset into the
+/// slab rather than a pointer chase through a per-set allocation, which
+/// matters in the engine's residency-tracking hot loop. Slots past a
+/// set's occupancy hold default-initialised filler that is never read
+/// (hence the `L: Default` bound).
 #[derive(Debug, Clone)]
 pub struct FiniteCache<L> {
-    sets: Vec<Vec<Way<L>>>,
+    slots: Vec<Way<L>>,
+    /// Resident line count per set (`≤ ways`).
+    lens: Vec<u32>,
     ways: usize,
     set_mask: u64,
     tick: u64,
     resident: usize,
 }
 
-impl<L> FiniteCache<L> {
+impl<L: Default> FiniteCache<L> {
     /// Creates an empty cache with the given geometry.
     ///
     /// # Errors
@@ -183,32 +192,87 @@ impl<L> FiniteCache<L> {
     /// `ways` is zero.
     pub fn new(geometry: CacheGeometry) -> Result<Self, InvalidGeometry> {
         geometry.validate()?;
-        let mut sets = Vec::with_capacity(geometry.sets as usize);
-        for _ in 0..geometry.sets {
-            sets.push(Vec::with_capacity(geometry.ways as usize));
-        }
+        let capacity = geometry.sets as usize * geometry.ways as usize;
+        let mut slots = Vec::with_capacity(capacity);
+        slots.resize_with(capacity, || Way {
+            block: BlockAddr::new(0),
+            line: L::default(),
+            stamp: 0,
+        });
         Ok(FiniteCache {
-            sets,
+            slots,
+            lens: vec![0; geometry.sets as usize],
             ways: geometry.ways as usize,
             set_mask: u64::from(geometry.sets) - 1,
             tick: 0,
             resident: 0,
         })
     }
+}
 
+impl<L> FiniteCache<L> {
     /// Total line capacity (`sets * ways`).
     pub fn capacity(&self) -> usize {
-        self.sets.len() * self.ways
+        self.slots.len()
     }
 
     fn set_of(&self, block: BlockAddr) -> usize {
         (block.raw() & self.set_mask) as usize
     }
+
+    /// The occupied slots of one set.
+    #[inline]
+    fn set(&self, set: usize) -> &[Way<L>] {
+        &self.slots[set * self.ways..set * self.ways + self.lens[set] as usize]
+    }
+
+    /// The occupied slots of one set, mutably.
+    #[inline]
+    fn set_mut(&mut self, set: usize) -> &mut [Way<L>] {
+        &mut self.slots[set * self.ways..set * self.ways + self.lens[set] as usize]
+    }
+
+    /// A fused residency-check-plus-access: on a hit this behaves exactly
+    /// like [`CacheStorage::touch`] (the access tick advances and the line
+    /// is re-stamped most-recent); on a miss it mutates *nothing* — not
+    /// even the tick — and returns `None`. Callers that must keep the LRU
+    /// tick sequence identical to a plain `touch`-then-`insert` miss path
+    /// follow a `None` here with exactly that pair, which replays the same
+    /// two tick increments `touch` + `insert` would have produced.
+    #[inline]
+    pub fn touch_if_resident(&mut self, block: BlockAddr) -> Option<&mut L> {
+        let set = self.set_of(block);
+        let start = set * self.ways;
+        let end = start + self.lens[set] as usize;
+        let tick = self.tick + 1;
+        // Direct field indexing (not the `set_mut` helper) keeps the slab
+        // and tick borrows disjoint.
+        let w = self.slots[start..end]
+            .iter_mut()
+            .find(|w| w.block == block)?;
+        w.stamp = tick;
+        self.tick = tick;
+        Some(&mut w.line)
+    }
+
+    /// The victim that inserting `block` *would* displace, without
+    /// mutating any replacement state: `None` when the block is already
+    /// resident or its set still has a free way. Mirrors
+    /// [`CacheStorage::insert`]'s LRU choice exactly (first-seen minimum
+    /// stamp), so callers can pre-compute eviction consequences before
+    /// committing the access.
+    pub fn would_evict(&self, block: BlockAddr) -> Option<BlockAddr> {
+        let set = self.set(self.set_of(block));
+        if set.iter().any(|w| w.block == block) || set.len() < self.ways {
+            return None;
+        }
+        set.iter().min_by_key(|w| w.stamp).map(|w| w.block)
+    }
 }
 
-impl<L> CacheStorage<L> for FiniteCache<L> {
+impl<L: Default> CacheStorage<L> for FiniteCache<L> {
     fn peek(&self, block: BlockAddr) -> Option<&L> {
-        self.sets[self.set_of(block)]
+        self.set(self.set_of(block))
             .iter()
             .find(|w| w.block == block)
             .map(|w| &w.line)
@@ -218,7 +282,7 @@ impl<L> CacheStorage<L> for FiniteCache<L> {
         self.tick += 1;
         let tick = self.tick;
         let set = self.set_of(block);
-        self.sets[set]
+        self.set_mut(set)
             .iter_mut()
             .find(|w| w.block == block)
             .map(|w| {
@@ -230,20 +294,22 @@ impl<L> CacheStorage<L> for FiniteCache<L> {
     fn insert(&mut self, block: BlockAddr, line: L) -> Option<(BlockAddr, L)> {
         self.tick += 1;
         let tick = self.tick;
-        let ways = self.ways;
         let set_idx = self.set_of(block);
-        let set = &mut self.sets[set_idx];
+        let len = self.lens[set_idx] as usize;
+        let start = set_idx * self.ways;
+        let set = &mut self.slots[start..start + len];
         if let Some(w) = set.iter_mut().find(|w| w.block == block) {
             w.line = line;
             w.stamp = tick;
             return None;
         }
-        if set.len() < ways {
-            set.push(Way {
+        if len < self.ways {
+            self.slots[start + len] = Way {
                 block,
                 line,
                 stamp: tick,
-            });
+            };
+            self.lens[set_idx] += 1;
             self.resident += 1;
             return None;
         }
@@ -267,10 +333,17 @@ impl<L> CacheStorage<L> for FiniteCache<L> {
 
     fn remove(&mut self, block: BlockAddr) -> Option<L> {
         let set_idx = self.set_of(block);
-        let set = &mut self.sets[set_idx];
+        let len = self.lens[set_idx] as usize;
+        let start = set_idx * self.ways;
+        let set = &mut self.slots[start..start + len];
         let pos = set.iter().position(|w| w.block == block)?;
+        // Move the last occupied slot into the vacated position (the
+        // order within a set carries no meaning — LRU is by stamp).
+        set.swap(pos, len - 1);
+        let line = std::mem::take(&mut set[len - 1].line);
+        self.lens[set_idx] -= 1;
         self.resident -= 1;
-        Some(set.swap_remove(pos).line)
+        Some(line)
     }
 
     fn len(&self) -> usize {

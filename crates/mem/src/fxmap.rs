@@ -1,0 +1,129 @@
+//! A fast, non-cryptographic hasher for hot-path block maps.
+//!
+//! The default `std` hasher (SipHash-1-3) is keyed and DoS-resistant but
+//! costs tens of nanoseconds per `u64` key — comparable to the whole
+//! protocol transition it guards in the step loop. Simulation block maps
+//! hash attacker-free `BlockAddr`/`CacheId` keys, so we use an
+//! FxHash-style multiply-xor fold instead (the same construction rustc
+//! uses for its interning tables), hand-rolled here to keep the workspace
+//! dependency-free.
+//!
+//! Determinism note: unlike SipHash, [`FxHasher`] is unseeded, so map
+//! iteration order is stable across runs — but callers must still not
+//! depend on it; every observable ordering in the simulator goes through
+//! an explicit sort (e.g. `StateSnapshot::from_blocks` sorts by block
+//! address).
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// 64-bit multiply constant from the Firefox/rustc FxHash fold.
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+const ROTATE: u32 = 5;
+
+/// Multiply-xor folding hasher; not DoS-resistant, for trusted keys only.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn fold(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(ROTATE) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut rest = bytes;
+        while rest.len() >= 8 {
+            let (word, tail) = rest.split_at(8);
+            self.fold(u64::from_le_bytes(word.try_into().expect("8 bytes")));
+            rest = tail;
+        }
+        if !rest.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rest.len()].copy_from_slice(rest);
+            self.fold(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.fold(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.fold(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.fold(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.fold(n as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`]; plug into `HashMap::with_hasher`.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` keyed by trusted simulation ids (block addresses, cache
+/// ids) using the fast fold hasher.
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// `HashSet` twin of [`FxHashMap`].
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BlockAddr;
+
+    #[test]
+    fn map_round_trips_block_addrs() {
+        let mut m: FxHashMap<BlockAddr, u32> = FxHashMap::default();
+        for i in 0..1000u64 {
+            m.insert(BlockAddr::new(i), i as u32);
+        }
+        assert_eq!(m.len(), 1000);
+        for i in 0..1000u64 {
+            assert_eq!(m.get(&BlockAddr::new(i)), Some(&(i as u32)));
+        }
+    }
+
+    #[test]
+    fn hashes_are_deterministic_and_spread() {
+        let one = |n: u64| {
+            let mut h = FxHasher::default();
+            h.write_u64(n);
+            h.finish()
+        };
+        assert_eq!(one(42), one(42));
+        // Sequential keys must not collapse onto the low bits HashMap uses.
+        let mut low: Vec<u64> = (0..64).map(|n| one(n) >> 57).collect();
+        low.sort_unstable();
+        low.dedup();
+        assert!(low.len() > 16, "top-bit spread too weak: {}", low.len());
+    }
+
+    #[test]
+    fn byte_slices_match_length_prefix_behaviour() {
+        let mut a = FxHasher::default();
+        a.write(b"block-map");
+        let mut b = FxHasher::default();
+        b.write(b"block-maq");
+        assert_ne!(a.finish(), b.finish());
+    }
+}

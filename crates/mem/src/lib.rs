@@ -27,6 +27,7 @@
 
 pub mod block;
 pub mod cache;
+pub mod fxmap;
 pub mod oracle;
 pub mod sharing;
 
@@ -34,5 +35,6 @@ pub use block::{BlockAddr, BlockMap};
 pub use cache::{
     CacheGeometry, CacheId, CacheStorage, FiniteCache, InfiniteCache, InvalidGeometry,
 };
+pub use fxmap::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use oracle::{CanonicalBlock, OracleViolation, ShadowMemory};
 pub use sharing::{FirstRefTracker, SharingModel};

@@ -12,7 +12,7 @@
 //! infinite cache too, so it is classified separately (`rm-first-ref` /
 //! `wm-first-ref`) and excluded from coherence cost.
 
-use std::collections::HashSet;
+use crate::fxmap::FxHashSet;
 
 use dirsim_trace::MemRef;
 
@@ -68,7 +68,7 @@ impl std::fmt::Display for SharingModel {
 /// excludes it from coherence cost.
 #[derive(Debug, Clone, Default)]
 pub struct FirstRefTracker {
-    seen: HashSet<BlockAddr>,
+    seen: FxHashSet<BlockAddr>,
 }
 
 impl FirstRefTracker {

@@ -8,7 +8,7 @@
 //! `n` caches. Invalidations become a *limited broadcast*: directed messages
 //! to every cache in the superset.
 
-use std::collections::HashMap;
+use dirsim_mem::FxHashMap;
 use std::fmt;
 
 use dirsim_mem::{BlockAddr, CacheId};
@@ -189,7 +189,7 @@ struct Entry {
 #[derive(Debug, Clone)]
 pub struct CoarseVectorProtocol {
     caches: u32,
-    blocks: HashMap<BlockAddr, Entry>,
+    blocks: FxHashMap<BlockAddr, Entry>,
 }
 
 impl CoarseVectorProtocol {
@@ -202,7 +202,7 @@ impl CoarseVectorProtocol {
         assert!(caches > 0, "a coherence system needs at least one cache");
         CoarseVectorProtocol {
             caches,
-            blocks: HashMap::new(),
+            blocks: FxHashMap::default(),
         }
     }
 

@@ -23,7 +23,7 @@
 //! depend on the directory organisation, which is exactly the paper's
 //! event/cost split (§4.1).
 
-use std::collections::HashMap;
+use dirsim_mem::FxHashMap;
 
 use dirsim_mem::{BlockAddr, CacheId};
 
@@ -70,7 +70,7 @@ struct Entry {
 pub struct DirectoryProtocol {
     spec: DirSpec,
     caches: u32,
-    blocks: HashMap<BlockAddr, Entry>,
+    blocks: FxHashMap<BlockAddr, Entry>,
     /// Strip unoverlapped directory lookups from the emitted ops — used by
     /// the Berkeley-ownership cost derivation (§5, "setting the directory
     /// access cost to 0").
@@ -88,7 +88,7 @@ impl DirectoryProtocol {
         DirectoryProtocol {
             spec,
             caches,
-            blocks: HashMap::new(),
+            blocks: FxHashMap::default(),
             free_directory: false,
         }
     }

@@ -11,7 +11,7 @@
 //! shedding the snoopy flooding requirement — the update-protocol
 //! counterpart of the paper's directory argument.
 
-use std::collections::HashMap;
+use dirsim_mem::FxHashMap;
 
 use dirsim_mem::{BlockAddr, CacheId};
 
@@ -52,7 +52,7 @@ struct Entry {
 #[derive(Debug, Clone)]
 pub struct DirUpdate {
     caches: u32,
-    blocks: HashMap<BlockAddr, Entry>,
+    blocks: FxHashMap<BlockAddr, Entry>,
 }
 
 impl DirUpdate {
@@ -65,7 +65,7 @@ impl DirUpdate {
         assert!(caches > 0, "a coherence system needs at least one cache");
         DirUpdate {
             caches,
-            blocks: HashMap::new(),
+            blocks: FxHashMap::default(),
         }
     }
 

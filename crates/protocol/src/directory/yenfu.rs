@@ -12,7 +12,7 @@
 //! `DirLookup` is replaced by a `DirUpdate`, and the single-bit clears add
 //! messages on top.
 
-use std::collections::HashMap;
+use dirsim_mem::FxHashMap;
 
 use dirsim_mem::{BlockAddr, CacheId};
 
@@ -48,7 +48,7 @@ struct Entry {
 #[derive(Debug, Clone)]
 pub struct YenFu {
     caches: u32,
-    blocks: HashMap<BlockAddr, Entry>,
+    blocks: FxHashMap<BlockAddr, Entry>,
 }
 
 impl YenFu {
@@ -61,7 +61,7 @@ impl YenFu {
         assert!(caches > 0, "a coherence system needs at least one cache");
         YenFu {
             caches,
-            blocks: HashMap::new(),
+            blocks: FxHashMap::default(),
         }
     }
 

@@ -156,6 +156,11 @@ impl EventCounts {
         self.counts[kind.ordinal()] += 1;
     }
 
+    /// Records `n` occurrences of `kind` at once (batched accumulation).
+    pub fn record_n(&mut self, kind: EventKind, n: u64) {
+        self.counts[kind.ordinal()] += n;
+    }
+
     /// Total references classified (sum over all kinds).
     pub fn total(&self) -> u64 {
         self.counts.iter().sum()

@@ -1,16 +1,107 @@
-//! Ordered set of caches holding a block.
+//! Ordered set of caches holding a block, packed for the hot path.
 //!
 //! [`SharerSet`] preserves *insertion order* so that pointer-limited
 //! directory schemes can apply deterministic eviction policies (evict the
 //! oldest sharer), and so that broadcast-free invalidation can enumerate
 //! holders in a stable order.
+//!
+//! Internally membership lives in a packed `u64` bitmap (one bit per cache
+//! id below [`WORD_BITS`]), so `contains`/`insert`/`count_others` are a
+//! mask test or popcount instead of a linear scan. Cache ids at or above
+//! [`WORD_BITS`] spill into extra heap-allocated bitmap words; sets wider
+//! than [`INLINE_MEMBERS`] sharers spill their order buffer to the heap.
+//! Both spills are reached only past the fast path, so simulations at the
+//! paper's 4-64 cache scale never allocate per sharer-set operation.
 
 use dirsim_mem::CacheId;
 
-/// Insertion-ordered set of cache identities.
+/// Number of cache ids covered by the inline bitmap word.
+pub const WORD_BITS: u32 = 64;
+
+/// Number of members tracked in the inline insertion-order buffer before
+/// spilling to the heap.
+pub const INLINE_MEMBERS: usize = 8;
+
+/// Insertion-order storage: inline for small sets, heap Vec beyond that.
+#[derive(Debug, Clone)]
+enum Order {
+    Inline {
+        len: u8,
+        buf: [CacheId; INLINE_MEMBERS],
+    },
+    Heap(Vec<CacheId>),
+}
+
+impl Order {
+    #[inline]
+    fn as_slice(&self) -> &[CacheId] {
+        match self {
+            Order::Inline { len, buf } => &buf[..*len as usize],
+            Order::Heap(v) => v,
+        }
+    }
+
+    #[inline]
+    fn push(&mut self, cache: CacheId) {
+        match self {
+            Order::Inline { len, buf } => {
+                let n = *len as usize;
+                if n < INLINE_MEMBERS {
+                    buf[n] = cache;
+                    *len += 1;
+                } else {
+                    let mut v = Vec::with_capacity(INLINE_MEMBERS * 2);
+                    v.extend_from_slice(&buf[..n]);
+                    v.push(cache);
+                    *self = Order::Heap(v);
+                }
+            }
+            Order::Heap(v) => v.push(cache),
+        }
+    }
+
+    /// Removes the member at `pos`, shifting later members down (order of
+    /// the survivors is preserved — this is what `oldest`-based eviction
+    /// policies key on).
+    fn remove_at(&mut self, pos: usize) {
+        match self {
+            Order::Inline { len, buf } => {
+                let n = *len as usize;
+                buf.copy_within(pos + 1..n, pos);
+                *len -= 1;
+            }
+            Order::Heap(v) => {
+                v.remove(pos);
+            }
+        }
+    }
+
+    fn clear(&mut self) {
+        match self {
+            Order::Inline { len, .. } => *len = 0,
+            Order::Heap(v) => v.clear(),
+        }
+    }
+}
+
+impl Default for Order {
+    fn default() -> Self {
+        Order::Inline {
+            len: 0,
+            buf: [CacheId::new(0); INLINE_MEMBERS],
+        }
+    }
+}
+
+/// Insertion-ordered set of cache identities with a packed-word bitmap
+/// carrying membership.
 ///
-/// Sized for coherence simulations (tens to a few thousand caches); lookups
-/// are linear, which is faster than hashing at these cardinalities.
+/// Membership tests and cardinality are O(1) bit operations on the inline
+/// word for cache ids below [`WORD_BITS`]; wider systems spill to extra
+/// bitmap words. Insertion order is kept alongside so that the directory
+/// semantics pinned by the tests below (duplicate inserts do not
+/// rejuvenate, remove-then-reinsert moves to newest) are bit-identical to
+/// the original linear-scan representation.
 ///
 /// # Examples
 ///
@@ -25,9 +116,18 @@ use dirsim_mem::CacheId;
 /// assert_eq!(s.len(), 2);
 /// assert_eq!(s.oldest(), Some(CacheId::new(2)));
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default)]
 pub struct SharerSet {
-    members: Vec<CacheId>,
+    /// Membership bits for cache ids `0..WORD_BITS`.
+    word: u64,
+    /// Membership bits for cache ids `WORD_BITS..`, one word per
+    /// `WORD_BITS` ids; allocated only when such an id is inserted.
+    /// Boxed on purpose: the spill is cold, and the double indirection
+    /// keeps this field pointer-sized so `SharerSet` itself stays lean
+    /// for the (universal) unspilled case.
+    #[allow(clippy::box_collection)]
+    high: Option<Box<Vec<u64>>>,
+    order: Order,
 }
 
 impl SharerSet {
@@ -38,82 +138,184 @@ impl SharerSet {
 
     /// Creates a set holding a single cache.
     pub fn singleton(cache: CacheId) -> Self {
-        SharerSet {
-            members: vec![cache],
-        }
+        let mut s = SharerSet::new();
+        s.insert(cache);
+        s
     }
 
     /// Inserts a cache; returns `true` if it was not already present.
+    #[inline]
     pub fn insert(&mut self, cache: CacheId) -> bool {
-        if self.contains(cache) {
-            false
-        } else {
-            self.members.push(cache);
-            true
+        let id = cache.index() as u32;
+        if id < WORD_BITS {
+            let bit = 1u64 << id;
+            if self.word & bit != 0 {
+                return false;
+            }
+            self.word |= bit;
+        } else if !self.set_high(id) {
+            return false;
         }
+        self.order.push(cache);
+        true
     }
 
     /// Removes a cache; returns `true` if it was present.
+    #[inline]
     pub fn remove(&mut self, cache: CacheId) -> bool {
-        match self.members.iter().position(|&c| c == cache) {
-            Some(i) => {
-                self.members.remove(i);
-                true
+        let id = cache.index() as u32;
+        if id < WORD_BITS {
+            let bit = 1u64 << id;
+            if self.word & bit == 0 {
+                return false;
             }
-            None => false,
+            self.word &= !bit;
+        } else if !self.clear_high(id) {
+            return false;
         }
+        let pos = self
+            .order
+            .as_slice()
+            .iter()
+            .position(|&c| c == cache)
+            .expect("bitmap and order buffer agree on membership");
+        self.order.remove_at(pos);
+        true
     }
 
     /// Whether the cache is a member.
+    #[inline]
     pub fn contains(&self, cache: CacheId) -> bool {
-        self.members.contains(&cache)
+        let id = cache.index() as u32;
+        if id < WORD_BITS {
+            self.word & (1u64 << id) != 0
+        } else {
+            self.high_bit(id)
+        }
     }
 
-    /// Number of members.
+    /// Number of members (popcount over the bitmap words).
+    #[inline]
     pub fn len(&self) -> usize {
-        self.members.len()
+        let mut n = self.word.count_ones() as usize;
+        if let Some(high) = &self.high {
+            n += high.iter().map(|w| w.count_ones() as usize).sum::<usize>();
+        }
+        n
     }
 
     /// Whether the set is empty.
+    #[inline]
     pub fn is_empty(&self) -> bool {
-        self.members.is_empty()
+        let high_live = self
+            .high
+            .as_ref()
+            .is_some_and(|h| h.iter().any(|&w| w != 0));
+        self.word == 0 && !high_live
     }
 
     /// The earliest-inserted member still present, if any.
+    #[inline]
     pub fn oldest(&self) -> Option<CacheId> {
-        self.members.first().copied()
+        self.order.as_slice().first().copied()
     }
 
     /// The earliest-inserted member other than `except`, if any.
+    #[inline]
     pub fn oldest_other(&self, except: CacheId) -> Option<CacheId> {
-        self.members.iter().copied().find(|&c| c != except)
+        self.order.as_slice().iter().copied().find(|&c| c != except)
     }
 
     /// Iterates members in insertion order.
     pub fn iter(&self) -> impl Iterator<Item = CacheId> + '_ {
-        self.members.iter().copied()
+        self.order.as_slice().iter().copied()
     }
 
     /// Members other than `except`, in insertion order.
     pub fn others(&self, except: CacheId) -> impl Iterator<Item = CacheId> + '_ {
-        self.members.iter().copied().filter(move |&c| c != except)
+        self.order
+            .as_slice()
+            .iter()
+            .copied()
+            .filter(move |&c| c != except)
     }
 
-    /// Number of members other than `except`.
+    /// Number of members other than `except` — a popcount minus a
+    /// membership bit, never a scan.
+    #[inline]
     pub fn count_others(&self, except: CacheId) -> usize {
-        self.members.iter().filter(|&&c| c != except).count()
+        self.len() - usize::from(self.contains(except))
     }
 
     /// Removes all members.
     pub fn clear(&mut self) {
-        self.members.clear();
+        self.word = 0;
+        if let Some(high) = &mut self.high {
+            high.iter_mut().for_each(|w| *w = 0);
+        }
+        self.order.clear();
     }
 
     /// Retains only `cache` (dropping everything else).
     pub fn retain_only(&mut self, cache: CacheId) {
-        self.members.retain(|&c| c == cache);
+        let keep = self.contains(cache);
+        self.clear();
+        if keep {
+            self.insert(cache);
+        }
+    }
+
+    /// Tests the spill-word bit for a high cache id.
+    #[cold]
+    fn high_bit(&self, id: u32) -> bool {
+        let word = (id / WORD_BITS - 1) as usize;
+        let bit = 1u64 << (id % WORD_BITS);
+        self.high
+            .as_ref()
+            .and_then(|h| h.get(word))
+            .is_some_and(|w| w & bit != 0)
+    }
+
+    /// Sets the spill-word bit for a high cache id; `false` if already set.
+    #[cold]
+    fn set_high(&mut self, id: u32) -> bool {
+        let word = (id / WORD_BITS - 1) as usize;
+        let bit = 1u64 << (id % WORD_BITS);
+        let high = self.high.get_or_insert_with(Default::default);
+        if high.len() <= word {
+            high.resize(word + 1, 0);
+        }
+        if high[word] & bit != 0 {
+            return false;
+        }
+        high[word] |= bit;
+        true
+    }
+
+    /// Clears the spill-word bit for a high cache id; `false` if unset.
+    #[cold]
+    fn clear_high(&mut self, id: u32) -> bool {
+        let word = (id / WORD_BITS - 1) as usize;
+        let bit = 1u64 << (id % WORD_BITS);
+        match &mut self.high {
+            Some(high) if high.len() > word && high[word] & bit != 0 => {
+                high[word] &= !bit;
+                true
+            }
+            _ => false,
+        }
     }
 }
+
+/// Equality is membership *and* insertion order — two sets that hold the
+/// same caches in different arrival order are different directory states.
+impl PartialEq for SharerSet {
+    fn eq(&self, other: &Self) -> bool {
+        self.order.as_slice() == other.order.as_slice()
+    }
+}
+
+impl Eq for SharerSet {}
 
 impl FromIterator<CacheId> for SharerSet {
     fn from_iter<I: IntoIterator<Item = CacheId>>(iter: I) -> Self {
@@ -138,7 +340,7 @@ impl<'a> IntoIterator for &'a SharerSet {
     type IntoIter = std::iter::Copied<std::slice::Iter<'a, CacheId>>;
 
     fn into_iter(self) -> Self::IntoIter {
-        self.members.iter().copied()
+        self.order.as_slice().iter().copied()
     }
 }
 
@@ -246,5 +448,41 @@ mod tests {
         assert_eq!(s.len(), 2);
         let via_ref: Vec<_> = (&s).into_iter().collect();
         assert_eq!(via_ref, vec![c(1), c(2)]);
+    }
+
+    #[test]
+    fn inline_order_spills_past_inline_members() {
+        // More members than the inline order buffer holds: order and
+        // membership must survive the inline->heap promotion.
+        let ids: Vec<_> = (0..(INLINE_MEMBERS as u32 + 4)).map(c).collect();
+        let s: SharerSet = ids.iter().copied().collect();
+        assert_eq!(s.len(), ids.len());
+        assert_eq!(s.iter().collect::<Vec<_>>(), ids);
+        assert!(s.contains(c(INLINE_MEMBERS as u32 + 3)));
+    }
+
+    #[test]
+    fn high_ids_spill_past_word_bits() {
+        // Ids at and above WORD_BITS live in spill words; mixing low and
+        // high ids must keep membership and order coherent.
+        let mut s = SharerSet::new();
+        assert!(s.insert(c(3)));
+        assert!(s.insert(c(WORD_BITS)));
+        assert!(s.insert(c(WORD_BITS + 65)));
+        assert!(!s.insert(c(WORD_BITS)));
+        assert_eq!(s.len(), 3);
+        assert!(s.contains(c(WORD_BITS + 65)));
+        assert!(!s.contains(c(WORD_BITS + 1)));
+        assert_eq!(
+            s.iter().collect::<Vec<_>>(),
+            vec![c(3), c(WORD_BITS), c(WORD_BITS + 65)]
+        );
+        assert!(s.remove(c(WORD_BITS)));
+        assert!(!s.remove(c(WORD_BITS)));
+        assert_eq!(s.count_others(c(3)), 1);
+        s.retain_only(c(WORD_BITS + 65));
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![c(WORD_BITS + 65)]);
+        s.clear();
+        assert!(s.is_empty());
     }
 }

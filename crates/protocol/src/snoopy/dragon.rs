@@ -11,7 +11,7 @@
 //! Memory becomes stale on updates; the last writer is the *owner* and
 //! supplies the block on later misses (`rm-blk-drty`).
 
-use std::collections::HashMap;
+use dirsim_mem::FxHashMap;
 
 use dirsim_mem::{BlockAddr, CacheId};
 
@@ -50,7 +50,7 @@ struct Entry {
 #[derive(Debug, Clone)]
 pub struct Dragon {
     caches: u32,
-    blocks: HashMap<BlockAddr, Entry>,
+    blocks: FxHashMap<BlockAddr, Entry>,
 }
 
 impl Dragon {
@@ -63,7 +63,7 @@ impl Dragon {
         assert!(caches > 0, "a coherence system needs at least one cache");
         Dragon {
             caches,
-            blocks: HashMap::new(),
+            blocks: FxHashMap::default(),
         }
     }
 

@@ -11,7 +11,7 @@
 //! as `Dir0B` and WTI, so — per the paper's §5 observation — its event
 //! frequencies are identical to theirs; only the bus operations differ.
 
-use std::collections::HashMap;
+use dirsim_mem::FxHashMap;
 
 use dirsim_mem::{BlockAddr, CacheId};
 
@@ -46,7 +46,7 @@ struct Entry {
 #[derive(Debug, Clone)]
 pub struct Illinois {
     caches: u32,
-    blocks: HashMap<BlockAddr, Entry>,
+    blocks: FxHashMap<BlockAddr, Entry>,
 }
 
 impl Illinois {
@@ -59,7 +59,7 @@ impl Illinois {
         assert!(caches > 0, "a coherence system needs at least one cache");
         Illinois {
             caches,
-            blocks: HashMap::new(),
+            blocks: FxHashMap::default(),
         }
     }
 

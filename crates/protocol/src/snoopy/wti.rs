@@ -12,7 +12,7 @@
 //! exclusively held", which drives the same `blk-cln`/`blk-drty` event
 //! split even though memory always holds current data.
 
-use std::collections::HashMap;
+use dirsim_mem::FxHashMap;
 
 use dirsim_mem::{BlockAddr, CacheId};
 
@@ -48,7 +48,7 @@ struct Entry {
 #[derive(Debug, Clone)]
 pub struct Wti {
     caches: u32,
-    blocks: HashMap<BlockAddr, Entry>,
+    blocks: FxHashMap<BlockAddr, Entry>,
 }
 
 impl Wti {
@@ -61,7 +61,7 @@ impl Wti {
         assert!(caches > 0, "a coherence system needs at least one cache");
         Wti {
             caches,
-            blocks: HashMap::new(),
+            blocks: FxHashMap::default(),
         }
     }
 }

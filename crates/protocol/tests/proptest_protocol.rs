@@ -2,10 +2,13 @@
 //! coarse-code algebra, directory naming, and cross-protocol structural
 //! identities on random streams.
 
+use std::collections::BTreeSet;
+
 use proptest::prelude::*;
 
 use dirsim_mem::{BlockAddr, CacheId};
 use dirsim_protocol::directory::{CoarseCode, DirSpec, PointerCapacity};
+use dirsim_protocol::sharer_set::{INLINE_MEMBERS, WORD_BITS};
 use dirsim_protocol::{EventKind, Scheme, SharerSet};
 
 #[derive(Debug, Clone, Copy)]
@@ -69,6 +72,83 @@ proptest! {
             prop_assert_eq!(
                 real.oldest().map(|c| c.index() as u32),
                 model.first().copied()
+            );
+        }
+    }
+
+    /// The packed-word representation agrees with a `BTreeSet` membership
+    /// model across the 64→spill boundary: candidate ids straddle
+    /// `WORD_BITS` (inline word vs. heap spill words) and exceed
+    /// `INLINE_MEMBERS` (inline order buffer vs. heap promotion), so every
+    /// storage transition is crossed mid-sequence. The `BTreeSet` checks
+    /// membership/cardinality; a `Vec` shadow checks the insertion-order
+    /// contract the pointer-replacement policies depend on.
+    #[test]
+    fn sharer_set_matches_btree_model_across_spill_boundary(
+        ops in prop::collection::vec((0..4u8, 0..20usize), 1..250)
+    ) {
+        // Low ids, ids hugging both sides of the word boundary, and ids
+        // deep in the second spill word.
+        let ids: Vec<u32> = (0..6)
+            .chain(WORD_BITS - 3..WORD_BITS + 3)
+            .chain(2 * WORD_BITS + 1..2 * WORD_BITS + 9)
+            .collect();
+        prop_assert!(ids.len() == 20 && ids.len() > INLINE_MEMBERS);
+        let mut real = SharerSet::new();
+        let mut membership: BTreeSet<u32> = BTreeSet::new();
+        let mut order: Vec<u32> = Vec::new();
+        for (kind, pick) in ops {
+            let id = ids[pick];
+            match kind {
+                0 => {
+                    let added = real.insert(CacheId::new(id));
+                    prop_assert_eq!(added, membership.insert(id));
+                    if added {
+                        order.push(id);
+                    }
+                }
+                1 => {
+                    let removed = real.remove(CacheId::new(id));
+                    prop_assert_eq!(removed, membership.remove(&id));
+                    order.retain(|&x| x != id);
+                }
+                2 => {
+                    real.retain_only(CacheId::new(id));
+                    let keep = membership.contains(&id);
+                    membership.clear();
+                    order.clear();
+                    if keep {
+                        membership.insert(id);
+                        order.push(id);
+                    }
+                }
+                _ => {
+                    real.clear();
+                    membership.clear();
+                    order.clear();
+                }
+            }
+            prop_assert_eq!(real.len(), membership.len());
+            prop_assert_eq!(real.is_empty(), membership.is_empty());
+            for &candidate in &ids {
+                prop_assert_eq!(
+                    real.contains(CacheId::new(candidate)),
+                    membership.contains(&candidate),
+                    "membership diverged at id {}",
+                    candidate
+                );
+                prop_assert_eq!(
+                    real.count_others(CacheId::new(candidate)),
+                    membership.len()
+                        - usize::from(membership.contains(&candidate))
+                );
+            }
+            let real_order: Vec<u32> =
+                real.iter().map(|c| c.index() as u32).collect();
+            prop_assert_eq!(&real_order, &order);
+            prop_assert_eq!(
+                real.oldest().map(|c| c.index() as u32),
+                order.first().copied()
             );
         }
     }

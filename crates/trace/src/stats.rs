@@ -10,6 +10,94 @@ use std::fmt;
 
 use crate::types::{AccessKind, MemRef};
 
+/// A set of small non-negative ids, built for the per-reference observe
+/// path: ids below [`IdSet::BITMAP_LIMIT`] land in a dense bitmap (one
+/// or-instruction per insert, no hashing), anything larger spills to a
+/// `HashSet`. CPU and process ids are dense small integers in every
+/// workload this crate generates, so the spill set stays empty in
+/// practice.
+#[derive(Debug, Clone, Default)]
+struct IdSet {
+    bits: Vec<u64>,
+    spill: HashSet<u32>,
+}
+
+impl IdSet {
+    /// Bitmap coverage: 64 Ki ids = 8 KiB fully grown.
+    const BITMAP_LIMIT: u32 = 1 << 16;
+
+    #[inline]
+    fn insert(&mut self, id: u32) {
+        if id < Self::BITMAP_LIMIT {
+            let word = (id >> 6) as usize;
+            if self.bits.len() <= word {
+                self.bits.resize(word + 1, 0);
+            }
+            self.bits[word] |= 1u64 << (id & 63);
+        } else {
+            self.spill.insert(id);
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.bits
+            .iter()
+            .map(|w| w.count_ones() as usize)
+            .sum::<usize>()
+            + self.spill.len()
+    }
+
+    fn max(&self) -> Option<u32> {
+        // Every spill id exceeds every bitmap id, so a plain Option max
+        // (None < Some) picks the right winner.
+        let bitmap_max = self
+            .bits
+            .iter()
+            .enumerate()
+            .rev()
+            .find(|(_, w)| **w != 0)
+            .map(|(word, w)| word as u32 * 64 + 63 - w.leading_zeros());
+        self.spill.iter().copied().max().max(bitmap_max)
+    }
+
+    fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        self.bits
+            .iter()
+            .enumerate()
+            .flat_map(|(word, &w)| {
+                (0..64u32)
+                    .filter(move |b| w & (1u64 << b) != 0)
+                    .map(move |b| word as u32 * 64 + b)
+            })
+            .chain(self.spill.iter().copied())
+    }
+
+    fn merge(&mut self, other: &IdSet) {
+        if self.bits.len() < other.bits.len() {
+            self.bits.resize(other.bits.len(), 0);
+        }
+        for (a, b) in self.bits.iter_mut().zip(other.bits.iter()) {
+            *a |= b;
+        }
+        self.spill.extend(other.spill.iter().copied());
+    }
+}
+
+/// Set equality (the bitmap's trailing-zero words don't count), so two
+/// [`TraceStats`] that saw the same identities compare equal no matter
+/// how their bitmaps grew.
+impl PartialEq for IdSet {
+    fn eq(&self, other: &Self) -> bool {
+        let mut a: Vec<u32> = self.iter().collect();
+        let mut b: Vec<u32> = other.iter().collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        a == b
+    }
+}
+
+impl Eq for IdSet {}
+
 /// Running counters over a reference stream.
 ///
 /// # Examples
@@ -32,8 +120,8 @@ pub struct TraceStats {
     user: u64,
     system: u64,
     lock_reads: u64,
-    cpus: HashSet<u16>,
-    pids: HashSet<u32>,
+    cpus: IdSet,
+    pids: IdSet,
 }
 
 impl TraceStats {
@@ -72,7 +160,7 @@ impl TraceStats {
         } else {
             self.user += 1;
         }
-        self.cpus.insert(r.cpu.index() as u16);
+        self.cpus.insert(r.cpu.index() as u32);
         self.pids.insert(r.pid.index() as u32);
     }
 
@@ -128,7 +216,7 @@ impl TraceStats {
     /// open-system traces, where a process id can appear even though an
     /// earlier-minted id never emitted a reference.
     pub fn process_id_bound(&self) -> u32 {
-        self.pids.iter().copied().max().map_or(0, |p| p + 1)
+        self.pids.max().map_or(0, |p| p + 1)
     }
 
     /// Fraction of data reads that are lock-spin tests.
@@ -163,8 +251,8 @@ impl TraceStats {
         self.user += other.user;
         self.system += other.system;
         self.lock_reads += other.lock_reads;
-        self.cpus.extend(other.cpus.iter().copied());
-        self.pids.extend(other.pids.iter().copied());
+        self.cpus.merge(&other.cpus);
+        self.pids.merge(&other.pids);
     }
 }
 

@@ -321,3 +321,183 @@ fn default_and_parallel_runs_agree_with_serial() {
     assert_identical(&serial, &default, "default run");
     assert_identical(&serial, &parallel, "run_parallel");
 }
+
+// ---------------------------------------------------------------------
+// Table kernels: the memoized transition-table step path must be
+// bit-identical to the match-based machines it replaces. These runs set
+// `check_invariants(false)` because the per-reference audit forces the
+// direct path (audits read machine internals the kernel never touches),
+// and debug builds audit by default.
+// ---------------------------------------------------------------------
+
+fn kernel_experiment(kernels: KernelPolicy, geometry: Option<CacheGeometry>) -> Experiment {
+    let mut builder = SimConfig::builder()
+        .check_invariants(false)
+        .kernels(kernels);
+    if let Some(g) = geometry {
+        builder = builder.geometry(g);
+    }
+    let config = builder.build().expect("kernel test config is valid");
+    Experiment::new()
+        .workloads(dirsim::paper::paper_workloads())
+        .schemes(gauntlet())
+        .refs_per_trace(FINITE_REFS)
+        .sim_config(config)
+}
+
+#[test]
+fn table_kernels_match_the_direct_machines() {
+    // `Required` panics if any lane silently falls back at construction,
+    // so passing proves the kernel path actually ran on the left side.
+    let kernels = kernel_experiment(KernelPolicy::Required, None);
+    let direct = kernel_experiment(KernelPolicy::Disabled, None);
+    for (mode, what) in [
+        (ExecutionMode::Serial, "kernel serial"),
+        (ExecutionMode::SinglePass, "kernel single-pass"),
+        (ExecutionMode::Sharded { workers: 3 }, "kernel sharded"),
+        (ExecutionMode::Pipelined { workers: 2 }, "kernel pipelined"),
+    ] {
+        let k = kernels.run_with(mode).unwrap();
+        let d = direct.run_with(mode).unwrap();
+        assert_identical(&k, &d, what);
+    }
+}
+
+#[test]
+fn table_kernels_match_the_direct_machines_with_finite_caches() {
+    // Finite geometries route LRU capacity evictions through the kernel's
+    // two-phase prepare/commit step; the small geometry guarantees real
+    // replacement traffic (asserted in the finite gauntlet above).
+    let geometry = CacheGeometry { sets: 8, ways: 2 };
+    let kernels = kernel_experiment(KernelPolicy::Required, Some(geometry));
+    let direct = kernel_experiment(KernelPolicy::Disabled, Some(geometry));
+    for (mode, what) in [
+        (ExecutionMode::Serial, "finite kernel serial"),
+        (
+            ExecutionMode::Sharded { workers: 3 },
+            "finite kernel sharded",
+        ),
+        (
+            ExecutionMode::Pipelined { workers: 2 },
+            "finite kernel pipelined",
+        ),
+    ] {
+        let k = kernels.run_with(mode).unwrap();
+        let d = direct.run_with(mode).unwrap();
+        assert_identical(&k, &d, what);
+    }
+}
+
+#[test]
+fn table_kernels_match_the_direct_machines_under_auto_policy() {
+    // `Auto` is the shipped default; it must agree with `Disabled` too
+    // (and with `Required`, by transitivity with the test above).
+    let auto = kernel_experiment(KernelPolicy::Auto, None);
+    let direct = kernel_experiment(KernelPolicy::Disabled, None);
+    let a = auto.run_with(ExecutionMode::SinglePass).unwrap();
+    let d = direct.run_with(ExecutionMode::SinglePass).unwrap();
+    assert_identical(&a, &d, "auto-policy single-pass");
+}
+
+#[test]
+fn wide_systems_agree_with_kernels_on_auto() {
+    // 24 caches shrink the kernel's state budget enough that read-heavy
+    // sharing can overflow it mid-run; the overflow path materializes a
+    // machine from the table recipes and continues on the direct path,
+    // which must stay bit-identical whether or not the budget trips.
+    let wide = NamedWorkload::new(
+        "wide",
+        WorkloadConfig::builder()
+            .cpus(24)
+            .processes(24)
+            .seed(11)
+            .build()
+            .expect("wide workload config is valid"),
+    );
+    let base = SimConfig::builder().sharing(SharingModel::PerProcessor);
+    let auto = base
+        .clone()
+        .check_invariants(false)
+        .kernels(KernelPolicy::Auto)
+        .build()
+        .unwrap();
+    let direct = base
+        .check_invariants(false)
+        .kernels(KernelPolicy::Disabled)
+        .build()
+        .unwrap();
+    let with_kernels = Experiment::new()
+        .workload(wide.clone())
+        .schemes(gauntlet())
+        .refs_per_trace(10_000)
+        .sim_config(auto);
+    let without = Experiment::new()
+        .workload(wide)
+        .schemes(gauntlet())
+        .refs_per_trace(10_000)
+        .sim_config(direct);
+    for (mode, what) in [
+        (ExecutionMode::SinglePass, "wide single-pass"),
+        (ExecutionMode::Sharded { workers: 4 }, "wide sharded"),
+    ] {
+        let k = with_kernels.run_with(mode).unwrap();
+        let d = without.run_with(mode).unwrap();
+        assert_identical(&k, &d, what);
+    }
+}
+
+#[test]
+fn wide_finite_systems_agree_with_kernels_on_auto() {
+    // The overflow fallback under a *finite* geometry: 64 caches shrink
+    // the kernel's state budget to ~1365 states, and read-only traffic
+    // over a wide shared pool makes every scheme's lane observe a fresh
+    // holder subset per block (eviction pruning included), so DirnNB
+    // trips the budget a few thousand references in. Kernel lanes carry
+    // no finite-cache state of their own (the bank's shared replica
+    // does), so the fallback must also reconstruct the lane's LRU
+    // replica from the chunk-start snapshot — this pins that
+    // reconstruction bit-identical in both the staged multi-lane decode
+    // (single-pass, sharded) and the fused single-lane decode (serial).
+    let wide = NamedWorkload::new(
+        "wide-finite",
+        WorkloadConfig::builder()
+            .cpus(64)
+            .processes(64)
+            // Read-only traffic over a wide shared pool: every block
+            // accumulates holders in its own insertion order, which is
+            // exactly what mints fresh DirnNB states fastest.
+            .instr_frac(0.0)
+            .write_frac(0.0)
+            .shared_frac(0.95)
+            .shared_blocks_per_pool(256)
+            .seed(13)
+            .build()
+            .expect("wide finite workload config is valid"),
+    );
+    let base = SimConfig::builder()
+        .sharing(SharingModel::PerProcessor)
+        .geometry(CacheGeometry { sets: 8, ways: 2 })
+        .check_invariants(false);
+    let auto = base.clone().kernels(KernelPolicy::Auto).build().unwrap();
+    let direct = base.kernels(KernelPolicy::Disabled).build().unwrap();
+    let schemes = vec![Scheme::dir_n_nb(), Scheme::CoarseVector, Scheme::Wti];
+    let with_kernels = Experiment::new()
+        .workload(wide.clone())
+        .schemes(schemes.clone())
+        .refs_per_trace(20_000)
+        .sim_config(auto);
+    let without = Experiment::new()
+        .workload(wide)
+        .schemes(schemes)
+        .refs_per_trace(20_000)
+        .sim_config(direct);
+    for (mode, what) in [
+        (ExecutionMode::Serial, "wide finite serial"),
+        (ExecutionMode::SinglePass, "wide finite single-pass"),
+        (ExecutionMode::Sharded { workers: 3 }, "wide finite sharded"),
+    ] {
+        let k = with_kernels.run_with(mode).unwrap();
+        let d = without.run_with(mode).unwrap();
+        assert_identical(&k, &d, what);
+    }
+}
