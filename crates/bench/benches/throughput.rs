@@ -5,6 +5,7 @@ use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughpu
 
 use dirsim::prelude::*;
 use dirsim_trace::io::{read_binary, write_binary};
+use dirsim_trace::{BorrowedChunkSource, MmapTraceSource, TraceSource};
 
 const REFS: usize = 100_000;
 
@@ -48,6 +49,56 @@ fn bench_trace_io(c: &mut Criterion) {
         })
     });
     group.finish();
+}
+
+/// The decode-bound corpus round: buffered `BinaryTraceSource` (one
+/// `read` syscall batch + per-record copy out of an owned buffer) vs the
+/// mmap source decoding straight from the page cache. A 10^7-reference
+/// DTR1 file (160 MB) keeps the round IO-bound the way real corpus
+/// ingestion is; the chunk loop mirrors the engine's decode stage.
+fn bench_corpus_decode(c: &mut Criterion) {
+    const DECODE_REFS: usize = 10_000_000;
+    const CHUNK: usize = 32_768;
+    let path = std::env::temp_dir().join(format!("dirsim-bench-decode-{}.dtr", std::process::id()));
+    {
+        let file = std::fs::File::create(&path).expect("create bench corpus");
+        let mut w = std::io::BufWriter::new(file);
+        write_binary(&mut w, pops().workload().take(DECODE_REFS)).expect("write bench corpus");
+    }
+
+    let mut group = c.benchmark_group("throughput/corpus_decode_10m");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(DECODE_REFS as u64));
+    group.bench_function("buffered", |b| {
+        b.iter(|| {
+            let file = std::fs::File::open(&path).expect("open bench corpus");
+            let mut src = read_binary(std::io::BufReader::new(file));
+            let mut chunk = Vec::new();
+            let mut n = 0usize;
+            while src.read_chunk(&mut chunk, CHUNK).expect("decode") > 0 {
+                n += chunk.len();
+            }
+            std::hint::black_box(n)
+        })
+    });
+    group.bench_function("mmap", |b| {
+        // The borrowed-chunk view is the path the engine takes: decode
+        // once into the source's buffer, lend the slice, no copy out.
+        b.iter(|| {
+            let mut src = MmapTraceSource::open(&path).expect("map bench corpus");
+            let mut n = 0usize;
+            loop {
+                let chunk = src.next_chunk(CHUNK).expect("decode");
+                if chunk.is_empty() {
+                    break;
+                }
+                n += chunk.len();
+            }
+            std::hint::black_box(n)
+        })
+    });
+    group.finish();
+    std::fs::remove_file(&path).ok();
 }
 
 fn bench_protocols(c: &mut Criterion) {
@@ -168,6 +219,7 @@ criterion_group!(
     benches,
     bench_generator,
     bench_trace_io,
+    bench_corpus_decode,
     bench_protocols,
     bench_oracle_overhead,
     bench_execution_modes,

@@ -5,12 +5,14 @@
 //!
 //! Usage: `bench_gate <baseline.json> <current.json> [--min-ratio 0.85]`
 //!
-//! Every `*_steps_per_sec` key in the baseline's `metrics` map must be
-//! present in the current record at ≥ `min-ratio ×` its baseline value.
-//! Other metrics (the paired `*_ratio` keys) are ignored here — they gate
-//! themselves inside `throughput_smoke`. A key missing from the current
-//! record fails: renaming a metric must refresh the committed baseline in
-//! the same change.
+//! Every `*_steps_per_sec` and `*_refs_per_sec` key in the baseline's
+//! `metrics` map must be present in the current record at ≥ `min-ratio ×`
+//! its baseline value (`_steps_per_sec` counts engine steps — references
+//! × schemes; `_refs_per_sec` counts raw decode throughput, used by the
+//! corpus decode round). Other metrics (the paired `*_ratio` keys) are
+//! ignored here — they gate themselves inside `throughput_smoke`. A key
+//! missing from the current record fails: renaming a metric must refresh
+//! the committed baseline in the same change.
 //!
 //! The comparison is deliberately per-key rather than aggregate: a 2×
 //! win on one mode must not mask a 2× loss on another (each mode pins a
@@ -37,9 +39,14 @@ struct Verdict {
     ok: bool,
 }
 
-/// Compares every `*_steps_per_sec` metric of `baseline` against
-/// `current`. Returns one verdict per gated key, or a description of why
-/// the records cannot be compared.
+/// Is `key` a throughput metric this gate ratchets?
+fn gated(key: &str) -> bool {
+    key.ends_with("_steps_per_sec") || key.ends_with("_refs_per_sec")
+}
+
+/// Compares every `*_steps_per_sec` / `*_refs_per_sec` metric of
+/// `baseline` against `current`. Returns one verdict per gated key, or a
+/// description of why the records cannot be compared.
 fn compare(baseline: &Json, current: &Json, min_ratio: f64) -> Result<Vec<Verdict>, String> {
     let base_metrics = baseline
         .get("metrics")
@@ -50,7 +57,7 @@ fn compare(baseline: &Json, current: &Json, min_ratio: f64) -> Result<Vec<Verdic
         .ok_or("current record has no `metrics` object")?;
     let mut verdicts = Vec::new();
     for (key, value) in base_metrics {
-        if !key.ends_with("_steps_per_sec") {
+        if !gated(key) {
             continue;
         }
         let baseline = value
@@ -77,7 +84,9 @@ fn compare(baseline: &Json, current: &Json, min_ratio: f64) -> Result<Vec<Verdic
         });
     }
     if verdicts.is_empty() {
-        return Err("baseline record has no *_steps_per_sec metrics to gate".into());
+        return Err(
+            "baseline record has no *_steps_per_sec or *_refs_per_sec metrics to gate".into(),
+        );
     }
     Ok(verdicts)
 }
@@ -234,6 +243,30 @@ mod tests {
         let base = record(&[("infinite_best_ratio", 1.0)]);
         let err = compare(&base, &base, 0.85).unwrap_err();
         assert!(err.contains("no *_steps_per_sec"), "got: {err}");
+    }
+
+    #[test]
+    fn decode_refs_per_sec_keys_gate_too() {
+        // The corpus decode round exports *_refs_per_sec; a decode-path
+        // regression must trip the gate exactly like an engine one.
+        let base = record(&[
+            ("mmap_decode_refs_per_sec", 4e8),
+            ("buffered_decode_refs_per_sec", 2e8),
+            ("mmap_over_buffered_decode_ratio", 2.0),
+        ]);
+        let cur = record(&[
+            ("mmap_decode_refs_per_sec", 1e8),
+            ("buffered_decode_refs_per_sec", 2e8),
+            ("mmap_over_buffered_decode_ratio", 0.5),
+        ]);
+        let verdicts = compare(&base, &cur, 0.85).unwrap();
+        assert_eq!(verdicts.len(), 2, "ratio keys stay ungated");
+        assert!(
+            verdicts
+                .iter()
+                .any(|v| v.key == "mmap_decode_refs_per_sec" && !v.ok),
+            "regressed decode key must fail"
+        );
     }
 
     #[test]

@@ -10,23 +10,27 @@
 //! With no positional arguments the paper's four headline schemes are run
 //! over a synthetic POPS workload (`--refs` references, default 100 000) —
 //! a self-contained demo needing no trace file. `--scenario` swaps that
-//! workload for any bundled scenario by name, or for a `.scn` spec file
-//! parsed by the scenario language (see DESIGN.md §15); a single scheme
-//! list may still be given as the only positional argument.
-//! `--list-scenarios` prints the bundled registry and exits.
+//! workload for any bundled scenario by name, for a `.scn` spec file
+//! parsed by the scenario language (see DESIGN.md §15), **or for a trace
+//! or corpus file** — any format the frontend registry sniffs (`DTR1`,
+//! `DTR2`, `DTR3` corpus, text, CSV) is accepted wherever a scenario
+//! name is; a single scheme list may still be given as the only
+//! positional argument. `--list-scenarios` prints the bundled registry
+//! and exits.
 //!
 //! `<scheme>` uses the paper's notation (`Dir0B`, `Dir2NB`, `DirnNB`,
 //! `CoarseVector`, `Tang`, `YenFu`, `WTI`, `Dragon`, `Berkeley`). Trace
-//! files ending in `.txt` or `.trace` are parsed as text, anything else as
-//! `DTR1` binary (see `trace_tool`).
+//! files are opened through the frontend registry: magic bytes first,
+//! extension second (see `trace_tool`). Fixed-record `DTR1` files are
+//! memory-mapped and decoded zero-copy; every file is streamed in two
+//! passes (statistics, then simulation), so multi-GB corpora run in
+//! constant memory.
 //!
 //! `--metrics-json` writes a JSON-lines metrics file (run manifest,
 //! per-phase engine timings, per-scheme operation counts — schema version
 //! `dirsim_obs::SCHEMA_VERSION`); `--progress` reports references/sec on
 //! stderr while the run is in flight.
 
-use std::fs::File;
-use std::io::BufReader;
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::{Arc, Mutex};
@@ -36,9 +40,8 @@ use dirsim::obs::{MetricsRegistry, NoopRecorder, ProgressMeter, Recorder, RunMan
 use dirsim::prelude::*;
 use dirsim_cost::CostCategory;
 use dirsim_mem::CacheGeometry;
-use dirsim_trace::compress::read_compressed;
-use dirsim_trace::io::{read_binary, read_text};
 use dirsim_trace::scenario::registry;
+use dirsim_trace::{open_trace, FrontendRegistry};
 
 struct Options {
     schemes: Vec<Scheme>,
@@ -160,19 +163,31 @@ fn parse_args() -> Result<Options, Box<dyn std::error::Error>> {
     Ok(opts)
 }
 
-fn load_trace(path: &str) -> Result<Vec<MemRef>, Box<dyn std::error::Error>> {
-    let file = File::open(path).map_err(|e| format!("{path}: {e}"))?;
-    let refs: Vec<MemRef> = if path.ends_with(".txt") || path.ends_with(".trace") {
-        read_text(BufReader::new(file)).collect::<Result<_, _>>()
-    } else if path.ends_with(".dtr2") {
-        read_compressed(BufReader::new(file)).collect::<Result<_, _>>()
-    } else {
-        read_binary(BufReader::new(file)).collect::<Result<_, _>>()
-    }?;
-    if refs.is_empty() {
-        return Err("trace is empty".into());
+/// Streams one statistics pass over a trace file (any registered
+/// format) without materialising it.
+fn stream_stats(path: &str) -> Result<TraceStats, Box<dyn std::error::Error>> {
+    let mut src = open_trace(path).map_err(|e| format!("{path}: {e}"))?;
+    let mut stats = TraceStats::new();
+    let mut chunk = Vec::new();
+    while src
+        .read_chunk(&mut chunk, 65_536)
+        .map_err(|e| format!("{path}: {e}"))?
+        > 0
+    {
+        for r in &chunk {
+            stats.observe(r);
+        }
     }
-    Ok(refs)
+    Ok(stats)
+}
+
+/// Does `arg` (a `--scenario` value) name a trace/corpus file rather
+/// than a scenario? True when it is an existing file the frontend
+/// registry recognises — `.scn` spec files and bundled scenario names
+/// fall through to `Scenario::resolve`.
+fn is_trace_file(arg: &str) -> bool {
+    let path = std::path::Path::new(arg);
+    path.is_file() && matches!(FrontendRegistry::builtin().find(path), Ok(Some(_)))
 }
 
 fn run() -> Result<(), Box<dyn std::error::Error>> {
@@ -209,13 +224,27 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
         ProgressMeter::disabled()
     }));
 
-    // Materialise the reference stream: a trace file, or a synthetic
-    // scenario (the bundled POPS spec unless --scenario overrides it).
-    let (refs, trace_desc, seed) = match &opts.path {
-        Some(path) => (load_trace(path)?, path.clone(), None),
+    // Resolve the reference stream: an explicit trace file, a --scenario
+    // value that names a trace/corpus file, or a synthetic scenario (the
+    // bundled POPS spec unless --scenario overrides it). Files stream in
+    // two passes — statistics, then simulation — so they are never
+    // materialised; synthetic workloads are generated once up front.
+    let scenario_arg = opts.scenario.as_deref();
+    let trace_path = match (&opts.path, scenario_arg) {
+        (Some(path), _) => Some(path.clone()),
+        (None, Some(arg)) if is_trace_file(arg) => Some(arg.to_string()),
+        _ => None,
+    };
+    let (refs, stats, trace_desc, seed) = match &trace_path {
+        Some(path) => {
+            let stats = stream_stats(path)?;
+            if stats.total() == 0 {
+                return Err("trace is empty".into());
+            }
+            (Vec::new(), stats, path.clone(), None)
+        }
         None => {
-            let arg = opts.scenario.as_deref().unwrap_or("pops");
-            let scenario = Scenario::resolve(arg)?;
+            let scenario = Scenario::resolve(scenario_arg.unwrap_or("pops"))?;
             let config = scenario.config();
             let seed = config.seed;
             let desc = format!(
@@ -225,11 +254,10 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
                 seed
             );
             let refs: Vec<MemRef> = scenario.workload().take(opts.refs).collect();
-            (refs, desc, Some(seed))
+            let stats = TraceStats::from_refs(refs.iter().copied());
+            (refs, stats, desc, Some(seed))
         }
     };
-
-    let stats = TraceStats::from_refs(refs.iter().copied());
     let caches = opts.caches.unwrap_or_else(|| {
         if opts.per_processor {
             stats.cpu_count() as u32
@@ -253,23 +281,34 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
     };
 
     // One single-pass broadcast run covers every requested scheme and
-    // feeds the phase/scheme instrumentation.
+    // feeds the phase/scheme instrumentation. Trace files come back
+    // through the frontend registry (mmap-backed and zero-copy for
+    // fixed-record binary); synthetic workloads replay the generated
+    // buffer.
     let started = Instant::now();
     let mut observed = 0u64;
-    let results = BroadcastSimulator::new(config)
-        .recorder(Arc::clone(&recorder))
-        .run_observed(
+    let mut tick = |_: &MemRef| {
+        observed += 1;
+        meter
+            .lock()
+            .expect("progress meter poisoned")
+            .tick(observed, None);
+    };
+    let engine = BroadcastSimulator::new(config).recorder(Arc::clone(&recorder));
+    let results = match &trace_path {
+        Some(path) => engine.run_observed(
+            &opts.schemes,
+            caches,
+            open_trace(path).map_err(|e| format!("{path}: {e}"))?,
+            &mut tick,
+        )?,
+        None => engine.run_observed(
             &opts.schemes,
             caches,
             IterSource::new(refs.iter().copied()),
-            |_| {
-                observed += 1;
-                meter
-                    .lock()
-                    .expect("progress meter poisoned")
-                    .tick(observed, None);
-            },
-        )?;
+            &mut tick,
+        )?,
+    };
     let wall = started.elapsed().as_secs_f64();
     meter
         .lock()

@@ -16,8 +16,21 @@
 //! stepping work is identical, so losing means the handshake itself
 //! regressed, not the machine.
 //!
+//! A third, decode-bound round exercises corpus ingestion: a generated
+//! DTR1 file (`--decode-refs`, default 10^7 references) is drained
+//! through the buffered reader and through the mmap-backed zero-copy
+//! source, back to back per round. Both rates are exported
+//! (`buffered_decode_refs_per_sec`, `mmap_decode_refs_per_sec`, plus
+//! their ratio) so `bench_gate` ratchets the decode path alongside the
+//! engine; the round only hard-fails when mmap decode falls below 0.8×
+//! buffered — a structural loss, since the mmap path does strictly less
+//! work per record. One instrumented pipelined simulation per source
+//! then records `decode_stall_seconds`, so the exported metrics show the
+//! overlap the faster decode buys.
+//!
 //! Usage: `throughput_smoke [refs_per_trace] [--metrics-json <path>]
-//! [--bench-json <path>]` (default 100 000 references per trace)
+//! [--bench-json <path>] [--decode-refs N]` (default 100 000 references
+//! per trace)
 //!
 //! Prints one row per mode with wall time, engine steps per second
 //! (references × schemes), and speedup over serial. The sharded rows are
@@ -41,8 +54,11 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use dirsim::obs::{Json, MetricsRegistry, Recorder, RunManifest};
-use dirsim::{ExecutionMode, Experiment, ExperimentResults, SimConfig};
+use dirsim::prelude::Scheme;
+use dirsim::{BroadcastSimulator, ExecutionMode, Experiment, ExperimentResults, SimConfig};
 use dirsim_mem::CacheGeometry;
+use dirsim_trace::io::{read_binary, write_binary};
+use dirsim_trace::{BorrowedChunkSource, MmapTraceSource, Scenario, TraceSource};
 
 /// Floor on measured wall time per timed pass. Coarse clocks (or an
 /// absurdly small ref count) can report ~0 elapsed seconds; rather than
@@ -210,9 +226,172 @@ fn gate(label: &str, round: &Round, rates: &[f64; MODES], workers: usize) -> boo
     true
 }
 
+/// Default size of the generated decode-round corpus: large enough that
+/// the round is bound by record decode (the file no longer fits any
+/// reasonable L2), small enough to generate in seconds.
+const DECODE_REFS: usize = 10_000_000;
+
+/// Floor on mmap-vs-buffered decode: the zero-copy path does strictly
+/// less work per record, so falling below 0.8× buffered is structural
+/// (a copy or allocation crept back in), not noise.
+const DECODE_FLOOR: f64 = 0.8;
+
+/// The decode-bound corpus round's measurements.
+struct DecodeRound {
+    refs: u64,
+    /// Best wall seconds per path across the paired rounds.
+    buffered_best: f64,
+    mmap_best: f64,
+    /// Total `decode_stall_seconds` from one instrumented pipelined
+    /// simulation per source (evidence, not gated: the faster decode
+    /// should leave the step side waiting less).
+    stall_buffered: f64,
+    stall_mmap: f64,
+}
+
+impl DecodeRound {
+    fn buffered_rate(&self) -> f64 {
+        self.refs as f64 / self.buffered_best
+    }
+
+    fn mmap_rate(&self) -> f64 {
+        self.refs as f64 / self.mmap_best
+    }
+
+    fn ratio(&self) -> f64 {
+        self.mmap_rate() / self.buffered_rate()
+    }
+}
+
+/// Drains the whole file through the buffered reader; returns (secs, refs).
+fn drain_buffered(path: &std::path::Path) -> Result<(f64, u64), Box<dyn std::error::Error>> {
+    let file = std::fs::File::open(path)?;
+    let mut src = read_binary(std::io::BufReader::new(file));
+    let mut chunk = Vec::new();
+    let mut n = 0u64;
+    let start = Instant::now();
+    while src.read_chunk(&mut chunk, 32_768)? > 0 {
+        n += chunk.len() as u64;
+    }
+    Ok((start.elapsed().as_secs_f64().max(MIN_SECS), n))
+}
+
+/// Drains the whole file through the mmap source's borrowed-chunk view
+/// (the zero-copy path the engine takes); returns (secs, refs).
+fn drain_mmap(path: &std::path::Path) -> Result<(f64, u64), Box<dyn std::error::Error>> {
+    let mut src = MmapTraceSource::open(path)?;
+    let mut n = 0u64;
+    let start = Instant::now();
+    loop {
+        let chunk = src.next_chunk(32_768)?;
+        if chunk.is_empty() {
+            break;
+        }
+        n += chunk.len() as u64;
+    }
+    Ok((start.elapsed().as_secs_f64().max(MIN_SECS), n))
+}
+
+/// One instrumented pipelined pass over the corpus; returns the total
+/// `decode_stall_seconds` the step side accumulated.
+fn pipelined_stall<S>(source: S) -> Result<f64, dirsim::Error>
+where
+    S: TraceSource + Send,
+{
+    let registry = Arc::new(MetricsRegistry::new());
+    BroadcastSimulator::paper()
+        .recorder(Arc::clone(&registry) as Arc<dyn Recorder>)
+        .run_pipelined(&[Scheme::Wti], 4, source)?;
+    Ok(registry
+        .histogram_summary("decode_stall_seconds", &[])
+        .map(|s| s.sum)
+        .unwrap_or(0.0))
+}
+
+/// Generates the decode corpus, runs the paired buffered/mmap rounds,
+/// and takes the pipelined stall evidence.
+fn measure_decode(decode_refs: usize) -> Result<DecodeRound, Box<dyn std::error::Error>> {
+    let path = std::env::temp_dir().join(format!("dirsim-smoke-decode-{}.dtr", std::process::id()));
+    let workload = Scenario::named("pops").expect("bundled scenario");
+    {
+        let file = std::fs::File::create(&path)?;
+        let mut w = std::io::BufWriter::new(file);
+        write_binary(&mut w, workload.workload().take(decode_refs))?;
+        std::io::Write::flush(&mut w)?;
+    }
+    // Warm-up drains: page-cache population and first-touch faults land
+    // here instead of skewing round one of either path.
+    drain_buffered(&path)?;
+    drain_mmap(&path)?;
+    let mut round = DecodeRound {
+        refs: decode_refs as u64,
+        buffered_best: f64::INFINITY,
+        mmap_best: f64::INFINITY,
+        stall_buffered: 0.0,
+        stall_mmap: 0.0,
+    };
+    for _ in 0..ROUNDS {
+        let (secs, n) = drain_buffered(&path)?;
+        assert_eq!(n, round.refs, "buffered decode dropped records");
+        round.buffered_best = round.buffered_best.min(secs);
+        let (secs, n) = drain_mmap(&path)?;
+        assert_eq!(n, round.refs, "mmap decode dropped records");
+        round.mmap_best = round.mmap_best.min(secs);
+    }
+    round.stall_buffered = pipelined_stall(read_binary(std::io::BufReader::new(
+        std::fs::File::open(&path)?,
+    )))?;
+    round.stall_mmap = pipelined_stall(MmapTraceSource::open(&path).map_err(dirsim::Error::from)?)?;
+    std::fs::remove_file(&path).ok();
+    Ok(round)
+}
+
+fn report_decode(round: &DecodeRound) -> bool {
+    println!(
+        "[decode] {:>12} {:>9} {:>14}",
+        "source", "seconds", "refs/sec"
+    );
+    println!(
+        "[decode] {:>12} {:>9.3} {:>14.0}",
+        "buffered",
+        round.buffered_best,
+        round.buffered_rate()
+    );
+    println!(
+        "[decode] {:>12} {:>9.3} {:>14.0}",
+        "mmap",
+        round.mmap_best,
+        round.mmap_rate()
+    );
+    println!(
+        "[decode] pipelined decode_stall_seconds: buffered {:.4}, mmap {:.4}",
+        round.stall_buffered, round.stall_mmap
+    );
+    let ratio = round.ratio();
+    if ratio < DECODE_FLOOR {
+        eprintln!(
+            "FAIL[decode]: mmap decode reached only {ratio:.2}x buffered \
+             (floor {DECODE_FLOOR:.2}x) — the zero-copy path regressed structurally"
+        );
+        return false;
+    }
+    if ratio < 1.0 {
+        eprintln!(
+            "warning[decode]: mmap decode ({:.0} refs/sec) did not beat buffered \
+             ({:.0} refs/sec) on this machine ({ratio:.2}x)",
+            round.mmap_rate(),
+            round.buffered_rate()
+        );
+    } else {
+        println!("OK[decode]: mmap decode is {ratio:.2}x buffered");
+    }
+    true
+}
+
 fn run() -> Result<ExitCode, Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut refs: usize = 100_000;
+    let mut decode_refs: usize = DECODE_REFS;
     let mut metrics_json: Option<String> = None;
     let mut bench_json: Option<String> = None;
     let mut i = 0;
@@ -226,11 +405,20 @@ fn run() -> Result<ExitCode, Box<dyn std::error::Error>> {
                 i += 1;
                 bench_json = Some(args.get(i).ok_or("--bench-json requires a path")?.clone());
             }
+            "--decode-refs" => {
+                i += 1;
+                decode_refs = args
+                    .get(i)
+                    .ok_or("--decode-refs requires a number")?
+                    .parse()
+                    .map_err(|_| "--decode-refs requires a number")?;
+            }
             other => {
                 refs = other.parse().map_err(|_| {
                     format!(
                         "unknown argument {other}; usage: throughput_smoke \
-                         [refs_per_trace] [--metrics-json <path>] [--bench-json <path>]"
+                         [refs_per_trace] [--metrics-json <path>] [--bench-json <path>] \
+                         [--decode-refs N]"
                     )
                 })?;
             }
@@ -273,6 +461,7 @@ fn run() -> Result<ExitCode, Box<dyn std::error::Error>> {
         let rates = report(label, &round);
         rounds.push((*label, round, rates));
     }
+    let decode = measure_decode(decode_refs)?;
 
     // Export after every measurement so recording can't perturb the gate.
     if let Some(path) = &metrics_json {
@@ -303,6 +492,19 @@ fn run() -> Result<ExitCode, Box<dyn std::error::Error>> {
                     round.best[idx],
                 );
             }
+        }
+        // The corpus decode round: paired rates per source, plus the
+        // stall evidence from the instrumented pipelined passes.
+        for (source, rate, stall) in [
+            ("buffered", decode.buffered_rate(), decode.stall_buffered),
+            ("mmap", decode.mmap_rate(), decode.stall_mmap),
+        ] {
+            registry.gauge("decode_refs_per_sec", &[("source", source)], rate);
+            registry.gauge(
+                "corpus_pipelined_stall_seconds",
+                &[("source", source)],
+                stall,
+            );
         }
         // One instrumented pipelined pass per cache model (after all the
         // timing), so the pipeline-overlap metrics land in the exported
@@ -351,6 +553,18 @@ fn run() -> Result<ExitCode, Box<dyn std::error::Error>> {
                 dirsim::obs::json::float(round.best_pipelined_ratio),
             ));
         }
+        metrics.push((
+            "buffered_decode_refs_per_sec".into(),
+            dirsim::obs::json::float(decode.buffered_rate()),
+        ));
+        metrics.push((
+            "mmap_decode_refs_per_sec".into(),
+            dirsim::obs::json::float(decode.mmap_rate()),
+        ));
+        metrics.push((
+            "mmap_over_buffered_decode_ratio".into(),
+            dirsim::obs::json::float(decode.ratio()),
+        ));
         // Same record shape the CI trajectory archive appends to
         // BENCH_history.jsonl: commit + date identify the point on the
         // perf curve, the metrics map is what gets plotted (and gated).
@@ -362,6 +576,7 @@ fn run() -> Result<ExitCode, Box<dyn std::error::Error>> {
             ("commit".into(), Json::Str(commit)),
             ("date".into(), Json::Str(utc_date_string())),
             ("refs_per_trace".into(), Json::Int(refs as i128)),
+            ("decode_refs".into(), Json::Int(decode_refs as i128)),
             ("workers".into(), Json::Int(workers as i128)),
             ("metrics".into(), Json::Obj(metrics)),
         ]);
@@ -373,6 +588,7 @@ fn run() -> Result<ExitCode, Box<dyn std::error::Error>> {
     for (cache, round, rates) in &rounds {
         ok &= gate(cache, round, rates, workers);
     }
+    ok &= report_decode(&decode);
     Ok(if ok {
         ExitCode::SUCCESS
     } else {

@@ -1,61 +1,112 @@
-//! Command-line trace tooling: generate, convert, inspect and filter
-//! multiprocessor address traces in the `DTR1` binary and text formats.
+//! Command-line trace tooling: generate, convert, inspect, filter, and
+//! cold-store multiprocessor address traces in every format the
+//! frontend registry knows (`DTR1` binary, `DTR2` compressed, `DTR3`
+//! corpus, text, CSV).
 //!
 //! ```text
-//! trace_tool gen <scenario|spec.scn> <refs> <out.dtr>   generate a scenario trace
-//! trace_tool convert <in> <out>                          binary <-> text (by extension)
+//! trace_tool gen <scenario|spec.scn> <refs> <out>       generate a scenario trace
+//! trace_tool convert <in> <out>                          any format -> any format
 //! trace_tool stats <in>                                  Table 3-style statistics
+//! trace_tool stat <in>                                   alias for stats
 //! trace_tool strip-locks <in> <out>                      drop spin-lock test reads
 //! trace_tool head <n> <in>                               print first n records as text
+//! trace_tool pack <in> <out.dtrz>                        pack into a DTR3 corpus
+//! trace_tool unpack <in.dtrz> <out.dtr>                  corpus -> DTR1 binary
+//! trace_tool verify <in.dtrz>                            magic + count + checksum
 //! ```
 //!
-//! Files ending in `.txt` are treated as text, `.dtr2` as compressed
-//! binary, anything else as fixed-record binary.
+//! Inputs are sniffed by magic bytes first, then extension (see
+//! `dirsim_trace::frontend`), so a `DTR1` file works under any name.
+//! Output format is chosen by extension: `.txt` text, `.csv` CSV,
+//! `.dtr2` compressed, `.dtrz` corpus, anything else fixed-record
+//! binary. `gen`, `stats`/`stat`, `pack`, `unpack`, and `verify` stream
+//! — constant memory no matter how many references the file holds.
+//! `convert`, `strip-locks` and `head` materialise the trace.
 
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Write as _};
 use std::process::ExitCode;
 
-use dirsim_trace::compress::{read_compressed, write_compressed};
+use dirsim_trace::codec::BinaryWriter;
+use dirsim_trace::compress::write_compressed;
+use dirsim_trace::corpus::{verify_corpus, write_corpus, CorpusReader};
 use dirsim_trace::filter::without_lock_tests;
-use dirsim_trace::io::{read_binary, read_text, write_binary, write_text, TraceIoError};
-use dirsim_trace::{MemRef, Scenario, TraceStats};
+use dirsim_trace::frontend::write_csv;
+use dirsim_trace::io::{write_binary, write_text, TraceIoError};
+use dirsim_trace::{open_trace, IterSource, MemRef, Scenario, TraceSource, TraceStats};
+
+/// Chunk size (in references) for the streaming subcommands.
+const STREAM_CHUNK: usize = 65_536;
 
 fn is_text(path: &str) -> bool {
-    path.ends_with(".txt")
+    path.ends_with(".txt") || path.ends_with(".trace")
+}
+
+fn is_csv(path: &str) -> bool {
+    path.ends_with(".csv")
 }
 
 fn is_compressed(path: &str) -> bool {
     path.ends_with(".dtr2")
 }
 
-fn read_refs(path: &str) -> Result<Vec<MemRef>, TraceIoError> {
-    let file = File::open(path)?;
-    if is_text(path) {
-        read_text(BufReader::new(file)).collect()
-    } else if is_compressed(path) {
-        read_compressed(BufReader::new(file)).collect()
-    } else {
-        read_binary(BufReader::new(file)).collect()
-    }
+fn is_corpus(path: &str) -> bool {
+    path.ends_with(".dtrz")
 }
 
-fn write_refs(path: &str, refs: &[MemRef]) -> Result<u64, TraceIoError> {
+fn read_refs(path: &str) -> Result<Vec<MemRef>, TraceIoError> {
+    let mut src = open_trace(path)?;
+    let mut refs = Vec::new();
+    let mut chunk = Vec::new();
+    while src.read_chunk(&mut chunk, STREAM_CHUNK)? > 0 {
+        refs.extend_from_slice(&chunk);
+    }
+    Ok(refs)
+}
+
+/// Streams `refs` to `path` in the format its extension names. Every
+/// sink writes as it goes, so `gen` at 10^8 references never holds the
+/// trace in memory.
+fn write_stream(path: &str, refs: impl Iterator<Item = MemRef>) -> Result<u64, TraceIoError> {
     let mut out = BufWriter::new(File::create(path)?);
     let n = if is_text(path) {
-        write_text(&mut out, refs.iter().copied())?
+        write_text(&mut out, refs)?
+    } else if is_csv(path) {
+        write_csv(&mut out, refs)?
     } else if is_compressed(path) {
-        write_compressed(&mut out, refs.iter().copied())?
+        write_compressed(&mut out, refs)?
+    } else if is_corpus(path) {
+        write_corpus(&mut out, IterSource::new(refs))?
     } else {
-        write_binary(&mut out, refs.iter().copied())?
+        write_binary(&mut out, refs)?
     };
     out.flush()?;
     Ok(n)
 }
 
+fn write_refs(path: &str, refs: &[MemRef]) -> Result<u64, TraceIoError> {
+    write_stream(path, refs.iter().copied())
+}
+
+/// One streaming pass over any trace file: Table 3-style statistics in
+/// constant memory.
+fn stream_stats(path: &str) -> Result<TraceStats, TraceIoError> {
+    let mut src = open_trace(path)?;
+    let mut stats = TraceStats::new();
+    let mut chunk = Vec::new();
+    while src.read_chunk(&mut chunk, STREAM_CHUNK)? > 0 {
+        for r in &chunk {
+            stats.observe(r);
+        }
+    }
+    Ok(stats)
+}
+
 fn run() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let usage = "usage: trace_tool <gen|convert|stats|strip-locks|head> ... (see --help)";
+    let usage = "usage: trace_tool \
+                 <gen|convert|stats|stat|strip-locks|head|pack|unpack|verify> \
+                 ... (see --help)";
     match args.first().map(String::as_str) {
         Some("gen") => {
             let [_, preset, refs, out] = &args[..] else {
@@ -63,8 +114,7 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
             };
             let trace = Scenario::resolve(preset)?;
             let n: usize = refs.parse().map_err(|_| "refs must be a number")?;
-            let refs: Vec<MemRef> = trace.workload().take(n).collect();
-            let written = write_refs(out, &refs)?;
+            let written = write_stream(out, trace.workload().take(n))?;
             eprintln!("wrote {written} references to {out}");
             Ok(())
         }
@@ -77,12 +127,11 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
             eprintln!("converted {written} references {input} -> {output}");
             Ok(())
         }
-        Some("stats") => {
+        Some("stats" | "stat") => {
             let [_, input] = &args[..] else {
                 return Err("usage: trace_tool stats <in>".into());
             };
-            let refs = read_refs(input)?;
-            let stats = TraceStats::from_refs(refs);
+            let stats = stream_stats(input)?;
             println!("{stats}");
             println!(
                 "lock-read fraction: {:.3}; read/write ratio: {:.2}",
@@ -115,6 +164,46 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
             let refs = read_refs(input)?;
             let mut stdout = std::io::stdout().lock();
             write_text(&mut stdout, refs.into_iter().take(n))?;
+            Ok(())
+        }
+        Some("pack") => {
+            let [_, input, output] = &args[..] else {
+                return Err("usage: trace_tool pack <in> <out.dtrz>".into());
+            };
+            let src = open_trace(input)?;
+            let mut out = BufWriter::new(File::create(output)?);
+            let written = write_corpus(&mut out, src)?;
+            out.flush()?;
+            eprintln!("packed {written} references {input} -> {output}");
+            Ok(())
+        }
+        Some("unpack") => {
+            let [_, input, output] = &args[..] else {
+                return Err("usage: trace_tool unpack <in.dtrz> <out.dtr>".into());
+            };
+            let mut src = CorpusReader::open(input)?;
+            let mut writer = BinaryWriter::new(BufWriter::new(File::create(output)?))?;
+            let mut chunk = Vec::new();
+            while src.read_chunk(&mut chunk, STREAM_CHUNK)? > 0 {
+                for r in &chunk {
+                    writer.push(r)?;
+                }
+            }
+            let (mut out, written) = writer.finish()?;
+            out.flush()?;
+            eprintln!("unpacked {written} references {input} -> {output}");
+            Ok(())
+        }
+        Some("verify") => {
+            let [_, input] = &args[..] else {
+                return Err("usage: trace_tool verify <in.dtrz>".into());
+            };
+            let file = File::open(input)?;
+            let summary = verify_corpus(BufReader::new(file))?;
+            println!(
+                "{input}: OK — {} references, {} payload bytes, checksum {:#018x}",
+                summary.records, summary.payload_bytes, summary.checksum
+            );
             Ok(())
         }
         _ => Err(usage.into()),

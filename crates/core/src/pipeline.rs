@@ -16,10 +16,21 @@
 //! * **inline** (`run_inline`) — decode happens on the calling thread,
 //!   between chunks. With one worker the route stage is the identity and
 //!   stepping happens in-thread; with several, references are routed by
-//!   [`ShardKey`] into per-shard bounded queues.
+//!   [`ShardKey`] into per-shard bounded queues. Sources exposing a
+//!   borrowed-chunk view (`TraceSource::borrowed`, e.g. mmap-backed
+//!   corpus files) lend their decode buffer straight to the step side,
+//!   skipping the owned-buffer copy entirely.
 //! * **overlapped** (`run_overlapped`) — a dedicated producer thread
 //!   decodes chunk *N+1* from the [`TraceSource`] while the step side is
 //!   still working on chunk *N*.
+//!
+//! ## Chunk leases
+//!
+//! The decode → step boundary is a lending one: each `ChunkFeed::next`
+//! call returns a borrowed slice that stays valid until the next call.
+//! The step side never owns chunk storage, so where buffers live is
+//! each feed's private business — a single inline spare, the mmap
+//! source's reusable decode buffer, or the overlapped recycle pool.
 //!
 //! ## Buffer recycling
 //!
@@ -66,7 +77,7 @@ use std::time::Instant;
 use dirsim_mem::{BlockAddr, CacheStorage, FiniteCache, FxHashMap};
 use dirsim_obs::{Recorder, Span};
 use dirsim_protocol::{CoherenceProtocol, Scheme};
-use dirsim_trace::source::TraceSource;
+use dirsim_trace::source::{BorrowedChunkSource, TraceSource};
 use dirsim_trace::{AccessKind, MemRef, TraceIoError};
 
 use crate::engine::{Lane, ShardKey, SimConfig, SimError, SimResult, StepFailure};
@@ -378,12 +389,14 @@ fn step_error(scheme: String, ref_index: u64, failure: StepFailure) -> Error {
     }
 }
 
-/// The decode-stage boundary: hands decoded chunks to the step side and
-/// takes emptied buffers back for reuse. `next` returning `Ok(None)`
-/// means end of stream.
+/// The decode-stage boundary: lends each decoded chunk to the step side.
+/// `next` returning `Ok(None)` means end of stream; the returned slice
+/// is valid until the next call, so the step side never owns (or
+/// copies) chunk storage. Where the buffers live — a single inline
+/// spare, the mmap source's reusable decode buffer, or the overlapped
+/// recycle pool — is each feed's private business.
 trait ChunkFeed {
-    fn next(&mut self) -> Result<Option<Vec<MemRef>>, Error>;
-    fn recycle(&mut self, buf: Vec<MemRef>);
+    fn next(&mut self) -> Result<Option<&[MemRef]>, Error>;
 }
 
 /// Non-overlapped decode: reads the source on the calling thread, between
@@ -396,28 +409,50 @@ struct InlineFeed<'a> {
 }
 
 impl ChunkFeed for InlineFeed<'_> {
-    fn next(&mut self) -> Result<Option<Vec<MemRef>>, Error> {
+    fn next(&mut self) -> Result<Option<&[MemRef]>, Error> {
         let decode = Span::with_labels(self.rec, "phase_seconds", &[("phase", "decode")]);
         let n = self.source.read_chunk(&mut self.spare, self.chunk)?;
         drop(decode);
         if n == 0 {
             return Ok(None);
         }
-        Ok(Some(std::mem::take(&mut self.spare)))
+        Ok(Some(&self.spare))
     }
+}
 
-    fn recycle(&mut self, buf: Vec<MemRef>) {
-        self.spare = buf;
+/// Zero-copy decode for sources with a borrowed-chunk view (see
+/// [`TraceSource::borrowed`]): each chunk is decoded once into storage
+/// the source owns and lent straight through to the step side — no
+/// owned-buffer recycle round-trip, no copy into a feed-side spare.
+struct BorrowedFeed<'a> {
+    source: &'a mut dyn BorrowedChunkSource,
+    chunk: usize,
+    rec: &'a dyn Recorder,
+}
+
+impl ChunkFeed for BorrowedFeed<'_> {
+    fn next(&mut self) -> Result<Option<&[MemRef]>, Error> {
+        let decode = Span::with_labels(self.rec, "phase_seconds", &[("phase", "decode")]);
+        let chunk = self.source.next_chunk(self.chunk)?;
+        drop(decode);
+        if chunk.is_empty() {
+            return Ok(None);
+        }
+        Ok(Some(chunk))
     }
 }
 
 /// Overlapped decode: receives chunks a dedicated producer thread filled
 /// ahead of time (see [`producer_loop`]) and sends emptied buffers back.
+/// The lent chunk is held in `current`; the next call to [`ChunkFeed::next`]
+/// recycles it to the producer before blocking on the data channel.
 struct ChannelFeed<'a> {
     rx: mpsc::Receiver<Result<Vec<MemRef>, TraceIoError>>,
     recycle_tx: mpsc::SyncSender<Vec<MemRef>>,
     depth: &'a AtomicUsize,
     rec: &'a dyn Recorder,
+    /// The chunk currently lent to the step side.
+    current: Option<Vec<MemRef>>,
     /// `Some` iff the recorder is enabled: total consumer stall so far and
     /// when the feed started, for the closing occupancy gauge.
     clock: Option<(f64, Instant)>,
@@ -435,6 +470,7 @@ impl<'a> ChannelFeed<'a> {
             recycle_tx,
             depth,
             rec,
+            current: None,
             clock: rec.enabled().then(|| (0.0, Instant::now())),
         }
     }
@@ -455,7 +491,13 @@ impl<'a> ChannelFeed<'a> {
 }
 
 impl ChunkFeed for ChannelFeed<'_> {
-    fn next(&mut self) -> Result<Option<Vec<MemRef>>, Error> {
+    fn next(&mut self) -> Result<Option<&[MemRef]>, Error> {
+        // The previous lease just expired: hand the emptied buffer back.
+        // The recycle channel's capacity equals the total buffer count,
+        // so this never blocks; an error just means the producer exited.
+        if let Some(spent) = self.current.take() {
+            let _ = self.recycle_tx.send(spent);
+        }
         let wait = self.clock.as_ref().map(|_| Instant::now());
         let received = self.rx.recv();
         if let Some(wait) = wait {
@@ -475,18 +517,12 @@ impl ChunkFeed for ChannelFeed<'_> {
                         queued as f64,
                     );
                 }
-                Ok(Some(buf))
+                Ok(Some(self.current.insert(buf).as_slice()))
             }
             Ok(Err(e)) => Err(Error::TraceIo(e)),
             // The producer dropped its sender: end of stream.
             Err(mpsc::RecvError) => Ok(None),
         }
-    }
-
-    fn recycle(&mut self, buf: Vec<MemRef>) {
-        // The recycle channel's capacity equals the total buffer count,
-        // so this never blocks; an error just means the producer exited.
-        let _ = self.recycle_tx.send(buf);
     }
 }
 
@@ -535,9 +571,10 @@ fn producer_loop(
     }
 }
 
-/// The consumer half of the decode stage: pulls chunks from the feed,
-/// runs the observer hook in stream order on the calling thread, hands
-/// each chunk to `sink` (the route/step side), and recycles the buffer.
+/// The consumer half of the decode stage: pulls lent chunks from the
+/// feed, runs the observer hook in stream order on the calling thread,
+/// and hands each chunk to `sink` (the route/step side). Chunk storage
+/// stays with the feed — the lease ends when the next chunk is pulled.
 fn drive(
     rec: &dyn Recorder,
     feed: &mut dyn ChunkFeed,
@@ -546,11 +583,10 @@ fn drive(
 ) -> Result<(), Error> {
     while let Some(buf) = feed.next()? {
         rec.counter("engine_refs", &[], buf.len() as u64);
-        for r in &buf {
+        for r in buf {
             observe(r);
         }
-        sink(&buf)?;
-        feed.recycle(buf);
+        sink(buf)?;
     }
     Ok(())
 }
@@ -726,7 +762,10 @@ fn drive_sharded(
 }
 
 /// Runs the pipeline with decode inline on the calling thread (the
-/// classic placement: serial, single-pass, and sharded modes).
+/// classic placement: serial, single-pass, and sharded modes). Sources
+/// with a borrowed-chunk view (mmap-backed files) feed the step side
+/// zero-copy; everything else goes through the owned-buffer
+/// [`InlineFeed`].
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn run_inline(
     config: SimConfig,
@@ -738,21 +777,50 @@ pub(crate) fn run_inline(
     source: &mut dyn TraceSource,
     observe: &mut dyn FnMut(&MemRef),
 ) -> Result<Vec<SimResult>, Error> {
-    let mut feed = InlineFeed {
-        source,
-        chunk,
-        spare: Vec::with_capacity(chunk),
-        rec,
-    };
-    let results = if workers <= 1 {
-        drive_in_thread(config, rec, schemes, caches, &mut feed, observe)?
-    } else {
-        drive_sharded(
-            config, chunk, workers, rec, schemes, caches, &mut feed, observe,
-        )?
+    let results = match source.borrowed() {
+        Some(borrowed) => {
+            let mut feed = BorrowedFeed {
+                source: borrowed,
+                chunk,
+                rec,
+            };
+            drive_placed(
+                config, chunk, workers, rec, schemes, caches, &mut feed, observe,
+            )?
+        }
+        None => {
+            let mut feed = InlineFeed {
+                source,
+                chunk,
+                spare: Vec::with_capacity(chunk),
+                rec,
+            };
+            drive_placed(
+                config, chunk, workers, rec, schemes, caches, &mut feed, observe,
+            )?
+        }
     };
     record_scheme_totals(rec, &results);
     Ok(results)
+}
+
+/// Chooses the step-stage placement (in-thread vs sharded) for a feed.
+#[allow(clippy::too_many_arguments)]
+fn drive_placed(
+    config: SimConfig,
+    chunk: usize,
+    workers: usize,
+    rec: &dyn Recorder,
+    schemes: &[Scheme],
+    caches: u32,
+    feed: &mut dyn ChunkFeed,
+    observe: &mut dyn FnMut(&MemRef),
+) -> Result<Vec<SimResult>, Error> {
+    if workers <= 1 {
+        drive_in_thread(config, rec, schemes, caches, feed, observe)
+    } else {
+        drive_sharded(config, chunk, workers, rec, schemes, caches, feed, observe)
+    }
 }
 
 /// Runs the pipeline with decode overlapped on a dedicated producer
@@ -786,13 +854,9 @@ where
         let producer =
             scope.spawn(move || producer_loop(&mut source, chunk, data_tx, recycle_rx, depth, rec));
         let mut feed = ChannelFeed::new(data_rx, recycle_tx, depth, rec);
-        let results = if workers <= 1 {
-            drive_in_thread(config, rec, schemes, caches, &mut feed, observe)
-        } else {
-            drive_sharded(
-                config, chunk, workers, rec, schemes, caches, &mut feed, observe,
-            )
-        };
+        let results = drive_placed(
+            config, chunk, workers, rec, schemes, caches, &mut feed, observe,
+        );
         // Closes both channel directions so the producer always exits,
         // even when stepping failed mid-stream.
         feed.finish();
@@ -858,6 +922,39 @@ mod tests {
                 .unwrap();
             assert_eq!(inline, overlapped, "workers = {workers}");
         }
+    }
+
+    #[test]
+    fn borrowed_decode_path_matches_owned_for_every_worker_count() {
+        // An mmap-backed source takes the zero-copy BorrowedFeed path
+        // through run_inline; results must be bit-identical to the
+        // owned-buffer IterSource path.
+        let refs = trace();
+        let path = std::env::temp_dir().join(format!(
+            "dirsim-pipeline-borrowed-{}.dtr",
+            std::process::id()
+        ));
+        let mut file = std::io::BufWriter::new(std::fs::File::create(&path).unwrap());
+        dirsim_trace::io::write_binary(&mut file, refs.iter().copied()).unwrap();
+        std::io::Write::flush(&mut file).unwrap();
+        drop(file);
+
+        let schemes = Scheme::paper_lineup();
+        for workers in [1, 3] {
+            let engine = BroadcastSimulator::paper().workers(workers).chunk_size(512);
+            let owned = engine
+                .run(&schemes, 4, IterSource::new(refs.iter().copied()))
+                .unwrap();
+            let mmap = engine
+                .run(
+                    &schemes,
+                    4,
+                    dirsim_trace::MmapTraceSource::open(&path).unwrap(),
+                )
+                .unwrap();
+            assert_eq!(owned, mmap, "workers = {workers}");
+        }
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -6,7 +6,10 @@
 //! configuration — including the scenario's canonical spec text
 //! ([`Scenario::to_spec`]), so editing a `.scn` file changes the hash and
 //! the cell re-runs, while re-running an unchanged spec finds every hash
-//! already in the store.
+//! already in the store. Cells over external trace files
+//! ([`CellInput::Trace`]) hash the trace path plus its byte length in
+//! place of the spec text — rewriting the file re-runs its cells under
+//! the same cheap-to-check rule.
 //!
 //! A [`CellRecord`] is the stored result. It deliberately carries both
 //! cost pricings (pipelined and non-pipelined cycles per reference) plus
@@ -26,15 +29,31 @@ use dirsim_trace::Scenario;
 /// Identity-format version; bump to force a whole-grid re-run.
 pub const CELL_IDENTITY_VERSION: u32 = 1;
 
+/// What a cell simulates: a synthetic workload regenerated from its
+/// scenario seed, or an external trace file streamed through the
+/// frontend registry at run time.
+#[derive(Debug, Clone)]
+pub enum CellInput {
+    /// Synthetic workload (CPU override already applied).
+    Synthetic(WorkloadConfig),
+    /// External trace/corpus file.
+    Trace {
+        /// Path as the spec wrote it.
+        path: String,
+        /// Byte length at spec-parse time; part of the identity hash.
+        len: u64,
+    },
+}
+
 /// One point of the evaluation grid, ready to run.
 #[derive(Debug, Clone)]
 pub struct Cell {
     /// Coherence scheme.
     pub scheme: Scheme,
-    /// Scenario display name.
+    /// Scenario display name (the trace path for trace cells).
     pub scenario: String,
-    /// Resolved workload, CPU override already applied.
-    pub config: WorkloadConfig,
+    /// The reference stream to simulate.
+    pub input: CellInput,
     /// Cache geometry; `None` is the paper's infinite cache.
     pub geometry: Option<CacheGeometry>,
     /// CPU-count override from the spec; `None` kept the scenario default.
@@ -67,7 +86,42 @@ impl Cell {
         Cell {
             scheme,
             scenario: scenario.name().to_string(),
-            config,
+            input: CellInput::Synthetic(config),
+            geometry,
+            cpus,
+            refs,
+            hash: format!("{:016x}", fnv1a64(identity.as_bytes())),
+        }
+    }
+
+    /// Builds a cell over an external trace file and computes its
+    /// identity hash. The hash covers the trace path *and* its byte
+    /// length: rewriting the file re-runs its cells (the length is a
+    /// cheap content heuristic — a same-length edit needs a store
+    /// delete), while two axis entries naming different paths are
+    /// different cells by construction.
+    pub fn from_trace(
+        scheme: Scheme,
+        path: &str,
+        len: u64,
+        geometry: Option<CacheGeometry>,
+        cpus: Option<u16>,
+        refs: usize,
+    ) -> Cell {
+        let identity = format!(
+            "dirsim-sweep-cell-v{CELL_IDENTITY_VERSION}\nscheme={}\nscenario={path}\nspec=trace:{path}?len={len}\ngeometry={}\ncpus={}\nrefs={}\n",
+            scheme.name(),
+            geometry_label(geometry),
+            cpus_label(cpus),
+            refs,
+        );
+        Cell {
+            scheme,
+            scenario: path.to_string(),
+            input: CellInput::Trace {
+                path: path.to_string(),
+                len,
+            },
             geometry,
             cpus,
             refs,
@@ -269,6 +323,33 @@ mod tests {
             1000,
         );
         assert_ne!(base.hash, thor.hash);
+    }
+
+    #[test]
+    fn trace_identity_covers_path_length_and_axes() {
+        let base = Cell::from_trace(Scheme::dir0_b(), "a.dtr", 160, None, None, 1000);
+        assert_eq!(
+            base.hash,
+            Cell::from_trace(Scheme::dir0_b(), "a.dtr", 160, None, None, 1000).hash
+        );
+        assert_eq!(base.scenario, "a.dtr");
+        assert!(matches!(base.input, CellInput::Trace { ref path, len: 160 } if path == "a.dtr"));
+        // A rewritten file (new length), a different path, and a different
+        // scheme are all different cells.
+        assert_ne!(
+            base.hash,
+            Cell::from_trace(Scheme::dir0_b(), "a.dtr", 176, None, None, 1000).hash
+        );
+        assert_ne!(
+            base.hash,
+            Cell::from_trace(Scheme::dir0_b(), "b.dtr", 160, None, None, 1000).hash
+        );
+        assert_ne!(
+            base.hash,
+            Cell::from_trace(Scheme::Wti, "a.dtr", 160, None, None, 1000).hash
+        );
+        // And a trace cell never collides with a synthetic one.
+        assert_ne!(base.hash, cell(Scheme::dir0_b(), None, 1000).hash);
     }
 
     #[test]

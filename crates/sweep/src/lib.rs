@@ -37,10 +37,10 @@ pub mod run;
 pub mod spec;
 pub mod store;
 
-pub use cell::{Cell, CellRecord};
+pub use cell::{Cell, CellInput, CellRecord};
 pub use report::render_report;
 pub use run::{run_sweep, SweepOptions, SweepSummary};
-pub use spec::{CostModelKind, SpecError, SweepSpec};
+pub use spec::{CostModelKind, SpecError, SweepSource, SweepSpec};
 pub use store::{Store, StoreError};
 
 use std::error::Error as StdError;

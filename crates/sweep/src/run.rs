@@ -3,8 +3,8 @@
 //!
 //! Scheduling is deliberately simple. Cells are independent (the grid is
 //! a cross product, and every cell regenerates its workload from the
-//! scenario seed), so a shared work queue plus a result channel is all
-//! the coordination needed. Each worker runs its cell through the normal
+//! scenario seed or re-streams its trace file), so a shared work queue
+//! plus a result channel is all the coordination needed. Each worker runs its cell through the normal
 //! [`Experiment`] front door in `Pipelined { workers: 1 }` mode — trace
 //! decode overlapped with simulation inside the cell, cell-level
 //! parallelism across the pool — which keeps every result bit-identical
@@ -21,11 +21,12 @@ use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use dirsim::{ExecutionMode, Experiment, NamedWorkload, SimConfig};
+use dirsim::{BroadcastSimulator, ExecutionMode, Experiment, NamedWorkload, SimConfig, SimResult};
 use dirsim_cost::CostModel;
 use dirsim_obs::{NoopRecorder, ProgressMeter, Recorder};
+use dirsim_trace::{open_trace, TakeSource, TraceSource, TraceStats};
 
-use crate::cell::{Cell, CellRecord};
+use crate::cell::{Cell, CellInput, CellRecord};
 use crate::store::Store;
 use crate::{SweepError, SweepSpec};
 
@@ -157,28 +158,55 @@ pub fn run_sweep(
 }
 
 /// Runs one cell and condenses the result into its store record.
+///
+/// Synthetic cells go through the normal [`Experiment`] front door;
+/// trace cells stream their file through the frontend registry into a
+/// [`BroadcastSimulator`] with the same `Pipelined { workers: 1 }`
+/// placement, so both kinds stay bit-identical to a `simulate` run of
+/// the same configuration.
 fn run_cell(cell: &Cell) -> Result<CellRecord, SweepError> {
     let sim = SimConfig {
         geometry: cell.geometry,
         ..SimConfig::default()
     };
-    let results = Experiment::new()
-        .workload(NamedWorkload::new(
-            cell.scenario.clone(),
-            cell.config.clone(),
-        ))
-        .scheme(cell.scheme)
-        .refs_per_trace(cell.refs)
-        .sim_config(sim)
-        .execution(ExecutionMode::Pipelined { workers: 1 })
-        .run()?;
-    let result = &results.per_scheme[0].combined;
+    let (result, cpus): (SimResult, u32) = match &cell.input {
+        CellInput::Synthetic(config) => {
+            let results = Experiment::new()
+                .workload(NamedWorkload::new(cell.scenario.clone(), config.clone()))
+                .scheme(cell.scheme)
+                .refs_per_trace(cell.refs)
+                .sim_config(sim)
+                .execution(ExecutionMode::Pipelined { workers: 1 })
+                .run()?;
+            (
+                results.per_scheme[0].combined.clone(),
+                u32::from(config.cpus),
+            )
+        }
+        CellInput::Trace { path, .. } => {
+            let caches = trace_caches(cell, path)?;
+            let source = TakeSource::new(
+                open_trace(path).map_err(dirsim::Error::from)?,
+                cell.refs as u64,
+            );
+            let results = BroadcastSimulator::new(sim).workers(1).run_pipelined(
+                &[cell.scheme],
+                caches,
+                source,
+            )?;
+            let result = results
+                .into_iter()
+                .next()
+                .expect("one scheme in, one result out");
+            (result, caches)
+        }
+    };
     Ok(CellRecord {
         hash: cell.hash.clone(),
         scheme: result.scheme.clone(),
         scenario: cell.scenario.clone(),
         geometry: cell.geometry_label(),
-        cpus: u32::from(cell.config.cpus),
+        cpus,
         refs: result.refs,
         transactions: result.transactions,
         distinct_blocks: result.distinct_blocks,
@@ -187,6 +215,37 @@ fn run_cell(cell: &Cell) -> Result<CellRecord, SweepError> {
         pipelined_cpr: result.cycles_per_ref(CostModel::pipelined()),
         non_pipelined_cpr: result.cycles_per_ref(CostModel::non_pipelined()),
     })
+}
+
+/// Cache count for a trace cell: the spec's `cpus` override taken as an
+/// explicit cache count, or one cache per process id observed in the
+/// simulated prefix — the same default `simulate` applies to trace
+/// files (ids, not distinct processes: an open-system trace can retire
+/// an id without it ever emitting a reference).
+fn trace_caches(cell: &Cell, path: &str) -> Result<u32, SweepError> {
+    if let Some(cpus) = cell.cpus {
+        return Ok(u32::from(cpus));
+    }
+    let source = open_trace(path).map_err(dirsim::Error::from)?;
+    let mut src = TakeSource::new(source, cell.refs as u64);
+    let mut stats = TraceStats::new();
+    let mut chunk = Vec::new();
+    while src
+        .read_chunk(&mut chunk, 65_536)
+        .map_err(dirsim::Error::from)?
+        > 0
+    {
+        for r in &chunk {
+            stats.observe(r);
+        }
+    }
+    if stats.total() == 0 {
+        return Err(SweepError::Io(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("trace `{path}` is empty"),
+        )));
+    }
+    Ok(stats.process_id_bound())
 }
 
 fn effective_workers(requested: usize, pending: usize) -> usize {
@@ -269,6 +328,51 @@ mod tests {
         let direct = run_cell(cell).unwrap();
         assert_eq!(store.records()[0], direct);
         fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn trace_cells_run_skip_and_rerun_when_the_file_changes() {
+        use std::io::Write as _;
+        let trace =
+            std::env::temp_dir().join(format!("dirsim-sweep-run-trace-{}.dtr", std::process::id()));
+        let write_trace = |refs: usize| {
+            let mut out = std::io::BufWriter::new(fs::File::create(&trace).unwrap());
+            let workload = dirsim_trace::Scenario::named("pops").unwrap().workload();
+            dirsim_trace::io::write_binary(&mut out, workload.take(refs)).unwrap();
+            out.flush().unwrap();
+        };
+        write_trace(1_500);
+
+        let path = temp_store("trace");
+        let _ = fs::remove_file(&path);
+        let mut store = Store::open(&path).unwrap();
+        let text = format!(
+            "schemes = Dir1NB, WTI\nscenarios = {}\nrefs = 1_000\n",
+            trace.display()
+        );
+        let spec = SweepSpec::parse(&text).unwrap();
+
+        let first = run_sweep(&spec, &mut store, &SweepOptions::default()).unwrap();
+        assert_eq!((first.total, first.ran, first.skipped), (2, 2, 0));
+        // `refs` caps the stream: 1_000 of the file's 1_500 references.
+        assert_eq!(first.refs_simulated, 2_000);
+        let record = &store.records()[0];
+        assert_eq!(record.scenario, trace.display().to_string());
+        assert!(record.cpus > 0, "caches derived from the trace itself");
+        assert!(record.transactions > 0);
+
+        let again = run_sweep(&spec, &mut store, &SweepOptions::default()).unwrap();
+        assert_eq!((again.ran, again.skipped), (0, 2));
+
+        // Rewriting the file changes its length, hence every cell's
+        // identity — the grid re-runs instead of serving stale results.
+        write_trace(2_000);
+        let spec = SweepSpec::parse(&text).unwrap();
+        let rerun = run_sweep(&spec, &mut store, &SweepOptions::default()).unwrap();
+        assert_eq!((rerun.ran, rerun.skipped), (2, 0));
+
+        fs::remove_file(&path).unwrap();
+        fs::remove_file(&trace).unwrap();
     }
 
     #[test]

@@ -18,10 +18,15 @@
 //! paper's baseline (`geometries = infinite`, `cpus = default`,
 //! `refs = 100_000`, `cost-models = pipelined`). Scenario entries are
 //! resolved the same way `simulate --scenario` resolves them: a bundled
-//! name (`pops`) or a path to a `.scn` file. `cost-models` selects which
-//! cost columns the report renders; it is *not* part of a cell's identity,
-//! because every stored record carries both pricings (§4 of the paper
-//! separates event frequencies from event costs, and so does the store).
+//! name (`pops`), a path to a `.scn` file, **or a path to a trace or
+//! corpus file** in any format the frontend registry sniffs (`DTR1`,
+//! `DTR2`, `DTR3` corpus, text, CSV) — an existing file the registry
+//! recognises becomes a [`SweepSource::Trace`] axis entry, streamed at
+//! run time instead of regenerated from a seed. `cost-models` selects
+//! which cost columns the report renders; it is *not* part of a cell's
+//! identity, because every stored record carries both pricings (§4 of
+//! the paper separates event frequencies from event costs, and so does
+//! the store).
 
 use std::fmt;
 use std::str::FromStr;
@@ -29,7 +34,7 @@ use std::str::FromStr;
 use dirsim_mem::CacheGeometry;
 use dirsim_protocol::Scheme;
 use dirsim_trace::synth::WorkloadConfig;
-use dirsim_trace::Scenario;
+use dirsim_trace::{FrontendRegistry, Scenario};
 
 use crate::cell::Cell;
 
@@ -100,13 +105,41 @@ impl fmt::Display for SpecError {
 
 impl std::error::Error for SpecError {}
 
+/// One entry of the `scenarios` axis: a synthetic scenario, or an
+/// existing trace/corpus file in any format the frontend registry
+/// recognises. The sniffing rule is the one `simulate --scenario`
+/// applies — magic bytes first, extension second — so `.scn` spec files
+/// and bundled scenario names fall through to [`Scenario::resolve`].
+#[derive(Debug, Clone)]
+pub enum SweepSource {
+    /// Synthetic workload, regenerated from its seed per cell.
+    Scenario(Box<Scenario>),
+    /// External trace/corpus file, streamed per cell.
+    Trace {
+        /// Path as written in the spec.
+        path: String,
+        /// Byte length at parse time; enters every cell's identity hash.
+        len: u64,
+    },
+}
+
+impl SweepSource {
+    /// Axis label: the scenario name, or the trace path as written.
+    pub fn name(&self) -> &str {
+        match self {
+            SweepSource::Scenario(s) => s.name(),
+            SweepSource::Trace { path, .. } => path,
+        }
+    }
+}
+
 /// A parsed sweep grid: one `Vec` per axis, in spec order.
 #[derive(Debug, Clone)]
 pub struct SweepSpec {
     /// Coherence schemes (paper notation, e.g. `Dir1NB`).
     pub schemes: Vec<Scheme>,
-    /// Resolved workload scenarios.
-    pub scenarios: Vec<Scenario>,
+    /// Resolved workload sources (scenarios and/or trace files).
+    pub scenarios: Vec<SweepSource>,
     /// Cache geometries; `None` is the paper's infinite cache.
     pub geometries: Vec<Option<CacheGeometry>>,
     /// CPU-count overrides; `None` keeps each scenario's own count.
@@ -128,7 +161,7 @@ impl SweepSpec {
     /// required axis.
     pub fn parse(text: &str) -> Result<SweepSpec, SpecError> {
         let mut schemes: Option<Vec<Scheme>> = None;
-        let mut scenarios: Option<Vec<Scenario>> = None;
+        let mut scenarios: Option<Vec<SweepSource>> = None;
         let mut geometries: Option<Vec<Option<CacheGeometry>>> = None;
         let mut cpus: Option<Vec<Option<u16>>> = None;
         let mut refs: Option<Vec<usize>> = None;
@@ -230,23 +263,34 @@ impl SweepSpec {
         for &refs in &self.refs {
             for &cpus in &self.cpus {
                 for &geometry in &self.geometries {
-                    for scenario in &self.scenarios {
-                        let config = apply_cpus(scenario.config(), cpus).map_err(|e| {
-                            SpecError::whole(format!(
-                                "scenario `{}` with cpus={}: {e}",
-                                scenario.name(),
-                                cpus.map_or("default".to_string(), |c| c.to_string()),
-                            ))
-                        })?;
-                        for &scheme in &self.schemes {
-                            cells.push(Cell::new(
-                                scheme,
-                                scenario,
-                                config.clone(),
-                                geometry,
-                                cpus,
-                                refs,
-                            ));
+                    for source in &self.scenarios {
+                        match source {
+                            SweepSource::Scenario(scenario) => {
+                                let config = apply_cpus(scenario.config(), cpus).map_err(|e| {
+                                    SpecError::whole(format!(
+                                        "scenario `{}` with cpus={}: {e}",
+                                        scenario.name(),
+                                        cpus.map_or("default".to_string(), |c| c.to_string()),
+                                    ))
+                                })?;
+                                for &scheme in &self.schemes {
+                                    cells.push(Cell::new(
+                                        scheme,
+                                        scenario,
+                                        config.clone(),
+                                        geometry,
+                                        cpus,
+                                        refs,
+                                    ));
+                                }
+                            }
+                            SweepSource::Trace { path, len } => {
+                                for &scheme in &self.schemes {
+                                    cells.push(Cell::from_trace(
+                                        scheme, path, *len, geometry, cpus, refs,
+                                    ));
+                                }
+                            }
                         }
                     }
                 }
@@ -307,16 +351,31 @@ fn parse_schemes(values: &[&str], line: usize) -> Result<Vec<Scheme>, SpecError>
     Ok(schemes)
 }
 
-fn parse_scenarios(values: &[&str], line: usize) -> Result<Vec<Scenario>, SpecError> {
-    let scenarios = values
+fn parse_scenarios(values: &[&str], line: usize) -> Result<Vec<SweepSource>, SpecError> {
+    let sources = values
         .iter()
         .map(|v| {
-            Scenario::resolve(v).map_err(|e| SpecError::at(line, format!("scenario `{v}`: {e}")))
+            // The same rule `simulate --scenario` applies: an existing
+            // file the frontend registry recognises is a trace; `.scn`
+            // files and bundled names resolve as scenarios.
+            let path = std::path::Path::new(v);
+            if path.is_file() && matches!(FrontendRegistry::builtin().find(path), Ok(Some(_))) {
+                let len = std::fs::metadata(path)
+                    .map_err(|e| SpecError::at(line, format!("trace `{v}`: {e}")))?
+                    .len();
+                return Ok(SweepSource::Trace {
+                    path: (*v).to_string(),
+                    len,
+                });
+            }
+            Scenario::resolve(v)
+                .map(|s| SweepSource::Scenario(Box::new(s)))
+                .map_err(|e| SpecError::at(line, format!("scenario `{v}`: {e}")))
         })
         .collect::<Result<Vec<_>, _>>()?;
-    let labels: Vec<String> = scenarios.iter().map(|s| s.name().to_string()).collect();
+    let labels: Vec<String> = sources.iter().map(|s| s.name().to_string()).collect();
     reject_duplicates(&labels, "scenario", line)?;
-    Ok(scenarios)
+    Ok(sources)
 }
 
 fn parse_geometries(values: &[&str], line: usize) -> Result<Vec<Option<CacheGeometry>>, SpecError> {
@@ -428,6 +487,7 @@ fn parse_number(value: &str) -> Option<u64> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::cell::CellInput;
 
     const FULL: &str = "\
 # exercise every axis
@@ -501,8 +561,58 @@ cost-models = pipelined, non-pipelined
             SweepSpec::parse("schemes = Dir0B\nscenarios = pops\ncpus = 16\nrefs = 100\n").unwrap();
         let cells = spec.expand().unwrap();
         assert_eq!(cells.len(), 1);
-        assert_eq!(cells[0].config.cpus, 16);
-        assert!(cells[0].config.processes >= 16);
+        let CellInput::Synthetic(config) = &cells[0].input else {
+            panic!("scenario entry must expand to a synthetic cell");
+        };
+        assert_eq!(config.cpus, 16);
+        assert!(config.processes >= 16);
+    }
+
+    #[test]
+    fn trace_files_join_the_scenarios_axis() {
+        use std::io::Write as _;
+        let path = std::env::temp_dir().join(format!(
+            "dirsim-sweep-spec-trace-{}.dtr",
+            std::process::id()
+        ));
+        {
+            let mut out = std::io::BufWriter::new(std::fs::File::create(&path).unwrap());
+            let refs = Scenario::named("pops").unwrap().workload().take(64);
+            dirsim_trace::io::write_binary(&mut out, refs).unwrap();
+            out.flush().unwrap();
+        }
+        let text = format!(
+            "schemes = Dir0B, WTI\nscenarios = pops, {}\nrefs = 50\n",
+            path.display()
+        );
+        let spec = SweepSpec::parse(&text).unwrap();
+        assert_eq!(spec.scenarios.len(), 2);
+        assert!(matches!(spec.scenarios[0], SweepSource::Scenario(_)));
+        let SweepSource::Trace { ref len, .. } = spec.scenarios[1] else {
+            panic!("existing DTR1 file must sniff as a trace entry");
+        };
+        assert_eq!(*len, 8 + 64 * 16, "header plus 64 fixed records");
+
+        // The mixed axis expands to synthetic and trace cells side by side.
+        let cells = spec.expand().unwrap();
+        assert_eq!(cells.len(), 4);
+        assert!(matches!(cells[0].input, CellInput::Synthetic(_)));
+        assert!(matches!(cells[2].input, CellInput::Trace { .. }));
+        assert_eq!(cells[2].scenario, path.display().to_string());
+
+        // A duplicate trace path double-counts cells, like any axis entry.
+        let dup = format!(
+            "schemes = Dir0B\nscenarios = {p}, {p}\n",
+            p = path.display()
+        );
+        let err = SweepSpec::parse(&dup).unwrap_err();
+        assert!(err.to_string().contains("double-count"), "{err}");
+
+        // A missing file is not sniffable and falls through to scenario
+        // resolution, which names the value in its error.
+        let err = SweepSpec::parse("schemes = Dir0B\nscenarios = no-such.dtr\n").unwrap_err();
+        assert!(err.to_string().contains("no-such.dtr"), "{err}");
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

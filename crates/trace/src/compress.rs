@@ -93,13 +93,53 @@ where
     W: Write,
     I: IntoIterator<Item = MemRef>,
 {
-    w.write_all(&COMPRESSED_MAGIC)?;
-    w.write_all(&[1, 0, 0, 0])?;
-    let mut count = 0u64;
-    let mut last_cpu: Option<u16> = None;
-    let mut last_pid: Option<u32> = None;
-    let mut last_addr: HashMap<(u16, u8), u64> = HashMap::new();
+    let mut enc = Encoder::new(w)?;
     for r in refs {
+        enc.push(&r)?;
+    }
+    let (_, count) = enc.finish()?;
+    Ok(count)
+}
+
+/// Incremental `DTR2` encoder: header on construction, one record per
+/// [`push`](Self::push).
+///
+/// This is the streaming counterpart of [`write_compressed`], used where
+/// references arrive chunk by chunk (corpus packing) rather than as one
+/// iterator.
+#[derive(Debug)]
+pub struct Encoder<W> {
+    w: W,
+    count: u64,
+    last_cpu: Option<u16>,
+    last_pid: Option<u32>,
+    last_addr: HashMap<(u16, u8), u64>,
+}
+
+impl<W: Write> Encoder<W> {
+    /// Writes the `DTR2` header and returns the encoder.
+    ///
+    /// # Errors
+    ///
+    /// Returns any error from the underlying writer.
+    pub fn new(mut w: W) -> Result<Self, TraceIoError> {
+        w.write_all(&COMPRESSED_MAGIC)?;
+        w.write_all(&[1, 0, 0, 0])?;
+        Ok(Encoder {
+            w,
+            count: 0,
+            last_cpu: None,
+            last_pid: None,
+            last_addr: HashMap::new(),
+        })
+    }
+
+    /// Appends one record.
+    ///
+    /// # Errors
+    ///
+    /// Returns any error from the underlying writer.
+    pub fn push(&mut self, r: &MemRef) -> Result<(), TraceIoError> {
         let cpu = r.cpu.index() as u16;
         let pid = r.pid.index() as u32;
         let mut flags = match r.kind {
@@ -113,29 +153,44 @@ where
         if r.flags.is_os() {
             flags |= FLAG_OS;
         }
-        if last_cpu == Some(cpu) {
+        if self.last_cpu == Some(cpu) {
             flags |= FLAG_SAME_CPU;
         }
-        if last_pid == Some(pid) {
+        if self.last_pid == Some(pid) {
             flags |= FLAG_SAME_PID;
         }
-        w.write_all(&[flags])?;
-        if last_cpu != Some(cpu) {
-            w.write_all(&cpu.to_le_bytes())?;
+        self.w.write_all(&[flags])?;
+        if self.last_cpu != Some(cpu) {
+            self.w.write_all(&cpu.to_le_bytes())?;
         }
-        if last_pid != Some(pid) {
-            write_varint(w, u64::from(pid))?;
+        if self.last_pid != Some(pid) {
+            write_varint(&mut self.w, u64::from(pid))?;
         }
         let kind_tag = flags & KIND_MASK;
-        let prev = last_addr.get(&(cpu, kind_tag)).copied().unwrap_or(0);
+        let prev = self.last_addr.get(&(cpu, kind_tag)).copied().unwrap_or(0);
         let delta = r.addr.raw().wrapping_sub(prev) as i64;
-        write_varint(w, zigzag(delta))?;
-        last_addr.insert((cpu, kind_tag), r.addr.raw());
-        last_cpu = Some(cpu);
-        last_pid = Some(pid);
-        count += 1;
+        write_varint(&mut self.w, zigzag(delta))?;
+        self.last_addr.insert((cpu, kind_tag), r.addr.raw());
+        self.last_cpu = Some(cpu);
+        self.last_pid = Some(pid);
+        self.count += 1;
+        Ok(())
     }
-    Ok(count)
+
+    /// Number of records encoded so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Flushes and returns the underlying writer and the record count.
+    ///
+    /// # Errors
+    ///
+    /// Returns any error from flushing the underlying writer.
+    pub fn finish(mut self) -> Result<(W, u64), TraceIoError> {
+        self.w.flush()?;
+        Ok((self.w, self.count))
+    }
 }
 
 /// Streaming reader over a compressed trace.
@@ -162,6 +217,12 @@ pub fn read_compressed<R: Read>(reader: R) -> CompressedReader<R> {
 }
 
 impl<R: Read> CompressedReader<R> {
+    /// Shared view of the underlying reader (used by the corpus reader
+    /// to consult checksum state after the stream ends).
+    pub fn get_ref(&self) -> &R {
+        &self.inner
+    }
+
     fn check_header(&mut self) -> Result<(), TraceIoError> {
         let mut header = [0u8; 8];
         self.inner.read_exact(&mut header)?;
@@ -174,10 +235,13 @@ impl<R: Read> CompressedReader<R> {
 
     fn read_record(&mut self) -> Option<Result<MemRef, TraceIoError>> {
         let mut flags = [0u8; 1];
-        match self.inner.read(&mut flags) {
-            Ok(0) => return None,
-            Ok(_) => {}
-            Err(e) => return Some(Err(e.into())),
+        loop {
+            match self.inner.read(&mut flags) {
+                Ok(0) => return None,
+                Ok(_) => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Some(Err(e.into())),
+            }
         }
         let flags = flags[0];
         let kind = match flags & KIND_MASK {
@@ -340,6 +404,21 @@ mod tests {
             let got = read_varint(&mut &buf[..]).unwrap();
             assert_eq!(got, v);
         }
+    }
+
+    #[test]
+    fn incremental_encoder_matches_batch() {
+        let refs: Vec<MemRef> = PaperTrace::Pops.workload().take(2000).collect();
+        let mut batch = Vec::new();
+        write_compressed(&mut batch, refs.iter().copied()).unwrap();
+        let mut enc = Encoder::new(Vec::new()).unwrap();
+        for r in &refs {
+            enc.push(r).unwrap();
+        }
+        assert_eq!(enc.count(), refs.len() as u64);
+        let (streamed, count) = enc.finish().unwrap();
+        assert_eq!(count, refs.len() as u64);
+        assert_eq!(streamed, batch, "byte-identical encodings");
     }
 
     #[test]

@@ -42,6 +42,26 @@ pub enum TraceIoError {
         /// Description of the problem.
         reason: String,
     },
+    /// A requested window into a fixed-record file does not start on a
+    /// record boundary.
+    Misaligned {
+        /// Byte offset that was requested.
+        offset: u64,
+    },
+    /// A corpus checksum footer did not match the payload.
+    BadChecksum {
+        /// Checksum recorded in the footer.
+        expected: u64,
+        /// Checksum computed over the payload.
+        actual: u64,
+    },
+    /// A corpus record-count footer did not match the decoded stream.
+    CountMismatch {
+        /// Record count recorded in the footer.
+        expected: u64,
+        /// Records actually decoded.
+        actual: u64,
+    },
 }
 
 impl fmt::Display for TraceIoError {
@@ -55,6 +75,21 @@ impl fmt::Display for TraceIoError {
             TraceIoError::TruncatedRecord => write!(f, "truncated trace record"),
             TraceIoError::BadTextRecord { line, reason } => {
                 write!(f, "bad text trace record on line {line}: {reason}")
+            }
+            TraceIoError::Misaligned { offset } => {
+                write!(f, "offset {offset} is not on a record boundary")
+            }
+            TraceIoError::BadChecksum { expected, actual } => {
+                write!(
+                    f,
+                    "corpus checksum mismatch: footer {expected:#018x}, payload {actual:#018x}"
+                )
+            }
+            TraceIoError::CountMismatch { expected, actual } => {
+                write!(
+                    f,
+                    "corpus record count mismatch: footer says {expected}, decoded {actual}"
+                )
             }
         }
     }
@@ -72,23 +107,6 @@ impl std::error::Error for TraceIoError {
 impl From<io::Error> for TraceIoError {
     fn from(e: io::Error) -> Self {
         TraceIoError::Io(e)
-    }
-}
-
-fn kind_byte(kind: AccessKind) -> u8 {
-    match kind {
-        AccessKind::InstrFetch => 0,
-        AccessKind::Read => 1,
-        AccessKind::Write => 2,
-    }
-}
-
-fn kind_from_byte(b: u8) -> Result<AccessKind, TraceIoError> {
-    match b {
-        0 => Ok(AccessKind::InstrFetch),
-        1 => Ok(AccessKind::Read),
-        2 => Ok(AccessKind::Write),
-        other => Err(TraceIoError::BadAccessKind(other)),
     }
 }
 
@@ -119,16 +137,11 @@ where
     W: Write,
     I: IntoIterator<Item = MemRef>,
 {
-    w.write_all(&BINARY_MAGIC)?;
-    w.write_all(&[1, 0, 0, 0])?; // format version 1, 3 reserved bytes
+    w.write_all(&crate::codec::header_bytes())?;
     let mut count = 0u64;
     for r in refs {
         let mut rec = [0u8; BINARY_RECORD_LEN];
-        rec[0..2].copy_from_slice(&(r.cpu.index() as u16).to_le_bytes());
-        rec[2] = kind_byte(r.kind);
-        rec[3] = r.flags.bits();
-        rec[4..8].copy_from_slice(&(r.pid.index() as u32).to_le_bytes());
-        rec[8..16].copy_from_slice(&r.addr.raw().to_le_bytes());
+        crate::codec::encode_record(&r, &mut rec);
         w.write_all(&rec)?;
         count += 1;
     }
@@ -159,13 +172,9 @@ pub fn read_binary<R: Read>(reader: R) -> BinaryReader<R> {
 
 impl<R: Read> BinaryReader<R> {
     fn check_header(&mut self) -> Result<(), TraceIoError> {
-        let mut header = [0u8; 8];
+        let mut header = [0u8; crate::codec::HEADER_LEN];
         self.inner.read_exact(&mut header)?;
-        let magic: [u8; 4] = header[0..4].try_into().expect("slice length is 4");
-        if magic != BINARY_MAGIC {
-            return Err(TraceIoError::BadMagic(magic));
-        }
-        Ok(())
+        crate::codec::check_header(&header)
     }
 
     fn read_record(&mut self) -> Option<Result<MemRef, TraceIoError>> {
@@ -180,21 +189,7 @@ impl<R: Read> BinaryReader<R> {
                 Err(e) => return Some(Err(e.into())),
             }
         }
-        let cpu = u16::from_le_bytes(rec[0..2].try_into().expect("len 2"));
-        let kind = match kind_from_byte(rec[2]) {
-            Ok(k) => k,
-            Err(e) => return Some(Err(e)),
-        };
-        let flags = RefFlags::from_bits(rec[3]);
-        let pid = u32::from_le_bytes(rec[4..8].try_into().expect("len 4"));
-        let addr = u64::from_le_bytes(rec[8..16].try_into().expect("len 8"));
-        Some(Ok(MemRef {
-            cpu: CpuId::new(cpu),
-            pid: ProcessId::new(pid),
-            addr: Addr::new(addr),
-            kind,
-            flags,
-        }))
+        Some(crate::codec::decode_record(&rec))
     }
 }
 

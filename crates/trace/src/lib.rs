@@ -26,17 +26,23 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod codec;
 pub mod compress;
+pub mod corpus;
 pub mod filter;
+pub mod frontend;
 pub mod io;
+pub mod mmap;
 pub mod scenario;
 pub mod source;
 pub mod stats;
 pub mod synth;
 pub mod types;
 
+pub use frontend::{open_trace, FrontendRegistry, TraceFrontend};
 pub use io::TraceIoError;
+pub use mmap::MmapTraceSource;
 pub use scenario::{Scenario, ScenarioError};
-pub use source::{IterSource, TraceSource};
+pub use source::{BorrowedChunkSource, IterSource, TakeSource, TraceSource};
 pub use stats::TraceStats;
 pub use types::{AccessKind, Addr, CpuId, MemRef, ProcessId, RefFlags};

@@ -77,17 +77,55 @@ pub trait TraceSource {
         self.read_chunk(&mut buf, max)?;
         Ok(buf)
     }
+
+    /// The zero-copy view of this source, if it has one.
+    ///
+    /// Sources whose chunks live in storage they own (the memory-mapped
+    /// reader's reusable decode buffer) return `Some`; the engine's
+    /// decode stage then borrows each chunk in place instead of running
+    /// the owned-buffer recycle handshake. `None` (the default) means
+    /// callers use [`read_chunk`](Self::read_chunk) /
+    /// [`read_chunk_owned`](Self::read_chunk_owned), which every source
+    /// supports.
+    fn borrowed(&mut self) -> Option<&mut dyn BorrowedChunkSource> {
+        None
+    }
+}
+
+/// A chunked reference producer whose chunks are borrowed from storage
+/// the source owns, valid until the next call.
+///
+/// The contract mirrors [`TraceSource::read_chunk`]: a chunk holds at
+/// most `max` references, an empty chunk means the stream is exhausted,
+/// errors fuse the source (later calls yield empty chunks), and the
+/// reference sequence is identical to what the owned path would produce.
+pub trait BorrowedChunkSource {
+    /// Decodes and returns the next chunk of up to `max` references.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TraceIoError`] if the underlying stream fails to
+    /// decode; afterwards the source is fused.
+    fn next_chunk(&mut self, max: usize) -> Result<&[MemRef], TraceIoError>;
 }
 
 impl<S: TraceSource + ?Sized> TraceSource for &mut S {
     fn read_chunk(&mut self, buf: &mut Vec<MemRef>, max: usize) -> Result<usize, TraceIoError> {
         (**self).read_chunk(buf, max)
     }
+
+    fn borrowed(&mut self) -> Option<&mut dyn BorrowedChunkSource> {
+        (**self).borrowed()
+    }
 }
 
 impl<S: TraceSource + ?Sized> TraceSource for Box<S> {
     fn read_chunk(&mut self, buf: &mut Vec<MemRef>, max: usize) -> Result<usize, TraceIoError> {
         (**self).read_chunk(buf, max)
+    }
+
+    fn borrowed(&mut self) -> Option<&mut dyn BorrowedChunkSource> {
+        (**self).borrowed()
     }
 }
 
@@ -120,7 +158,7 @@ where
     }
 }
 
-fn fill_from_results<I>(
+pub(crate) fn fill_from_results<I>(
     iter: &mut I,
     buf: &mut Vec<MemRef>,
     max: usize,
@@ -190,6 +228,38 @@ impl<S: TraceSource> TraceSource for WithoutLockTests<S> {
             buf.extend(self.scratch.iter().filter(|r| !r.flags.is_lock()));
         }
         Ok(buf.len())
+    }
+}
+
+/// Caps an underlying source at `limit` references (the streaming
+/// counterpart of `Iterator::take`), so a fixed reference budget can be
+/// replayed out of an arbitrarily large corpus file.
+#[derive(Debug)]
+pub struct TakeSource<S> {
+    inner: S,
+    remaining: u64,
+}
+
+impl<S: TraceSource> TakeSource<S> {
+    /// Wraps `inner`, yielding at most `limit` references.
+    pub fn new(inner: S, limit: u64) -> Self {
+        TakeSource {
+            inner,
+            remaining: limit,
+        }
+    }
+}
+
+impl<S: TraceSource> TraceSource for TakeSource<S> {
+    fn read_chunk(&mut self, buf: &mut Vec<MemRef>, max: usize) -> Result<usize, TraceIoError> {
+        let max = max.min(usize::try_from(self.remaining).unwrap_or(usize::MAX));
+        if max == 0 {
+            buf.clear();
+            return Ok(0);
+        }
+        let n = self.inner.read_chunk(buf, max)?;
+        self.remaining -= n as u64;
+        Ok(n)
     }
 }
 
@@ -339,6 +409,36 @@ mod tests {
         assert_eq!(source.read_chunk(&mut buf, 1).unwrap(), 1);
         assert_eq!(buf, vec![plain]);
         assert_eq!(source.read_chunk(&mut buf, 1).unwrap(), 0);
+    }
+
+    #[test]
+    fn take_source_caps_the_stream() {
+        let refs: Vec<MemRef> = PaperTrace::Pops.workload().take(500).collect();
+        let capped =
+            collect_all(TakeSource::new(IterSource::new(refs.iter().copied()), 123)).unwrap();
+        assert_eq!(capped, &refs[..123]);
+        // A limit past the end of the stream is a no-op.
+        let uncapped = collect_all(TakeSource::new(
+            IterSource::new(refs.iter().copied()),
+            10_000,
+        ))
+        .unwrap();
+        assert_eq!(uncapped, refs);
+        // A zero limit is empty without touching the inner source.
+        let empty = collect_all(TakeSource::new(IterSource::new(refs.iter().copied()), 0)).unwrap();
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn borrowed_defaults_to_none_and_forwards() {
+        fn through_generic<S: TraceSource>(mut source: S) -> bool {
+            source.borrowed().is_none()
+        }
+        let mut source = IterSource::new(std::iter::empty());
+        assert!(source.borrowed().is_none());
+        assert!(through_generic(&mut source));
+        let mut boxed: Box<dyn TraceSource> = Box::new(IterSource::new(std::iter::empty()));
+        assert!(boxed.borrowed().is_none());
     }
 
     #[test]

@@ -5,10 +5,26 @@ use proptest::prelude::*;
 use proptest::test_runner::TestCaseResult;
 
 use dirsim_trace::filter::{by_cpu, data_only, without_lock_tests, without_os};
+use dirsim_trace::frontend::{read_csv, write_csv};
 use dirsim_trace::io::{read_binary, read_text, write_binary, write_text, TraceIoError};
 use dirsim_trace::source::IterSource;
 use dirsim_trace::synth::{Region, Workload, WorkloadConfig};
-use dirsim_trace::{AccessKind, Addr, CpuId, MemRef, ProcessId, RefFlags, TraceSource, TraceStats};
+use dirsim_trace::{
+    open_trace, AccessKind, Addr, CpuId, MemRef, MmapTraceSource, ProcessId, RefFlags, TraceSource,
+    TraceStats,
+};
+
+/// A collision-free temp path: pid plus a process-wide counter, so
+/// proptest cases (and parallel test binaries) never share a file.
+fn temp_path(tag: &str, ext: &str) -> std::path::PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    std::env::temp_dir().join(format!(
+        "dirsim-proptest-{tag}-{}-{}.{ext}",
+        std::process::id(),
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    ))
+}
 
 fn arbitrary_refs(len: usize) -> impl Strategy<Value = Vec<MemRef>> {
     prop::collection::vec(
@@ -200,6 +216,55 @@ proptest! {
         prop_assert!(decoded.len() <= refs.len() + 8, "no runaway decoding");
     }
 
+    /// The mmap source decodes identically to the buffered decoder,
+    /// record for record, at chunk size 1, an odd size, and one
+    /// oversized chunk — and it honours the short-read/EOF contract
+    /// like every other source.
+    #[test]
+    fn mmap_decodes_identically_to_buffered(refs in arbitrary_refs(120), chunk in 1usize..40) {
+        let path = temp_path("mmap", "dtr");
+        let mut bin = Vec::new();
+        write_binary(&mut bin, refs.iter().copied()).unwrap();
+        std::fs::write(&path, &bin).unwrap();
+        check_source_contract(MmapTraceSource::open(&path).unwrap(), &refs, chunk)?;
+        for chunk in [1, 7, refs.len() + 1] {
+            prop_assert_eq!(
+                drain(MmapTraceSource::open(&path).unwrap(), chunk),
+                drain(read_binary(&bin[..]), chunk),
+                "chunk size {}", chunk
+            );
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    /// The text and CSV frontends round-trip arbitrary streams through
+    /// the registry's sniffing `open_trace` path. Text is lossless; the
+    /// foreign CSV schema has no flag column, so the round trip
+    /// normalises flags away and must preserve everything else.
+    #[test]
+    fn text_and_csv_frontends_round_trip(refs in arbitrary_refs(80)) {
+        let txt = temp_path("frontend", "txt");
+        let mut buf = Vec::new();
+        write_text(&mut buf, refs.iter().copied()).unwrap();
+        std::fs::write(&txt, &buf).unwrap();
+        prop_assert_eq!(drain(open_trace(&txt).unwrap(), 17), refs.clone());
+        std::fs::remove_file(&txt).unwrap();
+
+        let lossy: Vec<MemRef> = refs
+            .iter()
+            .map(|r| MemRef::new(r.cpu, r.pid, r.addr, r.kind))
+            .collect();
+        let mut buf = Vec::new();
+        write_csv(&mut buf, refs.iter().copied()).unwrap();
+        // In memory, straight through the reader…
+        prop_assert_eq!(drain(read_csv(&buf[..]), 17), lossy.clone());
+        // …and from disk, sniffed by the registry.
+        let csv = temp_path("frontend", "csv");
+        std::fs::write(&csv, &buf).unwrap();
+        prop_assert_eq!(drain(open_trace(&csv).unwrap(), 17), lossy);
+        std::fs::remove_file(&csv).unwrap();
+    }
+
     /// Stats of a concatenation equal the merge of the parts.
     #[test]
     fn stats_merge_is_concat(a in arbitrary_refs(100), b in arbitrary_refs(100)) {
@@ -266,4 +331,35 @@ proptest! {
             prop_assert!(Region::of(r.addr).is_some(), "every address has a region");
         }
     }
+}
+
+/// The degenerate files the fuzzer cannot reach with a generated stream:
+/// a zero-byte file and a header-only file. Both decode paths must agree
+/// — a typed refusal for the former, a clean zero-record stream for the
+/// latter.
+#[test]
+fn mmap_agrees_with_buffered_on_empty_and_header_only_files() {
+    let path = temp_path("degenerate", "dtr");
+
+    // Empty file: no header to validate. The mmap path refuses at open;
+    // the lazy buffered path refuses on the first chunk read.
+    std::fs::write(&path, b"").unwrap();
+    assert!(matches!(
+        MmapTraceSource::open(&path),
+        Err(TraceIoError::TruncatedRecord)
+    ));
+    let file = std::fs::File::open(&path).unwrap();
+    let mut src = read_binary(std::io::BufReader::new(file));
+    let mut buf = Vec::new();
+    assert!(src.read_chunk(&mut buf, 16).is_err());
+
+    // Header-only file: a valid, empty trace from both paths.
+    std::fs::write(&path, dirsim_trace::codec::header_bytes()).unwrap();
+    assert_eq!(drain(MmapTraceSource::open(&path).unwrap(), 8), Vec::new());
+    let file = std::fs::File::open(&path).unwrap();
+    assert_eq!(
+        drain(read_binary(std::io::BufReader::new(file)), 8),
+        Vec::new()
+    );
+    std::fs::remove_file(&path).unwrap();
 }

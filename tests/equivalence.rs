@@ -446,6 +446,100 @@ fn wide_systems_agree_with_kernels_on_auto() {
     }
 }
 
+// ---------------------------------------------------------------------
+// Corpus ingestion: the same trace served four ways — replayed from
+// memory, buffered DTR1 decode, zero-copy mmap decode, and a DTR3
+// pack/unpack round-trip — must be bit-identical across every engine
+// shape (1 and 4 workers, inline and overlapped decode) for all 14
+// schemes. The mmap source takes the borrowed-chunk path inline and the
+// owned-buffer handshake when pipelined, so this round pins both.
+// ---------------------------------------------------------------------
+
+#[test]
+fn corpus_round_is_bit_identical_across_sources_and_modes() {
+    use dirsim::BroadcastSimulator;
+    use dirsim_trace::corpus::{write_corpus, CorpusReader};
+    use dirsim_trace::io::{read_binary, write_binary};
+    use dirsim_trace::{IterSource, MmapTraceSource, TraceSource, TraceStats};
+    use std::io::Write as _;
+
+    const CORPUS_REFS: usize = 10_000;
+    let refs: Vec<MemRef> = Scenario::named("pops")
+        .unwrap()
+        .workload()
+        .take(CORPUS_REFS)
+        .collect();
+    let caches = TraceStats::from_refs(refs.iter().copied()).process_id_bound();
+    let dir = std::env::temp_dir();
+    let dtr = dir.join(format!("dirsim-equiv-corpus-{}.dtr", std::process::id()));
+    let dtrz = dir.join(format!("dirsim-equiv-corpus-{}.dtrz", std::process::id()));
+    {
+        let mut out = std::io::BufWriter::new(std::fs::File::create(&dtr).unwrap());
+        write_binary(&mut out, refs.iter().copied()).unwrap();
+        out.flush().unwrap();
+    }
+    {
+        // Pack the on-disk DTR1 into a DTR3 corpus, exactly as
+        // `trace_tool pack` does.
+        let src = read_binary(std::io::BufReader::new(std::fs::File::open(&dtr).unwrap()));
+        let mut out = std::io::BufWriter::new(std::fs::File::create(&dtrz).unwrap());
+        let packed = write_corpus(&mut out, src).unwrap();
+        out.flush().unwrap();
+        assert_eq!(packed as usize, CORPUS_REFS);
+    }
+
+    // Unpacking the corpus reproduces the original DTR1 byte for byte.
+    {
+        let mut src = CorpusReader::open(&dtrz).unwrap();
+        let mut unpacked = Vec::new();
+        let mut chunk = Vec::new();
+        let mut writer = dirsim_trace::codec::BinaryWriter::new(Vec::new()).unwrap();
+        while src.read_chunk(&mut chunk, 4096).unwrap() > 0 {
+            for r in &chunk {
+                writer.push(r).unwrap();
+            }
+        }
+        let (bytes, count) = writer.finish().unwrap();
+        unpacked.extend_from_slice(&bytes);
+        assert_eq!(count as usize, CORPUS_REFS);
+        assert_eq!(
+            unpacked,
+            std::fs::read(&dtr).unwrap(),
+            "pack/unpack must round-trip the DTR1 bytes exactly"
+        );
+    }
+
+    let schemes = gauntlet();
+    let engine = |workers: usize| BroadcastSimulator::new(SimConfig::default()).workers(workers);
+    let baseline = engine(1)
+        .run(&schemes, caches, IterSource::new(refs.iter().copied()))
+        .unwrap();
+
+    for workers in [1, 4] {
+        for overlapped in [false, true] {
+            let run = |source: Box<dyn TraceSource + Send>| {
+                if overlapped {
+                    engine(workers).run_pipelined(&schemes, caches, source)
+                } else {
+                    engine(workers).run(&schemes, caches, source)
+                }
+            };
+            let what = format!("workers={workers} overlapped={overlapped}");
+            let buffered = run(Box::new(read_binary(std::io::BufReader::new(
+                std::fs::File::open(&dtr).unwrap(),
+            ))))
+            .unwrap();
+            assert_eq!(buffered, baseline, "buffered DTR1 ({what})");
+            let mapped = run(Box::new(MmapTraceSource::open(&dtr).unwrap())).unwrap();
+            assert_eq!(mapped, baseline, "mmap DTR1 ({what})");
+            let corpus = run(Box::new(CorpusReader::open(&dtrz).unwrap())).unwrap();
+            assert_eq!(corpus, baseline, "DTR3 corpus ({what})");
+        }
+    }
+    std::fs::remove_file(&dtr).unwrap();
+    std::fs::remove_file(&dtrz).unwrap();
+}
+
 #[test]
 fn wide_finite_systems_agree_with_kernels_on_auto() {
     // The overflow fallback under a *finite* geometry: 64 caches shrink
